@@ -1,0 +1,116 @@
+//! Model ablations called out in DESIGN.md — quantifying the design choices
+//! of the simulator's machine model:
+//!
+//! 1. **flow-control window sweep** — the serialize/pipeline/flood U-shape
+//!    behind the paper's FC recommendation (Figure 6);
+//! 2. **equal-share vs max-min bandwidth fairness** — how much accuracy the
+//!    paper's simpler sharing assumption gives away;
+//! 3. **communication CPU cost on/off** — the paper's argument for modeling
+//!    the processing power consumed by transfers (§4);
+//! 4. **per-step dispatch overhead sensitivity** — how strongly predictions
+//!    depend on the one non-physical engine parameter.
+
+use dps_bench::{emit, Env};
+use dps_sim::SimFabric;
+use lu_app::build_lu_app;
+use netmodel::Sharing;
+use report::{Figure, Series, Table};
+
+fn main() {
+    let env = Env::paper();
+
+    // --- 1. flow-control window sweep.
+    let mut s_time = Series::new("running time [s]");
+    let mut s_queue = Series::new("max queue");
+    for w in [1usize, 2, 4, 8, 16, 32, 64] {
+        let mut cfg = env.lu(162, 8);
+        cfg.pipelined = true;
+        cfg.flow_control = Some(w);
+        let run = env.predict(&cfg);
+        s_time.push(&w.to_string(), run.factorization_time.as_secs_f64());
+        s_queue.push(&w.to_string(), run.report.max_queue_len as f64);
+    }
+    {
+        let mut cfg = env.lu(162, 8);
+        cfg.pipelined = true;
+        let run = env.predict(&cfg);
+        s_time.push("none", run.factorization_time.as_secs_f64());
+        s_queue.push("none", run.report.max_queue_len as f64);
+    }
+    let mut fig = Figure::new(
+        "Ablation 1 — flow-control window sweep (P, r=162, 8 nodes)",
+        "window",
+    );
+    fig.add(s_time);
+    fig.add(s_queue);
+    emit("ablation_window", &fig.render(), Some(&fig.to_csv()));
+
+    // --- 2. bandwidth sharing discipline.
+    let mut table = Table::new(
+        "Ablation 2 — equal-share (paper) vs max-min fair bandwidth",
+        &["config", "equal share [s]", "max-min [s]", "delta"],
+    );
+    for (label, r, nodes, pipelined) in [
+        ("Basic r=324, 4n", 324, 4, false),
+        ("Basic r=162, 8n", 162, 8, false),
+        ("P r=108, 8n", 108, 8, true),
+    ] {
+        let mut cfg = env.lu(r, nodes);
+        cfg.pipelined = pipelined;
+        let eq = env.predict(&cfg).factorization_time.as_secs_f64();
+        let (app, _sh) = build_lu_app(cfg.clone());
+        let mut fabric = SimFabric::with_sharing(env.net, Sharing::MaxMin);
+        let mm_report = dps_sim::simulate_with_fabric(&app, &mut fabric, &env.simcfg);
+        let dist = mm_report.mark_time("dist").expect("dist mark");
+        let end = mm_report
+            .mark_time(&format!("iter:{}", cfg.k_blocks()))
+            .expect("final mark");
+        let mm = (end - dist).as_secs_f64();
+        table.row(&[
+            label.into(),
+            format!("{eq:.1}"),
+            format!("{mm:.1}"),
+            format!("{:+.1}%", (mm - eq) / eq * 100.0),
+        ]);
+    }
+    emit("ablation_sharing", &table.render(), Some(&table.to_csv()));
+
+    // --- 3. communication CPU cost on/off.
+    let mut table = Table::new(
+        "Ablation 3 — CPU cost of communications (paper §4)",
+        &["config", "with comm CPU cost [s]", "without [s]", "delta"],
+    );
+    for (label, r, nodes) in [("Basic r=162, 8n", 162, 8), ("Basic r=108, 8n", 108, 8)] {
+        let cfg = env.lu(r, nodes);
+        let with = env.predict(&cfg).factorization_time.as_secs_f64();
+        let mut free_net = env.net;
+        free_net.cpu_in_cost = 0.0;
+        free_net.cpu_out_cost = 0.0;
+        let without = lu_app::predict_lu(&cfg, free_net, &env.simcfg)
+            .factorization_time
+            .as_secs_f64();
+        table.row(&[
+            label.into(),
+            format!("{with:.1}"),
+            format!("{without:.1}"),
+            format!("{:+.1}%", (without - with) / with * 100.0),
+        ]);
+    }
+    emit("ablation_commcpu", &table.render(), Some(&table.to_csv()));
+
+    // --- 4. dispatch-overhead sensitivity.
+    let mut s = Series::new("predicted [s]");
+    for us in [0u64, 20, 50, 100, 200, 500] {
+        let mut simcfg = env.simcfg.clone();
+        simcfg.step_overhead = desim::SimDuration::from_micros(us);
+        let cfg = env.lu(108, 8);
+        let run = lu_app::predict_lu(&cfg, env.net, &simcfg);
+        s.push(&format!("{us}us"), run.factorization_time.as_secs_f64());
+    }
+    let mut fig = Figure::new(
+        "Ablation 4 — per-step dispatch overhead sensitivity (Basic r=108, 8 nodes)",
+        "step overhead",
+    );
+    fig.add(s);
+    emit("ablation_overhead", &fig.render(), Some(&fig.to_csv()));
+}

@@ -1,0 +1,17 @@
+//! Runs every table/figure reproduction in sequence (Table 1, Figures
+//! 8–13). Equivalent to invoking each binary individually; results land in
+//! `results/`.
+
+use std::process::Command;
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    for name in ["table1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "ablation"] {
+        println!("\n################ {name} ################\n");
+        let status = Command::new(dir.join(name))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
+        assert!(status.success(), "{name} failed");
+    }
+}

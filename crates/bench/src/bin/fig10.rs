@@ -1,0 +1,51 @@
+//! Figure 10: impact of decomposition granularity on different pipelining
+//! strategies — 8 nodes, reference = basic flow graph at r = 324 (the paper
+//! measured 84.2 s).
+//!
+//! Paper shape: on 8 nodes pipelining (P) clearly beats the basic graph at
+//! every block size, P+FC improves further, and each strategy has its own
+//! optimal granularity.
+
+use dps_bench::{emit, fig10_configs, run_pair, Env};
+use report::{Figure, Series};
+
+fn main() {
+    let env = Env::paper();
+    let reference = {
+        let mut c = env.lu(324, 8);
+        c.workers = 8;
+        run_pair(&env, &c, 300)
+    };
+    println!(
+        "reference (Basic, r=324, 8 nodes): measured {:.1}s, predicted {:.1}s  (paper: 84.2s)\n",
+        reference.measured_secs, reference.predicted_secs
+    );
+
+    let mut series: Vec<(String, Series)> = Vec::new();
+    for (i, (strat, r, cfg)) in fig10_configs(&env).into_iter().enumerate() {
+        let pair = run_pair(&env, &cfg, 301 + i as u64);
+        let m = report::improvement(reference.measured_secs, pair.measured_secs);
+        let p = report::improvement(reference.predicted_secs, pair.predicted_secs);
+        for (name, v) in [(strat.clone(), m), (format!("{strat} (sim)"), p)] {
+            match series.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, s)) => {
+                    s.push(&r.to_string(), v);
+                }
+                None => {
+                    let mut s = Series::new(&name);
+                    s.push(&r.to_string(), v);
+                    series.push((name, s));
+                }
+            }
+        }
+    }
+
+    let mut fig = Figure::new(
+        "Figure 10 — impact of decomposition granularity (8 nodes, reference Basic r=324)",
+        "block size r",
+    );
+    for (_, s) in series {
+        fig.add(s);
+    }
+    emit("fig10", &fig.render(), Some(&fig.to_csv()));
+}

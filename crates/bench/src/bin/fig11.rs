@@ -1,0 +1,40 @@
+//! Figure 11: dynamic efficiency of the LU factorization per iteration —
+//! 2592² matrix in eight column blocks (r = 324), basic flow graph.
+//!
+//! Paper shape: efficiency decays over iterations; 4 nodes start ≈ 50% more
+//! efficient than 8 (60.2% vs 37.6%) and reach ≈ 2× by iteration 6;
+//! removing 4 of 8 threads after iteration 1 lifts the efficiency of all
+//! subsequent iterations.
+
+use cluster::profile_from_report;
+use dps_bench::{emit, removal_configs, Env};
+use report::{Figure, Series};
+
+fn main() {
+    let env = Env::paper();
+    let mut fig = Figure::new(
+        "Figure 11 — dynamic efficiency per LU iteration (r=324, basic graph)",
+        "iteration",
+    );
+
+    // The paper's three allocations: 8 threads, 4 threads, kill-4-after-1 —
+    // measured (testbed) and simulated.
+    let wanted = ["4 nodes", "8 nodes", "8 nodes, kill 4 after it. 1"];
+    for (li, (label, cfg)) in removal_configs(&env).into_iter().enumerate() {
+        if !wanted.contains(&label.as_str()) {
+            continue;
+        }
+        let measured = env.measure(&cfg, 400 + li as u64);
+        let predicted = env.predict(&cfg);
+        for (suffix, run) in [("", measured), (" sim", predicted)] {
+            let profile = profile_from_report(&run.report);
+            let mut s = Series::new(&format!("{label}{suffix}"));
+            for (i, p) in profile.points.iter().enumerate() {
+                s.push(&format!("{}", i + 1), p.efficiency * 100.0);
+            }
+            fig.add(s);
+        }
+    }
+    println!("efficiency in percent; iteration spans shrink as the trailing matrix does\n");
+    emit("fig11", &fig.render(), Some(&fig.to_csv()));
+}

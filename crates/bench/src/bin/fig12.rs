@@ -1,0 +1,35 @@
+//! Figure 12: running times of dynamic thread removal strategies (r = 324,
+//! basic flow graph, eight column blocks).
+//!
+//! Paper shape (measured ≈ 85–105 s band): using 8 nodes for the whole
+//! computation or only for the first iteration yields almost the same
+//! running time — deallocating 4 nodes after iteration 1 frees half the
+//! cluster at a negligible cost; prediction errors are small.
+
+use dps_bench::{emit, removal_configs, run_pair, Env};
+use report::{Figure, Series};
+
+fn main() {
+    let env = Env::paper();
+    let mut measured = Series::new("Measurement");
+    let mut predicted = Series::new("Prediction");
+    for (i, (label, cfg)) in removal_configs(&env).into_iter().enumerate() {
+        let pair = run_pair(&env, &cfg, 500 + i as u64);
+        measured.push(&label, pair.measured_secs);
+        predicted.push(&label, pair.predicted_secs);
+        println!(
+            "{label:<45} measured {:7.1}s  predicted {:7.1}s  (err {:+.1}%)",
+            pair.measured_secs,
+            pair.predicted_secs,
+            pair.rel_error() * 100.0
+        );
+    }
+    println!();
+    let mut fig = Figure::new(
+        "Figure 12 — impact of removing multiplication threads [s]",
+        "strategy",
+    );
+    fig.add(measured);
+    fig.add(predicted);
+    emit("fig12", &fig.render(), Some(&fig.to_csv()));
+}

@@ -1,0 +1,39 @@
+//! Figure 8: measured and simulated variation of computation time for the
+//! proposed modifications on 4 nodes; reference = basic flow graph,
+//! r = 648.
+//!
+//! Paper shape: PM / P / FC variants bring ~3% at r = 648, dwarfed by
+//! decomposition-granularity gains (up to ≈ 3.4–3.6× at r = 162); the
+//! simulator tracks the measured improvements within a few percent.
+
+use dps_bench::{emit, fig8_configs, run_pair, Env};
+use report::{Figure, Series};
+
+fn main() {
+    let env = Env::paper();
+    // Reference: basic graph at r = 648 (the paper measured 259.4 s).
+    let reference = run_pair(&env, &env.lu(648, 4), 100);
+    println!(
+        "reference (Basic, r=648, 4 nodes): measured {:.1}s, predicted {:.1}s  (paper: 259.4s)\n",
+        reference.measured_secs, reference.predicted_secs
+    );
+
+    let mut measured = Series::new("Measurement");
+    let mut predicted = Series::new("Prediction");
+    for (i, (label, cfg)) in fig8_configs(&env).into_iter().enumerate() {
+        let pair = run_pair(&env, &cfg, 101 + i as u64);
+        measured.push(&label, report::improvement(reference.measured_secs, pair.measured_secs));
+        predicted.push(
+            &label,
+            report::improvement(reference.predicted_secs, pair.predicted_secs),
+        );
+    }
+
+    let mut fig = Figure::new(
+        "Figure 8 — impact of modifications on running time (4 nodes, reference r=648)",
+        "variant",
+    );
+    fig.add(measured);
+    fig.add(predicted);
+    emit("fig8", &fig.render(), Some(&fig.to_csv()));
+}

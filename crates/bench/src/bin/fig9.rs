@@ -1,0 +1,40 @@
+//! Figure 9: variation of computation time caused by parallel sub-block
+//! multiplications, increased pipelining and flow control — 4 nodes,
+//! reference = basic flow graph at r = 324 (the paper measured 101.8 s).
+//!
+//! Paper shape: with the well-balanced r = 324 decomposition, PM's extra
+//! communication *slows down* execution (improvement < 1) while P and FC
+//! help slightly; prediction errors stay below 5%.
+
+use dps_bench::{emit, fig9_configs, run_pair, Env};
+use report::{Figure, Series};
+
+fn main() {
+    let env = Env::paper();
+    let reference = run_pair(&env, &env.lu(324, 4), 200);
+    println!(
+        "reference (Basic, r=324, 4 nodes): measured {:.1}s, predicted {:.1}s  (paper: 101.8s)\n",
+        reference.measured_secs, reference.predicted_secs
+    );
+
+    let mut measured = Series::new("Measurement");
+    let mut predicted = Series::new("Prediction");
+    let mut worst_err: f64 = 0.0;
+    for (i, (label, cfg)) in fig9_configs(&env).into_iter().enumerate() {
+        let pair = run_pair(&env, &cfg, 201 + i as u64);
+        let m = report::improvement(reference.measured_secs, pair.measured_secs);
+        let p = report::improvement(reference.predicted_secs, pair.predicted_secs);
+        worst_err = worst_err.max(((p - m) / m).abs());
+        measured.push(&label, m);
+        predicted.push(&label, p);
+    }
+
+    let mut fig = Figure::new(
+        "Figure 9 — impact of modifications (4 nodes, reference r=324)",
+        "variant",
+    );
+    fig.add(measured);
+    fig.add(predicted);
+    emit("fig9", &fig.render(), Some(&fig.to_csv()));
+    println!("worst improvement prediction error: {:.1}% (paper: < 5%)", worst_err * 100.0);
+}

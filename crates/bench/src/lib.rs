@@ -1,0 +1,25 @@
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation (§7–§8).
+//!
+//! Each binary in `src/bin` reproduces one exhibit:
+//!
+//! | binary   | paper exhibit | content |
+//! |----------|---------------|---------|
+//! | `table1` | Table 1       | simulation cost & memory per simulation setting, plus predicted times |
+//! | `fig8`   | Figure 8      | impact of modifications + granularity, 4 nodes, reference r = 648 |
+//! | `fig9`   | Figure 9      | impact of modifications, 4 nodes, reference r = 324 |
+//! | `fig10`  | Figure 10     | granularity sweep × pipelining strategies, 8 nodes |
+//! | `fig11`  | Figure 11     | dynamic efficiency per LU iteration, with thread removal |
+//! | `fig12`  | Figure 12     | total running time of removal strategies |
+//! | `fig13`  | Figure 13     | histogram of prediction errors over all measurements |
+//! | `all`    | —             | everything above in sequence |
+//!
+//! "Measured" values come from the seeded ground-truth testbed emulator
+//! (this repository's stand-in for the paper's Sun cluster — see
+//! `testbed`); "predicted" values from the simulator using only the
+//! published platform parameters. See `EXPERIMENTS.md` for paper-vs-
+//! reproduction numbers.
+
+pub mod experiments;
+
+pub use experiments::*;

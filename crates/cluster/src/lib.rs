@@ -1,0 +1,27 @@
+//! Dynamic node allocation: efficiency analysis, allocation policies, and a
+//! malleable cluster server.
+//!
+//! The paper introduces **dynamic efficiency** — resource-utilization
+//! efficiency as a function of time — as the quantity a cluster scheduler
+//! needs in order to deallocate nodes from a running application when they
+//! stop paying off. This crate turns the simulator's per-interval reports
+//! into that analysis:
+//!
+//! * [`efficiency`] extracts per-iteration dynamic-efficiency profiles from
+//!   run reports (the data behind the paper's Figure 11);
+//! * [`policy`] derives thread-removal plans from predicted profiles (when
+//!   should "kill 4 after iteration 1" fire?);
+//! * [`server`] implements the paper's stated future work: "a cluster
+//!   server running concurrently multiple, possibly different applications
+//!   whose allocations of compute nodes vary dynamically over time" —
+//!   comparing rigid and malleable scheduling on simulated phased jobs.
+
+#![warn(missing_docs)]
+
+pub mod efficiency;
+pub mod policy;
+pub mod server;
+
+pub use efficiency::{profile_from_report, EfficiencyProfile, IterationPoint};
+pub use policy::{recommend_removal, ThresholdPolicy};
+pub use server::{ClusterSim, JobSpec, Phase, SchedulePolicy, ServerReport};

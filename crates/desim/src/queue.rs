@@ -1,0 +1,241 @@
+//! Deterministic pending-event set.
+//!
+//! Events are ordered by `(time, sequence)` where the sequence number is the
+//! insertion order, so two runs that schedule the same events in the same
+//! order pop them in the same order — a prerequisite for the reproducible
+//! traces the simulator and testbed compare against each other.
+//!
+//! Cancellation is lazy: cancelled entries stay in the heap and are skipped
+//! on pop. The engines cancel events frequently (every bandwidth or CPU-share
+//! change invalidates previously scheduled completions), so `cancel` must be
+//! O(1).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::SimTime;
+
+/// Handle identifying a scheduled event, used for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// A time-ordered queue of future events.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    /// Sequence numbers of events that are scheduled and not yet popped or
+    /// cancelled. Heap entries whose seq is absent are skipped on pop.
+    pending: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            pending: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` at `time`; returns a handle usable with [`cancel`].
+    ///
+    /// [`cancel`]: EventQueue::cancel
+    pub fn schedule(&mut self, time: SimTime, event: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { time, seq, event }));
+        self.pending.insert(seq);
+        EventId(seq)
+    }
+
+    /// Cancels a previously scheduled event. Returns whether the event was
+    /// still pending; cancelling an already-popped or already-cancelled event
+    /// is a no-op returning `false`.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.pending.remove(&id.0)
+    }
+
+    /// Removes and returns the earliest live event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if self.pending.remove(&entry.seq) {
+                return Some((entry.time, entry.event));
+            }
+        }
+        None
+    }
+
+    /// Time of the earliest live event without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        loop {
+            match self.heap.peek() {
+                None => return None,
+                Some(Reverse(entry)) => {
+                    if self.pending.contains(&entry.seq) {
+                        return Some(entry.time);
+                    }
+                    self.heap.pop();
+                }
+            }
+        }
+    }
+
+    /// Number of live (non-cancelled) pending events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn at(ns: u64) -> SimTime {
+        SimTime(ns)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(at(30), "c");
+        q.schedule(at(10), "a");
+        q.schedule(at(20), "b");
+        assert_eq!(q.pop(), Some((at(10), "a")));
+        assert_eq!(q.pop(), Some((at(20), "b")));
+        assert_eq!(q.pop(), Some((at(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(at(5), 1);
+        q.schedule(at(5), 2);
+        q.schedule(at(5), 3);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn cancel_skips_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(at(1), "a");
+        q.schedule(at(2), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((at(2), "b")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_noop() {
+        let mut q: EventQueue<&str> = EventQueue::new();
+        assert!(!q.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn cancel_popped_id_is_noop() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(at(1), "a");
+        q.schedule(at(2), "b");
+        assert_eq!(q.pop(), Some((at(1), "a")));
+        assert!(!q.cancel(a));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(at(1), "a");
+        q.schedule(at(7), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(at(7)));
+        assert_eq!(q.pop(), Some((at(7), "b")));
+    }
+
+    #[test]
+    fn len_tracks_live_entries() {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..10).map(|i| q.schedule(at(i), i)).collect();
+        assert_eq!(q.len(), 10);
+        for id in &ids[..5] {
+            q.cancel(*id);
+        }
+        assert_eq!(q.len(), 5);
+        let mut popped = 0;
+        while q.pop().is_some() {
+            popped += 1;
+        }
+        assert_eq!(popped, 5);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(at(10), 10u64);
+        q.schedule(at(5), 5);
+        assert_eq!(q.pop(), Some((at(5), 5)));
+        q.schedule(at(7), 7);
+        q.schedule(at(6), 6);
+        assert_eq!(q.pop(), Some((at(6), 6)));
+        assert_eq!(q.pop(), Some((at(7), 7)));
+        assert_eq!(q.pop(), Some((at(10), 10)));
+    }
+
+    #[test]
+    fn large_volume_is_sorted() {
+        let mut q = EventQueue::new();
+        // Pseudo-random insertion order without a rand dependency.
+        let mut x: u64 = 0x243F6A8885A308D3;
+        for _ in 0..10_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let t = x % 1_000;
+            q.schedule(SimTime(t) + SimDuration::ZERO, t);
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last);
+            last = t;
+        }
+    }
+}

@@ -1,0 +1,359 @@
+//! Progress-sharing resources.
+//!
+//! A [`ProgressSet`] is a set of jobs, each carrying an amount of remaining
+//! *work* (bytes, cpu-nanoseconds, …) that drains at an externally assigned
+//! *rate* (work units per virtual second). Engines use it like this:
+//!
+//! 1. whenever the active set changes, `advance_to(now)` to account the work
+//!    done at the old rates,
+//! 2. assign the new rates (`set_rate`),
+//! 3. query `earliest_completion()` and schedule a completion event there,
+//! 4. when that event fires, `advance_to` again and `take_finished` the jobs
+//!    that drained.
+//!
+//! Both the flow-level network model (concurrent transfers sharing link
+//! bandwidth) and the CPU model (atomic steps under processor sharing) are
+//! instances of this pattern, so the fiddly float/rounding logic lives here
+//! exactly once.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Work below this many units counts as finished; guards against float dust
+/// left over by rate changes.
+const WORK_EPS: f64 = 1e-6;
+
+#[derive(Clone, Copy, Debug)]
+struct Job {
+    remaining: f64,
+    rate: f64,
+}
+
+/// A set of jobs draining remaining work at assigned rates.
+///
+/// `K` identifies jobs; `Ord` is required so that completion ties are broken
+/// deterministically regardless of hash-map iteration order.
+#[derive(Clone, Debug)]
+pub struct ProgressSet<K: Eq + Hash + Copy + Ord> {
+    jobs: HashMap<K, Job>,
+    last: SimTime,
+}
+
+impl<K: Eq + Hash + Copy + Ord> Default for ProgressSet<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Eq + Hash + Copy + Ord> ProgressSet<K> {
+    /// An empty set anchored at time zero.
+    pub fn new() -> Self {
+        ProgressSet {
+            jobs: HashMap::new(),
+            last: SimTime::ZERO,
+        }
+    }
+
+    /// Accounts work done between the last advance and `now` at the current
+    /// rates. `now` must not precede the previous advance.
+    pub fn advance_to(&mut self, now: SimTime) {
+        debug_assert!(now >= self.last, "ProgressSet time went backwards");
+        if now <= self.last {
+            return;
+        }
+        let dt = (now - self.last).as_secs_f64();
+        for job in self.jobs.values_mut() {
+            job.remaining = (job.remaining - job.rate * dt).max(0.0);
+        }
+        self.last = now;
+    }
+
+    /// Adds a job with `work` units remaining and rate 0. Panics if the key
+    /// is already present — reusing keys for live jobs is always an engine
+    /// bug.
+    pub fn insert(&mut self, now: SimTime, key: K, work: f64) {
+        self.advance_to(now);
+        assert!(work >= 0.0, "negative work");
+        let prev = self.jobs.insert(
+            key,
+            Job {
+                remaining: work,
+                rate: 0.0,
+            },
+        );
+        assert!(prev.is_none(), "duplicate ProgressSet job key");
+    }
+
+    /// Assigns a new drain rate to `key`. The caller is responsible for
+    /// having advanced to `now` conceptually; this method does it for them.
+    pub fn set_rate(&mut self, now: SimTime, key: K, rate: f64) {
+        self.advance_to(now);
+        assert!(rate >= 0.0 && rate.is_finite(), "invalid rate {rate}");
+        self.jobs
+            .get_mut(&key)
+            .expect("set_rate on unknown job")
+            .rate = rate;
+    }
+
+    /// Removes a job, returning its remaining work if it was present.
+    pub fn remove(&mut self, now: SimTime, key: K) -> Option<f64> {
+        self.advance_to(now);
+        self.jobs.remove(&key).map(|j| j.remaining)
+    }
+
+    /// Remaining work of a job.
+    pub fn remaining(&self, key: K) -> Option<f64> {
+        self.jobs.get(&key).map(|j| j.remaining)
+    }
+
+    /// Whether `key` is a live job.
+    pub fn contains(&self, key: K) -> bool {
+        self.jobs.contains_key(&key)
+    }
+
+    /// Number of live jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether no jobs remain.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Iterates over live job keys in unspecified order.
+    pub fn keys(&self) -> impl Iterator<Item = K> + '_ {
+        self.jobs.keys().copied()
+    }
+
+    /// The earliest time at which some job finishes under current rates,
+    /// with its key. Jobs with rate 0 and positive work never finish. Ties
+    /// are broken by smallest key.
+    ///
+    /// The returned time is rounded *up* to the next nanosecond so that
+    /// advancing to it is guaranteed to drain the job to within the
+    /// internal work epsilon.
+    pub fn earliest_completion(&self) -> Option<(K, SimTime)> {
+        let mut best: Option<(K, SimTime)> = None;
+        for (&key, job) in &self.jobs {
+            let t = if Self::finished(job) {
+                self.last
+            } else if job.rate <= 0.0 {
+                continue;
+            } else {
+                // Round to the nearest nanosecond: the clock cannot resolve
+                // finer, and `finished` tolerates up to one nanosecond of
+                // residual drain, so nearest-rounding never strands a job.
+                let secs = job.remaining / job.rate;
+                let ns = (secs * 1e9).round().max(1.0);
+                if ns >= u64::MAX as f64 {
+                    continue;
+                }
+                self.last + SimDuration::from_nanos(ns as u64)
+            };
+            best = match best {
+                None => Some((key, t)),
+                Some((bk, bt)) => {
+                    if t < bt || (t == bt && key < bk) {
+                        Some((key, t))
+                    } else {
+                        Some((bk, bt))
+                    }
+                }
+            };
+        }
+        best
+    }
+
+    /// Whether a job counts as finished: fully drained, or within one
+    /// nanosecond of draining at its current rate (below clock resolution).
+    fn finished(j: &Job) -> bool {
+        j.remaining <= WORK_EPS || j.remaining <= j.rate * 1.5e-9
+    }
+
+    /// Advances to `now` and removes every job whose work has drained,
+    /// returning their keys sorted (deterministic order).
+    pub fn take_finished(&mut self, now: SimTime) -> Vec<K> {
+        self.advance_to(now);
+        let mut done: Vec<K> = self
+            .jobs
+            .iter()
+            .filter(|(_, j)| Self::finished(j))
+            .map(|(&k, _)| k)
+            .collect();
+        done.sort_unstable();
+        for k in &done {
+            self.jobs.remove(k);
+        }
+        done
+    }
+
+    /// Current virtual time of the set (time of the last advance).
+    pub fn now(&self) -> SimTime {
+        self.last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime(ns)
+    }
+
+    #[test]
+    fn single_job_completes_at_work_over_rate() {
+        let mut ps = ProgressSet::new();
+        ps.insert(SimTime::ZERO, 1u32, 1000.0);
+        ps.set_rate(SimTime::ZERO, 1, 1000.0); // 1000 units/s -> 1 s
+        let (k, when) = ps.earliest_completion().unwrap();
+        assert_eq!(k, 1);
+        assert_eq!(when, t(1_000_000_000));
+        let done = ps.take_finished(when);
+        assert_eq!(done, vec![1]);
+        assert!(ps.is_empty());
+    }
+
+    #[test]
+    fn rate_change_midway() {
+        let mut ps = ProgressSet::new();
+        ps.insert(SimTime::ZERO, 7u32, 100.0);
+        ps.set_rate(SimTime::ZERO, 7, 100.0); // would finish at 1s
+        ps.set_rate(t(500_000_000), 7, 50.0); // half done, half rate
+        let (_, when) = ps.earliest_completion().unwrap();
+        assert_eq!(when, t(1_500_000_000));
+    }
+
+    #[test]
+    fn zero_rate_never_finishes() {
+        let mut ps = ProgressSet::new();
+        ps.insert(SimTime::ZERO, 1u32, 5.0);
+        assert!(ps.earliest_completion().is_none());
+    }
+
+    #[test]
+    fn zero_work_finishes_immediately() {
+        let mut ps = ProgressSet::new();
+        ps.insert(t(10), 1u32, 0.0);
+        let (k, when) = ps.earliest_completion().unwrap();
+        assert_eq!((k, when), (1, t(10)));
+    }
+
+    #[test]
+    fn completion_tie_breaks_by_key() {
+        let mut ps = ProgressSet::new();
+        ps.insert(SimTime::ZERO, 9u32, 100.0);
+        ps.insert(SimTime::ZERO, 3u32, 100.0);
+        ps.set_rate(SimTime::ZERO, 9, 100.0);
+        ps.set_rate(SimTime::ZERO, 3, 100.0);
+        let (k, _) = ps.earliest_completion().unwrap();
+        assert_eq!(k, 3);
+        let done = ps.take_finished(t(1_000_000_000));
+        assert_eq!(done, vec![3, 9]);
+    }
+
+    #[test]
+    fn remove_returns_remaining() {
+        let mut ps = ProgressSet::new();
+        ps.insert(SimTime::ZERO, 1u32, 100.0);
+        ps.set_rate(SimTime::ZERO, 1, 100.0);
+        let rem = ps.remove(t(250_000_000), 1).unwrap();
+        assert!((rem - 75.0).abs() < 1e-6, "rem = {rem}");
+        assert!(ps.remove(t(250_000_000), 1).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_key_panics() {
+        let mut ps = ProgressSet::new();
+        ps.insert(SimTime::ZERO, 1u32, 1.0);
+        ps.insert(SimTime::ZERO, 1u32, 1.0);
+    }
+
+    #[test]
+    fn rounding_up_guarantees_completion() {
+        let mut ps = ProgressSet::new();
+        // Work/rate chosen so work/rate is not an integer number of ns.
+        ps.insert(SimTime::ZERO, 1u32, 1.0);
+        ps.set_rate(SimTime::ZERO, 1, 3.0);
+        let (_, when) = ps.earliest_completion().unwrap();
+        let done = ps.take_finished(when);
+        assert_eq!(done, vec![1]);
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Splitting an advance into arbitrary sub-steps conserves work.
+        #[test]
+        fn advance_is_additive(
+            work in 1.0f64..1e6,
+            rate in 0.1f64..1e6,
+            cut in 1u64..999,
+        ) {
+            let total = SimDuration::from_millis(1000);
+            let mid = SimDuration::from_millis(cut);
+
+            let mut one = ProgressSet::new();
+            one.insert(SimTime::ZERO, 0u32, work);
+            one.set_rate(SimTime::ZERO, 0, rate);
+            one.advance_to(SimTime::ZERO + total);
+
+            let mut two = ProgressSet::new();
+            two.insert(SimTime::ZERO, 0u32, work);
+            two.set_rate(SimTime::ZERO, 0, rate);
+            two.advance_to(SimTime::ZERO + mid);
+            two.advance_to(SimTime::ZERO + total);
+
+            let a = one.remaining(0).unwrap();
+            let b = two.remaining(0).unwrap();
+            prop_assert!((a - b).abs() <= 1e-6 * work.max(1.0),
+                "split advance diverged: {a} vs {b}");
+        }
+
+        /// Completion always happens when the engine advances to the
+        /// announced completion time, for arbitrary work/rate pairs.
+        #[test]
+        fn announced_completion_completes(
+            work in 1e-3f64..1e9,
+            rate in 1e-3f64..1e9,
+        ) {
+            let mut ps = ProgressSet::new();
+            ps.insert(SimTime::ZERO, 0u32, work);
+            ps.set_rate(SimTime::ZERO, 0, rate);
+            if let Some((_, when)) = ps.earliest_completion() {
+                let done = ps.take_finished(when);
+                prop_assert_eq!(done, vec![0]);
+            }
+        }
+
+        /// Remaining work is monotonically non-increasing under advances.
+        #[test]
+        fn remaining_monotone(
+            work in 1.0f64..1e6,
+            rate in 0.0f64..1e6,
+            steps in prop::collection::vec(1u64..1_000_000u64, 1..20),
+        ) {
+            let mut ps = ProgressSet::new();
+            ps.insert(SimTime::ZERO, 0u32, work);
+            ps.set_rate(SimTime::ZERO, 0, rate);
+            let mut now = SimTime::ZERO;
+            let mut prev = work;
+            for s in steps {
+                now += SimDuration::from_nanos(s);
+                ps.advance_to(now);
+                let r = ps.remaining(0).unwrap();
+                prop_assert!(r <= prev + 1e-9);
+                prop_assert!(r >= 0.0);
+                prev = r;
+            }
+        }
+    }
+}

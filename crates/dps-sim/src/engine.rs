@@ -1,0 +1,747 @@
+//! The direct-execution virtual-time engine.
+//!
+//! The engine executes a [`dps::Application`] exactly once, reconstructing
+//! its parallel schedule in virtual time (the paper's §3):
+//!
+//! * Each *(operation, thread)* pair is a sequential server with a FIFO
+//!   data-object queue — the macro-dataflow behaviour of DPS. Servers on the
+//!   same node overlap under processor sharing (DPS runs operations on
+//!   distinct execution threads).
+//! * When a server starts consuming an object, the operation's Rust code
+//!   runs once (exactly one piece of application code runs at a time, as in
+//!   the paper's alternation between DPS execution threads and the simulator
+//!   thread) and is decomposed into **atomic steps** at every post. Step
+//!   durations come from host measurement (direct execution), charges
+//!   (partial direct execution), or calibration — see [`crate::timing`].
+//! * The recorded steps then play out in virtual time: compute segments
+//!   drain under the node's processor-sharing rate (reduced by the CPU cost
+//!   of concurrent communications), posts start network transfers through
+//!   the [`Fabric`], arrivals enqueue at destination servers.
+//! * Flow-control windows suspend a posting operation when its credits run
+//!   out and resume it when the application returns a credit
+//!   (`OpCtx::fc_release`), reproducing DPS's split suspension.
+//! * Threads can be deactivated at runtime (dynamic node deallocation);
+//!   routing helpers immediately stop selecting them and the allocated-node
+//!   timeline feeds the dynamic-efficiency computation.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::time::Instant;
+
+use desim::{ProgressSet, SimDuration, SimTime};
+use dps::{
+    ActiveSet, Application, DataObj, OpCtx, OpId, Operation, RouteCtx, ThreadId, Window,
+};
+use netmodel::{NetParams, NodeId};
+
+use crate::fabric::{Fabric, SimFabric};
+use crate::memory::MemoryMeter;
+use crate::report::{Interval, RunReport};
+use crate::timing::{Stopwatch, TimingMode, TimingState};
+use crate::trace::{StepRecord, Trace, TransferRecord};
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// How uncharged atomic steps are priced (see [`TimingMode`]).
+    pub timing: TimingMode,
+    /// Fixed dispatch overhead added to every atomic step — the cost of the
+    /// DPS runtime delivering an object and scheduling the operation.
+    pub step_overhead: SimDuration,
+    /// Record a full Gantt trace (costs memory on large runs).
+    pub record_trace: bool,
+    /// Modeled baseline memory of the DPS runtime itself.
+    pub baseline_memory: u64,
+    /// Safety valve against runaway applications.
+    pub max_steps: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            timing: TimingMode::ChargedOnly,
+            step_overhead: SimDuration::from_micros(20),
+            record_trace: false,
+            baseline_memory: 2 << 20,
+            max_steps: 200_000_000,
+        }
+    }
+}
+
+type ServerKey = (OpId, ThreadId);
+
+enum Action {
+    Post { to: OpId, obj: DataObj },
+    Mark(String),
+    Deactivate(ThreadId),
+    Release(OpId),
+    Account(i64),
+    Terminate,
+}
+
+struct Segment {
+    work: SimDuration,
+    actions: VecDeque<Action>,
+}
+
+struct RunState {
+    consumed_heap: u64,
+    segments: VecDeque<Segment>,
+    /// Actions of the segment currently being finalized; non-empty only
+    /// while executing them or while blocked on a flow-control credit.
+    pending: VecDeque<Action>,
+}
+
+struct Server {
+    op: Option<Box<dyn Operation>>,
+    queue: VecDeque<DataObj>,
+    run: Option<RunState>,
+}
+
+struct JobInfo {
+    server: ServerKey,
+    node: NodeId,
+    start: SimTime,
+    work: SimDuration,
+    actions: VecDeque<Action>,
+}
+
+struct Delivery {
+    to: OpId,
+    thread: ThreadId,
+    obj: DataObj,
+}
+
+/// Runs `app` on the paper's machine model with the given network
+/// parameters.
+pub fn simulate(app: &Application, params: NetParams, cfg: &SimConfig) -> RunReport {
+    let mut fabric = SimFabric::new(params);
+    simulate_with_fabric(app, &mut fabric, cfg)
+}
+
+/// Runs `app` against an arbitrary fabric (the testbed emulator plugs in
+/// here).
+pub fn simulate_with_fabric(
+    app: &Application,
+    fabric: &mut dyn Fabric,
+    cfg: &SimConfig,
+) -> RunReport {
+    let wall = Instant::now();
+    let mut eng = Engine::new(app, fabric, cfg);
+    eng.inject_starts();
+    eng.recompute_cpu();
+    eng.event_loop();
+    eng.into_report(wall.elapsed())
+}
+
+struct Engine<'a> {
+    app: &'a Application,
+    fabric: &'a mut dyn Fabric,
+    cfg: &'a SimConfig,
+    now: SimTime,
+
+    servers: BTreeMap<ServerKey, Server>,
+    active: ActiveSet,
+    edge_seq: Vec<u64>,
+
+    cpu: ProgressSet<u64>,
+    jobs: BTreeMap<u64, JobInfo>,
+    jobs_by_node: BTreeMap<NodeId, Vec<u64>>,
+    next_job: u64,
+
+    inflight: HashMap<u64, Delivery>,
+    transfer_meta: HashMap<u64, (NodeId, NodeId, u64, SimTime)>,
+
+    windows: BTreeMap<OpId, Window>,
+    fc_waiters: BTreeMap<OpId, VecDeque<ServerKey>>,
+
+    timing: TimingState,
+    meter: MemoryMeter,
+
+    terminated: bool,
+    completion: SimTime,
+    steps_executed: u64,
+    max_queue_len: usize,
+
+    marks: Vec<(String, SimTime)>,
+    intervals: Vec<Interval>,
+    interval_start: SimTime,
+    interval_work: SimDuration,
+    total_work: SimDuration,
+    node_seconds_acc: f64,
+    cur_nodes: usize,
+    last_alloc_change: SimTime,
+    alloc_timeline: Vec<(SimTime, usize)>,
+
+    trace: Option<Trace>,
+}
+
+impl<'a> Engine<'a> {
+    fn new(app: &'a Application, fabric: &'a mut dyn Fabric, cfg: &'a SimConfig) -> Engine<'a> {
+        let thread_count = app.deployment().thread_count();
+        let active = ActiveSet::all_active(thread_count);
+        let cur_nodes = active.allocated_nodes(app.deployment()).len();
+        let windows = app
+            .flow_controls()
+            .map(|fc| (fc.source, Window::new(fc.window)))
+            .collect();
+        Engine {
+            app,
+            fabric,
+            cfg,
+            now: SimTime::ZERO,
+            servers: BTreeMap::new(),
+            active,
+            edge_seq: vec![0; app.graph().edge_count()],
+            cpu: ProgressSet::new(),
+            jobs: BTreeMap::new(),
+            jobs_by_node: BTreeMap::new(),
+            next_job: 0,
+            inflight: HashMap::new(),
+            transfer_meta: HashMap::new(),
+            windows,
+            fc_waiters: BTreeMap::new(),
+            timing: TimingState::new(),
+            meter: MemoryMeter::new(cfg.baseline_memory),
+            terminated: false,
+            completion: SimTime::ZERO,
+            steps_executed: 0,
+            max_queue_len: 0,
+            marks: Vec::new(),
+            intervals: Vec::new(),
+            interval_start: SimTime::ZERO,
+            interval_work: SimDuration::ZERO,
+            total_work: SimDuration::ZERO,
+            node_seconds_acc: 0.0,
+            cur_nodes,
+            last_alloc_change: SimTime::ZERO,
+            alloc_timeline: vec![(SimTime::ZERO, cur_nodes)],
+            trace: if cfg.record_trace {
+                Some(Trace::default())
+            } else {
+                None
+            },
+        }
+    }
+
+    fn inject_starts(&mut self) {
+        for s in self.app.starts() {
+            let obj = (s.make)();
+            self.meter.alloc(obj.heap_bytes());
+            self.enqueue_delivery(s.op, s.thread, obj);
+        }
+    }
+
+    // ----- event loop ---------------------------------------------------
+
+    fn event_loop(&mut self) {
+        loop {
+            if self.terminated {
+                return;
+            }
+            if self.steps_executed > self.cfg.max_steps {
+                self.terminated = false;
+                self.completion = self.now;
+                return;
+            }
+            let t_net = self.fabric.next_event_time();
+            let t_cpu = self.cpu.earliest_completion().map(|(_, t)| t);
+            let t = match (t_net, t_cpu) {
+                (None, None) => {
+                    self.completion = self.now;
+                    return;
+                }
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (Some(a), Some(b)) => a.min(b),
+            };
+            debug_assert!(t >= self.now);
+            self.now = t;
+
+            // Network first: arrivals may start new computations at `t`.
+            for handle in self.fabric.advance(t) {
+                self.deliver_transfer(handle);
+            }
+            // Then completed atomic steps.
+            for job in self.cpu.take_finished(t) {
+                self.complete_job(job);
+                if self.terminated {
+                    self.completion = self.now;
+                    return;
+                }
+            }
+            self.recompute_cpu();
+        }
+    }
+
+    // ----- CPU model ------------------------------------------------------
+
+    fn recompute_cpu(&mut self) {
+        let now = self.now;
+        for (&node, jobs) in &self.jobs_by_node {
+            if jobs.is_empty() {
+                continue;
+            }
+            let k = jobs.len();
+            let avail = self.fabric.cpu_available(node);
+            let rate = avail / (k as f64 * self.fabric.sharing_penalty(k));
+            for &j in jobs {
+                self.cpu.set_rate(now, j, rate);
+            }
+        }
+    }
+
+    // ----- server machinery ----------------------------------------------
+
+    fn server_mut(&mut self, key: ServerKey) -> &mut Server {
+        self.servers.entry(key).or_insert_with(|| Server {
+            op: None,
+            queue: VecDeque::new(),
+            run: None,
+        })
+    }
+
+    fn enqueue_delivery(&mut self, op: OpId, thread: ThreadId, obj: DataObj) {
+        let (qlen, idle) = {
+            let server = self.server_mut((op, thread));
+            server.queue.push_back(obj);
+            (server.queue.len(), server.run.is_none())
+        };
+        self.max_queue_len = self.max_queue_len.max(qlen);
+        if idle {
+            self.start_invocations((op, thread));
+        }
+    }
+
+    fn deliver_transfer(&mut self, handle: u64) {
+        let d = self
+            .inflight
+            .remove(&handle)
+            .expect("unknown transfer completed");
+        if let Some((src, dst, bytes, start)) = self.transfer_meta.remove(&handle) {
+            if let Some(trace) = &mut self.trace {
+                trace.transfers.push(TransferRecord {
+                    src,
+                    dst,
+                    bytes,
+                    start,
+                    end: self.now,
+                });
+            }
+        }
+        self.enqueue_delivery(d.to, d.thread, d.obj);
+    }
+
+    /// Consumes queued objects until one produces atomic steps (or the
+    /// queue drains). Runs the operation's Rust code, decomposing it into
+    /// segments.
+    fn start_invocations(&mut self, key: ServerKey) {
+        loop {
+            // Take what we need out of the server to keep borrows disjoint.
+            let (obj, op) = {
+                let server = self.server_mut(key);
+                debug_assert!(server.run.is_none());
+                let Some(obj) = server.queue.pop_front() else {
+                    return;
+                };
+                let op = server.op.take();
+                (obj, op)
+            };
+            let mut op = op.unwrap_or_else(|| self.app.make_op(key.0, key.1));
+            let consumed_heap = obj.heap_bytes();
+
+            let mut ctx = CollectCtx {
+                now: self.now,
+                op_id: key.0,
+                thread: key.1,
+                deployment: self.app.deployment(),
+                active: &self.active,
+                mode: self.cfg.timing,
+                overhead: self.cfg.step_overhead,
+                timing: &mut self.timing,
+                segments: Vec::new(),
+                cur_actions: VecDeque::new(),
+                cur_charge: None,
+                seg_idx: 0,
+                sw: Stopwatch::start(),
+            };
+            op.on_object(obj, &mut ctx);
+            let segments = ctx.finish();
+
+            let server = self.servers.get_mut(&key).expect("server exists");
+            server.op = Some(op);
+
+            if segments.is_empty() {
+                self.meter.free(consumed_heap);
+                continue; // next queued object, same virtual instant
+            }
+            server.run = Some(RunState {
+                consumed_heap,
+                segments: segments.into(),
+                pending: VecDeque::new(),
+            });
+            self.begin_segment(key);
+            return;
+        }
+    }
+
+    /// Starts the next recorded segment as a CPU job, or finishes the
+    /// invocation when none remain.
+    fn begin_segment(&mut self, key: ServerKey) {
+        let node = self.app.deployment().node_of(key.1);
+        let server = self.servers.get_mut(&key).expect("server exists");
+        let run = server.run.as_mut().expect("running invocation");
+        debug_assert!(run.pending.is_empty());
+        if let Some(seg) = run.segments.pop_front() {
+            let nominal = seg.work;
+            let work = self.fabric.compute_time(node, nominal);
+            let job = self.next_job;
+            self.next_job += 1;
+            self.cpu.insert(self.now, job, work.as_secs_f64());
+            self.jobs.insert(
+                job,
+                JobInfo {
+                    server: key,
+                    node,
+                    start: self.now,
+                    work,
+                    actions: seg.actions,
+                },
+            );
+            self.jobs_by_node.entry(node).or_default().push(job);
+        } else {
+            let heap = run.consumed_heap;
+            server.run = None;
+            self.meter.free(heap);
+            if !self.servers[&key].queue.is_empty() {
+                self.start_invocations(key);
+            }
+        }
+    }
+
+    fn complete_job(&mut self, job: u64) {
+        let info = self.jobs.remove(&job).expect("unknown job");
+        if let Some(v) = self.jobs_by_node.get_mut(&info.node) {
+            v.retain(|&j| j != job);
+        }
+        self.steps_executed += 1;
+        self.interval_work += info.work;
+        self.total_work += info.work;
+        if let Some(trace) = &mut self.trace {
+            trace.steps.push(StepRecord {
+                thread: info.server.1,
+                node: info.node,
+                op: info.server.0,
+                op_name: self.app.graph().op(info.server.0).name.clone(),
+                start: info.start,
+                end: self.now,
+            });
+        }
+        let key = info.server;
+        let server = self.servers.get_mut(&key).expect("server exists");
+        server
+            .run
+            .as_mut()
+            .expect("invocation in progress")
+            .pending = info.actions;
+        self.process_pending(key);
+    }
+
+    /// Executes the finalized segment's actions; stops early if a post
+    /// blocks on a flow-control credit. When all actions are done, moves to
+    /// the next segment.
+    fn process_pending(&mut self, key: ServerKey) {
+        loop {
+            let action = {
+                let server = self.servers.get_mut(&key).expect("server exists");
+                let run = server.run.as_mut().expect("invocation in progress");
+                match run.pending.pop_front() {
+                    Some(a) => a,
+                    None => break,
+                }
+            };
+            match action {
+                Action::Post { to, obj } => {
+                    // Flow control: a post from a windowed op needs a credit.
+                    if let Some(w) = self.windows.get_mut(&key.0) {
+                        if !w.try_acquire() {
+                            // Park: put the post back and wait for a credit.
+                            let server = self.servers.get_mut(&key).expect("server exists");
+                            server
+                                .run
+                                .as_mut()
+                                .expect("invocation in progress")
+                                .pending
+                                .push_front(Action::Post { to, obj });
+                            self.fc_waiters.entry(key.0).or_default().push_back(key);
+                            return;
+                        }
+                    }
+                    self.do_post(key, to, obj);
+                }
+                Action::Mark(label) => self.record_mark(label),
+                Action::Deactivate(t) => self.deactivate(t),
+                Action::Release(op) => self.release_credit(op),
+                Action::Account(delta) => self.meter.adjust(delta),
+                Action::Terminate => {
+                    self.terminated = true;
+                    self.completion = self.now;
+                    return;
+                }
+            }
+            if self.terminated {
+                return;
+            }
+        }
+        self.begin_segment(key);
+    }
+
+    fn do_post(&mut self, from: ServerKey, to: OpId, obj: DataObj) {
+        let graph = self.app.graph();
+        let edge = graph.edge_between(from.0, to).unwrap_or_else(|| {
+            panic!(
+                "operation {:?} posted to {:?} but the flow graph has no such edge",
+                graph.op(from.0).name,
+                graph.op(to).name
+            )
+        });
+        let seq = self.edge_seq[edge.0 as usize];
+        self.edge_seq[edge.0 as usize] += 1;
+        let dst_thread = {
+            let ctx = RouteCtx {
+                src_thread: from.1,
+                edge_seq: seq,
+                deployment: self.app.deployment(),
+                active: &self.active,
+            };
+            (self.app.router(edge))(obj.as_ref(), &ctx)
+        };
+        self.meter.alloc(obj.heap_bytes());
+        let src_node = self.app.deployment().node_of(from.1);
+        let dst_node = self.app.deployment().node_of(dst_thread);
+        if src_node == dst_node {
+            // Node-local move: pointer passing, no network involvement.
+            self.enqueue_delivery(to, dst_thread, obj);
+        } else {
+            let bytes = obj.wire_size();
+            let handle = self.fabric.start_transfer(self.now, src_node, dst_node, bytes);
+            self.transfer_meta
+                .insert(handle, (src_node, dst_node, bytes, self.now));
+            self.inflight.insert(
+                handle,
+                Delivery {
+                    to,
+                    thread: dst_thread,
+                    obj,
+                },
+            );
+        }
+    }
+
+    fn release_credit(&mut self, op: OpId) {
+        let w = self
+            .windows
+            .get_mut(&op)
+            .unwrap_or_else(|| panic!("fc_release for op without flow control window"));
+        w.release();
+        if let Some(waiters) = self.fc_waiters.get_mut(&op) {
+            if let Some(key) = waiters.pop_front() {
+                self.process_pending(key);
+            }
+        }
+    }
+
+    fn record_mark(&mut self, label: String) {
+        self.flush_node_seconds();
+        self.intervals.push(Interval {
+            label: label.clone(),
+            start: self.interval_start,
+            end: self.now,
+            cpu_work: self.interval_work,
+            node_seconds: self.node_seconds_acc,
+        });
+        self.marks.push((label, self.now));
+        self.interval_start = self.now;
+        self.interval_work = SimDuration::ZERO;
+        self.node_seconds_acc = 0.0;
+    }
+
+    fn flush_node_seconds(&mut self) {
+        let span = (self.now - self.last_alloc_change).as_secs_f64();
+        self.node_seconds_acc += span * self.cur_nodes as f64;
+        self.last_alloc_change = self.now;
+    }
+
+    fn deactivate(&mut self, t: ThreadId) {
+        self.flush_node_seconds();
+        self.active.deactivate(t);
+        let nodes = self.active.allocated_nodes(self.app.deployment()).len();
+        if nodes != self.cur_nodes {
+            self.cur_nodes = nodes;
+            self.alloc_timeline.push((self.now, nodes));
+        }
+    }
+
+    // ----- reporting -----------------------------------------------------
+
+    fn stall_diagnostic(&self) -> Option<String> {
+        if self.terminated {
+            return None;
+        }
+        let mut queued = 0usize;
+        let mut running = 0usize;
+        for s in self.servers.values() {
+            queued += s.queue.len();
+            if s.run.is_some() {
+                running += 1;
+            }
+        }
+        let blocked: usize = self.fc_waiters.values().map(|w| w.len()).sum();
+        if queued == 0 && running == 0 && self.inflight.is_empty() && blocked == 0 {
+            return None; // clean quiescence without explicit terminate
+        }
+        Some(format!(
+            "stalled at {}: {queued} queued objects, {running} busy servers, \
+             {blocked} flow-control-blocked servers, {} transfers in flight",
+            self.now,
+            self.inflight.len()
+        ))
+    }
+
+    fn into_report(mut self, host_wall: std::time::Duration) -> RunReport {
+        // Close the trailing interval.
+        self.flush_node_seconds();
+        let stall = self.stall_diagnostic();
+        self.intervals.push(Interval {
+            label: "end".to_string(),
+            start: self.interval_start,
+            end: self.now,
+            cpu_work: self.interval_work,
+            node_seconds: self.node_seconds_acc,
+        });
+        RunReport {
+            completion: self.completion,
+            terminated: self.terminated,
+            stall,
+            marks: self.marks,
+            intervals: self.intervals,
+            total_cpu_work: self.total_work,
+            alloc_timeline: self.alloc_timeline,
+            mem_peak_bytes: self.meter.peak_bytes(),
+            steps: self.steps_executed,
+            max_queue_len: self.max_queue_len,
+            net: self.fabric.net_stats(),
+            host_wall,
+            trace: self.trace,
+        }
+    }
+}
+
+// ----- atomic-step collection ---------------------------------------------
+
+struct CollectCtx<'a> {
+    now: SimTime,
+    op_id: OpId,
+    thread: ThreadId,
+    deployment: &'a dps::Deployment,
+    active: &'a ActiveSet,
+    mode: TimingMode,
+    overhead: SimDuration,
+    timing: &'a mut TimingState,
+    segments: Vec<Segment>,
+    cur_actions: VecDeque<Action>,
+    cur_charge: Option<SimDuration>,
+    seg_idx: u32,
+    sw: Stopwatch,
+}
+
+impl<'a> CollectCtx<'a> {
+    fn close_segment(&mut self, closing: Option<Action>) {
+        let measured = self.sw.lap();
+        let work = self.timing.step_duration(
+            self.mode,
+            self.op_id,
+            self.seg_idx,
+            self.cur_charge.take(),
+            measured,
+        ) + self.overhead;
+        self.seg_idx += 1;
+        let mut actions = std::mem::take(&mut self.cur_actions);
+        if let Some(a) = closing {
+            actions.push_back(a);
+        }
+        self.segments.push(Segment { work, actions });
+    }
+
+    fn finish(mut self) -> Vec<Segment> {
+        // Trailing segment: only if it does something or costs something.
+        let measured = self.sw.lap();
+        let work = self.timing.step_duration(
+            self.mode,
+            self.op_id,
+            self.seg_idx,
+            self.cur_charge.take(),
+            measured,
+        );
+        if !self.cur_actions.is_empty() || !work.is_zero() || self.segments.is_empty() {
+            // Every object consumption costs at least the dispatch overhead,
+            // even if the operation body did nothing observable (e.g. a
+            // merge that only counted an arrival).
+            let actions = std::mem::take(&mut self.cur_actions);
+            self.segments.push(Segment {
+                work: work + self.overhead,
+                actions,
+            });
+        }
+        self.segments
+    }
+}
+
+impl<'a> OpCtx for CollectCtx<'a> {
+    fn post(&mut self, to: OpId, obj: DataObj) {
+        self.close_segment(Some(Action::Post { to, obj }));
+    }
+
+    fn charge(&mut self, d: SimDuration) {
+        self.cur_charge = Some(self.cur_charge.unwrap_or(SimDuration::ZERO) + d);
+    }
+
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn self_thread(&self) -> ThreadId {
+        self.thread
+    }
+
+    fn node_of(&self, t: ThreadId) -> NodeId {
+        self.deployment.node_of(t)
+    }
+
+    fn active_threads(&self, group: &str) -> Vec<ThreadId> {
+        self.active.active_in(self.deployment, group)
+    }
+
+    fn all_threads(&self, group: &str) -> Vec<ThreadId> {
+        self.deployment.group(group).to_vec()
+    }
+
+    fn mark(&mut self, label: &str) {
+        self.cur_actions.push_back(Action::Mark(label.to_string()));
+    }
+
+    fn deactivate_thread(&mut self, t: ThreadId) {
+        self.cur_actions.push_back(Action::Deactivate(t));
+    }
+
+    fn fc_release(&mut self, source: OpId) {
+        self.cur_actions.push_back(Action::Release(source));
+    }
+
+    fn account_state(&mut self, delta_bytes: i64) {
+        self.cur_actions.push_back(Action::Account(delta_bytes));
+    }
+
+    fn terminate(&mut self) {
+        self.cur_actions.push_back(Action::Terminate);
+    }
+}

@@ -1,0 +1,41 @@
+//! The paper's contribution: a direct-execution simulator for DPS
+//! applications with dynamically varying compute node allocation.
+//!
+//! Given a [`dps::Application`], [`engine::simulate`] reconstructs its
+//! parallel execution in virtual time and predicts:
+//!
+//! * the **running time** of the application on a target cluster described
+//!   by a handful of platform parameters ([`netmodel::NetParams`] plus the
+//!   kernel cost models of `perfmodel`),
+//! * its **dynamic efficiency** — resource-utilization efficiency as a
+//!   function of time ([`report::Interval::efficiency`]), the quantity that
+//!   tells a scheduler when nodes can be deallocated almost for free.
+//!
+//! Three timing sources are supported and can be mixed per atomic step
+//! (see [`timing::TimingMode`]): direct execution (host wall-clock
+//! measurement of the application's real code), partial direct execution
+//! (modeled charges; the application posts ghost payloads and skips the
+//! kernels — fast, small, portable), and calibrated direct execution
+//! (measure the first *n* instances, reuse the average).
+//!
+//! The machine model lives behind the [`fabric::Fabric`] trait so the same
+//! engine executes applications against the paper's flow-level model
+//! ([`fabric::SimFabric`]) or the detailed stochastic testbed emulator from
+//! the `testbed` crate — the pair whose agreement reproduces the paper's
+//! validation experiments.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod fabric;
+pub mod memory;
+pub mod report;
+pub mod timing;
+pub mod trace;
+
+pub use engine::{simulate, simulate_with_fabric, SimConfig};
+pub use fabric::{Fabric, SimFabric};
+pub use memory::MemoryMeter;
+pub use report::{Interval, RunReport};
+pub use timing::{Stopwatch, TimingMode, TimingState};
+pub use trace::{StepRecord, Trace, TransferRecord};

@@ -1,0 +1,92 @@
+//! Modeled memory accounting.
+//!
+//! Table 1 of the paper contrasts the memory consumption of direct-execution
+//! simulation (the whole problem in one address space) with PDEXEC+NOALLOC
+//! (ghost payloads, ~14 MB). The engine reproduces this with a byte meter:
+//! every in-flight data object contributes its `heap_bytes`, and operations
+//! report state they hold (stored matrix blocks) via `OpCtx::account_state`.
+
+/// Tracks live and peak modeled bytes.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MemoryMeter {
+    live: i64,
+    peak: i64,
+    /// Fixed baseline representing runtime structures (thread managers,
+    /// queues); included so that NOALLOC numbers are not absurdly zero.
+    baseline: i64,
+}
+
+impl MemoryMeter {
+    /// Creates an empty instance.
+    pub fn new(baseline_bytes: u64) -> MemoryMeter {
+        let baseline = baseline_bytes as i64;
+        MemoryMeter {
+            live: baseline,
+            peak: baseline,
+            baseline,
+        }
+    }
+
+    /// Accounts an allocation.
+    pub fn alloc(&mut self, bytes: u64) {
+        self.live += bytes as i64;
+        self.peak = self.peak.max(self.live);
+    }
+
+    /// Accounts a release.
+    pub fn free(&mut self, bytes: u64) {
+        self.live -= bytes as i64;
+        debug_assert!(
+            self.live >= 0,
+            "memory meter went negative: more frees than allocs"
+        );
+    }
+
+    /// Signed adjustment from `OpCtx::account_state`.
+    pub fn adjust(&mut self, delta: i64) {
+        self.live += delta;
+        self.peak = self.peak.max(self.live);
+        debug_assert!(self.live >= 0, "memory meter went negative");
+    }
+
+    /// Currently live modeled bytes.
+    pub fn live_bytes(&self) -> u64 {
+        self.live.max(0) as u64
+    }
+
+    /// High-water mark of live bytes.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak.max(0) as u64
+    }
+
+    /// The fixed runtime baseline.
+    pub fn baseline_bytes(&self) -> u64 {
+        self.baseline.max(0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut m = MemoryMeter::new(100);
+        m.alloc(1000);
+        m.alloc(500);
+        m.free(1200);
+        m.alloc(50);
+        assert_eq!(m.live_bytes(), 450);
+        assert_eq!(m.peak_bytes(), 1600);
+        assert_eq!(m.baseline_bytes(), 100);
+    }
+
+    #[test]
+    fn adjust_moves_both_ways() {
+        let mut m = MemoryMeter::new(0);
+        m.adjust(700);
+        m.adjust(-200);
+        assert_eq!(m.live_bytes(), 500);
+        assert_eq!(m.peak_bytes(), 700);
+    }
+}

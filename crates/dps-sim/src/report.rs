@@ -1,0 +1,141 @@
+//! Run reports: what a simulation (or testbed emulation) run produces.
+
+use desim::{SimDuration, SimTime};
+use netmodel::network::NetStats;
+
+use crate::trace::Trace;
+
+/// A span of the run delimited by consecutive marks, with the resource usage
+/// needed to compute **dynamic efficiency** over it.
+#[derive(Clone, Debug)]
+pub struct Interval {
+    /// Label of the mark *ending* this interval (`"end"` for the tail).
+    pub label: String,
+    /// Step start (virtual time).
+    pub start: SimTime,
+    /// Step end (virtual time).
+    pub end: SimTime,
+    /// Pure computation work executed during the interval, in cpu-time —
+    /// what a single processor would have needed (the numerator of the
+    /// paper's efficiency).
+    pub cpu_work: SimDuration,
+    /// Integral of allocated nodes over the interval (node·seconds) — the
+    /// denominator of the paper's efficiency.
+    pub node_seconds: f64,
+}
+
+impl Interval {
+    /// Wall-clock span of the interval.
+    pub fn span(&self) -> SimDuration {
+        self.end - self.start
+    }
+
+    /// Dynamic efficiency over this interval:
+    /// `cpu_work / (allocated nodes × elapsed time)`.
+    pub fn efficiency(&self) -> f64 {
+        if self.node_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.cpu_work.as_secs_f64() / self.node_seconds
+    }
+}
+
+/// Result of one run.
+#[derive(Debug, Default)]
+pub struct RunReport {
+    /// Virtual time at which the application terminated (or the engine went
+    /// quiescent).
+    pub completion: SimTime,
+    /// Whether the application called `terminate`. `false` with pending
+    /// work indicates a deadlock or a wiring bug; see `stall`.
+    pub terminated: bool,
+    /// Diagnostic when the run stalled without terminating.
+    pub stall: Option<String>,
+    /// Named instants recorded by the application, in time order.
+    pub marks: Vec<(String, SimTime)>,
+    /// Mark-delimited intervals with efficiency data.
+    pub intervals: Vec<Interval>,
+    /// Total computation work of the run (cpu-time).
+    pub total_cpu_work: SimDuration,
+    /// Timeline of (time, allocated node count) changes; first entry at 0.
+    pub alloc_timeline: Vec<(SimTime, usize)>,
+    /// Peak modeled memory.
+    pub mem_peak_bytes: u64,
+    /// Atomic steps executed.
+    pub steps: u64,
+    /// Largest data-object queue observed at any (operation, thread)
+    /// server — what DPS flow control exists to bound (paper §2).
+    pub max_queue_len: usize,
+    /// Network transfer statistics.
+    pub net: NetStats,
+    /// Host wall-clock cost of performing the simulation (Table 1's
+    /// "running time" column).
+    pub host_wall: std::time::Duration,
+    /// Optional full trace.
+    pub trace: Option<Trace>,
+}
+
+impl RunReport {
+    /// Virtual completion time in seconds (the paper's "predicted running
+    /// time").
+    pub fn predicted_secs(&self) -> f64 {
+        self.completion.as_secs_f64()
+    }
+
+    /// Time of a mark by label, if recorded.
+    pub fn mark_time(&self, label: &str) -> Option<SimTime> {
+        self.marks
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|&(_, t)| t)
+    }
+
+    /// Overall efficiency of the whole run.
+    pub fn overall_efficiency(&self) -> f64 {
+        let node_seconds: f64 = self.intervals.iter().map(|i| i.node_seconds).sum();
+        if node_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.total_cpu_work.as_secs_f64() / node_seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_efficiency() {
+        let i = Interval {
+            label: "iter:1".into(),
+            start: SimTime::ZERO,
+            end: SimTime(10_000_000_000),
+            cpu_work: SimDuration::from_secs(24),
+            node_seconds: 40.0, // 4 nodes for 10 s
+        };
+        assert!((i.efficiency() - 0.6).abs() < 1e-12);
+        assert_eq!(i.span(), SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn zero_nodes_is_zero_efficiency() {
+        let i = Interval {
+            label: "x".into(),
+            start: SimTime::ZERO,
+            end: SimTime::ZERO,
+            cpu_work: SimDuration::ZERO,
+            node_seconds: 0.0,
+        };
+        assert_eq!(i.efficiency(), 0.0);
+    }
+
+    #[test]
+    fn report_mark_lookup() {
+        let r = RunReport {
+            marks: vec![("a".into(), SimTime(5)), ("b".into(), SimTime(9))],
+            ..Default::default()
+        };
+        assert_eq!(r.mark_time("b"), Some(SimTime(9)));
+        assert_eq!(r.mark_time("c"), None);
+    }
+}

@@ -1,0 +1,218 @@
+//! Execution traces: the simulator's reconstruction of the parallel
+//! schedule (the paper's Figure 2 timing diagrams).
+
+use desim::SimTime;
+use dps::{OpId, ThreadId};
+use netmodel::NodeId;
+
+/// One executed atomic step (computation part of an operation).
+#[derive(Clone, Debug)]
+pub struct StepRecord {
+    /// Thread the step ran on.
+    pub thread: ThreadId,
+    /// Node hosting the thread.
+    pub node: NodeId,
+    /// Target operation.
+    pub op: OpId,
+    /// Operation name.
+    pub op_name: String,
+    /// Step start (virtual time).
+    pub start: SimTime,
+    /// Step end (virtual time).
+    pub end: SimTime,
+}
+
+/// One data-object transfer over the network.
+#[derive(Clone, Debug)]
+pub struct TransferRecord {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Wire bytes transferred.
+    pub bytes: u64,
+    /// Step start (virtual time).
+    pub start: SimTime,
+    /// Step end (virtual time).
+    pub end: SimTime,
+}
+
+/// Full trace of a simulated run.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// Executed atomic steps.
+    pub steps: Vec<StepRecord>,
+    /// Completed transfers.
+    pub transfers: Vec<TransferRecord>,
+}
+
+impl Trace {
+    /// Renders a coarse textual Gantt chart: one row per thread, `width`
+    /// character columns spanning the run. Each cell shows the first letter
+    /// of the operation that was computing there (or '.' for idle).
+    pub fn gantt(&self, width: usize) -> String {
+        let horizon = self
+            .steps
+            .iter()
+            .map(|s| s.end)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+            .as_nanos()
+            .max(1);
+        let mut threads: Vec<ThreadId> = self.steps.iter().map(|s| s.thread).collect();
+        threads.sort_unstable();
+        threads.dedup();
+
+        let mut out = String::new();
+        for t in threads {
+            let mut row = vec!['.'; width];
+            for s in self.steps.iter().filter(|s| s.thread == t) {
+                let a = (s.start.as_nanos() as u128 * width as u128 / horizon as u128) as usize;
+                let b = (s.end.as_nanos() as u128 * width as u128 / horizon as u128) as usize;
+                let ch = s.op_name.chars().next().unwrap_or('#');
+                for cell in row.iter_mut().take(b.max(a + 1).min(width)).skip(a.min(width - 1)) {
+                    *cell = ch;
+                }
+            }
+            out.push_str(&format!("{:>4} |", format!("T{}", t.0)));
+            out.extend(row);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Exports the trace in Chrome's trace-event JSON format (load in
+    /// `chrome://tracing` or Perfetto): one track per DPS thread for the
+    /// atomic steps, one per node pair for transfers.
+    pub fn to_chrome_trace(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let mut out = String::from("[");
+        let mut first = true;
+        let mut push = |ev: String, first: &mut bool| {
+            if !*first {
+                out.push(',');
+            }
+            *first = false;
+            out.push('\n');
+            out.push_str(&ev);
+        };
+        for s in &self.steps {
+            let dur_us = (s.end.as_nanos() - s.start.as_nanos()) as f64 / 1e3;
+            push(
+                format!(
+                    r#"{{"name":"{}","cat":"step","ph":"X","ts":{:.3},"dur":{:.3},"pid":{},"tid":{}}}"#,
+                    esc(&s.op_name),
+                    s.start.as_nanos() as f64 / 1e3,
+                    dur_us,
+                    s.node.0,
+                    s.thread.0
+                ),
+                &mut first,
+            );
+        }
+        for t in &self.transfers {
+            let dur_us = (t.end.as_nanos() - t.start.as_nanos()) as f64 / 1e3;
+            push(
+                format!(
+                    r#"{{"name":"xfer {}B","cat":"net","ph":"X","ts":{:.3},"dur":{:.3},"pid":1000,"tid":{}}}"#,
+                    t.bytes,
+                    t.start.as_nanos() as f64 / 1e3,
+                    dur_us,
+                    t.src.0 * 1000 + t.dst.0
+                ),
+                &mut first,
+            );
+        }
+        out.push_str("\n]\n");
+        out
+    }
+
+    /// Total busy time (sum of step durations) per thread, sorted by thread.
+    pub fn busy_by_thread(&self) -> Vec<(ThreadId, desim::SimDuration)> {
+        use std::collections::BTreeMap;
+        let mut m: BTreeMap<ThreadId, desim::SimDuration> = BTreeMap::new();
+        for s in &self.steps {
+            *m.entry(s.thread).or_default() += s.end - s.start;
+        }
+        m.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::SimDuration;
+
+    fn step(t: u32, name: &str, a: u64, b: u64) -> StepRecord {
+        StepRecord {
+            thread: ThreadId(t),
+            node: NodeId(t),
+            op: OpId(0),
+            op_name: name.to_string(),
+            start: SimTime(a),
+            end: SimTime(b),
+        }
+    }
+
+    #[test]
+    fn gantt_renders_rows_per_thread() {
+        let tr = Trace {
+            steps: vec![step(0, "split", 0, 50), step(1, "op", 50, 100)],
+            transfers: vec![],
+        };
+        let g = tr.gantt(20);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains('s'));
+        assert!(lines[1].contains('o'));
+        assert!(lines[0].starts_with("  T0 |"));
+    }
+
+    #[test]
+    fn busy_sums_per_thread() {
+        let tr = Trace {
+            steps: vec![step(0, "a", 0, 10), step(0, "b", 20, 50), step(2, "c", 0, 5)],
+            transfers: vec![],
+        };
+        let busy = tr.busy_by_thread();
+        assert_eq!(
+            busy,
+            vec![
+                (ThreadId(0), SimDuration(40)),
+                (ThreadId(2), SimDuration(5))
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_trace_gantt_is_empty() {
+        assert_eq!(Trace::default().gantt(10), "");
+    }
+
+    #[test]
+    fn chrome_trace_is_wellformed_json() {
+        let tr = Trace {
+            steps: vec![step(0, "split \"odd\"", 1000, 51000)],
+            transfers: vec![TransferRecord {
+                src: NodeId(0),
+                dst: NodeId(1),
+                bytes: 1234,
+                start: SimTime(0),
+                end: SimTime(2000),
+            }],
+        };
+        let json = tr.to_chrome_trace();
+        assert!(json.starts_with('['));
+        assert!(json.trim_end().ends_with(']'));
+        assert!(json.contains(r#""ph":"X""#));
+        assert!(json.contains("xfer 1234B"));
+        // The quote in the op name is escaped.
+        assert!(json.contains("split \\\"odd\\\""));
+        // Rough JSON sanity: balanced braces.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+}

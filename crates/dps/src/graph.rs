@@ -1,0 +1,324 @@
+//! Flow graphs: the static structure of a DPS application.
+//!
+//! A flow graph is a DAG of operation declarations connected by directed
+//! edges. Each edge carries a routing function (stored in
+//! [`crate::app::Application`]); the graph itself holds only the topology so
+//! it can be validated and displayed independently.
+//!
+//! The paper's flow graphs are acyclic, with recursion (e.g. the LU
+//! factorization levels) expressed by *replicating* a portion of the graph
+//! per level (its Figure 5). Implementations routinely roll that replication
+//! back up: one operation instance serves every level, with the level index
+//! carried in the data objects. The rolled graph contains cycles whose
+//! unrolled form is acyclic, so [`FlowGraph::validate`] accepts cycles;
+//! [`FlowGraph::is_acyclic`] is available for applications that want the
+//! strict structural check on an unrolled graph.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifies an operation within a flow graph.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct OpId(pub u32);
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// The fundamental DPS operation kinds.
+///
+/// The kinds describe the operation's role in the graph. Engines treat all
+/// kinds uniformly — behaviour is supplied by the application — but the kind
+/// drives validation (e.g. only split/stream operations may carry a
+/// flow-control window) and trace labels.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OpKind {
+    /// Divides incoming data objects into smaller subtask objects.
+    Split,
+    /// Processes one data object, producing (at most) one output.
+    Leaf,
+    /// Collects and aggregates results into a single output object.
+    Merge,
+    /// A merge combined with a subsequent split: streams out new data
+    /// objects based on groups of incoming objects, refining the
+    /// synchronization granularity to maximize pipelining.
+    Stream,
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpKind::Split => "split",
+            OpKind::Leaf => "leaf",
+            OpKind::Merge => "merge",
+            OpKind::Stream => "stream",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Static description of one operation.
+#[derive(Clone, Debug)]
+pub struct OpDecl {
+    /// The operation's id within the graph.
+    pub id: OpId,
+    /// Unique operation name.
+    pub name: String,
+    /// Split / leaf / merge / stream role.
+    pub kind: OpKind,
+}
+
+/// An edge of the flow graph (router stored separately in the application).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EdgeId(pub u32);
+
+/// Declaration of one directed edge.
+#[derive(Clone, Debug)]
+pub struct EdgeDecl {
+    /// The edge's id within the graph.
+    pub id: EdgeId,
+    /// Source operation.
+    pub from: OpId,
+    /// Destination operation.
+    pub to: OpId,
+}
+
+/// The operation graph of a DPS application.
+#[derive(Clone, Debug, Default)]
+pub struct FlowGraph {
+    ops: Vec<OpDecl>,
+    edges: Vec<EdgeDecl>,
+    by_name: BTreeMap<String, OpId>,
+    /// edge lookup by (from, to)
+    edge_index: BTreeMap<(OpId, OpId), EdgeId>,
+}
+
+/// Errors detected by [`FlowGraph::validate`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum GraphError {
+    /// Two operations share a name.
+    DuplicateOpName(String),
+    /// The same (from, to) edge declared twice.
+    DuplicateEdge(OpId, OpId),
+    /// An edge references an undeclared operation.
+    UnknownOp(OpId),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::DuplicateOpName(n) => write!(f, "duplicate operation name {n:?}"),
+            GraphError::DuplicateEdge(a, b) => write!(f, "duplicate edge {a} -> {b}"),
+            GraphError::UnknownOp(id) => write!(f, "edge references unknown operation {id}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl FlowGraph {
+    /// Creates an empty instance.
+    pub fn new() -> FlowGraph {
+        FlowGraph::default()
+    }
+
+    /// Adds an operation; names must be unique (checked by `validate`).
+    pub fn add_op(&mut self, name: &str, kind: OpKind) -> OpId {
+        let id = OpId(self.ops.len() as u32);
+        self.ops.push(OpDecl {
+            id,
+            name: name.to_string(),
+            kind,
+        });
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Adds a directed edge `from -> to`.
+    pub fn add_edge(&mut self, from: OpId, to: OpId) -> EdgeId {
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(EdgeDecl { id, from, to });
+        self.edge_index.insert((from, to), id);
+        id
+    }
+
+    /// Looks up an operation declaration.
+    pub fn op(&self, id: OpId) -> &OpDecl {
+        &self.ops[id.0 as usize]
+    }
+
+    /// Looks up an operation id by name.
+    pub fn op_by_name(&self, name: &str) -> Option<OpId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Looks up an edge declaration.
+    pub fn edge(&self, id: EdgeId) -> &EdgeDecl {
+        &self.edges[id.0 as usize]
+    }
+
+    /// The edge `from -> to`, if declared.
+    pub fn edge_between(&self, from: OpId, to: OpId) -> Option<EdgeId> {
+        self.edge_index.get(&(from, to)).copied()
+    }
+
+    /// Number of operations.
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterates over operation declarations.
+    pub fn ops(&self) -> impl Iterator<Item = &OpDecl> {
+        self.ops.iter()
+    }
+
+    /// Iterates over edge declarations.
+    pub fn edges(&self) -> impl Iterator<Item = &EdgeDecl> {
+        self.edges.iter()
+    }
+
+    /// Validates the graph: unique names, known endpoints, no duplicate
+    /// edges. Cycles are allowed (see module docs).
+    pub fn validate(&self) -> Result<(), GraphError> {
+        let mut seen = std::collections::BTreeSet::new();
+        for op in &self.ops {
+            if !seen.insert(op.name.as_str()) {
+                return Err(GraphError::DuplicateOpName(op.name.clone()));
+            }
+        }
+        let mut edge_seen = std::collections::BTreeSet::new();
+        for e in &self.edges {
+            for end in [e.from, e.to] {
+                if end.0 as usize >= self.ops.len() {
+                    return Err(GraphError::UnknownOp(end));
+                }
+            }
+            if !edge_seen.insert((e.from, e.to)) {
+                return Err(GraphError::DuplicateEdge(e.from, e.to));
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the graph is a DAG (true for unrolled paper-style graphs;
+    /// rolled multi-level graphs are legitimately cyclic).
+    pub fn is_acyclic(&self) -> bool {
+        // Kahn's algorithm.
+        let n = self.ops.len();
+        let mut indeg = vec![0usize; n];
+        let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for e in &self.edges {
+            if e.from == e.to {
+                return false;
+            }
+            indeg[e.to.0 as usize] += 1;
+            succ[e.from.0 as usize].push(e.to.0 as usize);
+        }
+        let mut stack: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut visited = 0;
+        while let Some(i) = stack.pop() {
+            visited += 1;
+            for &j in &succ[i] {
+                indeg[j] -= 1;
+                if indeg[j] == 0 {
+                    stack.push(j);
+                }
+            }
+        }
+        visited == n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> (FlowGraph, OpId, OpId, OpId) {
+        let mut g = FlowGraph::new();
+        let a = g.add_op("split", OpKind::Split);
+        let b = g.add_op("leaf", OpKind::Leaf);
+        let c = g.add_op("merge", OpKind::Merge);
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        (g, a, b, c)
+    }
+
+    #[test]
+    fn valid_chain_passes() {
+        let (g, a, b, c) = chain();
+        g.validate().unwrap();
+        assert_eq!(g.op_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.op_by_name("leaf"), Some(b));
+        assert!(g.edge_between(a, b).is_some());
+        assert!(g.edge_between(a, c).is_none());
+        assert_eq!(g.op(a).kind, OpKind::Split);
+        assert!(g.is_acyclic());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut g = FlowGraph::new();
+        g.add_op("x", OpKind::Leaf);
+        g.add_op("x", OpKind::Leaf);
+        assert!(matches!(g.validate(), Err(GraphError::DuplicateOpName(_))));
+    }
+
+    #[test]
+    fn cycles_are_valid_but_detected() {
+        let mut g = FlowGraph::new();
+        let a = g.add_op("a", OpKind::Stream);
+        let b = g.add_op("b", OpKind::Leaf);
+        g.add_edge(a, b);
+        g.add_edge(b, a);
+        g.validate().unwrap();
+        assert!(!g.is_acyclic());
+    }
+
+    #[test]
+    fn self_loop_is_valid_but_cyclic() {
+        let mut g = FlowGraph::new();
+        let a = g.add_op("a", OpKind::Leaf);
+        g.add_edge(a, a);
+        g.validate().unwrap();
+        assert!(!g.is_acyclic());
+    }
+
+    #[test]
+    fn duplicate_edge_rejected() {
+        let mut g = FlowGraph::new();
+        let a = g.add_op("a", OpKind::Leaf);
+        let b = g.add_op("b", OpKind::Leaf);
+        g.add_edge(a, b);
+        g.add_edge(a, b);
+        assert_eq!(g.validate(), Err(GraphError::DuplicateEdge(a, b)));
+    }
+
+    #[test]
+    fn diamond_is_acyclic() {
+        let mut g = FlowGraph::new();
+        let a = g.add_op("a", OpKind::Split);
+        let b = g.add_op("b", OpKind::Leaf);
+        let c = g.add_op("c", OpKind::Leaf);
+        let d = g.add_op("d", OpKind::Merge);
+        g.add_edge(a, b);
+        g.add_edge(a, c);
+        g.add_edge(b, d);
+        g.add_edge(c, d);
+        g.validate().unwrap();
+        assert!(g.is_acyclic());
+    }
+
+    #[test]
+    fn kinds_display() {
+        assert_eq!(OpKind::Stream.to_string(), "stream");
+        assert_eq!(OpId(3).to_string(), "op3");
+    }
+}

@@ -1,0 +1,108 @@
+//! The Dynamic Parallel Schedules (DPS) framework.
+//!
+//! DPS applications are directed acyclic graphs of operations — **split**,
+//! **merge**, **stream** and **leaf** — exchanging strongly typed data
+//! objects ([`object::DataObject`]). Operations run within logical **DPS
+//! threads** deployed onto compute nodes; a user **routing function**
+//! attached to each flow-graph edge selects the destination thread of every
+//! posted data object at runtime. Execution is fully pipelined and
+//! asynchronous: data objects are transferred as soon as they are generated
+//! and queue at the consuming thread. A **flow-control** window can bound the
+//! number of data objects in circulation between a split (or stream) and its
+//! matching merge.
+//!
+//! This crate defines the *programming model* only: graphs, data objects,
+//! routing, deployment, operation behaviours, and the [`op::OpCtx`] contract
+//! operations are written against. *Executing* an application is the job of
+//! an engine — `dps-sim` provides the paper's direct-execution simulator,
+//! `testbed` the ground-truth cluster emulator and a native OS-thread
+//! runner. The same [`app::Application`] value runs unmodified on all of
+//! them, which is the property the paper relies on ("the simulated
+//! application is obtained by simply activating a compilation flag").
+//!
+//! # Example
+//!
+//! A minimal split → leaf → merge graph (the paper's Figure 1):
+//!
+//! ```
+//! use dps::prelude::*;
+//!
+//! struct Work(u64);
+//! struct Piece(u64);
+//! struct Result(u64);
+//! dps::wire_size_fixed!(Work, 8);
+//! dps::wire_size_fixed!(Piece, 8);
+//! dps::wire_size_fixed!(Result, 8);
+//!
+//! let mut b = AppBuilder::new("sum");
+//! b.thread_group("workers", 4);            // threads 0..4 on nodes 0..4
+//! let main = b.thread_on_node("main", 4);  // thread 4 on node 4
+//!
+//! // Declare ops first so closures can reference their ids.
+//! let split = b.declare("split", OpKind::Split);
+//! let leaf = b.declare("compute", OpKind::Leaf);
+//! let merge = b.declare("merge", OpKind::Merge);
+//!
+//! b.body(split, move |_, _| {
+//!     op_fn(move |obj: DataObj, ctx: &mut dyn OpCtx| {
+//!         let w: Work = downcast(obj);
+//!         for i in 0..w.0 {
+//!             ctx.charge(SimDuration::from_micros(10));
+//!             ctx.post(leaf, Box::new(Piece(i)));
+//!         }
+//!     })
+//! });
+//! b.body(leaf, move |_, _| {
+//!     op_fn(move |obj: DataObj, ctx: &mut dyn OpCtx| {
+//!         let p: Piece = downcast(obj);
+//!         ctx.charge(SimDuration::from_millis(1));
+//!         ctx.post(merge, Box::new(Result(p.0 * 2)));
+//!     })
+//! });
+//! b.body(merge, move |_, _| {
+//!     let mut seen = 0u64;
+//!     op_fn(move |obj: DataObj, ctx: &mut dyn OpCtx| {
+//!         let _r: Result = downcast(obj);
+//!         seen += 1;
+//!         if seen == 8 {
+//!             ctx.terminate();
+//!         }
+//!     })
+//! });
+//!
+//! b.edge(split, leaf, round_robin("workers"));
+//! b.edge(leaf, merge, to_thread(main));
+//! b.start(split, main, || Box::new(Work(8)));
+//! let app = b.build().unwrap();
+//! assert_eq!(app.graph().op_count(), 3);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod deploy;
+pub mod graph;
+pub mod object;
+pub mod op;
+pub mod route;
+pub mod window;
+
+pub use app::{AppBuilder, Application, BuildError, FlowControl, StartSpec};
+pub use deploy::{ActiveSet, Deployment, ThreadId};
+pub use graph::{EdgeId, FlowGraph, GraphError, OpId, OpKind};
+pub use object::{downcast, downcast_ref, DataObj, DataObject, WireSize};
+pub use op::{charge_secs, op_fn, OpCtx, Operation};
+pub use route::{by_key, by_target, local_thread, relative, round_robin, to_thread, RouteCtx, Router};
+pub use window::Window;
+
+/// Everything needed to write a DPS application.
+pub mod prelude {
+    pub use crate::app::{AppBuilder, Application};
+    pub use crate::deploy::ThreadId;
+    pub use crate::graph::{OpId, OpKind};
+    pub use crate::object::{downcast, downcast_ref, DataObj, DataObject, WireSize};
+    pub use crate::op::{charge_secs, op_fn, OpCtx, Operation};
+    pub use crate::route::{by_key, by_target, local_thread, relative, round_robin, to_thread, RouteCtx};
+    pub use desim::{SimDuration, SimTime};
+    pub use netmodel::NodeId;
+}

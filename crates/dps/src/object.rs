@@ -1,0 +1,265 @@
+//! Data objects and the size-counting serializer.
+//!
+//! DPS operations exchange strongly typed data objects. For the simulator the
+//! only things that matter about an object are (a) its Rust value, which the
+//! receiving operation downcasts, (b) its **wire size** — the number of bytes
+//! the real serializer would produce, computed *without* serializing (the
+//! paper's "modified serializer \[that\] only counts the number of bytes using
+//! the size description of the data structures"), and (c) its **heap
+//! footprint**, which the memory meter tracks so that the NOALLOC simulation
+//! mode can demonstrate its memory savings.
+//!
+//! Applications implement [`DataObject`] for each payload type, typically by
+//! summing the [`WireSize`] of their fields. Under PDEXEC+NOALLOC the
+//! application swaps real payloads for ghost variants that report the same
+//! wire size while allocating nothing.
+
+use std::any::Any;
+
+/// A typed payload flowing along flow-graph edges.
+///
+/// `wire_size` must return the serialized size the real DPS serializer would
+/// produce. `heap_bytes` is the payload's heap footprint (0 for plain-old
+///-data without owned buffers); it feeds the engine's memory meter.
+pub trait DataObject: Send + 'static {
+    /// Serialized size in bytes, computed without serializing.
+    fn wire_size(&self) -> u64;
+
+    /// Approximate number of heap bytes owned by this object.
+    fn heap_bytes(&self) -> u64 {
+        0
+    }
+}
+
+/// Object-safe view of a [`DataObject`]; what engines and routers handle.
+pub trait AnyDataObject: Send {
+    /// Serialized size in bytes (size-counting serializer).
+    fn wire_size(&self) -> u64;
+    /// Heap bytes owned by the payload.
+    fn heap_bytes(&self) -> u64;
+    /// Borrow as `Any` for routing-time inspection.
+    fn as_any(&self) -> &dyn Any;
+    /// Convert to `Any` for consumption-time downcasting.
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+    /// The payload's type name; used in traces and error messages.
+    fn label(&self) -> &'static str;
+}
+
+impl<T: DataObject> AnyDataObject for T {
+    fn wire_size(&self) -> u64 {
+        DataObject::wire_size(self)
+    }
+    fn heap_bytes(&self) -> u64 {
+        DataObject::heap_bytes(self)
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+    fn label(&self) -> &'static str {
+        std::any::type_name::<T>()
+    }
+}
+
+/// A boxed data object in flight.
+pub type DataObj = Box<dyn AnyDataObject>;
+
+/// Downcasts a data object to its concrete type, panicking with the actual
+/// type name on mismatch — a mismatch is always an application wiring bug.
+pub fn downcast<T: 'static>(obj: DataObj) -> T {
+    let label = obj.label();
+    match obj.into_any().downcast::<T>() {
+        Ok(b) => *b,
+        Err(_) => panic!(
+            "data object downcast failed: expected {}, got {}",
+            std::any::type_name::<T>(),
+            label
+        ),
+    }
+}
+
+/// Borrowing variant of [`downcast`], for routers that inspect objects.
+pub fn downcast_ref<T: 'static>(obj: &dyn AnyDataObject) -> &T {
+    match obj.as_any().downcast_ref::<T>() {
+        Some(r) => r,
+        None => panic!(
+            "data object downcast failed: expected {}, got {}",
+            std::any::type_name::<T>(),
+            obj.label()
+        ),
+    }
+}
+
+/// Wire-size description of a value: how many bytes the DPS serializer would
+/// emit for it. Composite objects sum their parts; sequences add a length
+/// header.
+pub trait WireSize {
+    /// Bytes the DPS serializer would emit for this value.
+    fn wire_bytes(&self) -> u64;
+}
+
+macro_rules! fixed_wire {
+    ($($t:ty => $n:expr),* $(,)?) => {
+        $(impl WireSize for $t {
+            fn wire_bytes(&self) -> u64 { $n }
+        })*
+    };
+}
+
+fixed_wire! {
+    u8 => 1, i8 => 1, bool => 1,
+    u16 => 2, i16 => 2,
+    u32 => 4, i32 => 4, f32 => 4,
+    u64 => 8, i64 => 8, f64 => 8,
+    usize => 8, isize => 8,
+}
+
+/// Length header prepended to every serialized sequence.
+pub const SEQ_HEADER_BYTES: u64 = 4;
+
+impl<T: WireSize> WireSize for Vec<T> {
+    fn wire_bytes(&self) -> u64 {
+        SEQ_HEADER_BYTES + self.iter().map(WireSize::wire_bytes).sum::<u64>()
+    }
+}
+
+impl<T: WireSize> WireSize for [T] {
+    fn wire_bytes(&self) -> u64 {
+        SEQ_HEADER_BYTES + self.iter().map(WireSize::wire_bytes).sum::<u64>()
+    }
+}
+
+impl<T: WireSize, const N: usize> WireSize for [T; N] {
+    fn wire_bytes(&self) -> u64 {
+        self.iter().map(WireSize::wire_bytes).sum::<u64>()
+    }
+}
+
+impl WireSize for String {
+    fn wire_bytes(&self) -> u64 {
+        SEQ_HEADER_BYTES + self.len() as u64
+    }
+}
+
+impl<T: WireSize> WireSize for Option<T> {
+    fn wire_bytes(&self) -> u64 {
+        1 + self.as_ref().map_or(0, WireSize::wire_bytes)
+    }
+}
+
+impl<A: WireSize, B: WireSize> WireSize for (A, B) {
+    fn wire_bytes(&self) -> u64 {
+        self.0.wire_bytes() + self.1.wire_bytes()
+    }
+}
+
+impl<A: WireSize, B: WireSize, C: WireSize> WireSize for (A, B, C) {
+    fn wire_bytes(&self) -> u64 {
+        self.0.wire_bytes() + self.1.wire_bytes() + self.2.wire_bytes()
+    }
+}
+
+/// Implements [`DataObject`] for a type with a constant wire size and no
+/// heap footprint: `wire_size_fixed!(MyNotification, 16);`
+#[macro_export]
+macro_rules! wire_size_fixed {
+    ($t:ty, $n:expr) => {
+        impl $crate::object::DataObject for $t {
+            fn wire_size(&self) -> u64 {
+                $n
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Note(#[allow(dead_code)] u32);
+    wire_size_fixed!(Note, 4);
+
+    struct Blob {
+        data: Vec<f64>,
+    }
+    impl DataObject for Blob {
+        fn wire_size(&self) -> u64 {
+            self.data.wire_bytes()
+        }
+        fn heap_bytes(&self) -> u64 {
+            (self.data.capacity() * std::mem::size_of::<f64>()) as u64
+        }
+    }
+
+    #[test]
+    fn fixed_macro_implements_data_object() {
+        let obj: DataObj = Box::new(Note(7));
+        assert_eq!(obj.wire_size(), 4);
+        assert_eq!(obj.heap_bytes(), 0);
+        assert!(obj.label().contains("Note"));
+    }
+
+    #[test]
+    fn downcast_roundtrip() {
+        let obj: DataObj = Box::new(Note(42));
+        let n: Note = downcast(obj);
+        assert_eq!(n.0, 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "downcast failed")]
+    fn downcast_wrong_type_names_culprit() {
+        let obj: DataObj = Box::new(Note(1));
+        let _: Blob = downcast(obj);
+    }
+
+    #[test]
+    fn downcast_ref_borrows() {
+        let obj: DataObj = Box::new(Note(9));
+        assert_eq!(downcast_ref::<Note>(obj.as_ref()).0, 9);
+    }
+
+    #[test]
+    fn vec_wire_size_counts_header_and_elements() {
+        let v = vec![1.0f64; 10];
+        assert_eq!(v.wire_bytes(), SEQ_HEADER_BYTES + 80);
+        let blob = Blob { data: v };
+        assert_eq!(DataObject::wire_size(&blob), SEQ_HEADER_BYTES + 80);
+        assert!(DataObject::heap_bytes(&blob) >= 80);
+    }
+
+    #[test]
+    fn nested_and_composite_sizes() {
+        let vv: Vec<Vec<u8>> = vec![vec![0u8; 3], vec![0u8; 5]];
+        // outer header + (header + 3) + (header + 5)
+        assert_eq!(vv.wire_bytes(), 4 + (4 + 3) + (4 + 5));
+        assert_eq!((1u32, 2.0f64).wire_bytes(), 12);
+        assert_eq!((1u8, 2u8, 3u16).wire_bytes(), 4);
+        assert_eq!(Some(5u64).wire_bytes(), 9);
+        assert_eq!(None::<u64>.wire_bytes(), 1);
+        assert_eq!("abc".to_string().wire_bytes(), 7);
+        assert_eq!([1u32; 4].wire_bytes(), 16);
+    }
+
+    /// The NOALLOC pattern: a ghost reporting a declared wire size while
+    /// owning no heap memory.
+    struct Ghost {
+        declared: u64,
+    }
+    impl DataObject for Ghost {
+        fn wire_size(&self) -> u64 {
+            self.declared
+        }
+    }
+
+    #[test]
+    fn ghost_objects_report_size_without_allocation() {
+        let g: DataObj = Box::new(Ghost {
+            declared: 1_000_000,
+        });
+        assert_eq!(g.wire_size(), 1_000_000);
+        assert_eq!(g.heap_bytes(), 0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Operation behaviour and the engine contract.
+//!
+//! Applications implement [`Operation`] per operation; the engine
+//! instantiates one behaviour object per *(operation, thread)* pair — DPS
+//! operations carry thread-local state (e.g. the column blocks an LU worker
+//! stores) — and calls [`Operation::on_object`] whenever a data object
+//! arrives for it.
+//!
+//! Inside `on_object` the operation talks to the engine through [`OpCtx`]:
+//!
+//! * [`OpCtx::post`] emits a data object along a flow-graph edge. Each post
+//!   terminates the current **atomic step**, exactly as in the paper: an
+//!   atomic step ends when a data object is posted or the operation
+//!   terminates.
+//! * [`OpCtx::charge`] declares modeled computation time for the current
+//!   atomic step — this is **partial direct execution**. If an atomic step
+//!   carries no charge, engines that support direct execution fall back to
+//!   the host wall-clock time they measured for it; thus direct and partial
+//!   direct execution mix freely, per atomic step.
+//! * [`OpCtx::mark`] records a named instant (iteration boundaries for the
+//!   dynamic-efficiency analysis).
+//! * [`OpCtx::deactivate_thread`] dynamically removes a thread from the
+//!   active set (dynamic node deallocation).
+//! * [`OpCtx::fc_release`] returns one flow-control credit to a window (see
+//!   [`crate::window`]).
+//! * [`OpCtx::terminate`] marks application completion.
+//!
+//! The *effects* of these calls take place in virtual time when the
+//! enclosing atomic step completes, not when the Rust closure runs — the
+//! engine replays the recorded steps under its CPU and network models.
+
+use desim::{SimDuration, SimTime};
+use netmodel::NodeId;
+
+use crate::deploy::ThreadId;
+use crate::graph::OpId;
+use crate::object::DataObj;
+
+/// Behaviour of one operation on one thread.
+pub trait Operation: Send {
+    /// Invoked when a data object arrives for this operation instance.
+    fn on_object(&mut self, obj: DataObj, ctx: &mut dyn OpCtx);
+}
+
+/// Engine services available to operations (see module docs).
+pub trait OpCtx {
+    /// Emits `obj` along the edge from the current operation to `to`. The
+    /// edge must exist in the flow graph; the edge's routing function picks
+    /// the destination thread. Ends the current atomic step.
+    fn post(&mut self, to: OpId, obj: DataObj);
+
+    /// Adds modeled computation time to the current atomic step (partial
+    /// direct execution).
+    fn charge(&mut self, d: SimDuration);
+
+    /// Current virtual time (start of the current operation invocation).
+    fn now(&self) -> SimTime;
+
+    /// The thread this operation instance runs on.
+    fn self_thread(&self) -> ThreadId;
+
+    /// The node hosting a thread.
+    fn node_of(&self, t: ThreadId) -> NodeId;
+
+    /// Active threads of a deployment group, in declaration order.
+    fn active_threads(&self, group: &str) -> Vec<ThreadId>;
+
+    /// All threads of a deployment group, active or not.
+    fn all_threads(&self, group: &str) -> Vec<ThreadId>;
+
+    /// Records a named instant in the run report (e.g. `"iter:3"`).
+    fn mark(&mut self, label: &str);
+
+    /// Removes a thread from the active set when the current atomic step
+    /// completes. Routing helpers stop selecting it; a node with no active
+    /// threads counts as deallocated.
+    fn deactivate_thread(&mut self, t: ThreadId);
+
+    /// Returns one credit to the flow-control window of `source` (an op the
+    /// application declared a window for).
+    fn fc_release(&mut self, source: OpId);
+
+    /// Adjusts the modeled application state memory (bytes held in operation
+    /// state, e.g. stored matrix blocks). Positive allocates, negative
+    /// frees.
+    fn account_state(&mut self, delta_bytes: i64);
+
+    /// Declares the application complete; the engine stops once in-flight
+    /// work settles.
+    fn terminate(&mut self);
+}
+
+/// Helper: charge a floating-point number of seconds.
+pub fn charge_secs(ctx: &mut dyn OpCtx, secs: f64) {
+    ctx.charge(SimDuration::from_secs_f64(secs));
+}
+
+struct FnOp<F>(F);
+
+impl<F: FnMut(DataObj, &mut dyn OpCtx) + Send> Operation for FnOp<F> {
+    fn on_object(&mut self, obj: DataObj, ctx: &mut dyn OpCtx) {
+        (self.0)(obj, ctx)
+    }
+}
+
+/// Wraps a closure as an [`Operation`]. Stateful operations capture their
+/// state with `move`.
+pub fn op_fn<F: FnMut(DataObj, &mut dyn OpCtx) + Send + 'static>(f: F) -> Box<dyn Operation> {
+    Box::new(FnOp(f))
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! A minimal recording `OpCtx` used by unit tests across the crate (and
+    //! re-created in spirit by the engines' own tests).
+
+    use super::*;
+
+    #[derive(Default)]
+    pub struct RecordingCtx {
+        pub posts: Vec<(OpId, &'static str, u64)>,
+        pub charged: Vec<SimDuration>,
+        pub marks: Vec<String>,
+        pub terminated: bool,
+        pub released: Vec<OpId>,
+        pub state_bytes: i64,
+    }
+
+    impl OpCtx for RecordingCtx {
+        fn post(&mut self, to: OpId, obj: DataObj) {
+            self.posts.push((to, obj.label(), obj.wire_size()));
+        }
+        fn charge(&mut self, d: SimDuration) {
+            self.charged.push(d);
+        }
+        fn now(&self) -> SimTime {
+            SimTime::ZERO
+        }
+        fn self_thread(&self) -> ThreadId {
+            ThreadId(0)
+        }
+        fn node_of(&self, _t: ThreadId) -> NodeId {
+            NodeId(0)
+        }
+        fn active_threads(&self, _group: &str) -> Vec<ThreadId> {
+            vec![ThreadId(0)]
+        }
+        fn all_threads(&self, _group: &str) -> Vec<ThreadId> {
+            vec![ThreadId(0)]
+        }
+        fn mark(&mut self, label: &str) {
+            self.marks.push(label.to_string());
+        }
+        fn deactivate_thread(&mut self, _t: ThreadId) {}
+        fn fc_release(&mut self, source: OpId) {
+            self.released.push(source);
+        }
+        fn account_state(&mut self, delta_bytes: i64) {
+            self.state_bytes += delta_bytes;
+        }
+        fn terminate(&mut self) {
+            self.terminated = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::RecordingCtx;
+    use super::*;
+
+    struct Ping(u64);
+    crate::wire_size_fixed!(Ping, 8);
+
+    #[test]
+    fn op_fn_wraps_closure_with_state() {
+        let mut count = 0u64;
+        let mut op = op_fn(move |obj: DataObj, ctx: &mut dyn OpCtx| {
+            let p: Ping = crate::object::downcast(obj);
+            count += p.0;
+            ctx.charge(SimDuration::from_micros(count));
+            ctx.post(OpId(1), Box::new(Ping(count)));
+        });
+        let mut ctx = RecordingCtx::default();
+        op.on_object(Box::new(Ping(2)), &mut ctx);
+        op.on_object(Box::new(Ping(3)), &mut ctx);
+        assert_eq!(ctx.charged.len(), 2);
+        assert_eq!(ctx.charged[1], SimDuration::from_micros(5));
+        assert_eq!(ctx.posts.len(), 2);
+        assert_eq!(ctx.posts[1].0, OpId(1));
+    }
+
+    #[test]
+    fn charge_secs_converts() {
+        let mut ctx = RecordingCtx::default();
+        charge_secs(&mut ctx, 1.5e-3);
+        assert_eq!(ctx.charged[0], SimDuration::from_micros(1500));
+    }
+}

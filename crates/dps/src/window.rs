@@ -1,0 +1,118 @@
+//! Flow-control windows.
+//!
+//! DPS's flow-control mechanism limits the number of data objects in
+//! circulation between a split (or stream) operation and the corresponding
+//! merge, preventing split operations from flooding the data-object queues
+//! of destination threads and enabling successive iterations to interleave
+//! (the paper's Figure 6).
+//!
+//! [`Window`] is the credit-counting state engines keep per flow-controlled
+//! operation: a post from the source consumes one credit ([`Window::try_acquire`]);
+//! the application returns credits via `OpCtx::fc_release` when the matching
+//! merge consumes a result ([`Window::release`]). When no credit is
+//! available, the engine suspends the source operation's remaining atomic
+//! steps until a credit returns.
+
+/// Credit window of one flow-controlled operation.
+#[derive(Clone, Debug)]
+pub struct Window {
+    limit: usize,
+    in_flight: usize,
+}
+
+impl Window {
+    /// Creates an empty instance.
+    pub fn new(limit: usize) -> Window {
+        assert!(limit > 0, "flow-control window must be positive");
+        Window {
+            limit,
+            in_flight: 0,
+        }
+    }
+
+    /// Consumes one credit if available. Returns `false` when the window is
+    /// full (the caller must suspend).
+    pub fn try_acquire(&mut self) -> bool {
+        if self.in_flight < self.limit {
+            self.in_flight += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns one credit. Releasing more credits than were acquired is an
+    /// application bug (an unbalanced `fc_release`).
+    pub fn release(&mut self) {
+        assert!(self.in_flight > 0, "flow-control release without acquire");
+        self.in_flight -= 1;
+    }
+
+    /// Credits currently held.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// The window size.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Whether a credit is available.
+    pub fn has_credit(&self) -> bool {
+        self.in_flight < self.limit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_until_full_then_release() {
+        let mut w = Window::new(2);
+        assert!(w.try_acquire());
+        assert!(w.try_acquire());
+        assert!(!w.try_acquire());
+        assert_eq!(w.in_flight(), 2);
+        w.release();
+        assert!(w.has_credit());
+        assert!(w.try_acquire());
+        assert!(!w.try_acquire());
+    }
+
+    #[test]
+    #[should_panic(expected = "release without acquire")]
+    fn unbalanced_release_panics() {
+        Window::new(1).release();
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_window_rejected() {
+        Window::new(0);
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// in_flight never exceeds the limit under any acquire/release
+        /// interleaving that only releases held credits.
+        #[test]
+        fn never_exceeds_limit(limit in 1usize..16, ops in prop::collection::vec(any::<bool>(), 0..200)) {
+            let mut w = Window::new(limit);
+            for acquire in ops {
+                if acquire {
+                    let _ = w.try_acquire();
+                } else if w.in_flight() > 0 {
+                    w.release();
+                }
+                prop_assert!(w.in_flight() <= w.limit());
+            }
+        }
+    }
+}

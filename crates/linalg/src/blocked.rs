@@ -1,0 +1,124 @@
+//! Sequential blocked LU factorization — the reference the distributed DPS
+//! implementation is validated against, and the workload of the "real
+//! application (1 node)" measurements.
+//!
+//! Follows the paper's §5 recursion exactly: factor the `r`-wide panel with
+//! partial pivoting, flip rows of the other column blocks, solve the
+//! triangular system for `T12`, update `B ← B − L21·T12`, recurse on `B`.
+
+use crate::kernels::{gemm_sub, panel_lu, trsm_lower_unit};
+use crate::matrix::Matrix;
+
+/// Result of a blocked LU factorization.
+pub struct LuFactors {
+    /// Compact storage: strictly-lower part holds `L` (unit diagonal
+    /// implied), upper part holds `U`.
+    pub lu: Matrix,
+    /// `pivots[k]` is the (global) row swapped with row `k` at elimination
+    /// step `k`.
+    pub pivots: Vec<usize>,
+}
+
+/// Factorizes `a` with block size `r` (must divide the matrix order).
+pub fn lu_blocked(a: &Matrix, r: usize) -> LuFactors {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "LU factorization needs a square matrix");
+    assert!(r > 0 && n.is_multiple_of(r), "block size {r} must divide order {n}");
+    let mut lu = a.clone();
+    let mut pivots = Vec::with_capacity(n);
+
+    for k0 in (0..n).step_by(r) {
+        let m = n - k0;
+        // Step 1: panel LU with partial pivoting.
+        let mut panel = lu.block(k0, k0, m, r);
+        let mut local_piv = Vec::new();
+        panel_lu(&mut panel, &mut local_piv);
+        lu.set_block(k0, k0, &panel);
+        // Row flipping on all other columns (right of the panel and, for the
+        // final factor assembly, left of it).
+        for (k, &p) in local_piv.iter().enumerate() {
+            if p != k {
+                lu.swap_rows_range(k0 + k, k0 + p, 0, k0);
+                lu.swap_rows_range(k0 + k, k0 + p, k0 + r, n - k0 - r);
+            }
+            pivots.push(k0 + p);
+        }
+        if k0 + r == n {
+            break;
+        }
+        // Step 2: T12 = L11^{-1} · A12.
+        let l11 = lu.block(k0, k0, r, r);
+        let mut t12 = lu.block(k0, k0 + r, r, n - k0 - r);
+        trsm_lower_unit(&l11, &mut t12);
+        lu.set_block(k0, k0 + r, &t12);
+        // Step 3: B -= L21 · T12.
+        let l21 = lu.block(k0 + r, k0, n - k0 - r, r);
+        let mut b = lu.block(k0 + r, k0 + r, n - k0 - r, n - k0 - r);
+        gemm_sub(&mut b, &l21, &t12);
+        lu.set_block(k0 + r, k0 + r, &b);
+    }
+    LuFactors { lu, pivots }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::lu_residual;
+
+    #[test]
+    fn blocked_lu_reconstructs_for_various_block_sizes() {
+        let n = 24;
+        let a = Matrix::random(n, n, 77);
+        for r in [1, 2, 3, 4, 6, 8, 12, 24] {
+            let f = lu_blocked(&a, r);
+            let res = lu_residual(&a, &f);
+            assert!(res < 1e-10, "residual {res} for r={r}");
+        }
+    }
+
+    #[test]
+    fn block_size_equal_to_order_is_plain_lu() {
+        let a = Matrix::random(8, 8, 5);
+        let full = lu_blocked(&a, 8);
+        let blocked = lu_blocked(&a, 2);
+        // Same factorization up to rounding (partial pivoting is
+        // deterministic for a fixed matrix).
+        let res = crate::verify::max_abs_diff(&full.lu, &blocked.lu);
+        assert!(res < 1e-9, "factorizations diverge: {res}");
+        assert_eq!(full.pivots, blocked.pivots);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn indivisible_block_size_rejected() {
+        let a = Matrix::random(10, 10, 1);
+        lu_blocked(&a, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_rejected() {
+        let a = Matrix::random(4, 6, 1);
+        lu_blocked(&a, 2);
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use crate::verify::lu_residual;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// P·A = L·U for random matrices and any dividing block size.
+        #[test]
+        fn lu_blocked_residual_small(blocks in 1usize..6, r in 1usize..6, seed in 0u64..500) {
+            let n = blocks * r;
+            let a = Matrix::random(n, n, seed);
+            let f = lu_blocked(&a, r);
+            prop_assert!(lu_residual(&a, &f) < 1e-8);
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Floating-point operation counts of the LU kernels — the basis of the
+//! partial-direct-execution cost models in `perfmodel`.
+
+/// Total flops of an LU factorization of order `n` (≈ 2n³/3).
+pub fn lu_flops(n: usize) -> f64 {
+    let n = n as f64;
+    2.0 * n * n * n / 3.0 - n * n / 2.0
+}
+
+/// Flops of a partial-pivoting panel factorization of an `m × r` panel:
+/// step `k` eliminates `m−k−1` rows over `r−k−1` trailing columns (2 flops
+/// each) plus one division per row.
+pub fn panel_flops(m: usize, r: usize) -> f64 {
+    let mut total = 0.0;
+    for k in 0..r {
+        let rows = (m - k - 1) as f64;
+        let cols = (r - k - 1) as f64;
+        total += rows * (2.0 * cols + 1.0);
+    }
+    total
+}
+
+/// Flops of `C -= A·B` with `A: m×k`, `B: k×n`.
+pub fn gemm_flops(m: usize, n: usize, k: usize) -> f64 {
+    2.0 * m as f64 * n as f64 * k as f64
+}
+
+/// Flops of a unit-lower triangular solve with `r × r` triangle and `c`
+/// right-hand sides.
+pub fn trsm_flops(r: usize, c: usize) -> f64 {
+    (r * r) as f64 * c as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lu_flops_is_two_thirds_cubed() {
+        let n = 1000;
+        let f = lu_flops(n);
+        let expect = 2.0 / 3.0 * 1e9;
+        assert!((f - expect).abs() / expect < 0.01);
+    }
+
+    #[test]
+    fn panel_flops_square_panel_close_to_lu() {
+        // A square panel (m == r) is a full LU of order r.
+        let f = panel_flops(500, 500);
+        let lu = lu_flops(500);
+        assert!((f - lu).abs() / lu < 0.05, "panel {f} vs lu {lu}");
+    }
+
+    #[test]
+    fn blocked_lu_flops_decompose_consistently() {
+        // Sum of per-iteration kernel flops ≈ total LU flops.
+        let n = 1024;
+        let r = 128;
+        let kb = n / r;
+        let mut total = 0.0;
+        for k in 0..kb {
+            let m = n - k * r;
+            total += panel_flops(m, r);
+            if m > r {
+                total += trsm_flops(r, m - r); // T12 solve
+                total += gemm_flops(m - r, m - r, r); // B -= L21*T12
+            }
+        }
+        let lu = lu_flops(n);
+        assert!(
+            (total - lu).abs() / lu < 0.02,
+            "decomposed {total} vs closed form {lu}"
+        );
+    }
+
+    #[test]
+    fn gemm_and_trsm_formulas() {
+        assert_eq!(gemm_flops(2, 3, 4), 48.0);
+        assert_eq!(trsm_flops(10, 5), 500.0);
+    }
+}

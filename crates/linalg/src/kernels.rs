@@ -1,0 +1,291 @@
+//! The four LU kernels: panel factorization, triangular solve, multiply,
+//! row flipping.
+
+use crate::matrix::Matrix;
+
+/// Rectangular LU factorization with partial pivoting of an `m × r` panel
+/// (`m ≥ r`), in place (paper step 1).
+///
+/// On return the strictly lower part of the first `r` columns holds `L`
+/// (unit diagonal implied, rows `r..m` holding `L21`), the upper triangle
+/// holds `U11`, and the returned vector maps each elimination step `k` to
+/// the row swapped with row `k`.
+pub fn panel_lu(panel: &mut Matrix, pivots: &mut Vec<usize>) {
+    let m = panel.rows();
+    let r = panel.cols();
+    assert!(m >= r, "panel must be tall: {m} x {r}");
+    pivots.clear();
+    for k in 0..r {
+        // Partial pivoting: largest magnitude in column k at/below row k.
+        let mut p = k;
+        let mut best = panel[(k, k)].abs();
+        for i in k + 1..m {
+            let v = panel[(i, k)].abs();
+            if v > best {
+                best = v;
+                p = i;
+            }
+        }
+        assert!(best > 0.0, "singular panel at column {k}");
+        pivots.push(p);
+        panel.swap_rows_range(k, p, 0, r);
+
+        let d = panel[(k, k)];
+        for i in k + 1..m {
+            let l = panel[(i, k)] / d;
+            panel[(i, k)] = l;
+            if l == 0.0 {
+                continue;
+            }
+            for j in k + 1..r {
+                let u = panel[(k, j)];
+                panel[(i, j)] -= l * u;
+            }
+        }
+    }
+}
+
+/// Solves `L11 · X = B` in place where `L11` is unit lower triangular
+/// (`r × r`, stored in the panel) and `B` is `r × c` (paper step 2 — the
+/// BLAS `trsm` routine).
+pub fn trsm_lower_unit(l11: &Matrix, b: &mut Matrix) {
+    let r = l11.rows();
+    assert_eq!(l11.cols(), r);
+    assert_eq!(b.rows(), r, "rhs rows must match triangle");
+    let c = b.cols();
+    for i in 0..r {
+        for k in 0..i {
+            let l = l11[(i, k)];
+            if l == 0.0 {
+                continue;
+            }
+            for j in 0..c {
+                let x = b[(k, j)];
+                b[(i, j)] -= l * x;
+            }
+        }
+    }
+    let _ = c;
+}
+
+/// `C -= A · B` with a cache-blocked i-k-j loop (the paper's block-based
+/// matrix multiplication, the dominant cost of the LU factorization).
+pub fn gemm_sub(c: &mut Matrix, a: &Matrix, b: &Matrix) {
+    assert_eq!(a.cols(), b.rows(), "inner dimension mismatch");
+    assert_eq!(c.rows(), a.rows(), "output rows mismatch");
+    assert_eq!(c.cols(), b.cols(), "output cols mismatch");
+    const TILE: usize = 64;
+    let (m, kk, n) = (a.rows(), a.cols(), b.cols());
+    for i0 in (0..m).step_by(TILE) {
+        let i1 = (i0 + TILE).min(m);
+        for k0 in (0..kk).step_by(TILE) {
+            let k1 = (k0 + TILE).min(kk);
+            for i in i0..i1 {
+                for k in k0..k1 {
+                    let aik = a[(i, k)];
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let brow = &b.row(k)[..n];
+                    let crow = &mut c.row_mut(i)[..n];
+                    for j in 0..n {
+                        crow[j] -= aik * brow[j];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Applies the panel's pivot sequence to another column block: for each
+/// elimination step `k`, swap rows `base+k` and `base+pivots[k]` (paper's
+/// row flipping, flow-graph ops (b)/(g)).
+pub fn apply_row_swaps(block: &mut Matrix, base: usize, pivots: &[usize]) {
+    let w = block.cols();
+    for (k, &p) in pivots.iter().enumerate() {
+        block.swap_rows_range(base + k, base + p, 0, w);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::max_abs_diff;
+
+    /// Extracts (L, U, P·) from a factored panel for verification.
+    fn check_panel_factorization(orig: &Matrix, fact: &Matrix, pivots: &[usize]) {
+        let m = orig.rows();
+        let r = orig.cols();
+        // L: m x r unit lower; U: r x r upper.
+        let l = Matrix::from_fn(m, r, |i, j| {
+            if i == j {
+                1.0
+            } else if i > j {
+                fact[(i, j)]
+            } else {
+                0.0
+            }
+        });
+        let u = Matrix::from_fn(r, r, |i, j| if i <= j { fact[(i, j)] } else { 0.0 });
+        let lu = l.matmul(&u);
+        // Permuted original.
+        let mut pa = orig.clone();
+        for (k, &p) in pivots.iter().enumerate() {
+            pa.swap_rows_range(k, p, 0, r);
+        }
+        assert!(
+            max_abs_diff(&lu, &pa) < 1e-10,
+            "P·A != L·U for panel ({} x {})",
+            m,
+            r
+        );
+    }
+
+    #[test]
+    fn panel_lu_factors_square() {
+        let a = Matrix::random(6, 6, 3);
+        let mut f = a.clone();
+        let mut piv = Vec::new();
+        panel_lu(&mut f, &mut piv);
+        assert_eq!(piv.len(), 6);
+        check_panel_factorization(&a, &f, &piv);
+    }
+
+    #[test]
+    fn panel_lu_factors_tall_rectangle() {
+        let a = Matrix::random(10, 4, 9);
+        let mut f = a.clone();
+        let mut piv = Vec::new();
+        panel_lu(&mut f, &mut piv);
+        assert_eq!(piv.len(), 4);
+        check_panel_factorization(&a, &f, &piv);
+    }
+
+    #[test]
+    fn panel_lu_pivots_on_magnitude() {
+        // Column 0 dominated by the last row: pivot must select it.
+        let mut a = Matrix::zeros(3, 2);
+        a[(0, 0)] = 0.1;
+        a[(1, 0)] = 0.2;
+        a[(2, 0)] = -5.0;
+        a[(0, 1)] = 1.0;
+        a[(1, 1)] = 2.0;
+        a[(2, 1)] = 3.0;
+        let orig = a.clone();
+        let mut piv = Vec::new();
+        panel_lu(&mut a, &mut piv);
+        assert_eq!(piv[0], 2);
+        check_panel_factorization(&orig, &a, &piv);
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn singular_panel_detected() {
+        let mut a = Matrix::zeros(3, 3);
+        a[(0, 1)] = 1.0;
+        a[(1, 2)] = 1.0; // column 0 entirely zero
+        let mut piv = Vec::new();
+        panel_lu(&mut a, &mut piv);
+    }
+
+    #[test]
+    fn trsm_solves_unit_lower_system() {
+        let n = 5;
+        let a = Matrix::random(n, n, 11);
+        let l11 = Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                1.0
+            } else if i > j {
+                a[(i, j)]
+            } else {
+                0.0
+            }
+        });
+        let x_true = Matrix::random(n, 3, 12);
+        let mut b = l11.matmul(&x_true);
+        trsm_lower_unit(&l11, &mut b);
+        assert!(max_abs_diff(&b, &x_true) < 1e-10);
+    }
+
+    #[test]
+    fn gemm_sub_matches_naive() {
+        let a = Matrix::random(70, 50, 21); // crosses the 64 tile boundary
+        let b = Matrix::random(50, 90, 22);
+        let c0 = Matrix::random(70, 90, 23);
+        let mut c = c0.clone();
+        gemm_sub(&mut c, &a, &b);
+        let ab = a.matmul(&b);
+        let expect = Matrix::from_fn(70, 90, |i, j| c0[(i, j)] - ab[(i, j)]);
+        assert!(max_abs_diff(&c, &expect) < 1e-10);
+    }
+
+    #[test]
+    fn row_swaps_match_panel_pivots() {
+        let a = Matrix::random(8, 3, 31);
+        let mut f = a.clone();
+        let mut piv = Vec::new();
+        panel_lu(&mut f, &mut piv);
+        // Applying the swaps twice in reverse restores the original block.
+        let side = Matrix::random(8, 5, 32);
+        let mut s = side.clone();
+        apply_row_swaps(&mut s, 0, &piv);
+        for (k, &p) in piv.iter().enumerate().rev() {
+            s.swap_rows_range(k, p, 0, 5);
+        }
+        assert_eq!(s, side);
+    }
+
+    #[test]
+    fn apply_row_swaps_with_base_offset() {
+        let mut m = Matrix::from_fn(6, 2, |i, _| i as f64);
+        // One-step pivot swapping rows base+0 and base+2 with base = 3.
+        apply_row_swaps(&mut m, 3, &[2]);
+        assert_eq!(m[(3, 0)], 5.0);
+        assert_eq!(m[(5, 0)], 3.0);
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use crate::verify::max_abs_diff;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// P·A = L·U holds for random well-conditioned panels.
+        #[test]
+        fn panel_lu_reconstructs(m in 2usize..12, r_off in 0usize..6, seed in 0u64..1000) {
+            let r = (m - r_off.min(m - 1)).max(1).min(m);
+            let a = Matrix::random(m, r, seed);
+            let mut f = a.clone();
+            let mut piv = Vec::new();
+            panel_lu(&mut f, &mut piv);
+
+            let l = Matrix::from_fn(m, r, |i, j| {
+                if i == j { 1.0 } else if i > j { f[(i, j)] } else { 0.0 }
+            });
+            let u = Matrix::from_fn(r, r, |i, j| if i <= j { f[(i, j)] } else { 0.0 });
+            let lu = l.matmul(&u);
+            let mut pa = a.clone();
+            for (k, &p) in piv.iter().enumerate() {
+                pa.swap_rows_range(k, p, 0, r);
+            }
+            prop_assert!(max_abs_diff(&lu, &pa) < 1e-8);
+        }
+
+        /// gemm_sub agrees with the naive reference on arbitrary shapes.
+        #[test]
+        fn gemm_matches_reference(m in 1usize..20, k in 1usize..20, n in 1usize..20, seed in 0u64..1000) {
+            let a = Matrix::random(m, k, seed);
+            let b = Matrix::random(k, n, seed + 1);
+            let c0 = Matrix::random(m, n, seed + 2);
+            let mut c = c0.clone();
+            gemm_sub(&mut c, &a, &b);
+            let ab = a.matmul(&b);
+            let expect = Matrix::from_fn(m, n, |i, j| c0[(i, j)] - ab[(i, j)]);
+            prop_assert!(max_abs_diff(&c, &expect) < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Row-major dense matrices.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A dense `rows × cols` matrix of `f64`, row-major.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A zero-filled `rows × cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Matrix {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from an `(i, j) -> value` function.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Matrix {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Seeded random matrix in [-1, 1), diagonally dominated to keep LU with
+    /// partial pivoting well conditioned in tests.
+    pub fn random(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..1.0));
+        let n = rows.min(cols);
+        for i in 0..n {
+            m[(i, i)] += 4.0;
+        }
+        m
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Underlying row-major storage.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Heap footprint in bytes (for the memory meter).
+    pub fn heap_bytes(&self) -> u64 {
+        (self.data.capacity() * std::mem::size_of::<f64>()) as u64
+    }
+
+    /// Borrows one row.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrows one row.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copies the `r0..r0+h` × `c0..c0+w` sub-block into a new matrix.
+    pub fn block(&self, r0: usize, c0: usize, h: usize, w: usize) -> Matrix {
+        assert!(r0 + h <= self.rows && c0 + w <= self.cols, "block out of range");
+        Matrix::from_fn(h, w, |i, j| self[(r0 + i, c0 + j)])
+    }
+
+    /// Writes `src` into the sub-block at `(r0, c0)`.
+    pub fn set_block(&mut self, r0: usize, c0: usize, src: &Matrix) {
+        assert!(
+            r0 + src.rows <= self.rows && c0 + src.cols <= self.cols,
+            "block out of range"
+        );
+        for i in 0..src.rows {
+            for j in 0..src.cols {
+                self[(r0 + i, c0 + j)] = src[(i, j)];
+            }
+        }
+    }
+
+    /// Swaps rows `a` and `b` over the column range `c0..c0+w`.
+    pub fn swap_rows_range(&mut self, a: usize, b: usize, c0: usize, w: usize) {
+        if a == b {
+            return;
+        }
+        let (lo, hi) = (a.min(b), a.max(b));
+        let (top, bot) = self.data.split_at_mut(hi * self.cols);
+        let ra = &mut top[lo * self.cols + c0..lo * self.cols + c0 + w];
+        let rb = &mut bot[c0..c0 + w];
+        ra.swap_with_slice(rb);
+    }
+
+    /// Naive `A · B` (reference for tests).
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = other.row(k);
+                let orow = out.row_mut(i);
+                for j in 0..other.cols {
+                    orow[j] += a * brow[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Largest absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, &x| m.max(x.abs()))
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let mut m = Matrix::zeros(2, 3);
+        m[(1, 2)] = 5.0;
+        assert_eq!(m[(1, 2)], 5.0);
+        assert_eq!(m[(0, 0)], 0.0);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+    }
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let a = Matrix::random(4, 4, 42);
+        let i = Matrix::identity(4);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn block_roundtrip() {
+        let a = Matrix::random(6, 6, 1);
+        let b = a.block(2, 3, 3, 2);
+        assert_eq!(b[(0, 0)], a[(2, 3)]);
+        let mut c = Matrix::zeros(6, 6);
+        c.set_block(2, 3, &b);
+        assert_eq!(c[(4, 4)], a[(4, 4)]);
+        assert_eq!(c[(0, 0)], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn block_bounds_checked() {
+        Matrix::zeros(3, 3).block(2, 2, 2, 2);
+    }
+
+    #[test]
+    fn swap_rows_partial_range() {
+        let mut m = Matrix::from_fn(3, 4, |i, j| (i * 10 + j) as f64);
+        m.swap_rows_range(0, 2, 1, 2);
+        assert_eq!(m[(0, 0)], 0.0); // outside range untouched
+        assert_eq!(m[(0, 1)], 21.0);
+        assert_eq!(m[(0, 2)], 22.0);
+        assert_eq!(m[(0, 3)], 3.0);
+        assert_eq!(m[(2, 1)], 1.0);
+        // Self-swap is a no-op.
+        let before = m.clone();
+        m.swap_rows_range(1, 1, 0, 4);
+        assert_eq!(m, before);
+    }
+
+    #[test]
+    fn random_is_seeded_and_reproducible() {
+        let a = Matrix::random(5, 5, 7);
+        let b = Matrix::random(5, 5, 7);
+        let c = Matrix::random(5, 5, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn matmul_against_hand_computed() {
+        let a = Matrix::from_fn(2, 2, |i, j| (i * 2 + j + 1) as f64); // [1 2; 3 4]
+        let b = Matrix::from_fn(2, 2, |i, j| if i == j { 2.0 } else { 1.0 }); // [2 1; 1 2]
+        let c = a.matmul(&b);
+        assert_eq!(c[(0, 0)], 4.0);
+        assert_eq!(c[(0, 1)], 5.0);
+        assert_eq!(c[(1, 0)], 10.0);
+        assert_eq!(c[(1, 1)], 11.0);
+    }
+
+    #[test]
+    fn max_abs_finds_extreme() {
+        let mut m = Matrix::zeros(2, 2);
+        m[(1, 0)] = -7.5;
+        m[(0, 1)] = 3.0;
+        assert_eq!(m.max_abs(), 7.5);
+    }
+}

@@ -1,0 +1,78 @@
+//! Verification helpers: reconstructing and checking LU factorizations.
+
+use crate::blocked::LuFactors;
+use crate::matrix::Matrix;
+
+/// Splits compact LU storage into explicit `L` (unit lower) and `U` (upper).
+pub fn reconstruct_lu(lu: &Matrix) -> (Matrix, Matrix) {
+    let n = lu.rows();
+    let l = Matrix::from_fn(n, n, |i, j| {
+        if i == j {
+            1.0
+        } else if i > j {
+            lu[(i, j)]
+        } else {
+            0.0
+        }
+    });
+    let u = Matrix::from_fn(n, n, |i, j| if i <= j { lu[(i, j)] } else { 0.0 });
+    (l, u)
+}
+
+/// Largest absolute entry-wise difference.
+pub fn max_abs_diff(a: &Matrix, b: &Matrix) -> f64 {
+    assert_eq!(a.rows(), b.rows());
+    assert_eq!(a.cols(), b.cols());
+    let mut m: f64 = 0.0;
+    for i in 0..a.rows() {
+        for j in 0..a.cols() {
+            m = m.max((a[(i, j)] - b[(i, j)]).abs());
+        }
+    }
+    m
+}
+
+/// Relative residual `max|P·A − L·U| / max|A|` of a factorization.
+pub fn lu_residual(a: &Matrix, f: &LuFactors) -> f64 {
+    let n = a.rows();
+    let (l, u) = reconstruct_lu(&f.lu);
+    let lu = l.matmul(&u);
+    let mut pa = a.clone();
+    for (k, &p) in f.pivots.iter().enumerate() {
+        pa.swap_rows_range(k, p, 0, n);
+    }
+    max_abs_diff(&lu, &pa) / a.max_abs().max(1e-300)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reconstruct_splits_compact_storage() {
+        let lu = Matrix::from_fn(3, 3, |i, j| (i * 3 + j + 1) as f64);
+        let (l, u) = reconstruct_lu(&lu);
+        assert_eq!(l[(0, 0)], 1.0);
+        assert_eq!(l[(1, 1)], 1.0);
+        assert_eq!(l[(1, 0)], 4.0);
+        assert_eq!(l[(0, 1)], 0.0);
+        assert_eq!(u[(0, 1)], 2.0);
+        assert_eq!(u[(1, 0)], 0.0);
+        assert_eq!(u[(2, 2)], 9.0);
+    }
+
+    #[test]
+    fn diff_is_zero_for_identical() {
+        let a = Matrix::random(4, 4, 9);
+        assert_eq!(max_abs_diff(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn residual_detects_corruption() {
+        let a = Matrix::random(6, 6, 10);
+        let mut f = crate::blocked::lu_blocked(&a, 2);
+        assert!(lu_residual(&a, &f) < 1e-10);
+        f.lu[(3, 2)] += 0.5;
+        assert!(lu_residual(&a, &f) > 1e-3);
+    }
+}

@@ -1,0 +1,173 @@
+//! Assembles the LU [`dps::Application`] from an [`LuConfig`].
+
+use std::sync::{Arc, Mutex};
+
+use dps::{by_target, round_robin, to_thread, AppBuilder, Application, OpKind, ThreadId};
+
+use crate::config::LuConfig;
+use crate::ops::collect::CollectOp;
+use crate::ops::coord::CoordOp;
+use crate::ops::hub::{MulGenOp, TrsmGenOp};
+use crate::ops::init::InitOp;
+use crate::ops::mult::MultOp;
+use crate::ops::pm::{PmMergeOp, PmSplitOp, PmWorkerOp};
+use crate::ops::worker::WorkerOp;
+use crate::ops::{LuShared, OpIds};
+use crate::payload::{
+    ColumnData, MulIn, PmColAck, PmPiece, PmWork, Start, SubReq, TrsmGo, TrsmReq, TrsmSetup,
+    WorkerReq,
+};
+
+impl PmWork {
+    fn dest(&self) -> ThreadId {
+        match self {
+            PmWork::Col { dest, .. } | PmWork::Line { dest, .. } => *dest,
+        }
+    }
+}
+
+/// Builds the DPS application (and the shared handle for retrieving the
+/// verification output) for one LU configuration.
+pub fn build_lu_app(cfg: LuConfig) -> (Application, Arc<LuShared>) {
+    cfg.validate().expect("invalid LU configuration");
+    let kb = cfg.k_blocks();
+
+    let mut b = AppBuilder::new("block-lu");
+    // Deployment: worker thread t on node t % nodes; the main thread (init,
+    // coordinator, collector) shares node 0.
+    let nodes: Vec<u32> = (0..cfg.workers).map(|t| t % cfg.nodes).collect();
+    b.thread_group_on_nodes("workers", &nodes);
+    let main = b.thread_on_node("main", 0);
+
+    let init = b.declare("init", OpKind::Split);
+    let worker = b.declare("worker", OpKind::Leaf);
+    let trsmgen = b.declare("trsmgen", OpKind::Stream);
+    let mulgen = b.declare("mulgen", OpKind::Stream);
+    let mult = b.declare("mult", OpKind::Leaf);
+    let pmsplit = b.declare("pmsplit", OpKind::Split);
+    let pmworker = b.declare("pmworker", OpKind::Leaf);
+    let pmmerge = b.declare("pmmerge", OpKind::Merge);
+    let coord = b.declare("coord", OpKind::Stream);
+    let collect = b.declare("collect", OpKind::Merge);
+
+    let ids = OpIds {
+        init,
+        worker,
+        trsmgen,
+        mulgen,
+        mult,
+        pmsplit,
+        pmworker,
+        pmmerge,
+        coord,
+        collect,
+    };
+    let sh = Arc::new(LuShared {
+        cfg: cfg.clone(),
+        kb,
+        ids,
+        pending_pivots: Mutex::new(Vec::new()),
+        result: Mutex::new(None),
+    });
+
+    {
+        let sh = sh.clone();
+        b.body(init, move |_, _| Box::new(InitOp::new(sh.clone())));
+    }
+    {
+        let sh = sh.clone();
+        b.body(worker, move |_, t| Box::new(WorkerOp::new(sh.clone(), t)));
+    }
+    {
+        let sh = sh.clone();
+        b.body(trsmgen, move |_, t| Box::new(TrsmGenOp::new(sh.clone(), t)));
+    }
+    {
+        let sh = sh.clone();
+        b.body(mulgen, move |_, t| Box::new(MulGenOp::new(sh.clone(), t)));
+    }
+    {
+        let sh = sh.clone();
+        b.body(mult, move |_, _| Box::new(MultOp::new(sh.clone())));
+    }
+    {
+        let sh = sh.clone();
+        b.body(pmsplit, move |_, t| Box::new(PmSplitOp::new(sh.clone(), t)));
+    }
+    {
+        let sh = sh.clone();
+        b.body(pmworker, move |_, t| Box::new(PmWorkerOp::new(sh.clone(), t)));
+    }
+    {
+        let sh = sh.clone();
+        b.body(pmmerge, move |_, _| Box::new(PmMergeOp::new(sh.clone())));
+    }
+    {
+        let sh = sh.clone();
+        b.body(coord, move |_, _| Box::new(CoordOp::new(sh.clone())));
+    }
+    {
+        let sh = sh.clone();
+        b.body(collect, move |_, _| Box::new(CollectOp::new(sh.clone())));
+    }
+
+    // Wiring (see ops module docs for the paper mapping).
+    b.edge(init, worker, by_target(|m: &ColumnData| m.dest));
+    b.edge(worker, coord, to_thread(main));
+    b.edge(worker, trsmgen, by_target(|m: &TrsmSetup| m.hub));
+    b.edge(worker, mulgen, by_target(MulIn::hub));
+    b.edge(worker, worker, by_target(|m: &ColumnData| m.dest));
+    b.edge(worker, collect, to_thread(main));
+    b.edge(coord, worker, by_target(|m: &WorkerReq| m.dest));
+    b.edge(coord, trsmgen, by_target(|m: &TrsmGo| m.hub));
+    b.edge(trsmgen, worker, by_target(|m: &TrsmReq| m.dest));
+    b.edge(mulgen, mult, round_robin("workers"));
+    b.edge(mulgen, pmsplit, round_robin("workers"));
+    b.edge(mult, worker, by_target(|m: &SubReq| m.dest));
+    b.edge(pmsplit, pmworker, by_target(PmWork::dest));
+    b.edge(pmworker, pmsplit, by_target(|m: &PmColAck| m.dest));
+    b.edge(pmworker, pmmerge, by_target(|m: &PmPiece| m.merge_at));
+    b.edge(pmmerge, worker, by_target(|m: &SubReq| m.dest));
+
+    if let Some(w) = cfg.flow_control {
+        b.flow_control(mulgen, w);
+    }
+    b.start(init, main, || Box::new(Start));
+
+    let app = b.build().expect("LU application assembles");
+    (app, sh)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DataMode;
+
+    #[test]
+    fn app_assembles_for_all_variants() {
+        for (p, fc, pm) in [
+            (false, None, None),
+            (true, None, None),
+            (true, Some(8), None),
+            (false, None, Some(32)),
+            (true, Some(4), Some(32)),
+        ] {
+            let mut cfg = LuConfig::new(256, 64, 4);
+            cfg.pipelined = p;
+            cfg.flow_control = fc;
+            cfg.parallel_mul = pm;
+            cfg.mode = DataMode::Ghost;
+            let (app, sh) = build_lu_app(cfg);
+            assert_eq!(app.graph().op_count(), 10);
+            assert_eq!(app.deployment().thread_count(), 5);
+            assert_eq!(sh.kb, 4);
+            assert_eq!(app.window_of(sh.ids.mulgen), fc);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid LU configuration")]
+    fn invalid_config_panics() {
+        build_lu_app(LuConfig::new(100, 33, 4));
+    }
+}

@@ -1,0 +1,188 @@
+//! LU application configuration: matrix, deployment, flow-graph variants.
+
+use perfmodel::LuCost;
+
+/// What the data objects carry (paper Table 1's three simulation settings).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DataMode {
+    /// Allocate and really compute: direct execution; the result is
+    /// verifiable against the sequential reference.
+    Real,
+    /// Allocate matrices but skip the kernels (durations come from
+    /// charges): the paper's PDEXEC.
+    Alloc,
+    /// Ghost payloads reporting sizes without allocating: PDEXEC NOALLOC.
+    Ghost,
+}
+
+/// Full configuration of one LU run.
+#[derive(Clone)]
+pub struct LuConfig {
+    /// Matrix order (the paper uses 2592).
+    pub n: usize,
+    /// Column-block width; must divide `n`.
+    pub r: usize,
+    /// Compute nodes.
+    pub nodes: u32,
+    /// Worker threads (≥ nodes; thread `t` lives on node `t % nodes`).
+    /// The paper's "eight column blocks on four nodes" is `workers: 8,
+    /// nodes: 4`.
+    pub workers: u32,
+    /// Pipelined flow graph (P) instead of basic barriers.
+    pub pipelined: bool,
+    /// Flow-control window (FC) on the multiplication-request stream.
+    pub flow_control: Option<usize>,
+    /// Parallel sub-block multiplication (PM) with sub-block size `s`
+    /// (must divide `r`).
+    pub parallel_mul: Option<usize>,
+    /// Thread-removal plan: (after 1-based iteration, number of workers to
+    /// kill). Requires the basic flow graph, like the paper's experiments.
+    pub removal: Vec<(usize, u32)>,
+    /// Payload mode.
+    pub mode: DataMode,
+    /// Kernel cost model for charges (PDEXEC). `None` leaves every atomic
+    /// step to direct-execution measurement.
+    pub cost: Option<LuCost>,
+    /// Seed of the input matrix in `Real` mode.
+    pub seed: u64,
+}
+
+impl LuConfig {
+    /// A plain basic-graph configuration with one worker per node.
+    pub fn new(n: usize, r: usize, nodes: u32) -> LuConfig {
+        LuConfig {
+            n,
+            r,
+            nodes,
+            workers: nodes,
+            pipelined: false,
+            flow_control: None,
+            parallel_mul: None,
+            removal: Vec::new(),
+            mode: DataMode::Ghost,
+            cost: None,
+            seed: 42,
+        }
+    }
+
+    /// Number of column blocks `K = n / r`.
+    pub fn k_blocks(&self) -> usize {
+        self.n / self.r
+    }
+
+    /// Short variant tag like `"P+FC"` (paper notation).
+    pub fn variant_label(&self) -> String {
+        let mut parts = Vec::new();
+        if self.pipelined {
+            parts.push("P".to_string());
+        }
+        if self.parallel_mul.is_some() {
+            parts.push("PM".to_string());
+        }
+        if self.flow_control.is_some() {
+            parts.push("FC".to_string());
+        }
+        if parts.is_empty() {
+            "Basic".to_string()
+        } else {
+            parts.join("+")
+        }
+    }
+
+    /// Checks structural consistency (divisibility, worker counts,
+    /// variant constraints, removal plan ordering).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n == 0 || self.r == 0 || !self.n.is_multiple_of(self.r) {
+            return Err(format!("block size {} must divide order {}", self.r, self.n));
+        }
+        if self.nodes == 0 || self.workers < self.nodes {
+            return Err("need at least one worker per node".into());
+        }
+        if let Some(s) = self.parallel_mul {
+            if s == 0 || !self.r.is_multiple_of(s) || s == self.r {
+                return Err(format!(
+                    "sub-block size {s} must properly divide block size {}",
+                    self.r
+                ));
+            }
+        }
+        if let Some(w) = self.flow_control {
+            if w == 0 {
+                return Err("flow-control window must be positive".into());
+            }
+        }
+        if !self.removal.is_empty() {
+            if self.pipelined {
+                return Err("thread removal requires the basic flow graph".into());
+            }
+            let k = self.k_blocks();
+            let mut total: u32 = 0;
+            let mut last_iter = 0;
+            for &(after, count) in &self.removal {
+                if after == 0 || after >= k {
+                    return Err(format!("removal after iteration {after} out of range 1..{k}"));
+                }
+                if after <= last_iter {
+                    return Err("removal plan must be sorted by iteration".into());
+                }
+                last_iter = after;
+                total += count;
+            }
+            if total >= self.workers {
+                return Err("cannot remove every worker".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        LuConfig::new(2592, 216, 8).validate().unwrap();
+        assert_eq!(LuConfig::new(2592, 216, 8).k_blocks(), 12);
+    }
+
+    #[test]
+    fn variant_labels() {
+        let mut c = LuConfig::new(256, 64, 4);
+        assert_eq!(c.variant_label(), "Basic");
+        c.pipelined = true;
+        assert_eq!(c.variant_label(), "P");
+        c.flow_control = Some(8);
+        assert_eq!(c.variant_label(), "P+FC");
+        c.parallel_mul = Some(32);
+        assert_eq!(c.variant_label(), "P+PM+FC");
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = LuConfig::new(100, 33, 4);
+        assert!(c.validate().is_err()); // indivisible r
+        c = LuConfig::new(256, 64, 4);
+        c.workers = 2;
+        assert!(c.validate().is_err()); // fewer workers than nodes
+        c = LuConfig::new(256, 64, 4);
+        c.parallel_mul = Some(64);
+        assert!(c.validate().is_err()); // s == r
+        c = LuConfig::new(256, 64, 4);
+        c.parallel_mul = Some(48);
+        assert!(c.validate().is_err()); // s does not divide r
+        c = LuConfig::new(256, 64, 4);
+        c.pipelined = true;
+        c.removal = vec![(1, 2)];
+        assert!(c.validate().is_err()); // removal needs basic graph
+        c = LuConfig::new(256, 64, 4);
+        c.removal = vec![(1, 4)];
+        assert!(c.validate().is_err()); // would remove every worker
+        c = LuConfig::new(256, 64, 4);
+        c.removal = vec![(2, 1), (1, 1)];
+        assert!(c.validate().is_err()); // unsorted plan
+        c = LuConfig::new(256, 64, 4);
+        c.removal = vec![(1, 1), (2, 1)];
+        assert!(c.validate().is_ok());
+    }
+}

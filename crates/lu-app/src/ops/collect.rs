@@ -1,0 +1,46 @@
+//! The verification collector (Real mode): assembles the dumped column
+//! blocks into the full compact LU matrix and deposits it, together with
+//! the global pivot sequence, into the shared result slot.
+
+use std::sync::Arc;
+
+use dps::{downcast, DataObj, OpCtx, Operation};
+use linalg::Matrix;
+
+use crate::ops::LuShared;
+use crate::payload::{ColumnOut, LuOutput};
+
+/// Verification collector: assembles dumped columns (see module docs).
+pub struct CollectOp {
+    sh: Arc<LuShared>,
+    acc: Option<Matrix>,
+    got: usize,
+}
+
+impl CollectOp {
+    /// Creates the behaviour instance for one thread.
+    pub fn new(sh: Arc<LuShared>) -> CollectOp {
+        CollectOp {
+            sh,
+            acc: None,
+            got: 0,
+        }
+    }
+}
+
+impl Operation for CollectOp {
+    fn on_object(&mut self, obj: DataObj, ctx: &mut dyn OpCtx) {
+        let sh = self.sh.clone();
+        let (n, r) = (sh.cfg.n, sh.cfg.r);
+        let m: ColumnOut = downcast(obj);
+        let acc = self.acc.get_or_insert_with(|| Matrix::zeros(n, n));
+        acc.set_block(0, m.j * r, m.col.matrix());
+        self.got += 1;
+        if self.got == sh.kb {
+            let lu = self.acc.take().expect("accumulator present");
+            let pivots = std::mem::take(&mut *sh.pending_pivots.lock().expect("pivot lock"));
+            *sh.result.lock().expect("result lock") = Some(LuOutput { lu, pivots });
+            ctx.terminate();
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! The coordinator: merge side of the paper's stream (f) plus the
+//! termination merge (h).
+//!
+//! It collects every notification (column storage, panel pivots,
+//! subtraction completions, row-flip completions, migration acks) and
+//! drives the factorization: triggering panels, triangular solves and row
+//! flips, enforcing iteration barriers in the basic flow graph, streaming
+//! in the pipelined one, recording per-iteration marks for the
+//! dynamic-efficiency analysis, returning flow-control credits, and
+//! executing the thread-removal plan (evict → migrate → deactivate).
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+use dps::{downcast, DataObj, OpCtx, Operation, ThreadId};
+
+use crate::config::DataMode;
+use crate::ops::{initial_owner, LuShared};
+use crate::payload::{CoordMsg, Pivots, TrsmGo, WorkerReq, WorkerReqBody};
+
+/// The coordinator state machine (see module docs).
+pub struct CoordOp {
+    sh: Arc<LuShared>,
+    /// Current owner of each column block.
+    owner: Vec<ThreadId>,
+    /// Coordinator's view of the active workers (matches the engine's
+    /// active set; updated at removals).
+    active: Vec<ThreadId>,
+    stored: usize,
+    started: bool,
+
+    /// Pivot sequences per panel (also the PanelPivots-received marker).
+    pivots: HashMap<usize, Pivots>,
+    /// Remaining subtractions per (k, j).
+    subs_left: HashMap<(usize, usize), usize>,
+    /// Columns that completed iteration `k` (pipelined gating).
+    completed: BTreeSet<(usize, usize)>,
+
+    // Basic-graph barrier bookkeeping for the current iteration.
+    iter_cols_left: usize,
+    iter_flips_left: usize,
+    cur_k: usize,
+
+    // Global progress for termination.
+    panels_left: usize,
+    total_subs_left: usize,
+    total_flips_left: usize,
+
+    // Removal plan execution.
+    removal_queue: Vec<(usize, u32)>,
+    migrations_left: usize,
+    to_deactivate: Vec<ThreadId>,
+    /// Set while a removal's migrations are in flight; the pending next
+    /// iteration starts once they finish.
+    pending_panel: Option<usize>,
+
+    dumped: bool,
+    finished: bool,
+}
+
+impl CoordOp {
+    /// Creates the behaviour instance for one thread.
+    pub fn new(sh: Arc<LuShared>) -> CoordOp {
+        let kb = sh.kb;
+        let total_subs: usize = (0..kb).map(|k| (kb - 1 - k) * (kb - 1 - k)).sum();
+        let total_flips = kb * (kb - 1) / 2;
+        let removal_queue = sh.cfg.removal.clone();
+        CoordOp {
+            sh,
+            owner: Vec::new(),
+            active: Vec::new(),
+            stored: 0,
+            started: false,
+            pivots: HashMap::new(),
+            subs_left: HashMap::new(),
+            completed: BTreeSet::new(),
+            iter_cols_left: 0,
+            iter_flips_left: 0,
+            cur_k: 0,
+            panels_left: kb,
+            total_subs_left: total_subs,
+            total_flips_left: total_flips,
+            removal_queue,
+            migrations_left: 0,
+            to_deactivate: Vec::new(),
+            pending_panel: None,
+            dumped: false,
+            finished: false,
+        }
+    }
+
+    fn post_panel(&mut self, k: usize, ctx: &mut dyn OpCtx) {
+        self.cur_k = k;
+        let kb = self.sh.kb;
+        self.iter_cols_left = kb - 1 - k;
+        self.iter_flips_left = k;
+        for j in k + 1..kb {
+            self.subs_left.insert((k, j), kb - 1 - k);
+        }
+        ctx.post(
+            self.sh.ids.worker,
+            Box::new(WorkerReq {
+                dest: self.owner[k],
+                body: WorkerReqBody::Panel { k },
+            }),
+        );
+    }
+
+    fn post_trsm_go(&self, k: usize, j: usize, ctx: &mut dyn OpCtx) {
+        ctx.post(
+            self.sh.ids.trsmgen,
+            Box::new(TrsmGo {
+                k,
+                j,
+                hub: self.owner[k],
+                owner: self.owner[j],
+            }),
+        );
+    }
+
+    fn on_panel_pivots(&mut self, k: usize, pivots: Pivots, ctx: &mut dyn OpCtx) {
+        self.panels_left -= 1;
+        let kb = self.sh.kb;
+        // Row flipping of previous columns (op (g)).
+        for j in 0..k {
+            ctx.post(
+                self.sh.ids.worker,
+                Box::new(WorkerReq {
+                    dest: self.owner[j],
+                    body: WorkerReqBody::Flip {
+                        k,
+                        j,
+                        pivots: pivots.clone(),
+                    },
+                }),
+            );
+        }
+        // Triangular solves for the columns right of the panel.
+        if self.sh.cfg.pipelined {
+            for j in k + 1..kb {
+                if self.eligible(k, j) {
+                    self.post_trsm_go(k, j, ctx);
+                }
+            }
+        } else {
+            // Basic graph: the barrier guarantees every column is ready.
+            for j in k + 1..kb {
+                self.post_trsm_go(k, j, ctx);
+            }
+        }
+        self.pivots.insert(k, pivots);
+        self.maybe_finish(ctx);
+    }
+
+    /// Whether column `j` may receive iteration `k`'s solve request:
+    /// it must have completed iteration `k-1`.
+    fn eligible(&self, k: usize, j: usize) -> bool {
+        k == 0 || self.completed.contains(&(k - 1, j))
+    }
+
+    fn on_sub_done(&mut self, k: usize, j: usize, ctx: &mut dyn OpCtx) {
+        self.total_subs_left -= 1;
+        if self.sh.cfg.flow_control.is_some() {
+            ctx.fc_release(self.sh.ids.mulgen);
+        }
+        let left = self
+            .subs_left
+            .get_mut(&(k, j))
+            .expect("unexpected SubDone");
+        *left -= 1;
+        if *left > 0 {
+            self.maybe_finish(ctx);
+            return;
+        }
+        self.subs_left.remove(&(k, j));
+        self.completed.insert((k, j));
+
+        if self.sh.cfg.pipelined {
+            let next = k + 1;
+            if j == next {
+                // Paper: "perform next level LU factorization as soon as
+                // the first column block is complete".
+                ctx.mark(&format!("iter:{}", k + 1));
+                self.post_panel(next, ctx);
+            } else if self.pivots.contains_key(&next) {
+                self.post_trsm_go(next, j, ctx);
+            }
+        } else {
+            self.iter_cols_left -= 1;
+            self.check_barrier(ctx);
+        }
+        self.maybe_finish(ctx);
+    }
+
+    fn on_flip_done(&mut self, k: usize, ctx: &mut dyn OpCtx) {
+        self.total_flips_left -= 1;
+        if !self.sh.cfg.pipelined && k == self.cur_k {
+            self.iter_flips_left -= 1;
+            self.check_barrier(ctx);
+        }
+        self.maybe_finish(ctx);
+    }
+
+    /// Basic graph: iteration `cur_k` finishes when all its columns and
+    /// flips are done; then run the removal plan and start the next panel.
+    fn check_barrier(&mut self, ctx: &mut dyn OpCtx) {
+        if self.iter_cols_left > 0 || self.iter_flips_left > 0 {
+            return;
+        }
+        let k = self.cur_k;
+        let kb = self.sh.kb;
+        if k + 1 >= kb {
+            return; // the final panel's completion is handled by maybe_finish
+        }
+        ctx.mark(&format!("iter:{}", k + 1));
+        self.iter_cols_left = usize::MAX; // arm against double entry
+        self.iter_flips_left = usize::MAX;
+
+        // Thread removal after iteration k+1 (1-based)?
+        if let Some(&(after, count)) = self.removal_queue.first() {
+            if after == k + 1 {
+                self.removal_queue.remove(0);
+                self.begin_removal(count, k + 1, ctx);
+                return;
+            }
+        }
+        self.post_panel(k + 1, ctx);
+    }
+
+    /// Deallocates `count` workers: columns they own migrate to the
+    /// remaining threads first; the panels resume once every migration is
+    /// acknowledged.
+    fn begin_removal(&mut self, count: u32, next_k: usize, ctx: &mut dyn OpCtx) {
+        let keep = self.active.len() - count as usize;
+        let killed: Vec<ThreadId> = self.active.split_off(keep);
+        self.to_deactivate = killed.clone();
+        self.pending_panel = Some(next_k);
+        // Recompute ownership over the survivors; migrate displaced columns.
+        let kb = self.sh.kb;
+        self.migrations_left = 0;
+        for j in 0..kb {
+            if killed.contains(&self.owner[j]) {
+                let new_owner = self.active[j % self.active.len()];
+                let old = self.owner[j];
+                self.owner[j] = new_owner;
+                self.migrations_left += 1;
+                ctx.post(
+                    self.sh.ids.worker,
+                    Box::new(WorkerReq {
+                        dest: old,
+                        body: WorkerReqBody::Evict { j, to: new_owner },
+                    }),
+                );
+            }
+        }
+        if self.migrations_left == 0 {
+            self.finish_removal(ctx);
+        }
+    }
+
+    fn finish_removal(&mut self, ctx: &mut dyn OpCtx) {
+        for t in std::mem::take(&mut self.to_deactivate) {
+            ctx.deactivate_thread(t);
+        }
+        if let Some(k) = self.pending_panel.take() {
+            self.post_panel(k, ctx);
+        }
+    }
+
+    fn on_migrate_ack(&mut self, ctx: &mut dyn OpCtx) {
+        self.migrations_left -= 1;
+        if self.migrations_left == 0 {
+            self.finish_removal(ctx);
+        }
+    }
+
+    /// Checks global completion: every panel factored, every subtraction
+    /// and flip applied, no migrations in flight.
+    fn maybe_finish(&mut self, ctx: &mut dyn OpCtx) {
+        if self.finished
+            || self.panels_left > 0
+            || self.total_subs_left > 0
+            || self.total_flips_left > 0
+            || self.migrations_left > 0
+            || self.stored < self.sh.kb
+        {
+            return;
+        }
+        self.finished = true;
+        ctx.mark(&format!("iter:{}", self.sh.kb));
+        if self.sh.cfg.mode == DataMode::Real && !self.dumped {
+            self.dumped = true;
+            // Deposit the globalized pivot sequence for the collector.
+            let mut glob = Vec::with_capacity(self.sh.cfg.n);
+            for k in 0..self.sh.kb {
+                let p = self.pivots.get(&k).expect("pivots recorded");
+                for &local in &p.0 {
+                    glob.push(k * self.sh.cfg.r + local);
+                }
+            }
+            *self.sh.pending_pivots.lock().expect("pivot lock") = glob;
+            for j in 0..self.sh.kb {
+                ctx.post(
+                    self.sh.ids.worker,
+                    Box::new(WorkerReq {
+                        dest: self.owner[j],
+                        body: WorkerReqBody::Dump { j },
+                    }),
+                );
+            }
+        } else {
+            ctx.terminate();
+        }
+    }
+}
+
+impl Operation for CoordOp {
+    fn on_object(&mut self, obj: DataObj, ctx: &mut dyn OpCtx) {
+        let m: CoordMsg = downcast(obj);
+        match m {
+            CoordMsg::ColStored { .. } => {
+                self.stored += 1;
+                if self.stored == self.sh.kb && !self.started {
+                    self.started = true;
+                    // Ownership snapshot at start.
+                    self.active = ctx.active_threads("workers");
+                    let kb = self.sh.kb;
+                    self.owner = (0..kb).map(|j| initial_owner(&self.active, j)).collect();
+                    ctx.mark("dist");
+                    self.post_panel(0, ctx);
+                }
+            }
+            CoordMsg::PanelPivots { k, pivots } => self.on_panel_pivots(k, pivots, ctx),
+            CoordMsg::SubDone { k, j } => self.on_sub_done(k, j, ctx),
+            CoordMsg::FlipDone { k, .. } => self.on_flip_done(k, ctx),
+            CoordMsg::MigrateAck { .. } => self.on_migrate_ack(ctx),
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Per-iteration request generators, running on the panel owner's thread:
+//!
+//! * [`TrsmGenOp`] — the split side of the paper's stream (f): issues the
+//!   triangular-solve request for column `j` when the coordinator says the
+//!   column is ready, carrying `L11` and the pivots from the local panel.
+//! * [`MulGenOp`] — the paper's stream (c): collects solve notifications
+//!   (`T12` blocks), pairs them with the locally available `L21` blocks,
+//!   and streams out the block-multiplication requests. In the basic flow
+//!   graph it behaves as a merge/split barrier (waits for every `T12` of
+//!   the iteration); pipelined, it streams per column. Its posts are the
+//!   flow-controlled ones.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dps::{downcast, DataObj, OpCtx, Operation, ThreadId};
+
+use crate::ops::LuShared;
+use crate::payload::{MulIn, MulReq, Payload, Pivots, TrsmGo, TrsmReq};
+
+/// State of one iteration inside [`TrsmGenOp`].
+struct TrsmState {
+    l11: Payload,
+    pivots: Pivots,
+    remaining: usize,
+}
+
+/// Stream issuing triangular-solve requests (paper op (f), split side).
+pub struct TrsmGenOp {
+    sh: Arc<LuShared>,
+    me: ThreadId,
+    setups: HashMap<usize, TrsmState>,
+    /// `TrsmGo`s that arrived before their panel results (cannot happen
+    /// with a correct coordinator, but buffering keeps the op total).
+    pending: Vec<TrsmGo>,
+}
+
+impl TrsmGenOp {
+    /// Creates the behaviour instance for one thread.
+    pub fn new(sh: Arc<LuShared>, me: ThreadId) -> TrsmGenOp {
+        TrsmGenOp {
+            sh,
+            me,
+            setups: HashMap::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    fn issue(&mut self, go: TrsmGo, ctx: &mut dyn OpCtx) {
+        let sh = self.sh.clone();
+        let st = self.setups.get_mut(&go.k).expect("setup present");
+        let req = TrsmReq {
+            k: go.k,
+            j: go.j,
+            dest: go.owner,
+            hub: self.me,
+            l11: st.l11.clone(),
+            pivots: st.pivots.clone(),
+        };
+        sh.charge_msg_prep(ctx, st.l11.wire() + st.pivots.wire());
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            self.setups.remove(&go.k);
+        }
+        ctx.post(sh.ids.worker, Box::new(req));
+    }
+}
+
+impl Operation for TrsmGenOp {
+    fn on_object(&mut self, obj: DataObj, ctx: &mut dyn OpCtx) {
+        let any = obj.into_any();
+        let any = match any.downcast::<crate::payload::TrsmSetup>() {
+            Ok(setup) => {
+                let setup = *setup;
+                let remaining = self.sh.kb - 1 - setup.k;
+                self.setups.insert(
+                    setup.k,
+                    TrsmState {
+                        l11: setup.l11,
+                        pivots: setup.pivots,
+                        remaining,
+                    },
+                );
+                let ready: Vec<TrsmGo> = {
+                    let k = setup.k;
+                    let (r, rest): (Vec<_>, Vec<_>) =
+                        self.pending.drain(..).partition(|g| g.k == k);
+                    self.pending = rest;
+                    r
+                };
+                for go in ready {
+                    self.issue(go, ctx);
+                }
+                return;
+            }
+            Err(a) => a,
+        };
+        let go: TrsmGo = match any.downcast::<TrsmGo>() {
+            Ok(g) => *g,
+            Err(_) => panic!("trsmgen received unexpected data object"),
+        };
+        if self.setups.contains_key(&go.k) {
+            self.issue(go, ctx);
+        } else {
+            self.pending.push(go);
+        }
+    }
+}
+
+/// State of one iteration inside [`MulGenOp`].
+#[derive(Default)]
+struct MulState {
+    l21: Option<Vec<Payload>>,
+    /// Buffered (j, owner, t12) tuples (basic mode holds all of them until
+    /// the iteration's last solve; pipelined mode only those that arrived
+    /// before the panel results).
+    t12s: Vec<(usize, ThreadId, Payload)>,
+    arrived: usize,
+    emitted_cols: usize,
+}
+
+/// Stream generating multiplication requests (paper op (c)).
+pub struct MulGenOp {
+    sh: Arc<LuShared>,
+    states: HashMap<usize, MulState>,
+}
+
+impl MulGenOp {
+    /// Creates the behaviour instance for one thread.
+    pub fn new(sh: Arc<LuShared>, _me: ThreadId) -> MulGenOp {
+        MulGenOp {
+            sh,
+            states: HashMap::new(),
+        }
+    }
+
+    /// Emits the `kb-1-k` multiplication requests of column `j`.
+    fn emit_column(
+        sh: &Arc<LuShared>,
+        state: &mut MulState,
+        k: usize,
+        j: usize,
+        owner: ThreadId,
+        t12: &Payload,
+        ctx: &mut dyn OpCtx,
+    ) {
+        let kb = sh.kb;
+        let l21 = state.l21.as_ref().expect("L21 present");
+        let dest_op = if sh.cfg.parallel_mul.is_some() {
+            sh.ids.pmsplit
+        } else {
+            sh.ids.mult
+        };
+        for i in k + 1..kb {
+            let req = MulReq {
+                k,
+                i,
+                j,
+                owner,
+                a: l21[i - k - 1].clone(),
+                b: t12.clone(),
+            };
+            sh.charge_msg_prep(ctx, req.a.wire() + req.b.wire());
+            ctx.post(dest_op, Box::new(req));
+        }
+        state.emitted_cols += 1;
+    }
+}
+
+impl Operation for MulGenOp {
+    fn on_object(&mut self, obj: DataObj, ctx: &mut dyn OpCtx) {
+        let sh = self.sh.clone();
+        let kb = sh.kb;
+        let m: MulIn = downcast(obj);
+        match m {
+            MulIn::L21 { k, blocks, .. } => {
+                let state = self.states.entry(k).or_default();
+                state.l21 = Some(blocks);
+                // Pipelined: flush whatever solves already arrived. Basic:
+                // flush only if the iteration's solves are all in.
+                let flush = sh.cfg.pipelined || state.arrived == kb - 1 - k;
+                if flush {
+                    let buffered = std::mem::take(&mut state.t12s);
+                    for (j, owner, t12) in &buffered {
+                        Self::emit_column(&sh, state, k, *j, *owner, t12, ctx);
+                    }
+                }
+            }
+            MulIn::TrsmDone {
+                k, j, owner, t12, ..
+            } => {
+                let state = self.states.entry(k).or_default();
+                state.arrived += 1;
+                let streaming = sh.cfg.pipelined;
+                if streaming && state.l21.is_some() {
+                    Self::emit_column(&sh, state, k, j, owner, &t12, ctx);
+                } else if !streaming && state.arrived == kb - 1 - k && state.l21.is_some() {
+                    // Basic graph: barrier reached — emit every column now.
+                    state.t12s.push((j, owner, t12));
+                    let buffered = std::mem::take(&mut state.t12s);
+                    for (jj, own, tt) in &buffered {
+                        Self::emit_column(&sh, state, k, *jj, *own, tt, ctx);
+                    }
+                } else {
+                    state.t12s.push((j, owner, t12));
+                }
+            }
+        }
+        // Iteration state drops once every column's requests went out.
+        self.states.retain(|&k, s| s.emitted_cols < kb - 1 - k);
+    }
+}

@@ -1,0 +1,54 @@
+//! The init split: generates/declares the matrix and distributes its column
+//! blocks onto the worker threads.
+
+use std::sync::Arc;
+
+use dps::{downcast, DataObj, OpCtx, Operation};
+use linalg::Matrix;
+
+use crate::ops::{initial_owner, LuShared};
+use crate::payload::{ColumnData, Start};
+
+/// The initial matrix distribution split (see module docs).
+pub struct InitOp {
+    sh: Arc<LuShared>,
+}
+
+impl InitOp {
+    /// Creates the behaviour instance for one thread.
+    pub fn new(sh: Arc<LuShared>) -> InitOp {
+        InitOp { sh }
+    }
+}
+
+impl Operation for InitOp {
+    fn on_object(&mut self, obj: DataObj, ctx: &mut dyn OpCtx) {
+        let _: Start = downcast(obj);
+        let sh = &self.sh;
+        let (n, r, kb) = (sh.cfg.n, sh.cfg.r, sh.kb);
+        let workers = ctx.all_threads("workers");
+
+        // The full input matrix exists only here, only in Real mode, and
+        // only for the duration of the distribution.
+        let full = if sh.compute() {
+            Some(Matrix::random(n, n, sh.cfg.seed))
+        } else {
+            None
+        };
+        for j in 0..kb {
+            let col = sh.make_payload(n, r, || {
+                full.as_ref().expect("real mode").block(0, j * r, n, r)
+            });
+            sh.charge_msg_prep(ctx, col.wire());
+            ctx.post(
+                sh.ids.worker,
+                Box::new(ColumnData {
+                    j,
+                    dest: initial_owner(&workers, j),
+                    migration: false,
+                    col,
+                }),
+            );
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Operation implementations of the LU flow graph.
+//!
+//! Operation → paper mapping (Figures 5 and 7):
+//!
+//! | module      | op         | paper |
+//! |-------------|------------|-------|
+//! | [`init`]    | `init`     | initial matrix distribution (split) |
+//! | [`worker`]  | `worker`   | (a) panel LU, (b) trsm + row flip, (e) subtraction, (g) row flipping of previous columns, column storage & migration |
+//! | [`hub`]     | `trsmgen`  | (f)'s split side: streams triangular-solve requests |
+//! | [`hub`]     | `mulgen`   | (c): collects solve notifications, streams multiplication requests (flow-controlled) |
+//! | [`mult`]    | `mult`     | (d): block multiplication |
+//! | [`pm`]      | `pmsplit`/`pmworker`/`pmmerge` | Figure 7 (a)–(f): parallel sub-block multiplication |
+//! | [`coord`]   | `coord`    | (f)'s merge side + (h): collects notifications, triggers panels/flips, barriers (basic graph), iteration marks, thread removal |
+//! | [`collect`] | `collect`  | verification dump (not in the paper's graph; Real mode only) |
+
+pub mod collect;
+pub mod coord;
+pub mod hub;
+pub mod init;
+pub mod mult;
+pub mod pm;
+pub mod worker;
+
+use std::sync::Mutex;
+
+use desim::SimDuration;
+use dps::{OpCtx, OpId, ThreadId};
+use linalg::Matrix;
+use perfmodel::LuCost;
+
+use crate::config::{DataMode, LuConfig};
+use crate::payload::{LuOutput, Payload};
+
+/// Operation ids of the built flow graph, captured by every behaviour.
+#[derive(Clone, Copy, Debug)]
+pub struct OpIds {
+    /// Initial matrix distribution split.
+    pub init: OpId,
+    /// Column-block owner (panel/trsm/sub/flip/storage).
+    pub worker: OpId,
+    /// Triangular-solve request generator (stream on the panel owner).
+    pub trsmgen: OpId,
+    /// Multiplication request generator (flow-controlled stream).
+    pub mulgen: OpId,
+    /// Block multiplication leaf.
+    pub mult: OpId,
+    /// PM sub-graph: distributor of sub-blocks.
+    pub pmsplit: OpId,
+    /// PM sub-graph: sub-block store + multiplier.
+    pub pmworker: OpId,
+    /// PM sub-graph: product assembler.
+    pub pmmerge: OpId,
+    /// Coordinator stream on the main thread.
+    pub coord: OpId,
+    /// Verification collector (Real mode).
+    pub collect: OpId,
+}
+
+/// Configuration and cross-operation plumbing shared by all behaviours.
+pub struct LuShared {
+    /// The run's configuration.
+    pub cfg: LuConfig,
+    /// Number of column blocks `K`.
+    pub kb: usize,
+    /// Flow-graph operation ids.
+    pub ids: OpIds,
+    /// Where the coordinator deposits the global pivot sequence for the
+    /// collector (Real mode).
+    pub pending_pivots: Mutex<Vec<usize>>,
+    /// Final factorization output (Real mode).
+    pub result: Mutex<Option<LuOutput>>,
+}
+
+impl LuShared {
+    /// The PDEXEC kernel cost model, if configured.
+    pub fn cost(&self) -> Option<&LuCost> {
+        self.cfg.cost.as_ref()
+    }
+
+    /// Charges a kernel duration when a cost model is configured (PDEXEC);
+    /// without one, direct execution measures the step instead.
+    pub fn charge(&self, ctx: &mut dyn OpCtx, f: impl FnOnce(&LuCost) -> SimDuration) {
+        if let Some(cost) = self.cost() {
+            ctx.charge(f(cost));
+        }
+    }
+
+    /// Charges the serialization/copy cost of preparing a `bytes`-sized
+    /// message.
+    pub fn charge_msg_prep(&self, ctx: &mut dyn OpCtx, bytes: u64) {
+        if let Some(cost) = self.cost() {
+            let d = SimDuration::from_secs_f64(bytes as f64 / cost.profile().mem_bytes_per_sec);
+            ctx.charge(d);
+        }
+    }
+
+    /// Builds a block payload in the configured data mode; `real` is only
+    /// invoked in `Real` mode.
+    pub fn make_payload(
+        &self,
+        rows: usize,
+        cols: usize,
+        real: impl FnOnce() -> Matrix,
+    ) -> Payload {
+        match self.cfg.mode {
+            DataMode::Real => Payload::Real(real()),
+            DataMode::Alloc => Payload::alloc(rows, cols),
+            DataMode::Ghost => Payload::Ghost { rows, cols },
+        }
+    }
+
+    /// Whether kernels actually compute.
+    pub fn compute(&self) -> bool {
+        self.cfg.mode == DataMode::Real
+    }
+}
+
+/// Initial owner of column block `j` among `workers`.
+pub fn initial_owner(workers: &[ThreadId], j: usize) -> ThreadId {
+    workers[j % workers.len()]
+}

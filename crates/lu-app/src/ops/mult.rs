@@ -1,0 +1,46 @@
+//! The block multiplication leaf (paper op (d)): computes `L21(i) · T12(j)`
+//! and sends the product to the subtraction at column `j`'s owner.
+
+use std::sync::Arc;
+
+use dps::{downcast, DataObj, OpCtx, Operation};
+
+use crate::ops::LuShared;
+use crate::payload::{MulReq, Payload, SubReq};
+
+/// The block multiplication leaf (see module docs).
+pub struct MultOp {
+    sh: Arc<LuShared>,
+}
+
+impl MultOp {
+    /// Creates the behaviour instance for one thread.
+    pub fn new(sh: Arc<LuShared>) -> MultOp {
+        MultOp { sh }
+    }
+}
+
+impl Operation for MultOp {
+    fn on_object(&mut self, obj: DataObj, ctx: &mut dyn OpCtx) {
+        let sh = self.sh.clone();
+        let r = sh.cfg.r;
+        let m: MulReq = downcast(obj);
+        let prod = if sh.compute() {
+            Payload::Real(m.a.matrix().matmul(m.b.matrix()))
+        } else {
+            sh.make_payload(r, r, || unreachable!())
+        };
+        sh.charge(ctx, |c| c.gemm_block(r));
+        sh.charge_msg_prep(ctx, prod.wire());
+        ctx.post(
+            sh.ids.worker,
+            Box::new(SubReq {
+                k: m.k,
+                i: m.i,
+                j: m.j,
+                dest: m.owner,
+                prod,
+            }),
+        );
+    }
+}

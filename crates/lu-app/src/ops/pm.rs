@@ -1,0 +1,287 @@
+//! Parallel sub-block multiplication (the paper's Figure 7).
+//!
+//! Each `r × r` block multiplication `L21(i) · T12(j)` is decomposed into
+//! `q = r/s` line blocks (`s × r`, from the first matrix) and `q` column
+//! blocks (`r × s`, from the second):
+//!
+//! * [`PmSplitOp`] (a, c, d): stores the first matrix, distributes the
+//!   column blocks, collects storage notifications, then sends the line
+//!   blocks to the threads holding the column blocks;
+//! * [`PmWorkerOp`] (b, e): stores column blocks and multiplies arriving
+//!   line blocks with them, producing `s × s` pieces;
+//! * [`PmMergeOp`] (f): collects the `q²` pieces, assembles the `r × r`
+//!   product on column `j`'s owner and hands it to the subtraction.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dps::{downcast, DataObj, OpCtx, Operation, ThreadId};
+use linalg::Matrix;
+
+use crate::ops::LuShared;
+use crate::payload::{MulKey, MulReq, Payload, PmColAck, PmPiece, PmWork, SubReq};
+
+struct SplitState {
+    a: Payload,
+    storers: Vec<ThreadId>,
+    acks: usize,
+    owner: ThreadId,
+}
+
+/// PM (a)(c)(d): stores the first matrix, distributes column sub-blocks,
+/// collects storage acks, sends line blocks.
+pub struct PmSplitOp {
+    sh: Arc<LuShared>,
+    me: ThreadId,
+    states: HashMap<MulKey, SplitState>,
+}
+
+impl PmSplitOp {
+    /// Creates the behaviour instance for one thread.
+    pub fn new(sh: Arc<LuShared>, me: ThreadId) -> PmSplitOp {
+        PmSplitOp {
+            sh,
+            me,
+            states: HashMap::new(),
+        }
+    }
+
+    fn q(&self) -> usize {
+        self.sh.cfg.r / self.sh.cfg.parallel_mul.expect("PM enabled")
+    }
+
+    fn on_req(&mut self, m: MulReq, ctx: &mut dyn OpCtx) {
+        let sh = self.sh.clone();
+        let s = sh.cfg.parallel_mul.expect("PM enabled");
+        let r = sh.cfg.r;
+        let q = self.q();
+        let key = MulKey {
+            k: m.k,
+            i: m.i,
+            j: m.j,
+        };
+        // Deterministic storer choice spread by the multiplication indices.
+        let act = ctx.active_threads("workers");
+        let storers: Vec<ThreadId> = (0..q).map(|c| act[(m.i + m.j + c) % act.len()]).collect();
+        for (c, &dest) in storers.iter().enumerate() {
+            let data = if sh.compute() {
+                Payload::Real(m.b.matrix().block(0, c * s, r, s))
+            } else {
+                sh.make_payload(r, s, || unreachable!())
+            };
+            sh.charge_msg_prep(ctx, data.wire());
+            ctx.post(
+                sh.ids.pmworker,
+                Box::new(PmWork::Col {
+                    key,
+                    c,
+                    q,
+                    dest,
+                    splitter: self.me,
+                    owner: m.owner,
+                    data,
+                }),
+            );
+        }
+        self.states.insert(
+            key,
+            SplitState {
+                a: m.a,
+                storers,
+                acks: 0,
+                owner: m.owner,
+            },
+        );
+    }
+
+    fn on_ack(&mut self, ack: PmColAck, ctx: &mut dyn OpCtx) {
+        let sh = self.sh.clone();
+        let s = sh.cfg.parallel_mul.expect("PM enabled");
+        let r = sh.cfg.r;
+        let q = self.q();
+        let st = self.states.get_mut(&ack.key).expect("split state present");
+        st.acks += 1;
+        if st.acks < q {
+            return;
+        }
+        let st = self.states.remove(&ack.key).expect("just seen");
+        for l in 0..q {
+            let data = if sh.compute() {
+                Payload::Real(st.a.matrix().block(l * s, 0, s, r))
+            } else {
+                sh.make_payload(s, r, || unreachable!())
+            };
+            for (c, &dest) in st.storers.iter().enumerate() {
+                let line = data.clone();
+                sh.charge_msg_prep(ctx, line.wire());
+                ctx.post(
+                    sh.ids.pmworker,
+                    Box::new(PmWork::Line {
+                        key: ack.key,
+                        l,
+                        c,
+                        q,
+                        dest,
+                        merge_at: st.owner,
+                        data: line,
+                    }),
+                );
+            }
+        }
+    }
+}
+
+impl Operation for PmSplitOp {
+    fn on_object(&mut self, obj: DataObj, ctx: &mut dyn OpCtx) {
+        let any = obj.into_any();
+        let any = match any.downcast::<MulReq>() {
+            Ok(m) => return self.on_req(*m, ctx),
+            Err(a) => a,
+        };
+        match any.downcast::<PmColAck>() {
+            Ok(a) => self.on_ack(*a, ctx),
+            Err(_) => panic!("pmsplit received unexpected data object"),
+        }
+    }
+}
+
+/// PM (b)(e): stores column sub-blocks and multiplies line blocks with them.
+pub struct PmWorkerOp {
+    sh: Arc<LuShared>,
+    me: ThreadId,
+    stored: HashMap<(MulKey, usize), (Payload, usize)>, // (col block, lines served)
+}
+
+impl PmWorkerOp {
+    /// Creates the behaviour instance for one thread.
+    pub fn new(sh: Arc<LuShared>, me: ThreadId) -> PmWorkerOp {
+        PmWorkerOp {
+            sh,
+            me,
+            stored: HashMap::new(),
+        }
+    }
+}
+
+impl Operation for PmWorkerOp {
+    fn on_object(&mut self, obj: DataObj, ctx: &mut dyn OpCtx) {
+        let sh = self.sh.clone();
+        let m: PmWork = downcast(obj);
+        match m {
+            PmWork::Col {
+                key,
+                c,
+                splitter,
+                data,
+                ..
+            } => {
+                ctx.account_state(data.heap() as i64);
+                self.stored.insert((key, c), (data, 0));
+                ctx.post(
+                    sh.ids.pmsplit,
+                    Box::new(PmColAck {
+                        key,
+                        c,
+                        storer: self.me,
+                        dest: splitter,
+                    }),
+                );
+            }
+            PmWork::Line {
+                key,
+                l,
+                c,
+                q,
+                merge_at,
+                data,
+                ..
+            } => {
+                let s = sh.cfg.parallel_mul.expect("PM enabled");
+                let r = sh.cfg.r;
+                let piece = {
+                    let (col, served) = self.stored.get_mut(&(key, c)).expect("column stored");
+                    let piece = if sh.compute() {
+                        Payload::Real(data.matrix().matmul(col.matrix()))
+                    } else {
+                        sh.make_payload(s, s, || unreachable!())
+                    };
+                    *served += 1;
+                    if *served == q {
+                        let (gone, _) = self.stored.remove(&(key, c)).expect("present");
+                        ctx.account_state(-(gone.heap() as i64));
+                    }
+                    piece
+                };
+                sh.charge(ctx, |cst| cst.gemm(s, s, r));
+                sh.charge_msg_prep(ctx, piece.wire());
+                ctx.post(
+                    sh.ids.pmmerge,
+                    Box::new(PmPiece {
+                        key,
+                        l,
+                        c,
+                        q,
+                        owner: merge_at,
+                        merge_at,
+                        data: piece,
+                    }),
+                );
+            }
+        }
+    }
+}
+
+/// PM (f): assembles the r x r product from the s x s pieces.
+pub struct PmMergeOp {
+    sh: Arc<LuShared>,
+    pieces: HashMap<MulKey, Vec<PmPiece>>,
+}
+
+impl PmMergeOp {
+    /// Creates the behaviour instance for one thread.
+    pub fn new(sh: Arc<LuShared>) -> PmMergeOp {
+        PmMergeOp {
+            sh,
+            pieces: HashMap::new(),
+        }
+    }
+}
+
+impl Operation for PmMergeOp {
+    fn on_object(&mut self, obj: DataObj, ctx: &mut dyn OpCtx) {
+        let sh = self.sh.clone();
+        let r = sh.cfg.r;
+        let s = sh.cfg.parallel_mul.expect("PM enabled");
+        let p: PmPiece = downcast(obj);
+        let key = p.key;
+        let q = p.q;
+        let owner = p.owner;
+        let entry = self.pieces.entry(key).or_default();
+        entry.push(p);
+        if entry.len() < q * q {
+            return;
+        }
+        let pieces = self.pieces.remove(&key).expect("just filled");
+        let prod = if sh.compute() {
+            let mut prod = Matrix::zeros(r, r);
+            for piece in &pieces {
+                prod.set_block(piece.l * s, piece.c * s, piece.data.matrix());
+            }
+            Payload::Real(prod)
+        } else {
+            sh.make_payload(r, r, || unreachable!())
+        };
+        // Assembly cost: one pass over the r × r result.
+        sh.charge_msg_prep(ctx, prod.wire());
+        ctx.post(
+            sh.ids.worker,
+            Box::new(SubReq {
+                k: key.k,
+                i: key.i,
+                j: key.j,
+                dest: owner,
+                prod,
+            }),
+        );
+    }
+}

@@ -1,0 +1,227 @@
+//! The worker operation: owns column blocks and performs every kernel that
+//! touches them — panel LU (a), row flipping + triangular solve (b),
+//! subtraction (e), row flipping of previous columns (g), plus storage,
+//! eviction and migration for dynamic thread removal.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dps::{DataObj, OpCtx, Operation, ThreadId};
+use linalg::{apply_row_swaps, panel_lu, trsm_lower_unit};
+
+use crate::ops::LuShared;
+use crate::payload::{
+    ColumnData, ColumnOut, CoordMsg, MulIn, Payload, Pivots, SubReq, TrsmReq, TrsmSetup,
+    WorkerReq, WorkerReqBody,
+};
+
+/// The column-block owner operation (see module docs).
+pub struct WorkerOp {
+    sh: Arc<LuShared>,
+    me: ThreadId,
+    cols: HashMap<usize, Payload>,
+}
+
+impl WorkerOp {
+    /// Creates the behaviour instance for one thread.
+    pub fn new(sh: Arc<LuShared>, me: ThreadId) -> WorkerOp {
+        WorkerOp {
+            sh,
+            me,
+            cols: HashMap::new(),
+        }
+    }
+
+    fn on_column(&mut self, m: ColumnData, ctx: &mut dyn OpCtx) {
+        let sh = self.sh.clone();
+        sh.charge_msg_prep(ctx, m.col.wire());
+        ctx.account_state(m.col.heap() as i64);
+        let ack = if m.migration {
+            CoordMsg::MigrateAck { j: m.j }
+        } else {
+            CoordMsg::ColStored { j: m.j }
+        };
+        self.cols.insert(m.j, m.col);
+        ctx.post(sh.ids.coord, Box::new(ack));
+    }
+
+    fn on_request(&mut self, m: WorkerReq, ctx: &mut dyn OpCtx) {
+        match m.body {
+            WorkerReqBody::Panel { k } => self.do_panel(k, ctx),
+            WorkerReqBody::Flip { k, j, pivots } => self.do_flip(k, j, pivots, ctx),
+            WorkerReqBody::Evict { j, to } => self.do_evict(j, to, ctx),
+            WorkerReqBody::Dump { j } => self.do_dump(j, ctx),
+        }
+    }
+
+    /// Step 1: rectangular LU factorization with partial pivoting of the
+    /// panel (rows `k·r..n` of the local column block `k`).
+    fn do_panel(&mut self, k: usize, ctx: &mut dyn OpCtx) {
+        let sh = self.sh.clone();
+        let (n, r, kb) = (sh.cfg.n, sh.cfg.r, sh.kb);
+        let m = n - k * r;
+        let col = self.cols.get_mut(&k).expect("panel column not local");
+
+        let (pivots, l11, l21_blocks) = if sh.compute() {
+            let mat = col.matrix_mut();
+            let mut panel = mat.block(k * r, 0, m, r);
+            let mut piv = Vec::new();
+            panel_lu(&mut panel, &mut piv);
+            mat.set_block(k * r, 0, &panel);
+            let l11 = panel.block(0, 0, r, r);
+            let l21: Vec<Payload> = (k + 1..kb)
+                .map(|i| Payload::Real(panel.block((i - k) * r, 0, r, r)))
+                .collect();
+            (Pivots(piv), Payload::Real(l11), l21)
+        } else {
+            // Identity pivots: swap step t with row t (no-op flips).
+            let piv = Pivots((0..r).collect());
+            let l11 = sh.make_payload(r, r, || unreachable!());
+            let l21: Vec<Payload> = (k + 1..kb)
+                .map(|_| sh.make_payload(r, r, || unreachable!()))
+                .collect();
+            (piv, l11, l21)
+        };
+        sh.charge(ctx, |c| c.panel(m, r));
+
+        if k + 1 < kb {
+            // Local posts: L11 + pivots to the trsm generator, L21 to the
+            // multiplication generator — both run on this thread (the
+            // paper's "blocks from L21 are available on the local thread
+            // within which the merge operation is executing").
+            ctx.post(
+                sh.ids.trsmgen,
+                Box::new(TrsmSetup {
+                    k,
+                    hub: self.me,
+                    l11,
+                    pivots: pivots.clone(),
+                }),
+            );
+            ctx.post(
+                sh.ids.mulgen,
+                Box::new(MulIn::L21 {
+                    k,
+                    hub: self.me,
+                    blocks: l21_blocks,
+                }),
+            );
+        }
+        ctx.post(sh.ids.coord, Box::new(CoordMsg::PanelPivots { k, pivots }));
+    }
+
+    /// Step 2 on column `j`: apply panel `k`'s row flips, then solve the
+    /// triangular system producing `T12(k, j)`.
+    fn on_trsm(&mut self, m: TrsmReq, ctx: &mut dyn OpCtx) {
+        let sh = self.sh.clone();
+        let r = sh.cfg.r;
+        let col = self.cols.get_mut(&m.j).expect("trsm column not local");
+        let t12 = if sh.compute() {
+            let mat = col.matrix_mut();
+            apply_row_swaps(mat, m.k * r, &m.pivots.0);
+            let mut block = mat.block(m.k * r, 0, r, r);
+            trsm_lower_unit(m.l11.matrix(), &mut block);
+            mat.set_block(m.k * r, 0, &block);
+            Payload::Real(block)
+        } else {
+            sh.make_payload(r, r, || unreachable!())
+        };
+        sh.charge(ctx, |c| c.row_flip(r, r) + c.trsm(r, r));
+        sh.charge_msg_prep(ctx, t12.wire());
+        ctx.post(
+            sh.ids.mulgen,
+            Box::new(MulIn::TrsmDone {
+                k: m.k,
+                j: m.j,
+                hub: m.hub,
+                owner: self.me,
+                t12,
+            }),
+        );
+    }
+
+    /// Step 3 tail: subtract a finished product from block row `i` of the
+    /// local column `j`.
+    fn on_sub(&mut self, m: SubReq, ctx: &mut dyn OpCtx) {
+        let sh = self.sh.clone();
+        let r = sh.cfg.r;
+        if sh.compute() {
+            let col = self.cols.get_mut(&m.j).expect("sub column not local");
+            let mat = col.matrix_mut();
+            let prod = m.prod.matrix();
+            for x in 0..r {
+                let dst = &mut mat.row_mut(m.i * r + x)[..r];
+                let src = prod.row(x);
+                for y in 0..r {
+                    dst[y] -= src[y];
+                }
+            }
+        }
+        sh.charge(ctx, |c| c.subtract(r, r));
+        ctx.post(
+            sh.ids.coord,
+            Box::new(CoordMsg::SubDone { k: m.k, j: m.j }),
+        );
+    }
+
+    /// Row flipping of a previous column `j < k` (op (g)).
+    fn do_flip(&mut self, k: usize, j: usize, pivots: Pivots, ctx: &mut dyn OpCtx) {
+        let sh = self.sh.clone();
+        let r = sh.cfg.r;
+        if sh.compute() {
+            let col = self.cols.get_mut(&j).expect("flip column not local");
+            apply_row_swaps(col.matrix_mut(), k * r, &pivots.0);
+        }
+        sh.charge(ctx, |c| c.row_flip(r, r));
+        ctx.post(sh.ids.coord, Box::new(CoordMsg::FlipDone { k, j }));
+    }
+
+    /// Thread removal: hand the column over to its new owner.
+    fn do_evict(&mut self, j: usize, to: ThreadId, ctx: &mut dyn OpCtx) {
+        let sh = self.sh.clone();
+        let col = self.cols.remove(&j).expect("evicted column not local");
+        ctx.account_state(-(col.heap() as i64));
+        sh.charge_msg_prep(ctx, col.wire());
+        ctx.post(
+            sh.ids.worker,
+            Box::new(ColumnData {
+                j,
+                dest: to,
+                migration: true,
+                col,
+            }),
+        );
+    }
+
+    /// Verification dump of a finished column.
+    fn do_dump(&mut self, j: usize, ctx: &mut dyn OpCtx) {
+        let sh = self.sh.clone();
+        let col = self.cols.remove(&j).expect("dump column not local");
+        ctx.account_state(-(col.heap() as i64));
+        sh.charge_msg_prep(ctx, col.wire());
+        ctx.post(sh.ids.collect, Box::new(ColumnOut { j, col }));
+    }
+}
+
+impl Operation for WorkerOp {
+    fn on_object(&mut self, obj: DataObj, ctx: &mut dyn OpCtx) {
+        let any = obj.into_any();
+        let any = match any.downcast::<ColumnData>() {
+            Ok(m) => return self.on_column(*m, ctx),
+            Err(a) => a,
+        };
+        let any = match any.downcast::<WorkerReq>() {
+            Ok(m) => return self.on_request(*m, ctx),
+            Err(a) => a,
+        };
+        let any = match any.downcast::<TrsmReq>() {
+            Ok(m) => return self.on_trsm(*m, ctx),
+            Err(a) => a,
+        };
+        match any.downcast::<SubReq>() {
+            Ok(m) => self.on_sub(*m, ctx),
+            Err(_) => panic!("worker received unexpected data object"),
+        }
+    }
+}
+

@@ -1,0 +1,583 @@
+//! Data objects exchanged by the LU flow graph.
+//!
+//! Every message type implements [`dps::DataObject`]: its wire size is what
+//! the DPS size-counting serializer would report, and its heap bytes feed
+//! the engine's memory meter (ghost payloads report size without owning
+//! memory — the NOALLOC technique).
+
+use dps::{DataObject, ThreadId};
+use linalg::Matrix;
+
+/// Fixed per-message envelope (type tag, indices) in bytes.
+pub const MSG_HEADER: u64 = 16;
+
+/// A matrix block payload: real data, allocated-but-unused data, or a ghost.
+#[derive(Clone, Debug)]
+pub enum Payload {
+    /// Really computed data.
+    Real(Matrix),
+    /// Size-only stand-in (NOALLOC).
+    Ghost {
+        /// Row count of the block it stands for.
+        rows: usize,
+        /// Column count of the block it stands for.
+        cols: usize,
+    },
+}
+
+impl Payload {
+    /// Allocated zero block (PDEXEC with allocation).
+    pub fn alloc(rows: usize, cols: usize) -> Payload {
+        Payload::Real(Matrix::zeros(rows, cols))
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        match self {
+            Payload::Real(m) => m.rows(),
+            Payload::Ghost { rows, .. } => *rows,
+        }
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        match self {
+            Payload::Real(m) => m.cols(),
+            Payload::Ghost { cols, .. } => *cols,
+        }
+    }
+
+    /// Serialized size: dims header + dense doubles.
+    /// Serialized size: dims header plus dense doubles.
+    pub fn wire(&self) -> u64 {
+        8 + (self.rows() * self.cols() * 8) as u64
+    }
+
+    /// Heap bytes owned (0 for ghosts).
+    pub fn heap(&self) -> u64 {
+        match self {
+            Payload::Real(m) => m.heap_bytes(),
+            Payload::Ghost { .. } => 0,
+        }
+    }
+
+    /// The real matrix; panics on ghosts (callers gate on the data mode).
+    pub fn matrix(&self) -> &Matrix {
+        match self {
+            Payload::Real(m) => m,
+            Payload::Ghost { .. } => panic!("ghost payload has no matrix"),
+        }
+    }
+
+    /// Mutable access to the real matrix; panics on ghosts.
+    pub fn matrix_mut(&mut self) -> &mut Matrix {
+        match self {
+            Payload::Real(m) => m,
+            Payload::Ghost { .. } => panic!("ghost payload has no matrix"),
+        }
+    }
+
+    /// Whether real data is present.
+    pub fn is_real(&self) -> bool {
+        matches!(self, Payload::Real(_))
+    }
+}
+
+/// Pivot sequence of one panel (local indices relative to the panel top).
+#[derive(Clone, Debug, Default)]
+pub struct Pivots(pub Vec<usize>);
+
+impl Pivots {
+    /// Serialized size of the pivot sequence.
+    pub fn wire(&self) -> u64 {
+        4 + 4 * self.0.len() as u64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Messages. One struct per (edge, direction); `dest`-carrying messages are
+// routed with `by_target`.
+// ---------------------------------------------------------------------------
+
+/// Kick-off token for the init split.
+pub struct Start;
+
+/// Initial (or migrated) column block heading to its owner.
+pub struct ColumnData {
+    /// Column-block index.
+    pub j: usize,
+    /// Destination thread (resolved by the `by_target` router).
+    pub dest: ThreadId,
+    /// `true` when this is a removal-triggered migration (acknowledged with
+    /// `MigrateAck` instead of `ColStored`).
+    pub migration: bool,
+    /// The column-block payload.
+    pub col: Payload,
+}
+
+/// Requests the coordinator sends to workers.
+pub enum WorkerReqBody {
+    /// Factorize the panel of iteration `k` (the local column `k`).
+    Panel {
+        /// Iteration (panel) index.
+        k: usize,
+    },
+    /// Apply panel `k`'s pivots to previous column `j < k` (op (g)).
+    Flip {
+        /// Iteration whose pivots apply.
+        k: usize,
+        /// Previous column to flip.
+        j: usize,
+        /// The panel's pivot sequence.
+        pivots: Pivots,
+    },
+    /// Hand column `j` over to thread `to` (thread removal).
+    Evict {
+        /// Column to migrate.
+        j: usize,
+        /// New owner thread.
+        to: ThreadId,
+    },
+    /// Send column `j` to the collector (verification dump).
+    Dump {
+        /// Column to dump.
+        j: usize,
+    },
+}
+
+/// A routed coordinator request (see [`WorkerReqBody`]).
+pub struct WorkerReq {
+    /// Destination thread (resolved by the `by_target` router).
+    pub dest: ThreadId,
+    /// The request body.
+    pub body: WorkerReqBody,
+}
+
+/// Notifications the workers send to the coordinator.
+pub enum CoordMsg {
+    /// Column `j` stored at its initial owner.
+    ColStored {
+        /// Stored column index.
+        j: usize,
+    },
+    /// Panel `k` factored; its pivots for flip scheduling.
+    PanelPivots {
+        /// Factored panel index.
+        k: usize,
+        /// The panel's pivot sequence.
+        pivots: Pivots,
+    },
+    /// One subtraction applied to column `j` at iteration `k`.
+    SubDone {
+        /// Iteration index.
+        k: usize,
+        /// Updated column index.
+        j: usize,
+    },
+    /// Row flipping of column `j` by panel `k`'s pivots finished.
+    FlipDone {
+        /// Pivot source iteration.
+        k: usize,
+        /// Flipped column index.
+        j: usize,
+    },
+    /// Column `j` arrived at its new owner (thread removal).
+    MigrateAck {
+        /// Migrated column index.
+        j: usize,
+    },
+}
+
+/// Panel results for the trsm-request generator (local to the panel owner).
+pub struct TrsmSetup {
+    /// Iteration (panel) index.
+    pub k: usize,
+    /// Thread hosting the per-iteration request generators.
+    pub hub: ThreadId,
+    /// The panel's unit-lower triangle.
+    pub l11: Payload,
+    /// Panel pivot sequence.
+    pub pivots: Pivots,
+}
+
+/// Coordinator tells the trsm generator to issue the solve for column `j`.
+pub struct TrsmGo {
+    /// Iteration (panel) index.
+    pub k: usize,
+    /// Column-block index.
+    pub j: usize,
+    /// Thread hosting the per-iteration request generators.
+    pub hub: ThreadId,
+    /// Owner thread of the affected column block.
+    pub owner: ThreadId,
+}
+
+/// Triangular-solve request carrying `L11` + pivots to column `j`'s owner.
+pub struct TrsmReq {
+    /// Iteration (panel) index.
+    pub k: usize,
+    /// Column-block index.
+    pub j: usize,
+    /// Destination thread (resolved by the `by_target` router).
+    pub dest: ThreadId,
+    /// Thread hosting the per-iteration request generators.
+    pub hub: ThreadId,
+    /// The panel's unit-lower triangle.
+    pub l11: Payload,
+    /// Panel pivot sequence.
+    pub pivots: Pivots,
+}
+
+/// Inputs of the multiplication-request generator (runs on the panel owner).
+pub enum MulIn {
+    /// `L21` blocks, local from the panel factorization.
+    L21 {
+        /// Iteration (panel) index.
+        k: usize,
+        /// The generator's thread (the panel owner).
+        hub: ThreadId,
+        /// The `L21` blocks below the panel, in row order.
+        blocks: Vec<Payload>,
+    },
+    /// A solved `T12` block arriving from column `j`'s owner.
+    TrsmDone {
+        /// Iteration (panel) index.
+        k: usize,
+        /// Solved column index.
+        j: usize,
+        /// The generator's thread (the panel owner).
+        hub: ThreadId,
+        /// Owner thread of column `j` (destination of the products).
+        owner: ThreadId,
+        /// The solved block.
+        t12: Payload,
+    },
+}
+
+impl MulIn {
+    /// The generator thread this message is addressed to.
+    pub fn hub(&self) -> ThreadId {
+        match self {
+            MulIn::L21 { hub, .. } | MulIn::TrsmDone { hub, .. } => *hub,
+        }
+    }
+}
+
+/// One block multiplication request: `B(i,j) -= a · b` (paper: "two matrix
+/// blocks of size r × r").
+pub struct MulReq {
+    /// Iteration (panel) index.
+    pub k: usize,
+    /// Block-row index.
+    pub i: usize,
+    /// Column-block index.
+    pub j: usize,
+    /// Owner of column `j` — where the product must be subtracted.
+    pub owner: ThreadId,
+    /// First operand block (`L21(i)`).
+    pub a: Payload,
+    /// Second operand block (`T12(j)`).
+    pub b: Payload,
+}
+
+/// A finished product heading to the subtraction at column `j`'s owner.
+pub struct SubReq {
+    /// Iteration (panel) index.
+    pub k: usize,
+    /// Block-row index.
+    pub i: usize,
+    /// Column-block index.
+    pub j: usize,
+    /// Destination thread (resolved by the `by_target` router).
+    pub dest: ThreadId,
+    /// The product block.
+    pub prod: Payload,
+}
+
+/// Column dump for verification.
+pub struct ColumnOut {
+    /// Column-block index.
+    pub j: usize,
+    /// The column-block payload.
+    pub col: Payload,
+}
+
+/// Key of one block multiplication in the PM sub-graph.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct MulKey {
+    /// Iteration (panel) index.
+    pub k: usize,
+    /// Block-row index.
+    pub i: usize,
+    /// Column-block index.
+    pub j: usize,
+}
+
+/// Work items of the PM sub-flow-graph (paper Figure 7).
+pub enum PmWork {
+    /// (a)→(b): store a column sub-block of the second matrix.
+    Col {
+        /// The enclosing block multiplication.
+        key: MulKey,
+        /// Column sub-block index.
+        c: usize,
+        /// Sub-blocks per dimension (`r / s`).
+        q: usize,
+        /// Storing thread.
+        dest: ThreadId,
+        /// Thread running the PM splitter for this multiplication.
+        splitter: ThreadId,
+        /// Owner thread of the target column block.
+        owner: ThreadId,
+        /// The `r × s` column sub-block.
+        data: Payload,
+    },
+    /// (d)→(e): a line block of the first matrix to multiply with the
+    /// locally stored column sub-block `c`.
+    Line {
+        /// The enclosing block multiplication.
+        key: MulKey,
+        /// Line sub-block index.
+        l: usize,
+        /// Column sub-block index stored at the destination.
+        c: usize,
+        /// Sub-blocks per dimension (`r / s`).
+        q: usize,
+        /// Thread storing column sub-block `c`.
+        dest: ThreadId,
+        /// Thread assembling the product.
+        merge_at: ThreadId,
+        /// The `s × r` line sub-block.
+        data: Payload,
+    },
+}
+
+/// (b)→(c): notification that a column sub-block was stored.
+pub struct PmColAck {
+    /// The enclosing block multiplication.
+    pub key: MulKey,
+    /// Column sub-block index.
+    pub c: usize,
+    /// Thread storing the column sub-block.
+    pub storer: ThreadId,
+    /// Destination thread (resolved by the `by_target` router).
+    pub dest: ThreadId,
+}
+
+/// (e)→(f): one `s × s` product piece.
+pub struct PmPiece {
+    /// The enclosing block multiplication.
+    pub key: MulKey,
+    /// Line sub-block index.
+    pub l: usize,
+    /// Column sub-block index.
+    pub c: usize,
+    /// Sub-blocks per dimension (`r / s`).
+    pub q: usize,
+    /// Owner thread of the affected column block.
+    pub owner: ThreadId,
+    /// Thread assembling the product (column owner).
+    pub merge_at: ThreadId,
+    /// The block payload.
+    pub data: Payload,
+}
+
+// --- DataObject implementations -------------------------------------------
+
+impl DataObject for Start {
+    fn wire_size(&self) -> u64 {
+        MSG_HEADER
+    }
+}
+
+impl DataObject for ColumnData {
+    fn wire_size(&self) -> u64 {
+        MSG_HEADER + self.col.wire()
+    }
+    fn heap_bytes(&self) -> u64 {
+        self.col.heap()
+    }
+}
+
+impl DataObject for WorkerReq {
+    fn wire_size(&self) -> u64 {
+        MSG_HEADER
+            + match &self.body {
+                WorkerReqBody::Panel { .. } => 8,
+                WorkerReqBody::Flip { pivots, .. } => 16 + pivots.wire(),
+                WorkerReqBody::Evict { .. } => 16,
+                WorkerReqBody::Dump { .. } => 8,
+            }
+    }
+}
+
+impl DataObject for CoordMsg {
+    fn wire_size(&self) -> u64 {
+        MSG_HEADER
+            + match self {
+                CoordMsg::PanelPivots { pivots, .. } => 8 + pivots.wire(),
+                _ => 16,
+            }
+    }
+}
+
+impl DataObject for TrsmSetup {
+    fn wire_size(&self) -> u64 {
+        MSG_HEADER + self.l11.wire() + self.pivots.wire()
+    }
+    fn heap_bytes(&self) -> u64 {
+        self.l11.heap()
+    }
+}
+
+impl DataObject for TrsmGo {
+    fn wire_size(&self) -> u64 {
+        MSG_HEADER + 16
+    }
+}
+
+impl DataObject for TrsmReq {
+    fn wire_size(&self) -> u64 {
+        MSG_HEADER + 16 + self.l11.wire() + self.pivots.wire()
+    }
+    fn heap_bytes(&self) -> u64 {
+        self.l11.heap()
+    }
+}
+
+impl DataObject for MulIn {
+    fn wire_size(&self) -> u64 {
+        MSG_HEADER
+            + match self {
+                MulIn::L21 { blocks, .. } => 8 + blocks.iter().map(Payload::wire).sum::<u64>(),
+                MulIn::TrsmDone { t12, .. } => 16 + t12.wire(),
+            }
+    }
+    fn heap_bytes(&self) -> u64 {
+        match self {
+            MulIn::L21 { blocks, .. } => blocks.iter().map(Payload::heap).sum(),
+            MulIn::TrsmDone { t12, .. } => t12.heap(),
+        }
+    }
+}
+
+impl DataObject for MulReq {
+    fn wire_size(&self) -> u64 {
+        MSG_HEADER + 24 + self.a.wire() + self.b.wire()
+    }
+    fn heap_bytes(&self) -> u64 {
+        self.a.heap() + self.b.heap()
+    }
+}
+
+impl DataObject for SubReq {
+    fn wire_size(&self) -> u64 {
+        MSG_HEADER + 24 + self.prod.wire()
+    }
+    fn heap_bytes(&self) -> u64 {
+        self.prod.heap()
+    }
+}
+
+impl DataObject for ColumnOut {
+    fn wire_size(&self) -> u64 {
+        MSG_HEADER + self.col.wire()
+    }
+    fn heap_bytes(&self) -> u64 {
+        self.col.heap()
+    }
+}
+
+impl DataObject for PmWork {
+    fn wire_size(&self) -> u64 {
+        MSG_HEADER
+            + match self {
+                PmWork::Col { data, .. } => 32 + data.wire(),
+                PmWork::Line { data, .. } => 32 + data.wire(),
+            }
+    }
+    fn heap_bytes(&self) -> u64 {
+        match self {
+            PmWork::Col { data, .. } | PmWork::Line { data, .. } => data.heap(),
+        }
+    }
+}
+
+impl DataObject for PmColAck {
+    fn wire_size(&self) -> u64 {
+        MSG_HEADER + 24
+    }
+}
+
+impl DataObject for PmPiece {
+    fn wire_size(&self) -> u64 {
+        MSG_HEADER + 32 + self.data.wire()
+    }
+    fn heap_bytes(&self) -> u64 {
+        self.data.heap()
+    }
+}
+
+/// The factorization the application produced (Real mode only).
+#[derive(Debug)]
+pub struct LuOutput {
+    /// Compact LU storage (L strictly lower with unit diagonal, U upper).
+    pub lu: Matrix,
+    /// Global pivot sequence, as in [`linalg::LuFactors`].
+    pub pivots: Vec<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_sizes_are_mode_independent() {
+        let real = Payload::alloc(10, 20);
+        let ghost = Payload::Ghost { rows: 10, cols: 20 };
+        assert_eq!(real.wire(), ghost.wire());
+        assert_eq!(real.wire(), 8 + 10 * 20 * 8);
+        assert!(real.heap() >= 1600);
+        assert_eq!(ghost.heap(), 0);
+        assert!(real.is_real());
+        assert!(!ghost.is_real());
+    }
+
+    #[test]
+    #[should_panic(expected = "ghost payload")]
+    fn ghost_matrix_access_panics() {
+        Payload::Ghost { rows: 1, cols: 1 }.matrix();
+    }
+
+    #[test]
+    fn message_wire_sizes_scale_with_payload() {
+        let mk = |rows, cols| MulReq {
+            k: 0,
+            i: 1,
+            j: 2,
+            owner: ThreadId(0),
+            a: Payload::Ghost { rows, cols },
+            b: Payload::Ghost { rows, cols },
+        };
+        let small = DataObject::wire_size(&mk(8, 8));
+        let big = DataObject::wire_size(&mk(64, 64));
+        assert!(big > small);
+        assert_eq!(big - small, 2 * 8 * (64 * 64 - 8 * 8));
+    }
+
+    #[test]
+    fn pivots_wire_size() {
+        assert_eq!(Pivots(vec![0; 10]).wire(), 44);
+    }
+
+    #[test]
+    fn notification_messages_are_small() {
+        let m = CoordMsg::SubDone { k: 3, j: 4 };
+        assert!(DataObject::wire_size(&m) < 64);
+        let f = CoordMsg::PanelPivots {
+            k: 0,
+            pivots: Pivots(vec![0; 100]),
+        };
+        assert!(DataObject::wire_size(&f) > 400);
+    }
+}

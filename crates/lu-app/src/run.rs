@@ -1,0 +1,85 @@
+//! Running the LU application on the simulator or the testbed, and
+//! extracting the paper's quantities from the run report.
+
+use desim::SimDuration;
+use dps_sim::{RunReport, SimConfig};
+use linalg::blocked::LuFactors;
+use linalg::{lu_residual, Matrix};
+use netmodel::NetParams;
+use testbed::TestbedParams;
+
+use crate::builder::build_lu_app;
+use crate::config::{DataMode, LuConfig};
+
+/// Outcome of one LU run.
+pub struct LuRun {
+    /// The engine's run report.
+    pub report: RunReport,
+    /// Factorization time: completion minus the end of the initial matrix
+    /// distribution (the paper's measured quantity).
+    pub factorization_time: SimDuration,
+    /// Relative residual `max|P·A − L·U| / max|A|` (Real mode only).
+    pub residual: Option<f64>,
+}
+
+fn finish(cfg: &LuConfig, sh: &crate::ops::LuShared, report: RunReport) -> LuRun {
+    assert!(
+        report.terminated,
+        "LU run did not terminate: {:?}",
+        report.stall
+    );
+    let dist = report.mark_time("dist").expect("distribution mark");
+    // The factorization ends at the final iteration mark; in Real mode the
+    // run continues past it with the verification dump, which is not part
+    // of the measured quantity.
+    let end = report
+        .mark_time(&format!("iter:{}", cfg.k_blocks()))
+        .expect("final iteration mark");
+    let factorization_time = end - dist;
+    let residual = if cfg.mode == DataMode::Real {
+        let out = sh
+            .result
+            .lock()
+            .expect("result lock")
+            .take()
+            .expect("Real mode produces a factorization");
+        let a = Matrix::random(cfg.n, cfg.n, cfg.seed);
+        let f = LuFactors {
+            lu: out.lu,
+            pivots: out.pivots,
+        };
+        Some(lu_residual(&a, &f))
+    } else {
+        None
+    };
+    LuRun {
+        report,
+        factorization_time,
+        residual,
+    }
+}
+
+/// Predicts the run on the paper's machine model (the simulator).
+pub fn predict_lu(cfg: &LuConfig, net: NetParams, simcfg: &SimConfig) -> LuRun {
+    let (app, sh) = build_lu_app(cfg.clone());
+    let report = dps_sim::simulate(&app, net, simcfg);
+    finish(cfg, &sh, report)
+}
+
+/// "Measures" the run on the ground-truth testbed emulator.
+pub fn measure_lu(cfg: &LuConfig, tb: TestbedParams, seed: u64, simcfg: &SimConfig) -> LuRun {
+    let (app, sh) = build_lu_app(cfg.clone());
+    let report = testbed::measure(&app, tb, seed, simcfg);
+    finish(cfg, &sh, report)
+}
+
+/// Per-iteration wall time and efficiency, from the run's mark-delimited
+/// intervals (`iter:1` … `iter:K`) — the data of the paper's Figure 11.
+pub fn iteration_times(report: &RunReport) -> Vec<(String, SimDuration, f64)> {
+    report
+        .intervals
+        .iter()
+        .filter(|i| i.label.starts_with("iter:"))
+        .map(|i| (i.label.clone(), i.span(), i.efficiency()))
+        .collect()
+}

@@ -1,0 +1,316 @@
+//! Bandwidth division among concurrent flows.
+//!
+//! Two disciplines are implemented:
+//!
+//! * [`Sharing::EqualSplit`] — the paper's assumption: a flow gets
+//!   `min(up(src)/n_out(src), down(dst)/n_in(dst))`. Simple, and accurate for
+//!   the symmetric TCP traffic DPS applications generate, but it can leave
+//!   bandwidth unused when one endpoint is the bottleneck.
+//! * [`Sharing::MaxMin`] — classic progressive filling, which redistributes
+//!   the slack. Used for the ablation bench that quantifies how much the
+//!   simpler model gives away.
+
+use std::collections::HashMap;
+
+use crate::params::NodeId;
+
+/// Which bandwidth-sharing discipline the model applies.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Sharing {
+    /// Equal split per node direction (the paper's model).
+    #[default]
+    EqualSplit,
+    /// Max-min fairness via progressive filling (ablation).
+    MaxMin,
+}
+
+/// A flow as seen by the rate computation: just its endpoints.
+#[derive(Clone, Copy, Debug)]
+pub struct FlowSpec {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+}
+
+/// Computes the rate (bytes/s) of each flow under the chosen discipline.
+///
+/// `up` and `down` give each node's link capacities in bytes/s. Flows whose
+/// endpoints coincide (node-local transfers) are not expected here — the
+/// engine short-circuits those — and will panic in debug builds.
+pub fn compute_rates(
+    flows: &[(u64, FlowSpec)],
+    up: impl Fn(NodeId) -> f64,
+    down: impl Fn(NodeId) -> f64,
+    sharing: Sharing,
+) -> HashMap<u64, f64> {
+    debug_assert!(flows.iter().all(|(_, f)| f.src != f.dst));
+    match sharing {
+        Sharing::EqualSplit => equal_split(flows, up, down),
+        Sharing::MaxMin => max_min(flows, up, down),
+    }
+}
+
+fn port_counts(flows: &[(u64, FlowSpec)]) -> (HashMap<NodeId, usize>, HashMap<NodeId, usize>) {
+    let mut n_out: HashMap<NodeId, usize> = HashMap::new();
+    let mut n_in: HashMap<NodeId, usize> = HashMap::new();
+    for (_, f) in flows {
+        *n_out.entry(f.src).or_default() += 1;
+        *n_in.entry(f.dst).or_default() += 1;
+    }
+    (n_out, n_in)
+}
+
+fn equal_split(
+    flows: &[(u64, FlowSpec)],
+    up: impl Fn(NodeId) -> f64,
+    down: impl Fn(NodeId) -> f64,
+) -> HashMap<u64, f64> {
+    let (n_out, n_in) = port_counts(flows);
+    flows
+        .iter()
+        .map(|(id, f)| {
+            let up_share = up(f.src) / n_out[&f.src] as f64;
+            let down_share = down(f.dst) / n_in[&f.dst] as f64;
+            (*id, up_share.min(down_share))
+        })
+        .collect()
+}
+
+/// Progressive filling: repeatedly saturate the tightest port and freeze the
+/// flows crossing it at that port's equal share of its residual capacity.
+fn max_min(
+    flows: &[(u64, FlowSpec)],
+    up: impl Fn(NodeId) -> f64,
+    down: impl Fn(NodeId) -> f64,
+) -> HashMap<u64, f64> {
+    // Ports are (node, direction). Direction 0 = up/egress, 1 = down/ingress.
+    #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+    struct Port(NodeId, u8);
+
+    let mut residual: HashMap<Port, f64> = HashMap::new();
+    let mut unfrozen_on: HashMap<Port, Vec<usize>> = HashMap::new();
+    for (idx, (_, f)) in flows.iter().enumerate() {
+        let pu = Port(f.src, 0);
+        let pd = Port(f.dst, 1);
+        residual.entry(pu).or_insert_with(|| up(f.src));
+        residual.entry(pd).or_insert_with(|| down(f.dst));
+        unfrozen_on.entry(pu).or_default().push(idx);
+        unfrozen_on.entry(pd).or_default().push(idx);
+    }
+
+    let mut rate: Vec<Option<f64>> = vec![None; flows.len()];
+    loop {
+        // Tightest port = min residual / unfrozen count. Deterministic pick
+        // via sorted iteration.
+        let mut ports: Vec<Port> = unfrozen_on
+            .iter()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(&p, _)| p)
+            .collect();
+        if ports.is_empty() {
+            break;
+        }
+        ports.sort_unstable();
+        let (&tight, share) = ports
+            .iter()
+            .map(|p| (p, residual[p] / unfrozen_on[p].len() as f64))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("nonempty");
+
+        // Freeze every unfrozen flow crossing the tight port at `share`.
+        let frozen: Vec<usize> = unfrozen_on[&tight].clone();
+        for idx in frozen {
+            if rate[idx].is_some() {
+                continue;
+            }
+            rate[idx] = Some(share);
+            let f = flows[idx].1;
+            for p in [Port(f.src, 0), Port(f.dst, 1)] {
+                if let Some(v) = unfrozen_on.get_mut(&p) {
+                    v.retain(|&i| i != idx);
+                }
+                *residual.get_mut(&p).expect("port exists") -= share;
+            }
+        }
+        unfrozen_on.get_mut(&tight).expect("port exists").clear();
+    }
+
+    flows
+        .iter()
+        .enumerate()
+        .map(|(idx, (id, _))| (*id, rate[idx].unwrap_or(0.0).max(0.0)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn uniform(cap: f64) -> impl Fn(NodeId) -> f64 {
+        move |_| cap
+    }
+
+    #[test]
+    fn single_flow_gets_min_of_both_ports() {
+        let flows = [(1u64, FlowSpec { src: n(0), dst: n(1) })];
+        let up = |_: NodeId| 100.0;
+        let down = |_: NodeId| 60.0;
+        for sharing in [Sharing::EqualSplit, Sharing::MaxMin] {
+            let r = compute_rates(&flows, up, down, sharing);
+            assert_eq!(r[&1], 60.0);
+        }
+    }
+
+    #[test]
+    fn fan_out_splits_uplink() {
+        // One sender to three receivers: each flow gets up/3.
+        let flows = [
+            (1u64, FlowSpec { src: n(0), dst: n(1) }),
+            (2u64, FlowSpec { src: n(0), dst: n(2) }),
+            (3u64, FlowSpec { src: n(0), dst: n(3) }),
+        ];
+        for sharing in [Sharing::EqualSplit, Sharing::MaxMin] {
+            let r = compute_rates(&flows, uniform(90.0), uniform(90.0), sharing);
+            for id in 1..=3 {
+                assert!((r[&id] - 30.0).abs() < 1e-9, "{sharing:?}: {r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fan_in_splits_downlink() {
+        let flows = [
+            (1u64, FlowSpec { src: n(1), dst: n(0) }),
+            (2u64, FlowSpec { src: n(2), dst: n(0) }),
+        ];
+        for sharing in [Sharing::EqualSplit, Sharing::MaxMin] {
+            let r = compute_rates(&flows, uniform(100.0), uniform(100.0), sharing);
+            assert!((r[&1] - 50.0).abs() < 1e-9);
+            assert!((r[&2] - 50.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn equal_split_can_strand_bandwidth_where_maxmin_does_not() {
+        // Node 0 sends to nodes 1 and 2. Node 3 also sends to node 1.
+        // Port up(0)=100 split over 2; port down(1)=100 split over 2.
+        // EqualSplit: flow 0->1 = min(50, 50) = 50; flow 0->2 = min(50, 100)
+        // = 50; flow 3->1 = min(100, 50) = 50.
+        // MaxMin finds the same here; use an asymmetric case instead:
+        // down(1) = 40.
+        let flows = [
+            (1u64, FlowSpec { src: n(0), dst: n(1) }),
+            (2u64, FlowSpec { src: n(0), dst: n(2) }),
+            (3u64, FlowSpec { src: n(3), dst: n(1) }),
+        ];
+        let up = uniform(100.0);
+        let down = |d: NodeId| if d == n(1) { 40.0 } else { 100.0 };
+
+        let eq = compute_rates(&flows, &up, down, Sharing::EqualSplit);
+        // 0->1: min(100/2, 40/2) = 20 ; 0->2: min(50, 100) = 50 ; 3->1: 20.
+        assert!((eq[&1] - 20.0).abs() < 1e-9);
+        assert!((eq[&2] - 50.0).abs() < 1e-9);
+        assert!((eq[&3] - 20.0).abs() < 1e-9);
+
+        let mm = compute_rates(&flows, &up, down, Sharing::MaxMin);
+        // down(1) is tightest: flows 1 and 3 get 20 each. Flow 2 then gets
+        // the remaining uplink of node 0: 80.
+        assert!((mm[&1] - 20.0).abs() < 1e-9);
+        assert!((mm[&2] - 80.0).abs() < 1e-9);
+        assert!((mm[&3] - 20.0).abs() < 1e-9);
+        assert!(mm.values().sum::<f64>() > eq.values().sum::<f64>());
+    }
+
+    #[test]
+    fn empty_flow_set() {
+        let r = compute_rates(&[], uniform(1.0), uniform(1.0), Sharing::MaxMin);
+        assert!(r.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_flows(max_nodes: u32) -> impl Strategy<Value = Vec<(u64, FlowSpec)>> {
+        prop::collection::vec((0..max_nodes, 0..max_nodes), 1..20).prop_map(|pairs| {
+            pairs
+                .into_iter()
+                .enumerate()
+                .filter(|(_, (s, d))| s != d)
+                .map(|(i, (s, d))| {
+                    (
+                        i as u64,
+                        FlowSpec {
+                            src: NodeId(s),
+                            dst: NodeId(d),
+                        },
+                    )
+                })
+                .collect()
+        })
+    }
+
+    fn port_sums(
+        flows: &[(u64, FlowSpec)],
+        rates: &std::collections::HashMap<u64, f64>,
+    ) -> (
+        std::collections::HashMap<NodeId, f64>,
+        std::collections::HashMap<NodeId, f64>,
+    ) {
+        let mut out: std::collections::HashMap<NodeId, f64> = Default::default();
+        let mut inn: std::collections::HashMap<NodeId, f64> = Default::default();
+        for (id, f) in flows {
+            *out.entry(f.src).or_default() += rates[id];
+            *inn.entry(f.dst).or_default() += rates[id];
+        }
+        (out, inn)
+    }
+
+    proptest! {
+        /// No port is ever oversubscribed, under either discipline.
+        #[test]
+        fn rates_respect_capacities(flows in arb_flows(6), cap in 1.0f64..1e9) {
+            for sharing in [Sharing::EqualSplit, Sharing::MaxMin] {
+                let rates = compute_rates(&flows, |_| cap, |_| cap, sharing);
+                let (out, inn) = port_sums(&flows, &rates);
+                for (_, s) in out.iter().chain(inn.iter()) {
+                    prop_assert!(*s <= cap * (1.0 + 1e-9),
+                        "oversubscribed: {s} > {cap} under {sharing:?}");
+                }
+                for r in rates.values() {
+                    prop_assert!(*r >= 0.0);
+                }
+            }
+        }
+
+        /// Max-min never allocates less total bandwidth than equal split.
+        #[test]
+        fn maxmin_dominates_equal_split_total(flows in arb_flows(5)) {
+            prop_assume!(!flows.is_empty());
+            let eq = compute_rates(&flows, |_| 100.0, |_| 100.0, Sharing::EqualSplit);
+            let mm = compute_rates(&flows, |_| 100.0, |_| 100.0, Sharing::MaxMin);
+            let se: f64 = eq.values().sum();
+            let sm: f64 = mm.values().sum();
+            prop_assert!(sm >= se - 1e-6, "max-min total {sm} < equal-split {se}");
+        }
+
+        /// Every flow gets strictly positive bandwidth.
+        #[test]
+        fn all_flows_progress(flows in arb_flows(6)) {
+            prop_assume!(!flows.is_empty());
+            for sharing in [Sharing::EqualSplit, Sharing::MaxMin] {
+                let rates = compute_rates(&flows, |_| 100.0, |_| 100.0, sharing);
+                for (id, _) in &flows {
+                    prop_assert!(rates[id] > 0.0, "starved flow under {sharing:?}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Flow-level network model of the simulator (paper §4).
+//!
+//! The model assumptions follow the paper exactly:
+//!
+//! * the cluster interconnect is a **star**: every node owns a full-duplex
+//!   link to a central crossbar switch that is never a bottleneck;
+//! * a data-object transfer of `s` bytes needs `t = l + s/b` where `l` is the
+//!   link latency and `b` the bandwidth available to that transfer;
+//! * every concurrent **incoming** transfer of a node receives an equal share
+//!   of its downlink bandwidth, and every concurrent **outgoing** transfer an
+//!   equal share of its uplink ([`Sharing::EqualSplit`]); a max-min fair
+//!   variant ([`Sharing::MaxMin`]) is provided as an ablation;
+//! * handling communications costs CPU: each concurrent incoming transfer
+//!   consumes a fraction `cpu_in_cost` of the node's processor and each
+//!   outgoing one `cpu_out_cost` (receiving costs more than sending). The
+//!   network model exposes per-node transfer counts; the CPU model in
+//!   `dps-sim` turns them into lost compute power.
+//!
+//! [`Network`] is a passive model: the engine starts flows, asks for the next
+//! interesting time, and advances the model there, collecting completion
+//! events. All rate recomputation happens inside.
+
+#![warn(missing_docs)]
+
+pub mod fairness;
+pub mod network;
+pub mod params;
+
+pub use fairness::{compute_rates, FlowSpec, Sharing};
+pub use network::{FlowId, NetEvent, Network};
+pub use params::{NetParams, NodeId};

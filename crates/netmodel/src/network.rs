@@ -1,0 +1,412 @@
+//! The passive network model driven by a virtual-time engine.
+//!
+//! Transfers pass through two phases, matching `t = l + s/b`:
+//!
+//! 1. a **latency** phase of fixed duration `l` during which the flow
+//!    consumes neither bandwidth nor CPU (the first byte is in flight);
+//! 2. a **bandwidth** phase during which the flow's bytes drain at the rate
+//!    assigned by the sharing discipline, recomputed whenever the set of
+//!    concurrent flows changes.
+//!
+//! The engine drives the model with three calls: [`Network::start_flow`],
+//! [`Network::next_event_time`], and [`Network::advance`].
+
+use std::collections::{BTreeMap, HashMap};
+
+use desim::{ProgressSet, SimTime};
+
+use crate::fairness::{compute_rates, FlowSpec, Sharing};
+use crate::params::{NetParams, NodeId};
+
+/// Identifies one data-object transfer.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FlowId(pub u64);
+
+/// Events reported by [`Network::advance`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NetEvent {
+    /// The transfer has fully arrived at its destination.
+    Completed(FlowId),
+}
+
+#[derive(Clone, Copy, Debug)]
+struct LatentFlow {
+    spec: FlowSpec,
+    bytes: f64,
+    ready_at: SimTime,
+}
+
+/// Cumulative statistics, for reports and tests.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NetStats {
+    /// Transfers begun.
+    pub flows_started: u64,
+    /// Transfers fully delivered.
+    pub flows_completed: u64,
+    /// Application bytes carried.
+    pub payload_bytes: u64,
+    /// Bytes including per-message overhead.
+    pub wire_bytes: u64,
+}
+
+/// Flow-level star-topology network (see crate docs).
+pub struct Network {
+    params: NetParams,
+    sharing: Sharing,
+    next_id: u64,
+    /// Flows still in their latency phase, keyed by id (BTreeMap for
+    /// deterministic iteration).
+    latent: BTreeMap<FlowId, LatentFlow>,
+    /// Flows draining bytes under the sharing discipline.
+    active: ProgressSet<FlowId>,
+    specs: HashMap<FlowId, FlowSpec>,
+    stats: NetStats,
+    /// Per-node (up, down) capacity overrides for heterogeneous clusters
+    /// (straggler nodes, mixed link speeds).
+    caps: HashMap<NodeId, (f64, f64)>,
+}
+
+impl Network {
+    /// Creates an empty instance.
+    pub fn new(params: NetParams, sharing: Sharing) -> Network {
+        params.validate().expect("invalid network parameters");
+        Network {
+            params,
+            sharing,
+            next_id: 0,
+            latent: BTreeMap::new(),
+            active: ProgressSet::new(),
+            specs: HashMap::new(),
+            stats: NetStats::default(),
+            caps: HashMap::new(),
+        }
+    }
+
+    /// Overrides one node's link capacities (bytes/s). The star stays a
+    /// star; only this node's up/down links change. Takes effect at the
+    /// next rate recomputation.
+    pub fn set_node_capacity(&mut self, node: NodeId, up_bytes_per_sec: f64, down_bytes_per_sec: f64) {
+        assert!(up_bytes_per_sec > 0.0 && down_bytes_per_sec > 0.0);
+        self.caps.insert(node, (up_bytes_per_sec, down_bytes_per_sec));
+    }
+
+    /// Effective (up, down) capacity of a node.
+    pub fn node_capacity(&self, node: NodeId) -> (f64, f64) {
+        self.caps.get(&node).copied().unwrap_or((
+            self.params.up_bytes_per_sec,
+            self.params.down_bytes_per_sec,
+        ))
+    }
+
+    /// The platform parameters.
+    pub fn params(&self) -> &NetParams {
+        &self.params
+    }
+
+    /// The bandwidth-sharing discipline.
+    pub fn sharing(&self) -> Sharing {
+        self.sharing
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Number of transfers currently in flight (either phase).
+    pub fn in_flight(&self) -> usize {
+        self.latent.len() + self.active.len()
+    }
+
+    /// Starts a transfer of `payload_bytes` from `src` to `dst`.
+    ///
+    /// Node-local moves must be short-circuited by the caller; the star
+    /// network only carries inter-node traffic.
+    pub fn start_flow(&mut self, now: SimTime, src: NodeId, dst: NodeId, payload_bytes: u64) -> FlowId {
+        assert_ne!(src, dst, "node-local transfer must not enter the network");
+        let id = FlowId(self.next_id);
+        self.next_id += 1;
+        let wire = payload_bytes + self.params.per_message_overhead_bytes;
+        self.stats.flows_started += 1;
+        self.stats.payload_bytes += payload_bytes;
+        self.stats.wire_bytes += wire;
+        self.latent.insert(
+            id,
+            LatentFlow {
+                spec: FlowSpec { src, dst },
+                bytes: wire as f64,
+                ready_at: now + self.params.latency,
+            },
+        );
+        id
+    }
+
+    /// The next time something changes inside the model: a latency phase
+    /// ends or a transfer completes. The engine must call [`advance`] at (or
+    /// before) this time.
+    ///
+    /// [`advance`]: Network::advance
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        let lat = self.latent.values().map(|f| f.ready_at).min();
+        let fin = self.active.earliest_completion().map(|(_, t)| t);
+        match (lat, fin) {
+            (None, x) => x,
+            (x, None) => x,
+            (Some(a), Some(b)) => Some(a.min(b)),
+        }
+    }
+
+    /// Advances the model to `now`, promoting flows out of their latency
+    /// phase and collecting completed transfers (in deterministic order).
+    pub fn advance(&mut self, now: SimTime) -> Vec<NetEvent> {
+        // Drain bytes at the rates valid up to `now` first.
+        self.active.advance_to(now);
+
+        // Promote latency-expired flows into the bandwidth phase.
+        let ready: Vec<FlowId> = self
+            .latent
+            .iter()
+            .filter(|(_, f)| f.ready_at <= now)
+            .map(|(&id, _)| id)
+            .collect();
+        let mut changed = !ready.is_empty();
+        for id in ready {
+            let f = self.latent.remove(&id).expect("just seen");
+            self.specs.insert(id, f.spec);
+            self.active.insert(now, id, f.bytes);
+        }
+
+        // Collect completions.
+        let done = self.active.take_finished(now);
+        if !done.is_empty() {
+            changed = true;
+        }
+        let mut events = Vec::with_capacity(done.len());
+        for id in done {
+            self.specs.remove(&id);
+            self.stats.flows_completed += 1;
+            events.push(NetEvent::Completed(id));
+        }
+
+        if changed {
+            self.recompute_rates(now);
+        }
+        events
+    }
+
+    /// Concurrent transfer counts `(incoming, outgoing)` for `node`, used by
+    /// the CPU model to charge communication handling cost. Only flows in
+    /// their bandwidth phase count — during the latency phase no data is
+    /// being copied on either host.
+    pub fn comm_counts(&self, node: NodeId) -> (usize, usize) {
+        let mut n_in = 0;
+        let mut n_out = 0;
+        for id in self.active.keys() {
+            let spec = self.specs[&id];
+            if spec.dst == node {
+                n_in += 1;
+            }
+            if spec.src == node {
+                n_out += 1;
+            }
+        }
+        (n_in, n_out)
+    }
+
+    fn recompute_rates(&mut self, now: SimTime) {
+        let flows: Vec<(u64, FlowSpec)> = {
+            let mut v: Vec<FlowId> = self.active.keys().collect();
+            v.sort_unstable();
+            v.into_iter().map(|id| (id.0, self.specs[&id])).collect()
+        };
+        if flows.is_empty() {
+            return;
+        }
+        let rates = compute_rates(
+            &flows,
+            |n| self.node_capacity(n).0,
+            |n| self.node_capacity(n).1,
+            self.sharing,
+        );
+        for (raw, _) in flows {
+            self.active.set_rate(now, FlowId(raw), rates[&raw]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::SimDuration;
+
+    fn net(lat_us: u64, bw: f64) -> Network {
+        Network::new(
+            NetParams {
+                latency: SimDuration::from_micros(lat_us),
+                up_bytes_per_sec: bw,
+                down_bytes_per_sec: bw,
+                cpu_in_cost: 0.0,
+                cpu_out_cost: 0.0,
+                per_message_overhead_bytes: 0,
+            },
+            Sharing::EqualSplit,
+        )
+    }
+
+    /// Runs the model until quiescent, returning (completion time, flow) in
+    /// completion order.
+    fn drain(n: &mut Network) -> Vec<(SimTime, FlowId)> {
+        let mut out = Vec::new();
+        while let Some(t) = n.next_event_time() {
+            for ev in n.advance(t) {
+                let NetEvent::Completed(id) = ev;
+                out.push((t, id));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn single_flow_takes_latency_plus_bytes_over_bandwidth() {
+        let mut n = net(100, 1e6);
+        let id = n.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), 1_000_000);
+        let done = drain(&mut n);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].1, id);
+        // 100us + 1s
+        assert_eq!(done[0].0, SimTime(1_000_100_000));
+    }
+
+    #[test]
+    fn two_flows_same_uplink_share_bandwidth() {
+        let mut n = net(0, 1e6);
+        n.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), 500_000);
+        n.start_flow(SimTime::ZERO, NodeId(0), NodeId(2), 500_000);
+        let done = drain(&mut n);
+        assert_eq!(done.len(), 2);
+        // Each gets 0.5 MB/s, so both 0.5 MB payloads finish at t = 1 s.
+        for (t, _) in done {
+            assert_eq!(t, SimTime(1_000_000_000));
+        }
+    }
+
+    #[test]
+    fn disjoint_pairs_do_not_interfere() {
+        let mut n = net(0, 1e6);
+        n.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), 1_000_000);
+        n.start_flow(SimTime::ZERO, NodeId(2), NodeId(3), 1_000_000);
+        let done = drain(&mut n);
+        for (t, _) in done {
+            assert_eq!(t, SimTime(1_000_000_000));
+        }
+    }
+
+    #[test]
+    fn late_flow_slows_down_running_flow() {
+        let mut n = net(0, 1e6);
+        let a = n.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), 1_000_000);
+        n.advance(SimTime::ZERO); // promote a into its bandwidth phase
+        n.advance(SimTime(500_000_000)); // a is half done
+        let b = n.start_flow(SimTime(500_000_000), NodeId(0), NodeId(2), 250_000);
+        let done = drain(&mut n);
+        // From 0.5s, both share the uplink at 0.5 MB/s. b needs 0.5s for
+        // 0.25 MB, finishing at 1.0s; a's remaining 0.5 MB drains 0.25 MB by
+        // then, and the final 0.25 MB at full speed: 1.25s total.
+        let tb = done.iter().find(|(_, id)| *id == b).unwrap().0;
+        let ta = done.iter().find(|(_, id)| *id == a).unwrap().0;
+        assert_eq!(tb, SimTime(1_000_000_000));
+        assert_eq!(ta, SimTime(1_250_000_000));
+    }
+
+    #[test]
+    fn latency_phase_consumes_no_bandwidth() {
+        let mut n = net(1_000_000, 1e6); // 1s latency
+        let a = n.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), 1_000_000);
+        // Start b mid-way through a's bandwidth phase; b's latency phase
+        // overlaps a's transfer without stealing bandwidth.
+        n.advance(SimTime(1_000_000_000)); // a enters bandwidth phase
+        let b = n.start_flow(SimTime(1_500_000_000), NodeId(0), NodeId(2), 1_000_000);
+        let done = drain(&mut n);
+        let ta = done.iter().find(|(_, id)| *id == a).unwrap().0;
+        let tb = done.iter().find(|(_, id)| *id == b).unwrap().0;
+        // a: latency 1s + transfer 1s = 2s (b only becomes active at 2.5s).
+        assert_eq!(ta, SimTime(2_000_000_000));
+        // b: ready at 2.5s, alone on the link, 1s transfer.
+        assert_eq!(tb, SimTime(3_500_000_000));
+    }
+
+    #[test]
+    fn comm_counts_track_active_flows() {
+        let mut n = net(100, 1e6);
+        n.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), 1_000_000);
+        n.start_flow(SimTime::ZERO, NodeId(2), NodeId(1), 1_000_000);
+        assert_eq!(n.comm_counts(NodeId(1)), (0, 0)); // still latent
+        n.advance(SimTime(100_000));
+        assert_eq!(n.comm_counts(NodeId(1)), (2, 0));
+        assert_eq!(n.comm_counts(NodeId(0)), (0, 1));
+        drain(&mut n);
+        assert_eq!(n.comm_counts(NodeId(1)), (0, 0));
+    }
+
+    #[test]
+    fn zero_byte_flow_takes_exactly_latency() {
+        let mut n = net(250, 1e6);
+        n.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), 0);
+        let done = drain(&mut n);
+        assert_eq!(done[0].0, SimTime(250_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "node-local")]
+    fn local_transfer_rejected() {
+        let mut n = net(0, 1e6);
+        n.start_flow(SimTime::ZERO, NodeId(3), NodeId(3), 10);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut n = Network::new(
+            NetParams {
+                per_message_overhead_bytes: 50,
+                ..NetParams::ideal()
+            },
+            Sharing::EqualSplit,
+        );
+        n.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), 1000);
+        n.start_flow(SimTime::ZERO, NodeId(1), NodeId(0), 2000);
+        drain(&mut n);
+        let s = n.stats();
+        assert_eq!(s.flows_started, 2);
+        assert_eq!(s.flows_completed, 2);
+        assert_eq!(s.payload_bytes, 3000);
+        assert_eq!(s.wire_bytes, 3100);
+    }
+
+    #[test]
+    fn straggler_node_slows_only_its_own_flows() {
+        let mut n = net(0, 1e6);
+        n.set_node_capacity(NodeId(1), 1e6, 0.25e6); // slow downlink
+        let slow = n.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), 250_000);
+        let fast = n.start_flow(SimTime::ZERO, NodeId(2), NodeId(3), 250_000);
+        let done = drain(&mut n);
+        let t_slow = done.iter().find(|(_, id)| *id == slow).unwrap().0;
+        let t_fast = done.iter().find(|(_, id)| *id == fast).unwrap().0;
+        assert_eq!(t_fast, SimTime(250_000_000)); // 0.25 MB at 1 MB/s
+        assert_eq!(t_slow, SimTime(1_000_000_000)); // at 0.25 MB/s
+        assert_eq!(n.node_capacity(NodeId(1)), (1e6, 0.25e6));
+        assert_eq!(n.node_capacity(NodeId(0)), (1e6, 1e6));
+    }
+
+    #[test]
+    fn completion_order_is_deterministic_under_ties() {
+        for _ in 0..5 {
+            let mut n = net(0, 1e6);
+            let ids: Vec<FlowId> = (0..4)
+                .map(|i| n.start_flow(SimTime::ZERO, NodeId(i), NodeId(i + 4), 1000))
+                .collect();
+            let done = drain(&mut n);
+            let order: Vec<FlowId> = done.iter().map(|(_, id)| *id).collect();
+            assert_eq!(order, ids, "tie-broken by flow id");
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Duration models of the LU kernels on a given platform.
+
+use desim::SimDuration;
+use linalg::flops::{gemm_flops, panel_flops, trsm_flops};
+
+use crate::profile::PlatformProfile;
+
+/// Prices LU kernel invocations on one platform.
+#[derive(Clone, Copy, Debug)]
+pub struct LuCost {
+    profile: PlatformProfile,
+}
+
+impl LuCost {
+    /// Creates an empty instance.
+    pub fn new(profile: PlatformProfile) -> LuCost {
+        profile.validate().expect("invalid platform profile");
+        LuCost { profile }
+    }
+
+    /// The platform profile.
+    pub fn profile(&self) -> &PlatformProfile {
+        &self.profile
+    }
+
+    fn dur(&self, flops: f64, rate: f64) -> SimDuration {
+        self.profile.kernel_overhead + SimDuration::from_secs_f64(flops / rate)
+    }
+
+    fn dur_ws(&self, flops: f64, rate: f64, working_set_bytes: f64) -> SimDuration {
+        let penalty = self.profile.cache_penalty(working_set_bytes);
+        self.profile.kernel_overhead + SimDuration::from_secs_f64(flops * penalty / rate)
+    }
+
+    /// Panel LU with partial pivoting of an `m × r` panel. Column scans over
+    /// the whole panel make its working set `m·r` doubles.
+    pub fn panel(&self, m: usize, r: usize) -> SimDuration {
+        self.dur_ws(
+            panel_flops(m, r),
+            self.profile.panel_flops_per_sec,
+            (m * r * 8) as f64,
+        )
+    }
+
+    /// Triangular solve `T12 = L11^{-1}·A12` with `r × r` triangle and `c`
+    /// columns.
+    pub fn trsm(&self, r: usize, c: usize) -> SimDuration {
+        self.dur_ws(
+            trsm_flops(r, c),
+            self.profile.trsm_flops_per_sec,
+            ((r * r + r * c) * 8) as f64,
+        )
+    }
+
+    /// Block multiplication contribution `C -= A·B`, `A: m×k`, `B: k×n`.
+    pub fn gemm(&self, m: usize, n: usize, k: usize) -> SimDuration {
+        let ws = ((m * k + k * n + m * n) * 8) as f64;
+        self.dur_ws(gemm_flops(m, n, k), self.profile.gemm_flops_per_sec, ws)
+    }
+
+    /// Square `r × r` block multiplication (the dominant LU operation).
+    pub fn gemm_block(&self, r: usize) -> SimDuration {
+        self.gemm(r, r, r)
+    }
+
+    /// Row flipping: `swaps` row exchanges of `width` doubles each
+    /// (read + write both rows).
+    pub fn row_flip(&self, swaps: usize, width: usize) -> SimDuration {
+        let bytes = 4.0 * swaps as f64 * width as f64 * 8.0;
+        self.dur(0.0, 1.0) + SimDuration::from_secs_f64(bytes / self.profile.mem_bytes_per_sec)
+    }
+
+    /// Element-wise block subtraction `B -= M` of an `h × w` block
+    /// (memory bound: read both, write one).
+    pub fn subtract(&self, h: usize, w: usize) -> SimDuration {
+        let bytes = 3.0 * h as f64 * w as f64 * 8.0;
+        self.dur(0.0, 1.0) + SimDuration::from_secs_f64(bytes / self.profile.mem_bytes_per_sec)
+    }
+
+    /// Modeled duration of the *serial* blocked LU of order `n` with block
+    /// size `r` — the sum of every kernel invocation the block algorithm
+    /// performs on one processor. Anchors profile calibration.
+    pub fn serial_lu(&self, n: usize, r: usize) -> SimDuration {
+        assert!(n.is_multiple_of(r));
+        let mut total = SimDuration::ZERO;
+        let kb = n / r;
+        for k in 0..kb {
+            let m = n - k * r;
+            total += self.panel(m, r);
+            if m > r {
+                // One trsm + row flip per remaining column block.
+                let rem_cols = m - r;
+                let blocks = rem_cols / r;
+                for _ in 0..blocks {
+                    total += self.trsm(r, r);
+                    total += self.row_flip(r, r);
+                }
+                // (m/r - 1)^2 block multiplications + subtractions.
+                for _ in 0..blocks * blocks {
+                    total += self.gemm_block(r);
+                    total += self.subtract(r, r);
+                }
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ultrasparc_serial_lu_matches_paper_anchor() {
+        // Paper: real serial execution of the 2592² LU (r = 216) = 185.1 s.
+        let cost = LuCost::new(PlatformProfile::ultrasparc_ii_440());
+        let t = cost.serial_lu(2592, 216).as_secs_f64();
+        assert!(
+            (170.0..200.0).contains(&t),
+            "serial LU model predicts {t:.1}s, paper anchor is 185.1s"
+        );
+    }
+
+    #[test]
+    fn pentium4_is_roughly_twenty_times_faster() {
+        let us2 = LuCost::new(PlatformProfile::ultrasparc_ii_440());
+        let p4 = LuCost::new(PlatformProfile::pentium4_2800());
+        let a = us2.serial_lu(2592, 216).as_secs_f64();
+        let b = p4.serial_lu(2592, 216).as_secs_f64();
+        let ratio = a / b;
+        assert!((10.0..40.0).contains(&ratio), "speed ratio {ratio}");
+    }
+
+    #[test]
+    fn serial_lu_times_reflect_cache_behaviour() {
+        // Total flops are ~2n³/3 regardless of r, so cache-resident block
+        // sizes should agree closely — while r = 648 (whose gemm operands
+        // overflow the UltraSparc's 2 MB L2) must be substantially slower.
+        // This is the effect behind the paper's dramatic granularity gains
+        // (Figure 8's 259.4 s reference at r = 648).
+        let cost = LuCost::new(PlatformProfile::ultrasparc_ii_440());
+        let t = |r: usize| cost.serial_lu(2592, r).as_secs_f64();
+        let small: Vec<f64> = [108, 162, 216].iter().map(|&r| t(r)).collect();
+        let min = small.iter().cloned().fold(f64::MAX, f64::min);
+        let max = small.iter().cloned().fold(0.0, f64::max);
+        assert!(max / min < 1.2, "cache-resident times vary: {small:?}");
+        let big = t(648);
+        let base = t(216);
+        assert!(
+            (1.5..3.5).contains(&(big / base)),
+            "r=648 penalty {:.2}x out of expected band",
+            big / base
+        );
+    }
+
+    #[test]
+    fn cache_penalty_is_one_below_cache_size() {
+        let p = PlatformProfile::ultrasparc_ii_440();
+        assert_eq!(p.cache_penalty(1024.0), 1.0);
+        assert!(p.cache_penalty(p.cache_bytes * 4.0) > 1.9);
+        let mut flat = p;
+        flat.cache_penalty_exp = 0.0;
+        assert_eq!(flat.cache_penalty(1e12), 1.0);
+    }
+
+    #[test]
+    fn kernel_costs_scale_with_size() {
+        let cost = LuCost::new(PlatformProfile::ultrasparc_ii_440());
+        assert!(cost.gemm_block(324) > cost.gemm_block(162));
+        assert!(cost.panel(2592, 216) > cost.panel(1296, 216));
+        assert!(cost.trsm(216, 216) > cost.trsm(108, 108));
+        assert!(cost.subtract(324, 324) > cost.subtract(108, 108));
+        assert!(cost.row_flip(216, 216) > cost.row_flip(10, 216));
+    }
+
+    #[test]
+    fn gemm_block_time_is_cubic() {
+        let cost = LuCost::new(PlatformProfile::modern_x86());
+        let t1 = cost.gemm_block(100).as_secs_f64();
+        let t2 = cost.gemm_block(200).as_secs_f64();
+        // Subtract the per-call overhead before comparing.
+        let oh = cost.profile().kernel_overhead.as_secs_f64();
+        let ratio = (t2 - oh) / (t1 - oh);
+        assert!((7.9..8.1).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,25 @@
+//! Kernel cost models and platform profiles for partial direct execution.
+//!
+//! Under PDEXEC the simulator replaces kernel invocations with "simulator
+//! notifications incorporating the corresponding benchmarked times" (paper
+//! §7). This crate supplies those times: a [`PlatformProfile`] captures a
+//! machine's sustained kernel throughputs, and [`LuCost`] turns the flop
+//! counts of the LU kernels (from `linalg::flops`) into durations.
+//!
+//! Profiles are calibrated against the paper's published anchors:
+//!
+//! * **UltraSparc II 440 MHz** — the paper's cluster node. Anchor: the
+//!   serial LU factorization of a 2592×2592 matrix (r = 216) takes 185.1 s
+//!   ⇒ ≈ 63 sustained MFLOPS.
+//! * **Pentium 4 2.8 GHz** — the paper's second simulation host, roughly
+//!   20× faster on these kernels.
+//! * **modern x86** — a present-day core, used to demonstrate portability:
+//!   PDEXEC predictions are identical regardless of the simulation host.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod profile;
+
+pub use cost::LuCost;
+pub use profile::PlatformProfile;

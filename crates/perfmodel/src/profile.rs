@@ -1,0 +1,128 @@
+//! Machine profiles: sustained kernel throughputs.
+
+use desim::SimDuration;
+
+/// Sustained performance characteristics of one machine, the "lower-level
+/// component" of the two-level performance model.
+#[derive(Clone, Copy, Debug)]
+pub struct PlatformProfile {
+    /// Job name.
+    pub name: &'static str,
+    /// Sustained flops/s of the blocked matrix multiplication.
+    pub gemm_flops_per_sec: f64,
+    /// Sustained flops/s of the panel LU (less cache friendly: column
+    /// scans, pivot searches).
+    pub panel_flops_per_sec: f64,
+    /// Sustained flops/s of the triangular solve.
+    pub trsm_flops_per_sec: f64,
+    /// Sustained copy bandwidth for row flipping and block subtraction
+    /// (memory bound kernels).
+    pub mem_bytes_per_sec: f64,
+    /// Fixed entry cost per kernel invocation (call, cache warmup).
+    pub kernel_overhead: SimDuration,
+    /// Last-level cache size; kernels whose working set exceeds it slow
+    /// down by `(ws / cache)^cache_penalty_exp`.
+    pub cache_bytes: f64,
+    /// Exponent of the cache-overflow penalty (0 disables it).
+    pub cache_penalty_exp: f64,
+}
+
+impl PlatformProfile {
+    /// Multiplicative slowdown of a kernel with the given working set.
+    pub fn cache_penalty(&self, working_set_bytes: f64) -> f64 {
+        if self.cache_penalty_exp <= 0.0 || working_set_bytes <= self.cache_bytes {
+            1.0
+        } else {
+            (working_set_bytes / self.cache_bytes).powf(self.cache_penalty_exp)
+        }
+    }
+}
+
+impl PlatformProfile {
+    /// The paper's cluster node: Sun workstation, single 440 MHz
+    /// UltraSparc II. Calibrated so the serial 2592² LU takes ≈ 185 s.
+    pub fn ultrasparc_ii_440() -> PlatformProfile {
+        PlatformProfile {
+            name: "UltraSparc II 440MHz",
+            gemm_flops_per_sec: 68e6,
+            panel_flops_per_sec: 42e6,
+            trsm_flops_per_sec: 55e6,
+            mem_bytes_per_sec: 220e6,
+            kernel_overhead: SimDuration::from_micros(40),
+            cache_bytes: 2.0 * 1024.0 * 1024.0,
+            cache_penalty_exp: 0.5,
+        }
+    }
+
+    /// The paper's second simulation host (Table 1): Pentium 4 2.8 GHz.
+    pub fn pentium4_2800() -> PlatformProfile {
+        PlatformProfile {
+            name: "Pentium 4 2.8GHz",
+            gemm_flops_per_sec: 1.6e9,
+            panel_flops_per_sec: 0.8e9,
+            trsm_flops_per_sec: 1.2e9,
+            mem_bytes_per_sec: 2.5e9,
+            kernel_overhead: SimDuration::from_micros(4),
+            cache_bytes: 512.0 * 1024.0,
+            cache_penalty_exp: 0.25,
+        }
+    }
+
+    /// A present-day x86 core (rough numbers; used only to show that PDEXEC
+    /// predictions do not depend on the simulation host).
+    pub fn modern_x86() -> PlatformProfile {
+        PlatformProfile {
+            name: "modern x86",
+            gemm_flops_per_sec: 2.0e10,
+            panel_flops_per_sec: 6.0e9,
+            trsm_flops_per_sec: 1.2e10,
+            mem_bytes_per_sec: 2.0e10,
+            kernel_overhead: SimDuration::from_nanos(500),
+            cache_bytes: 32.0 * 1024.0 * 1024.0,
+            cache_penalty_exp: 0.2,
+        }
+    }
+
+    /// Checks all throughputs are positive and finite.
+    pub fn validate(&self) -> Result<(), String> {
+        for (label, v) in [
+            ("gemm", self.gemm_flops_per_sec),
+            ("panel", self.panel_flops_per_sec),
+            ("trsm", self.trsm_flops_per_sec),
+            ("mem", self.mem_bytes_per_sec),
+        ] {
+            if v.is_nan() || v <= 0.0 || !v.is_finite() {
+                return Err(format!("{label} throughput must be positive"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        PlatformProfile::ultrasparc_ii_440().validate().unwrap();
+        PlatformProfile::pentium4_2800().validate().unwrap();
+        PlatformProfile::modern_x86().validate().unwrap();
+    }
+
+    #[test]
+    fn relative_speeds_are_ordered() {
+        let us2 = PlatformProfile::ultrasparc_ii_440();
+        let p4 = PlatformProfile::pentium4_2800();
+        let x86 = PlatformProfile::modern_x86();
+        assert!(us2.gemm_flops_per_sec < p4.gemm_flops_per_sec);
+        assert!(p4.gemm_flops_per_sec < x86.gemm_flops_per_sec);
+    }
+
+    #[test]
+    fn invalid_profile_rejected() {
+        let mut p = PlatformProfile::modern_x86();
+        p.trsm_flops_per_sec = 0.0;
+        assert!(p.validate().is_err());
+    }
+}

@@ -1,0 +1,121 @@
+//! Histograms (for the Figure 13 prediction-error distribution).
+
+/// A fixed-bin-width histogram over a symmetric range around zero.
+pub struct Histogram {
+    bin_width: f64,
+    /// Bin `i` covers `[lo + i·w, lo + (i+1)·w)`.
+    lo: f64,
+    counts: Vec<u64>,
+    values: Vec<f64>,
+}
+
+impl Histogram {
+    /// Bins covering `[-range, +range]` with the given width.
+    pub fn symmetric(range: f64, bin_width: f64) -> Histogram {
+        assert!(range > 0.0 && bin_width > 0.0);
+        let n = (2.0 * range / bin_width).ceil() as usize;
+        Histogram {
+            bin_width,
+            lo: -range,
+            counts: vec![0; n],
+            values: Vec::new(),
+        }
+    }
+
+    /// Adds a series.
+    /// Adds one sample.
+    pub fn add(&mut self, v: f64) {
+        self.values.push(v);
+        let idx = ((v - self.lo) / self.bin_width).floor();
+        let idx = (idx.max(0.0) as usize).min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Number of samples recorded.
+    /// Number of samples recorded.
+    pub fn total(&self) -> u64 {
+        self.values.len() as u64
+    }
+
+    /// Fraction of samples with `|v| <= bound`.
+    pub fn fraction_within(&self, bound: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let n = self.values.iter().filter(|v| v.abs() <= bound).count();
+        n as f64 / self.values.len() as f64
+    }
+
+    /// Mean absolute sample value.
+    pub fn mean_abs(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().map(|v| v.abs()).sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Text rendering: one row per bin with a proportional bar.
+    pub fn render(&self, title: &str) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = format!("== {title} ({} samples) ==\n", self.total());
+        for (i, &c) in self.counts.iter().enumerate() {
+            let a = self.lo + i as f64 * self.bin_width;
+            let bar_len = (c * 40 / max) as usize;
+            out.push_str(&format!(
+                "{:>6.1}% .. {:>6.1}% | {:<40} {}\n",
+                a * 100.0,
+                (a + self.bin_width) * 100.0,
+                "#".repeat(bar_len),
+                c
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_and_fractions() {
+        let mut h = Histogram::symmetric(0.16, 0.04);
+        for v in [-0.15, -0.05, -0.01, 0.0, 0.02, 0.03, 0.05, 0.11] {
+            h.add(v);
+        }
+        assert_eq!(h.total(), 8);
+        assert!((h.fraction_within(0.04) - 4.0 / 8.0).abs() < 1e-12);
+        assert!((h.fraction_within(0.06) - 6.0 / 8.0).abs() < 1e-12);
+        assert_eq!(h.fraction_within(0.2), 1.0);
+    }
+
+    #[test]
+    fn out_of_range_clamps_to_edge_bins() {
+        let mut h = Histogram::symmetric(0.1, 0.05);
+        h.add(-5.0);
+        h.add(5.0);
+        assert_eq!(h.total(), 2);
+        let s = h.render("clamped");
+        assert!(s.contains("2 samples"));
+    }
+
+    #[test]
+    fn render_shows_bars() {
+        let mut h = Histogram::symmetric(0.08, 0.04);
+        for _ in 0..10 {
+            h.add(0.01);
+        }
+        h.add(-0.05);
+        let s = h.render("errors");
+        let dense = s.lines().find(|l| l.ends_with("10")).unwrap();
+        assert!(dense.contains("########"));
+    }
+
+    #[test]
+    fn mean_abs_error() {
+        let mut h = Histogram::symmetric(1.0, 0.1);
+        h.add(0.1);
+        h.add(-0.3);
+        assert!((h.mean_abs() - 0.2).abs() < 1e-12);
+    }
+}

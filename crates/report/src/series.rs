@@ -1,0 +1,170 @@
+//! Labeled data series and multi-series "figures" (for Figure 8-12-style
+//! output): rendered as aligned columns with an optional bar visual.
+
+/// One named series of (x-label, value) points.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Display name of the series.
+    pub name: String,
+    /// (x-label, value) points in insertion order.
+    pub points: Vec<(String, f64)>,
+}
+
+impl Series {
+    /// Creates an empty instance.
+    pub fn new(name: &str) -> Series {
+        Series {
+            name: name.to_string(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: &str, y: f64) -> &mut Self {
+        self.points.push((x.to_string(), y));
+        self
+    }
+
+    /// Value at an x label, if present.
+    pub fn get(&self, x: &str) -> Option<f64> {
+        self.points.iter().find(|(l, _)| l == x).map(|&(_, v)| v)
+    }
+}
+
+/// A figure: several series over a common x axis.
+pub struct Figure {
+    title: String,
+    x_label: String,
+    series: Vec<Series>,
+}
+
+impl Figure {
+    /// Creates an empty instance.
+    pub fn new(title: &str, x_label: &str) -> Figure {
+        Figure {
+            title: title.to_string(),
+            x_label: x_label.to_string(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series.
+    pub fn add(&mut self, s: Series) -> &mut Self {
+        self.series.push(s);
+        self
+    }
+
+    /// The figure's series.
+    pub fn series(&self) -> &[Series] {
+        &self.series
+    }
+
+    /// Union of x labels in first-appearance order.
+    fn x_labels(&self) -> Vec<String> {
+        let mut labels: Vec<String> = Vec::new();
+        for s in &self.series {
+            for (x, _) in &s.points {
+                if !labels.contains(x) {
+                    labels.push(x.clone());
+                }
+            }
+        }
+        labels
+    }
+
+    /// Aligned text rendering: one row per x value, one column per series.
+    pub fn render(&self) -> String {
+        let labels = self.x_labels();
+        let mut out = format!("== {} ==\n", self.title);
+        let mut widths: Vec<usize> = vec![self.x_label.len()];
+        for s in &self.series {
+            widths.push(s.name.len().max(8));
+        }
+        for l in &labels {
+            widths[0] = widths[0].max(l.len());
+        }
+        out.push_str(&format!("{:<w$}", self.x_label, w = widths[0]));
+        for (i, s) in self.series.iter().enumerate() {
+            out.push_str(&format!("  {:>w$}", s.name, w = widths[i + 1]));
+        }
+        out.push('\n');
+        for l in &labels {
+            out.push_str(&format!("{:<w$}", l, w = widths[0]));
+            for (i, s) in self.series.iter().enumerate() {
+                match s.get(l) {
+                    Some(v) => out.push_str(&format!("  {:>w$.3}", v, w = widths[i + 1])),
+                    None => out.push_str(&format!("  {:>w$}", "-", w = widths[i + 1])),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// CSV rendering with the x axis as the first column.
+    pub fn to_csv(&self) -> String {
+        let labels = self.x_labels();
+        let mut out = String::new();
+        out.push_str(&self.x_label);
+        for s in &self.series {
+            out.push(',');
+            out.push_str(&s.name);
+        }
+        out.push('\n');
+        for l in &labels {
+            out.push_str(l);
+            for s in &self.series {
+                out.push(',');
+                if let Some(v) = s.get(l) {
+                    out.push_str(&format!("{v}"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> Figure {
+        let mut a = Series::new("Measurement");
+        a.push("P", 1.02).push("P+FC", 1.05);
+        let mut b = Series::new("Prediction");
+        b.push("P", 1.03).push("P+FC", 1.04).push("PM", 0.9);
+        let mut f = Figure::new("Impact of modifications", "variant");
+        f.add(a).add(b);
+        f
+    }
+
+    #[test]
+    fn render_includes_all_points() {
+        let s = fig().render();
+        assert!(s.contains("Impact of modifications"));
+        assert!(s.contains("P+FC"));
+        assert!(s.contains("1.050"));
+        // Missing point rendered as '-'.
+        let pm_line = s.lines().find(|l| l.starts_with("PM")).unwrap();
+        assert!(pm_line.contains('-'));
+        assert!(pm_line.contains("0.900"));
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let csv = fig().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "variant,Measurement,Prediction");
+        assert_eq!(lines.len(), 4); // header + P, P+FC, PM
+        assert!(lines[3].starts_with("PM,,0.9"));
+    }
+
+    #[test]
+    fn series_lookup() {
+        let mut s = Series::new("x");
+        s.push("a", 1.0);
+        assert_eq!(s.get("a"), Some(1.0));
+        assert_eq!(s.get("b"), None);
+    }
+}

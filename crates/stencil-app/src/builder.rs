@@ -1,0 +1,101 @@
+//! Assembles the stencil [`dps::Application`].
+
+use std::sync::{Arc, Mutex};
+
+use dps::{by_target, downcast_ref, to_thread, AppBuilder, Application, OpKind, Router};
+
+use crate::config::StencilConfig;
+use crate::ops::{CollectOp, DriverOp, InitOp, StOps, StShared, StencilOp};
+use crate::payload::{BandData, Halo, Start, WorkerCmd};
+
+/// Halo routing by relative thread index: `to_above` selects the group
+/// neighbour at offset −1, otherwise +1 (the paper's neighborhood-exchange
+/// pattern).
+fn halo_router(group: &str) -> Router {
+    let group = group.to_string();
+    Box::new(move |obj, ctx| {
+        let h: &Halo = downcast_ref(obj);
+        let all = ctx.group_all(&group);
+        let me = all
+            .iter()
+            .position(|&t| t == ctx.src_thread)
+            .expect("posting thread in group");
+        let idx = if h.to_above {
+            me.checked_sub(1).expect("no neighbour above")
+        } else {
+            me + 1
+        };
+        all[idx]
+    })
+}
+
+/// Builds the application; the shared handle exposes the verification grid.
+pub fn build_stencil_app(cfg: StencilConfig) -> (Application, Arc<StShared>) {
+    cfg.validate().expect("invalid stencil configuration");
+    let mut b = AppBuilder::new("jacobi-stencil");
+    let nodes: Vec<u32> = (0..cfg.workers).map(|t| t % cfg.nodes).collect();
+    b.thread_group_on_nodes("workers", &nodes);
+    let main = b.thread_on_node("main", 0);
+
+    let init = b.declare("init", OpKind::Split);
+    let stencil = b.declare("stencil", OpKind::Leaf);
+    let driver = b.declare("driver", OpKind::Stream);
+    let collect = b.declare("collect", OpKind::Merge);
+
+    let sh = Arc::new(StShared {
+        cfg: cfg.clone(),
+        ids: StOps {
+            init,
+            stencil,
+            driver,
+            collect,
+        },
+        result: Mutex::new(None),
+    });
+
+    {
+        let sh = sh.clone();
+        b.body(init, move |_, _| Box::new(InitOp::new(sh.clone())));
+    }
+    {
+        let sh = sh.clone();
+        b.body(stencil, move |_, t| Box::new(StencilOp::new(sh.clone(), t)));
+    }
+    {
+        let sh = sh.clone();
+        b.body(driver, move |_, _| Box::new(DriverOp::new(sh.clone())));
+    }
+    {
+        let sh = sh.clone();
+        b.body(collect, move |_, _| Box::new(CollectOp::new(sh.clone())));
+    }
+
+    b.edge(init, stencil, by_target(|m: &BandData| m.dest));
+    b.edge(driver, stencil, by_target(|m: &WorkerCmd| m.dest));
+    b.edge(stencil, stencil, halo_router("workers"));
+    b.edge(stencil, driver, to_thread(main));
+    b.edge(stencil, collect, to_thread(main));
+    b.start(init, main, || Box::new(Start));
+
+    let app = b.build().expect("stencil application assembles");
+    (app, sh)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn app_assembles() {
+        let (app, sh) = build_stencil_app(StencilConfig::new(256, 4, 4));
+        assert_eq!(app.graph().op_count(), 4);
+        assert_eq!(app.deployment().thread_count(), 5);
+        assert_eq!(sh.cfg.band_rows(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid stencil configuration")]
+    fn invalid_config_panics() {
+        build_stencil_app(StencilConfig::new(100, 4, 8));
+    }
+}

@@ -1,0 +1,88 @@
+//! Stencil configuration.
+
+use lu_app::DataMode;
+use perfmodel::PlatformProfile;
+
+/// Configuration of one Jacobi run.
+#[derive(Clone)]
+pub struct StencilConfig {
+    /// Grid order (N × N).
+    pub n: usize,
+    /// Jacobi iterations.
+    pub iters: usize,
+    /// Compute nodes; one worker (band) per node times `workers_per_node`.
+    pub nodes: u32,
+    /// Worker threads (= bands); thread t on node t % nodes.
+    pub workers: u32,
+    /// Barrier between iterations (synchronized) or free-running halos
+    /// (asynchronous pipelining).
+    pub synchronized: bool,
+    /// Payload mode (shared with the LU app: Real / Alloc / Ghost).
+    pub mode: DataMode,
+    /// Kernel cost model for PDEXEC charges; `None` = direct execution.
+    pub cost: Option<PlatformProfile>,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl StencilConfig {
+    /// Creates an empty instance.
+    pub fn new(n: usize, iters: usize, nodes: u32) -> StencilConfig {
+        StencilConfig {
+            n,
+            iters,
+            nodes,
+            workers: nodes,
+            synchronized: true,
+            mode: DataMode::Ghost,
+            cost: Some(PlatformProfile::ultrasparc_ii_440()),
+            seed: 7,
+        }
+    }
+
+    /// Rows per band.
+    pub fn band_rows(&self) -> usize {
+        self.n / self.workers as usize
+    }
+
+    /// Checks divisibility and worker-count consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.workers == 0 || self.nodes == 0 || self.workers < self.nodes {
+            return Err("need at least one worker per node".into());
+        }
+        if self.n == 0 || !self.n.is_multiple_of(self.workers as usize) {
+            return Err(format!(
+                "grid order {} must divide evenly into {} bands",
+                self.n, self.workers
+            ));
+        }
+        if self.band_rows() < 1 {
+            return Err("bands must be at least one row tall".into());
+        }
+        if self.iters == 0 {
+            return Err("need at least one iteration".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_config() {
+        let c = StencilConfig::new(512, 10, 8);
+        c.validate().unwrap();
+        assert_eq!(c.band_rows(), 64);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(StencilConfig::new(100, 10, 8).validate().is_err()); // 100 % 8 != 0
+        assert!(StencilConfig::new(512, 0, 8).validate().is_err());
+        let mut c = StencilConfig::new(512, 4, 8);
+        c.workers = 4;
+        assert!(c.validate().is_err()); // fewer workers than nodes
+    }
+}

@@ -1,0 +1,442 @@
+//! Operation behaviours of the stencil flow graph.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use desim::SimDuration;
+use dps::{downcast, DataObj, OpCtx, OpId, Operation, ThreadId};
+use linalg::Matrix;
+use lu_app::DataMode;
+use perfmodel::PlatformProfile;
+
+use crate::config::StencilConfig;
+use crate::payload::{
+    BandData, BandOut, DriverMsg, Halo, Payload, Start, WorkerCmd, WorkerCmdBody,
+};
+
+/// Operation ids of the built graph.
+#[derive(Clone, Copy, Debug)]
+pub struct StOps {
+    /// Initial distribution split op.
+    pub init: OpId,
+    /// Stencil worker op.
+    pub stencil: OpId,
+    /// Driver stream op.
+    pub driver: OpId,
+    /// Verification collector op.
+    pub collect: OpId,
+}
+
+/// Shared context.
+pub struct StShared {
+    /// The run's configuration.
+    pub cfg: StencilConfig,
+    /// Flow-graph operation ids.
+    pub ids: StOps,
+    /// Final output slot (Real mode).
+    pub result: Mutex<Option<Matrix>>,
+}
+
+impl StShared {
+    /// Whether kernels really execute (Real mode).
+    pub fn compute(&self) -> bool {
+        self.cfg.mode == DataMode::Real
+    }
+
+    /// Builds a block payload in the configured data mode.
+    pub fn make_payload(&self, rows: usize, cols: usize, real: impl FnOnce() -> Matrix) -> Payload {
+        match self.cfg.mode {
+            DataMode::Real => Payload::Real(real()),
+            DataMode::Alloc => Payload::alloc(rows, cols),
+            DataMode::Ghost => Payload::Ghost { rows, cols },
+        }
+    }
+
+    /// The Jacobi sweep over an `h × n` band is memory bound on the modeled
+    /// machines: ~16 bytes and ~6 flops of traffic per cell.
+    pub fn update_cost(&self, h: usize, n: usize) -> Option<SimDuration> {
+        self.cfg.cost.map(|p: PlatformProfile| {
+            let cells = (h * n) as f64;
+            let t_flop = 6.0 * cells / p.trsm_flops_per_sec;
+            let t_mem = 16.0 * cells / p.mem_bytes_per_sec;
+            p.kernel_overhead + SimDuration::from_secs_f64(t_flop.max(t_mem))
+        })
+    }
+
+    /// Serialization/copy cost of preparing a message.
+    pub fn msg_prep(&self, bytes: u64) -> Option<SimDuration> {
+        self.cfg
+            .cost
+            .map(|p| SimDuration::from_secs_f64(bytes as f64 / p.mem_bytes_per_sec))
+    }
+
+    fn charge(&self, ctx: &mut dyn OpCtx, d: Option<SimDuration>) {
+        if let Some(d) = d {
+            ctx.charge(d);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// The grid distribution split.
+pub struct InitOp {
+    sh: Arc<StShared>,
+}
+
+impl InitOp {
+    /// Creates an empty instance.
+    pub fn new(sh: Arc<StShared>) -> InitOp {
+        InitOp { sh }
+    }
+}
+
+impl Operation for InitOp {
+    fn on_object(&mut self, obj: DataObj, ctx: &mut dyn OpCtx) {
+        let _: Start = downcast(obj);
+        let sh = &self.sh;
+        let (n, w_count) = (sh.cfg.n, sh.cfg.workers as usize);
+        let h = sh.cfg.band_rows();
+        let workers = ctx.all_threads("workers");
+        let grid = if sh.compute() {
+            Some(Matrix::random(n, n, sh.cfg.seed))
+        } else {
+            None
+        };
+        for (w, &dest) in workers.iter().enumerate().take(w_count) {
+            let band = sh.make_payload(h, n, || {
+                grid.as_ref().expect("real mode").block(w * h, 0, h, n)
+            });
+            sh.charge(ctx, sh.msg_prep(band.wire()));
+            ctx.post(sh.ids.stencil, Box::new(BandData { w, dest, band }));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Per-worker stencil state machine.
+pub struct StencilOp {
+    sh: Arc<StShared>,
+    me: ThreadId,
+    /// Band index (position within the workers group); resolved lazily.
+    w: Option<usize>,
+    band: Option<Payload>,
+    /// Buffered halo rows keyed by (iteration, from_above).
+    halos: HashMap<(usize, bool), Payload>,
+    /// Iterations the driver has released (synchronized mode) or the worker
+    /// has reached (asynchronous mode).
+    ready: usize,
+    /// Next iteration to compute.
+    next: usize,
+}
+
+impl StencilOp {
+    /// Creates an empty instance.
+    pub fn new(sh: Arc<StShared>, me: ThreadId) -> StencilOp {
+        StencilOp {
+            sh,
+            me,
+            w: None,
+            band: None,
+            halos: HashMap::new(),
+            ready: 0,
+            next: 0,
+        }
+    }
+
+    fn w(&mut self, ctx: &mut dyn OpCtx) -> usize {
+        *self.w.get_or_insert_with(|| {
+            ctx.all_threads("workers")
+                .iter()
+                .position(|&t| t == self.me)
+                .expect("worker thread in group")
+        })
+    }
+
+    fn needs_above(&self, w: usize) -> bool {
+        w > 0
+    }
+
+    fn needs_below(&self, w: usize) -> bool {
+        w + 1 < self.sh.cfg.workers as usize
+    }
+
+    /// Sends this band's boundary rows (current state) feeding iteration
+    /// `iter` at the neighbours.
+    fn send_halos(&mut self, iter: usize, ctx: &mut dyn OpCtx) {
+        let sh = self.sh.clone();
+        let w = self.w(ctx);
+        let n = sh.cfg.n;
+        let h = sh.cfg.band_rows();
+        let band = self.band.as_ref().expect("band stored");
+        if self.needs_above(w) {
+            let row = sh.make_payload(1, n, || band.matrix().block(0, 0, 1, n));
+            self.sh.charge(ctx, self.sh.msg_prep(row.wire()));
+            ctx.post(
+                sh.ids.stencil,
+                Box::new(Halo {
+                    iter,
+                    to_above: true,
+                    row,
+                }),
+            );
+        }
+        if self.needs_below(w) {
+            let band = self.band.as_ref().expect("band stored");
+            let row = sh.make_payload(1, n, || band.matrix().block(h - 1, 0, 1, n));
+            self.sh.charge(ctx, self.sh.msg_prep(row.wire()));
+            ctx.post(
+                sh.ids.stencil,
+                Box::new(Halo {
+                    iter,
+                    to_above: false,
+                    row,
+                }),
+            );
+        }
+    }
+
+    /// Computes iteration `self.next` if released and all halos are in.
+    fn try_compute(&mut self, ctx: &mut dyn OpCtx) {
+        loop {
+            let k = self.next;
+            if k >= self.ready || k >= self.sh.cfg.iters {
+                return;
+            }
+            let w = self.w(ctx);
+            let have_above = !self.needs_above(w) || self.halos.contains_key(&(k, true));
+            let have_below = !self.needs_below(w) || self.halos.contains_key(&(k, false));
+            if !have_above || !have_below {
+                return;
+            }
+            let above = self.halos.remove(&(k, true));
+            let below = self.halos.remove(&(k, false));
+            self.compute(k, above, below, ctx);
+            self.next += 1;
+            let sh = self.sh.clone();
+            ctx.post(
+                sh.ids.driver,
+                Box::new(DriverMsg::IterDone { w, iter: k }),
+            );
+            if !sh.cfg.synchronized && self.next < sh.cfg.iters {
+                // Asynchronous pipelining: feed the neighbours immediately
+                // and release the next iteration locally.
+                self.ready = self.next + 1;
+                self.send_halos(self.next, ctx);
+            }
+        }
+    }
+
+    /// The 5-point Jacobi sweep on the local band.
+    fn compute(
+        &mut self,
+        _k: usize,
+        above: Option<Payload>,
+        below: Option<Payload>,
+        ctx: &mut dyn OpCtx,
+    ) {
+        let sh = self.sh.clone();
+        let n = sh.cfg.n;
+        let h = sh.cfg.band_rows();
+        let w = self.w(ctx);
+        if sh.compute() {
+            let band = self.band.as_mut().expect("band stored").matrix_mut();
+            let old = band.clone();
+            for i in 0..h {
+                let gi = w * h + i;
+                if gi == 0 || gi == n - 1 {
+                    continue; // fixed grid boundary rows
+                }
+                for j in 1..n - 1 {
+                    let up = if i > 0 {
+                        old[(i - 1, j)]
+                    } else {
+                        above.as_ref().expect("above halo").matrix()[(0, j)]
+                    };
+                    let down = if i + 1 < h {
+                        old[(i + 1, j)]
+                    } else {
+                        below.as_ref().expect("below halo").matrix()[(0, j)]
+                    };
+                    band[(i, j)] = 0.25 * (up + down + old[(i, j - 1)] + old[(i, j + 1)]);
+                }
+            }
+        }
+        let d = sh.update_cost(h, n);
+        sh.charge(ctx, d);
+    }
+}
+
+impl Operation for StencilOp {
+    fn on_object(&mut self, obj: DataObj, ctx: &mut dyn OpCtx) {
+        let any = obj.into_any();
+        let any = match any.downcast::<BandData>() {
+            Ok(m) => {
+                let m = *m;
+                ctx.account_state(m.band.heap() as i64);
+                self.band = Some(m.band);
+                let sh = self.sh.clone();
+                ctx.post(sh.ids.driver, Box::new(DriverMsg::BandStored { w: m.w }));
+                return;
+            }
+            Err(a) => a,
+        };
+        let any = match any.downcast::<WorkerCmd>() {
+            Ok(cmd) => {
+                match cmd.body {
+                    WorkerCmdBody::Go { iter } => {
+                        self.ready = self.ready.max(iter + 1);
+                        if iter < self.sh.cfg.iters {
+                            self.send_halos(iter, ctx);
+                        }
+                        self.try_compute(ctx);
+                    }
+                    WorkerCmdBody::Dump => {
+                        let sh = self.sh.clone();
+                        let w = self.w(ctx);
+                        let band = self.band.take().expect("band stored");
+                        ctx.account_state(-(band.heap() as i64));
+                        sh.charge(ctx, sh.msg_prep(band.wire()));
+                        ctx.post(sh.ids.collect, Box::new(BandOut { w, band }));
+                    }
+                }
+                return;
+            }
+            Err(a) => a,
+        };
+        match any.downcast::<Halo>() {
+            Ok(h) => {
+                let h = *h;
+                // A halo posted "to_above" arrives at the band above and is
+                // that band's *below* halo, and vice versa.
+                let from_above = !h.to_above;
+                self.halos.insert((h.iter, from_above), h.row);
+                self.try_compute(ctx);
+            }
+            Err(_) => panic!("stencil received unexpected data object"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// The iteration driver: collects notifications, enforces barriers in
+/// synchronized mode, marks iterations, triggers the dump.
+pub struct DriverOp {
+    sh: Arc<StShared>,
+    stored: usize,
+    done: HashMap<usize, usize>,
+    finished: bool,
+}
+
+impl DriverOp {
+    /// Creates an empty instance.
+    pub fn new(sh: Arc<StShared>) -> DriverOp {
+        DriverOp {
+            sh,
+            stored: 0,
+            done: HashMap::new(),
+            finished: false,
+        }
+    }
+
+    fn broadcast_go(&self, iter: usize, ctx: &mut dyn OpCtx) {
+        let sh = &self.sh;
+        for t in ctx.all_threads("workers") {
+            ctx.post(
+                sh.ids.stencil,
+                Box::new(WorkerCmd {
+                    dest: t,
+                    body: WorkerCmdBody::Go { iter },
+                }),
+            );
+        }
+    }
+
+    fn finish(&mut self, ctx: &mut dyn OpCtx) {
+        self.finished = true;
+        if self.sh.cfg.mode == DataMode::Real {
+            let sh = self.sh.clone();
+            for t in ctx.all_threads("workers") {
+                ctx.post(
+                    sh.ids.stencil,
+                    Box::new(WorkerCmd {
+                        dest: t,
+                        body: WorkerCmdBody::Dump,
+                    }),
+                );
+            }
+        } else {
+            ctx.terminate();
+        }
+    }
+
+    fn on_done(&mut self, iter: usize, ctx: &mut dyn OpCtx) {
+        let w_count = self.sh.cfg.workers as usize;
+        let c = self.done.entry(iter).or_insert(0);
+        *c += 1;
+        if *c < w_count {
+            return;
+        }
+        ctx.mark(&format!("iter:{}", iter + 1));
+        if iter + 1 == self.sh.cfg.iters {
+            self.finish(ctx);
+        } else if self.sh.cfg.synchronized {
+            self.broadcast_go(iter + 1, ctx);
+        }
+    }
+
+}
+
+impl Operation for DriverOp {
+    fn on_object(&mut self, obj: DataObj, ctx: &mut dyn OpCtx) {
+        let m: DriverMsg = downcast(obj);
+        match m {
+            DriverMsg::BandStored { .. } => {
+                self.stored += 1;
+                if self.stored == self.sh.cfg.workers as usize {
+                    ctx.mark("dist");
+                    self.broadcast_go(0, ctx);
+                }
+            }
+            DriverMsg::IterDone { iter, .. } => self.on_done(iter, ctx),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Verification collector: assembles the final grid.
+pub struct CollectOp {
+    sh: Arc<StShared>,
+    acc: Option<Matrix>,
+    got: usize,
+}
+
+impl CollectOp {
+    /// Creates an empty instance.
+    pub fn new(sh: Arc<StShared>) -> CollectOp {
+        CollectOp {
+            sh,
+            acc: None,
+            got: 0,
+        }
+    }
+}
+
+impl Operation for CollectOp {
+    fn on_object(&mut self, obj: DataObj, ctx: &mut dyn OpCtx) {
+        let sh = self.sh.clone();
+        let n = sh.cfg.n;
+        let h = sh.cfg.band_rows();
+        let m: BandOut = downcast(obj);
+        let acc = self.acc.get_or_insert_with(|| Matrix::zeros(n, n));
+        acc.set_block(m.w * h, 0, m.band.matrix());
+        self.got += 1;
+        if self.got == sh.cfg.workers as usize {
+            *sh.result.lock().expect("result lock") = self.acc.take();
+            ctx.terminate();
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Data objects of the stencil flow graph. The matrix payload type is
+//! shared with the LU application (`lu_app::Payload`) — both carry dense
+//! blocks in Real/Alloc/Ghost modes.
+
+use dps::{DataObject, ThreadId};
+pub use lu_app::Payload;
+
+/// Fixed per-message envelope.
+pub const MSG_HEADER: u64 = 16;
+
+/// Kick-off token.
+pub struct Start;
+
+/// A band of the grid heading to its worker.
+pub struct BandData {
+    /// Band / worker index.
+    pub w: usize,
+    /// Destination thread (resolved by the `by_target` router).
+    pub dest: ThreadId,
+    /// The band payload.
+    pub band: Payload,
+}
+
+/// Commands from the driver to workers.
+pub enum WorkerCmdBody {
+    /// Start iteration `iter` (exchange halos, then update).
+    Go {
+        /// Iteration to run.
+        iter: usize,
+    },
+    /// Send the band to the collector (verification).
+    Dump,
+}
+
+/// A routed driver command (see [`WorkerCmdBody`]).
+pub struct WorkerCmd {
+    /// Destination thread (resolved by the `by_target` router).
+    pub dest: ThreadId,
+    /// The request body.
+    pub body: WorkerCmdBody,
+}
+
+/// A halo row travelling to a neighbour band. `to_above` selects the
+/// neighbour (relative thread index −1 or +1); the edge router derives the
+/// destination from the posting thread.
+pub struct Halo {
+    /// Iteration index.
+    pub iter: usize,
+    /// Whether the halo heads to the band above (relative -1).
+    pub to_above: bool,
+    /// The halo row payload.
+    pub row: Payload,
+}
+
+/// Notifications from workers to the driver.
+pub enum DriverMsg {
+    /// A band was stored at its worker.
+    BandStored {
+        /// Band index.
+        w: usize,
+    },
+    /// A worker finished one iteration.
+    IterDone {
+        /// Band index.
+        w: usize,
+        /// Finished iteration.
+        iter: usize,
+    },
+}
+
+/// A finished band for the collector.
+pub struct BandOut {
+    /// Band / worker index.
+    pub w: usize,
+    /// The band payload.
+    pub band: Payload,
+}
+
+impl DataObject for Start {
+    fn wire_size(&self) -> u64 {
+        MSG_HEADER
+    }
+}
+
+impl DataObject for BandData {
+    fn wire_size(&self) -> u64 {
+        MSG_HEADER + self.band.wire()
+    }
+    fn heap_bytes(&self) -> u64 {
+        self.band.heap()
+    }
+}
+
+impl DataObject for WorkerCmd {
+    fn wire_size(&self) -> u64 {
+        MSG_HEADER + 8
+    }
+}
+
+impl DataObject for Halo {
+    fn wire_size(&self) -> u64 {
+        MSG_HEADER + 9 + self.row.wire()
+    }
+    fn heap_bytes(&self) -> u64 {
+        self.row.heap()
+    }
+}
+
+impl DataObject for DriverMsg {
+    fn wire_size(&self) -> u64 {
+        MSG_HEADER + 16
+    }
+}
+
+impl DataObject for BandOut {
+    fn wire_size(&self) -> u64 {
+        MSG_HEADER + self.band.wire()
+    }
+    fn heap_bytes(&self) -> u64 {
+        self.band.heap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halo_wire_size_scales_with_row() {
+        let h = Halo {
+            iter: 0,
+            to_above: true,
+            row: Payload::Ghost { rows: 1, cols: 512 },
+        };
+        assert_eq!(DataObject::wire_size(&h), MSG_HEADER + 9 + 8 + 512 * 8);
+        assert_eq!(DataObject::heap_bytes(&h), 0);
+    }
+
+    #[test]
+    fn band_heap_follows_mode() {
+        let real = BandData {
+            w: 0,
+            dest: ThreadId(0),
+            band: Payload::alloc(64, 512),
+        };
+        assert!(DataObject::heap_bytes(&real) >= 64 * 512 * 8);
+    }
+}

@@ -1,0 +1,59 @@
+//! Sequential Jacobi reference for verification.
+
+use linalg::Matrix;
+
+/// One Jacobi sweep: interior cells become the average of their four
+/// neighbours; boundary cells are fixed (Dirichlet).
+pub fn jacobi_step(g: &Matrix) -> Matrix {
+    let n = g.rows();
+    let mut out = g.clone();
+    for i in 1..n - 1 {
+        for j in 1..n - 1 {
+            out[(i, j)] = 0.25 * (g[(i - 1, j)] + g[(i + 1, j)] + g[(i, j - 1)] + g[(i, j + 1)]);
+        }
+    }
+    out
+}
+
+/// `iters` Jacobi sweeps.
+pub fn jacobi(g: &Matrix, iters: usize) -> Matrix {
+    let mut cur = g.clone();
+    for _ in 0..iters {
+        cur = jacobi_step(&cur);
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundary_stays_fixed() {
+        let g = Matrix::random(8, 8, 1);
+        let s = jacobi(&g, 5);
+        for k in 0..8 {
+            assert_eq!(s[(0, k)], g[(0, k)]);
+            assert_eq!(s[(7, k)], g[(7, k)]);
+            assert_eq!(s[(k, 0)], g[(k, 0)]);
+            assert_eq!(s[(k, 7)], g[(k, 7)]);
+        }
+    }
+
+    #[test]
+    fn uniform_grid_is_a_fixed_point() {
+        let g = Matrix::from_fn(6, 6, |_, _| 3.5);
+        let s = jacobi(&g, 10);
+        assert!(linalg::max_abs_diff(&g, &s) < 1e-12);
+    }
+
+    #[test]
+    fn diffusion_smooths_a_spike() {
+        let mut g = Matrix::zeros(16, 16);
+        g[(8, 8)] = 100.0;
+        let s = jacobi(&g, 3);
+        assert!(s[(8, 8)] < 100.0);
+        assert!(s[(8, 9)] > 0.0);
+        assert!(s[(5, 5)] >= 0.0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Running the stencil on the simulator or testbed, with verification.
+
+use desim::SimDuration;
+use dps_sim::{RunReport, SimConfig};
+use linalg::{max_abs_diff, Matrix};
+use lu_app::DataMode;
+use netmodel::NetParams;
+use testbed::TestbedParams;
+
+use crate::builder::build_stencil_app;
+use crate::config::StencilConfig;
+use crate::reference::jacobi;
+
+/// Outcome of one stencil run.
+pub struct StencilRun {
+    /// The engine's run report.
+    pub report: RunReport,
+    /// Sweep time: completion minus the distribution mark.
+    pub sweep_time: SimDuration,
+    /// Max abs deviation from the sequential Jacobi reference (Real mode).
+    pub error: Option<f64>,
+}
+
+fn finish(cfg: &StencilConfig, sh: &crate::ops::StShared, report: RunReport) -> StencilRun {
+    assert!(
+        report.terminated,
+        "stencil run did not terminate: {:?}",
+        report.stall
+    );
+    let dist = report.mark_time("dist").expect("distribution mark");
+    let end = report
+        .mark_time(&format!("iter:{}", cfg.iters))
+        .expect("final iteration mark");
+    let error = if cfg.mode == DataMode::Real {
+        let got = sh
+            .result
+            .lock()
+            .expect("result lock")
+            .take()
+            .expect("Real mode produces a grid");
+        let reference = jacobi(&Matrix::random(cfg.n, cfg.n, cfg.seed), cfg.iters);
+        Some(max_abs_diff(&got, &reference))
+    } else {
+        None
+    };
+    StencilRun {
+        sweep_time: end - dist,
+        report,
+        error,
+    }
+}
+
+/// Predicts the run on the simulator.
+pub fn predict_stencil(cfg: &StencilConfig, net: NetParams, simcfg: &SimConfig) -> StencilRun {
+    let (app, sh) = build_stencil_app(cfg.clone());
+    let report = dps_sim::simulate(&app, net, simcfg);
+    finish(cfg, &sh, report)
+}
+
+/// "Measures" the run on the testbed emulator.
+pub fn measure_stencil(
+    cfg: &StencilConfig,
+    tb: TestbedParams,
+    seed: u64,
+    simcfg: &SimConfig,
+) -> StencilRun {
+    let (app, sh) = build_stencil_app(cfg.clone());
+    let report = testbed::measure(&app, tb, seed, simcfg);
+    finish(cfg, &sh, report)
+}

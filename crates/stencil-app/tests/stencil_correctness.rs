@@ -1,0 +1,145 @@
+//! End-to-end validation of the distributed Jacobi stencil.
+
+use desim::SimDuration;
+use dps_sim::{SimConfig, TimingMode};
+use lu_app::DataMode;
+use netmodel::NetParams;
+use perfmodel::PlatformProfile;
+use stencil_app::{measure_stencil, predict_stencil, StencilConfig};
+use testbed::TestbedParams;
+
+fn simcfg() -> SimConfig {
+    SimConfig {
+        timing: TimingMode::ChargedOnly,
+        step_overhead: SimDuration::from_micros(20),
+        ..SimConfig::default()
+    }
+}
+
+fn real_cfg(n: usize, iters: usize, nodes: u32) -> StencilConfig {
+    let mut cfg = StencilConfig::new(n, iters, nodes);
+    cfg.mode = DataMode::Real;
+    cfg.cost = Some(PlatformProfile::modern_x86());
+    cfg
+}
+
+#[test]
+fn synchronized_stencil_matches_reference() {
+    let cfg = real_cfg(64, 6, 4);
+    let run = predict_stencil(&cfg, NetParams::fast_ethernet(), &simcfg());
+    assert!(run.error.unwrap() < 1e-12, "error {:?}", run.error);
+}
+
+#[test]
+fn asynchronous_stencil_matches_reference() {
+    let mut cfg = real_cfg(64, 6, 4);
+    cfg.synchronized = false;
+    let run = predict_stencil(&cfg, NetParams::fast_ethernet(), &simcfg());
+    assert!(run.error.unwrap() < 1e-12);
+}
+
+#[test]
+fn single_worker_stencil_matches_reference() {
+    let cfg = real_cfg(32, 4, 1);
+    let run = predict_stencil(&cfg, NetParams::fast_ethernet(), &simcfg());
+    assert!(run.error.unwrap() < 1e-12);
+}
+
+#[test]
+fn many_bands_on_few_nodes() {
+    let mut cfg = real_cfg(64, 5, 2);
+    cfg.workers = 8; // four bands per node
+    let run = predict_stencil(&cfg, NetParams::fast_ethernet(), &simcfg());
+    assert!(run.error.unwrap() < 1e-12);
+}
+
+#[test]
+fn testbed_run_matches_reference_too() {
+    let mut cfg = real_cfg(64, 4, 4);
+    cfg.synchronized = false;
+    let run = measure_stencil(&cfg, TestbedParams::sun_cluster(), 5, &simcfg());
+    assert!(run.error.unwrap() < 1e-12);
+}
+
+#[test]
+fn async_pipelining_is_not_slower() {
+    // Removing the barrier can only help (loosely coupled neighbours).
+    let mut sync = StencilConfig::new(2048, 16, 8);
+    sync.mode = DataMode::Ghost;
+    let mut async_ = sync.clone();
+    async_.synchronized = false;
+    let ts = predict_stencil(&sync, NetParams::fast_ethernet(), &simcfg()).sweep_time;
+    let ta = predict_stencil(&async_, NetParams::fast_ethernet(), &simcfg()).sweep_time;
+    assert!(
+        ta <= ts,
+        "async ({}) must not be slower than synchronized ({})",
+        ta,
+        ts
+    );
+}
+
+#[test]
+fn stencil_dynamic_efficiency_is_flat() {
+    // The contrast with LU: per-iteration efficiency stays constant, so the
+    // removal policy recommends keeping every node.
+    let mut cfg = StencilConfig::new(2048, 12, 8);
+    cfg.mode = DataMode::Ghost;
+    let run = predict_stencil(&cfg, NetParams::fast_ethernet(), &simcfg());
+    let profile = cluster_profile(&run.report);
+    let effs: Vec<f64> = profile.points.iter().map(|p| p.efficiency).collect();
+    let min = effs.iter().cloned().fold(f64::MAX, f64::min);
+    let max = effs.iter().cloned().fold(0.0, f64::max);
+    assert!(
+        max / min < 1.15,
+        "stencil efficiency should be flat: {effs:?}"
+    );
+    let plan = cluster::recommend_removal(&profile, 8, cluster::ThresholdPolicy::default());
+    assert!(plan.is_empty(), "no removal for a flat profile: {plan:?}");
+}
+
+fn cluster_profile(report: &dps_sim::RunReport) -> cluster::EfficiencyProfile {
+    cluster::profile_from_report(report)
+}
+
+#[test]
+fn prediction_tracks_testbed_for_stencil() {
+    let mut cfg = StencilConfig::new(2048, 16, 8);
+    cfg.mode = DataMode::Ghost;
+    let p = predict_stencil(&cfg, NetParams::fast_ethernet(), &simcfg())
+        .sweep_time
+        .as_secs_f64();
+    let m = measure_stencil(&cfg, TestbedParams::sun_cluster(), 11, &simcfg())
+        .sweep_time
+        .as_secs_f64();
+    assert!(
+        ((p - m) / m).abs() < 0.12,
+        "stencil prediction error: predicted {p:.3}s measured {m:.3}s"
+    );
+}
+
+#[test]
+fn deterministic_stencil_predictions() {
+    let mut cfg = StencilConfig::new(1024, 8, 4);
+    cfg.mode = DataMode::Ghost;
+    cfg.synchronized = false;
+    let a = predict_stencil(&cfg, NetParams::fast_ethernet(), &simcfg());
+    let b = predict_stencil(&cfg, NetParams::fast_ethernet(), &simcfg());
+    assert_eq!(a.report.completion, b.report.completion);
+}
+
+#[test]
+fn native_runner_executes_the_stencil() {
+    // True OS concurrency over the halo-exchange pattern: the asynchronous
+    // variant's neighbour messages must not deadlock or corrupt the grid.
+    let mut cfg = real_cfg(64, 6, 4);
+    cfg.synchronized = false;
+    let (app, sh) = stencil_app::build_stencil_app(cfg.clone());
+    let r = testbed::run_native(&app, std::time::Duration::from_secs(60));
+    assert!(r.terminated, "native stencil run did not terminate");
+    let got = sh.result.lock().unwrap().take().expect("grid");
+    let reference = stencil_app::reference::jacobi(
+        &linalg::Matrix::random(cfg.n, cfg.n, cfg.seed),
+        cfg.iters,
+    );
+    assert!(linalg::max_abs_diff(&got, &reference) < 1e-12);
+}

@@ -1,0 +1,355 @@
+//! Native execution: the same DPS application on real OS threads.
+//!
+//! Every *(operation, thread)* pair becomes one OS thread with its own
+//! data-object channel, mirroring DPS's "operations run on distinct
+//! execution threads" design. Posts route exactly as in the simulator and
+//! are delivered through in-process channels (there is no cluster, so the
+//! network is free — node placement only matters for the simulated runs).
+//! Charges are ignored: real code takes real time. Flow-control windows
+//! really block the posting OS thread, as in DPS.
+//!
+//! This runner provides the wall-clock "real application" rows of Table 1
+//! and doubles as a concurrency stress test of the DPS semantics (an
+//! application that deadlocks here is mis-designed, not mis-simulated).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use desim::{SimDuration, SimTime};
+use dps::{
+    ActiveSet, Application, DataObj, OpCtx, OpId, RouteCtx, ThreadId,
+};
+use netmodel::NodeId;
+
+/// Outcome of a native run.
+#[derive(Debug)]
+pub struct NativeReport {
+    /// Wall-clock time from first start object to `terminate`.
+    pub wall: Duration,
+    /// Marks recorded by the application, as offsets from the start.
+    pub marks: Vec<(String, Duration)>,
+    /// Whether the application terminated before the timeout.
+    pub terminated: bool,
+}
+
+enum Msg {
+    Obj(DataObj),
+    Stop,
+}
+
+struct WindowSlot {
+    state: Mutex<usize>,
+    cv: Condvar,
+    limit: usize,
+}
+
+struct Shared<'a> {
+    app: &'a Application,
+    senders: Vec<Sender<Msg>>,
+    active: RwLock<ActiveSet>,
+    edge_seqs: Vec<AtomicU64>,
+    windows: Vec<Option<WindowSlot>>, // indexed by OpId
+    marks: Mutex<Vec<(String, Duration)>>,
+    done: (Mutex<bool>, Condvar),
+    t0: Instant,
+}
+
+impl<'a> Shared<'a> {
+    fn server_index(&self, op: OpId, thread: ThreadId) -> usize {
+        op.0 as usize * self.app.deployment().thread_count() + thread.0 as usize
+    }
+}
+
+struct NativeCtx<'s, 'a> {
+    shared: &'s Shared<'a>,
+    op: OpId,
+    thread: ThreadId,
+}
+
+impl<'s, 'a> OpCtx for NativeCtx<'s, 'a> {
+    fn post(&mut self, to: OpId, obj: DataObj) {
+        let shared = self.shared;
+        let graph = shared.app.graph();
+        let edge = graph.edge_between(self.op, to).unwrap_or_else(|| {
+            panic!(
+                "operation {:?} posted to {:?} but the flow graph has no such edge",
+                graph.op(self.op).name,
+                graph.op(to).name
+            )
+        });
+        let seq = shared.edge_seqs[edge.0 as usize].fetch_add(1, Ordering::Relaxed);
+        let dst = {
+            let active = shared.active.read();
+            let ctx = RouteCtx {
+                src_thread: self.thread,
+                edge_seq: seq,
+                deployment: shared.app.deployment(),
+                active: &active,
+            };
+            (shared.app.router(edge))(obj.as_ref(), &ctx)
+        };
+        // Flow control: really block this OS thread until a credit frees.
+        if let Some(w) = &shared.windows[self.op.0 as usize] {
+            let mut in_flight = w.state.lock();
+            while *in_flight >= w.limit {
+                w.cv.wait(&mut in_flight);
+            }
+            *in_flight += 1;
+        }
+        let idx = shared.server_index(to, dst);
+        // A send error means the run is shutting down; drop silently.
+        let _ = shared.senders[idx].send(Msg::Obj(obj));
+    }
+
+    fn charge(&mut self, _d: SimDuration) {
+        // Real execution: real time. Charges are modeling hints only.
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime(self.shared.t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64)
+    }
+
+    fn self_thread(&self) -> ThreadId {
+        self.thread
+    }
+
+    fn node_of(&self, t: ThreadId) -> NodeId {
+        self.shared.app.deployment().node_of(t)
+    }
+
+    fn active_threads(&self, group: &str) -> Vec<ThreadId> {
+        self.shared
+            .active
+            .read()
+            .active_in(self.shared.app.deployment(), group)
+    }
+
+    fn all_threads(&self, group: &str) -> Vec<ThreadId> {
+        self.shared.app.deployment().group(group).to_vec()
+    }
+
+    fn mark(&mut self, label: &str) {
+        self.shared
+            .marks
+            .lock()
+            .push((label.to_string(), self.shared.t0.elapsed()));
+    }
+
+    fn deactivate_thread(&mut self, t: ThreadId) {
+        self.shared.active.write().deactivate(t);
+    }
+
+    fn fc_release(&mut self, source: OpId) {
+        let w = self.shared.windows[source.0 as usize]
+            .as_ref()
+            .expect("fc_release for op without flow control window");
+        let mut in_flight = w.state.lock();
+        assert!(*in_flight > 0, "flow-control release without acquire");
+        *in_flight -= 1;
+        w.cv.notify_one();
+    }
+
+    fn account_state(&mut self, _delta_bytes: i64) {
+        // Real allocations are tracked by the real allocator.
+    }
+
+    fn terminate(&mut self) {
+        let (lock, cv) = &self.shared.done;
+        *lock.lock() = true;
+        cv.notify_all();
+    }
+}
+
+/// Runs the application on OS threads; returns after `terminate` or after
+/// `timeout`.
+pub fn run_native(app: &Application, timeout: Duration) -> NativeReport {
+    let n_ops = app.graph().op_count();
+    let n_threads = app.deployment().thread_count();
+    let mut senders = Vec::with_capacity(n_ops * n_threads);
+    let mut receivers: Vec<Receiver<Msg>> = Vec::with_capacity(n_ops * n_threads);
+    for _ in 0..n_ops * n_threads {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let mut windows: Vec<Option<WindowSlot>> = (0..n_ops).map(|_| None).collect();
+    for fc in app.flow_controls() {
+        windows[fc.source.0 as usize] = Some(WindowSlot {
+            state: Mutex::new(0),
+            cv: Condvar::new(),
+            limit: fc.window,
+        });
+    }
+    let shared = Shared {
+        app,
+        senders,
+        active: RwLock::new(ActiveSet::all_active(n_threads)),
+        edge_seqs: (0..app.graph().edge_count()).map(|_| AtomicU64::new(0)).collect(),
+        windows,
+        marks: Mutex::new(Vec::new()),
+        done: (Mutex::new(false), Condvar::new()),
+        t0: Instant::now(),
+    };
+
+    let mut terminated = false;
+    std::thread::scope(|scope| {
+        for op_idx in 0..n_ops {
+            for th_idx in 0..n_threads {
+                let rx = receivers[op_idx * n_threads + th_idx].clone();
+                let shared = &shared;
+                scope.spawn(move || {
+                    let op_id = OpId(op_idx as u32);
+                    let thread = ThreadId(th_idx as u32);
+                    let mut op = shared.app.make_op(op_id, thread);
+                    let mut ctx = NativeCtx {
+                        shared,
+                        op: op_id,
+                        thread,
+                    };
+                    while let Ok(msg) = rx.recv() {
+                        match msg {
+                            Msg::Obj(obj) => op.on_object(obj, &mut ctx),
+                            Msg::Stop => break,
+                        }
+                    }
+                });
+            }
+        }
+
+        // Inject start objects.
+        for s in app.starts() {
+            let idx = shared.server_index(s.op, s.thread);
+            let _ = shared.senders[idx].send(Msg::Obj((s.make)()));
+        }
+
+        // Wait for termination (or timeout).
+        {
+            let (lock, cv) = &shared.done;
+            let mut done = lock.lock();
+            if !*done {
+                cv.wait_for(&mut done, timeout);
+            }
+            terminated = *done;
+        }
+        // Shut every server down.
+        for tx in &shared.senders {
+            let _ = tx.send(Msg::Stop);
+        }
+    });
+
+    NativeReport {
+        wall: shared.t0.elapsed(),
+        marks: shared.marks.into_inner(),
+        terminated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dps::prelude::*;
+
+    struct Token(u64);
+    dps::wire_size_fixed!(Token, 8);
+
+    fn fan_app(workers: u32, n: u64, spin: Duration, fc: Option<usize>) -> Application {
+        let mut b = AppBuilder::new("native-test");
+        b.thread_group("workers", workers);
+        let main = b.thread_on_node("main", workers);
+        let split = b.declare("split", OpKind::Split);
+        let leaf = b.declare("leaf", OpKind::Leaf);
+        let merge = b.declare("merge", OpKind::Merge);
+        b.body(split, move |_, _| {
+            op_fn(move |obj: DataObj, ctx: &mut dyn OpCtx| {
+                let t: Token = downcast(obj);
+                for i in 0..t.0 {
+                    ctx.post(leaf, Box::new(Token(i)));
+                }
+            })
+        });
+        b.body(leaf, move |_, _| {
+            op_fn(move |obj: DataObj, ctx: &mut dyn OpCtx| {
+                let t: Token = downcast(obj);
+                let t0 = Instant::now();
+                while t0.elapsed() < spin {
+                    std::hint::black_box(t.0);
+                }
+                ctx.post(merge, Box::new(Token(t.0)));
+            })
+        });
+        let use_fc = fc.is_some();
+        b.body(merge, move |_, _| {
+            let mut seen = 0u64;
+            op_fn(move |_obj: DataObj, ctx: &mut dyn OpCtx| {
+                if use_fc {
+                    ctx.fc_release(split);
+                }
+                seen += 1;
+                if seen == n {
+                    ctx.mark("all-done");
+                    ctx.terminate();
+                }
+            })
+        });
+        b.edge(split, leaf, round_robin("workers"));
+        b.edge(leaf, merge, to_thread(main));
+        if let Some(w) = fc {
+            b.flow_control(split, w);
+        }
+        b.start(split, main, move || Box::new(Token(n)));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn native_run_terminates_and_records_marks() {
+        let app = fan_app(4, 16, Duration::from_millis(1), None);
+        let r = run_native(&app, Duration::from_secs(30));
+        assert!(r.terminated);
+        assert_eq!(r.marks.len(), 1);
+        assert_eq!(r.marks[0].0, "all-done");
+        assert!(r.wall >= Duration::from_millis(4), "16ms work on 4 workers");
+    }
+
+    #[test]
+    fn native_flow_control_does_not_deadlock() {
+        let app = fan_app(2, 12, Duration::from_micros(200), Some(2));
+        let r = run_native(&app, Duration::from_secs(30));
+        assert!(r.terminated, "flow-controlled native run deadlocked");
+    }
+
+    #[test]
+    fn native_parallel_speedup_is_real() {
+        // 32 pieces of ~2ms spin: 1 worker vs 4 workers.
+        let spin = Duration::from_millis(2);
+        let serial = run_native(&fan_app(1, 32, spin, None), Duration::from_secs(60));
+        let parallel = run_native(&fan_app(4, 32, spin, None), Duration::from_secs(60));
+        assert!(serial.terminated && parallel.terminated);
+        let ratio = serial.wall.as_secs_f64() / parallel.wall.as_secs_f64();
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if cores >= 4 {
+            // Expect meaningful speedup on a multi-core machine; be lenient
+            // for loaded CI hosts.
+            assert!(ratio > 1.5, "speedup only {ratio:.2}x on {cores} cores");
+        } else {
+            // On a single-core host parallelism cannot help, but the
+            // concurrent run must not collapse either.
+            assert!(ratio > 0.5, "parallel run {ratio:.2}x slower on {cores} core(s)");
+        }
+    }
+
+    #[test]
+    fn native_timeout_reports_unterminated() {
+        // A merge that never terminates.
+        let mut b = AppBuilder::new("hang");
+        let main = b.thread_on_node("main", 0);
+        let op = b.declare("op", OpKind::Leaf);
+        b.body(op, |_, _| op_fn(|_obj, _ctx| {}));
+        b.start(op, main, || Box::new(Token(0)));
+        let app = b.build().unwrap();
+        let r = run_native(&app, Duration::from_millis(100));
+        assert!(!r.terminated);
+    }
+}

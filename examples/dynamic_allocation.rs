@@ -1,0 +1,71 @@
+//! Dynamic node allocation, driven by the simulator's dynamic-efficiency
+//! prediction (the paper's core motivation):
+//!
+//! 1. predict the LU run on 8 nodes and extract its per-iteration dynamic
+//!    efficiency;
+//! 2. let the threshold policy recommend a thread-removal plan;
+//! 3. re-run with the plan and compare running time and freed capacity.
+//!
+//! Run with: `cargo run --release --example dynamic_allocation`
+
+use dvns::cluster::{profile_from_report, recommend_removal, ThresholdPolicy};
+use dvns::desim::SimDuration;
+use dvns::lu_app::{predict_lu, DataMode, LuConfig};
+use dvns::netmodel::NetParams;
+use dvns::perfmodel::{LuCost, PlatformProfile};
+use dvns::sim::{SimConfig, TimingMode};
+
+fn main() {
+    let simcfg = SimConfig {
+        timing: TimingMode::ChargedOnly,
+        step_overhead: SimDuration::from_micros(50),
+        ..SimConfig::default()
+    };
+    let mut cfg = LuConfig::new(2592, 324, 8);
+    cfg.workers = 8;
+    cfg.mode = DataMode::Ghost;
+    cfg.cost = Some(LuCost::new(PlatformProfile::ultrasparc_ii_440()));
+
+    // 1. Predict and inspect the dynamic efficiency.
+    let base = predict_lu(&cfg, NetParams::fast_ethernet(), &simcfg);
+    let profile = profile_from_report(&base.report);
+    println!("predicted dynamic efficiency on 8 nodes:");
+    for p in &profile.points {
+        println!(
+            "  {:8}  {:7.1}s   efficiency {:5.1}%",
+            p.label,
+            p.span.as_secs_f64(),
+            p.efficiency * 100.0
+        );
+    }
+
+    // 2. Policy recommendation.
+    let policy = ThresholdPolicy {
+        min_efficiency: 0.33,
+        release_fraction: 0.5,
+    };
+    let plan = recommend_removal(&profile, cfg.workers, policy);
+    println!("\nthreshold policy (eff < {:.0}%): removal plan {:?}", policy.min_efficiency * 100.0, plan);
+
+    // 3. Re-run with the recommended plan.
+    let mut planned = cfg.clone();
+    planned.removal = plan;
+    let adapted = predict_lu(&planned, NetParams::fast_ethernet(), &simcfg);
+
+    let t0 = base.factorization_time.as_secs_f64();
+    let t1 = adapted.factorization_time.as_secs_f64();
+    println!("\nstatic 8 nodes:   {t0:7.1}s");
+    println!("with removal:     {t1:7.1}s  ({:+.1}%)", (t1 - t0) / t0 * 100.0);
+
+    // Node-seconds actually allocated (what the cluster could reassign).
+    let ns = |r: &dvns::sim::RunReport| -> f64 {
+        r.intervals.iter().map(|i| i.node_seconds).sum()
+    };
+    let freed = ns(&base.report) - ns(&adapted.report);
+    println!(
+        "allocated capacity: {:.0} vs {:.0} node·s  ->  {:.0} node·s freed for other applications",
+        ns(&base.report),
+        ns(&adapted.report),
+        freed
+    );
+}

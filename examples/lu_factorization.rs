@@ -1,0 +1,57 @@
+//! The paper's evaluation application end to end: a distributed block LU
+//! factorization, really computed through the DPS flow graph (direct
+//! execution), verified against the sequential reference, and compared
+//! across flow-graph variants with predicted vs "measured" times.
+//!
+//! Run with: `cargo run --release --example lu_factorization`
+
+use dvns::desim::SimDuration;
+use dvns::lu_app::{predict_lu, DataMode, LuConfig};
+use dvns::netmodel::NetParams;
+use dvns::perfmodel::{LuCost, PlatformProfile};
+use dvns::sim::{SimConfig, TimingMode};
+use dvns::testbed::TestbedParams;
+
+fn main() {
+    let simcfg = SimConfig {
+        timing: TimingMode::ChargedOnly,
+        step_overhead: SimDuration::from_micros(50),
+        ..SimConfig::default()
+    };
+    let cost = LuCost::new(PlatformProfile::ultrasparc_ii_440());
+
+    // 1. Correctness: really factorize a 384x384 matrix through the DPS
+    //    graph and check P·A = L·U.
+    let mut cfg = LuConfig::new(384, 48, 4);
+    cfg.mode = DataMode::Real;
+    cfg.cost = Some(cost);
+    cfg.pipelined = true;
+    let run = predict_lu(&cfg, NetParams::fast_ethernet(), &simcfg);
+    println!(
+        "384x384 LU through the DPS flow graph: residual {:.2e} (verified)",
+        run.residual.expect("real mode")
+    );
+
+    // 2. The paper's scale: 2592x2592 on 8 UltraSparc nodes, PDEXEC NOALLOC.
+    println!("\n2592x2592, 8 nodes, r=216 — predicted vs testbed-measured:");
+    for (label, pipelined, fc) in [
+        ("Basic", false, None),
+        ("P    ", true, None),
+        ("P+FC ", true, Some(8)),
+    ] {
+        let mut cfg = LuConfig::new(2592, 216, 8);
+        cfg.mode = DataMode::Ghost;
+        cfg.cost = Some(cost);
+        cfg.pipelined = pipelined;
+        cfg.flow_control = fc;
+        let predicted = predict_lu(&cfg, NetParams::fast_ethernet(), &simcfg);
+        let measured = dvns::lu_app::measure_lu(&cfg, TestbedParams::sun_cluster(), 7, &simcfg);
+        let p = predicted.factorization_time.as_secs_f64();
+        let m = measured.factorization_time.as_secs_f64();
+        println!(
+            "  {label}  predicted {p:6.1}s   measured {m:6.1}s   error {:+.1}%",
+            (p - m) / m * 100.0
+        );
+    }
+    println!("\n(the simulation itself ran in milliseconds on this machine — PDEXEC portability)");
+}

@@ -1,0 +1,33 @@
+//! Umbrella crate for the DVNS workspace — a reproduction of
+//! *"A simulator for parallel applications with dynamically varying compute
+//! node allocation"* (Schaeli, Gerlach, Hersch; IPDPS 2006).
+//!
+//! Re-exports every workspace crate under one roof so that examples and
+//! integration tests can `use dvns::…`. See the individual crates for the
+//! actual functionality:
+//!
+//! * [`desim`] — discrete-event core (virtual time, event queue, sharing).
+//! * [`netmodel`] — flow-level star-topology network model.
+//! * [`dps`] — the Dynamic Parallel Schedules framework.
+//! * [`sim`] (`dps-sim`) — the paper's direct-execution simulator.
+//! * [`testbed`] — ground-truth cluster emulator + native OS-thread runner.
+//! * [`perfmodel`] — kernel cost models and platform profiles.
+//! * [`linalg`] — dense matrix kernels for the LU evaluation application.
+//! * [`lu_app`] — block LU factorization as a DPS application.
+//! * [`stencil_app`] — Jacobi heat-diffusion stencil with neighborhood
+//!   halo exchanges (second evaluation workload).
+//! * [`cluster`] — dynamic allocation policies and the malleable cluster
+//!   server extension.
+//! * [`report`] — experiment tables, series and histograms.
+
+pub use cluster;
+pub use desim;
+pub use dps;
+pub use dps_sim as sim;
+pub use linalg;
+pub use lu_app;
+pub use netmodel;
+pub use perfmodel;
+pub use report;
+pub use stencil_app;
+pub use testbed;

@@ -1,0 +1,181 @@
+//! Cross-engine integration tests: the simulator, the testbed emulator and
+//! the native runner all execute the *same* application value, and agree
+//! where they must.
+
+use std::time::Duration;
+
+use dvns::desim::SimDuration;
+use dvns::lu_app::{build_lu_app, measure_lu, predict_lu, DataMode, LuConfig};
+use dvns::netmodel::NetParams;
+use dvns::perfmodel::{LuCost, PlatformProfile};
+use dvns::sim::{SimConfig, TimingMode};
+use dvns::testbed::TestbedParams;
+
+fn simcfg() -> SimConfig {
+    SimConfig {
+        timing: TimingMode::ChargedOnly,
+        step_overhead: SimDuration::from_micros(50),
+        ..SimConfig::default()
+    }
+}
+
+fn small_lu() -> LuConfig {
+    let mut cfg = LuConfig::new(768, 96, 4);
+    cfg.mode = DataMode::Ghost;
+    cfg.cost = Some(LuCost::new(PlatformProfile::ultrasparc_ii_440()));
+    cfg
+}
+
+#[test]
+fn calm_testbed_reproduces_simulator_exactly() {
+    // With the testbed's true parameters equal to the simulator's measured
+    // ones and every noise source disabled, the two engines are the same
+    // machine: predictions must agree to the nanosecond.
+    let cfg = small_lu();
+    let net = NetParams::fast_ethernet();
+    let predicted = predict_lu(&cfg, net, &simcfg());
+    let calm = measure_lu(&cfg, TestbedParams::calm(net), 7, &simcfg());
+    assert_eq!(
+        predicted.report.completion, calm.report.completion,
+        "calm testbed must equal the simulator exactly"
+    );
+    assert_eq!(predicted.report.steps, calm.report.steps);
+}
+
+#[test]
+fn noisy_testbed_differs_but_stays_close() {
+    let cfg = small_lu();
+    let predicted = predict_lu(&cfg, NetParams::fast_ethernet(), &simcfg());
+    let measured = measure_lu(&cfg, TestbedParams::sun_cluster(), 3, &simcfg());
+    assert_ne!(predicted.report.completion, measured.report.completion);
+    let p = predicted.factorization_time.as_secs_f64();
+    let m = measured.factorization_time.as_secs_f64();
+    assert!(((p - m) / m).abs() < 0.15, "p={p:.2}s m={m:.2}s");
+}
+
+#[test]
+fn testbed_seeds_vary_measurements() {
+    let cfg = small_lu();
+    let a = measure_lu(&cfg, TestbedParams::sun_cluster(), 1, &simcfg());
+    let b = measure_lu(&cfg, TestbedParams::sun_cluster(), 2, &simcfg());
+    let c = measure_lu(&cfg, TestbedParams::sun_cluster(), 1, &simcfg());
+    assert_ne!(a.report.completion, b.report.completion, "seeds must differ");
+    assert_eq!(a.report.completion, c.report.completion, "same seed, same run");
+}
+
+#[test]
+fn all_variants_run_on_both_engines() {
+    for (p, fc, pm) in [
+        (false, None, None),
+        (true, None, None),
+        (false, None, Some(48)),
+        (true, Some(6), None),
+        (true, Some(6), Some(48)),
+    ] {
+        let mut cfg = small_lu();
+        cfg.pipelined = p;
+        cfg.flow_control = fc;
+        cfg.parallel_mul = pm;
+        let pr = predict_lu(&cfg, NetParams::fast_ethernet(), &simcfg());
+        let me = measure_lu(&cfg, TestbedParams::sun_cluster(), 5, &simcfg());
+        assert!(pr.report.terminated && me.report.terminated, "{:?}", (p, fc, pm));
+    }
+}
+
+#[test]
+fn native_runner_agrees_with_simulator_on_results() {
+    // Real data, every variant feature at once, executed natively (true OS
+    // concurrency) and in virtual time: identical factorizations.
+    let mut cfg = LuConfig::new(96, 16, 3);
+    cfg.workers = 6;
+    cfg.mode = DataMode::Real;
+    cfg.pipelined = true;
+    cfg.flow_control = Some(4);
+    cfg.cost = Some(LuCost::new(PlatformProfile::modern_x86()));
+
+    let sim_run = predict_lu(&cfg, NetParams::fast_ethernet(), &simcfg());
+    let sim_res = sim_run.residual.expect("verified");
+
+    let (app, sh) = build_lu_app(cfg.clone());
+    let native = dvns::testbed::run_native(&app, Duration::from_secs(120));
+    assert!(native.terminated);
+    let out = sh.result.lock().unwrap().take().expect("output");
+    let a = dvns::linalg::Matrix::random(cfg.n, cfg.n, cfg.seed);
+    let f = dvns::linalg::blocked::LuFactors {
+        lu: out.lu,
+        pivots: out.pivots,
+    };
+    let native_res = dvns::linalg::lu_residual(&a, &f);
+    assert!(sim_res < 1e-10 && native_res < 1e-10);
+}
+
+#[test]
+fn simulator_memory_modes_ordered() {
+    // Table 1 relation: Real/Alloc peaks ≫ Ghost peak.
+    let mut cfg = small_lu();
+    cfg.mode = DataMode::Alloc;
+    let alloc = predict_lu(&cfg, NetParams::fast_ethernet(), &simcfg());
+    cfg.mode = DataMode::Ghost;
+    let ghost = predict_lu(&cfg, NetParams::fast_ethernet(), &simcfg());
+    assert!(
+        alloc.report.mem_peak_bytes > 4 * ghost.report.mem_peak_bytes,
+        "alloc {} vs ghost {}",
+        alloc.report.mem_peak_bytes,
+        ghost.report.mem_peak_bytes
+    );
+    // The ghost run still knows how many bytes crossed the network.
+    assert_eq!(alloc.report.net.payload_bytes, ghost.report.net.payload_bytes);
+}
+
+#[test]
+fn max_min_sharing_ablation_changes_little_here() {
+    // The paper's equal-share assumption vs true max-min fairness: for the
+    // LU traffic pattern the difference is small — evidence the simple
+    // model suffices (DESIGN.md ablation).
+    let cfg = small_lu();
+    let net = NetParams::fast_ethernet();
+    let eq = predict_lu(&cfg, net, &simcfg());
+    let mut fabric = dvns::sim::SimFabric::with_sharing(net, dvns::netmodel::Sharing::MaxMin);
+    let (app, _sh) = build_lu_app(cfg.clone());
+    let mm = dvns::sim::simulate_with_fabric(&app, &mut fabric, &simcfg());
+    let a = eq.report.completion.as_secs_f64();
+    let b = mm.completion.as_secs_f64();
+    assert!(
+        ((a - b) / a).abs() < 0.05,
+        "equal-share {a:.2}s vs max-min {b:.2}s"
+    );
+}
+
+#[test]
+fn straggler_node_slows_the_whole_factorization() {
+    // Heterogeneous cluster: node 2's links run at a quarter speed. Both
+    // engines see it; the LU (whose multiplications round-robin over every
+    // node) slows down, and the simulator still tracks the testbed.
+    let cfg = small_lu();
+    let net = NetParams::fast_ethernet();
+    let cripple = |fabric: &mut dvns::sim::SimFabric| {
+        fabric.set_node_capacity(
+            dvns::netmodel::NodeId(2),
+            net.up_bytes_per_sec / 4.0,
+            net.down_bytes_per_sec / 4.0,
+        );
+    };
+
+    let (app, _sh) = build_lu_app(cfg.clone());
+    let mut uniform = dvns::sim::SimFabric::new(net);
+    let base = dvns::sim::simulate_with_fabric(&app, &mut uniform, &simcfg());
+
+    let (app2, _sh2) = build_lu_app(cfg.clone());
+    let mut slow = dvns::sim::SimFabric::new(net);
+    cripple(&mut slow);
+    let degraded = dvns::sim::simulate_with_fabric(&app2, &mut slow, &simcfg());
+
+    assert!(
+        degraded.completion > base.completion,
+        "a straggler must slow the run: {} vs {}",
+        degraded.completion,
+        base.completion
+    );
+    let ratio = degraded.completion.as_secs_f64() / base.completion.as_secs_f64();
+    assert!(ratio < 4.0, "one slow link must not quarter the whole run ({ratio:.2}x)");
+}

@@ -1,0 +1,224 @@
+//! Property-based robustness: randomly generated layered flow-graph
+//! applications must terminate without stalling, be deterministic, and
+//! agree exactly between the simulator and the calm testbed (the two
+//! engines are the same machine when every noise source is off).
+
+use desim::SimDuration;
+use dvns::desim;
+use dvns::dps::prelude::*;
+use dvns::netmodel::NetParams;
+use dvns::sim::{simulate, RunReport, SimConfig, TimingMode};
+use dvns::testbed::TestbedParams;
+use proptest::prelude::*;
+
+/// One fan-out: (target index in the next layer, copies, payload bytes,
+/// charge µs).
+type FanOut = (usize, u64, u64, u64);
+
+/// Generation-time description of one random application.
+#[derive(Clone, Debug)]
+struct AppSpec {
+    workers: u32,
+    nodes: u32,
+    /// ops per layer
+    layers: Vec<usize>,
+    /// edges[l][i] = fan-outs of op i in layer l
+    edges: Vec<Vec<Vec<FanOut>>>,
+}
+
+/// How many objects eventually reach the sink.
+fn expected_sink_arrivals(spec: &AppSpec) -> u64 {
+    let mut counts: Vec<Vec<u64>> = spec.layers.iter().map(|&n| vec![0; n]).collect();
+    counts[0][0] = 1; // the start object enters the first op
+    for (l, layer_edges) in spec.edges.iter().enumerate() {
+        for (i, outs) in layer_edges.iter().enumerate() {
+            let arriving = counts[l][i];
+            for &(tgt, copies, _, _) in outs {
+                counts[l + 1][tgt] += arriving * copies;
+            }
+        }
+    }
+    counts.last().expect("layers nonempty").iter().sum()
+}
+
+struct Payload {
+    bytes: u64,
+}
+impl DataObject for Payload {
+    fn wire_size(&self) -> u64 {
+        self.bytes
+    }
+}
+
+fn build(spec: &AppSpec) -> Application {
+    let mut b = AppBuilder::new("random");
+    let node_map: Vec<u32> = (0..spec.workers).map(|t| t % spec.nodes).collect();
+    b.thread_group_on_nodes("workers", &node_map);
+    let main = b.thread_on_node("main", 0);
+
+    // Declare all ops, then the sink.
+    let mut ids: Vec<Vec<OpId>> = Vec::new();
+    for (l, &n) in spec.layers.iter().enumerate() {
+        let mut layer = Vec::new();
+        for i in 0..n {
+            layer.push(b.declare(&format!("op{l}_{i}"), OpKind::Leaf));
+        }
+        ids.push(layer);
+    }
+    let sink = b.declare("sink", OpKind::Merge);
+
+    // Bodies: forward with the generated fan-outs.
+    for (l, layer_edges) in spec.edges.iter().enumerate() {
+        for (i, outs) in layer_edges.iter().enumerate() {
+            let outs = outs.clone();
+            let next: Vec<OpId> = ids[l + 1].clone();
+            b.body(ids[l][i], move |_, _| {
+                let outs = outs.clone();
+                let next = next.clone();
+                op_fn(move |_obj: DataObj, ctx: &mut dyn OpCtx| {
+                    for &(tgt, copies, bytes, us) in &outs {
+                        for _ in 0..copies {
+                            ctx.charge(SimDuration::from_micros(us));
+                            ctx.post(next[tgt], Box::new(Payload { bytes }));
+                        }
+                    }
+                })
+            });
+        }
+    }
+    // Last layer feeds the sink 1:1.
+    let last = spec.layers.len() - 1;
+    for &id in &ids[last] {
+        b.body(id, move |_, _| {
+            op_fn(move |obj: DataObj, ctx: &mut dyn OpCtx| {
+                ctx.charge(SimDuration::from_micros(3));
+                ctx.post(sink, obj);
+            })
+        });
+    }
+    let expected = expected_sink_arrivals(spec);
+    b.body(sink, move |_, _| {
+        let mut seen = 0u64;
+        op_fn(move |_obj: DataObj, ctx: &mut dyn OpCtx| {
+            seen += 1;
+            if seen == expected {
+                ctx.terminate();
+            }
+        })
+    });
+
+    // Edges: layer l -> l+1 wherever a fan-out mentions the target, plus
+    // last layer -> sink.
+    for (l, layer_edges) in spec.edges.iter().enumerate() {
+        for (i, outs) in layer_edges.iter().enumerate() {
+            let mut targets: Vec<usize> = outs.iter().map(|&(t, ..)| t).collect();
+            targets.sort_unstable();
+            targets.dedup();
+            for t in targets {
+                b.edge(ids[l][i], ids[l + 1][t], round_robin("workers"));
+            }
+        }
+    }
+    for &id in &ids[last] {
+        b.edge(id, sink, to_thread(main));
+    }
+    b.start(ids[0][0], main, || Box::new(Payload { bytes: 16 }));
+    b.build().expect("random app assembles")
+}
+
+fn arb_spec() -> impl Strategy<Value = AppSpec> {
+    // 2..4 layers of 1..3 ops; every op fans out to >= 1 target.
+    (
+        1u32..5,
+        1u32..4,
+        prop::collection::vec(1usize..4, 2..5),
+        any::<u64>(),
+    )
+        .prop_map(|(workers, nodes, layers, seed)| {
+            let nodes = nodes.min(workers);
+            // Deterministic pseudo-random fan-outs from the seed.
+            let mut x = seed | 1;
+            let mut next = move || {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            };
+            let mut edges = Vec::new();
+            for l in 0..layers.len() - 1 {
+                let mut layer = Vec::new();
+                for _ in 0..layers[l] {
+                    let fanout = 1 + (next() % 2) as usize;
+                    let mut outs = Vec::new();
+                    for _ in 0..fanout {
+                        let tgt = (next() as usize) % layers[l + 1];
+                        let copies = 1 + next() % 3;
+                        let bytes = 64 + next() % 100_000;
+                        let us = 5 + next() % 2_000;
+                        outs.push((tgt, copies, bytes, us));
+                    }
+                    layer.push(outs);
+                }
+                edges.push(layer);
+            }
+            AppSpec {
+                workers,
+                nodes,
+                layers,
+                edges,
+            }
+        })
+}
+
+fn cfg() -> SimConfig {
+    SimConfig {
+        timing: TimingMode::ChargedOnly,
+        step_overhead: SimDuration::from_micros(10),
+        ..SimConfig::default()
+    }
+}
+
+fn run_sim(spec: &AppSpec) -> RunReport {
+    simulate(&build(spec), NetParams::fast_ethernet(), &cfg())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_apps_terminate(spec in arb_spec()) {
+        let r = run_sim(&spec);
+        prop_assert!(r.terminated, "stall: {:?}", r.stall);
+        prop_assert!(r.completion > desim::SimTime::ZERO);
+    }
+
+    #[test]
+    fn random_apps_are_deterministic(spec in arb_spec()) {
+        let a = run_sim(&spec);
+        let b = run_sim(&spec);
+        prop_assert_eq!(a.completion, b.completion);
+        prop_assert_eq!(a.steps, b.steps);
+        prop_assert_eq!(a.net.wire_bytes, b.net.wire_bytes);
+    }
+
+    #[test]
+    fn calm_testbed_equals_simulator_on_random_apps(spec in arb_spec()) {
+        let sim = run_sim(&spec);
+        let app = build(&spec);
+        let calm = dvns::testbed::measure(
+            &app,
+            TestbedParams::calm(NetParams::fast_ethernet()),
+            1,
+            &cfg(),
+        );
+        prop_assert_eq!(sim.completion, calm.completion);
+        prop_assert_eq!(sim.steps, calm.steps);
+    }
+
+    #[test]
+    fn noisy_testbed_terminates_random_apps_too(spec in arb_spec()) {
+        let app = build(&spec);
+        let r = dvns::testbed::measure(&app, TestbedParams::sun_cluster(), 2, &cfg());
+        prop_assert!(r.terminated, "stall under noise: {:?}", r.stall);
+    }
+}
