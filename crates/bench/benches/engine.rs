@@ -1,56 +1,73 @@
 //! Microbenchmarks of the simulation substrate: event queue, progress
-//! sharing, and the flow-level network model.
+//! sharing, and the flow-level network model. Plain timed loops (no
+//! external bench harness); run with `cargo bench --bench engine`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use desim::{EventQueue, ProgressSet, SimTime};
+use dps_bench::harness::bench_iters;
 use netmodel::{NetParams, Network, NodeId, Sharing};
 use std::hint::black_box;
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_push_pop_10k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            let mut x: u64 = 0x9E3779B97F4A7C15;
-            for i in 0..10_000u64 {
-                x ^= x << 13;
-                x ^= x >> 7;
-                x ^= x << 17;
-                q.schedule(SimTime(x % 1_000_000), i);
+fn bench_event_queue() {
+    bench_iters("event_queue_push_pop_10k", 20, || {
+        let mut q = EventQueue::new();
+        let mut x: u64 = 0x9E3779B97F4A7C15;
+        for i in 0..10_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            q.schedule(SimTime(x % 1_000_000), i);
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((t, v)) = q.pop() {
+            debug_assert!(t >= last);
+            last = t;
+            black_box(v);
+        }
+    });
+    bench_iters("event_queue_churn_cancel_heavy_10k", 20, || {
+        // The engine's pattern: most scheduled events are cancelled before
+        // firing (every rate change invalidates a completion).
+        let mut q = EventQueue::new();
+        let mut live = Vec::new();
+        for round in 0..10u64 {
+            for i in 0..1_000u64 {
+                live.push(q.schedule(SimTime(round * 1_000 + i), i));
             }
-            let mut last = SimTime::ZERO;
-            while let Some((t, v)) = q.pop() {
-                debug_assert!(t >= last);
-                last = t;
+            for id in live.drain(..).take(900) {
+                q.cancel(id);
+            }
+            while let Some((_, v)) = q.pop() {
                 black_box(v);
             }
-        })
+        }
     });
 }
 
-fn bench_progress_set(c: &mut Criterion) {
-    c.bench_function("progress_set_64_jobs_sweep", |b| {
-        b.iter(|| {
-            let mut ps: ProgressSet<u32> = ProgressSet::new();
-            for i in 0..64u32 {
-                ps.insert(SimTime::ZERO, i, 1000.0 + i as f64);
-                ps.set_rate(SimTime::ZERO, i, 1.0 + (i % 7) as f64);
+fn bench_progress_set() {
+    bench_iters("progress_set_64_jobs_sweep", 20, || {
+        let mut ps: ProgressSet<u32> = ProgressSet::new();
+        for i in 0..64u32 {
+            ps.insert(SimTime::ZERO, i, 1000.0 + i as f64);
+            ps.set_rate(SimTime::ZERO, i, 1.0 + (i % 7) as f64);
+        }
+        let mut done = 0;
+        while let Some((_, t)) = ps.earliest_completion() {
+            done += ps.take_finished(t).len();
+            if done >= 64 {
+                break;
             }
-            let mut done = 0;
-            while let Some((_, t)) = ps.earliest_completion() {
-                done += ps.take_finished(t).len();
-                if done >= 64 {
-                    break;
-                }
-            }
-            black_box(done);
-        })
+        }
+        black_box(done);
     });
 }
 
-fn bench_network(c: &mut Criterion) {
-    c.bench_function("network_drain_512_flows", |b| {
-        b.iter(|| {
-            let mut net = Network::new(NetParams::fast_ethernet(), Sharing::EqualSplit);
+fn bench_network() {
+    for (name, sharing) in [
+        ("network_drain_512_flows", Sharing::EqualSplit),
+        ("network_drain_512_flows_maxmin", Sharing::MaxMin),
+    ] {
+        bench_iters(name, 20, || {
+            let mut net = Network::new(NetParams::fast_ethernet(), sharing);
             for i in 0..512u32 {
                 net.start_flow(
                     SimTime::ZERO,
@@ -62,29 +79,12 @@ fn bench_network(c: &mut Criterion) {
             while let Some(t) = net.next_event_time() {
                 black_box(net.advance(t).len());
             }
-        })
-    });
-    c.bench_function("network_drain_512_flows_maxmin", |b| {
-        b.iter(|| {
-            let mut net = Network::new(NetParams::fast_ethernet(), Sharing::MaxMin);
-            for i in 0..512u32 {
-                net.start_flow(
-                    SimTime::ZERO,
-                    NodeId(i % 8),
-                    NodeId(8 + i % 8),
-                    10_000 + (i as u64) * 100,
-                );
-            }
-            while let Some(t) = net.next_event_time() {
-                black_box(net.advance(t).len());
-            }
-        })
-    });
+        });
+    }
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_event_queue, bench_progress_set, bench_network
+fn main() {
+    bench_event_queue();
+    bench_progress_set();
+    bench_network();
 }
-criterion_main!(benches);

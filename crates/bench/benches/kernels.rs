@@ -1,35 +1,28 @@
 //! Microbenchmarks of the direct-execution kernels (what the simulator
-//! really measures under direct execution).
+//! really measures under direct execution). Plain timed loops; run with
+//! `cargo bench --bench kernels`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dps_bench::harness::bench_iters;
 use linalg::{gemm_sub, panel_lu, trsm_lower_unit, Matrix};
 use std::hint::black_box;
 
-fn bench_gemm(c: &mut Criterion) {
+fn main() {
     let a = Matrix::random(128, 128, 1);
     let b_m = Matrix::random(128, 128, 2);
-    c.bench_function("gemm_sub_128", |b| {
-        b.iter(|| {
-            let mut c_m = Matrix::zeros(128, 128);
-            gemm_sub(&mut c_m, &a, &b_m);
-            black_box(c_m.max_abs());
-        })
+    bench_iters("gemm_sub_128", 20, || {
+        let mut c_m = Matrix::zeros(128, 128);
+        gemm_sub(&mut c_m, &a, &b_m);
+        black_box(c_m.max_abs());
     });
-}
 
-fn bench_panel(c: &mut Criterion) {
-    let a = Matrix::random(512, 64, 3);
-    c.bench_function("panel_lu_512x64", |b| {
-        b.iter(|| {
-            let mut p = a.clone();
-            let mut piv = Vec::new();
-            panel_lu(&mut p, &mut piv);
-            black_box(piv.len());
-        })
+    let p_src = Matrix::random(512, 64, 3);
+    bench_iters("panel_lu_512x64", 20, || {
+        let mut p = p_src.clone();
+        let mut piv = Vec::new();
+        panel_lu(&mut p, &mut piv);
+        black_box(piv.len());
     });
-}
 
-fn bench_trsm(c: &mut Criterion) {
     let a = Matrix::random(128, 128, 4);
     let l11 = Matrix::from_fn(128, 128, |i, j| {
         if i == j {
@@ -41,18 +34,9 @@ fn bench_trsm(c: &mut Criterion) {
         }
     });
     let rhs = Matrix::random(128, 128, 5);
-    c.bench_function("trsm_lower_unit_128", |b| {
-        b.iter(|| {
-            let mut x = rhs.clone();
-            trsm_lower_unit(&l11, &mut x);
-            black_box(x.max_abs());
-        })
+    bench_iters("trsm_lower_unit_128", 20, || {
+        let mut x = rhs.clone();
+        trsm_lower_unit(&l11, &mut x);
+        black_box(x.max_abs());
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_gemm, bench_panel, bench_trsm
-}
-criterion_main!(benches);

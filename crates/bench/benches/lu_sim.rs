@@ -1,39 +1,31 @@
 //! End-to-end simulation throughput: how fast the simulator replays an LU
 //! factorization under PDEXEC/NOALLOC (the paper's Table 1 "simulation
-//! running time" in microbenchmark form).
+//! running time" in microbenchmark form). Plain timed loops; run with
+//! `cargo bench --bench lu_sim`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dps_bench::harness::bench_iters;
 use dps_bench::Env;
 use std::hint::black_box;
 
-fn bench_lu_prediction(c: &mut Criterion) {
+fn main() {
     let env = Env::paper();
-    c.bench_function("predict_lu_1296_r162_4n_basic", |b| {
+    bench_iters("predict_lu_1296_r162_4n_basic", 10, || {
         let mut cfg = env.lu(162, 4);
         cfg.n = 1296;
-        b.iter(|| black_box(env.predict(&cfg).factorization_time))
+        black_box(env.predict(&cfg).factorization_time);
     });
-    c.bench_function("predict_lu_1296_r162_4n_pipelined_fc", |b| {
+    bench_iters("predict_lu_1296_r162_4n_pipelined_fc", 10, || {
         let mut cfg = env.lu(162, 4);
         cfg.n = 1296;
         cfg.pipelined = true;
         cfg.flow_control = Some(8);
-        b.iter(|| black_box(env.predict(&cfg).factorization_time))
+        black_box(env.predict(&cfg).factorization_time);
     });
-    c.bench_function("measure_lu_1296_r162_4n_testbed", |b| {
+    let mut seed = 0u64;
+    bench_iters("measure_lu_1296_r162_4n_testbed", 10, || {
         let mut cfg = env.lu(162, 4);
         cfg.n = 1296;
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            black_box(env.measure(&cfg, seed).factorization_time)
-        })
+        seed += 1;
+        black_box(env.measure(&cfg, seed).factorization_time);
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_lu_prediction
-}
-criterion_main!(benches);

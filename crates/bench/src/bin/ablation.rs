@@ -9,8 +9,11 @@
 //!    the processing power consumed by transfers (§4);
 //! 4. **per-step dispatch overhead sensitivity** — how strongly predictions
 //!    depend on the one non-physical engine parameter.
+//!
+//! Every sweep point is an independent simulation, so each section fans
+//! out through the parallel harness.
 
-use dps_bench::{emit, Env};
+use dps_bench::{emit, run_parallel, Env};
 use dps_sim::SimFabric;
 use lu_app::build_lu_app;
 use netmodel::Sharing;
@@ -20,22 +23,27 @@ fn main() {
     let env = Env::paper();
 
     // --- 1. flow-control window sweep.
+    let windows: Vec<Option<usize>> = [1usize, 2, 4, 8, 16, 32, 64]
+        .into_iter()
+        .map(Some)
+        .chain([None])
+        .collect();
+    let sweep: Vec<(f64, f64)> = run_parallel(&windows, |_, &w| {
+        let mut cfg = env.lu(162, 8);
+        cfg.pipelined = true;
+        cfg.flow_control = w;
+        let run = env.predict(&cfg);
+        (
+            run.factorization_time.as_secs_f64(),
+            run.report.max_queue_len as f64,
+        )
+    });
     let mut s_time = Series::new("running time [s]");
     let mut s_queue = Series::new("max queue");
-    for w in [1usize, 2, 4, 8, 16, 32, 64] {
-        let mut cfg = env.lu(162, 8);
-        cfg.pipelined = true;
-        cfg.flow_control = Some(w);
-        let run = env.predict(&cfg);
-        s_time.push(&w.to_string(), run.factorization_time.as_secs_f64());
-        s_queue.push(&w.to_string(), run.report.max_queue_len as f64);
-    }
-    {
-        let mut cfg = env.lu(162, 8);
-        cfg.pipelined = true;
-        let run = env.predict(&cfg);
-        s_time.push("none", run.factorization_time.as_secs_f64());
-        s_queue.push("none", run.report.max_queue_len as f64);
+    for (w, (t, q)) in windows.iter().zip(&sweep) {
+        let label = w.map_or("none".to_string(), |w| w.to_string());
+        s_time.push(&label, *t);
+        s_queue.push(&label, *q);
     }
     let mut fig = Figure::new(
         "Ablation 1 — flow-control window sweep (P, r=162, 8 nodes)",
@@ -46,15 +54,12 @@ fn main() {
     emit("ablation_window", &fig.render(), Some(&fig.to_csv()));
 
     // --- 2. bandwidth sharing discipline.
-    let mut table = Table::new(
-        "Ablation 2 — equal-share (paper) vs max-min fair bandwidth",
-        &["config", "equal share [s]", "max-min [s]", "delta"],
-    );
-    for (label, r, nodes, pipelined) in [
-        ("Basic r=324, 4n", 324, 4, false),
+    let configs = [
+        ("Basic r=324, 4n", 324usize, 4u32, false),
         ("Basic r=162, 8n", 162, 8, false),
         ("P r=108, 8n", 108, 8, true),
-    ] {
+    ];
+    let rows: Vec<(f64, f64)> = run_parallel(&configs, |_, &(_, r, nodes, pipelined)| {
         let mut cfg = env.lu(r, nodes);
         cfg.pipelined = pipelined;
         let eq = env.predict(&cfg).factorization_time.as_secs_f64();
@@ -65,9 +70,15 @@ fn main() {
         let end = mm_report
             .mark_time(&format!("iter:{}", cfg.k_blocks()))
             .expect("final mark");
-        let mm = (end - dist).as_secs_f64();
+        (eq, (end - dist).as_secs_f64())
+    });
+    let mut table = Table::new(
+        "Ablation 2 — equal-share (paper) vs max-min fair bandwidth",
+        &["config", "equal share [s]", "max-min [s]", "delta"],
+    );
+    for ((label, ..), (eq, mm)) in configs.iter().zip(&rows) {
         table.row(&[
-            label.into(),
+            (*label).into(),
             format!("{eq:.1}"),
             format!("{mm:.1}"),
             format!("{:+.1}%", (mm - eq) / eq * 100.0),
@@ -76,11 +87,11 @@ fn main() {
     emit("ablation_sharing", &table.render(), Some(&table.to_csv()));
 
     // --- 3. communication CPU cost on/off.
-    let mut table = Table::new(
-        "Ablation 3 — CPU cost of communications (paper §4)",
-        &["config", "with comm CPU cost [s]", "without [s]", "delta"],
-    );
-    for (label, r, nodes) in [("Basic r=162, 8n", 162, 8), ("Basic r=108, 8n", 108, 8)] {
+    let configs = [
+        ("Basic r=162, 8n", 162usize, 8u32),
+        ("Basic r=108, 8n", 108, 8),
+    ];
+    let rows: Vec<(f64, f64)> = run_parallel(&configs, |_, &(_, r, nodes)| {
         let cfg = env.lu(r, nodes);
         let with = env.predict(&cfg).factorization_time.as_secs_f64();
         let mut free_net = env.net;
@@ -89,8 +100,15 @@ fn main() {
         let without = lu_app::predict_lu(&cfg, free_net, &env.simcfg)
             .factorization_time
             .as_secs_f64();
+        (with, without)
+    });
+    let mut table = Table::new(
+        "Ablation 3 — CPU cost of communications (paper §4)",
+        &["config", "with comm CPU cost [s]", "without [s]", "delta"],
+    );
+    for ((label, ..), (with, without)) in configs.iter().zip(&rows) {
         table.row(&[
-            label.into(),
+            (*label).into(),
             format!("{with:.1}"),
             format!("{without:.1}"),
             format!("{:+.1}%", (without - with) / with * 100.0),
@@ -99,13 +117,18 @@ fn main() {
     emit("ablation_commcpu", &table.render(), Some(&table.to_csv()));
 
     // --- 4. dispatch-overhead sensitivity.
-    let mut s = Series::new("predicted [s]");
-    for us in [0u64, 20, 50, 100, 200, 500] {
+    let overheads = [0u64, 20, 50, 100, 200, 500];
+    let times: Vec<f64> = run_parallel(&overheads, |_, &us| {
         let mut simcfg = env.simcfg.clone();
         simcfg.step_overhead = desim::SimDuration::from_micros(us);
         let cfg = env.lu(108, 8);
-        let run = lu_app::predict_lu(&cfg, env.net, &simcfg);
-        s.push(&format!("{us}us"), run.factorization_time.as_secs_f64());
+        lu_app::predict_lu(&cfg, env.net, &simcfg)
+            .factorization_time
+            .as_secs_f64()
+    });
+    let mut s = Series::new("predicted [s]");
+    for (us, t) in overheads.iter().zip(&times) {
+        s.push(&format!("{us}us"), *t);
     }
     let mut fig = Figure::new(
         "Ablation 4 — per-step dispatch overhead sensitivity (Basic r=108, 8 nodes)",

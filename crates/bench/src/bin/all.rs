@@ -1,17 +1,32 @@
 //! Runs every table/figure reproduction in sequence (Table 1, Figures
 //! 8–13). Equivalent to invoking each binary individually; results land in
-//! `results/`.
+//! `results/`. Child processes inherit `DVNS_THREADS` / `DVNS_SMOKE`, so
+//! `DVNS_SMOKE=1 all` is the CI smoke run and the total wall clock is
+//! recorded in `results/BENCH_engine.json`.
 
 use std::process::Command;
+
+use dps_bench::{thread_count, time, BenchJson};
 
 fn main() {
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");
-    for name in ["table1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "ablation"] {
-        println!("\n################ {name} ################\n");
-        let status = Command::new(dir.join(name))
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
-        assert!(status.success(), "{name} failed");
-    }
+    let (_, wall) = time(|| {
+        for name in [
+            "table1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "ablation",
+        ] {
+            println!("\n################ {name} ################\n");
+            let status = Command::new(dir.join(name))
+                .status()
+                .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
+            assert!(status.success(), "{name} failed");
+        }
+    });
+    println!("\ntotal: {wall:.2}s wall on {} thread(s)", thread_count());
+    let mut json = BenchJson::new();
+    json.record(
+        "all_figures",
+        &[("wall_secs", wall), ("threads", thread_count() as f64)],
+    );
+    json.write();
 }

@@ -5,25 +5,38 @@
 //! Paper shape: on 8 nodes pipelining (P) clearly beats the basic graph at
 //! every block size, P+FC improves further, and each strategy has its own
 //! optimal granularity.
+//!
+//! This is the heaviest single figure, so its wall clock (and the thread
+//! count it ran with) is recorded in `results/BENCH_engine.json` — compare
+//! a `DVNS_THREADS=1` run against the default to see the harness speedup.
 
-use dps_bench::{emit, fig10_configs, run_pair, Env};
+use dps_bench::{
+    emit, fig10_configs, run_pair, run_parallel, thread_count, time, BenchJson, Env, Pair,
+};
+use lu_app::LuConfig;
 use report::{Figure, Series};
 
 fn main() {
     let env = Env::paper();
-    let reference = {
+    let mut points: Vec<(String, usize, LuConfig, u64)> = vec![{
         let mut c = env.lu(324, 8);
         c.workers = 8;
-        run_pair(&env, &c, 300)
-    };
+        ("reference".into(), 324, c, 300)
+    }];
+    for (i, (strat, r, cfg)) in fig10_configs(&env).into_iter().enumerate() {
+        points.push((strat, r, cfg, 301 + i as u64));
+    }
+    let (pairs, wall): (Vec<Pair>, f64) =
+        time(|| run_parallel(&points, |_, (_, _, cfg, seed)| run_pair(&env, cfg, *seed)));
+
+    let reference = pairs[0];
     println!(
         "reference (Basic, r=324, 8 nodes): measured {:.1}s, predicted {:.1}s  (paper: 84.2s)\n",
         reference.measured_secs, reference.predicted_secs
     );
 
     let mut series: Vec<(String, Series)> = Vec::new();
-    for (i, (strat, r, cfg)) in fig10_configs(&env).into_iter().enumerate() {
-        let pair = run_pair(&env, &cfg, 301 + i as u64);
+    for ((strat, r, _, _), pair) in points.iter().zip(&pairs).skip(1) {
         let m = report::improvement(reference.measured_secs, pair.measured_secs);
         let p = report::improvement(reference.predicted_secs, pair.predicted_secs);
         for (name, v) in [(strat.clone(), m), (format!("{strat} (sim)"), p)] {
@@ -48,4 +61,25 @@ fn main() {
         fig.add(s);
     }
     emit("fig10", &fig.render(), Some(&fig.to_csv()));
+
+    let threads = thread_count().min(points.len()) as f64;
+    println!(
+        "fig10 sweep: {:.2}s wall on {} thread(s)",
+        wall, threads as usize
+    );
+    let mut json = BenchJson::new();
+    let name = if threads <= 1.0 {
+        "fig10_sweep_serial"
+    } else {
+        "fig10_sweep_parallel"
+    };
+    json.record(
+        name,
+        &[
+            ("wall_secs", wall),
+            ("threads", threads),
+            ("points", points.len() as f64),
+        ],
+    );
+    json.write();
 }

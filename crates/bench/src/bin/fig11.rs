@@ -7,7 +7,8 @@
 //! subsequent iterations.
 
 use cluster::profile_from_report;
-use dps_bench::{emit, removal_configs, Env};
+use dps_bench::{emit, removal_configs, run_parallel, Env};
+use lu_app::{LuConfig, LuRun};
 use report::{Figure, Series};
 
 fn main() {
@@ -18,14 +19,20 @@ fn main() {
     );
 
     // The paper's three allocations: 8 threads, 4 threads, kill-4-after-1 —
-    // measured (testbed) and simulated.
+    // measured (testbed) and simulated. Seeds key off the *unfiltered*
+    // removal-config index so they match fig12's numbering.
     let wanted = ["4 nodes", "8 nodes", "8 nodes, kill 4 after it. 1"];
-    for (li, (label, cfg)) in removal_configs(&env).into_iter().enumerate() {
-        if !wanted.contains(&label.as_str()) {
-            continue;
-        }
-        let measured = env.measure(&cfg, 400 + li as u64);
-        let predicted = env.predict(&cfg);
+    let points: Vec<(usize, String, LuConfig)> = removal_configs(&env)
+        .into_iter()
+        .enumerate()
+        .filter(|(_, (label, _))| wanted.contains(&label.as_str()))
+        .map(|(li, (label, cfg))| (li, label, cfg))
+        .collect();
+    let runs: Vec<(LuRun, LuRun)> = run_parallel(&points, |_, (li, _, cfg)| {
+        (env.measure(cfg, 400 + *li as u64), env.predict(cfg))
+    });
+
+    for ((_, label, _), (measured, predicted)) in points.iter().zip(runs) {
         for (suffix, run) in [("", measured), (" sim", predicted)] {
             let profile = profile_from_report(&run.report);
             let mut s = Series::new(&format!("{label}{suffix}"));

@@ -6,17 +6,19 @@
 //! running time — deallocating 4 nodes after iteration 1 frees half the
 //! cluster at a negligible cost; prediction errors are small.
 
-use dps_bench::{emit, removal_configs, run_pair, Env};
+use dps_bench::{emit, removal_configs, run_pair, run_parallel, Env, Pair};
 use report::{Figure, Series};
 
 fn main() {
     let env = Env::paper();
+    let points = removal_configs(&env);
+    let pairs: Vec<Pair> = run_parallel(&points, |i, (_, cfg)| run_pair(&env, cfg, 500 + i as u64));
+
     let mut measured = Series::new("Measurement");
     let mut predicted = Series::new("Prediction");
-    for (i, (label, cfg)) in removal_configs(&env).into_iter().enumerate() {
-        let pair = run_pair(&env, &cfg, 500 + i as u64);
-        measured.push(&label, pair.measured_secs);
-        predicted.push(&label, pair.predicted_secs);
+    for ((label, _), pair) in points.iter().zip(&pairs) {
+        measured.push(label, pair.measured_secs);
+        predicted.push(label, pair.predicted_secs);
         println!(
             "{label:<45} measured {:7.1}s  predicted {:7.1}s  (err {:+.1}%)",
             pair.measured_secs,

@@ -5,63 +5,87 @@
 //! ±6%, more than 95% within ±12%.
 //!
 //! This reproduction sweeps every configuration of Figures 8–12 with three
-//! testbed seeds each, plus the per-iteration times of the removal study,
-//! and compares them against the simulator's predictions.
+//! testbed seeds each (one in smoke mode), plus a Jacobi stencil and the
+//! per-iteration times of the removal study, and compares them against the
+//! simulator's predictions. Each configuration's predict-plus-measure
+//! bundle is one parallel point; errors are merged in input order.
 
-use dps_bench::{all_configs, emit, removal_configs, Env};
+use dps_bench::{all_configs, emit, fig13_seeds, removal_configs, run_parallel, Env};
 use report::{rel_error, Histogram};
 
 fn main() {
     let env = Env::paper();
     let mut hist = Histogram::symmetric(0.16, 0.04);
+    let seeds = fig13_seeds();
 
-    // Whole-run errors across every configuration, three seeds each.
-    for (i, (label, cfg)) in all_configs(&env).into_iter().enumerate() {
-        let predicted = env.predict(&cfg).factorization_time.as_secs_f64();
-        for seed in 0..3u64 {
-            let measured = env
-                .measure(&cfg, 1000 + 31 * i as u64 + seed)
-                .factorization_time
-                .as_secs_f64();
-            hist.add(rel_error(measured, predicted));
-        }
-        let _ = label;
+    // Whole-run errors across every configuration, `seeds` seeds each.
+    let configs = all_configs(&env);
+    let errors: Vec<Vec<f64>> = run_parallel(&configs, |i, (_label, cfg)| {
+        let predicted = env.predict(cfg).factorization_time.as_secs_f64();
+        (0..seeds)
+            .map(|seed| {
+                let measured = env
+                    .measure(cfg, 1000 + 31 * i as u64 + seed)
+                    .factorization_time
+                    .as_secs_f64();
+                rel_error(measured, predicted)
+            })
+            .collect()
+    });
+    for e in errors.iter().flatten() {
+        hist.add(*e);
     }
 
     // A second application (the Jacobi stencil) broadens the sample beyond
     // LU — the simulator is application-independent.
-    for (i, sync) in [true, false].into_iter().enumerate() {
+    let stencil_points: Vec<(usize, bool)> = [true, false].into_iter().enumerate().collect();
+    let stencil_errors: Vec<Vec<f64>> = run_parallel(&stencil_points, |_, &(i, sync)| {
         let mut cfg = stencil_app::StencilConfig::new(4096, 24, 8);
         cfg.mode = lu_app::DataMode::Ghost;
         cfg.synchronized = sync;
         let predicted = stencil_app::predict_stencil(&cfg, env.net, &env.simcfg)
             .sweep_time
             .as_secs_f64();
-        for seed in 0..3u64 {
-            let measured =
-                stencil_app::measure_stencil(&cfg, env.tb, 3000 + 7 * i as u64 + seed, &env.simcfg)
-                    .sweep_time
-                    .as_secs_f64();
-            hist.add(rel_error(measured, predicted));
-        }
+        (0..seeds)
+            .map(|seed| {
+                let measured = stencil_app::measure_stencil(
+                    &cfg,
+                    env.tb,
+                    3000 + 7 * i as u64 + seed,
+                    &env.simcfg,
+                )
+                .sweep_time
+                .as_secs_f64();
+                rel_error(measured, predicted)
+            })
+            .collect()
+    });
+    for e in stencil_errors.iter().flatten() {
+        hist.add(*e);
     }
 
     // Per-iteration errors of the removal study (the dynamic-efficiency
     // validation adds finer-grained samples, like the paper's 168).
-    for (i, (_label, cfg)) in removal_configs(&env).into_iter().enumerate() {
-        let predicted = env.predict(&cfg);
+    let removal = removal_configs(&env);
+    let removal_errors: Vec<Vec<f64>> = run_parallel(&removal, |i, (_label, cfg)| {
+        let predicted = env.predict(cfg);
         let pred_iters = lu_app::iteration_times(&predicted.report);
-        for seed in 0..2u64 {
-            let measured = env.measure(&cfg, 2000 + 17 * i as u64 + seed);
+        let mut out = Vec::new();
+        for seed in 0..seeds.min(2) {
+            let measured = env.measure(cfg, 2000 + 17 * i as u64 + seed);
             let meas_iters = lu_app::iteration_times(&measured.report);
             for (p, m) in pred_iters.iter().zip(meas_iters.iter()) {
                 // Skip sub-millisecond iterations: relative error on a
                 // near-zero denominator is noise, not signal.
                 if m.1.as_secs_f64() > 1e-3 {
-                    hist.add(rel_error(m.1.as_secs_f64(), p.1.as_secs_f64()));
+                    out.push(rel_error(m.1.as_secs_f64(), p.1.as_secs_f64()));
                 }
             }
         }
+        out
+    });
+    for e in removal_errors.iter().flatten() {
+        hist.add(*e);
     }
 
     let rendered = format!(

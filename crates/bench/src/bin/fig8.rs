@@ -6,13 +6,22 @@
 //! decomposition-granularity gains (up to ≈ 3.4–3.6× at r = 162); the
 //! simulator tracks the measured improvements within a few percent.
 
-use dps_bench::{emit, fig8_configs, run_pair, Env};
+use dps_bench::{emit, fig8_configs, run_pair, run_parallel, Env, Pair};
+use lu_app::LuConfig;
 use report::{Figure, Series};
 
 fn main() {
     let env = Env::paper();
-    // Reference: basic graph at r = 648 (the paper measured 259.4 s).
-    let reference = run_pair(&env, &env.lu(648, 4), 100);
+    // Reference: basic graph at r = 648 (the paper measured 259.4 s),
+    // then every variant/granularity point. All points are independent,
+    // so they fan across cores; results come back in input order.
+    let mut points: Vec<(String, LuConfig, u64)> = vec![("reference".into(), env.lu(648, 4), 100)];
+    for (i, (label, cfg)) in fig8_configs(&env).into_iter().enumerate() {
+        points.push((label, cfg, 101 + i as u64));
+    }
+    let pairs: Vec<Pair> = run_parallel(&points, |_, (_, cfg, seed)| run_pair(&env, cfg, *seed));
+
+    let reference = pairs[0];
     println!(
         "reference (Basic, r=648, 4 nodes): measured {:.1}s, predicted {:.1}s  (paper: 259.4s)\n",
         reference.measured_secs, reference.predicted_secs
@@ -20,11 +29,13 @@ fn main() {
 
     let mut measured = Series::new("Measurement");
     let mut predicted = Series::new("Prediction");
-    for (i, (label, cfg)) in fig8_configs(&env).into_iter().enumerate() {
-        let pair = run_pair(&env, &cfg, 101 + i as u64);
-        measured.push(&label, report::improvement(reference.measured_secs, pair.measured_secs));
+    for ((label, _, _), pair) in points.iter().zip(&pairs).skip(1) {
+        measured.push(
+            label,
+            report::improvement(reference.measured_secs, pair.measured_secs),
+        );
         predicted.push(
-            &label,
+            label,
             report::improvement(reference.predicted_secs, pair.predicted_secs),
         );
     }

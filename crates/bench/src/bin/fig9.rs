@@ -6,12 +6,19 @@
 //! communication *slows down* execution (improvement < 1) while P and FC
 //! help slightly; prediction errors stay below 5%.
 
-use dps_bench::{emit, fig9_configs, run_pair, Env};
+use dps_bench::{emit, fig9_configs, run_pair, run_parallel, Env, Pair};
+use lu_app::LuConfig;
 use report::{Figure, Series};
 
 fn main() {
     let env = Env::paper();
-    let reference = run_pair(&env, &env.lu(324, 4), 200);
+    let mut points: Vec<(String, LuConfig, u64)> = vec![("reference".into(), env.lu(324, 4), 200)];
+    for (i, (label, cfg)) in fig9_configs(&env).into_iter().enumerate() {
+        points.push((label, cfg, 201 + i as u64));
+    }
+    let pairs: Vec<Pair> = run_parallel(&points, |_, (_, cfg, seed)| run_pair(&env, cfg, *seed));
+
+    let reference = pairs[0];
     println!(
         "reference (Basic, r=324, 4 nodes): measured {:.1}s, predicted {:.1}s  (paper: 101.8s)\n",
         reference.measured_secs, reference.predicted_secs
@@ -20,13 +27,12 @@ fn main() {
     let mut measured = Series::new("Measurement");
     let mut predicted = Series::new("Prediction");
     let mut worst_err: f64 = 0.0;
-    for (i, (label, cfg)) in fig9_configs(&env).into_iter().enumerate() {
-        let pair = run_pair(&env, &cfg, 201 + i as u64);
+    for ((label, _, _), pair) in points.iter().zip(&pairs).skip(1) {
         let m = report::improvement(reference.measured_secs, pair.measured_secs);
         let p = report::improvement(reference.predicted_secs, pair.predicted_secs);
         worst_err = worst_err.max(((p - m) / m).abs());
-        measured.push(&label, m);
-        predicted.push(&label, p);
+        measured.push(label, m);
+        predicted.push(label, p);
     }
 
     let mut fig = Figure::new(
@@ -36,5 +42,8 @@ fn main() {
     fig.add(measured);
     fig.add(predicted);
     emit("fig9", &fig.render(), Some(&fig.to_csv()));
-    println!("worst improvement prediction error: {:.1}% (paper: < 5%)", worst_err * 100.0);
+    println!(
+        "worst improvement prediction error: {:.1}% (paper: < 5%)",
+        worst_err * 100.0
+    );
 }

@@ -48,23 +48,41 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--engine" => engine = next_val(&mut args, "--engine"),
-            "--n" => cfg.n = next_val(&mut args, "--n").parse().unwrap_or_else(|_| usage()),
-            "--r" => cfg.r = next_val(&mut args, "--r").parse().unwrap_or_else(|_| usage()),
+            "--n" => {
+                cfg.n = next_val(&mut args, "--n")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--r" => {
+                cfg.r = next_val(&mut args, "--r")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
             "--nodes" => {
-                cfg.nodes = next_val(&mut args, "--nodes").parse().unwrap_or_else(|_| usage());
+                cfg.nodes = next_val(&mut args, "--nodes")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
             }
             "--workers" => {
-                cfg.workers = next_val(&mut args, "--workers").parse().unwrap_or_else(|_| usage());
+                cfg.workers = next_val(&mut args, "--workers")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
                 workers_set = true;
             }
             "--pipelined" => cfg.pipelined = true,
             "--fc" => {
-                cfg.flow_control =
-                    Some(next_val(&mut args, "--fc").parse().unwrap_or_else(|_| usage()))
+                cfg.flow_control = Some(
+                    next_val(&mut args, "--fc")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
             }
             "--pm" => {
-                cfg.parallel_mul =
-                    Some(next_val(&mut args, "--pm").parse().unwrap_or_else(|_| usage()))
+                cfg.parallel_mul = Some(
+                    next_val(&mut args, "--pm")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
             }
             "--kill" => {
                 let v = next_val(&mut args, "--kill");
@@ -82,7 +100,11 @@ fn main() {
                     _ => usage(),
                 }
             }
-            "--seed" => cfg.seed = next_val(&mut args, "--seed").parse().unwrap_or_else(|_| usage()),
+            "--seed" => {
+                cfg.seed = next_val(&mut args, "--seed")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
             "--target" => target = next_val(&mut args, "--target"),
             "--net" => net_name = next_val(&mut args, "--net"),
             "--gantt" => gantt = true,
@@ -184,7 +206,11 @@ fn report(run: &lu_app::LuRun, gantt: bool) {
     }
     println!("per-iteration times and dynamic efficiency:");
     for (label, span, eff) in lu_app::iteration_times(&run.report) {
-        println!("  {label:>8}  {:8.2}s   {:5.1}%", span.as_secs_f64(), eff * 100.0);
+        println!(
+            "  {label:>8}  {:8.2}s   {:5.1}%",
+            span.as_secs_f64(),
+            eff * 100.0
+        );
     }
     if gantt {
         if let Some(trace) = &run.report.trace {

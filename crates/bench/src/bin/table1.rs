@@ -16,7 +16,7 @@
 
 use std::time::Instant;
 
-use dps_bench::{Env, N};
+use dps_bench::{smoke, Env, N};
 use dps_sim::TimingMode;
 use linalg::Matrix;
 use lu_app::{DataMode, LuConfig};
@@ -26,9 +26,15 @@ use report::Table;
 
 fn main() {
     let env = Env::paper();
-    // Full scale in release; a scaled-down matrix in debug builds so the
-    // real kernels stay tractable.
-    let n = if cfg!(debug_assertions) { 864 } else { N };
+    // Full scale in release; a scaled-down matrix in debug builds and in
+    // smoke mode so the real kernels stay tractable. Table rows time the
+    // host, so this binary stays serial — parallelizing rows would
+    // corrupt the very numbers being reported.
+    let n = if cfg!(debug_assertions) || smoke() {
+        864
+    } else {
+        N
+    };
     let r = n / 12; // 216 at full scale, keeping K = 12 as in the paper
     let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
     println!("matrix {n} x {n}, block size r = {r}, host cores: {cores}");
@@ -83,7 +89,10 @@ fn main() {
         "Direct execution (sim, this host)".into(),
         format!("{:.2}", run.report.host_wall.as_secs_f64()),
         mb(run.report.mem_peak_bytes),
-        format!("{:.1} (host-dependent)", run.factorization_time.as_secs_f64()),
+        format!(
+            "{:.1} (host-dependent)",
+            run.factorization_time.as_secs_f64()
+        ),
     ]);
 
     // --- PDEXEC: allocate, but replace kernels with benchmarked times.
@@ -132,5 +141,8 @@ fn main() {
     dps_bench::emit("table1", &table.render(), Some(&table.to_csv()));
 
     let drift = (pdexec_pred - noalloc_pred).abs() / pdexec_pred;
-    println!("PDEXEC vs NOALLOC prediction drift: {:.2}% (paper: -1.3% vs direct)", drift * 100.0);
+    println!(
+        "PDEXEC vs NOALLOC prediction drift: {:.2}% (paper: -1.3% vs direct)",
+        drift * 100.0
+    );
 }

@@ -1,6 +1,12 @@
 //! Shared experiment definitions: the paper's workload configurations and
 //! measured/predicted run pairs.
+//!
+//! With `DVNS_SMOKE=1` every configuration list shrinks to a CI-sized
+//! subset (fewer points, one seed where figures sweep several) that still
+//! exercises every code path — variants, granularity, flow control,
+//! thread removal — in seconds instead of minutes.
 
+use crate::harness::smoke;
 use desim::SimDuration;
 use dps_sim::{SimConfig, TimingMode};
 use lu_app::{measure_lu, predict_lu, DataMode, LuConfig, LuRun};
@@ -10,6 +16,15 @@ use testbed::TestbedParams;
 
 /// Matrix order used throughout the paper's evaluation.
 pub const N: usize = 2592;
+
+/// Truncates a configuration list in smoke mode, keeping the first
+/// `keep` entries (the list shapes put one of each regime up front).
+fn smoke_truncate<T>(mut v: Vec<T>, keep: usize) -> Vec<T> {
+    if smoke() {
+        v.truncate(keep);
+    }
+    v
+}
 
 /// The experiment environment: what the simulator believes (measured
 /// platform parameters) and what the testbed really is.
@@ -100,12 +115,17 @@ pub fn variant_set() -> Vec<(&'static str, bool, bool, bool)> {
 /// 4 nodes. Returns (label, config).
 pub fn fig8_configs(env: &Env) -> Vec<(String, LuConfig)> {
     let mut out = Vec::new();
-    for (label, p, pm, fc) in variant_set() {
+    for (label, p, pm, fc) in smoke_truncate(variant_set(), 2) {
         let mut cfg = env.lu(648, 4);
         apply_variant(&mut cfg, p, pm, fc);
         out.push((label.to_string(), cfg));
     }
-    for r in [324, 216, 162, 108] {
+    let rs: &[usize] = if smoke() {
+        &[324, 216]
+    } else {
+        &[324, 216, 162, 108]
+    };
+    for &r in rs {
         out.push((format!("r={r}"), env.lu(r, 4)));
     }
     out
@@ -113,7 +133,7 @@ pub fn fig8_configs(env: &Env) -> Vec<(String, LuConfig)> {
 
 /// Figure 9 configurations: variants at r = 324, 4 nodes.
 pub fn fig9_configs(env: &Env) -> Vec<(String, LuConfig)> {
-    variant_set()
+    smoke_truncate(variant_set(), 2)
         .into_iter()
         .map(|(label, p, pm, fc)| {
             let mut cfg = env.lu(324, 4);
@@ -126,8 +146,17 @@ pub fn fig9_configs(env: &Env) -> Vec<(String, LuConfig)> {
 /// Figure 10 configurations: (strategy, r, config) on 8 nodes.
 pub fn fig10_configs(env: &Env) -> Vec<(String, usize, LuConfig)> {
     let mut out = Vec::new();
-    for (strat, p, fc) in [("Basic", false, false), ("P", true, false), ("P+FC", true, true)] {
-        for r in [81, 108, 162, 216, 324] {
+    let rs: &[usize] = if smoke() {
+        &[216]
+    } else {
+        &[81, 108, 162, 216, 324]
+    };
+    for (strat, p, fc) in [
+        ("Basic", false, false),
+        ("P", true, false),
+        ("P+FC", true, true),
+    ] {
+        for &r in rs {
             let mut cfg = env.lu(r, 8);
             apply_variant(&mut cfg, p, false, fc);
             out.push((strat.to_string(), r, cfg));
@@ -156,14 +185,26 @@ pub fn removal_configs(env: &Env) -> Vec<(String, LuConfig)> {
     for (label, plan) in [
         ("8 nodes, kill 4 after it. 1", vec![(1usize, 4u32)]),
         ("8 nodes, kill 4 after it. 4", vec![(4, 4)]),
-        ("8 nodes, kill 2 after it. 2 + 2 after it. 3", vec![(2, 2), (3, 2)]),
+        (
+            "8 nodes, kill 2 after it. 2 + 2 after it. 3",
+            vec![(2, 2), (3, 2)],
+        ),
     ] {
         let mut cfg = env.lu(324, 8);
         cfg.workers = 8;
         cfg.removal = plan;
         out.push((label.to_string(), cfg));
     }
-    out
+    smoke_truncate(out, 3)
+}
+
+/// Measurement seeds per configuration for the Figure 13 error histogram.
+pub fn fig13_seeds() -> u64 {
+    if smoke() {
+        1
+    } else {
+        3
+    }
 }
 
 /// Every (label, config) pair of the evaluation, for the Figure 13 error
@@ -203,6 +244,11 @@ mod tests {
 
     #[test]
     fn config_sets_have_paper_shapes() {
+        if smoke() {
+            // Counts below are the paper's full matrix; smoke mode
+            // deliberately shrinks it.
+            return;
+        }
         let env = Env::paper();
         assert_eq!(fig8_configs(&env).len(), 9);
         assert_eq!(fig9_configs(&env).len(), 5);

@@ -21,5 +21,7 @@
 //! reproduction numbers.
 
 pub mod experiments;
+pub mod harness;
 
 pub use experiments::*;
+pub use harness::{run_parallel, run_parallel_with, smoke, thread_count, time, BenchJson};

@@ -135,7 +135,11 @@ impl ServerReport {
         if self.jobs.is_empty() {
             return 0.0;
         }
-        self.jobs.iter().map(|(_, _, c)| c.as_secs_f64()).sum::<f64>() / self.jobs.len() as f64
+        self.jobs
+            .iter()
+            .map(|(_, _, c)| c.as_secs_f64())
+            .sum::<f64>()
+            / self.jobs.len() as f64
     }
 }
 
@@ -245,7 +249,13 @@ impl ClusterSim {
                         gen: gen_counter,
                     };
                     let d = specs[idx].phases[0].duration_on(grant);
-                    q.schedule(now + d, Ev::PhaseEnd { job: idx, gen: gen_counter });
+                    q.schedule(
+                        now + d,
+                        Ev::PhaseEnd {
+                            job: idx,
+                            gen: gen_counter,
+                        },
+                    );
                     report.allocated_node_seconds += grant as f64 * d.as_secs_f64();
                     report.work_node_seconds += specs[idx].phases[0].work.as_secs_f64();
                     running[idx] = Some(rj);
@@ -293,7 +303,13 @@ impl ClusterSim {
                     rj.gen = gen_counter;
                     report.allocated_node_seconds += rj.nodes as f64 * d.as_secs_f64();
                     report.work_node_seconds += phase.work.as_secs_f64();
-                    q.schedule(now + d, Ev::PhaseEnd { job, gen: gen_counter });
+                    q.schedule(
+                        now + d,
+                        Ev::PhaseEnd {
+                            job,
+                            gen: gen_counter,
+                        },
+                    );
                     start_waiting!();
                 }
             }
@@ -368,7 +384,12 @@ mod tests {
 
     #[test]
     fn malleable_never_starves_a_job_to_zero_nodes() {
-        let sim = ClusterSim::new(4, SchedulePolicy::Malleable { min_efficiency: 0.99 });
+        let sim = ClusterSim::new(
+            4,
+            SchedulePolicy::Malleable {
+                min_efficiency: 0.99,
+            },
+        );
         let r = sim.run(&[lu_job("a", 0, 4)]);
         assert_eq!(r.jobs.len(), 1, "job finishes even at brutal thresholds");
     }
@@ -397,7 +418,9 @@ mod tests {
     #[test]
     fn deterministic_server_runs() {
         let jobs = [lu_job("a", 0, 6), lu_job("b", 3, 4), lu_job("c", 5, 2)];
-        let p = SchedulePolicy::Malleable { min_efficiency: 0.6 };
+        let p = SchedulePolicy::Malleable {
+            min_efficiency: 0.6,
+        };
         let r1 = ClusterSim::new(8, p).run(&jobs);
         let r2 = ClusterSim::new(8, p).run(&jobs);
         assert_eq!(r1.makespan, r2.makespan);

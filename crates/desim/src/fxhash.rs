@@ -1,0 +1,116 @@
+//! A fast, non-cryptographic hasher for the simulator's hot maps.
+//!
+//! Event-loop maps are keyed by small integers (job ids, flow ids, node
+//! ids); the default SipHash is measurable overhead there. This is the
+//! well-known multiply-rotate "Fx" construction: one rotate, one xor, one
+//! multiply per word. Not DoS-resistant — do not use for attacker-supplied
+//! keys (the simulator's keys are all internally generated).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-rotate word hasher (Fx construction).
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_small_keys_hash_distinctly() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            let mut h = FxHasher::default();
+            h.write_u64(i);
+            assert!(seen.insert(h.finish()), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn byte_writes_cover_remainders() {
+        // Same logical bytes in one write must hash equal regardless of
+        // remainder length.
+        for len in 1..=16usize {
+            let bytes: Vec<u8> = (0..len as u8).collect();
+            let mut a = FxHasher::default();
+            a.write(&bytes);
+            let mut b = FxHasher::default();
+            b.write(&bytes);
+            assert_eq!(a.finish(), b.finish());
+        }
+    }
+
+    #[test]
+    fn map_works_end_to_end() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert(i, i * 2);
+        }
+        for i in 0..1000 {
+            assert_eq!(m[&i], i * 2);
+        }
+    }
+}

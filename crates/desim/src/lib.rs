@@ -17,10 +17,12 @@
 
 #![warn(missing_docs)]
 
+pub mod fxhash;
 pub mod queue;
 pub mod share;
 pub mod time;
 
+pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use queue::{EventId, EventQueue};
 pub use share::ProgressSet;
 pub use time::{SimDuration, SimTime};

@@ -8,46 +8,91 @@
 //! Cancellation is lazy: cancelled entries stay in the heap and are skipped
 //! on pop. The engines cancel events frequently (every bandwidth or CPU-share
 //! change invalidates previously scheduled completions), so `cancel` must be
-//! O(1).
+//! O(1) — here it is a slot lookup and a generation bump, no hashing.
+//!
+//! Event payloads live in a slab of reusable slots; the heap holds only
+//! small `Copy` entries `(time, seq, slot, generation)`. An [`EventId`]
+//! packs the slot index with the slot's generation at scheduling time, so a
+//! stale handle (already popped or cancelled) can never alias a later event
+//! that reuses the slot. When more than half of the heap is dead weight the
+//! queue compacts it in place, so heap memory stays proportional to the
+//! number of *live* events no matter how churn-heavy the cancel pattern is.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
 
 /// Handle identifying a scheduled event, used for cancellation.
+///
+/// Packs a slab slot index (low 32 bits) and the slot's generation at
+/// scheduling time (high 32 bits).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct EventId(u64);
 
-struct Entry<E> {
-    time: SimTime,
-    seq: u64,
-    event: E,
+impl EventId {
+    fn new(slot: u32, generation: u32) -> Self {
+        EventId((generation as u64) << 32 | slot as u64)
+    }
+
+    fn slot(self) -> u32 {
+        self.0 as u32
+    }
+
+    fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
 }
 
-impl<E> PartialEq for Entry<E> {
+/// Heap entry: everything needed for ordering plus the slot holding the
+/// payload. Kept `Copy` and payload-free so sift operations move 24 bytes
+/// regardless of the event type.
+#[derive(Clone, Copy)]
+struct Entry {
+    time: SimTime,
+    seq: u64,
+    slot: u32,
+    generation: u32,
+}
+
+impl PartialEq for Entry {
     fn eq(&self, other: &Self) -> bool {
         self.seq == other.seq
     }
 }
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
+impl Eq for Entry {}
+impl PartialOrd for Entry {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<E> Ord for Entry<E> {
+impl Ord for Entry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.time, self.seq).cmp(&(other.time, other.seq))
     }
 }
 
+struct Slot<E> {
+    /// Bumped every time the slot's event is consumed (popped or cancelled),
+    /// invalidating outstanding `EventId`s and stale heap entries.
+    generation: u32,
+    /// `Some` while an event is scheduled in this slot.
+    event: Option<E>,
+}
+
+/// Minimum heap size before compaction is considered; tiny heaps are not
+/// worth rebuilding.
+const COMPACT_MIN: usize = 64;
+
 /// A time-ordered queue of future events.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Entry<E>>>,
-    /// Sequence numbers of events that are scheduled and not yet popped or
-    /// cancelled. Heap entries whose seq is absent are skipped on pop.
-    pending: HashSet<u64>,
+    heap: BinaryHeap<Reverse<Entry>>,
+    slots: Vec<Slot<E>>,
+    /// Indices of vacant slots, reused LIFO.
+    free: Vec<u32>,
+    /// Number of live (scheduled, not cancelled, not popped) events. The
+    /// difference `heap.len() - live` is the number of dead heap entries.
+    live: usize,
     next_seq: u64,
 }
 
@@ -62,7 +107,9 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            pending: HashSet::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
             next_seq: 0,
         }
     }
@@ -73,23 +120,79 @@ impl<E> EventQueue<E> {
     pub fn schedule(&mut self, time: SimTime, event: E) -> EventId {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(Entry { time, seq, event }));
-        self.pending.insert(seq);
-        EventId(seq)
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize].event = Some(event);
+                s
+            }
+            None => {
+                let s = u32::try_from(self.slots.len()).expect("event slot overflow");
+                self.slots.push(Slot {
+                    generation: 0,
+                    event: Some(event),
+                });
+                s
+            }
+        };
+        let generation = self.slots[slot as usize].generation;
+        self.heap.push(Reverse(Entry {
+            time,
+            seq,
+            slot,
+            generation,
+        }));
+        self.live += 1;
+        EventId::new(slot, generation)
     }
 
     /// Cancels a previously scheduled event. Returns whether the event was
     /// still pending; cancelling an already-popped or already-cancelled event
     /// is a no-op returning `false`.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        self.pending.remove(&id.0)
+        let Some(slot) = self.slots.get_mut(id.slot() as usize) else {
+            return false;
+        };
+        if slot.generation != id.generation() || slot.event.is_none() {
+            return false;
+        }
+        // Drop the payload now and recycle the slot; the heap entry turns
+        // stale via the generation bump and is skipped (or compacted away).
+        slot.event = None;
+        slot.generation = slot.generation.wrapping_add(1);
+        self.free.push(id.slot());
+        self.live -= 1;
+        self.maybe_compact();
+        true
+    }
+
+    fn entry_is_live(&self, e: &Entry) -> bool {
+        let slot = &self.slots[e.slot as usize];
+        slot.generation == e.generation && slot.event.is_some()
+    }
+
+    /// Rebuilds the heap without dead entries once they outnumber live ones;
+    /// amortized O(1) per cancellation, bounding heap memory by the live
+    /// event count.
+    fn maybe_compact(&mut self) {
+        if self.heap.len() >= COMPACT_MIN && self.heap.len() - self.live > self.heap.len() / 2 {
+            let slots = &self.slots;
+            self.heap.retain(|Reverse(e)| {
+                let slot = &slots[e.slot as usize];
+                slot.generation == e.generation && slot.event.is_some()
+            });
+        }
     }
 
     /// Removes and returns the earliest live event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(Reverse(entry)) = self.heap.pop() {
-            if self.pending.remove(&entry.seq) {
-                return Some((entry.time, entry.event));
+            if self.entry_is_live(&entry) {
+                let slot = &mut self.slots[entry.slot as usize];
+                let event = slot.event.take().expect("live entry has payload");
+                slot.generation = slot.generation.wrapping_add(1);
+                self.free.push(entry.slot);
+                self.live -= 1;
+                return Some((entry.time, event));
             }
         }
         None
@@ -101,7 +204,7 @@ impl<E> EventQueue<E> {
             match self.heap.peek() {
                 None => return None,
                 Some(Reverse(entry)) => {
-                    if self.pending.contains(&entry.seq) {
+                    if self.entry_is_live(entry) {
                         return Some(entry.time);
                     }
                     self.heap.pop();
@@ -112,12 +215,18 @@ impl<E> EventQueue<E> {
 
     /// Number of live (non-cancelled) pending events.
     pub fn len(&self) -> usize {
-        self.pending.len()
+        self.live
     }
 
     /// Whether no live events remain.
     pub fn is_empty(&self) -> bool {
-        self.pending.is_empty()
+        self.live == 0
+    }
+
+    /// Heap entries currently held, live or dead — an implementation detail
+    /// exposed for memory-bound regression tests.
+    pub fn heap_len(&self) -> usize {
+        self.heap.len()
     }
 }
 
@@ -168,7 +277,7 @@ mod tests {
     #[test]
     fn cancel_unknown_id_is_noop() {
         let mut q: EventQueue<&str> = EventQueue::new();
-        assert!(!q.cancel(EventId(42)));
+        assert!(!q.cancel(EventId::new(42, 0)));
     }
 
     #[test]
@@ -179,6 +288,18 @@ mod tests {
         assert_eq!(q.pop(), Some((at(1), "a")));
         assert!(!q.cancel(a));
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn stale_id_does_not_cancel_slot_reuser() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(at(1), "a");
+        assert!(q.cancel(a));
+        // "b" reuses a's slot with a bumped generation.
+        let b = q.schedule(at(2), "b");
+        assert!(!q.cancel(a), "stale handle must not hit the reused slot");
+        assert_eq!(q.pop(), Some((at(2), "b")));
+        assert!(!q.cancel(b));
     }
 
     #[test]
@@ -237,5 +358,86 @@ mod tests {
             assert!(t >= last);
             last = t;
         }
+    }
+
+    #[test]
+    fn compaction_bounds_heap_under_churn() {
+        let mut q = EventQueue::new();
+        for round in 0..1_000u64 {
+            let ids: Vec<_> = (0..100)
+                .map(|i| q.schedule(at(round * 100 + i), i))
+                .collect();
+            for id in ids {
+                q.cancel(id);
+            }
+            // Dead entries may linger, but never more than ~half the heap
+            // (plus the compaction floor).
+            assert!(
+                q.heap_len() <= 2 * q.len() + COMPACT_MIN,
+                "heap grew unbounded: {} entries for {} live",
+                q.heap_len(),
+                q.len()
+            );
+        }
+        assert!(q.is_empty());
+        assert!(q.heap_len() <= COMPACT_MIN);
+    }
+
+    #[test]
+    fn million_event_churn_keeps_heap_and_slab_bounded() {
+        // Regression guard for the compaction logic at realistic scale: one
+        // million schedule/cancel (and some pop) operations with a bounded
+        // live set must never let dead heap entries or slab slots pile up.
+        let mut q = EventQueue::new();
+        let mut live = Vec::new();
+        let mut x: u64 = 0x9E3779B97F4A7C15;
+        for round in 0..10_000u64 {
+            for i in 0..100u64 {
+                live.push(q.schedule(at(round * 100 + i), i));
+            }
+            // Cancel most of the batch in pseudo-random order, pop a few.
+            while live.len() > 20 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let idx = (x as usize) % live.len();
+                q.cancel(live.swap_remove(idx));
+            }
+            if round % 10 == 0 {
+                while q.pop().is_some() {}
+                live.clear();
+            }
+            assert!(
+                q.heap_len() <= 2 * q.len() + COMPACT_MIN,
+                "heap grew unbounded at round {round}: {} entries for {} live",
+                q.heap_len(),
+                q.len()
+            );
+        }
+        // 1M events passed through; storage stays proportional to the live
+        // window (~120 events), not the total volume.
+        assert!(
+            q.slots.len() <= 1024,
+            "slab kept growing: {}",
+            q.slots.len()
+        );
+        while q.pop().is_some() {}
+        assert!(q.is_empty());
+        assert!(q.heap_len() <= COMPACT_MIN);
+    }
+
+    #[test]
+    fn slots_are_reused() {
+        let mut q = EventQueue::new();
+        for i in 0..10_000u64 {
+            let id = q.schedule(at(i), i);
+            if i % 2 == 0 {
+                q.cancel(id);
+            } else {
+                q.pop();
+            }
+        }
+        // One event in flight at a time -> a handful of slots, not 10k.
+        assert!(q.slots.len() <= 4, "slab kept growing: {}", q.slots.len());
     }
 }

@@ -24,13 +24,12 @@
 //!   routing helpers immediately stop selecting them and the allocated-node
 //!   timeline feeds the dynamic-efficiency computation.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::rc::Rc;
 use std::time::Instant;
 
-use desim::{ProgressSet, SimDuration, SimTime};
-use dps::{
-    ActiveSet, Application, DataObj, OpCtx, OpId, Operation, RouteCtx, ThreadId, Window,
-};
+use desim::{FxHashMap, ProgressSet, SimDuration, SimTime};
+use dps::{ActiveSet, Application, DataObj, OpCtx, OpId, Operation, RouteCtx, ThreadId, Window};
 use netmodel::{NetParams, NodeId};
 
 use crate::fabric::{Fabric, SimFabric};
@@ -71,7 +70,7 @@ type ServerKey = (OpId, ThreadId);
 
 enum Action {
     Post { to: OpId, obj: DataObj },
-    Mark(String),
+    Mark(Rc<str>),
     Deactivate(ThreadId),
     Release(OpId),
     Account(i64),
@@ -85,11 +84,35 @@ struct Segment {
 
 struct RunState {
     consumed_heap: u64,
-    segments: VecDeque<Segment>,
+    segments: Vec<Segment>,
+    /// Next unconsumed entry of `segments`.
+    next_seg: usize,
     /// Actions of the segment currently being finalized; non-empty only
     /// while executing them or while blocked on a flow-control credit.
     pending: VecDeque<Action>,
 }
+
+/// Mark labels are emitted once per application call site but recorded on
+/// every invocation; interning makes the per-mark cost one `Rc` clone
+/// instead of a `String` allocation.
+#[derive(Default)]
+struct Interner {
+    map: FxHashMap<Box<str>, Rc<str>>,
+}
+
+impl Interner {
+    fn intern(&mut self, s: &str) -> Rc<str> {
+        if let Some(r) = self.map.get(s) {
+            return Rc::clone(r);
+        }
+        let r: Rc<str> = Rc::from(s);
+        self.map.insert(Box::from(s), Rc::clone(&r));
+        r
+    }
+}
+
+/// Cap on recycled-buffer pools; beyond this, buffers just drop.
+const POOL_CAP: usize = 256;
 
 struct Server {
     op: Option<Box<dyn Operation>>,
@@ -139,17 +162,36 @@ struct Engine<'a> {
     cfg: &'a SimConfig,
     now: SimTime,
 
-    servers: BTreeMap<ServerKey, Server>,
+    /// Dense server table, indexed `op * thread_count + thread` — every
+    /// delivery, step completion, and action touches it, so it must not go
+    /// through a tree or hash lookup.
+    servers: Vec<Server>,
+    thread_count: usize,
     active: ActiveSet,
     edge_seq: Vec<u64>,
 
     cpu: ProgressSet<u64>,
-    jobs: BTreeMap<u64, JobInfo>,
+    jobs: FxHashMap<u64, JobInfo>,
     jobs_by_node: BTreeMap<NodeId, Vec<u64>>,
+    /// Last processor-sharing rate assigned to each node's jobs; rates are
+    /// only re-pushed into `cpu` when this changes.
+    node_rate: FxHashMap<NodeId, f64>,
+    /// Nodes whose job population changed since the last CPU recompute —
+    /// their jobs need fresh rates even if the per-node rate is unchanged
+    /// (a new job still carries rate 0).
+    dirty_nodes: BTreeSet<NodeId>,
     next_job: u64,
 
-    inflight: HashMap<u64, Delivery>,
-    transfer_meta: HashMap<u64, (NodeId, NodeId, u64, SimTime)>,
+    /// Recycled empty action buffers (segment bodies, pending queues).
+    action_pool: Vec<VecDeque<Action>>,
+    /// Recycled empty segment buffers (one per invocation).
+    segment_pool: Vec<Vec<Segment>>,
+    interner: Interner,
+    /// Scratch for `recompute_cpu`'s affected-node list.
+    node_scratch: Vec<NodeId>,
+
+    inflight: FxHashMap<u64, Delivery>,
+    transfer_meta: FxHashMap<u64, (NodeId, NodeId, u64, SimTime)>,
 
     windows: BTreeMap<OpId, Window>,
     fc_waiters: BTreeMap<OpId, VecDeque<ServerKey>>,
@@ -184,20 +226,34 @@ impl<'a> Engine<'a> {
             .flow_controls()
             .map(|fc| (fc.source, Window::new(fc.window)))
             .collect();
+        let servers = (0..app.graph().op_count() * thread_count)
+            .map(|_| Server {
+                op: None,
+                queue: VecDeque::new(),
+                run: None,
+            })
+            .collect();
         Engine {
             app,
             fabric,
             cfg,
             now: SimTime::ZERO,
-            servers: BTreeMap::new(),
+            servers,
+            thread_count,
             active,
             edge_seq: vec![0; app.graph().edge_count()],
             cpu: ProgressSet::new(),
-            jobs: BTreeMap::new(),
+            jobs: FxHashMap::default(),
             jobs_by_node: BTreeMap::new(),
+            node_rate: FxHashMap::default(),
+            dirty_nodes: BTreeSet::new(),
             next_job: 0,
-            inflight: HashMap::new(),
-            transfer_meta: HashMap::new(),
+            action_pool: Vec::new(),
+            segment_pool: Vec::new(),
+            interner: Interner::default(),
+            node_scratch: Vec::new(),
+            inflight: FxHashMap::default(),
+            transfer_meta: FxHashMap::default(),
             windows,
             fc_waiters: BTreeMap::new(),
             timing: TimingState::new(),
@@ -276,28 +332,66 @@ impl<'a> Engine<'a> {
     // ----- CPU model ------------------------------------------------------
 
     fn recompute_cpu(&mut self) {
+        // Only two things move a node's per-job rate: its job population
+        // (tracked in `dirty_nodes`) and its communication load (reported
+        // by the fabric). When the fabric can enumerate the latter, the
+        // per-event cost is O(nodes that changed); otherwise fall back to
+        // scanning every node with jobs.
+        let mut affected = std::mem::take(&mut self.node_scratch);
+        affected.clear();
+        if self.fabric.comm_dirty_nodes(&mut affected) {
+            affected.extend(self.dirty_nodes.iter().copied());
+            affected.sort_unstable();
+            affected.dedup();
+        } else {
+            affected.clear();
+            affected.extend(self.jobs_by_node.keys().copied());
+        }
+        for &node in &affected {
+            self.update_node_rate(node);
+        }
+        self.node_scratch = affected;
+        self.dirty_nodes.clear();
+    }
+
+    /// Recomputes one node's processor-sharing rate and pushes it to the
+    /// node's jobs if it moved (or the population changed).
+    fn update_node_rate(&mut self, node: NodeId) {
         let now = self.now;
-        for (&node, jobs) in &self.jobs_by_node {
-            if jobs.is_empty() {
-                continue;
-            }
-            let k = jobs.len();
-            let avail = self.fabric.cpu_available(node);
-            let rate = avail / (k as f64 * self.fabric.sharing_penalty(k));
-            for &j in jobs {
-                self.cpu.set_rate(now, j, rate);
-            }
+        let Some(jobs) = self.jobs_by_node.get(&node) else {
+            self.node_rate.remove(&node);
+            return;
+        };
+        if jobs.is_empty() {
+            self.node_rate.remove(&node);
+            return;
+        }
+        let k = jobs.len();
+        let avail = self.fabric.cpu_available(node);
+        let rate = avail / (k as f64 * self.fabric.sharing_penalty(k));
+        // Rates only need re-pushing when the node's share actually moved
+        // or its job population changed; otherwise every live job already
+        // drains at `rate` and touching it would cost a settle + heap push
+        // per job per event.
+        let unchanged = self.node_rate.get(&node) == Some(&rate);
+        if unchanged && !self.dirty_nodes.contains(&node) {
+            return;
+        }
+        self.node_rate.insert(node, rate);
+        for &j in jobs {
+            self.cpu.set_rate(now, j, rate);
         }
     }
 
     // ----- server machinery ----------------------------------------------
 
+    fn sidx(&self, key: ServerKey) -> usize {
+        key.0 .0 as usize * self.thread_count + key.1 .0 as usize
+    }
+
     fn server_mut(&mut self, key: ServerKey) -> &mut Server {
-        self.servers.entry(key).or_insert_with(|| Server {
-            op: None,
-            queue: VecDeque::new(),
-            run: None,
-        })
+        let i = self.sidx(key);
+        &mut self.servers[i]
     }
 
     fn enqueue_delivery(&mut self, op: OpId, thread: ThreadId, obj: DataObj) {
@@ -358,26 +452,33 @@ impl<'a> Engine<'a> {
                 mode: self.cfg.timing,
                 overhead: self.cfg.step_overhead,
                 timing: &mut self.timing,
-                segments: Vec::new(),
-                cur_actions: VecDeque::new(),
+                segments: self.segment_pool.pop().unwrap_or_default(),
+                cur_actions: self.action_pool.pop().unwrap_or_default(),
+                pool: &mut self.action_pool,
+                interner: &mut self.interner,
                 cur_charge: None,
                 seg_idx: 0,
                 sw: Stopwatch::start(),
             };
             op.on_object(obj, &mut ctx);
-            let segments = ctx.finish();
+            let (segments, spare) = ctx.finish();
+            self.recycle_actions(spare);
 
-            let server = self.servers.get_mut(&key).expect("server exists");
+            let pending = self.action_pool.pop().unwrap_or_default();
+            let server = self.server_mut(key);
             server.op = Some(op);
 
             if segments.is_empty() {
+                self.segment_pool.push(segments);
+                self.action_pool.push(pending);
                 self.meter.free(consumed_heap);
                 continue; // next queued object, same virtual instant
             }
             server.run = Some(RunState {
                 consumed_heap,
-                segments: segments.into(),
-                pending: VecDeque::new(),
+                segments,
+                next_seg: 0,
+                pending,
             });
             self.begin_segment(key);
             return;
@@ -388,11 +489,13 @@ impl<'a> Engine<'a> {
     /// invocation when none remain.
     fn begin_segment(&mut self, key: ServerKey) {
         let node = self.app.deployment().node_of(key.1);
-        let server = self.servers.get_mut(&key).expect("server exists");
+        let server = self.server_mut(key);
         let run = server.run.as_mut().expect("running invocation");
         debug_assert!(run.pending.is_empty());
-        if let Some(seg) = run.segments.pop_front() {
+        if let Some(seg) = run.segments.get_mut(run.next_seg) {
+            run.next_seg += 1;
             let nominal = seg.work;
+            let actions = std::mem::take(&mut seg.actions);
             let work = self.fabric.compute_time(node, nominal);
             let job = self.next_job;
             self.next_job += 1;
@@ -404,17 +507,34 @@ impl<'a> Engine<'a> {
                     node,
                     start: self.now,
                     work,
-                    actions: seg.actions,
+                    actions,
                 },
             );
             self.jobs_by_node.entry(node).or_default().push(job);
+            self.dirty_nodes.insert(node);
         } else {
             let heap = run.consumed_heap;
-            server.run = None;
+            let run = server.run.take().expect("running invocation");
+            self.recycle_segments(run.segments);
+            self.recycle_actions(run.pending);
             self.meter.free(heap);
-            if !self.servers[&key].queue.is_empty() {
+            if !self.server_mut(key).queue.is_empty() {
                 self.start_invocations(key);
             }
+        }
+    }
+
+    fn recycle_actions(&mut self, mut buf: VecDeque<Action>) {
+        if self.action_pool.len() < POOL_CAP {
+            buf.clear();
+            self.action_pool.push(buf);
+        }
+    }
+
+    fn recycle_segments(&mut self, mut buf: Vec<Segment>) {
+        if self.segment_pool.len() < POOL_CAP {
+            buf.clear();
+            self.segment_pool.push(buf);
         }
     }
 
@@ -423,6 +543,7 @@ impl<'a> Engine<'a> {
         if let Some(v) = self.jobs_by_node.get_mut(&info.node) {
             v.retain(|&j| j != job);
         }
+        self.dirty_nodes.insert(info.node);
         self.steps_executed += 1;
         self.interval_work += info.work;
         self.total_work += info.work;
@@ -437,12 +558,10 @@ impl<'a> Engine<'a> {
             });
         }
         let key = info.server;
-        let server = self.servers.get_mut(&key).expect("server exists");
-        server
-            .run
-            .as_mut()
-            .expect("invocation in progress")
-            .pending = info.actions;
+        let server = self.server_mut(key);
+        let run = server.run.as_mut().expect("invocation in progress");
+        let old = std::mem::replace(&mut run.pending, info.actions);
+        self.recycle_actions(old);
         self.process_pending(key);
     }
 
@@ -452,7 +571,7 @@ impl<'a> Engine<'a> {
     fn process_pending(&mut self, key: ServerKey) {
         loop {
             let action = {
-                let server = self.servers.get_mut(&key).expect("server exists");
+                let server = self.server_mut(key);
                 let run = server.run.as_mut().expect("invocation in progress");
                 match run.pending.pop_front() {
                     Some(a) => a,
@@ -465,7 +584,7 @@ impl<'a> Engine<'a> {
                     if let Some(w) = self.windows.get_mut(&key.0) {
                         if !w.try_acquire() {
                             // Park: put the post back and wait for a credit.
-                            let server = self.servers.get_mut(&key).expect("server exists");
+                            let server = self.server_mut(key);
                             server
                                 .run
                                 .as_mut()
@@ -478,7 +597,7 @@ impl<'a> Engine<'a> {
                     }
                     self.do_post(key, to, obj);
                 }
-                Action::Mark(label) => self.record_mark(label),
+                Action::Mark(label) => self.record_mark(&label),
                 Action::Deactivate(t) => self.deactivate(t),
                 Action::Release(op) => self.release_credit(op),
                 Action::Account(delta) => self.meter.adjust(delta),
@@ -523,9 +642,13 @@ impl<'a> Engine<'a> {
             self.enqueue_delivery(to, dst_thread, obj);
         } else {
             let bytes = obj.wire_size();
-            let handle = self.fabric.start_transfer(self.now, src_node, dst_node, bytes);
-            self.transfer_meta
-                .insert(handle, (src_node, dst_node, bytes, self.now));
+            let handle = self
+                .fabric
+                .start_transfer(self.now, src_node, dst_node, bytes);
+            if self.trace.is_some() {
+                self.transfer_meta
+                    .insert(handle, (src_node, dst_node, bytes, self.now));
+            }
             self.inflight.insert(
                 handle,
                 Delivery {
@@ -550,16 +673,16 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn record_mark(&mut self, label: String) {
+    fn record_mark(&mut self, label: &str) {
         self.flush_node_seconds();
         self.intervals.push(Interval {
-            label: label.clone(),
+            label: label.to_string(),
             start: self.interval_start,
             end: self.now,
             cpu_work: self.interval_work,
             node_seconds: self.node_seconds_acc,
         });
-        self.marks.push((label, self.now));
+        self.marks.push((label.to_string(), self.now));
         self.interval_start = self.now;
         self.interval_work = SimDuration::ZERO;
         self.node_seconds_acc = 0.0;
@@ -589,7 +712,7 @@ impl<'a> Engine<'a> {
         }
         let mut queued = 0usize;
         let mut running = 0usize;
-        for s in self.servers.values() {
+        for s in &self.servers {
             queued += s.queue.len();
             if s.run.is_some() {
                 running += 1;
@@ -649,6 +772,9 @@ struct CollectCtx<'a> {
     timing: &'a mut TimingState,
     segments: Vec<Segment>,
     cur_actions: VecDeque<Action>,
+    /// Recycled empty action buffers to refill `cur_actions` from.
+    pool: &'a mut Vec<VecDeque<Action>>,
+    interner: &'a mut Interner,
     cur_charge: Option<SimDuration>,
     seg_idx: u32,
     sw: Stopwatch,
@@ -665,14 +791,17 @@ impl<'a> CollectCtx<'a> {
             measured,
         ) + self.overhead;
         self.seg_idx += 1;
-        let mut actions = std::mem::take(&mut self.cur_actions);
+        let mut actions =
+            std::mem::replace(&mut self.cur_actions, self.pool.pop().unwrap_or_default());
         if let Some(a) = closing {
             actions.push_back(a);
         }
         self.segments.push(Segment { work, actions });
     }
 
-    fn finish(mut self) -> Vec<Segment> {
+    /// Returns the collected segments and the unused action buffer (for the
+    /// engine to recycle).
+    fn finish(mut self) -> (Vec<Segment>, VecDeque<Action>) {
         // Trailing segment: only if it does something or costs something.
         let measured = self.sw.lap();
         let work = self.timing.step_duration(
@@ -692,7 +821,7 @@ impl<'a> CollectCtx<'a> {
                 actions,
             });
         }
-        self.segments
+        (self.segments, self.cur_actions)
     }
 }
 
@@ -726,7 +855,8 @@ impl<'a> OpCtx for CollectCtx<'a> {
     }
 
     fn mark(&mut self, label: &str) {
-        self.cur_actions.push_back(Action::Mark(label.to_string()));
+        let label = self.interner.intern(label);
+        self.cur_actions.push_back(Action::Mark(label));
     }
 
     fn deactivate_thread(&mut self, t: ThreadId) {

@@ -20,7 +20,7 @@ pub trait Fabric {
     fn start_transfer(&mut self, now: SimTime, src: NodeId, dst: NodeId, bytes: u64) -> u64;
 
     /// Next instant at which the fabric's state changes on its own.
-    fn next_event_time(&self) -> Option<SimTime>;
+    fn next_event_time(&mut self) -> Option<SimTime>;
 
     /// Advances to `now`, returning handles of completed transfers in
     /// deterministic order.
@@ -29,6 +29,20 @@ pub trait Fabric {
     /// Fraction of `node`'s processing power currently available to
     /// computation, after communication handling costs.
     fn cpu_available(&self, node: NodeId) -> f64;
+
+    /// Appends to `out` every node whose [`cpu_available`] inputs may have
+    /// changed since the previous call (nodes may repeat) and returns
+    /// `true`. Returning `false` means the fabric cannot tell, and the
+    /// engine must re-examine every node. Fabrics whose availability
+    /// depends only on per-node communication counts implement this so the
+    /// engine's per-event CPU recomputation is O(changed nodes), not
+    /// O(all nodes).
+    ///
+    /// [`cpu_available`]: Fabric::cpu_available
+    fn comm_dirty_nodes(&mut self, out: &mut Vec<NodeId>) -> bool {
+        let _ = out;
+        false
+    }
 
     /// Transforms a nominal computation duration into the duration this
     /// machine actually takes (noise/perturbation hook; identity for the
@@ -89,7 +103,7 @@ impl Fabric for SimFabric {
         self.net.start_flow(now, src, dst, bytes).0
     }
 
-    fn next_event_time(&self) -> Option<SimTime> {
+    fn next_event_time(&mut self) -> Option<SimTime> {
         self.net.next_event_time()
     }
 
@@ -108,6 +122,11 @@ impl Fabric for SimFabric {
         // quite all of the processor — running operations always make some
         // progress.
         (1.0 - used).max(0.05)
+    }
+
+    fn comm_dirty_nodes(&mut self, out: &mut Vec<NodeId>) -> bool {
+        self.net.drain_comm_dirty(out);
+        true
     }
 
     fn compute_time(&mut self, _node: NodeId, nominal: SimDuration) -> SimDuration {

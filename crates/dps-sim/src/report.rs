@@ -84,10 +84,7 @@ impl RunReport {
 
     /// Time of a mark by label, if recorded.
     pub fn mark_time(&self, label: &str) -> Option<SimTime> {
-        self.marks
-            .iter()
-            .find(|(l, _)| l == label)
-            .map(|&(_, t)| t)
+        self.marks.iter().find(|(l, _)| l == label).map(|&(_, t)| t)
     }
 
     /// Overall efficiency of the whole run.

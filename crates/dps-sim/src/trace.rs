@@ -70,7 +70,11 @@ impl Trace {
                 let a = (s.start.as_nanos() as u128 * width as u128 / horizon as u128) as usize;
                 let b = (s.end.as_nanos() as u128 * width as u128 / horizon as u128) as usize;
                 let ch = s.op_name.chars().next().unwrap_or('#');
-                for cell in row.iter_mut().take(b.max(a + 1).min(width)).skip(a.min(width - 1)) {
+                for cell in row
+                    .iter_mut()
+                    .take(b.max(a + 1).min(width))
+                    .skip(a.min(width - 1))
+                {
                     *cell = ch;
                 }
             }
@@ -173,7 +177,11 @@ mod tests {
     #[test]
     fn busy_sums_per_thread() {
         let tr = Trace {
-            steps: vec![step(0, "a", 0, 10), step(0, "b", 20, 50), step(2, "c", 0, 5)],
+            steps: vec![
+                step(0, "a", 0, 10),
+                step(0, "b", 20, 50),
+                step(2, "c", 0, 5),
+            ],
             transfers: vec![],
         };
         let busy = tr.busy_by_thread();

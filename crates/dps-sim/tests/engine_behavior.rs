@@ -391,7 +391,11 @@ fn marks_and_intervals_capture_dynamic_efficiency() {
     let phase1 = &r.intervals[0];
     assert_eq!(phase1.label, "phase1");
     // 100ms of work over 2 nodes for 100ms -> efficiency 0.5.
-    assert!((phase1.efficiency() - 0.5).abs() < 1e-6, "{}", phase1.efficiency());
+    assert!(
+        (phase1.efficiency() - 0.5).abs() < 1e-6,
+        "{}",
+        phase1.efficiency()
+    );
 }
 
 #[test]
@@ -510,7 +514,10 @@ fn memory_meter_tracks_heap_payloads() {
     };
     let big = simulate(&build(1_000_000), NetParams::ideal(), &cfg());
     let ghost = simulate(&build(0), NetParams::ideal(), &cfg());
-    assert_eq!(big.completion, ghost.completion, "NOALLOC must not change timing");
+    assert_eq!(
+        big.completion, ghost.completion,
+        "NOALLOC must not change timing"
+    );
     assert!(big.mem_peak_bytes >= ghost.mem_peak_bytes + 1_000_000);
 }
 
@@ -671,8 +678,22 @@ fn deactivation_does_not_drop_in_flight_work() {
     b.body(fan, move |_, _| {
         op_fn(move |_obj, ctx: &mut dyn OpCtx| {
             // Send one piece to each worker, then deactivate worker 1.
-            ctx.post(leaf, Box::new(Piece { idx: 0, bytes: 100_000, heap: 0 }));
-            ctx.post(leaf, Box::new(Piece { idx: 1, bytes: 100_000, heap: 0 }));
+            ctx.post(
+                leaf,
+                Box::new(Piece {
+                    idx: 0,
+                    bytes: 100_000,
+                    heap: 0,
+                }),
+            );
+            ctx.post(
+                leaf,
+                Box::new(Piece {
+                    idx: 1,
+                    bytes: 100_000,
+                    heap: 0,
+                }),
+            );
             ctx.deactivate_thread(ThreadId(1));
         })
     });

@@ -132,7 +132,9 @@ impl Application {
 
     /// Iterates over declared flow-control windows.
     pub fn flow_controls(&self) -> impl Iterator<Item = FlowControl> + '_ {
-        self.flow_controls.iter().map(|(&source, &window)| FlowControl { source, window })
+        self.flow_controls
+            .iter()
+            .map(|(&source, &window)| FlowControl { source, window })
     }
 
     /// The start objects.

@@ -92,7 +92,9 @@ pub use deploy::{ActiveSet, Deployment, ThreadId};
 pub use graph::{EdgeId, FlowGraph, GraphError, OpId, OpKind};
 pub use object::{downcast, downcast_ref, DataObj, DataObject, WireSize};
 pub use op::{charge_secs, op_fn, OpCtx, Operation};
-pub use route::{by_key, by_target, local_thread, relative, round_robin, to_thread, RouteCtx, Router};
+pub use route::{
+    by_key, by_target, local_thread, relative, round_robin, to_thread, RouteCtx, Router,
+};
 pub use window::Window;
 
 /// Everything needed to write a DPS application.
@@ -102,7 +104,9 @@ pub mod prelude {
     pub use crate::graph::{OpId, OpKind};
     pub use crate::object::{downcast, downcast_ref, DataObj, DataObject, WireSize};
     pub use crate::op::{charge_secs, op_fn, OpCtx, Operation};
-    pub use crate::route::{by_key, by_target, local_thread, relative, round_robin, to_thread, RouteCtx};
+    pub use crate::route::{
+        by_key, by_target, local_thread, relative, round_robin, to_thread, RouteCtx,
+    };
     pub use desim::{SimDuration, SimTime};
     pub use netmodel::NodeId;
 }

@@ -1,7 +1,6 @@
 //! Row-major dense matrices.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use simrng::{Rng, Xoshiro256};
 
 /// A dense `rows × cols` matrix of `f64`, row-major.
 #[derive(Clone, Debug, PartialEq)]
@@ -44,8 +43,8 @@ impl Matrix {
     /// Seeded random matrix in [-1, 1), diagonally dominated to keep LU with
     /// partial pivoting well conditioned in tests.
     pub fn random(rows: usize, cols: usize, seed: u64) -> Matrix {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut m = Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..1.0));
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut m = Matrix::from_fn(rows, cols, |_, _| rng.gen_range_f64(-1.0, 1.0));
         let n = rows.min(cols);
         for i in 0..n {
             m[(i, i)] += 4.0;
@@ -85,7 +84,10 @@ impl Matrix {
 
     /// Copies the `r0..r0+h` × `c0..c0+w` sub-block into a new matrix.
     pub fn block(&self, r0: usize, c0: usize, h: usize, w: usize) -> Matrix {
-        assert!(r0 + h <= self.rows && c0 + w <= self.cols, "block out of range");
+        assert!(
+            r0 + h <= self.rows && c0 + w <= self.cols,
+            "block out of range"
+        );
         Matrix::from_fn(h, w, |i, j| self[(r0 + i, c0 + j)])
     }
 

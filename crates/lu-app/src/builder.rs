@@ -96,7 +96,9 @@ pub fn build_lu_app(cfg: LuConfig) -> (Application, Arc<LuShared>) {
     }
     {
         let sh = sh.clone();
-        b.body(pmworker, move |_, t| Box::new(PmWorkerOp::new(sh.clone(), t)));
+        b.body(pmworker, move |_, t| {
+            Box::new(PmWorkerOp::new(sh.clone(), t))
+        });
     }
     {
         let sh = sh.clone();

@@ -93,7 +93,10 @@ impl LuConfig {
     /// variant constraints, removal plan ordering).
     pub fn validate(&self) -> Result<(), String> {
         if self.n == 0 || self.r == 0 || !self.n.is_multiple_of(self.r) {
-            return Err(format!("block size {} must divide order {}", self.r, self.n));
+            return Err(format!(
+                "block size {} must divide order {}",
+                self.r, self.n
+            ));
         }
         if self.nodes == 0 || self.workers < self.nodes {
             return Err("need at least one worker per node".into());
@@ -120,7 +123,9 @@ impl LuConfig {
             let mut last_iter = 0;
             for &(after, count) in &self.removal {
                 if after == 0 || after >= k {
-                    return Err(format!("removal after iteration {after} out of range 1..{k}"));
+                    return Err(format!(
+                        "removal after iteration {after} out of range 1..{k}"
+                    ));
                 }
                 if after <= last_iter {
                     return Err("removal plan must be sorted by iteration".into());

@@ -163,10 +163,7 @@ impl CoordOp {
         if self.sh.cfg.flow_control.is_some() {
             ctx.fc_release(self.sh.ids.mulgen);
         }
-        let left = self
-            .subs_left
-            .get_mut(&(k, j))
-            .expect("unexpected SubDone");
+        let left = self.subs_left.get_mut(&(k, j)).expect("unexpected SubDone");
         *left -= 1;
         if *left > 0 {
             self.maybe_finish(ctx);

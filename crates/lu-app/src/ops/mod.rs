@@ -96,12 +96,7 @@ impl LuShared {
 
     /// Builds a block payload in the configured data mode; `real` is only
     /// invoked in `Real` mode.
-    pub fn make_payload(
-        &self,
-        rows: usize,
-        cols: usize,
-        real: impl FnOnce() -> Matrix,
-    ) -> Payload {
+    pub fn make_payload(&self, rows: usize, cols: usize, real: impl FnOnce() -> Matrix) -> Payload {
         match self.cfg.mode {
             DataMode::Real => Payload::Real(real()),
             DataMode::Alloc => Payload::alloc(rows, cols),

@@ -11,8 +11,8 @@ use linalg::{apply_row_swaps, panel_lu, trsm_lower_unit};
 
 use crate::ops::LuShared;
 use crate::payload::{
-    ColumnData, ColumnOut, CoordMsg, MulIn, Payload, Pivots, SubReq, TrsmReq, TrsmSetup,
-    WorkerReq, WorkerReqBody,
+    ColumnData, ColumnOut, CoordMsg, MulIn, Payload, Pivots, SubReq, TrsmReq, TrsmSetup, WorkerReq,
+    WorkerReqBody,
 };
 
 /// The column-block owner operation (see module docs).
@@ -158,10 +158,7 @@ impl WorkerOp {
             }
         }
         sh.charge(ctx, |c| c.subtract(r, r));
-        ctx.post(
-            sh.ids.coord,
-            Box::new(CoordMsg::SubDone { k: m.k, j: m.j }),
-        );
+        ctx.post(sh.ids.coord, Box::new(CoordMsg::SubDone { k: m.k, j: m.j }));
     }
 
     /// Row flipping of a previous column `j < k` (op (g)).
@@ -224,4 +221,3 @@ impl Operation for WorkerOp {
         }
     }
 }
-

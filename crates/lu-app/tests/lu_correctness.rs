@@ -138,7 +138,10 @@ fn iteration_marks_cover_every_iteration() {
     // Later iterations are cheaper (shrinking trailing matrix).
     let first = iters.first().unwrap().1;
     let last = iters.last().unwrap().1;
-    assert!(first > last, "iteration times must shrink: {first} vs {last}");
+    assert!(
+        first > last,
+        "iteration times must shrink: {first} vs {last}"
+    );
 }
 
 #[test]

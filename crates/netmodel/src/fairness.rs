@@ -157,7 +157,13 @@ mod tests {
 
     #[test]
     fn single_flow_gets_min_of_both_ports() {
-        let flows = [(1u64, FlowSpec { src: n(0), dst: n(1) })];
+        let flows = [(
+            1u64,
+            FlowSpec {
+                src: n(0),
+                dst: n(1),
+            },
+        )];
         let up = |_: NodeId| 100.0;
         let down = |_: NodeId| 60.0;
         for sharing in [Sharing::EqualSplit, Sharing::MaxMin] {
@@ -170,9 +176,27 @@ mod tests {
     fn fan_out_splits_uplink() {
         // One sender to three receivers: each flow gets up/3.
         let flows = [
-            (1u64, FlowSpec { src: n(0), dst: n(1) }),
-            (2u64, FlowSpec { src: n(0), dst: n(2) }),
-            (3u64, FlowSpec { src: n(0), dst: n(3) }),
+            (
+                1u64,
+                FlowSpec {
+                    src: n(0),
+                    dst: n(1),
+                },
+            ),
+            (
+                2u64,
+                FlowSpec {
+                    src: n(0),
+                    dst: n(2),
+                },
+            ),
+            (
+                3u64,
+                FlowSpec {
+                    src: n(0),
+                    dst: n(3),
+                },
+            ),
         ];
         for sharing in [Sharing::EqualSplit, Sharing::MaxMin] {
             let r = compute_rates(&flows, uniform(90.0), uniform(90.0), sharing);
@@ -185,8 +209,20 @@ mod tests {
     #[test]
     fn fan_in_splits_downlink() {
         let flows = [
-            (1u64, FlowSpec { src: n(1), dst: n(0) }),
-            (2u64, FlowSpec { src: n(2), dst: n(0) }),
+            (
+                1u64,
+                FlowSpec {
+                    src: n(1),
+                    dst: n(0),
+                },
+            ),
+            (
+                2u64,
+                FlowSpec {
+                    src: n(2),
+                    dst: n(0),
+                },
+            ),
         ];
         for sharing in [Sharing::EqualSplit, Sharing::MaxMin] {
             let r = compute_rates(&flows, uniform(100.0), uniform(100.0), sharing);
@@ -204,9 +240,27 @@ mod tests {
         // MaxMin finds the same here; use an asymmetric case instead:
         // down(1) = 40.
         let flows = [
-            (1u64, FlowSpec { src: n(0), dst: n(1) }),
-            (2u64, FlowSpec { src: n(0), dst: n(2) }),
-            (3u64, FlowSpec { src: n(3), dst: n(1) }),
+            (
+                1u64,
+                FlowSpec {
+                    src: n(0),
+                    dst: n(1),
+                },
+            ),
+            (
+                2u64,
+                FlowSpec {
+                    src: n(0),
+                    dst: n(2),
+                },
+            ),
+            (
+                3u64,
+                FlowSpec {
+                    src: n(3),
+                    dst: n(1),
+                },
+            ),
         ];
         let up = uniform(100.0);
         let down = |d: NodeId| if d == n(1) { 40.0 } else { 100.0 };
@@ -236,25 +290,29 @@ mod tests {
 #[cfg(test)]
 mod props {
     use super::*;
-    use proptest::prelude::*;
+    use simrng::{Rng, Xoshiro256};
 
-    fn arb_flows(max_nodes: u32) -> impl Strategy<Value = Vec<(u64, FlowSpec)>> {
-        prop::collection::vec((0..max_nodes, 0..max_nodes), 1..20).prop_map(|pairs| {
-            pairs
-                .into_iter()
-                .enumerate()
-                .filter(|(_, (s, d))| s != d)
-                .map(|(i, (s, d))| {
-                    (
-                        i as u64,
-                        FlowSpec {
-                            src: NodeId(s),
-                            dst: NodeId(d),
-                        },
-                    )
-                })
-                .collect()
-        })
+    fn arb_flows(rng: &mut Xoshiro256, max_nodes: u32) -> Vec<(u64, FlowSpec)> {
+        let len = 1 + rng.gen_index(19);
+        (0..len)
+            .map(|_| {
+                (
+                    rng.gen_below(max_nodes as u64) as u32,
+                    rng.gen_below(max_nodes as u64) as u32,
+                )
+            })
+            .enumerate()
+            .filter(|(_, (s, d))| s != d)
+            .map(|(i, (s, d))| {
+                (
+                    i as u64,
+                    FlowSpec {
+                        src: NodeId(s),
+                        dst: NodeId(d),
+                    },
+                )
+            })
+            .collect()
     }
 
     fn port_sums(
@@ -273,42 +331,59 @@ mod props {
         (out, inn)
     }
 
-    proptest! {
-        /// No port is ever oversubscribed, under either discipline.
-        #[test]
-        fn rates_respect_capacities(flows in arb_flows(6), cap in 1.0f64..1e9) {
+    /// No port is ever oversubscribed, under either discipline.
+    #[test]
+    fn rates_respect_capacities() {
+        let mut rng = Xoshiro256::seed_from_u64(0xFA1);
+        for _ in 0..256 {
+            let flows = arb_flows(&mut rng, 6);
+            let cap = rng.gen_range_f64(1.0, 1e9);
             for sharing in [Sharing::EqualSplit, Sharing::MaxMin] {
                 let rates = compute_rates(&flows, |_| cap, |_| cap, sharing);
                 let (out, inn) = port_sums(&flows, &rates);
                 for (_, s) in out.iter().chain(inn.iter()) {
-                    prop_assert!(*s <= cap * (1.0 + 1e-9),
-                        "oversubscribed: {s} > {cap} under {sharing:?}");
+                    assert!(
+                        *s <= cap * (1.0 + 1e-9),
+                        "oversubscribed: {s} > {cap} under {sharing:?}"
+                    );
                 }
                 for r in rates.values() {
-                    prop_assert!(*r >= 0.0);
+                    assert!(*r >= 0.0);
                 }
             }
         }
+    }
 
-        /// Max-min never allocates less total bandwidth than equal split.
-        #[test]
-        fn maxmin_dominates_equal_split_total(flows in arb_flows(5)) {
-            prop_assume!(!flows.is_empty());
+    /// Max-min never allocates less total bandwidth than equal split.
+    #[test]
+    fn maxmin_dominates_equal_split_total() {
+        let mut rng = Xoshiro256::seed_from_u64(0xFA2);
+        for _ in 0..256 {
+            let flows = arb_flows(&mut rng, 5);
+            if flows.is_empty() {
+                continue;
+            }
             let eq = compute_rates(&flows, |_| 100.0, |_| 100.0, Sharing::EqualSplit);
             let mm = compute_rates(&flows, |_| 100.0, |_| 100.0, Sharing::MaxMin);
             let se: f64 = eq.values().sum();
             let sm: f64 = mm.values().sum();
-            prop_assert!(sm >= se - 1e-6, "max-min total {sm} < equal-split {se}");
+            assert!(sm >= se - 1e-6, "max-min total {sm} < equal-split {se}");
         }
+    }
 
-        /// Every flow gets strictly positive bandwidth.
-        #[test]
-        fn all_flows_progress(flows in arb_flows(6)) {
-            prop_assume!(!flows.is_empty());
+    /// Every flow gets strictly positive bandwidth.
+    #[test]
+    fn all_flows_progress() {
+        let mut rng = Xoshiro256::seed_from_u64(0xFA3);
+        for _ in 0..256 {
+            let flows = arb_flows(&mut rng, 6);
+            if flows.is_empty() {
+                continue;
+            }
             for sharing in [Sharing::EqualSplit, Sharing::MaxMin] {
                 let rates = compute_rates(&flows, |_| 100.0, |_| 100.0, sharing);
                 for (id, _) in &flows {
-                    prop_assert!(rates[id] > 0.0, "starved flow under {sharing:?}");
+                    assert!(rates[id] > 0.0, "starved flow under {sharing:?}");
                 }
             }
         }

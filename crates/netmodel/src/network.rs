@@ -10,10 +10,20 @@
 //!
 //! The engine drives the model with three calls: [`Network::start_flow`],
 //! [`Network::next_event_time`], and [`Network::advance`].
+//!
+//! Rate updates are **incremental** under the equal-split discipline: on a
+//! star topology a flow's rate is `min(up(src)/n_out(src),
+//! down(dst)/n_in(dst))`, so an arrival or departure can only change the
+//! rates of flows sharing its source's uplink or its destination's
+//! downlink. `advance` therefore reassigns rates only for flows on those
+//! *dirty* ports — O(port degree) per change — instead of recomputing the
+//! whole flow set. Max-min sharing has no such locality (slack propagates
+//! transitively through ports) and falls back to the full iterative
+//! computation.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeSet, VecDeque};
 
-use desim::{ProgressSet, SimTime};
+use desim::{FxHashMap, ProgressSet, SimTime};
 
 use crate::fairness::{compute_rates, FlowSpec, Sharing};
 use crate::params::{NetParams, NodeId};
@@ -29,13 +39,6 @@ pub enum NetEvent {
     Completed(FlowId),
 }
 
-#[derive(Clone, Copy, Debug)]
-struct LatentFlow {
-    spec: FlowSpec,
-    bytes: f64,
-    ready_at: SimTime,
-}
-
 /// Cumulative statistics, for reports and tests.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct NetStats {
@@ -49,21 +52,47 @@ pub struct NetStats {
     pub wire_bytes: u64,
 }
 
+/// Active-flow counts on one node's two star ports.
+#[derive(Clone, Copy, Debug, Default)]
+struct PortLoad {
+    n_in: usize,
+    n_out: usize,
+}
+
 /// Flow-level star-topology network (see crate docs).
 pub struct Network {
     params: NetParams,
     sharing: Sharing,
     next_id: u64,
-    /// Flows still in their latency phase, keyed by id (BTreeMap for
-    /// deterministic iteration).
-    latent: BTreeMap<FlowId, LatentFlow>,
+    /// Flows still in their latency phase. The latency is one constant per
+    /// network, so expiries are monotone in start order and promotion pops
+    /// a queue prefix — no ordered map needed. Equal expiries stay in
+    /// FlowId order by construction.
+    latent: VecDeque<(SimTime, FlowId, FlowSpec, f64)>,
     /// Flows draining bytes under the sharing discipline.
     active: ProgressSet<FlowId>,
-    specs: HashMap<FlowId, FlowSpec>,
+    specs: FxHashMap<FlowId, FlowSpec>,
+    /// Per-node active-flow counts — the only inputs to equal-split rates.
+    load: FxHashMap<NodeId, PortLoad>,
+    /// Active flows by source node (uplink users).
+    by_src: FxHashMap<NodeId, Vec<FlowId>>,
+    /// Active flows by destination node (downlink users).
+    by_dst: FxHashMap<NodeId, Vec<FlowId>>,
+    /// Nodes whose uplink / downlink population changed since the last rate
+    /// assignment; drained by `advance`.
+    dirty_src: BTreeSet<NodeId>,
+    dirty_dst: BTreeSet<NodeId>,
+    /// Nodes whose active-flow counts changed since the last
+    /// [`Network::drain_comm_dirty`] — lets a CPU model recompute only the
+    /// nodes whose communication load actually moved.
+    comm_dirty: Vec<NodeId>,
+    /// Scratch buffer for [`Network::reassign_rates`] (avoids a per-event
+    /// allocation).
+    scratch: Vec<FlowId>,
     stats: NetStats,
     /// Per-node (up, down) capacity overrides for heterogeneous clusters
     /// (straggler nodes, mixed link speeds).
-    caps: HashMap<NodeId, (f64, f64)>,
+    caps: FxHashMap<NodeId, (f64, f64)>,
 }
 
 impl Network {
@@ -74,28 +103,43 @@ impl Network {
             params,
             sharing,
             next_id: 0,
-            latent: BTreeMap::new(),
+            latent: VecDeque::new(),
             active: ProgressSet::new(),
-            specs: HashMap::new(),
+            specs: FxHashMap::default(),
+            load: FxHashMap::default(),
+            by_src: FxHashMap::default(),
+            by_dst: FxHashMap::default(),
+            dirty_src: BTreeSet::new(),
+            dirty_dst: BTreeSet::new(),
+            comm_dirty: Vec::new(),
+            scratch: Vec::new(),
             stats: NetStats::default(),
-            caps: HashMap::new(),
+            caps: FxHashMap::default(),
         }
     }
 
     /// Overrides one node's link capacities (bytes/s). The star stays a
     /// star; only this node's up/down links change. Takes effect at the
     /// next rate recomputation.
-    pub fn set_node_capacity(&mut self, node: NodeId, up_bytes_per_sec: f64, down_bytes_per_sec: f64) {
+    pub fn set_node_capacity(
+        &mut self,
+        node: NodeId,
+        up_bytes_per_sec: f64,
+        down_bytes_per_sec: f64,
+    ) {
         assert!(up_bytes_per_sec > 0.0 && down_bytes_per_sec > 0.0);
-        self.caps.insert(node, (up_bytes_per_sec, down_bytes_per_sec));
+        self.caps
+            .insert(node, (up_bytes_per_sec, down_bytes_per_sec));
+        self.dirty_src.insert(node);
+        self.dirty_dst.insert(node);
     }
 
     /// Effective (up, down) capacity of a node.
     pub fn node_capacity(&self, node: NodeId) -> (f64, f64) {
-        self.caps.get(&node).copied().unwrap_or((
-            self.params.up_bytes_per_sec,
-            self.params.down_bytes_per_sec,
-        ))
+        self.caps
+            .get(&node)
+            .copied()
+            .unwrap_or((self.params.up_bytes_per_sec, self.params.down_bytes_per_sec))
     }
 
     /// The platform parameters.
@@ -118,11 +162,23 @@ impl Network {
         self.latent.len() + self.active.len()
     }
 
+    /// Current assigned rate (bytes/s) of a flow in its bandwidth phase.
+    /// `None` for latent, completed, or unknown flows.
+    pub fn flow_rate(&self, id: FlowId) -> Option<f64> {
+        self.active.rate(id)
+    }
+
     /// Starts a transfer of `payload_bytes` from `src` to `dst`.
     ///
     /// Node-local moves must be short-circuited by the caller; the star
     /// network only carries inter-node traffic.
-    pub fn start_flow(&mut self, now: SimTime, src: NodeId, dst: NodeId, payload_bytes: u64) -> FlowId {
+    pub fn start_flow(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        payload_bytes: u64,
+    ) -> FlowId {
         assert_ne!(src, dst, "node-local transfer must not enter the network");
         let id = FlowId(self.next_id);
         self.next_id += 1;
@@ -130,14 +186,13 @@ impl Network {
         self.stats.flows_started += 1;
         self.stats.payload_bytes += payload_bytes;
         self.stats.wire_bytes += wire;
-        self.latent.insert(
-            id,
-            LatentFlow {
-                spec: FlowSpec { src, dst },
-                bytes: wire as f64,
-                ready_at: now + self.params.latency,
-            },
+        let ready = now + self.params.latency;
+        debug_assert!(
+            self.latent.back().is_none_or(|&(r, ..)| r <= ready),
+            "flow started in the past"
         );
+        self.latent
+            .push_back((ready, id, FlowSpec { src, dst }, wire as f64));
         id
     }
 
@@ -146,8 +201,8 @@ impl Network {
     /// before) this time.
     ///
     /// [`advance`]: Network::advance
-    pub fn next_event_time(&self) -> Option<SimTime> {
-        let lat = self.latent.values().map(|f| f.ready_at).min();
+    pub fn next_event_time(&mut self) -> Option<SimTime> {
+        let lat = self.latent.front().map(|&(ready, ..)| ready);
         let fin = self.active.earliest_completion().map(|(_, t)| t);
         match (lat, fin) {
             (None, x) => x,
@@ -163,33 +218,48 @@ impl Network {
         self.active.advance_to(now);
 
         // Promote latency-expired flows into the bandwidth phase.
-        let ready: Vec<FlowId> = self
-            .latent
-            .iter()
-            .filter(|(_, f)| f.ready_at <= now)
-            .map(|(&id, _)| id)
-            .collect();
-        let mut changed = !ready.is_empty();
-        for id in ready {
-            let f = self.latent.remove(&id).expect("just seen");
-            self.specs.insert(id, f.spec);
-            self.active.insert(now, id, f.bytes);
+        while let Some(&(ready, ..)) = self.latent.front() {
+            if ready > now {
+                break;
+            }
+            let (_, id, spec, bytes) = self.latent.pop_front().expect("just seen");
+            self.specs.insert(id, spec);
+            self.active.insert(now, id, bytes);
+            self.load.entry(spec.src).or_default().n_out += 1;
+            self.load.entry(spec.dst).or_default().n_in += 1;
+            self.by_src.entry(spec.src).or_default().push(id);
+            self.by_dst.entry(spec.dst).or_default().push(id);
+            self.dirty_src.insert(spec.src);
+            self.dirty_dst.insert(spec.dst);
+            self.comm_dirty.push(spec.src);
+            self.comm_dirty.push(spec.dst);
         }
 
-        // Collect completions.
+        // Collect completions (at the rates assigned before this advance).
         let done = self.active.take_finished(now);
-        if !done.is_empty() {
-            changed = true;
-        }
         let mut events = Vec::with_capacity(done.len());
         for id in done {
-            self.specs.remove(&id);
+            let spec = self.specs.remove(&id).expect("active flow has a spec");
+            self.load.entry(spec.src).or_default().n_out -= 1;
+            self.load.entry(spec.dst).or_default().n_in -= 1;
+            self.by_src
+                .get_mut(&spec.src)
+                .expect("indexed")
+                .retain(|&f| f != id);
+            self.by_dst
+                .get_mut(&spec.dst)
+                .expect("indexed")
+                .retain(|&f| f != id);
+            self.dirty_src.insert(spec.src);
+            self.dirty_dst.insert(spec.dst);
+            self.comm_dirty.push(spec.src);
+            self.comm_dirty.push(spec.dst);
             self.stats.flows_completed += 1;
             events.push(NetEvent::Completed(id));
         }
 
-        if changed {
-            self.recompute_rates(now);
+        if !(self.dirty_src.is_empty() && self.dirty_dst.is_empty()) {
+            self.reassign_rates(now);
         }
         events
     }
@@ -199,37 +269,75 @@ impl Network {
     /// their bandwidth phase count — during the latency phase no data is
     /// being copied on either host.
     pub fn comm_counts(&self, node: NodeId) -> (usize, usize) {
-        let mut n_in = 0;
-        let mut n_out = 0;
-        for id in self.active.keys() {
-            let spec = self.specs[&id];
-            if spec.dst == node {
-                n_in += 1;
-            }
-            if spec.src == node {
-                n_out += 1;
-            }
-        }
-        (n_in, n_out)
+        let l = self.load.get(&node).copied().unwrap_or_default();
+        (l.n_in, l.n_out)
     }
 
-    fn recompute_rates(&mut self, now: SimTime) {
-        let flows: Vec<(u64, FlowSpec)> = {
-            let mut v: Vec<FlowId> = self.active.keys().collect();
-            v.sort_unstable();
-            v.into_iter().map(|id| (id.0, self.specs[&id])).collect()
-        };
-        if flows.is_empty() {
-            return;
-        }
-        let rates = compute_rates(
-            &flows,
-            |n| self.node_capacity(n).0,
-            |n| self.node_capacity(n).1,
-            self.sharing,
-        );
-        for (raw, _) in flows {
-            self.active.set_rate(now, FlowId(raw), rates[&raw]);
+    /// Appends to `out` every node whose active-flow counts changed since
+    /// the previous drain, then forgets them. Nodes may repeat. A CPU model
+    /// whose per-node availability depends only on [`Network::comm_counts`]
+    /// need only recompute these nodes.
+    pub fn drain_comm_dirty(&mut self, out: &mut Vec<NodeId>) {
+        out.append(&mut self.comm_dirty);
+    }
+
+    /// Equal-split rate of one flow from the current port counts — the same
+    /// expression `fairness::equal_split` evaluates, so incremental and
+    /// from-scratch assignments agree bit-for-bit.
+    fn equal_split_rate(&self, spec: FlowSpec) -> f64 {
+        let up_share = self.node_capacity(spec.src).0 / self.load[&spec.src].n_out as f64;
+        let down_share = self.node_capacity(spec.dst).1 / self.load[&spec.dst].n_in as f64;
+        up_share.min(down_share)
+    }
+
+    /// Reassigns rates after the active set (or a capacity) changed,
+    /// draining the dirty-port sets.
+    fn reassign_rates(&mut self, now: SimTime) {
+        match self.sharing {
+            Sharing::EqualSplit => {
+                // Only flows crossing a dirty port can have changed rates.
+                let mut affected = std::mem::take(&mut self.scratch);
+                affected.clear();
+                for src in std::mem::take(&mut self.dirty_src) {
+                    if let Some(v) = self.by_src.get(&src) {
+                        affected.extend_from_slice(v);
+                    }
+                }
+                for dst in std::mem::take(&mut self.dirty_dst) {
+                    if let Some(v) = self.by_dst.get(&dst) {
+                        affected.extend_from_slice(v);
+                    }
+                }
+                affected.sort_unstable();
+                affected.dedup();
+                for &id in &affected {
+                    let rate = self.equal_split_rate(self.specs[&id]);
+                    self.active.set_rate(now, id, rate);
+                }
+                self.scratch = affected;
+            }
+            Sharing::MaxMin => {
+                // No locality: a departure's slack can cascade anywhere.
+                self.dirty_src.clear();
+                self.dirty_dst.clear();
+                let flows: Vec<(u64, FlowSpec)> = {
+                    let mut v: Vec<FlowId> = self.active.keys().collect();
+                    v.sort_unstable();
+                    v.into_iter().map(|id| (id.0, self.specs[&id])).collect()
+                };
+                if flows.is_empty() {
+                    return;
+                }
+                let rates = compute_rates(
+                    &flows,
+                    |n| self.node_capacity(n).0,
+                    |n| self.node_capacity(n).1,
+                    self.sharing,
+                );
+                for (raw, _) in flows {
+                    self.active.set_rate(now, FlowId(raw), rates[&raw]);
+                }
+            }
         }
     }
 }
@@ -407,6 +515,82 @@ mod tests {
             let done = drain(&mut n);
             let order: Vec<FlowId> = done.iter().map(|(_, id)| *id).collect();
             assert_eq!(order, ids, "tie-broken by flow id");
+        }
+    }
+
+    #[test]
+    fn capacity_change_reaches_running_flows_at_next_advance() {
+        let mut n = net(0, 1e6);
+        let a = n.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), 1_000_000);
+        n.advance(SimTime::ZERO);
+        assert_eq!(n.flow_rate(a), Some(1e6));
+        n.set_node_capacity(NodeId(0), 0.5e6, 1e6); // uplink halved
+        n.advance(SimTime(500_000_000)); // 0.5 MB already delivered
+        assert_eq!(n.flow_rate(a), Some(0.5e6));
+        let done = drain(&mut n);
+        // Remaining 0.5 MB at 0.5 MB/s: one more second.
+        assert_eq!(done[0].0, SimTime(1_500_000_000));
+    }
+}
+
+#[cfg(test)]
+mod props {
+    //! Incremental equal-split assignments must match the from-scratch
+    //! computation exactly (not approximately: they evaluate the same
+    //! expression from the same counts).
+
+    use super::*;
+    use desim::SimDuration;
+    use simrng::{Rng, Xoshiro256};
+
+    #[test]
+    fn incremental_rates_match_from_scratch_on_random_sequences() {
+        let mut rng = Xoshiro256::seed_from_u64(0x1ACE);
+        for case in 0..64 {
+            let mut n = Network::new(
+                NetParams {
+                    latency: SimDuration::from_micros(50),
+                    ..NetParams::fast_ethernet()
+                },
+                Sharing::EqualSplit,
+            );
+            let nodes = 2 + rng.gen_index(7) as u32;
+            let mut now = SimTime::ZERO;
+            for _ in 0..200 {
+                // Random arrivals, random time steps; departures happen
+                // naturally as transfers drain.
+                if rng.gen_bool() {
+                    let src = NodeId(rng.gen_below(nodes as u64) as u32);
+                    let mut dst = NodeId(rng.gen_below(nodes as u64) as u32);
+                    if dst == src {
+                        dst = NodeId((dst.0 + 1) % nodes);
+                    }
+                    n.start_flow(now, src, dst, rng.gen_range_u64(0, 200_000));
+                }
+                now += SimDuration::from_nanos(rng.gen_range_u64(1, 2_000_000));
+                n.advance(now);
+
+                // Oracle: full equal_split over the current active set.
+                let flows: Vec<(u64, FlowSpec)> = {
+                    let mut v: Vec<FlowId> = n.active.keys().collect();
+                    v.sort_unstable();
+                    v.into_iter().map(|id| (id.0, n.specs[&id])).collect()
+                };
+                let want = compute_rates(
+                    &flows,
+                    |x| n.node_capacity(x).0,
+                    |x| n.node_capacity(x).1,
+                    Sharing::EqualSplit,
+                );
+                for (raw, _) in &flows {
+                    let got = n.flow_rate(FlowId(*raw)).unwrap();
+                    assert!(
+                        got == want[raw],
+                        "case {case}: flow {raw}: incremental {got} != full {}",
+                        want[raw]
+                    );
+                }
+            }
         }
     }
 }

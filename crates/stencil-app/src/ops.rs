@@ -215,10 +215,7 @@ impl StencilOp {
             self.compute(k, above, below, ctx);
             self.next += 1;
             let sh = self.sh.clone();
-            ctx.post(
-                sh.ids.driver,
-                Box::new(DriverMsg::IterDone { w, iter: k }),
-            );
+            ctx.post(sh.ids.driver, Box::new(DriverMsg::IterDone { w, iter: k }));
             if !sh.cfg.synchronized && self.next < sh.cfg.iters {
                 // Asynchronous pipelining: feed the neighbours immediately
                 // and release the next iteration locally.
@@ -386,7 +383,6 @@ impl DriverOp {
             self.broadcast_go(iter + 1, ctx);
         }
     }
-
 }
 
 impl Operation for DriverOp {

@@ -137,9 +137,7 @@ fn native_runner_executes_the_stencil() {
     let r = testbed::run_native(&app, std::time::Duration::from_secs(60));
     assert!(r.terminated, "native stencil run did not terminate");
     let got = sh.result.lock().unwrap().take().expect("grid");
-    let reference = stencil_app::reference::jacobi(
-        &linalg::Matrix::random(cfg.n, cfg.n, cfg.seed),
-        cfg.iters,
-    );
+    let reference =
+        stencil_app::reference::jacobi(&linalg::Matrix::random(cfg.n, cfg.n, cfg.seed), cfg.iters);
     assert!(linalg::max_abs_diff(&got, &reference) < 1e-12);
 }

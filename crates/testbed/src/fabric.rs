@@ -18,7 +18,7 @@
 //!   values differ by a few percent from the values "measured" for the
 //!   simulator (measurement error).
 //!
-//! Everything is driven by a seeded [`StdRng`]; runs are reproducible.
+//! Everything is driven by a seeded [`Xoshiro256`]; runs are reproducible.
 
 use std::collections::BTreeMap;
 
@@ -26,8 +26,7 @@ use desim::{SimDuration, SimTime};
 use dps_sim::Fabric;
 use netmodel::network::NetStats;
 use netmodel::{NetEvent, NetParams, Network, NodeId, Sharing};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use simrng::{Rng, Xoshiro256};
 
 /// True machine parameters plus noise magnitudes.
 #[derive(Clone, Copy, Debug)]
@@ -97,7 +96,7 @@ impl TestbedParams {
 pub struct TestbedFabric {
     params: TestbedParams,
     net: Network,
-    rng: StdRng,
+    rng: Xoshiro256,
     /// Completed inner transfers held back for their sampled tail delay,
     /// keyed (release time, handle) for deterministic ordering.
     held: BTreeMap<(SimTime, u64), u64>,
@@ -114,19 +113,14 @@ impl TestbedFabric {
         TestbedFabric {
             params,
             net: Network::new(params.true_net, Sharing::EqualSplit),
-            rng: StdRng::seed_from_u64(seed),
+            rng: Xoshiro256::seed_from_u64(seed),
             held: BTreeMap::new(),
         }
     }
 
-    /// Approximate standard normal via the sum of uniforms (Irwin–Hall with
-    /// n = 12); plenty for noise modeling and avoids a stats dependency.
+    /// Approximate standard normal (Irwin–Hall, see [`simrng::Rng`]).
     fn std_normal(&mut self) -> f64 {
-        let mut s = 0.0;
-        for _ in 0..12 {
-            s += self.rng.gen::<f64>();
-        }
-        s - 6.0
+        self.rng.std_normal()
     }
 
     fn lognormal(&mut self, sigma: f64) -> f64 {
@@ -161,7 +155,7 @@ impl Fabric for TestbedFabric {
         self.net.start_flow(now, src, dst, wire).0
     }
 
-    fn next_event_time(&self) -> Option<SimTime> {
+    fn next_event_time(&mut self) -> Option<SimTime> {
         let inner = self.net.next_event_time();
         let held = self.held.keys().next().map(|&(t, _)| t);
         match (inner, held) {
@@ -201,6 +195,11 @@ impl Fabric for TestbedFabric {
         let p = self.params.true_net;
         let used = n_in as f64 * p.cpu_in_cost + n_out as f64 * p.cpu_out_cost;
         (1.0 - used).max(0.05)
+    }
+
+    fn comm_dirty_nodes(&mut self, out: &mut Vec<NodeId>) -> bool {
+        self.net.drain_comm_dirty(out);
+        true
     }
 
     fn compute_time(&mut self, _node: NodeId, nominal: SimDuration) -> SimDuration {
@@ -300,7 +299,10 @@ mod tests {
         let rel = mean / nominal.as_secs_f64();
         assert!((0.99..1.01).contains(&rel), "noise is biased: {rel}");
         // Zero stays zero.
-        assert_eq!(f.compute_time(NodeId(0), SimDuration::ZERO), SimDuration::ZERO);
+        assert_eq!(
+            f.compute_time(NodeId(0), SimDuration::ZERO),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

@@ -13,15 +13,12 @@
 //! application that deadlocks here is mis-designed, not mis-simulated).
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::{Condvar, Mutex, RwLock};
-
 use desim::{SimDuration, SimTime};
-use dps::{
-    ActiveSet, Application, DataObj, OpCtx, OpId, RouteCtx, ThreadId,
-};
+use dps::{ActiveSet, Application, DataObj, OpCtx, OpId, RouteCtx, ThreadId};
 use netmodel::NodeId;
 
 /// Outcome of a native run.
@@ -82,7 +79,7 @@ impl<'s, 'a> OpCtx for NativeCtx<'s, 'a> {
         });
         let seq = shared.edge_seqs[edge.0 as usize].fetch_add(1, Ordering::Relaxed);
         let dst = {
-            let active = shared.active.read();
+            let active = shared.active.read().unwrap();
             let ctx = RouteCtx {
                 src_thread: self.thread,
                 edge_seq: seq,
@@ -93,9 +90,9 @@ impl<'s, 'a> OpCtx for NativeCtx<'s, 'a> {
         };
         // Flow control: really block this OS thread until a credit frees.
         if let Some(w) = &shared.windows[self.op.0 as usize] {
-            let mut in_flight = w.state.lock();
+            let mut in_flight = w.state.lock().unwrap();
             while *in_flight >= w.limit {
-                w.cv.wait(&mut in_flight);
+                in_flight = w.cv.wait(in_flight).unwrap();
             }
             *in_flight += 1;
         }
@@ -109,7 +106,13 @@ impl<'s, 'a> OpCtx for NativeCtx<'s, 'a> {
     }
 
     fn now(&self) -> SimTime {
-        SimTime(self.shared.t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64)
+        SimTime(
+            self.shared
+                .t0
+                .elapsed()
+                .as_nanos()
+                .min(u128::from(u64::MAX)) as u64,
+        )
     }
 
     fn self_thread(&self) -> ThreadId {
@@ -124,6 +127,7 @@ impl<'s, 'a> OpCtx for NativeCtx<'s, 'a> {
         self.shared
             .active
             .read()
+            .unwrap()
             .active_in(self.shared.app.deployment(), group)
     }
 
@@ -135,18 +139,19 @@ impl<'s, 'a> OpCtx for NativeCtx<'s, 'a> {
         self.shared
             .marks
             .lock()
+            .unwrap()
             .push((label.to_string(), self.shared.t0.elapsed()));
     }
 
     fn deactivate_thread(&mut self, t: ThreadId) {
-        self.shared.active.write().deactivate(t);
+        self.shared.active.write().unwrap().deactivate(t);
     }
 
     fn fc_release(&mut self, source: OpId) {
         let w = self.shared.windows[source.0 as usize]
             .as_ref()
             .expect("fc_release for op without flow control window");
-        let mut in_flight = w.state.lock();
+        let mut in_flight = w.state.lock().unwrap();
         assert!(*in_flight > 0, "flow-control release without acquire");
         *in_flight -= 1;
         w.cv.notify_one();
@@ -158,7 +163,7 @@ impl<'s, 'a> OpCtx for NativeCtx<'s, 'a> {
 
     fn terminate(&mut self) {
         let (lock, cv) = &self.shared.done;
-        *lock.lock() = true;
+        *lock.lock().unwrap() = true;
         cv.notify_all();
     }
 }
@@ -169,11 +174,11 @@ pub fn run_native(app: &Application, timeout: Duration) -> NativeReport {
     let n_ops = app.graph().op_count();
     let n_threads = app.deployment().thread_count();
     let mut senders = Vec::with_capacity(n_ops * n_threads);
-    let mut receivers: Vec<Receiver<Msg>> = Vec::with_capacity(n_ops * n_threads);
+    let mut receivers: Vec<Option<Receiver<Msg>>> = Vec::with_capacity(n_ops * n_threads);
     for _ in 0..n_ops * n_threads {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         senders.push(tx);
-        receivers.push(rx);
+        receivers.push(Some(rx));
     }
     let mut windows: Vec<Option<WindowSlot>> = (0..n_ops).map(|_| None).collect();
     for fc in app.flow_controls() {
@@ -187,7 +192,9 @@ pub fn run_native(app: &Application, timeout: Duration) -> NativeReport {
         app,
         senders,
         active: RwLock::new(ActiveSet::all_active(n_threads)),
-        edge_seqs: (0..app.graph().edge_count()).map(|_| AtomicU64::new(0)).collect(),
+        edge_seqs: (0..app.graph().edge_count())
+            .map(|_| AtomicU64::new(0))
+            .collect(),
         windows,
         marks: Mutex::new(Vec::new()),
         done: (Mutex::new(false), Condvar::new()),
@@ -198,7 +205,9 @@ pub fn run_native(app: &Application, timeout: Duration) -> NativeReport {
     std::thread::scope(|scope| {
         for op_idx in 0..n_ops {
             for th_idx in 0..n_threads {
-                let rx = receivers[op_idx * n_threads + th_idx].clone();
+                let rx = receivers[op_idx * n_threads + th_idx]
+                    .take()
+                    .expect("receiver moved once");
                 let shared = &shared;
                 scope.spawn(move || {
                     let op_id = OpId(op_idx as u32);
@@ -228,10 +237,10 @@ pub fn run_native(app: &Application, timeout: Duration) -> NativeReport {
         // Wait for termination (or timeout).
         {
             let (lock, cv) = &shared.done;
-            let mut done = lock.lock();
-            if !*done {
-                cv.wait_for(&mut done, timeout);
-            }
+            let done = lock.lock().unwrap();
+            let (done, _) = cv
+                .wait_timeout_while(done, timeout, |d| !*d)
+                .expect("done lock poisoned");
             terminated = *done;
         }
         // Shut every server down.
@@ -242,7 +251,7 @@ pub fn run_native(app: &Application, timeout: Duration) -> NativeReport {
 
     NativeReport {
         wall: shared.t0.elapsed(),
-        marks: shared.marks.into_inner(),
+        marks: shared.marks.into_inner().unwrap(),
         terminated,
     }
 }
@@ -336,7 +345,10 @@ mod tests {
         } else {
             // On a single-core host parallelism cannot help, but the
             // concurrent run must not collapse either.
-            assert!(ratio > 0.5, "parallel run {ratio:.2}x slower on {cores} core(s)");
+            assert!(
+                ratio > 0.5,
+                "parallel run {ratio:.2}x slower on {cores} core(s)"
+            );
         }
     }
 

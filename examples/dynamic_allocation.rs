@@ -45,7 +45,11 @@ fn main() {
         release_fraction: 0.5,
     };
     let plan = recommend_removal(&profile, cfg.workers, policy);
-    println!("\nthreshold policy (eff < {:.0}%): removal plan {:?}", policy.min_efficiency * 100.0, plan);
+    println!(
+        "\nthreshold policy (eff < {:.0}%): removal plan {:?}",
+        policy.min_efficiency * 100.0,
+        plan
+    );
 
     // 3. Re-run with the recommended plan.
     let mut planned = cfg.clone();
@@ -55,12 +59,13 @@ fn main() {
     let t0 = base.factorization_time.as_secs_f64();
     let t1 = adapted.factorization_time.as_secs_f64();
     println!("\nstatic 8 nodes:   {t0:7.1}s");
-    println!("with removal:     {t1:7.1}s  ({:+.1}%)", (t1 - t0) / t0 * 100.0);
+    println!(
+        "with removal:     {t1:7.1}s  ({:+.1}%)",
+        (t1 - t0) / t0 * 100.0
+    );
 
     // Node-seconds actually allocated (what the cluster could reassign).
-    let ns = |r: &dvns::sim::RunReport| -> f64 {
-        r.intervals.iter().map(|i| i.node_seconds).sum()
-    };
+    let ns = |r: &dvns::sim::RunReport| -> f64 { r.intervals.iter().map(|i| i.node_seconds).sum() };
     let freed = ns(&base.report) - ns(&adapted.report);
     println!(
         "allocated capacity: {:.0} vs {:.0} node·s  ->  {:.0} node·s freed for other applications",

@@ -36,7 +36,10 @@ fn main() {
     let mut cfg = StencilConfig::new(4096, 24, 8);
     cfg.mode = DataMode::Ghost;
     println!("\n4096x4096, 24 sweeps, 8 nodes:");
-    for (label, sync) in [("synchronized (barrier)", true), ("asynchronous (pipelined)", false)] {
+    for (label, sync) in [
+        ("synchronized (barrier)", true),
+        ("asynchronous (pipelined)", false),
+    ] {
         let mut c = cfg.clone();
         c.synchronized = sync;
         let run = predict_stencil(&c, NetParams::fast_ethernet(), &simcfg);

@@ -27,7 +27,10 @@ fn main() {
     let cfg = base_cfg();
 
     println!("LU 2592², r=162, 8 nodes, pipelined — network what-if:\n");
-    println!("{:<28} {:>12} {:>14}", "network", "latency", "predicted [s]");
+    println!(
+        "{:<28} {:>12} {:>14}",
+        "network", "latency", "predicted [s]"
+    );
     for (label, params) in [
         ("Fast Ethernet (paper)", NetParams::fast_ethernet()),
         ("Gigabit Ethernet", NetParams::gigabit_ethernet()),

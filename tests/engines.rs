@@ -59,8 +59,14 @@ fn testbed_seeds_vary_measurements() {
     let a = measure_lu(&cfg, TestbedParams::sun_cluster(), 1, &simcfg());
     let b = measure_lu(&cfg, TestbedParams::sun_cluster(), 2, &simcfg());
     let c = measure_lu(&cfg, TestbedParams::sun_cluster(), 1, &simcfg());
-    assert_ne!(a.report.completion, b.report.completion, "seeds must differ");
-    assert_eq!(a.report.completion, c.report.completion, "same seed, same run");
+    assert_ne!(
+        a.report.completion, b.report.completion,
+        "seeds must differ"
+    );
+    assert_eq!(
+        a.report.completion, c.report.completion,
+        "same seed, same run"
+    );
 }
 
 #[test]
@@ -78,7 +84,11 @@ fn all_variants_run_on_both_engines() {
         cfg.parallel_mul = pm;
         let pr = predict_lu(&cfg, NetParams::fast_ethernet(), &simcfg());
         let me = measure_lu(&cfg, TestbedParams::sun_cluster(), 5, &simcfg());
-        assert!(pr.report.terminated && me.report.terminated, "{:?}", (p, fc, pm));
+        assert!(
+            pr.report.terminated && me.report.terminated,
+            "{:?}",
+            (p, fc, pm)
+        );
     }
 }
 
@@ -124,7 +134,10 @@ fn simulator_memory_modes_ordered() {
         ghost.report.mem_peak_bytes
     );
     // The ghost run still knows how many bytes crossed the network.
-    assert_eq!(alloc.report.net.payload_bytes, ghost.report.net.payload_bytes);
+    assert_eq!(
+        alloc.report.net.payload_bytes,
+        ghost.report.net.payload_bytes
+    );
 }
 
 #[test]
@@ -177,5 +190,8 @@ fn straggler_node_slows_the_whole_factorization() {
         base.completion
     );
     let ratio = degraded.completion.as_secs_f64() / base.completion.as_secs_f64();
-    assert!(ratio < 4.0, "one slow link must not quarter the whole run ({ratio:.2}x)");
+    assert!(
+        ratio < 4.0,
+        "one slow link must not quarter the whole run ({ratio:.2}x)"
+    );
 }

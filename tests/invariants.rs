@@ -128,7 +128,10 @@ fn substantial_step_overhead_increases_predictions() {
     let t1 = predict_lu(&cfg, NetParams::fast_ethernet(), &costly)
         .factorization_time
         .as_secs_f64();
-    assert!(t1 > t0 * 1.05, "dispatch overhead must cost time: {t0} vs {t1}");
+    assert!(
+        t1 > t0 * 1.05,
+        "dispatch overhead must cost time: {t0} vs {t1}"
+    );
 }
 
 #[test]
@@ -174,5 +177,8 @@ fn tighter_flow_control_never_speeds_things_up() {
     let t1 = mk(Some(1));
     let t4 = mk(Some(4));
     let t16 = mk(Some(16));
-    assert!(t1 >= t4 && t4 >= t16 * 0.8, "window ordering: {t1} {t4} {t16}");
+    assert!(
+        t1 >= t4 && t4 >= t16 * 0.8,
+        "window ordering: {t1} {t4} {t16}"
+    );
 }

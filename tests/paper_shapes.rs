@@ -34,7 +34,10 @@ fn predicted_secs(cfg: &LuConfig) -> f64 {
 fn serial_model_matches_paper_anchor() {
     let cost = LuCost::new(PlatformProfile::ultrasparc_ii_440());
     let t = cost.serial_lu(2592, 216).as_secs_f64();
-    assert!((170.0..205.0).contains(&t), "serial model {t:.1}s vs paper 185.1s");
+    assert!(
+        (170.0..205.0).contains(&t),
+        "serial model {t:.1}s vs paper 185.1s"
+    );
 }
 
 #[test]
@@ -46,7 +49,11 @@ fn prediction_tracks_testbed_measurement() {
         .factorization_time
         .as_secs_f64();
     let err = ((p - m) / m).abs();
-    assert!(err < 0.12, "prediction error {:.1}% (paper: >95% within 12%)", err * 100.0);
+    assert!(
+        err < 0.12,
+        "prediction error {:.1}% (paper: >95% within 12%)",
+        err * 100.0
+    );
 }
 
 #[test]
@@ -112,7 +119,10 @@ fn pipelining_matters_more_on_eight_nodes() {
     );
     let p4 = gain(108, 4, None);
     let p8 = gain(108, 8, None);
-    assert!(p8 > p4, "P gain at r=108 on 8 nodes ({p8:.3}) vs 4 ({p4:.3})");
+    assert!(
+        p8 > p4,
+        "P gain at r=108 on 8 nodes ({p8:.3}) vs 4 ({p4:.3})"
+    );
     assert!(pfc8 > 1.3, "P+FC must substantially help on 8 nodes");
 }
 
@@ -166,7 +176,10 @@ fn dynamic_efficiency_decays_and_four_nodes_beat_eight() {
     assert_eq!(e4.len(), 8);
     assert_eq!(e8.len(), 8);
     // Decay: first iteration clearly more efficient than iteration 7.
-    assert!(e8[0].2 > e8[6].2 * 1.5, "efficiency must decay over iterations");
+    assert!(
+        e8[0].2 > e8[6].2 * 1.5,
+        "efficiency must decay over iterations"
+    );
     // 4-node runs are more efficient throughout.
     let ratio_start = e4[0].2 / e8[0].2;
     let ratio_it6 = e4[5].2 / e8[5].2;
@@ -223,7 +236,10 @@ fn later_removal_costs_less() {
         tl < te,
         "killing after iteration 4 ({tl:.1}s) must cost less than after 1 ({te:.1}s)"
     );
-    assert!(tl / t8 < 1.08, "late removal is nearly free (paper Figure 12)");
+    assert!(
+        tl / t8 < 1.08,
+        "late removal is nearly free (paper Figure 12)"
+    );
 }
 
 #[test]

@@ -9,7 +9,7 @@ use dvns::dps::prelude::*;
 use dvns::netmodel::NetParams;
 use dvns::sim::{simulate, RunReport, SimConfig, TimingMode};
 use dvns::testbed::TestbedParams;
-use proptest::prelude::*;
+use simrng::{Rng, Xoshiro256};
 
 /// One fan-out: (target index in the next layer, copies, payload bytes,
 /// charge µs).
@@ -126,48 +126,35 @@ fn build(spec: &AppSpec) -> Application {
     b.build().expect("random app assembles")
 }
 
-fn arb_spec() -> impl Strategy<Value = AppSpec> {
+fn gen_spec(rng: &mut Xoshiro256) -> AppSpec {
     // 2..4 layers of 1..3 ops; every op fans out to >= 1 target.
-    (
-        1u32..5,
-        1u32..4,
-        prop::collection::vec(1usize..4, 2..5),
-        any::<u64>(),
-    )
-        .prop_map(|(workers, nodes, layers, seed)| {
-            let nodes = nodes.min(workers);
-            // Deterministic pseudo-random fan-outs from the seed.
-            let mut x = seed | 1;
-            let mut next = move || {
-                x ^= x << 13;
-                x ^= x >> 7;
-                x ^= x << 17;
-                x
-            };
-            let mut edges = Vec::new();
-            for l in 0..layers.len() - 1 {
-                let mut layer = Vec::new();
-                for _ in 0..layers[l] {
-                    let fanout = 1 + (next() % 2) as usize;
-                    let mut outs = Vec::new();
-                    for _ in 0..fanout {
-                        let tgt = (next() as usize) % layers[l + 1];
-                        let copies = 1 + next() % 3;
-                        let bytes = 64 + next() % 100_000;
-                        let us = 5 + next() % 2_000;
-                        outs.push((tgt, copies, bytes, us));
-                    }
-                    layer.push(outs);
-                }
-                edges.push(layer);
+    let workers = 1 + rng.gen_below(4) as u32;
+    let nodes = (1 + rng.gen_below(3) as u32).min(workers);
+    let n_layers = 2 + rng.gen_index(3);
+    let layers: Vec<usize> = (0..n_layers).map(|_| 1 + rng.gen_index(3)).collect();
+    let mut edges = Vec::new();
+    for l in 0..layers.len() - 1 {
+        let mut layer = Vec::new();
+        for _ in 0..layers[l] {
+            let fanout = 1 + rng.gen_index(2);
+            let mut outs = Vec::new();
+            for _ in 0..fanout {
+                let tgt = rng.gen_index(layers[l + 1]);
+                let copies = 1 + rng.gen_below(3);
+                let bytes = 64 + rng.gen_below(100_000);
+                let us = 5 + rng.gen_below(2_000);
+                outs.push((tgt, copies, bytes, us));
             }
-            AppSpec {
-                workers,
-                nodes,
-                layers,
-                edges,
-            }
-        })
+            layer.push(outs);
+        }
+        edges.push(layer);
+    }
+    AppSpec {
+        workers,
+        nodes,
+        layers,
+        edges,
+    }
 }
 
 fn cfg() -> SimConfig {
@@ -182,27 +169,35 @@ fn run_sim(spec: &AppSpec) -> RunReport {
     simulate(&build(spec), NetParams::fast_ethernet(), &cfg())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn random_apps_terminate(spec in arb_spec()) {
+#[test]
+fn random_apps_terminate() {
+    let mut rng = Xoshiro256::seed_from_u64(0x7E57_0001);
+    for case in 0..24 {
+        let spec = gen_spec(&mut rng);
         let r = run_sim(&spec);
-        prop_assert!(r.terminated, "stall: {:?}", r.stall);
-        prop_assert!(r.completion > desim::SimTime::ZERO);
+        assert!(r.terminated, "case {case}: stall: {:?}", r.stall);
+        assert!(r.completion > desim::SimTime::ZERO);
     }
+}
 
-    #[test]
-    fn random_apps_are_deterministic(spec in arb_spec()) {
+#[test]
+fn random_apps_are_deterministic() {
+    let mut rng = Xoshiro256::seed_from_u64(0x7E57_0002);
+    for case in 0..24 {
+        let spec = gen_spec(&mut rng);
         let a = run_sim(&spec);
         let b = run_sim(&spec);
-        prop_assert_eq!(a.completion, b.completion);
-        prop_assert_eq!(a.steps, b.steps);
-        prop_assert_eq!(a.net.wire_bytes, b.net.wire_bytes);
+        assert_eq!(a.completion, b.completion, "case {case}");
+        assert_eq!(a.steps, b.steps, "case {case}");
+        assert_eq!(a.net.wire_bytes, b.net.wire_bytes, "case {case}");
     }
+}
 
-    #[test]
-    fn calm_testbed_equals_simulator_on_random_apps(spec in arb_spec()) {
+#[test]
+fn calm_testbed_equals_simulator_on_random_apps() {
+    let mut rng = Xoshiro256::seed_from_u64(0x7E57_0003);
+    for case in 0..24 {
+        let spec = gen_spec(&mut rng);
         let sim = run_sim(&spec);
         let app = build(&spec);
         let calm = dvns::testbed::measure(
@@ -211,14 +206,22 @@ proptest! {
             1,
             &cfg(),
         );
-        prop_assert_eq!(sim.completion, calm.completion);
-        prop_assert_eq!(sim.steps, calm.steps);
+        assert_eq!(sim.completion, calm.completion, "case {case}");
+        assert_eq!(sim.steps, calm.steps, "case {case}");
     }
+}
 
-    #[test]
-    fn noisy_testbed_terminates_random_apps_too(spec in arb_spec()) {
+#[test]
+fn noisy_testbed_terminates_random_apps_too() {
+    let mut rng = Xoshiro256::seed_from_u64(0x7E57_0004);
+    for case in 0..24 {
+        let spec = gen_spec(&mut rng);
         let app = build(&spec);
         let r = dvns::testbed::measure(&app, TestbedParams::sun_cluster(), 2, &cfg());
-        prop_assert!(r.terminated, "stall under noise: {:?}", r.stall);
+        assert!(
+            r.terminated,
+            "case {case}: stall under noise: {:?}",
+            r.stall
+        );
     }
 }
