@@ -1,0 +1,109 @@
+//! Scenario runner: lists and executes any registered scenario —
+//! the workload crate's built-ins (efficiency profiles, the simulator-
+//! backed cluster server) plus this crate's figure reproductions —
+//! through the bench harness.
+//!
+//! ```text
+//! scenarios --list          # every registered scenario
+//! scenarios server-sim      # run one (or several) by name
+//! scenarios --all           # run everything
+//! ```
+//!
+//! `DVNS_SMOKE=1` shrinks every scenario to its CI-sized subset and
+//! `DVNS_THREADS` bounds the fan-out, exactly as for the figure binaries.
+
+use dps_bench::{emit, figure_scenarios, run_parallel, smoke, time, BenchJson};
+use workload::{builtin_scenarios, find_scenario, ScenarioSpec};
+
+fn registry() -> Vec<ScenarioSpec> {
+    let mut specs = builtin_scenarios();
+    specs.extend(figure_scenarios());
+    specs
+}
+
+fn list(specs: &[ScenarioSpec]) {
+    let width = specs.iter().map(|s| s.name.len()).max().unwrap_or(0);
+    println!("registered scenarios:");
+    for s in specs {
+        println!("  {:width$}  {}", s.name, s.summary);
+    }
+    println!("\nrun with: scenarios <name>... | --all   (DVNS_SMOKE=1 for the CI-sized subset)");
+}
+
+/// Renders rows of `(label, fields)` as an aligned table; field names
+/// come from the first row (every point of a scenario reports the same
+/// fields).
+fn render(spec: &ScenarioSpec, rows: &[(String, Vec<(&'static str, f64)>)]) -> (String, String) {
+    let headers: Vec<&str> = rows
+        .first()
+        .map(|(_, fields)| fields.iter().map(|(k, _)| *k).collect())
+        .unwrap_or_default();
+    let label_w = rows
+        .iter()
+        .map(|(l, _)| l.len())
+        .chain(std::iter::once(spec.name.len()))
+        .max()
+        .unwrap_or(0);
+
+    let mut text = format!("{} — {}\n", spec.name, spec.summary);
+    let mut csv = String::from("label");
+    text.push_str(&format!("{:label_w$}", ""));
+    for h in &headers {
+        text.push_str(&format!("  {h:>24}"));
+        csv.push(',');
+        csv.push_str(h);
+    }
+    text.push('\n');
+    csv.push('\n');
+    for (label, fields) in rows {
+        text.push_str(&format!("{label:label_w$}"));
+        csv.push_str(label);
+        for (key, value) in fields {
+            debug_assert!(headers.contains(key));
+            text.push_str(&format!("  {value:>24.4}"));
+            csv.push_str(&format!(",{value}"));
+        }
+        text.push('\n');
+        csv.push('\n');
+    }
+    (text, csv)
+}
+
+fn run(spec: &ScenarioSpec, json: &mut BenchJson) {
+    let points = (spec.points)(smoke());
+    let (rows, wall) = time(|| run_parallel(&points, |_, p| (p.label.clone(), (p.run)())));
+    let (text, csv) = render(spec, &rows);
+    emit(&format!("scenario_{}", spec.name), &text, Some(&csv));
+    json.record(
+        &format!("scenario_{}", spec.name),
+        &[("points", points.len() as f64), ("wall_secs", wall)],
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let specs = registry();
+    if args.is_empty() || args.iter().any(|a| a == "--list") {
+        list(&specs);
+        return;
+    }
+
+    let selected: Vec<&ScenarioSpec> = if args.iter().any(|a| a == "--all") {
+        specs.iter().collect()
+    } else {
+        args.iter()
+            .map(|name| {
+                find_scenario(&specs, name).unwrap_or_else(|| {
+                    eprintln!("unknown scenario `{name}` — try --list");
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    };
+
+    let mut json = BenchJson::new();
+    for spec in selected {
+        run(spec, &mut json);
+    }
+    json.write();
+}

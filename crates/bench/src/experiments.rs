@@ -7,15 +7,9 @@
 //! thread removal — in seconds instead of minutes.
 
 use crate::harness::smoke;
-use desim::SimDuration;
-use dps_sim::{SimConfig, TimingMode};
-use lu_app::{measure_lu, predict_lu, DataMode, LuConfig, LuRun};
-use netmodel::NetParams;
-use perfmodel::{LuCost, PlatformProfile};
-use testbed::TestbedParams;
+use lu_app::LuConfig;
 
-/// Matrix order used throughout the paper's evaluation.
-pub const N: usize = 2592;
+pub use workload::{SimEnv as Env, N};
 
 /// Truncates a configuration list in smoke mode, keeping the first
 /// `keep` entries (the list shapes put one of each regime up front).
@@ -24,48 +18,6 @@ fn smoke_truncate<T>(mut v: Vec<T>, keep: usize) -> Vec<T> {
         v.truncate(keep);
     }
     v
-}
-
-/// The experiment environment: what the simulator believes (measured
-/// platform parameters) and what the testbed really is.
-pub struct Env {
-    pub net: NetParams,
-    pub tb: TestbedParams,
-    pub cost: LuCost,
-    pub simcfg: SimConfig,
-}
-
-impl Env {
-    /// The paper's setup: UltraSparc II nodes on Fast Ethernet.
-    pub fn paper() -> Env {
-        Env {
-            net: NetParams::fast_ethernet(),
-            tb: TestbedParams::sun_cluster(),
-            cost: LuCost::new(PlatformProfile::ultrasparc_ii_440()),
-            simcfg: SimConfig {
-                timing: TimingMode::ChargedOnly,
-                step_overhead: SimDuration::from_micros(50),
-                record_trace: false,
-                ..SimConfig::default()
-            },
-        }
-    }
-
-    /// Base LU configuration in fast PDEXEC/NOALLOC mode.
-    pub fn lu(&self, r: usize, nodes: u32) -> LuConfig {
-        let mut cfg = LuConfig::new(N, r, nodes);
-        cfg.mode = DataMode::Ghost;
-        cfg.cost = Some(self.cost);
-        cfg
-    }
-
-    pub fn predict(&self, cfg: &LuConfig) -> LuRun {
-        predict_lu(cfg, self.net, &self.simcfg)
-    }
-
-    pub fn measure(&self, cfg: &LuConfig, seed: u64) -> LuRun {
-        measure_lu(cfg, self.tb, seed, &self.simcfg)
-    }
 }
 
 /// One measured/predicted pair of factorization times.

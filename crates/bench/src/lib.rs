@@ -13,6 +13,7 @@
 //! | `fig12`  | Figure 12     | total running time of removal strategies |
 //! | `fig13`  | Figure 13     | histogram of prediction errors over all measurements |
 //! | `all`    | —             | everything above in sequence |
+//! | `scenarios` | —          | lists/runs any registered [`workload::ScenarioSpec`], figures included |
 //!
 //! "Measured" values come from the seeded ground-truth testbed emulator
 //! (this repository's stand-in for the paper's Sun cluster — see
@@ -22,6 +23,8 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod scenarios;
 
 pub use experiments::*;
 pub use harness::{run_parallel, run_parallel_with, smoke, thread_count, time, BenchJson};
+pub use scenarios::figure_scenarios;

@@ -1,0 +1,112 @@
+//! Figure reproductions registered as scenarios.
+//!
+//! Wraps the paper's figure configuration sets ([`crate::experiments`])
+//! into [`ScenarioSpec`] entries, so the `scenarios` runner binary can list
+//! and execute them next to the workload crate's built-in scenarios. Each
+//! point runs one configuration through both engines ([`crate::run_pair`])
+//! and reports measured/predicted factorization times plus the relative
+//! prediction error.
+
+use workload::{ScenarioPoint, ScenarioSpec};
+
+use crate::experiments::{
+    fig10_configs, fig8_configs, fig9_configs, removal_configs, run_pair, Env,
+};
+
+fn pair_point(label: String, cfg: lu_app::LuConfig, seed: u64) -> ScenarioPoint {
+    ScenarioPoint::new(label, move || {
+        let env = Env::paper();
+        let pair = run_pair(&env, &cfg, seed);
+        vec![
+            ("measured_secs", pair.measured_secs),
+            ("predicted_secs", pair.predicted_secs),
+            ("rel_error_pct", pair.rel_error() * 100.0),
+        ]
+    })
+}
+
+fn truncated<T>(mut v: Vec<T>, smoke: bool, keep: usize) -> Vec<T> {
+    if smoke {
+        v.truncate(keep);
+    }
+    v
+}
+
+fn fig8_points(smoke: bool) -> Vec<ScenarioPoint> {
+    let env = Env::paper();
+    truncated(fig8_configs(&env), smoke, 2)
+        .into_iter()
+        .enumerate()
+        .map(|(i, (label, cfg))| pair_point(label, cfg, 101 + i as u64))
+        .collect()
+}
+
+fn fig9_points(smoke: bool) -> Vec<ScenarioPoint> {
+    let env = Env::paper();
+    truncated(fig9_configs(&env), smoke, 2)
+        .into_iter()
+        .enumerate()
+        .map(|(i, (label, cfg))| pair_point(label, cfg, 201 + i as u64))
+        .collect()
+}
+
+fn fig10_points(smoke: bool) -> Vec<ScenarioPoint> {
+    let env = Env::paper();
+    truncated(fig10_configs(&env), smoke, 3)
+        .into_iter()
+        .enumerate()
+        .map(|(i, (strat, r, cfg))| pair_point(format!("{strat} r={r}"), cfg, 301 + i as u64))
+        .collect()
+}
+
+fn removal_points(smoke: bool) -> Vec<ScenarioPoint> {
+    let env = Env::paper();
+    truncated(removal_configs(&env), smoke, 3)
+        .into_iter()
+        .enumerate()
+        .map(|(i, (label, cfg))| pair_point(label, cfg, 401 + i as u64))
+        .collect()
+}
+
+/// The figure reproductions as scenarios, appended to
+/// [`workload::builtin_scenarios`] by the runner binary.
+pub fn figure_scenarios() -> Vec<ScenarioSpec> {
+    vec![
+        ScenarioSpec {
+            name: "fig8-variants",
+            summary: "Figure 8: modification impact at r=648 plus granularity, 4 nodes",
+            points: fig8_points,
+        },
+        ScenarioSpec {
+            name: "fig9-variants",
+            summary: "Figure 9: modification impact at r=324, 4 nodes",
+            points: fig9_points,
+        },
+        ScenarioSpec {
+            name: "fig10-granularity",
+            summary: "Figure 10: granularity sweep x pipelining strategies, 8 nodes",
+            points: fig10_points,
+        },
+        ScenarioSpec {
+            name: "fig11-12-removal",
+            summary: "Figures 11-12: thread-removal strategies at r=324",
+            points: removal_points,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_scenarios_expand_to_points() {
+        for s in figure_scenarios() {
+            let pts = (s.points)(true);
+            assert!(!pts.is_empty(), "{} has no smoke points", s.name);
+            for p in &pts {
+                assert!(!p.label.is_empty());
+            }
+        }
+    }
+}

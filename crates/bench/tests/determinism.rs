@@ -4,9 +4,11 @@
 //! self-contained, and (b) [`dps_bench::run_parallel_with`] merges results
 //! in input order regardless of completion order.
 
+use cluster::ClusterSim;
 use dps_bench::{run_pair, run_parallel_with, Env, Pair};
 use lu_app::{DataMode, LuConfig};
 use report::{Figure, Series};
+use workload::{server_policies, sim_job_set, SimEnv};
 
 /// A miniature fig-10-shaped sweep: small matrix so debug-mode tests stay
 /// fast, several block sizes, fixed per-point seeds.
@@ -46,4 +48,29 @@ fn parallel_sweep_csv_is_byte_identical_to_serial() {
     assert_eq!(serial, parallel, "parallel harness changed figure output");
     // And it is stable across repeated parallel runs, too.
     assert_eq!(parallel, sweep_csv(4));
+}
+
+/// The simulator-backed cluster server under the same contract: both
+/// policies run over the sim-backed job set on one worker thread and on
+/// four (the harness's explicit thread-count entry point stands in for
+/// `DVNS_THREADS=1` vs `DVNS_THREADS=4` without mutating the
+/// environment), and every `ServerReport` must be bit-identical.
+fn server_sweep(threads: usize) -> Vec<String> {
+    let points = server_policies();
+    run_parallel_with(&points, threads, |_, (_, policy)| {
+        let env = SimEnv::paper();
+        let report = ClusterSim::new(8, *policy).run(&sim_job_set(&env));
+        format!("{report:?}")
+    })
+}
+
+#[test]
+fn sim_backed_server_reports_are_thread_count_invariant() {
+    let serial = server_sweep(1);
+    let parallel = server_sweep(4);
+    assert!(!serial.is_empty());
+    assert_eq!(
+        serial, parallel,
+        "ServerReport differs between 1 and 4 harness threads"
+    );
 }

@@ -11,17 +11,23 @@
 //!   run reports (the data behind the paper's Figure 11);
 //! * [`policy`] derives thread-removal plans from predicted profiles (when
 //!   should "kill 4 after iteration 1" fire?);
+//! * [`workload`] defines the [`Workload`] trait — the contract between the
+//!   server and any malleable application backend (simulator-backed DPS
+//!   applications in the `workload` crate, or the analytic
+//!   [`PhaseWorkload`]) — plus the memoizing [`ProfileCache`];
 //! * [`server`] implements the paper's stated future work: "a cluster
 //!   server running concurrently multiple, possibly different applications
 //!   whose allocations of compute nodes vary dynamically over time" —
-//!   comparing rigid and malleable scheduling on simulated phased jobs.
+//!   comparing rigid and malleable scheduling on [`Workload`] jobs.
 
 #![warn(missing_docs)]
 
 pub mod efficiency;
 pub mod policy;
 pub mod server;
+pub mod workload;
 
 pub use efficiency::{profile_from_report, EfficiencyProfile, IterationPoint};
 pub use policy::{recommend_removal, ThresholdPolicy};
-pub use server::{ClusterSim, JobSpec, Phase, SchedulePolicy, ServerReport};
+pub use server::{ClusterSim, Job, JobRecord, Phase, SchedulePolicy, ServerReport};
+pub use workload::{random_jobs, PhaseWorkload, ProfileCache, Workload};

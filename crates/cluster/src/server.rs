@@ -1,27 +1,37 @@
 //! The paper's future work, built: a cluster server running multiple
-//! phased applications whose node allocations vary dynamically.
+//! applications whose node allocations vary dynamically.
 //!
-//! Jobs are sequences of **phases** (e.g. LU iterations) with a serial work
-//! amount and an Amdahl-style parallel fraction each. The server owns `N`
-//! nodes and schedules arriving jobs under one of two policies:
+//! Jobs wrap a [`Workload`] — any malleable application that can report a
+//! per-iteration dynamic-efficiency profile at a candidate allocation
+//! (simulator-backed DPS applications such as the LU factorization and the
+//! Jacobi stencil, or the cheap analytic Amdahl model
+//! [`crate::workload::PhaseWorkload`]). The server owns `N` nodes and
+//! schedules arriving jobs under one of two policies:
 //!
 //! * [`SchedulePolicy::Rigid`] — a job holds its requested allocation from
 //!   start to finish (the classic static cluster);
-//! * [`SchedulePolicy::Malleable`] — after each phase, the job releases
-//!   nodes whose predicted efficiency for the *next* phase falls below a
-//!   threshold; freed nodes immediately serve the waiting queue.
+//! * [`SchedulePolicy::Malleable`] — before each iteration, the job is
+//!   resized to the largest allocation whose *predicted* dynamic efficiency
+//!   (from the workload's profile, i.e. from simulator runs for the
+//!   dps-sim-backed workloads) clears a threshold; freed nodes immediately
+//!   serve the waiting queue.
 //!
 //! The simulation is a small discrete-event model on top of
-//! [`desim::EventQueue`]; it reports per-job completion times, makespan and
-//! node utilization, quantifying the paper's claim that deallocating
-//! compute nodes "significantly increases the service rate of the cluster".
+//! [`desim::EventQueue`]; profiles are memoized per `(workload, node
+//! count)` in a [`ProfileCache`] so simulator-backed scheduling stays fast.
+//! It reports per-job completion times, the allocation actually granted at
+//! every iteration, makespan and node utilization, quantifying the paper's
+//! claim that deallocating compute nodes "significantly increases the
+//! service rate of the cluster".
 
 use std::collections::VecDeque;
 
 use desim::{EventQueue, SimDuration, SimTime};
 
-/// One phase of a job: `work` of serial computation with parallel fraction
-/// `parallel_fraction` (Amdahl).
+use crate::workload::{PhaseWorkload, ProfileCache, Workload};
+
+/// One phase of an analytic job: `work` of serial computation with parallel
+/// fraction `parallel_fraction` (Amdahl).
 #[derive(Clone, Copy, Debug)]
 pub struct Phase {
     /// Serial work of the phase.
@@ -57,10 +67,10 @@ impl Phase {
     }
 }
 
-/// An LU-like job: phase `k` of `kb` has work ∝ (kb−k)², and large phases
-/// parallelize better than small ones. The parallel fractions are fitted to
-/// the paper's Figure 11 (8-node efficiency starting around 38% and
-/// decaying), so late iterations genuinely waste most of a large
+/// An LU-like analytic job: phase `k` of `kb` has work ∝ (kb−k)², and large
+/// phases parallelize better than small ones. The parallel fractions are
+/// fitted to the paper's Figure 11 (8-node efficiency starting around 38%
+/// and decaying), so late iterations genuinely waste most of a large
 /// allocation.
 pub fn lu_like_job(total_work: SimDuration, kb: usize) -> Vec<Phase> {
     let sum: f64 = (0..kb).map(|k| ((kb - k) * (kb - k)) as f64).sum();
@@ -73,17 +83,50 @@ pub fn lu_like_job(total_work: SimDuration, kb: usize) -> Vec<Phase> {
         .collect()
 }
 
-/// A job submitted to the server.
-#[derive(Clone, Debug)]
-pub struct JobSpec {
+/// A job submitted to the server: arrival metadata plus the malleable
+/// application to run.
+pub struct Job {
     /// Job name.
     pub name: String,
     /// Submission time.
     pub arrival: SimTime,
     /// Nodes requested at submission.
     pub requested_nodes: u32,
-    /// The job's phases in execution order.
-    pub phases: Vec<Phase>,
+    /// The application: any [`Workload`] backend.
+    pub workload: Box<dyn Workload>,
+}
+
+impl Job {
+    /// A job around an arbitrary workload backend.
+    pub fn new(
+        name: impl Into<String>,
+        arrival: SimTime,
+        requested_nodes: u32,
+        workload: Box<dyn Workload>,
+    ) -> Job {
+        Job {
+            name: name.into(),
+            arrival,
+            requested_nodes,
+            workload,
+        }
+    }
+
+    /// A job on the analytic [`Phase`] backend (the original `ClusterSim`
+    /// job model).
+    pub fn from_phases(
+        name: impl Into<String>,
+        arrival: SimTime,
+        requested_nodes: u32,
+        phases: Vec<Phase>,
+    ) -> Job {
+        Job::new(
+            name,
+            arrival,
+            requested_nodes,
+            Box::new(PhaseWorkload::new(phases)),
+        )
+    }
 }
 
 /// Scheduling policy of the server.
@@ -91,21 +134,34 @@ pub struct JobSpec {
 pub enum SchedulePolicy {
     /// Fixed allocation from start to finish.
     Rigid,
-    /// Release nodes before any phase whose efficiency at the current
-    /// allocation is below `min_efficiency`, shrinking to the largest
-    /// allocation that meets it.
+    /// Resize before any iteration to the largest allocation whose
+    /// predicted efficiency clears `min_efficiency`.
     Malleable {
-        /// Efficiency floor a phase's allocation must clear.
+        /// Efficiency floor an iteration's allocation must clear.
         min_efficiency: f64,
     },
 }
 
+/// Completion record of one job.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobRecord {
+    /// Job name.
+    pub name: String,
+    /// Time the job started executing.
+    pub start: SimTime,
+    /// Time the job completed.
+    pub completion: SimTime,
+    /// Node allocation actually granted for each executed iteration — the
+    /// job's allocation trajectory under the policy.
+    pub allocations: Vec<u32>,
+}
+
 /// Outcome of one server simulation.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct ServerReport {
-    /// (job name, start, completion) in completion order.
-    pub jobs: Vec<(String, SimTime, SimTime)>,
-    /// Completion time of the last job.
+    /// Per-job records in completion order.
+    pub jobs: Vec<JobRecord>,
+    /// Completion time of the last job ([`SimTime::ZERO`] when no job ran).
     pub makespan: SimTime,
     /// Total node·seconds allocated to jobs.
     pub allocated_node_seconds: f64,
@@ -114,7 +170,8 @@ pub struct ServerReport {
 }
 
 impl ServerReport {
-    /// Useful work over allocated capacity.
+    /// Useful work over allocated capacity. Returns `0.0` for an empty
+    /// report (no capacity was ever allocated).
     pub fn allocation_efficiency(&self) -> f64 {
         if self.allocated_node_seconds <= 0.0 {
             return 0.0;
@@ -122,22 +179,31 @@ impl ServerReport {
         self.work_node_seconds / self.allocated_node_seconds
     }
 
-    /// Completion time of a job by name.
-    pub fn completion_of(&self, name: &str) -> Option<SimTime> {
-        self.jobs
-            .iter()
-            .find(|(n, _, _)| n == name)
-            .map(|&(_, _, c)| c)
+    /// The record of a job by name.
+    pub fn job(&self, name: &str) -> Option<&JobRecord> {
+        self.jobs.iter().find(|j| j.name == name)
     }
 
-    /// Mean completion time (flow-time proxy for service rate).
+    /// Completion time of a job by name.
+    pub fn completion_of(&self, name: &str) -> Option<SimTime> {
+        self.job(name).map(|j| j.completion)
+    }
+
+    /// Start time of a job by name.
+    pub fn start_of(&self, name: &str) -> Option<SimTime> {
+        self.job(name).map(|j| j.start)
+    }
+
+    /// Mean completion time (flow-time proxy for service rate). Returns
+    /// `0.0` when no jobs completed — callers comparing policies on an
+    /// empty workload see equal (not NaN) means.
     pub fn mean_completion_secs(&self) -> f64 {
         if self.jobs.is_empty() {
             return 0.0;
         }
         self.jobs
             .iter()
-            .map(|(_, _, c)| c.as_secs_f64())
+            .map(|j| j.completion.as_secs_f64())
             .sum::<f64>()
             / self.jobs.len() as f64
     }
@@ -150,12 +216,11 @@ enum Ev {
 }
 
 struct RunningJob {
-    #[allow(dead_code)]
-    spec_idx: usize,
     nodes: u32,
     phase: usize,
     start: SimTime,
     gen: u64,
+    allocations: Vec<u32>,
 }
 
 /// The cluster server simulation.
@@ -175,18 +240,27 @@ impl ClusterSim {
         }
     }
 
-    /// Allocation a job's next phase should run on: under the malleable
+    /// Allocation a job's next iteration should run on: under the malleable
     /// policy, the largest allocation (up to the request and what is
     /// available) whose predicted efficiency clears the threshold — so jobs
-    /// both release wasted nodes and grow back when capacity frees up.
-    fn target_nodes(&self, phase: &Phase, request: u32, available: u32) -> u32 {
+    /// both release wasted nodes and grow back when capacity frees up. The
+    /// prediction comes from the workload's (memoized) profile, i.e. from
+    /// simulator runs for dps-sim-backed workloads.
+    fn target_nodes(
+        &self,
+        cache: &mut ProfileCache,
+        w: &dyn Workload,
+        iter: usize,
+        request: u32,
+        available: u32,
+    ) -> u32 {
+        let cap = request.min(available).min(w.max_nodes());
         match self.policy {
-            SchedulePolicy::Rigid => request.min(available),
+            SchedulePolicy::Rigid => cap,
             SchedulePolicy::Malleable { min_efficiency } => {
-                let cap = request.min(available);
                 let mut best = 1;
                 for n in 1..=cap {
-                    if phase.efficiency_on(n) >= min_efficiency {
+                    if cache.efficiency(w, n, iter) >= min_efficiency {
                         best = n;
                     }
                 }
@@ -195,31 +269,40 @@ impl ClusterSim {
         }
     }
 
-    /// Simulates the submitted jobs to completion.
-    pub fn run(&self, specs: &[JobSpec]) -> ServerReport {
-        for s in specs {
+    /// Simulates the submitted jobs to completion with a fresh profile
+    /// cache.
+    pub fn run(&self, jobs: &[Job]) -> ServerReport {
+        self.run_with_cache(jobs, &mut ProfileCache::new())
+    }
+
+    /// Simulates the submitted jobs to completion, memoizing workload
+    /// profiles in `cache` — callers comparing several policies over the
+    /// same (simulator-backed) job set share one cache and pay for each
+    /// engine run once.
+    pub fn run_with_cache(&self, jobs: &[Job], cache: &mut ProfileCache) -> ServerReport {
+        for j in jobs {
             assert!(
-                s.requested_nodes >= 1 && s.requested_nodes <= self.total_nodes,
+                j.requested_nodes >= 1 && j.requested_nodes <= self.total_nodes,
                 "job {} requests {} of {} nodes",
-                s.name,
-                s.requested_nodes,
+                j.name,
+                j.requested_nodes,
                 self.total_nodes
             );
-            assert!(!s.phases.is_empty(), "job {} has no phases", s.name);
+            assert!(
+                j.requested_nodes <= j.workload.max_nodes(),
+                "job {} requests more nodes than its workload supports",
+                j.name
+            );
+            assert!(j.workload.iterations() >= 1, "job {} has no phases", j.name);
         }
         let mut q: EventQueue<Ev> = EventQueue::new();
-        for (i, s) in specs.iter().enumerate() {
-            q.schedule(s.arrival, Ev::Arrival(i));
+        for (i, j) in jobs.iter().enumerate() {
+            q.schedule(j.arrival, Ev::Arrival(i));
         }
         let mut free = self.total_nodes;
         let mut waiting: VecDeque<usize> = VecDeque::new();
-        let mut running: Vec<Option<RunningJob>> = specs.iter().map(|_| None).collect();
-        let mut report = ServerReport {
-            jobs: Vec::new(),
-            makespan: SimTime::ZERO,
-            allocated_node_seconds: 0.0,
-            work_node_seconds: 0.0,
-        };
+        let mut running: Vec<Option<RunningJob>> = jobs.iter().map(|_| None).collect();
+        let mut report = ServerReport::default();
         #[allow(unused_assignments)]
         let mut now = SimTime::ZERO;
         let mut gen_counter = 0u64;
@@ -232,7 +315,7 @@ impl ClusterSim {
         macro_rules! start_waiting {
             () => {
                 while let Some(&idx) = waiting.front() {
-                    let req = specs[idx].requested_nodes;
+                    let req = jobs[idx].requested_nodes;
                     let min_start = if moldable { req.div_ceil(2) } else { req };
                     if min_start > free {
                         break;
@@ -241,23 +324,23 @@ impl ClusterSim {
                     waiting.pop_front();
                     free -= grant;
                     gen_counter += 1;
+                    let point = cache.point(&*jobs[idx].workload, grant, 0);
                     let rj = RunningJob {
-                        spec_idx: idx,
                         nodes: grant,
                         phase: 0,
                         start: now,
                         gen: gen_counter,
+                        allocations: vec![grant],
                     };
-                    let d = specs[idx].phases[0].duration_on(grant);
                     q.schedule(
-                        now + d,
+                        now + point.span,
                         Ev::PhaseEnd {
                             job: idx,
                             gen: gen_counter,
                         },
                     );
-                    report.allocated_node_seconds += grant as f64 * d.as_secs_f64();
-                    report.work_node_seconds += specs[idx].phases[0].work.as_secs_f64();
+                    report.allocated_node_seconds += grant as f64 * point.span.as_secs_f64();
+                    report.work_node_seconds += point.cpu_work.as_secs_f64();
                     running[idx] = Some(rj);
                 }
             };
@@ -277,34 +360,42 @@ impl ClusterSim {
                     }
                     let rj = running[job].as_mut().expect("job running");
                     rj.phase += 1;
-                    if rj.phase == specs[job].phases.len() {
+                    if rj.phase == jobs[job].workload.iterations() {
                         // Job done: free everything.
                         free += rj.nodes;
-                        let start = rj.start;
-                        running[job] = None;
-                        report.jobs.push((specs[job].name.clone(), start, now));
+                        let done = running[job].take().expect("job running");
+                        report.jobs.push(JobRecord {
+                            name: jobs[job].name.clone(),
+                            start: done.start,
+                            completion: now,
+                            allocations: done.allocations,
+                        });
                         report.makespan = report.makespan.max(now);
                         start_waiting!();
                         continue;
                     }
-                    // Next phase: shrink or grow the allocation at the
+                    // Next iteration: shrink or grow the allocation at the
                     // boundary.
-                    let phase = specs[job].phases[rj.phase];
+                    let w = &*jobs[job].workload;
+                    let iter = rj.phase;
+                    let nodes = rj.nodes;
                     let target =
-                        self.target_nodes(&phase, specs[job].requested_nodes, rj.nodes + free);
+                        self.target_nodes(cache, w, iter, jobs[job].requested_nodes, nodes + free);
+                    let rj = running[job].as_mut().expect("job running");
                     if target < rj.nodes {
                         free += rj.nodes - target;
                     } else {
                         free -= target - rj.nodes;
                     }
                     rj.nodes = target;
-                    let d = phase.duration_on(rj.nodes);
+                    rj.allocations.push(target);
+                    let point = cache.point(w, target, iter);
                     gen_counter += 1;
                     rj.gen = gen_counter;
-                    report.allocated_node_seconds += rj.nodes as f64 * d.as_secs_f64();
-                    report.work_node_seconds += phase.work.as_secs_f64();
+                    report.allocated_node_seconds += target as f64 * point.span.as_secs_f64();
+                    report.work_node_seconds += point.cpu_work.as_secs_f64();
                     q.schedule(
-                        now + d,
+                        now + point.span,
                         Ev::PhaseEnd {
                             job,
                             gen: gen_counter,
@@ -314,7 +405,7 @@ impl ClusterSim {
                 }
             }
         }
-        report.jobs.sort_by_key(|&(_, _, c)| c);
+        report.jobs.sort_by_key(|j| j.completion);
         report
     }
 }
@@ -323,13 +414,13 @@ impl ClusterSim {
 mod tests {
     use super::*;
 
-    fn lu_job(name: &str, arrival_s: u64, nodes: u32) -> JobSpec {
-        JobSpec {
-            name: name.into(),
-            arrival: SimTime(arrival_s * 1_000_000_000),
-            requested_nodes: nodes,
-            phases: lu_like_job(SimDuration::from_secs(400), 8),
-        }
+    fn lu_job(name: &str, arrival_s: u64, nodes: u32) -> Job {
+        Job::from_phases(
+            name,
+            SimTime(arrival_s * 1_000_000_000),
+            nodes,
+            lu_like_job(SimDuration::from_secs(400), 8),
+        )
     }
 
     #[test]
@@ -341,6 +432,8 @@ mod tests {
         // 400s of work on 8 nodes: at least 50s, at most 400s.
         let t = r.makespan.as_secs_f64();
         assert!((50.0..400.0).contains(&t), "makespan {t}");
+        // Rigid: every iteration ran on the full request.
+        assert_eq!(r.jobs[0].allocations, vec![8; 8]);
     }
 
     #[test]
@@ -348,8 +441,10 @@ mod tests {
         let sim = ClusterSim::new(8, SchedulePolicy::Rigid);
         let r = sim.run(&[lu_job("a", 0, 8), lu_job("b", 1, 8)]);
         let ca = r.completion_of("a").unwrap();
-        let (_, start_b, _) = r.jobs.iter().find(|(n, _, _)| n == "b").unwrap().clone();
-        assert!(start_b >= ca, "b must wait for a's full allocation");
+        assert!(
+            r.start_of("b").unwrap() >= ca,
+            "b must wait for a's full allocation"
+        );
     }
 
     #[test]
@@ -368,8 +463,7 @@ mod tests {
         .run(&jobs);
         // b can only start after a finishes in the rigid case...
         assert!(
-            mall.jobs.iter().find(|(n, _, _)| n == "b").unwrap().1
-                < rigid.jobs.iter().find(|(n, _, _)| n == "b").unwrap().1,
+            mall.start_of("b").unwrap() < rigid.start_of("b").unwrap(),
             "malleable must start b earlier"
         );
         assert!(
@@ -392,6 +486,41 @@ mod tests {
         );
         let r = sim.run(&[lu_job("a", 0, 4)]);
         assert_eq!(r.jobs.len(), 1, "job finishes even at brutal thresholds");
+        assert!(r.jobs[0].allocations.iter().all(|&n| n >= 1));
+    }
+
+    #[test]
+    fn empty_workload_yields_empty_but_finite_report() {
+        let sim = ClusterSim::new(8, SchedulePolicy::Rigid);
+        let r = sim.run(&[]);
+        assert!(r.jobs.is_empty());
+        assert_eq!(r.makespan, SimTime::ZERO);
+        // Aggregate accessors must stay finite (no 0/0 NaNs) on an empty
+        // job list.
+        assert_eq!(r.mean_completion_secs(), 0.0);
+        assert_eq!(r.allocation_efficiency(), 0.0);
+        assert_eq!(r.completion_of("nope"), None);
+        assert_eq!(r.start_of("nope"), None);
+    }
+
+    #[test]
+    fn aggregate_accessors_survive_zero_denominators() {
+        // A hand-built report with zero allocated capacity must not divide
+        // by zero even with job records present.
+        let r = ServerReport {
+            jobs: vec![JobRecord {
+                name: "a".into(),
+                start: SimTime::ZERO,
+                completion: SimTime::ZERO,
+                allocations: Vec::new(),
+            }],
+            makespan: SimTime::ZERO,
+            allocated_node_seconds: 0.0,
+            work_node_seconds: 0.0,
+        };
+        assert_eq!(r.allocation_efficiency(), 0.0);
+        assert_eq!(r.mean_completion_secs(), 0.0);
+        assert!(r.allocation_efficiency().is_finite());
     }
 
     #[test]
@@ -417,78 +546,30 @@ mod tests {
 
     #[test]
     fn deterministic_server_runs() {
-        let jobs = [lu_job("a", 0, 6), lu_job("b", 3, 4), lu_job("c", 5, 2)];
         let p = SchedulePolicy::Malleable {
             min_efficiency: 0.6,
         };
-        let r1 = ClusterSim::new(8, p).run(&jobs);
-        let r2 = ClusterSim::new(8, p).run(&jobs);
+        let mk = || [lu_job("a", 0, 6), lu_job("b", 3, 4), lu_job("c", 5, 2)];
+        let r1 = ClusterSim::new(8, p).run(&mk());
+        let r2 = ClusterSim::new(8, p).run(&mk());
         assert_eq!(r1.makespan, r2.makespan);
-        assert_eq!(r1.jobs.len(), r2.jobs.len());
+        assert_eq!(r1.jobs, r2.jobs);
     }
-}
-
-/// Seeded random workload generation for scheduler studies.
-pub mod workload {
-    use super::{lu_like_job, JobSpec};
-    use desim::{SimDuration, SimTime};
-
-    /// Generates `count` LU-like jobs with xorshift-seeded arrivals, sizes
-    /// and node requests — a reproducible scheduler-study workload.
-    pub fn random_jobs(count: usize, max_nodes: u32, seed: u64) -> Vec<JobSpec> {
-        // Splitmix-style seeding so adjacent seeds diverge immediately.
-        let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
-        let mut next = move || {
-            x ^= x << 13;
-            x ^= x >> 7;
-            x ^= x << 17;
-            x
-        };
-        let mut t = 0u64;
-        (0..count)
-            .map(|i| {
-                t += next() % 120; // inter-arrival up to 2 minutes
-                let nodes = 1 + (next() % u64::from(max_nodes)) as u32;
-                let work = 200 + next() % 1800;
-                let phases = 4 + (next() % 8) as usize;
-                JobSpec {
-                    name: format!("job{i}"),
-                    arrival: SimTime(t * 1_000_000_000),
-                    requested_nodes: nodes,
-                    phases: lu_like_job(SimDuration::from_secs(work), phases),
-                }
-            })
-            .collect()
-    }
-}
-
-#[cfg(test)]
-mod workload_tests {
-    use super::workload::random_jobs;
-    use super::*;
 
     #[test]
-    fn random_workloads_are_reproducible() {
-        let a = random_jobs(10, 8, 42);
-        let b = random_jobs(10, 8, 42);
-        let c = random_jobs(10, 8, 43);
-        assert_eq!(a.len(), 10);
-        assert_eq!(
-            a.iter().map(|j| j.arrival).collect::<Vec<_>>(),
-            b.iter().map(|j| j.arrival).collect::<Vec<_>>()
-        );
-        assert_ne!(
-            a.iter().map(|j| j.requested_nodes).collect::<Vec<_>>(),
-            c.iter().map(|j| j.requested_nodes).collect::<Vec<_>>()
-        );
-        for j in &a {
-            assert!(j.requested_nodes >= 1 && j.requested_nodes <= 8);
-            assert!(!j.phases.is_empty());
-        }
+    fn shared_cache_is_reused_across_policies() {
+        let mut cache = ProfileCache::new();
+        let jobs = [lu_job("a", 0, 8)];
+        ClusterSim::new(8, SchedulePolicy::Rigid).run_with_cache(&jobs, &mut cache);
+        let after_rigid = cache.len();
+        assert!(after_rigid >= 1);
+        ClusterSim::new(8, SchedulePolicy::Rigid).run_with_cache(&jobs, &mut cache);
+        assert_eq!(cache.len(), after_rigid, "second run hits the memo");
     }
 
     #[test]
     fn malleable_scheduling_wins_on_average_over_random_workloads() {
+        use crate::workload::random_jobs;
         // Across several seeded workloads, the malleable policy must not
         // lose on mean completion time and must use capacity better.
         let mut wins = 0;

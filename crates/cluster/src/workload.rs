@@ -1,0 +1,302 @@
+//! The workload abstraction every malleable application implements.
+//!
+//! The cluster server schedules jobs whose compute-node allocation varies
+//! at iteration boundaries. What it needs from an application is exactly
+//! what the paper's simulator produces: a **per-iteration dynamic-efficiency
+//! profile** at any candidate allocation. The [`Workload`] trait captures
+//! that contract, so the server is agnostic to whether the profile comes
+//! from
+//!
+//! * a full dps-sim run of a real DPS application (`LuWorkload` /
+//!   `StencilWorkload` in the `workload` crate), or
+//! * the cheap analytic Amdahl model ([`PhaseWorkload`], wrapping the
+//!   original [`Phase`] sequences).
+//!
+//! Profiles are deterministic for a given `(workload, node count)` pair, so
+//! the server memoizes them in a [`ProfileCache`] — simulator-backed
+//! scheduling costs one engine run per distinct allocation probed, not one
+//! per scheduling decision.
+
+use std::hash::Hasher;
+
+use desim::fxhash::{FxHashMap, FxHasher};
+use desim::SimDuration;
+
+use crate::efficiency::{EfficiencyProfile, IterationPoint};
+use crate::server::Phase;
+
+/// A malleable application the cluster server can schedule.
+///
+/// Implementations must be deterministic: two calls to [`Workload::profile`]
+/// with the same node count must return identical profiles, and two
+/// workloads with equal [`Workload::key`]s must behave identically (the
+/// server shares memoized profiles between them).
+pub trait Workload: Send + Sync {
+    /// Stable identity used to memoize profiles. Equal keys ⇒ identical
+    /// profiles at every node count.
+    fn key(&self) -> String;
+
+    /// Number of iterations (phases) the application executes. Allocation
+    /// changes happen only at iteration boundaries.
+    fn iterations(&self) -> usize;
+
+    /// Largest allocation [`Workload::profile`] accepts (e.g. the worker
+    /// count of a DPS application). `u32::MAX` means "no intrinsic cap".
+    fn max_nodes(&self) -> u32;
+
+    /// Per-iteration dynamic-efficiency profile of a complete run at a
+    /// fixed allocation of `nodes` compute nodes (`1..=max_nodes`). The
+    /// returned profile has exactly [`Workload::iterations`] points.
+    fn profile(&self, nodes: u32) -> EfficiencyProfile;
+
+    /// Executes the application **once** with the allocation varying per
+    /// iteration (`allocs[k]` nodes during iteration `k`;
+    /// `allocs.len() == iterations`), using the backend's real dynamic
+    /// reallocation machinery (DPS thread removal for the simulator-backed
+    /// workloads). Returns `None` when the backend cannot realize the
+    /// schedule in a single run (e.g. a growing allocation under a
+    /// removal-only mechanism).
+    fn realize(&self, allocs: &[u32]) -> Option<EfficiencyProfile> {
+        let _ = allocs;
+        None
+    }
+}
+
+/// The analytic Amdahl backend: a [`Phase`] sequence as a [`Workload`].
+///
+/// This is the original `ClusterSim` job model, kept as the cheap third
+/// backend beside the simulator-backed LU and stencil workloads — profiles
+/// cost a few multiplications instead of an engine run.
+#[derive(Clone, Debug)]
+pub struct PhaseWorkload {
+    phases: Vec<Phase>,
+    key: String,
+}
+
+impl PhaseWorkload {
+    /// Wraps a phase sequence. The memo key is derived from the phase data,
+    /// so structurally identical jobs share cached profiles.
+    pub fn new(phases: Vec<Phase>) -> PhaseWorkload {
+        assert!(!phases.is_empty(), "workload needs at least one phase");
+        let mut h = FxHasher::default();
+        for p in &phases {
+            h.write_u64(p.work.as_nanos());
+            h.write_u64(p.parallel_fraction.to_bits());
+        }
+        PhaseWorkload {
+            key: format!("phases:{:016x}", h.finish()),
+            phases,
+        }
+    }
+
+    /// The wrapped phases.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    fn point(&self, k: usize, nodes: u32) -> IterationPoint {
+        let p = &self.phases[k];
+        IterationPoint {
+            label: format!("iter:{}", k + 1),
+            span: p.duration_on(nodes),
+            cpu_work: p.work,
+            efficiency: p.efficiency_on(nodes),
+        }
+    }
+}
+
+impl Workload for PhaseWorkload {
+    fn key(&self) -> String {
+        self.key.clone()
+    }
+
+    fn iterations(&self) -> usize {
+        self.phases.len()
+    }
+
+    fn max_nodes(&self) -> u32 {
+        u32::MAX
+    }
+
+    fn profile(&self, nodes: u32) -> EfficiencyProfile {
+        assert!(nodes >= 1);
+        EfficiencyProfile {
+            points: (0..self.phases.len())
+                .map(|k| self.point(k, nodes))
+                .collect(),
+        }
+    }
+
+    fn realize(&self, allocs: &[u32]) -> Option<EfficiencyProfile> {
+        assert_eq!(allocs.len(), self.phases.len());
+        Some(EfficiencyProfile {
+            points: allocs
+                .iter()
+                .enumerate()
+                .map(|(k, &n)| self.point(k, n))
+                .collect(),
+        })
+    }
+}
+
+/// Memoized `(workload key, node count) → profile` store.
+///
+/// Keyed with the simulator's [`FxHasher`] maps (the hot-map convention of
+/// the engine crates): profile lookups sit on the server's event-loop hot
+/// path, once per scheduling probe.
+#[derive(Default)]
+pub struct ProfileCache {
+    map: FxHashMap<(String, u32), EfficiencyProfile>,
+}
+
+impl ProfileCache {
+    /// An empty cache.
+    pub fn new() -> ProfileCache {
+        ProfileCache::default()
+    }
+
+    /// Number of distinct `(workload, node count)` profiles computed so far.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The profile of `w` at `nodes`, computing and memoizing it on first
+    /// use.
+    pub fn profile(&mut self, w: &dyn Workload, nodes: u32) -> &EfficiencyProfile {
+        self.map.entry((w.key(), nodes)).or_insert_with(|| {
+            let p = w.profile(nodes);
+            assert_eq!(
+                p.points.len(),
+                w.iterations(),
+                "workload {} profile at {nodes} nodes has wrong length",
+                w.key()
+            );
+            p
+        })
+    }
+
+    /// One iteration's point of `w` at `nodes` (cloned out of the cache).
+    pub fn point(&mut self, w: &dyn Workload, nodes: u32, iter: usize) -> IterationPoint {
+        self.profile(w, nodes).points[iter].clone()
+    }
+
+    /// Predicted dynamic efficiency of iteration `iter` of `w` at `nodes`.
+    pub fn efficiency(&mut self, w: &dyn Workload, nodes: u32, iter: usize) -> f64 {
+        self.profile(w, nodes).points[iter].efficiency
+    }
+}
+
+/// Seeded random workload generation for scheduler studies.
+///
+/// Generates `count` LU-like analytic jobs with xorshift-seeded arrivals,
+/// sizes and node requests — a reproducible scheduler-study workload on the
+/// [`PhaseWorkload`] backend.
+pub fn random_jobs(count: usize, max_nodes: u32, seed: u64) -> Vec<crate::server::Job> {
+    use crate::server::{lu_like_job, Job};
+    use desim::SimTime;
+
+    // Splitmix-style seeding so adjacent seeds diverge immediately.
+    let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    let mut t = 0u64;
+    (0..count)
+        .map(|i| {
+            t += next() % 120; // inter-arrival up to 2 minutes
+            let nodes = 1 + (next() % u64::from(max_nodes)) as u32;
+            let work = 200 + next() % 1800;
+            let phases = 4 + (next() % 8) as usize;
+            Job::from_phases(
+                format!("job{i}"),
+                SimTime(t * 1_000_000_000),
+                nodes,
+                lu_like_job(SimDuration::from_secs(work), phases),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::lu_like_job;
+
+    #[test]
+    fn phase_workload_profile_matches_analytic_model() {
+        let phases = lu_like_job(SimDuration::from_secs(100), 6);
+        let w = PhaseWorkload::new(phases.clone());
+        assert_eq!(w.iterations(), 6);
+        for nodes in [1u32, 4, 8] {
+            let p = w.profile(nodes);
+            assert_eq!(p.points.len(), 6);
+            for (k, pt) in p.points.iter().enumerate() {
+                assert_eq!(pt.span, phases[k].duration_on(nodes));
+                assert_eq!(pt.cpu_work, phases[k].work);
+                assert!((pt.efficiency - phases[k].efficiency_on(nodes)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn phase_workload_realizes_any_schedule() {
+        let w = PhaseWorkload::new(lu_like_job(SimDuration::from_secs(100), 4));
+        let r = w.realize(&[4, 2, 4, 1]).expect("analytic realize");
+        assert_eq!(r.points.len(), 4);
+        assert_eq!(r.points[1].span, w.phases()[1].duration_on(2));
+    }
+
+    #[test]
+    fn keys_identify_structurally_equal_jobs() {
+        let a = PhaseWorkload::new(lu_like_job(SimDuration::from_secs(100), 5));
+        let b = PhaseWorkload::new(lu_like_job(SimDuration::from_secs(100), 5));
+        let c = PhaseWorkload::new(lu_like_job(SimDuration::from_secs(101), 5));
+        assert_eq!(a.key(), b.key());
+        assert_ne!(a.key(), c.key());
+    }
+
+    #[test]
+    fn profile_cache_memoizes_per_workload_and_node_count() {
+        let w = PhaseWorkload::new(lu_like_job(SimDuration::from_secs(100), 5));
+        let mut cache = ProfileCache::new();
+        assert!(cache.is_empty());
+        let e1 = cache.efficiency(&w, 4, 0);
+        let e2 = cache.efficiency(&w, 4, 0);
+        assert_eq!(e1, e2);
+        assert_eq!(cache.len(), 1);
+        cache.efficiency(&w, 8, 0);
+        assert_eq!(cache.len(), 2);
+        // A structurally identical workload hits the same entries.
+        let w2 = PhaseWorkload::new(lu_like_job(SimDuration::from_secs(100), 5));
+        cache.efficiency(&w2, 8, 2);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn random_workloads_are_reproducible() {
+        let a = random_jobs(10, 8, 42);
+        let b = random_jobs(10, 8, 42);
+        let c = random_jobs(10, 8, 43);
+        assert_eq!(a.len(), 10);
+        assert_eq!(
+            a.iter().map(|j| j.arrival).collect::<Vec<_>>(),
+            b.iter().map(|j| j.arrival).collect::<Vec<_>>()
+        );
+        assert_ne!(
+            a.iter().map(|j| j.requested_nodes).collect::<Vec<_>>(),
+            c.iter().map(|j| j.requested_nodes).collect::<Vec<_>>()
+        );
+        for j in &a {
+            assert!(j.requested_nodes >= 1 && j.requested_nodes <= 8);
+            assert!(j.workload.iterations() >= 1);
+        }
+    }
+}

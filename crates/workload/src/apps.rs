@@ -1,0 +1,228 @@
+//! Simulator-backed [`Workload`] implementations: the cluster server's
+//! malleable applications are *real* DPS applications whose per-iteration
+//! profiles come from dps-sim runs.
+//!
+//! [`LuWorkload`] wraps the block LU factorization, [`StencilWorkload`] the
+//! Jacobi heat-diffusion stencil. Both answer [`Workload::profile`] by
+//! running the paper's simulator at the candidate allocation and extracting
+//! the dynamic-efficiency profile ([`cluster::profile_from_report`]); the
+//! server memoizes those runs per `(workload, node count)`.
+//!
+//! [`LuWorkload::realize`] additionally replays a whole allocation
+//! *schedule* (one node count per iteration) as a **single** simulator run
+//! using the DPS dynamic thread-removal machinery — the same mechanism the
+//! paper's Figures 11–12 exercise — so a server decision like "shrink from
+//! 8 to 4 nodes after iteration 2" becomes an actual mid-run reallocation
+//! inside the simulated application.
+
+use std::hash::Hasher;
+
+use cluster::{profile_from_report, EfficiencyProfile, Workload};
+use desim::fxhash::FxHasher;
+use dps_sim::SimConfig;
+use lu_app::{predict_lu, LuConfig};
+use netmodel::NetParams;
+use stencil_app::{predict_stencil, StencilConfig};
+
+fn env_fingerprint(net: &NetParams, simcfg: &SimConfig) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(format!("{net:?}").as_bytes());
+    h.write(format!("{simcfg:?}").as_bytes());
+    h.finish()
+}
+
+/// Builds a thread-removal plan realizing a per-iteration allocation
+/// schedule, or `None` when the schedule grows (removal cannot re-add).
+fn removal_plan(allocs: &[u32]) -> Option<Vec<(usize, u32)>> {
+    let mut plan = Vec::new();
+    for (k, w) in allocs.windows(2).enumerate() {
+        if w[1] > w[0] {
+            return None;
+        }
+        if w[1] < w[0] {
+            // Shrinking before (0-based) iteration k+1 is the plan entry
+            // "kill after 1-based iteration k+1".
+            plan.push((k + 1, w[0] - w[1]));
+        }
+    }
+    Some(plan)
+}
+
+/// The block LU factorization as a malleable cluster workload.
+///
+/// `cfg.workers` is the workload's intrinsic parallelism cap
+/// ([`Workload::max_nodes`]); a profile at `n` nodes runs the same worker
+/// set packed onto `n` nodes, like the paper's "eight column blocks on four
+/// nodes".
+pub struct LuWorkload {
+    cfg: LuConfig,
+    net: NetParams,
+    simcfg: SimConfig,
+    key: String,
+}
+
+impl LuWorkload {
+    /// Wraps a validated LU configuration. The configuration's `nodes`
+    /// field is ignored (the server decides allocations); its `removal`
+    /// plan must be empty (reallocation is the server's job now).
+    pub fn new(cfg: LuConfig, net: NetParams, simcfg: SimConfig) -> LuWorkload {
+        assert!(
+            cfg.removal.is_empty(),
+            "removal plans are driven by the server, not the config"
+        );
+        cfg.validate().expect("valid LU configuration");
+        let key = format!(
+            "lu:n={},r={},w={},variant={},mode={:?},cost={},env={:016x}",
+            cfg.n,
+            cfg.r,
+            cfg.workers,
+            cfg.variant_label(),
+            cfg.mode,
+            cfg.cost.map_or("none".into(), |c| format!("{c:?}")),
+            env_fingerprint(&net, &simcfg),
+        );
+        LuWorkload {
+            cfg,
+            net,
+            simcfg,
+            key,
+        }
+    }
+
+    /// The wrapped configuration.
+    pub fn config(&self) -> &LuConfig {
+        &self.cfg
+    }
+
+    fn at_nodes(&self, nodes: u32) -> LuConfig {
+        assert!(
+            nodes >= 1 && nodes <= self.cfg.workers,
+            "LU profile needs 1..={} nodes, got {nodes}",
+            self.cfg.workers
+        );
+        let mut cfg = self.cfg.clone();
+        cfg.nodes = nodes;
+        cfg
+    }
+}
+
+impl Workload for LuWorkload {
+    fn key(&self) -> String {
+        self.key.clone()
+    }
+
+    fn iterations(&self) -> usize {
+        self.cfg.k_blocks()
+    }
+
+    fn max_nodes(&self) -> u32 {
+        self.cfg.workers
+    }
+
+    fn profile(&self, nodes: u32) -> EfficiencyProfile {
+        let run = predict_lu(&self.at_nodes(nodes), self.net, &self.simcfg);
+        profile_from_report(&run.report)
+    }
+
+    /// One simulator run with the node count genuinely varying mid-job: the
+    /// schedule is translated into the DPS thread-removal plan the LU
+    /// application already supports (one worker per node), so iteration `k`
+    /// really executes on `allocs[k]` nodes inside the engine. Growing
+    /// schedules return `None` — thread removal cannot re-add workers — as
+    /// do pipelined flow graphs (the paper restricts removal to the basic
+    /// graph).
+    fn realize(&self, allocs: &[u32]) -> Option<EfficiencyProfile> {
+        assert_eq!(allocs.len(), self.iterations());
+        assert!(allocs.iter().all(|&n| n >= 1));
+        if self.cfg.pipelined {
+            return None;
+        }
+        let plan = removal_plan(allocs)?;
+        let mut cfg = self.cfg.clone();
+        // One worker per node so removing a worker vacates its node.
+        cfg.nodes = allocs[0];
+        cfg.workers = allocs[0];
+        cfg.removal = plan;
+        cfg.validate().expect("realized schedule must be valid");
+        let run = predict_lu(&cfg, self.net, &self.simcfg);
+        Some(profile_from_report(&run.report))
+    }
+}
+
+/// The Jacobi heat-diffusion stencil as a malleable cluster workload.
+///
+/// Its flat dynamic-efficiency profile is the counterpoint to LU's decay:
+/// an efficiency-driven server keeps the stencil's nodes and harvests LU's.
+pub struct StencilWorkload {
+    cfg: StencilConfig,
+    net: NetParams,
+    simcfg: SimConfig,
+    key: String,
+}
+
+impl StencilWorkload {
+    /// Wraps a validated stencil configuration. The configuration's `nodes`
+    /// field is ignored (the server decides allocations).
+    pub fn new(cfg: StencilConfig, net: NetParams, simcfg: SimConfig) -> StencilWorkload {
+        cfg.validate().expect("valid stencil configuration");
+        let key = format!(
+            "stencil:n={},iters={},w={},sync={},mode={:?},env={:016x}",
+            cfg.n,
+            cfg.iters,
+            cfg.workers,
+            cfg.synchronized,
+            cfg.mode,
+            env_fingerprint(&net, &simcfg),
+        );
+        StencilWorkload {
+            cfg,
+            net,
+            simcfg,
+            key,
+        }
+    }
+
+    /// The wrapped configuration.
+    pub fn config(&self) -> &StencilConfig {
+        &self.cfg
+    }
+}
+
+impl Workload for StencilWorkload {
+    fn key(&self) -> String {
+        self.key.clone()
+    }
+
+    fn iterations(&self) -> usize {
+        self.cfg.iters
+    }
+
+    fn max_nodes(&self) -> u32 {
+        self.cfg.workers
+    }
+
+    fn profile(&self, nodes: u32) -> EfficiencyProfile {
+        assert!(
+            nodes >= 1 && nodes <= self.cfg.workers,
+            "stencil profile needs 1..={} nodes, got {nodes}",
+            self.cfg.workers
+        );
+        let mut cfg = self.cfg.clone();
+        cfg.nodes = nodes;
+        let run = predict_stencil(&cfg, self.net, &self.simcfg);
+        profile_from_report(&run.report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn removal_plans_from_schedules() {
+        assert_eq!(removal_plan(&[8, 8, 8]), Some(vec![]));
+        assert_eq!(removal_plan(&[8, 4, 4]), Some(vec![(1, 4)]));
+        assert_eq!(removal_plan(&[8, 6, 6, 3]), Some(vec![(1, 2), (3, 3)]));
+        assert_eq!(removal_plan(&[4, 8]), None, "growth is unrealizable");
+    }
+}

@@ -1,0 +1,34 @@
+//! Unified workload layer: real simulated applications behind the cluster
+//! server's [`cluster::Workload`] trait, plus the shared experiment
+//! environment and the scenario registry.
+//!
+//! The paper's stated future work — "a cluster server running concurrently
+//! multiple, possibly different applications whose allocations of compute
+//! nodes vary dynamically over time" — needs the server's scheduling
+//! decisions to come from the simulator, not from an analytic stand-in.
+//! This crate closes that loop:
+//!
+//! * [`LuWorkload`] / [`StencilWorkload`] ([`apps`]) wrap the two DPS
+//!   evaluation applications as malleable workloads whose per-iteration
+//!   dynamic-efficiency profiles are obtained from dps-sim runs, and whose
+//!   allocation schedules can be *realized* as a single simulator run
+//!   through the DPS thread-removal machinery;
+//! * [`SimEnv`] ([`mod@env`]) is the one place where
+//!   `NetParams`/`TestbedParams`/`SimConfig`/cost-model wiring lives — the
+//!   bench figure binaries, the examples and the scenarios all share it;
+//! * [`scenarios`] is a registry of named experiment setups
+//!   ([`ScenarioSpec`]) the `scenarios` runner binary lists and executes
+//!   through the bench harness.
+
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod env;
+pub mod scenarios;
+
+pub use apps::{LuWorkload, StencilWorkload};
+pub use env::{SimEnv, N};
+pub use scenarios::{
+    builtin_scenarios, find_scenario, server_policies, shrink_schedule, sim_job_set, ScenarioPoint,
+    ScenarioSpec,
+};

@@ -1,0 +1,295 @@
+//! The scenario registry: named, self-describing experiment setups.
+//!
+//! Every entry bundles the environment wiring ([`SimEnv`]), the workload
+//! configurations and the metric extraction for one experiment, replacing
+//! the per-binary copy-paste that used to live in `crates/bench/src/bin/*`
+//! and `examples/*`. A scenario expands into independent
+//! [`ScenarioPoint`]s, which the `scenarios` runner binary fans across
+//! cores with the bench harness — each point is a pure closure returning
+//! `(field, value)` records, so parallel and serial execution produce
+//! byte-identical output.
+
+use cluster::{random_jobs, ClusterSim, Job, ProfileCache, SchedulePolicy, Workload};
+use desim::SimTime;
+
+use crate::env::SimEnv;
+
+/// One independently runnable point of a scenario.
+pub struct ScenarioPoint {
+    /// Human-readable point label (row name in the rendered table).
+    pub label: String,
+    /// Runs the point, returning named numeric results.
+    #[allow(clippy::type_complexity)]
+    pub run: Box<dyn Fn() -> Vec<(&'static str, f64)> + Send + Sync>,
+}
+
+impl ScenarioPoint {
+    /// A point from a label and a result closure.
+    pub fn new(
+        label: impl Into<String>,
+        run: impl Fn() -> Vec<(&'static str, f64)> + Send + Sync + 'static,
+    ) -> ScenarioPoint {
+        ScenarioPoint {
+            label: label.into(),
+            run: Box::new(run),
+        }
+    }
+}
+
+/// A named, registered experiment setup.
+pub struct ScenarioSpec {
+    /// Registry name (`scenarios <name>` runs it).
+    pub name: &'static str,
+    /// One-line description shown by `scenarios --list`.
+    pub summary: &'static str,
+    /// Expands the scenario into independent points; `smoke` requests a
+    /// CI-sized subset.
+    pub points: fn(smoke: bool) -> Vec<ScenarioPoint>,
+}
+
+impl ScenarioSpec {
+    /// Runs every point serially, returning `(label, fields)` rows — the
+    /// runner binary uses the bench harness to fan points across cores
+    /// instead.
+    pub fn run_serial(&self, smoke: bool) -> Vec<(String, Vec<(&'static str, f64)>)> {
+        (self.points)(smoke)
+            .into_iter()
+            .map(|p| (p.label.clone(), (p.run)()))
+            .collect()
+    }
+}
+
+/// The standard simulator-backed mixed job set: two LU factorizations and
+/// a Jacobi stencil arriving close together (within 100 ms, while the
+/// earlier jobs are still running) — the cluster-server configuration of
+/// the paper's future-work section, with every job a real DPS application
+/// simulated by dps-sim.
+pub fn sim_job_set(env: &SimEnv) -> Vec<Job> {
+    vec![
+        Job::new(
+            "lu-a",
+            SimTime::ZERO,
+            8,
+            Box::new(env.lu_workload(env.lu_sized(288, 36, 8))),
+        ),
+        Job::new(
+            "stencil-b",
+            SimTime(50_000_000),
+            4,
+            Box::new(env.stencil_workload(env.stencil(768, 12, 8))),
+        ),
+        Job::new(
+            "lu-c",
+            SimTime(100_000_000),
+            8,
+            Box::new(env.lu_workload(env.lu_sized(216, 27, 8))),
+        ),
+    ]
+}
+
+/// The two policies every server scenario compares.
+pub fn server_policies() -> Vec<(&'static str, SchedulePolicy)> {
+    vec![
+        ("rigid", SchedulePolicy::Rigid),
+        (
+            "malleable",
+            SchedulePolicy::Malleable {
+                min_efficiency: 0.5,
+            },
+        ),
+    ]
+}
+
+fn server_fields(report: &cluster::ServerReport) -> Vec<(&'static str, f64)> {
+    vec![
+        ("jobs", report.jobs.len() as f64),
+        ("mean_completion_secs", report.mean_completion_secs()),
+        ("makespan_secs", report.makespan.as_secs_f64()),
+        (
+            "allocation_efficiency_pct",
+            report.allocation_efficiency() * 100.0,
+        ),
+    ]
+}
+
+fn profile_fields(w: &dyn Workload, nodes: u32) -> Vec<(&'static str, f64)> {
+    let p = w.profile(nodes);
+    let first = p.points.first().map_or(0.0, |pt| pt.efficiency);
+    let last = p.points.last().map_or(0.0, |pt| pt.efficiency);
+    vec![
+        ("iterations", p.points.len() as f64),
+        ("eff_first_pct", first * 100.0),
+        ("eff_last_pct", last * 100.0),
+        ("span_secs", p.total_span().as_secs_f64()),
+    ]
+}
+
+fn lu_efficiency_points(smoke: bool) -> Vec<ScenarioPoint> {
+    let nodes: &[u32] = if smoke { &[4] } else { &[2, 4, 8] };
+    nodes
+        .iter()
+        .map(|&n| {
+            ScenarioPoint::new(format!("lu {n} nodes"), move || {
+                let env = SimEnv::paper();
+                let w = env.lu_workload(env.lu_sized(288, 36, 8));
+                profile_fields(&w, n)
+            })
+        })
+        .collect()
+}
+
+fn stencil_efficiency_points(smoke: bool) -> Vec<ScenarioPoint> {
+    let nodes: &[u32] = if smoke { &[4] } else { &[2, 4, 8] };
+    nodes
+        .iter()
+        .map(|&n| {
+            ScenarioPoint::new(format!("stencil {n} nodes"), move || {
+                let env = SimEnv::paper();
+                let w = env.stencil_workload(env.stencil(256, 8, 8));
+                profile_fields(&w, n)
+            })
+        })
+        .collect()
+}
+
+fn server_sim_points(_smoke: bool) -> Vec<ScenarioPoint> {
+    server_policies()
+        .into_iter()
+        .map(|(label, policy)| {
+            ScenarioPoint::new(format!("server-sim {label}"), move || {
+                let env = SimEnv::paper();
+                let report = ClusterSim::new(8, policy).run(&sim_job_set(&env));
+                server_fields(&report)
+            })
+        })
+        .collect()
+}
+
+fn server_analytic_points(smoke: bool) -> Vec<ScenarioPoint> {
+    let count = if smoke { 6 } else { 16 };
+    server_policies()
+        .into_iter()
+        .map(|(label, policy)| {
+            ScenarioPoint::new(format!("server-analytic {label}"), move || {
+                let jobs = random_jobs(count, 8, 2024);
+                let report = ClusterSim::new(8, policy).run(&jobs);
+                server_fields(&report)
+            })
+        })
+        .collect()
+}
+
+/// The shrink-only projection of an allocation schedule (running minimum)
+/// — what a removal-based backend can realize in one run.
+pub fn shrink_schedule(allocs: &[u32]) -> Vec<u32> {
+    let mut min = u32::MAX;
+    allocs
+        .iter()
+        .map(|&n| {
+            min = min.min(n);
+            min
+        })
+        .collect()
+}
+
+fn server_shrink_points(_smoke: bool) -> Vec<ScenarioPoint> {
+    vec![ScenarioPoint::new("lu shrink vs fixed", || {
+        let env = SimEnv::paper();
+        let w = env.lu_workload(env.lu_sized(288, 36, 8));
+        let job = Job::new("lu", SimTime::ZERO, 8, Box::new(w));
+        let mut cache = ProfileCache::new();
+        let policy = SchedulePolicy::Malleable {
+            min_efficiency: 0.5,
+        };
+        let report =
+            ClusterSim::new(8, policy).run_with_cache(std::slice::from_ref(&job), &mut cache);
+        let allocs = shrink_schedule(&report.jobs[0].allocations);
+        let realized = job
+            .workload
+            .realize(&allocs)
+            .expect("shrink-only schedules are realizable")
+            .total_span()
+            .as_secs_f64();
+        vec![
+            ("start_nodes", f64::from(allocs[0])),
+            ("end_nodes", f64::from(*allocs.last().unwrap())),
+            ("composed_secs", report.makespan.as_secs_f64()),
+            ("realized_secs", realized),
+        ]
+    })]
+}
+
+/// The scenarios this crate registers (the bench crate appends the figure
+/// reproductions on top).
+pub fn builtin_scenarios() -> Vec<ScenarioSpec> {
+    vec![
+        ScenarioSpec {
+            name: "lu-efficiency",
+            summary: "per-iteration dynamic efficiency of a small LU factorization vs node count",
+            points: lu_efficiency_points,
+        },
+        ScenarioSpec {
+            name: "stencil-efficiency",
+            summary: "per-iteration dynamic efficiency of the Jacobi stencil vs node count (flat)",
+            points: stencil_efficiency_points,
+        },
+        ScenarioSpec {
+            name: "server-sim",
+            summary: "cluster server on simulator-backed LU + stencil jobs, rigid vs malleable",
+            points: server_sim_points,
+        },
+        ScenarioSpec {
+            name: "server-analytic",
+            summary: "cluster server on seeded analytic (Amdahl) jobs, rigid vs malleable",
+            points: server_analytic_points,
+        },
+        ScenarioSpec {
+            name: "server-shrink",
+            summary: "malleable shrink schedule replayed as one dps-sim run via thread removal",
+            points: server_shrink_points,
+        },
+    ]
+}
+
+/// Looks a scenario up by name in `specs`.
+pub fn find_scenario<'a>(specs: &'a [ScenarioSpec], name: &str) -> Option<&'a ScenarioSpec> {
+    specs.iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_listable() {
+        let specs = builtin_scenarios();
+        assert!(specs.len() >= 5);
+        let mut names: Vec<_> = specs.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), specs.len(), "duplicate scenario names");
+        assert!(find_scenario(&specs, "server-sim").is_some());
+        assert!(find_scenario(&specs, "nope").is_none());
+        for s in &specs {
+            assert!(!s.summary.is_empty());
+            assert!(
+                !(s.points)(true).is_empty(),
+                "{} has no smoke points",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    fn analytic_server_scenario_runs() {
+        let specs = builtin_scenarios();
+        let s = find_scenario(&specs, "server-analytic").unwrap();
+        let rows = s.run_serial(true);
+        assert_eq!(rows.len(), 2);
+        for (label, fields) in &rows {
+            assert!(label.starts_with("server-analytic"));
+            let jobs = fields.iter().find(|(k, _)| *k == "jobs").unwrap().1;
+            assert_eq!(jobs, 6.0);
+        }
+    }
+}

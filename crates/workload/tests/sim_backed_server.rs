@@ -1,0 +1,176 @@
+//! Integration tests for the simulator-backed cluster server: LU and
+//! stencil DPS applications scheduled through the `Workload` trait, with
+//! reallocation decisions driven by dps-sim efficiency profiles.
+
+use cluster::{ClusterSim, IterationPoint, Job, ProfileCache, SchedulePolicy, Workload};
+use desim::SimTime;
+use workload::{shrink_schedule, sim_job_set, SimEnv};
+
+const MALLEABLE: SchedulePolicy = SchedulePolicy::Malleable {
+    min_efficiency: 0.5,
+};
+
+/// Node count implied by an iteration point: the engine computed
+/// `efficiency = cpu_work / (nodes × span)`, so invert it.
+fn implied_nodes(p: &IterationPoint) -> f64 {
+    p.cpu_work.as_secs_f64() / (p.efficiency * p.span.as_secs_f64())
+}
+
+#[test]
+fn lu_and_stencil_schedule_through_the_workload_trait() {
+    let env = SimEnv::paper();
+    let jobs = sim_job_set(&env);
+    assert_eq!(jobs.len(), 3, "two LU jobs and one stencil");
+    let report = ClusterSim::new(8, MALLEABLE).run(&jobs);
+    assert_eq!(report.jobs.len(), 3, "every simulator-backed job completes");
+    for j in &jobs {
+        let rec = report.job(&j.name).expect("job completed");
+        assert_eq!(rec.allocations.len(), j.workload.iterations());
+        assert!(rec.allocations.iter().all(|&n| n >= 1));
+    }
+    // The LU jobs' poor large-allocation efficiency makes the server shrink
+    // them mid-job; the stencil's flat profile keeps its nodes.
+    let lu = report.job("lu-a").unwrap();
+    assert!(
+        lu.allocations.iter().any(|&n| n != lu.allocations[0]),
+        "LU allocation must change mid-job: {:?}",
+        lu.allocations
+    );
+    let st = report.job("stencil-b").unwrap();
+    assert!(
+        st.allocations.iter().all(|&n| n == st.allocations[0]),
+        "flat stencil profile keeps its allocation: {:?}",
+        st.allocations
+    );
+}
+
+#[test]
+fn malleable_preserves_paper_ordering_on_sim_backed_jobs() {
+    let env = SimEnv::paper();
+    let jobs = sim_job_set(&env);
+    // One shared cache: both policies price iterations off the same
+    // memoized simulator runs.
+    let mut cache = ProfileCache::new();
+    let rigid = ClusterSim::new(8, SchedulePolicy::Rigid).run_with_cache(&jobs, &mut cache);
+    let mall = ClusterSim::new(8, MALLEABLE).run_with_cache(&jobs, &mut cache);
+    assert_eq!(rigid.jobs.len(), 3);
+    assert_eq!(mall.jobs.len(), 3);
+    assert!(
+        mall.mean_completion_secs() < rigid.mean_completion_secs(),
+        "malleable mean completion {:.2}s !< rigid {:.2}s",
+        mall.mean_completion_secs(),
+        rigid.mean_completion_secs()
+    );
+    assert!(
+        mall.allocation_efficiency() > rigid.allocation_efficiency(),
+        "malleable efficiency {:.2} !> rigid {:.2}",
+        mall.allocation_efficiency(),
+        rigid.allocation_efficiency()
+    );
+    // Released nodes serve the queue: no job starts later than it would
+    // under the rigid policy.
+    for rec in &rigid.jobs {
+        assert!(mall.start_of(&rec.name).unwrap() <= rec.start);
+    }
+}
+
+#[test]
+fn reallocation_mid_job_changes_the_simulated_applications_node_count() {
+    let env = SimEnv::paper();
+    let job = Job::new(
+        "lu",
+        SimTime::ZERO,
+        8,
+        Box::new(env.lu_workload(env.lu_sized(288, 36, 8))),
+    );
+    let report = ClusterSim::new(8, MALLEABLE).run(std::slice::from_ref(&job));
+    let allocs = &report.jobs[0].allocations;
+    assert_eq!(allocs[0], 8, "job starts on its full request");
+    assert!(
+        allocs[1] < allocs[0],
+        "low simulated efficiency shrinks the job: {allocs:?}"
+    );
+
+    // Replay the (shrink-only projection of the) server's schedule as ONE
+    // dps-sim run through the DPS thread-removal machinery and check the
+    // engine really ran later iterations on fewer nodes.
+    let schedule = shrink_schedule(allocs);
+    let realized = job
+        .workload
+        .realize(&schedule)
+        .expect("shrink-only schedule is realizable");
+    assert_eq!(realized.points.len(), job.workload.iterations());
+    let first = implied_nodes(&realized.points[0]);
+    let late = implied_nodes(&realized.points[5]);
+    assert!(
+        (first - f64::from(schedule[0])).abs() < 0.51,
+        "iteration 1 ran on ~{} nodes, engine says {first:.2}",
+        schedule[0]
+    );
+    assert!(
+        (late - f64::from(schedule[5])).abs() < 0.51,
+        "iteration 6 ran on ~{} nodes, engine says {late:.2}",
+        schedule[5]
+    );
+    assert!(
+        late < first,
+        "node count must drop mid-run ({first:.2} -> {late:.2})"
+    );
+
+    // Fewer nodes on the shrunk iterations means higher dynamic efficiency
+    // than the same iterations at the full allocation.
+    let full = job.workload.profile(8);
+    assert!(realized.points[5].efficiency > full.points[5].efficiency);
+}
+
+#[test]
+fn lu_profile_decays_and_stencil_profile_is_flat() {
+    let env = SimEnv::paper();
+    let lu = env.lu_workload(env.lu_sized(288, 36, 8));
+    let p = lu.profile(4);
+    // LU's trailing matrix shrinks: mid-run efficiency decays (the last
+    // iteration's cleanup spike is excluded, as in the paper's Figure 11).
+    assert!(
+        p.points[0].efficiency > p.points[6].efficiency,
+        "LU efficiency must decay: {:.2} -> {:.2}",
+        p.points[0].efficiency,
+        p.points[6].efficiency
+    );
+
+    let st = env.stencil_workload(env.stencil(768, 12, 8));
+    let p = st.profile(4);
+    let effs: Vec<f64> = p.points.iter().map(|pt| pt.efficiency).collect();
+    let (min, max) = effs
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &e| (lo.min(e), hi.max(e)));
+    assert!(
+        max - min < 0.1,
+        "stencil efficiency must be flat, spread {min:.2}..{max:.2}"
+    );
+}
+
+#[test]
+fn profiles_are_memoized_per_workload_and_node_count() {
+    let env = SimEnv::paper();
+    let jobs = sim_job_set(&env);
+    let mut cache = ProfileCache::new();
+    ClusterSim::new(8, MALLEABLE).run_with_cache(&jobs, &mut cache);
+    let after_first = cache.len();
+    assert!(after_first >= 3, "profiles were computed");
+    // A second run over the same workloads computes nothing new.
+    ClusterSim::new(8, MALLEABLE).run_with_cache(&jobs, &mut cache);
+    assert_eq!(cache.len(), after_first);
+    // Identically configured workloads share cache entries by key.
+    let dup = env.lu_workload(env.lu_sized(288, 36, 8));
+    let before = cache.len();
+    cache.profile(&dup, 8);
+    assert_eq!(cache.len(), before, "equal keys share memoized profiles");
+}
+
+#[test]
+fn sim_backed_reports_are_deterministic() {
+    let env = SimEnv::paper();
+    let r1 = ClusterSim::new(8, MALLEABLE).run(&sim_job_set(&env));
+    let r2 = ClusterSim::new(8, MALLEABLE).run(&sim_job_set(&env));
+    assert_eq!(format!("{r1:?}"), format!("{r2:?}"));
+}

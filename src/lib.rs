@@ -17,11 +17,19 @@
 //! * [`stencil_app`] — Jacobi heat-diffusion stencil with neighborhood
 //!   halo exchanges (second evaluation workload).
 //! * [`cluster`] — dynamic allocation policies and the malleable cluster
-//!   server extension.
+//!   server with its [`cluster::Workload`] trait.
+//! * [`workload`] — simulator-backed workloads ([`workload::LuWorkload`],
+//!   [`workload::StencilWorkload`]), the shared [`workload::SimEnv`]
+//!   experiment wiring and the scenario registry.
 //! * [`report`] — experiment tables, series and histograms.
+//!
+//! [`fxhash`] (from `desim`) is also re-exported directly: the event
+//! queue, the cluster server's profile cache and the workload keys all
+//! hash through the same deterministic `FxHasher`.
 
 pub use cluster;
 pub use desim;
+pub use desim::fxhash;
 pub use dps;
 pub use dps_sim as sim;
 pub use linalg;
@@ -31,3 +39,4 @@ pub use perfmodel;
 pub use report;
 pub use stencil_app;
 pub use testbed;
+pub use workload;
