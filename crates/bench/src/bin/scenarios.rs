@@ -7,13 +7,17 @@
 //! scenarios --list          # every registered scenario
 //! scenarios server-sim      # run one (or several) by name
 //! scenarios --all           # run everything
+//! scenarios server-elastic --seed 7   # re-seed the stochastic inputs
 //! ```
 //!
-//! `DVNS_SMOKE=1` shrinks every scenario to its CI-sized subset and
-//! `DVNS_THREADS` bounds the fan-out, exactly as for the figure binaries.
+//! `--seed N` (default 42) is the root seed every stochastic ingredient —
+//! analytic job sets, fault schedules — derives from; two invocations with
+//! the same seed emit byte-identical CSVs. `DVNS_SMOKE=1` shrinks every
+//! scenario to its CI-sized subset and `DVNS_THREADS` bounds the fan-out,
+//! exactly as for the figure binaries.
 
 use dps_bench::{emit, figure_scenarios, run_parallel, smoke, time, BenchJson};
-use workload::{builtin_scenarios, find_scenario, ScenarioSpec};
+use workload::{builtin_scenarios, find_scenario, ScenarioCtx, ScenarioSpec, DEFAULT_SEED};
 
 fn registry() -> Vec<ScenarioSpec> {
     let mut specs = builtin_scenarios();
@@ -69,8 +73,8 @@ fn render(spec: &ScenarioSpec, rows: &[(String, Vec<(&'static str, f64)>)]) -> (
     (text, csv)
 }
 
-fn run(spec: &ScenarioSpec, json: &mut BenchJson) {
-    let points = (spec.points)(smoke());
+fn run(spec: &ScenarioSpec, ctx: &ScenarioCtx, json: &mut BenchJson) {
+    let points = (spec.points)(ctx);
     let (rows, wall) = time(|| run_parallel(&points, |_, p| (p.label.clone(), (p.run)())));
     let (text, csv) = render(spec, &rows);
     emit(&format!("scenario_{}", spec.name), &text, Some(&csv));
@@ -81,7 +85,20 @@ fn run(spec: &ScenarioSpec, json: &mut BenchJson) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = DEFAULT_SEED;
+    if let Some(i) = args.iter().position(|a| a == "--seed") {
+        let value = args.get(i + 1).unwrap_or_else(|| {
+            eprintln!("--seed needs a value");
+            std::process::exit(2);
+        });
+        seed = value.parse().unwrap_or_else(|_| {
+            eprintln!("--seed needs an unsigned integer, got `{value}`");
+            std::process::exit(2);
+        });
+        args.drain(i..=i + 1);
+    }
+    let ctx = ScenarioCtx::new(smoke(), seed);
     let specs = registry();
     if args.is_empty() || args.iter().any(|a| a == "--list") {
         list(&specs);
@@ -103,7 +120,7 @@ fn main() {
 
     let mut json = BenchJson::new();
     for spec in selected {
-        run(spec, &mut json);
+        run(spec, &ctx, &mut json);
     }
     json.write();
 }

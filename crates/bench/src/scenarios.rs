@@ -7,7 +7,7 @@
 //! and reports measured/predicted factorization times plus the relative
 //! prediction error.
 
-use workload::{ScenarioPoint, ScenarioSpec};
+use workload::{ScenarioCtx, ScenarioPoint, ScenarioSpec};
 
 use crate::experiments::{
     fig10_configs, fig8_configs, fig9_configs, removal_configs, run_pair, Env,
@@ -32,36 +32,40 @@ fn truncated<T>(mut v: Vec<T>, smoke: bool, keep: usize) -> Vec<T> {
     v
 }
 
-fn fig8_points(smoke: bool) -> Vec<ScenarioPoint> {
+// The figure points keep their historical fixed measurement seeds (the
+// paper's curves are specific runs, not a seed sweep), so only the smoke
+// flag of the context matters here.
+
+fn fig8_points(ctx: &ScenarioCtx) -> Vec<ScenarioPoint> {
     let env = Env::paper();
-    truncated(fig8_configs(&env), smoke, 2)
+    truncated(fig8_configs(&env), ctx.smoke, 2)
         .into_iter()
         .enumerate()
         .map(|(i, (label, cfg))| pair_point(label, cfg, 101 + i as u64))
         .collect()
 }
 
-fn fig9_points(smoke: bool) -> Vec<ScenarioPoint> {
+fn fig9_points(ctx: &ScenarioCtx) -> Vec<ScenarioPoint> {
     let env = Env::paper();
-    truncated(fig9_configs(&env), smoke, 2)
+    truncated(fig9_configs(&env), ctx.smoke, 2)
         .into_iter()
         .enumerate()
         .map(|(i, (label, cfg))| pair_point(label, cfg, 201 + i as u64))
         .collect()
 }
 
-fn fig10_points(smoke: bool) -> Vec<ScenarioPoint> {
+fn fig10_points(ctx: &ScenarioCtx) -> Vec<ScenarioPoint> {
     let env = Env::paper();
-    truncated(fig10_configs(&env), smoke, 3)
+    truncated(fig10_configs(&env), ctx.smoke, 3)
         .into_iter()
         .enumerate()
         .map(|(i, (strat, r, cfg))| pair_point(format!("{strat} r={r}"), cfg, 301 + i as u64))
         .collect()
 }
 
-fn removal_points(smoke: bool) -> Vec<ScenarioPoint> {
+fn removal_points(ctx: &ScenarioCtx) -> Vec<ScenarioPoint> {
     let env = Env::paper();
-    truncated(removal_configs(&env), smoke, 3)
+    truncated(removal_configs(&env), ctx.smoke, 3)
         .into_iter()
         .enumerate()
         .map(|(i, (label, cfg))| pair_point(label, cfg, 401 + i as u64))
@@ -101,8 +105,9 @@ mod tests {
 
     #[test]
     fn figure_scenarios_expand_to_points() {
+        let ctx = ScenarioCtx::new(true, workload::DEFAULT_SEED);
         for s in figure_scenarios() {
-            let pts = (s.points)(true);
+            let pts = (s.points)(&ctx);
             assert!(!pts.is_empty(), "{} has no smoke points", s.name);
             for p in &pts {
                 assert!(!p.label.is_empty());

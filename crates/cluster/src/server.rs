@@ -14,7 +14,19 @@
 //!   resized to the largest allocation whose *predicted* dynamic efficiency
 //!   (from the workload's profile, i.e. from simulator runs for the
 //!   dps-sim-backed workloads) clears a threshold; freed nodes immediately
-//!   serve the waiting queue.
+//!   serve the waiting queue;
+//! * [`SchedulePolicy::ElasticRecovery`] — malleable scheduling plus
+//!   fault-aware recovery: an interrupted job resumes from its last
+//!   checkpoint (instead of restarting from scratch) after a capped
+//!   exponential backoff, on whatever nodes remain.
+//!
+//! [`ClusterSim::run_with_faults`] plays a deterministic
+//! [`faults::FaultPlan`] against the server: crashes permanently remove
+//! nodes, preemptions take them away and give them back, and
+//! slowdown/degrade windows stretch the iterations of jobs holding the
+//! struck nodes. Interrupted work is accounted per job (`restarts`,
+//! `lost_work`, `degraded`), and an empty plan reproduces the fault-free
+//! simulation exactly.
 //!
 //! The simulation is a small discrete-event model on top of
 //! [`desim::EventQueue`]; profiles are memoized per `(workload, node
@@ -27,7 +39,9 @@
 use std::collections::VecDeque;
 
 use desim::{EventQueue, SimDuration, SimTime};
+use faults::{CheckpointSpec, FaultPlan, RateTimeline};
 
+use crate::efficiency::IterationPoint;
 use crate::workload::{PhaseWorkload, ProfileCache, Workload};
 
 /// One phase of an analytic job: `work` of serial computation with parallel
@@ -140,6 +154,17 @@ pub enum SchedulePolicy {
         /// Efficiency floor an iteration's allocation must clear.
         min_efficiency: f64,
     },
+    /// Malleable scheduling plus fault-aware recovery: interrupted jobs
+    /// resume from their last checkpoint after a capped exponential
+    /// backoff instead of restarting from scratch.
+    ElasticRecovery {
+        /// Efficiency floor an iteration's allocation must clear.
+        min_efficiency: f64,
+        /// Requeue delay after a job's first interruption.
+        base_backoff: SimDuration,
+        /// Ceiling on the exponentially growing backoff.
+        max_backoff: SimDuration,
+    },
 }
 
 /// Completion record of one job.
@@ -152,8 +177,17 @@ pub struct JobRecord {
     /// Time the job completed.
     pub completion: SimTime,
     /// Node allocation actually granted for each executed iteration — the
-    /// job's allocation trajectory under the policy.
+    /// job's allocation trajectory under the policy. Restarted segments
+    /// append to the trajectory.
     pub allocations: Vec<u32>,
+    /// Times the job was interrupted by a fault and had to restart.
+    pub restarts: u32,
+    /// Work discarded by interruptions: completed iterations past the last
+    /// usable checkpoint plus the in-flight fraction at the interrupt.
+    pub lost_work: SimDuration,
+    /// Extra wall time spent inside slowdown/degrade windows relative to
+    /// the nominal iteration spans.
+    pub degraded: SimDuration,
 }
 
 /// Outcome of one server simulation.
@@ -194,6 +228,26 @@ impl ServerReport {
         self.job(name).map(|j| j.start)
     }
 
+    /// Total fault-induced restarts across all completed jobs.
+    pub fn total_restarts(&self) -> u32 {
+        self.jobs.iter().map(|j| j.restarts).sum()
+    }
+
+    /// Total work discarded by interruptions across all completed jobs.
+    pub fn total_lost_work(&self) -> SimDuration {
+        self.jobs
+            .iter()
+            .fold(SimDuration::ZERO, |acc, j| acc + j.lost_work)
+    }
+
+    /// Total degradation (extra wall time under slowdown/degrade windows)
+    /// across all completed jobs.
+    pub fn total_degraded(&self) -> SimDuration {
+        self.jobs
+            .iter()
+            .fold(SimDuration::ZERO, |acc, j| acc + j.degraded)
+    }
+
     /// Mean completion time (flow-time proxy for service rate). Returns
     /// `0.0` when no jobs completed — callers comparing policies on an
     /// empty workload see equal (not NaN) means.
@@ -212,15 +266,96 @@ impl ServerReport {
 #[derive(Clone, Debug)]
 enum Ev {
     Arrival(usize),
-    PhaseEnd { job: usize, gen: u64 },
+    PhaseEnd {
+        job: usize,
+        gen: u64,
+    },
+    /// Outage `i` of the fault plan fires.
+    Fault(usize),
+    /// A preempted node rejoins the free pool.
+    Return(u32),
+    /// An elastically recovering job re-enters the waiting queue after its
+    /// backoff.
+    Requeue(usize),
 }
 
 struct RunningJob {
-    nodes: u32,
+    /// Identities of the nodes the job currently holds.
+    held: Vec<u32>,
     phase: usize,
-    start: SimTime,
     gen: u64,
+    iter_start: SimTime,
+    iter_span: SimDuration,
+    iter_work: SimDuration,
+}
+
+/// Per-job bookkeeping that survives interruptions.
+#[derive(Default)]
+struct JobState {
+    restarts: u32,
+    lost_work: SimDuration,
+    degraded: SimDuration,
+    /// Work of iterations completed and not discarded by a restart.
+    done_work: SimDuration,
+    /// Work completed since the last checkpoint boundary.
+    since_ckpt: SimDuration,
+    /// Iteration the next (re)start begins at.
+    resume_phase: usize,
+    /// Charge the checkpoint-read cost on the next start.
+    pending_restart: bool,
+    first_start: Option<SimTime>,
     allocations: Vec<u32>,
+}
+
+/// The plan-derived inputs that price an iteration: the slowdown/degrade
+/// timelines plus the checkpoint spec, fixed for a whole server run.
+struct FaultPricing<'a> {
+    cpu: &'a RateTimeline,
+    link: &'a RateTimeline,
+    ckpt: &'a CheckpointSpec,
+}
+
+/// Wall time of one iteration on a specific node set at a specific time:
+/// the profile's nominal span stretched by any active slowdown (CPU) and
+/// degrade (link) windows — a window on *any* held node delays the whole
+/// iteration, matching the BSP-style synchronization of the workloads —
+/// plus the checkpoint write cost at checkpoint boundaries and the
+/// checkpoint read cost on a restart. Returns `(span, degradation extra)`.
+/// With no windows active the nominal span passes through untouched.
+fn priced_span(
+    held: &[u32],
+    point: &IterationPoint,
+    at: SimTime,
+    pricing: &FaultPricing<'_>,
+    iter: usize,
+    restart_cost: SimDuration,
+) -> (SimDuration, SimDuration) {
+    let mut span = point.span;
+    let mut degraded = SimDuration::ZERO;
+    if !pricing.cpu.is_empty() || !pricing.link.is_empty() {
+        let cpu_f = held
+            .iter()
+            .map(|&n| pricing.cpu.factor_at(n, at))
+            .fold(1.0f64, f64::min);
+        let link_f = held
+            .iter()
+            .map(|&n| pricing.link.factor_at(n, at))
+            .fold(1.0f64, f64::min);
+        if cpu_f != 1.0 || link_f != 1.0 {
+            // Split the span into a compute part (ideal work share) and a
+            // communication/imbalance part, and stretch each by its factor.
+            let compute = point.cpu_work.mul_f64(1.0 / held.len() as f64).min(span);
+            let comm = span - compute;
+            let slowed = compute.mul_f64(1.0 / cpu_f) + comm.mul_f64(1.0 / link_f);
+            degraded = slowed.saturating_sub(span);
+            span = slowed;
+        }
+    }
+    if pricing.ckpt.checkpoints_after(iter) {
+        span += pricing.ckpt.checkpoint_cost;
+    }
+    span += restart_cost;
+    (span, degraded)
 }
 
 /// The cluster server simulation.
@@ -257,7 +392,8 @@ impl ClusterSim {
         let cap = request.min(available).min(w.max_nodes());
         match self.policy {
             SchedulePolicy::Rigid => cap,
-            SchedulePolicy::Malleable { min_efficiency } => {
+            SchedulePolicy::Malleable { min_efficiency }
+            | SchedulePolicy::ElasticRecovery { min_efficiency, .. } => {
                 let mut best = 1;
                 for n in 1..=cap {
                     if cache.efficiency(w, n, iter) >= min_efficiency {
@@ -280,6 +416,30 @@ impl ClusterSim {
     /// same (simulator-backed) job set share one cache and pay for each
     /// engine run once.
     pub fn run_with_cache(&self, jobs: &[Job], cache: &mut ProfileCache) -> ServerReport {
+        self.run_with_faults(jobs, &FaultPlan::none(), cache)
+    }
+
+    /// Simulates the submitted jobs under a [`FaultPlan`].
+    ///
+    /// Crashes remove nodes permanently; preemptions remove them until the
+    /// outage's return time; slowdown/degrade windows stretch the
+    /// iterations of jobs holding the struck nodes. A fault on a held node
+    /// interrupts its job: the work since the last usable checkpoint (plus
+    /// the in-flight fraction) is discarded, and the job re-enters the
+    /// queue — immediately and from scratch under [`SchedulePolicy::Rigid`]
+    /// and [`SchedulePolicy::Malleable`], from its last checkpoint after a
+    /// capped exponential backoff under
+    /// [`SchedulePolicy::ElasticRecovery`].
+    ///
+    /// An empty plan reproduces [`ClusterSim::run_with_cache`] exactly.
+    /// Jobs that can never run again (e.g. every node crashed) are absent
+    /// from the report.
+    pub fn run_with_faults(
+        &self,
+        jobs: &[Job],
+        plan: &FaultPlan,
+        cache: &mut ProfileCache,
+    ) -> ServerReport {
         for j in jobs {
             assert!(
                 j.requested_nodes >= 1 && j.requested_nodes <= self.total_nodes,
@@ -295,53 +455,92 @@ impl ClusterSim {
             );
             assert!(j.workload.iterations() >= 1, "job {} has no phases", j.name);
         }
+        let cpu_tl = RateTimeline::new(plan.cpu_windows());
+        let link_tl = RateTimeline::new(plan.link_windows());
+        let outages = plan.outages();
+        let ckpt = plan.checkpoint;
+        let pricing = FaultPricing {
+            cpu: &cpu_tl,
+            link: &link_tl,
+            ckpt: &ckpt,
+        };
+        let elastic = matches!(self.policy, SchedulePolicy::ElasticRecovery { .. });
+
         let mut q: EventQueue<Ev> = EventQueue::new();
         for (i, j) in jobs.iter().enumerate() {
             q.schedule(j.arrival, Ev::Arrival(i));
         }
-        let mut free = self.total_nodes;
+        for (i, o) in outages.iter().enumerate() {
+            q.schedule(o.at, Ev::Fault(i));
+        }
+        // The free pool carries node identities (kept sorted; grants take
+        // the lowest ids) so outages can tell a held node from a free one.
+        let mut free: Vec<u32> = (0..self.total_nodes).collect();
+        let mut dead: Vec<bool> = vec![false; self.total_nodes as usize];
+        let mut away: Vec<bool> = vec![false; self.total_nodes as usize];
         let mut waiting: VecDeque<usize> = VecDeque::new();
         let mut running: Vec<Option<RunningJob>> = jobs.iter().map(|_| None).collect();
+        let mut st: Vec<JobState> = jobs.iter().map(|_| JobState::default()).collect();
         let mut report = ServerReport::default();
         #[allow(unused_assignments)]
         let mut now = SimTime::ZERO;
         let mut gen_counter = 0u64;
 
         // Starts any waiting jobs that now fit, in FCFS order. Under the
-        // malleable policy jobs are also *moldable*: they may start on a
+        // malleable policies jobs are also *moldable*: they may start on a
         // reduced allocation (at least half the request) rather than wait
-        // for the full one.
+        // for the full one. Requests are capped at the surviving capacity
+        // so jobs stay schedulable after crashes.
         let moldable = !matches!(self.policy, SchedulePolicy::Rigid);
         macro_rules! start_waiting {
             () => {
                 while let Some(&idx) = waiting.front() {
-                    let req = jobs[idx].requested_nodes;
-                    let min_start = if moldable { req.div_ceil(2) } else { req };
-                    if min_start > free {
+                    let alive = self.total_nodes - dead.iter().filter(|&&d| d).count() as u32;
+                    let req = jobs[idx].requested_nodes.min(alive);
+                    if req == 0 {
                         break;
                     }
-                    let grant = req.min(free);
+                    let min_start = if moldable { req.div_ceil(2) } else { req };
+                    if min_start as usize > free.len() {
+                        break;
+                    }
+                    let grant = req.min(free.len() as u32);
                     waiting.pop_front();
-                    free -= grant;
+                    let held: Vec<u32> = free.drain(..grant as usize).collect();
                     gen_counter += 1;
-                    let point = cache.point(&*jobs[idx].workload, grant, 0);
-                    let rj = RunningJob {
-                        nodes: grant,
-                        phase: 0,
-                        start: now,
-                        gen: gen_counter,
-                        allocations: vec![grant],
+                    let s = &mut st[idx];
+                    let phase0 = s.resume_phase;
+                    let restart_cost = if s.pending_restart {
+                        ckpt.restart_cost
+                    } else {
+                        SimDuration::ZERO
                     };
+                    s.pending_restart = false;
+                    let point = cache.point(&*jobs[idx].workload, grant, phase0);
+                    let (span, extra) =
+                        priced_span(&held, &point, now, &pricing, phase0, restart_cost);
+                    s.degraded += extra;
+                    if s.first_start.is_none() {
+                        s.first_start = Some(now);
+                    }
+                    s.allocations.push(grant);
                     q.schedule(
-                        now + point.span,
+                        now + span,
                         Ev::PhaseEnd {
                             job: idx,
                             gen: gen_counter,
                         },
                     );
-                    report.allocated_node_seconds += grant as f64 * point.span.as_secs_f64();
+                    report.allocated_node_seconds += grant as f64 * span.as_secs_f64();
                     report.work_node_seconds += point.cpu_work.as_secs_f64();
-                    running[idx] = Some(rj);
+                    running[idx] = Some(RunningJob {
+                        held,
+                        phase: phase0,
+                        gen: gen_counter,
+                        iter_start: now,
+                        iter_span: span,
+                        iter_work: point.cpu_work,
+                    });
                 }
             };
         }
@@ -359,16 +558,27 @@ impl ClusterSim {
                         continue;
                     }
                     let rj = running[job].as_mut().expect("job running");
+                    let completed = rj.phase;
                     rj.phase += 1;
+                    st[job].done_work += rj.iter_work;
+                    st[job].since_ckpt += rj.iter_work;
+                    if ckpt.checkpoints_after(completed) {
+                        st[job].since_ckpt = SimDuration::ZERO;
+                    }
                     if rj.phase == jobs[job].workload.iterations() {
                         // Job done: free everything.
-                        free += rj.nodes;
                         let done = running[job].take().expect("job running");
+                        free.extend(done.held);
+                        free.sort_unstable();
+                        let s = &mut st[job];
                         report.jobs.push(JobRecord {
                             name: jobs[job].name.clone(),
-                            start: done.start,
+                            start: s.first_start.expect("job started"),
                             completion: now,
-                            allocations: done.allocations,
+                            allocations: std::mem::take(&mut s.allocations),
+                            restarts: s.restarts,
+                            lost_work: s.lost_work,
+                            degraded: s.degraded,
                         });
                         report.makespan = report.makespan.max(now);
                         start_waiting!();
@@ -378,29 +588,133 @@ impl ClusterSim {
                     // boundary.
                     let w = &*jobs[job].workload;
                     let iter = rj.phase;
-                    let nodes = rj.nodes;
-                    let target =
-                        self.target_nodes(cache, w, iter, jobs[job].requested_nodes, nodes + free);
+                    let nodes = rj.held.len() as u32;
+                    let target = self.target_nodes(
+                        cache,
+                        w,
+                        iter,
+                        jobs[job].requested_nodes,
+                        nodes + free.len() as u32,
+                    );
                     let rj = running[job].as_mut().expect("job running");
-                    if target < rj.nodes {
-                        free += rj.nodes - target;
-                    } else {
-                        free -= target - rj.nodes;
+                    if target < nodes {
+                        // Release the highest-numbered held nodes.
+                        rj.held.sort_unstable();
+                        free.extend(rj.held.split_off(target as usize));
+                        free.sort_unstable();
+                    } else if target > nodes {
+                        rj.held.extend(free.drain(..(target - nodes) as usize));
                     }
-                    rj.nodes = target;
-                    rj.allocations.push(target);
+                    st[job].allocations.push(target);
                     let point = cache.point(w, target, iter);
+                    let (span, extra) =
+                        priced_span(&rj.held, &point, now, &pricing, iter, SimDuration::ZERO);
+                    st[job].degraded += extra;
                     gen_counter += 1;
                     rj.gen = gen_counter;
-                    report.allocated_node_seconds += target as f64 * point.span.as_secs_f64();
+                    rj.iter_start = now;
+                    rj.iter_span = span;
+                    rj.iter_work = point.cpu_work;
+                    report.allocated_node_seconds += target as f64 * span.as_secs_f64();
                     report.work_node_seconds += point.cpu_work.as_secs_f64();
                     q.schedule(
-                        now + point.span,
+                        now + span,
                         Ev::PhaseEnd {
                             job,
                             gen: gen_counter,
                         },
                     );
+                    start_waiting!();
+                }
+                Ev::Fault(i) => {
+                    let o = &outages[i];
+                    let node = o.node;
+                    if node >= self.total_nodes || dead[node as usize] {
+                        continue;
+                    }
+                    let crash = o.returns.is_none();
+                    if away[node as usize] {
+                        // Already out of service; a crash while away makes
+                        // the removal permanent.
+                        if crash {
+                            dead[node as usize] = true;
+                        }
+                        continue;
+                    }
+                    if let Some(pos) = free.iter().position(|&n| n == node) {
+                        free.remove(pos);
+                    } else if let Some(job) = (0..jobs.len()).find(|&j| {
+                        running[j]
+                            .as_ref()
+                            .is_some_and(|rj| rj.held.contains(&node))
+                    }) {
+                        // Interrupt the holder: refund the unfinished part
+                        // of the iteration and the work that will replay,
+                        // then requeue the job per policy.
+                        let rj = running[job].take().expect("job running");
+                        let s = &mut st[job];
+                        let elapsed = now - rj.iter_start;
+                        let remaining = rj.iter_span.saturating_sub(elapsed);
+                        report.allocated_node_seconds -=
+                            rj.held.len() as f64 * remaining.as_secs_f64();
+                        let partial = if rj.iter_span.is_zero() {
+                            SimDuration::ZERO
+                        } else {
+                            rj.iter_work
+                                .mul_f64(elapsed.as_secs_f64() / rj.iter_span.as_secs_f64())
+                        };
+                        let replay = if elastic { s.since_ckpt } else { s.done_work };
+                        report.work_node_seconds -= (replay + rj.iter_work).as_secs_f64();
+                        s.lost_work += replay + partial;
+                        s.restarts += 1;
+                        s.done_work -= replay;
+                        s.since_ckpt = SimDuration::ZERO;
+                        s.resume_phase = if elastic {
+                            ckpt.resume_point(rj.phase)
+                        } else {
+                            0
+                        };
+                        s.pending_restart = elastic && s.resume_phase > 0;
+                        // Surviving nodes return to the pool; the struck
+                        // one does not.
+                        free.extend(rj.held.into_iter().filter(|&n| n != node));
+                        free.sort_unstable();
+                        match self.policy {
+                            SchedulePolicy::ElasticRecovery {
+                                base_backoff,
+                                max_backoff,
+                                ..
+                            } => {
+                                let shift = (s.restarts - 1).min(20);
+                                let backoff = SimDuration(
+                                    base_backoff
+                                        .as_nanos()
+                                        .saturating_mul(1u64 << shift)
+                                        .min(max_backoff.as_nanos()),
+                                );
+                                q.schedule(now + backoff, Ev::Requeue(job));
+                            }
+                            _ => waiting.push_back(job),
+                        }
+                    }
+                    if crash {
+                        dead[node as usize] = true;
+                    } else {
+                        away[node as usize] = true;
+                        q.schedule(o.returns.expect("preemption returns"), Ev::Return(node));
+                    }
+                    start_waiting!();
+                }
+                Ev::Return(node) => {
+                    away[node as usize] = false;
+                    if !dead[node as usize] {
+                        free.push(node);
+                        free.sort_unstable();
+                        start_waiting!();
+                    }
+                }
+                Ev::Requeue(job) => {
+                    waiting.push_back(job);
                     start_waiting!();
                 }
             }
@@ -513,6 +827,9 @@ mod tests {
                 start: SimTime::ZERO,
                 completion: SimTime::ZERO,
                 allocations: Vec::new(),
+                restarts: 0,
+                lost_work: SimDuration::ZERO,
+                degraded: SimDuration::ZERO,
             }],
             makespan: SimTime::ZERO,
             allocated_node_seconds: 0.0,
@@ -565,6 +882,220 @@ mod tests {
         assert!(after_rigid >= 1);
         ClusterSim::new(8, SchedulePolicy::Rigid).run_with_cache(&jobs, &mut cache);
         assert_eq!(cache.len(), after_rigid, "second run hits the memo");
+    }
+
+    fn crash_plan(at_s: u64, node: u32) -> FaultPlan {
+        use faults::{FaultEvent, FaultKind};
+        FaultPlan::new(
+            vec![FaultEvent {
+                at: SimTime(at_s * 1_000_000_000),
+                node,
+                kind: FaultKind::NodeCrash,
+            }],
+            CheckpointSpec::none(),
+        )
+    }
+
+    fn elastic(min_efficiency: f64) -> SchedulePolicy {
+        SchedulePolicy::ElasticRecovery {
+            min_efficiency,
+            base_backoff: SimDuration::from_secs(2),
+            max_backoff: SimDuration::from_secs(60),
+        }
+    }
+
+    #[test]
+    fn empty_plan_reproduces_the_fault_free_run() {
+        for policy in [
+            SchedulePolicy::Rigid,
+            SchedulePolicy::Malleable {
+                min_efficiency: 0.5,
+            },
+            elastic(0.5),
+        ] {
+            let jobs = [lu_job("a", 0, 6), lu_job("b", 3, 4)];
+            let base = ClusterSim::new(8, policy).run(&jobs);
+            let faulted = ClusterSim::new(8, policy).run_with_faults(
+                &jobs,
+                &FaultPlan::none(),
+                &mut ProfileCache::new(),
+            );
+            assert_eq!(base.jobs, faulted.jobs);
+            assert_eq!(base.makespan, faulted.makespan);
+            assert_eq!(base.allocated_node_seconds, faulted.allocated_node_seconds);
+            assert_eq!(base.work_node_seconds, faulted.work_node_seconds);
+            assert_eq!(faulted.total_restarts(), 0);
+            assert_eq!(faulted.total_lost_work(), SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn crash_on_a_held_node_restarts_the_job() {
+        let jobs = [lu_job("a", 0, 4)];
+        let quiet = ClusterSim::new(8, SchedulePolicy::Rigid).run(&jobs);
+        // Strike node 0 (held by the only job) mid-run.
+        let mid = quiet.makespan.as_secs_f64() as u64 / 2;
+        let r = ClusterSim::new(8, SchedulePolicy::Rigid).run_with_faults(
+            &jobs,
+            &crash_plan(mid.max(1), 0),
+            &mut ProfileCache::new(),
+        );
+        assert_eq!(r.jobs.len(), 1, "job still completes on surviving nodes");
+        assert_eq!(r.jobs[0].restarts, 1);
+        assert!(r.jobs[0].lost_work > SimDuration::ZERO);
+        assert!(
+            r.jobs[0].completion > quiet.jobs[0].completion,
+            "replaying lost work delays completion"
+        );
+    }
+
+    #[test]
+    fn crash_on_a_free_node_only_shrinks_capacity() {
+        let jobs = [lu_job("a", 0, 4)];
+        let quiet = ClusterSim::new(8, SchedulePolicy::Rigid).run(&jobs);
+        // Nodes 0..4 are held; node 7 is free for the whole run.
+        let r = ClusterSim::new(8, SchedulePolicy::Rigid).run_with_faults(
+            &jobs,
+            &crash_plan(1, 7),
+            &mut ProfileCache::new(),
+        );
+        assert_eq!(r.jobs, quiet.jobs, "the job never notices");
+    }
+
+    #[test]
+    fn elastic_recovery_resumes_from_checkpoint_and_beats_full_restart() {
+        use faults::{FaultEvent, FaultKind};
+        // Checkpoint every iteration with tiny costs; crash after a couple
+        // of iterations completed. The elastic policy replays only the
+        // in-flight iteration, the malleable policy replays everything.
+        let plan = FaultPlan::new(
+            vec![FaultEvent {
+                at: SimTime(100 * 1_000_000_000),
+                node: 0,
+                kind: FaultKind::NodeCrash,
+            }],
+            CheckpointSpec::every(
+                1,
+                SimDuration::from_millis(10),
+                SimDuration::from_millis(10),
+            ),
+        );
+        let jobs = || [lu_job("a", 0, 4)];
+        let mall = ClusterSim::new(
+            8,
+            SchedulePolicy::Malleable {
+                min_efficiency: 0.5,
+            },
+        )
+        .run_with_faults(&jobs(), &plan, &mut ProfileCache::new());
+        let el = ClusterSim::new(8, elastic(0.5)).run_with_faults(
+            &jobs(),
+            &plan,
+            &mut ProfileCache::new(),
+        );
+        assert_eq!(mall.jobs.len(), 1);
+        assert_eq!(el.jobs.len(), 1);
+        assert_eq!(el.total_restarts(), 1);
+        assert!(
+            el.total_lost_work() < mall.total_lost_work(),
+            "checkpoint resume loses less work ({:?} !< {:?})",
+            el.total_lost_work(),
+            mall.total_lost_work()
+        );
+        assert!(
+            el.jobs[0].completion < mall.jobs[0].completion,
+            "elastic recovery finishes earlier"
+        );
+    }
+
+    #[test]
+    fn preempted_node_returns_to_service() {
+        use faults::{FaultEvent, FaultKind};
+        // Preempt a free node across the whole horizon minus a bit: after
+        // it returns, a waiting rigid job that needs all 4 nodes can start.
+        let plan = FaultPlan::new(
+            vec![FaultEvent {
+                at: SimTime(1_000_000_000),
+                node: 3,
+                kind: FaultKind::NodePreempt {
+                    return_after: SimDuration::from_secs(30),
+                },
+            }],
+            CheckpointSpec::none(),
+        );
+        let jobs = [lu_job("a", 2, 4)];
+        let r = ClusterSim::new(4, SchedulePolicy::Rigid).run_with_faults(
+            &jobs,
+            &plan,
+            &mut ProfileCache::new(),
+        );
+        assert_eq!(r.jobs.len(), 1, "job runs once the node returns");
+        // The rigid job could not start before the node returned at t=31.
+        assert_eq!(r.jobs[0].start, SimTime(31 * 1_000_000_000));
+        assert_eq!(r.jobs[0].restarts, 0);
+    }
+
+    #[test]
+    fn slowdown_window_stretches_iterations_of_the_holder() {
+        use faults::{FaultEvent, FaultKind};
+        let jobs = || [lu_job("a", 0, 4)];
+        let quiet = ClusterSim::new(8, SchedulePolicy::Rigid).run(&jobs());
+        let plan = FaultPlan::new(
+            vec![FaultEvent {
+                at: SimTime::ZERO,
+                node: 0,
+                kind: FaultKind::NodeSlowdown {
+                    factor: 0.5,
+                    window: SimDuration::from_secs(1_000),
+                },
+            }],
+            CheckpointSpec::none(),
+        );
+        let r = ClusterSim::new(8, SchedulePolicy::Rigid).run_with_faults(
+            &jobs(),
+            &plan,
+            &mut ProfileCache::new(),
+        );
+        assert_eq!(r.jobs.len(), 1);
+        assert_eq!(r.total_restarts(), 0, "a slowdown is not an interruption");
+        assert!(r.jobs[0].degraded > SimDuration::ZERO);
+        assert!(r.jobs[0].completion > quiet.jobs[0].completion);
+        assert_eq!(
+            r.jobs[0].completion,
+            quiet.jobs[0].completion + r.jobs[0].degraded,
+            "all extra wall time is accounted as degradation"
+        );
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        use faults::FaultGenConfig;
+        let cfg = FaultGenConfig {
+            crashes: 1,
+            preempts: 1,
+            slowdowns: 2,
+            degrades: 1,
+            checkpoint: CheckpointSpec::every(
+                2,
+                SimDuration::from_millis(50),
+                SimDuration::from_millis(100),
+            ),
+            ..FaultGenConfig::quiet(8, SimDuration::from_secs(300))
+        };
+        let plan = cfg.generate(7);
+        let mk = || [lu_job("a", 0, 6), lu_job("b", 3, 4), lu_job("c", 5, 2)];
+        let r1 = ClusterSim::new(8, elastic(0.5)).run_with_faults(
+            &mk(),
+            &plan,
+            &mut ProfileCache::new(),
+        );
+        let r2 = ClusterSim::new(8, elastic(0.5)).run_with_faults(
+            &mk(),
+            &plan,
+            &mut ProfileCache::new(),
+        );
+        assert_eq!(r1.jobs, r2.jobs);
+        assert_eq!(r1.makespan, r2.makespan);
     }
 
     #[test]

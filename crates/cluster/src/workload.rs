@@ -147,6 +147,8 @@ impl Workload for PhaseWorkload {
 #[derive(Default)]
 pub struct ProfileCache {
     map: FxHashMap<(String, u32), EfficiencyProfile>,
+    hits: u64,
+    misses: u64,
 }
 
 impl ProfileCache {
@@ -165,10 +167,22 @@ impl ProfileCache {
         self.map.is_empty()
     }
 
+    /// Lookups served from the memo (no profile computation).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that had to compute (and store) a fresh profile.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
     /// The profile of `w` at `nodes`, computing and memoizing it on first
     /// use.
     pub fn profile(&mut self, w: &dyn Workload, nodes: u32) -> &EfficiencyProfile {
-        self.map.entry((w.key(), nodes)).or_insert_with(|| {
+        let key = (w.key(), nodes);
+        if !self.map.contains_key(&key) {
+            self.misses += 1;
             let p = w.profile(nodes);
             assert_eq!(
                 p.points.len(),
@@ -176,8 +190,11 @@ impl ProfileCache {
                 "workload {} profile at {nodes} nodes has wrong length",
                 w.key()
             );
-            p
-        })
+            self.map.insert(key.clone(), p);
+        } else {
+            self.hits += 1;
+        }
+        self.map.get(&key).expect("just ensured")
     }
 
     /// One iteration's point of `w` at `nodes` (cloned out of the cache).
@@ -278,6 +295,24 @@ mod tests {
         let w2 = PhaseWorkload::new(lu_like_job(SimDuration::from_secs(100), 5));
         cache.efficiency(&w2, 8, 2);
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn profile_cache_counts_hits_and_misses() {
+        let w = PhaseWorkload::new(lu_like_job(SimDuration::from_secs(100), 5));
+        let mut cache = ProfileCache::new();
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+        cache.profile(&w, 4);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        cache.profile(&w, 4);
+        cache.point(&w, 4, 2);
+        assert_eq!((cache.hits(), cache.misses()), (2, 1));
+        cache.profile(&w, 8);
+        assert_eq!((cache.hits(), cache.misses()), (2, 2));
+        // A structurally identical workload hits the shared entry.
+        let w2 = PhaseWorkload::new(lu_like_job(SimDuration::from_secs(100), 5));
+        cache.profile(&w2, 8);
+        assert_eq!((cache.hits(), cache.misses()), (3, 2));
     }
 
     #[test]

@@ -96,6 +96,20 @@ impl SimFabric {
     pub fn set_node_capacity(&mut self, node: NodeId, up: f64, down: f64) {
         self.net.set_node_capacity(node, up, down);
     }
+
+    /// Schedules a temporary capacity multiplier on one node's ports over
+    /// `[from, to)` (fault injection; see the `faults` crate).
+    pub fn schedule_capacity_window(
+        &mut self,
+        node: NodeId,
+        up_factor: f64,
+        down_factor: f64,
+        from: SimTime,
+        to: SimTime,
+    ) {
+        self.net
+            .schedule_capacity_window(node, up_factor, down_factor, from, to);
+    }
 }
 
 impl Fabric for SimFabric {

@@ -28,6 +28,7 @@
 
 pub mod engine;
 pub mod fabric;
+pub mod fault;
 pub mod memory;
 pub mod report;
 pub mod timing;
@@ -35,6 +36,7 @@ pub mod trace;
 
 pub use engine::{simulate, simulate_with_fabric, SimConfig};
 pub use fabric::{Fabric, SimFabric};
+pub use fault::FaultFabric;
 pub use memory::MemoryMeter;
 pub use report::{Interval, RunReport};
 pub use timing::{Stopwatch, TimingMode, TimingState};

@@ -87,10 +87,16 @@ impl Trace {
 
     /// Exports the trace in Chrome's trace-event JSON format (load in
     /// `chrome://tracing` or Perfetto): one track per DPS thread for the
-    /// atomic steps, one per node pair for transfers.
+    /// atomic steps, async begin/end pairs on a per-node-pair track for
+    /// transfers (so overlapping transfers on the same pair nest instead of
+    /// occluding), and one counter track per node showing how many steps
+    /// were running there over time.
     pub fn to_chrome_trace(&self) -> String {
         fn esc(s: &str) -> String {
             s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        fn us(t: SimTime) -> f64 {
+            t.as_nanos() as f64 / 1e3
         }
         let mut out = String::from("[");
         let mut first = true;
@@ -108,7 +114,7 @@ impl Trace {
                 format!(
                     r#"{{"name":"{}","cat":"step","ph":"X","ts":{:.3},"dur":{:.3},"pid":{},"tid":{}}}"#,
                     esc(&s.op_name),
-                    s.start.as_nanos() as f64 / 1e3,
+                    us(s.start),
                     dur_us,
                     s.node.0,
                     s.thread.0
@@ -116,15 +122,49 @@ impl Trace {
                 &mut first,
             );
         }
-        for t in &self.transfers {
-            let dur_us = (t.end.as_nanos() - t.start.as_nanos()) as f64 / 1e3;
+        // Transfers as async (flow) events: matched "b"/"e" pairs keyed by a
+        // per-transfer id, carrying payload metadata in args.
+        for (i, t) in self.transfers.iter().enumerate() {
+            let tid = u64::from(t.src.0) * 1000 + u64::from(t.dst.0);
+            let name = format!("xfer {}B", t.bytes);
             push(
                 format!(
-                    r#"{{"name":"xfer {}B","cat":"net","ph":"X","ts":{:.3},"dur":{:.3},"pid":1000,"tid":{}}}"#,
+                    r#"{{"name":"{name}","cat":"net","ph":"b","id":{i},"ts":{:.3},"pid":1000,"tid":{tid},"args":{{"bytes":{},"src":{},"dst":{}}}}}"#,
+                    us(t.start),
                     t.bytes,
-                    t.start.as_nanos() as f64 / 1e3,
-                    dur_us,
-                    t.src.0 * 1000 + t.dst.0
+                    t.src.0,
+                    t.dst.0
+                ),
+                &mut first,
+            );
+            push(
+                format!(
+                    r#"{{"name":"{name}","cat":"net","ph":"e","id":{i},"ts":{:.3},"pid":1000,"tid":{tid}}}"#,
+                    us(t.end)
+                ),
+                &mut first,
+            );
+        }
+        // Per-node utilization: a counter track sampling the number of
+        // concurrently running steps at every start/end boundary.
+        let mut deltas: std::collections::BTreeMap<(u32, SimTime), i64> =
+            std::collections::BTreeMap::new();
+        for s in &self.steps {
+            *deltas.entry((s.node.0, s.start)).or_default() += 1;
+            *deltas.entry((s.node.0, s.end)).or_default() -= 1;
+        }
+        let mut running = 0i64;
+        let mut cur_node = None;
+        for ((node, at), delta) in deltas {
+            if cur_node != Some(node) {
+                cur_node = Some(node);
+                running = 0;
+            }
+            running += delta;
+            push(
+                format!(
+                    r#"{{"name":"running steps","cat":"util","ph":"C","ts":{:.3},"pid":{node},"args":{{"running":{running}}}}}"#,
+                    us(at)
                 ),
                 &mut first,
             );
@@ -214,13 +254,38 @@ mod tests {
         let json = tr.to_chrome_trace();
         assert!(json.starts_with('['));
         assert!(json.trim_end().ends_with(']'));
+        // Steps are complete events; transfers are async begin/end pairs.
         assert!(json.contains(r#""ph":"X""#));
+        assert_eq!(json.matches(r#""ph":"b""#).count(), 1);
+        assert_eq!(json.matches(r#""ph":"e""#).count(), 1);
         assert!(json.contains("xfer 1234B"));
+        assert!(json.contains(r#""args":{"bytes":1234,"src":0,"dst":1}"#));
+        // One utilization counter sample per step boundary.
+        assert_eq!(json.matches(r#""ph":"C""#).count(), 2);
+        assert!(json.contains(r#""args":{"running":1}"#));
+        assert!(json.contains(r#""args":{"running":0}"#));
         // The quote in the op name is escaped.
         assert!(json.contains("split \\\"odd\\\""));
         // Rough JSON sanity: balanced braces.
         let opens = json.matches('{').count();
         let closes = json.matches('}').count();
         assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn chrome_trace_counter_tracks_concurrency() {
+        // Two overlapping steps on one node: counter goes 1, 2, 1, 0.
+        let tr = Trace {
+            steps: vec![step(0, "a", 0, 100), {
+                let mut s = step(1, "b", 50, 150);
+                s.node = NodeId(0);
+                s
+            }],
+            transfers: vec![],
+        };
+        let json = tr.to_chrome_trace();
+        assert!(json.contains(r#""args":{"running":2}"#));
+        let zeros = json.matches(r#""args":{"running":0}"#).count();
+        assert_eq!(zeros, 1, "count returns to zero once, at the end");
     }
 }

@@ -1,0 +1,139 @@
+//! Querying rate windows over time.
+//!
+//! [`RateTimeline`] answers the questions injection layers ask about a set
+//! of [`RateWindow`]s: what is the effective rate multiplier of a node at
+//! an instant, when does the next window boundary fall, and which nodes'
+//! multipliers changed across a time interval.
+
+use desim::SimTime;
+
+use crate::plan::RateWindow;
+
+/// A queryable set of per-node rate windows.
+#[derive(Clone, Debug, Default)]
+pub struct RateTimeline {
+    windows: Vec<RateWindow>,
+}
+
+impl RateTimeline {
+    /// A timeline over the given windows.
+    pub fn new(windows: Vec<RateWindow>) -> RateTimeline {
+        for w in &windows {
+            assert!(w.to > w.from, "empty rate window");
+            assert!(w.factor > 0.0 && w.factor <= 1.0);
+        }
+        RateTimeline { windows }
+    }
+
+    /// Whether the timeline has no windows (every factor is exactly 1).
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// The windows.
+    pub fn windows(&self) -> &[RateWindow] {
+        &self.windows
+    }
+
+    /// Effective multiplier of `node` at time `t`: the product of every
+    /// window active at `t` (windows are active on `[from, to)`). Exactly
+    /// `1.0` when no window applies, so fault-free nodes keep bit-identical
+    /// rates.
+    pub fn factor_at(&self, node: u32, t: SimTime) -> f64 {
+        let mut f = 1.0;
+        for w in &self.windows {
+            if w.node == node && w.from <= t && t < w.to {
+                f *= w.factor;
+            }
+        }
+        f
+    }
+
+    /// The earliest window boundary strictly after `t`, if any — the next
+    /// instant at which some node's multiplier changes.
+    pub fn next_boundary_after(&self, t: SimTime) -> Option<SimTime> {
+        self.windows
+            .iter()
+            .flat_map(|w| [w.from, w.to])
+            .filter(|&b| b > t)
+            .min()
+    }
+
+    /// Appends to `out` every node whose multiplier changes somewhere in
+    /// `(prev, now]` (nodes may repeat).
+    pub fn changed_nodes(&self, prev: SimTime, now: SimTime, out: &mut Vec<u32>) {
+        for w in &self.windows {
+            if (w.from > prev && w.from <= now) || (w.to > prev && w.to <= now) {
+                out.push(w.node);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tl() -> RateTimeline {
+        RateTimeline::new(vec![
+            RateWindow {
+                node: 1,
+                factor: 0.5,
+                from: SimTime(10),
+                to: SimTime(20),
+            },
+            RateWindow {
+                node: 1,
+                factor: 0.5,
+                from: SimTime(15),
+                to: SimTime(30),
+            },
+            RateWindow {
+                node: 2,
+                factor: 0.25,
+                from: SimTime(5),
+                to: SimTime(25),
+            },
+        ])
+    }
+
+    #[test]
+    fn factors_multiply_inside_overlaps() {
+        let t = tl();
+        assert_eq!(t.factor_at(1, SimTime(0)), 1.0);
+        assert_eq!(t.factor_at(1, SimTime(10)), 0.5); // from is inclusive
+        assert_eq!(t.factor_at(1, SimTime(17)), 0.25); // overlap multiplies
+        assert_eq!(t.factor_at(1, SimTime(20)), 0.5); // to is exclusive
+        assert_eq!(t.factor_at(1, SimTime(30)), 1.0);
+        assert_eq!(t.factor_at(2, SimTime(10)), 0.25);
+        assert_eq!(t.factor_at(7, SimTime(10)), 1.0, "untouched node");
+    }
+
+    #[test]
+    fn boundaries_walk_forward() {
+        let t = tl();
+        assert_eq!(t.next_boundary_after(SimTime(0)), Some(SimTime(5)));
+        assert_eq!(t.next_boundary_after(SimTime(5)), Some(SimTime(10)));
+        assert_eq!(t.next_boundary_after(SimTime(20)), Some(SimTime(25)));
+        assert_eq!(t.next_boundary_after(SimTime(30)), None);
+        assert_eq!(
+            RateTimeline::default().next_boundary_after(SimTime(0)),
+            None
+        );
+    }
+
+    #[test]
+    fn changed_nodes_cover_the_interval() {
+        let t = tl();
+        let mut out = Vec::new();
+        t.changed_nodes(SimTime(0), SimTime(10), &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![1, 2]);
+        out.clear();
+        t.changed_nodes(SimTime(25), SimTime(30), &mut out);
+        assert_eq!(out, vec![1]);
+        out.clear();
+        t.changed_nodes(SimTime(30), SimTime(99), &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -66,6 +66,18 @@ pub fn predict_lu(cfg: &LuConfig, net: NetParams, simcfg: &SimConfig) -> LuRun {
     finish(cfg, &sh, report)
 }
 
+/// Predicts the run against an arbitrary machine model (e.g. a
+/// `dps_sim::FaultFabric` with injected slowdowns and link degradations).
+pub fn predict_lu_with_fabric(
+    cfg: &LuConfig,
+    fabric: &mut dyn dps_sim::Fabric,
+    simcfg: &SimConfig,
+) -> LuRun {
+    let (app, sh) = build_lu_app(cfg.clone());
+    let report = dps_sim::simulate_with_fabric(&app, fabric, simcfg);
+    finish(cfg, &sh, report)
+}
+
 /// "Measures" the run on the ground-truth testbed emulator.
 pub fn measure_lu(cfg: &LuConfig, tb: TestbedParams, seed: u64, simcfg: &SimConfig) -> LuRun {
     let (app, sh) = build_lu_app(cfg.clone());

@@ -59,6 +59,19 @@ struct PortLoad {
     n_out: usize,
 }
 
+/// A scheduled per-node capacity multiplier, active on `[from, to)` —
+/// degraded links during a fault window. Factors multiply the node's base
+/// capacity (overridden or default) while active.
+#[derive(Clone, Copy, Debug)]
+struct CapWindow {
+    node: NodeId,
+    up_factor: f64,
+    down_factor: f64,
+    from: SimTime,
+    to: SimTime,
+    active: bool,
+}
+
 /// Flow-level star-topology network (see crate docs).
 pub struct Network {
     params: NetParams,
@@ -93,6 +106,12 @@ pub struct Network {
     /// Per-node (up, down) capacity overrides for heterogeneous clusters
     /// (straggler nodes, mixed link speeds).
     caps: FxHashMap<NodeId, (f64, f64)>,
+    /// Scheduled time-windowed capacity multipliers (fault injection);
+    /// windows whose end has passed are dropped.
+    windows: Vec<CapWindow>,
+    /// Cached product of the *active* windows' factors per node; absent
+    /// means exactly (1, 1), so fault-free nodes keep bit-identical rates.
+    window_factor: FxHashMap<NodeId, (f64, f64)>,
 }
 
 impl Network {
@@ -115,6 +134,8 @@ impl Network {
             scratch: Vec::new(),
             stats: NetStats::default(),
             caps: FxHashMap::default(),
+            windows: Vec::new(),
+            window_factor: FxHashMap::default(),
         }
     }
 
@@ -134,12 +155,100 @@ impl Network {
         self.dirty_dst.insert(node);
     }
 
-    /// Effective (up, down) capacity of a node.
+    /// Schedules a time-windowed capacity multiplier on one node's links:
+    /// on `[from, to)` the node's up/down capacities are scaled by the
+    /// given factors (in `(0, 1]`). Windows on the same node compose by
+    /// multiplication. This is the link-level fault-injection hook — the
+    /// equal-share fairness solver sees the degraded capacity and re-splits
+    /// rates at the window boundaries.
+    pub fn schedule_capacity_window(
+        &mut self,
+        node: NodeId,
+        up_factor: f64,
+        down_factor: f64,
+        from: SimTime,
+        to: SimTime,
+    ) {
+        assert!(
+            up_factor > 0.0 && up_factor <= 1.0 && down_factor > 0.0 && down_factor <= 1.0,
+            "capacity window factors must be in (0, 1]"
+        );
+        assert!(to > from, "empty capacity window");
+        self.windows.push(CapWindow {
+            node,
+            up_factor,
+            down_factor,
+            from,
+            to,
+            active: false,
+        });
+    }
+
+    /// Effective (up, down) capacity of a node, including any active
+    /// fault-window multipliers.
     pub fn node_capacity(&self, node: NodeId) -> (f64, f64) {
-        self.caps
+        let (up, down) = self
+            .caps
             .get(&node)
             .copied()
-            .unwrap_or((self.params.up_bytes_per_sec, self.params.down_bytes_per_sec))
+            .unwrap_or((self.params.up_bytes_per_sec, self.params.down_bytes_per_sec));
+        match self.window_factor.get(&node) {
+            Some(&(fu, fd)) => (up * fu, down * fd),
+            None => (up, down),
+        }
+    }
+
+    /// Earliest boundary of a not-yet-finished capacity window strictly
+    /// relevant to the future: start of a pending window or end of an
+    /// active one.
+    fn next_window_boundary(&self) -> Option<SimTime> {
+        self.windows
+            .iter()
+            .map(|w| if w.active { w.to } else { w.from })
+            .min()
+    }
+
+    /// Applies window starts/ends up to `now`: flips states, drops finished
+    /// windows, recomputes the cached per-node factors and marks affected
+    /// ports dirty so `reassign_rates` re-splits their flows.
+    fn apply_windows(&mut self, now: SimTime) {
+        if self.windows.is_empty() {
+            return;
+        }
+        let mut touched: Vec<NodeId> = Vec::new();
+        for w in &mut self.windows {
+            if !w.active && w.from <= now {
+                w.active = true;
+                touched.push(w.node);
+            }
+            if w.active && w.to <= now {
+                w.active = false;
+                w.from = SimTime::MAX; // finished: never reactivates
+                touched.push(w.node);
+            }
+        }
+        if touched.is_empty() {
+            return;
+        }
+        self.windows.retain(|w| w.from != SimTime::MAX || w.active);
+        touched.sort_unstable();
+        touched.dedup();
+        for node in touched {
+            let mut f = (1.0, 1.0);
+            let mut any = false;
+            for w in self.windows.iter().filter(|w| w.active && w.node == node) {
+                f.0 *= w.up_factor;
+                f.1 *= w.down_factor;
+                any = true;
+            }
+            if any {
+                self.window_factor.insert(node, f);
+            } else {
+                self.window_factor.remove(&node);
+            }
+            self.dirty_src.insert(node);
+            self.dirty_dst.insert(node);
+        }
     }
 
     /// The platform parameters.
@@ -204,11 +313,11 @@ impl Network {
     pub fn next_event_time(&mut self) -> Option<SimTime> {
         let lat = self.latent.front().map(|&(ready, ..)| ready);
         let fin = self.active.earliest_completion().map(|(_, t)| t);
-        match (lat, fin) {
-            (None, x) => x,
-            (x, None) => x,
+        let min2 = |a: Option<SimTime>, b: Option<SimTime>| match (a, b) {
+            (None, x) | (x, None) => x,
             (Some(a), Some(b)) => Some(a.min(b)),
-        }
+        };
+        min2(min2(lat, fin), self.next_window_boundary())
     }
 
     /// Advances the model to `now`, promoting flows out of their latency
@@ -216,6 +325,10 @@ impl Network {
     pub fn advance(&mut self, now: SimTime) -> Vec<NetEvent> {
         // Drain bytes at the rates valid up to `now` first.
         self.active.advance_to(now);
+
+        // Capacity-window boundaries crossed by this advance take effect
+        // now: the affected ports get re-split below.
+        self.apply_windows(now);
 
         // Promote latency-expired flows into the bandwidth phase.
         while let Some(&(ready, ..)) = self.latent.front() {
@@ -516,6 +629,64 @@ mod tests {
             let order: Vec<FlowId> = done.iter().map(|(_, id)| *id).collect();
             assert_eq!(order, ids, "tie-broken by flow id");
         }
+    }
+
+    #[test]
+    fn capacity_window_degrades_and_restores_bandwidth() {
+        // 1 MB at 1 MB/s, but the uplink runs at 25% during [0.5s, 1.5s):
+        // 0.5 MB delivered by 0.5s, 0.25 MB during the window, the final
+        // 0.25 MB at full speed => done at 1.75s.
+        let mut n = net(0, 1e6);
+        n.schedule_capacity_window(
+            NodeId(0),
+            0.25,
+            0.25,
+            SimTime(500_000_000),
+            SimTime(1_500_000_000),
+        );
+        let a = n.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), 1_000_000);
+        n.advance(SimTime::ZERO);
+        assert_eq!(n.flow_rate(a), Some(1e6));
+        // The window start is a reported event boundary.
+        assert_eq!(n.next_event_time(), Some(SimTime(500_000_000)));
+        n.advance(SimTime(500_000_000));
+        assert_eq!(n.flow_rate(a), Some(0.25e6));
+        assert_eq!(n.node_capacity(NodeId(0)), (0.25e6, 0.25e6));
+        let done = drain(&mut n);
+        assert_eq!(done[0].0, SimTime(1_750_000_000));
+        // Window is gone: capacity restored, no further boundaries.
+        assert_eq!(n.node_capacity(NodeId(0)), (1e6, 1e6));
+        assert_eq!(n.next_event_time(), None);
+    }
+
+    #[test]
+    fn overlapping_windows_compose_multiplicatively() {
+        let mut n = net(0, 1e6);
+        n.schedule_capacity_window(NodeId(0), 0.5, 1.0, SimTime(0), SimTime(10_000_000_000));
+        n.schedule_capacity_window(NodeId(0), 0.5, 1.0, SimTime(0), SimTime(5_000_000_000));
+        let a = n.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), 1_000_000);
+        n.advance(SimTime::ZERO);
+        assert_eq!(n.flow_rate(a), Some(0.25e6));
+        // Untouched nodes keep exactly the default capacity.
+        assert_eq!(n.node_capacity(NodeId(1)), (1e6, 1e6));
+    }
+
+    #[test]
+    fn windows_do_not_disturb_other_nodes_or_past_flows() {
+        let mut n = net(0, 1e6);
+        n.schedule_capacity_window(
+            NodeId(5),
+            0.1,
+            0.1,
+            SimTime(100_000_000),
+            SimTime(200_000_000),
+        );
+        let a = n.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), 1_000_000);
+        let done = drain(&mut n);
+        assert_eq!(
+            done.iter().find(|(_, id)| *id == a).unwrap().0,
+            SimTime(1_000_000_000)
+        );
     }
 
     #[test]

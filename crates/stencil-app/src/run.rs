@@ -57,6 +57,18 @@ pub fn predict_stencil(cfg: &StencilConfig, net: NetParams, simcfg: &SimConfig) 
     finish(cfg, &sh, report)
 }
 
+/// Predicts the run against an arbitrary machine model (e.g. a
+/// `dps_sim::FaultFabric` with injected slowdowns and link degradations).
+pub fn predict_stencil_with_fabric(
+    cfg: &StencilConfig,
+    fabric: &mut dyn dps_sim::Fabric,
+    simcfg: &SimConfig,
+) -> StencilRun {
+    let (app, sh) = build_stencil_app(cfg.clone());
+    let report = dps_sim::simulate_with_fabric(&app, fabric, simcfg);
+    finish(cfg, &sh, report)
+}
+
 /// "Measures" the run on the testbed emulator.
 pub fn measure_stencil(
     cfg: &StencilConfig,

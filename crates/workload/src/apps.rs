@@ -33,7 +33,7 @@ fn env_fingerprint(net: &NetParams, simcfg: &SimConfig) -> u64 {
 
 /// Builds a thread-removal plan realizing a per-iteration allocation
 /// schedule, or `None` when the schedule grows (removal cannot re-add).
-fn removal_plan(allocs: &[u32]) -> Option<Vec<(usize, u32)>> {
+pub(crate) fn removal_plan(allocs: &[u32]) -> Option<Vec<(usize, u32)>> {
     let mut plan = Vec::new();
     for (k, w) in allocs.windows(2).enumerate() {
         if w[1] > w[0] {
@@ -55,9 +55,9 @@ fn removal_plan(allocs: &[u32]) -> Option<Vec<(usize, u32)>> {
 /// set packed onto `n` nodes, like the paper's "eight column blocks on four
 /// nodes".
 pub struct LuWorkload {
-    cfg: LuConfig,
-    net: NetParams,
-    simcfg: SimConfig,
+    pub(crate) cfg: LuConfig,
+    pub(crate) net: NetParams,
+    pub(crate) simcfg: SimConfig,
     key: String,
 }
 
@@ -154,9 +154,9 @@ impl Workload for LuWorkload {
 /// Its flat dynamic-efficiency profile is the counterpoint to LU's decay:
 /// an efficiency-driven server keeps the stencil's nodes and harvests LU's.
 pub struct StencilWorkload {
-    cfg: StencilConfig,
-    net: NetParams,
-    simcfg: SimConfig,
+    pub(crate) cfg: StencilConfig,
+    pub(crate) net: NetParams,
+    pub(crate) simcfg: SimConfig,
     key: String,
 }
 

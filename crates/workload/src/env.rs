@@ -33,11 +33,26 @@ pub struct SimEnv {
     pub cost: LuCost,
     /// Engine configuration shared by every run.
     pub simcfg: SimConfig,
+    /// Root seed every stochastic ingredient of an experiment derives from
+    /// (workload generators, fault schedules). Deliberately *not* part of
+    /// the workload cache keys — profiles are deterministic given a config,
+    /// so runs with different seeds still share memoized profiles.
+    pub seed: u64,
 }
 
+/// Default root seed ([`SimEnv::paper`]); the `scenarios` binary's `--seed`
+/// flag overrides it via [`SimEnv::paper_seeded`].
+pub const DEFAULT_SEED: u64 = 42;
+
 impl SimEnv {
-    /// The paper's setup: UltraSparc II nodes on Fast Ethernet.
+    /// The paper's setup: UltraSparc II nodes on Fast Ethernet, at the
+    /// default root seed.
     pub fn paper() -> SimEnv {
+        SimEnv::paper_seeded(DEFAULT_SEED)
+    }
+
+    /// The paper's setup with an explicit root seed.
+    pub fn paper_seeded(seed: u64) -> SimEnv {
         SimEnv {
             net: NetParams::fast_ethernet(),
             tb: TestbedParams::sun_cluster(),
@@ -48,6 +63,7 @@ impl SimEnv {
                 record_trace: false,
                 ..SimConfig::default()
             },
+            seed,
         }
     }
 

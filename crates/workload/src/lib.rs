@@ -16,6 +16,11 @@
 //! * [`SimEnv`] ([`mod@env`]) is the one place where
 //!   `NetParams`/`TestbedParams`/`SimConfig`/cost-model wiring lives — the
 //!   bench figure binaries, the examples and the scenarios all share it;
+//! * [`faulted`] plays a deterministic [`faults::FaultPlan`] against those
+//!   applications — crashes map onto the thread-removal machinery at
+//!   iteration boundaries with checkpoint/restart replay costs, slowdown
+//!   and link-degrade windows inject through the fault fabric — and
+//!   [`FaultedWorkload`] keys the server's profile cache by fault schedule;
 //! * [`scenarios`] is a registry of named experiment setups
 //!   ([`ScenarioSpec`]) the `scenarios` runner binary lists and executes
 //!   through the bench harness.
@@ -24,11 +29,13 @@
 
 pub mod apps;
 pub mod env;
+pub mod faulted;
 pub mod scenarios;
 
 pub use apps::{LuWorkload, StencilWorkload};
-pub use env::{SimEnv, N};
+pub use env::{SimEnv, DEFAULT_SEED, N};
+pub use faulted::{FaultAware, FaultedRun, FaultedWorkload};
 pub use scenarios::{
-    builtin_scenarios, find_scenario, server_policies, shrink_schedule, sim_job_set, ScenarioPoint,
-    ScenarioSpec,
+    builtin_scenarios, fault_server_policies, find_scenario, server_policies, shrink_schedule,
+    sim_job_set, ScenarioCtx, ScenarioPoint, ScenarioSpec,
 };

@@ -8,11 +8,40 @@
 //! cores with the bench harness — each point is a pure closure returning
 //! `(field, value)` records, so parallel and serial execution produce
 //! byte-identical output.
+//!
+//! Expansion happens under a [`ScenarioCtx`] carrying the smoke flag and
+//! the **root seed**: every stochastic ingredient (analytic job sets,
+//! fault schedules) derives from that one number, so a whole experiment
+//! reruns bit-identically from `scenarios <name> --seed N`.
 
 use cluster::{random_jobs, ClusterSim, Job, ProfileCache, SchedulePolicy, Workload};
-use desim::SimTime;
+use desim::{SimDuration, SimTime};
+use faults::{CheckpointSpec, FaultEvent, FaultGenConfig, FaultPlan};
 
-use crate::env::SimEnv;
+use crate::env::{SimEnv, DEFAULT_SEED};
+
+/// Execution context a scenario expands under.
+#[derive(Clone, Copy, Debug)]
+pub struct ScenarioCtx {
+    /// Whether a CI-sized subset of points is requested.
+    pub smoke: bool,
+    /// Root seed forwarded into [`SimEnv::paper_seeded`] — workload
+    /// generators and fault schedules all derive from it.
+    pub seed: u64,
+}
+
+impl ScenarioCtx {
+    /// A context with an explicit smoke flag and seed.
+    pub fn new(smoke: bool, seed: u64) -> ScenarioCtx {
+        ScenarioCtx { smoke, seed }
+    }
+}
+
+impl Default for ScenarioCtx {
+    fn default() -> Self {
+        ScenarioCtx::new(false, DEFAULT_SEED)
+    }
+}
 
 /// One independently runnable point of a scenario.
 pub struct ScenarioPoint {
@@ -42,17 +71,17 @@ pub struct ScenarioSpec {
     pub name: &'static str,
     /// One-line description shown by `scenarios --list`.
     pub summary: &'static str,
-    /// Expands the scenario into independent points; `smoke` requests a
-    /// CI-sized subset.
-    pub points: fn(smoke: bool) -> Vec<ScenarioPoint>,
+    /// Expands the scenario into independent points under a context
+    /// (smoke subset, root seed).
+    pub points: fn(ctx: &ScenarioCtx) -> Vec<ScenarioPoint>,
 }
 
 impl ScenarioSpec {
     /// Runs every point serially, returning `(label, fields)` rows — the
     /// runner binary uses the bench harness to fan points across cores
     /// instead.
-    pub fn run_serial(&self, smoke: bool) -> Vec<(String, Vec<(&'static str, f64)>)> {
-        (self.points)(smoke)
+    pub fn run_serial(&self, ctx: &ScenarioCtx) -> Vec<(String, Vec<(&'static str, f64)>)> {
+        (self.points)(ctx)
             .into_iter()
             .map(|p| (p.label.clone(), (p.run)()))
             .collect()
@@ -100,6 +129,21 @@ pub fn server_policies() -> Vec<(&'static str, SchedulePolicy)> {
     ]
 }
 
+/// The fault-scenario policy set: the two standard policies plus the
+/// recovering elastic scheduler.
+pub fn fault_server_policies() -> Vec<(&'static str, SchedulePolicy)> {
+    let mut pols = server_policies();
+    pols.push((
+        "elastic",
+        SchedulePolicy::ElasticRecovery {
+            min_efficiency: 0.5,
+            base_backoff: SimDuration::from_secs(2),
+            max_backoff: SimDuration::from_secs(60),
+        },
+    ));
+    pols
+}
+
 fn server_fields(report: &cluster::ServerReport) -> Vec<(&'static str, f64)> {
     vec![
         ("jobs", report.jobs.len() as f64),
@@ -112,8 +156,15 @@ fn server_fields(report: &cluster::ServerReport) -> Vec<(&'static str, f64)> {
     ]
 }
 
-fn profile_fields(w: &dyn Workload, nodes: u32) -> Vec<(&'static str, f64)> {
-    let p = w.profile(nodes);
+fn fault_server_fields(report: &cluster::ServerReport) -> Vec<(&'static str, f64)> {
+    let mut fields = server_fields(report);
+    fields.push(("restarts", f64::from(report.total_restarts())));
+    fields.push(("lost_work_secs", report.total_lost_work().as_secs_f64()));
+    fields.push(("degraded_secs", report.total_degraded().as_secs_f64()));
+    fields
+}
+
+fn profile_fields(p: &cluster::EfficiencyProfile) -> Vec<(&'static str, f64)> {
     let first = p.points.first().map_or(0.0, |pt| pt.efficiency);
     let last = p.points.last().map_or(0.0, |pt| pt.efficiency);
     vec![
@@ -124,40 +175,43 @@ fn profile_fields(w: &dyn Workload, nodes: u32) -> Vec<(&'static str, f64)> {
     ]
 }
 
-fn lu_efficiency_points(smoke: bool) -> Vec<ScenarioPoint> {
-    let nodes: &[u32] = if smoke { &[4] } else { &[2, 4, 8] };
+fn lu_efficiency_points(ctx: &ScenarioCtx) -> Vec<ScenarioPoint> {
+    let nodes: &[u32] = if ctx.smoke { &[4] } else { &[2, 4, 8] };
+    let seed = ctx.seed;
     nodes
         .iter()
         .map(|&n| {
             ScenarioPoint::new(format!("lu {n} nodes"), move || {
-                let env = SimEnv::paper();
+                let env = SimEnv::paper_seeded(seed);
                 let w = env.lu_workload(env.lu_sized(288, 36, 8));
-                profile_fields(&w, n)
+                profile_fields(&w.profile(n))
             })
         })
         .collect()
 }
 
-fn stencil_efficiency_points(smoke: bool) -> Vec<ScenarioPoint> {
-    let nodes: &[u32] = if smoke { &[4] } else { &[2, 4, 8] };
+fn stencil_efficiency_points(ctx: &ScenarioCtx) -> Vec<ScenarioPoint> {
+    let nodes: &[u32] = if ctx.smoke { &[4] } else { &[2, 4, 8] };
+    let seed = ctx.seed;
     nodes
         .iter()
         .map(|&n| {
             ScenarioPoint::new(format!("stencil {n} nodes"), move || {
-                let env = SimEnv::paper();
+                let env = SimEnv::paper_seeded(seed);
                 let w = env.stencil_workload(env.stencil(256, 8, 8));
-                profile_fields(&w, n)
+                profile_fields(&w.profile(n))
             })
         })
         .collect()
 }
 
-fn server_sim_points(_smoke: bool) -> Vec<ScenarioPoint> {
+fn server_sim_points(ctx: &ScenarioCtx) -> Vec<ScenarioPoint> {
+    let seed = ctx.seed;
     server_policies()
         .into_iter()
         .map(|(label, policy)| {
             ScenarioPoint::new(format!("server-sim {label}"), move || {
-                let env = SimEnv::paper();
+                let env = SimEnv::paper_seeded(seed);
                 let report = ClusterSim::new(8, policy).run(&sim_job_set(&env));
                 server_fields(&report)
             })
@@ -165,13 +219,16 @@ fn server_sim_points(_smoke: bool) -> Vec<ScenarioPoint> {
         .collect()
 }
 
-fn server_analytic_points(smoke: bool) -> Vec<ScenarioPoint> {
-    let count = if smoke { 6 } else { 16 };
+fn server_analytic_points(ctx: &ScenarioCtx) -> Vec<ScenarioPoint> {
+    let count = if ctx.smoke { 6 } else { 16 };
+    let seed = ctx.seed;
     server_policies()
         .into_iter()
         .map(|(label, policy)| {
             ScenarioPoint::new(format!("server-analytic {label}"), move || {
-                let jobs = random_jobs(count, 8, 2024);
+                // Offset chosen so the default root seed (42) reproduces the
+                // job set this scenario has always used (42 + 1982 = 2024).
+                let jobs = random_jobs(count, 8, seed.wrapping_add(1982));
                 let report = ClusterSim::new(8, policy).run(&jobs);
                 server_fields(&report)
             })
@@ -192,7 +249,7 @@ pub fn shrink_schedule(allocs: &[u32]) -> Vec<u32> {
         .collect()
 }
 
-fn server_shrink_points(_smoke: bool) -> Vec<ScenarioPoint> {
+fn server_shrink_points(_ctx: &ScenarioCtx) -> Vec<ScenarioPoint> {
     vec![ScenarioPoint::new("lu shrink vs fixed", || {
         let env = SimEnv::paper();
         let w = env.lu_workload(env.lu_sized(288, 36, 8));
@@ -217,6 +274,109 @@ fn server_shrink_points(_smoke: bool) -> Vec<ScenarioPoint> {
             ("realized_secs", realized),
         ]
     })]
+}
+
+fn lu_crash_points(ctx: &ScenarioCtx) -> Vec<ScenarioPoint> {
+    let seed = ctx.seed;
+    [("lu quiet", 0usize), ("lu crash", 1)]
+        .into_iter()
+        .map(|(label, crashes)| {
+            ScenarioPoint::new(label, move || {
+                let env = SimEnv::paper_seeded(seed);
+                let w = env.lu_workload(env.lu_sized(288, 36, 8));
+                // Draw the crash from the first 80% of the quiet run so it
+                // lands while the application is still working.
+                let horizon = w.profile(8).total_span().mul_f64(0.8);
+                let plan = FaultGenConfig {
+                    crashes,
+                    checkpoint: CheckpointSpec::every(
+                        3,
+                        SimDuration::from_millis(50),
+                        SimDuration::from_millis(200),
+                    ),
+                    ..FaultGenConfig::quiet(8, horizon)
+                }
+                .generate(env.seed);
+                let run = w
+                    .realize_under_faults(8, &plan)
+                    .expect("basic LU graphs realize fault schedules");
+                vec![
+                    ("span_secs", run.profile.total_span().as_secs_f64()),
+                    ("restarts", f64::from(run.restarts)),
+                    ("lost_work_secs", run.lost_work.as_secs_f64()),
+                    ("end_nodes", f64::from(*run.schedule.last().unwrap())),
+                ]
+            })
+        })
+        .collect()
+}
+
+fn stencil_slowdown_points(ctx: &ScenarioCtx) -> Vec<ScenarioPoint> {
+    let seed = ctx.seed;
+    [("stencil quiet", 0usize), ("stencil slowdown", 2)]
+        .into_iter()
+        .map(|(label, slowdowns)| {
+            ScenarioPoint::new(label, move || {
+                let env = SimEnv::paper_seeded(seed);
+                let w = env.stencil_workload(env.stencil(768, 12, 8));
+                // Fabric windows live on the engine's absolute timeline,
+                // where the iterations only start after the grid
+                // distribution finishes — draw the windows over the sweep
+                // phase and shift them past that network-dominated prefix,
+                // or they'd expire before any stencil compute runs.
+                let mut cfg = w.config().clone();
+                cfg.nodes = 8;
+                let quiet = env.predict_stencil(&cfg);
+                let dist = quiet.report.mark_time("dist").expect("distribution mark");
+                let base = FaultGenConfig {
+                    slowdowns,
+                    ..FaultGenConfig::quiet(8, quiet.sweep_time.mul_f64(0.8))
+                }
+                .generate(env.seed);
+                let events = base
+                    .events
+                    .iter()
+                    .map(|e| FaultEvent {
+                        at: dist + (e.at - SimTime::ZERO),
+                        ..*e
+                    })
+                    .collect();
+                let plan = FaultPlan::new(events, base.checkpoint);
+                profile_fields(&w.profile_under_faults(8, &plan))
+            })
+        })
+        .collect()
+}
+
+fn server_elastic_points(ctx: &ScenarioCtx) -> Vec<ScenarioPoint> {
+    let seed = ctx.seed;
+    fault_server_policies()
+        .into_iter()
+        .map(|(label, policy)| {
+            ScenarioPoint::new(format!("server-elastic {label}"), move || {
+                let env = SimEnv::paper_seeded(seed);
+                let jobs = sim_job_set(&env);
+                let mut cache = ProfileCache::new();
+                // Every policy row faces the *same* plan: its horizon comes
+                // from the rigid quiet makespan, not the row's own policy.
+                let quiet =
+                    ClusterSim::new(8, SchedulePolicy::Rigid).run_with_cache(&jobs, &mut cache);
+                let plan = FaultGenConfig {
+                    crashes: 1,
+                    preempts: 1,
+                    checkpoint: CheckpointSpec::every(
+                        2,
+                        SimDuration::from_millis(50),
+                        SimDuration::from_millis(200),
+                    ),
+                    ..FaultGenConfig::quiet(8, (quiet.makespan - SimTime::ZERO).mul_f64(0.6))
+                }
+                .generate(env.seed);
+                let report = ClusterSim::new(8, policy).run_with_faults(&jobs, &plan, &mut cache);
+                fault_server_fields(&report)
+            })
+        })
+        .collect()
 }
 
 /// The scenarios this crate registers (the bench crate appends the figure
@@ -248,6 +408,22 @@ pub fn builtin_scenarios() -> Vec<ScenarioSpec> {
             summary: "malleable shrink schedule replayed as one dps-sim run via thread removal",
             points: server_shrink_points,
         },
+        ScenarioSpec {
+            name: "lu-crash",
+            summary: "LU under a seeded node crash with checkpoint/restart replay, vs quiet",
+            points: lu_crash_points,
+        },
+        ScenarioSpec {
+            name: "stencil-slowdown",
+            summary: "stencil under seeded CPU-slowdown windows through the fault fabric",
+            points: stencil_slowdown_points,
+        },
+        ScenarioSpec {
+            name: "server-elastic",
+            summary:
+                "cluster server under a seeded fault plan: rigid vs malleable vs elastic recovery",
+            points: server_elastic_points,
+        },
     ]
 }
 
@@ -263,17 +439,19 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_listable() {
         let specs = builtin_scenarios();
-        assert!(specs.len() >= 5);
+        assert!(specs.len() >= 8);
         let mut names: Vec<_> = specs.iter().map(|s| s.name).collect();
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), specs.len(), "duplicate scenario names");
         assert!(find_scenario(&specs, "server-sim").is_some());
+        assert!(find_scenario(&specs, "server-elastic").is_some());
         assert!(find_scenario(&specs, "nope").is_none());
+        let ctx = ScenarioCtx::new(true, DEFAULT_SEED);
         for s in &specs {
             assert!(!s.summary.is_empty());
             assert!(
-                !(s.points)(true).is_empty(),
+                !(s.points)(&ctx).is_empty(),
                 "{} has no smoke points",
                 s.name
             );
@@ -284,12 +462,46 @@ mod tests {
     fn analytic_server_scenario_runs() {
         let specs = builtin_scenarios();
         let s = find_scenario(&specs, "server-analytic").unwrap();
-        let rows = s.run_serial(true);
+        let rows = s.run_serial(&ScenarioCtx::new(true, DEFAULT_SEED));
         assert_eq!(rows.len(), 2);
         for (label, fields) in &rows {
             assert!(label.starts_with("server-analytic"));
             let jobs = fields.iter().find(|(k, _)| *k == "jobs").unwrap().1;
             assert_eq!(jobs, 6.0);
+        }
+    }
+
+    #[test]
+    fn zero_fault_server_reproduces_the_fault_free_run() {
+        let env = SimEnv::paper();
+        let jobs = sim_job_set(&env);
+        let mut cache = ProfileCache::new();
+        let sim = ClusterSim::new(8, SchedulePolicy::Rigid);
+        let quiet = sim.run_with_cache(&jobs, &mut cache);
+        let empty = sim.run_with_faults(&jobs, &FaultPlan::none(), &mut cache);
+        assert_eq!(
+            quiet.jobs, empty.jobs,
+            "FaultPlan::none() must be a strict no-op"
+        );
+        assert_eq!(quiet.makespan, empty.makespan);
+        assert_eq!(quiet.mean_completion_secs(), empty.mean_completion_secs());
+        assert_eq!(quiet.allocation_efficiency(), empty.allocation_efficiency());
+    }
+
+    #[test]
+    fn elastic_scenario_sees_faults_at_the_default_seed() {
+        let specs = builtin_scenarios();
+        let s = find_scenario(&specs, "server-elastic").unwrap();
+        let rows = s.run_serial(&ScenarioCtx::default());
+        assert_eq!(rows.len(), 3);
+        for (label, fields) in &rows {
+            let get = |k: &str| fields.iter().find(|(f, _)| *f == k).unwrap().1;
+            assert!(
+                get("restarts") >= 1.0,
+                "{label}: the seeded crash must interrupt a held job"
+            );
+            assert!(get("lost_work_secs") > 0.0, "{label}: replay loses work");
+            assert_eq!(get("jobs"), 3.0);
         }
     }
 }

@@ -16,6 +16,9 @@
 //! * [`lu_app`] — block LU factorization as a DPS application.
 //! * [`stencil_app`] — Jacobi heat-diffusion stencil with neighborhood
 //!   halo exchanges (second evaluation workload).
+//! * [`faults`] — deterministic fault schedules ([`faults::FaultPlan`]),
+//!   seeded generation and checkpoint/restart cost modeling, injected into
+//!   the network, the engine and the cluster server.
 //! * [`cluster`] — dynamic allocation policies and the malleable cluster
 //!   server with its [`cluster::Workload`] trait.
 //! * [`workload`] — simulator-backed workloads ([`workload::LuWorkload`],
@@ -32,6 +35,7 @@ pub use desim;
 pub use desim::fxhash;
 pub use dps;
 pub use dps_sim as sim;
+pub use faults;
 pub use linalg;
 pub use lu_app;
 pub use netmodel;
