@@ -6,12 +6,14 @@
 //! every block size, P+FC improves further, and each strategy has its own
 //! optimal granularity.
 //!
-//! This is the heaviest single figure, so its wall clock (and the thread
-//! count it ran with) is recorded in `results/BENCH_engine.json` — compare
-//! a `DVNS_THREADS=1` run against the default to see the harness speedup.
+//! This is the heaviest single figure, so one invocation times the sweep
+//! both serially and at the harness's (core-clamped) thread count and
+//! records both rows in `results/BENCH_engine.json` — the harness speedup,
+//! or its absence on a single-core container, is visible without juggling
+//! `DVNS_THREADS` across runs.
 
 use dps_bench::{
-    emit, fig10_configs, run_pair, run_parallel, thread_count, time, BenchJson, Env, Pair,
+    emit, fig10_configs, run_pair, run_parallel_with, thread_count, time, BenchJson, Env, Pair,
 };
 use lu_app::LuConfig;
 use report::{Figure, Series};
@@ -26,8 +28,26 @@ fn main() {
     for (i, (strat, r, cfg)) in fig10_configs(&env).into_iter().enumerate() {
         points.push((strat, r, cfg, 301 + i as u64));
     }
-    let (pairs, wall): (Vec<Pair>, f64) =
-        time(|| run_parallel(&points, |_, (_, _, cfg, seed)| run_pair(&env, cfg, *seed)));
+    // Run the sweep serially and (when the clamped thread count allows) in
+    // parallel, so one invocation records both harness rows — the speedup,
+    // or its absence on a small container, is visible in a single
+    // BENCH_engine.json.
+    let (pairs, serial_wall): (Vec<Pair>, f64) = time(|| {
+        run_parallel_with(&points, 1, |_, (_, _, cfg, seed)| {
+            run_pair(&env, cfg, *seed)
+        })
+    });
+    let threads = thread_count().min(points.len());
+    let (parallel_pairs, parallel_wall): (Vec<Pair>, f64) = time(|| {
+        run_parallel_with(&points, threads, |_, (_, _, cfg, seed)| {
+            run_pair(&env, cfg, *seed)
+        })
+    });
+    assert_eq!(
+        parallel_pairs.len(),
+        pairs.len(),
+        "parallel sweep must cover every point"
+    );
 
     let reference = pairs[0];
     println!(
@@ -62,22 +82,23 @@ fn main() {
     }
     emit("fig10", &fig.render(), Some(&fig.to_csv()));
 
-    let threads = thread_count().min(points.len()) as f64;
     println!(
-        "fig10 sweep: {:.2}s wall on {} thread(s)",
-        wall, threads as usize
+        "fig10 sweep: {serial_wall:.2}s wall serial, {parallel_wall:.2}s on {threads} thread(s)"
     );
     let mut json = BenchJson::new();
-    let name = if threads <= 1.0 {
-        "fig10_sweep_serial"
-    } else {
-        "fig10_sweep_parallel"
-    };
     json.record(
-        name,
+        "fig10_sweep_serial",
         &[
-            ("wall_secs", wall),
-            ("threads", threads),
+            ("wall_secs", serial_wall),
+            ("threads", 1.0),
+            ("points", points.len() as f64),
+        ],
+    );
+    json.record(
+        "fig10_sweep_parallel",
+        &[
+            ("wall_secs", parallel_wall),
+            ("threads", threads as f64),
             ("points", points.len() as f64),
         ],
     );

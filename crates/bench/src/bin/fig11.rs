@@ -10,6 +10,7 @@ use cluster::profile_from_report;
 use dps_bench::{emit, removal_configs, run_parallel, Env};
 use lu_app::{LuConfig, LuRun};
 use report::{Figure, Series};
+use workload::sweep_lu_labelled;
 
 fn main() {
     let env = Env::paper();
@@ -28,9 +29,22 @@ fn main() {
         .filter(|(_, (label, _))| wanted.contains(&label.as_str()))
         .map(|(li, (label, cfg))| (li, label, cfg))
         .collect();
-    let runs: Vec<(LuRun, LuRun)> = run_parallel(&points, |_, (li, _, cfg)| {
-        (env.measure(cfg, 400 + *li as u64), env.predict(cfg))
+    // Measured curves come from the (stochastic) testbed, one full run
+    // each; the predicted curves share their simulation prefix through the
+    // fork-based sweep planner.
+    let measured: Vec<LuRun> = run_parallel(&points, |_, (li, _, cfg)| {
+        env.measure(cfg, 400 + *li as u64)
     });
+    let labelled: Vec<(String, LuConfig)> = points
+        .iter()
+        .map(|(_, l, c)| (l.clone(), c.clone()))
+        .collect();
+    let (predicted, _) = sweep_lu_labelled(&labelled, env.net, &env.simcfg);
+    let runs: Vec<(LuRun, LuRun)> = measured
+        .into_iter()
+        .zip(predicted)
+        .map(|(m, (_, p))| (m, p))
+        .collect();
 
     for ((_, label, _), (measured, predicted)) in points.iter().zip(runs) {
         for (suffix, run) in [("", measured), (" sim", predicted)] {

@@ -5,25 +5,58 @@
 //! computation or only for the first iteration yields almost the same
 //! running time — deallocating 4 nodes after iteration 1 frees half the
 //! cluster at a negligible cost; prediction errors are small.
+//!
+//! The predicted side runs through the shared-prefix sweep planner
+//! (`workload::sweep_lu_labelled`): every strategy executes identically
+//! until its first removal decision, so the sweep pays for that prefix once
+//! and forks per-strategy suffixes. `results/BENCH_engine.json` records the
+//! fresh-vs-forked wall clocks for this sweep and for a denser what-if
+//! sweep ("kill 4 after iteration k" for every k), where the prefix sharing
+//! is most pronounced.
 
-use dps_bench::{emit, removal_configs, run_pair, run_parallel, Env, Pair};
-use report::{Figure, Series};
+use dps_bench::{emit, removal_configs, run_parallel, smoke, time, BenchJson, Env};
+use lu_app::LuConfig;
+use report::{rel_error, Figure, Series};
+use workload::{sweep_lu_labelled, SweepStats};
+
+/// Times a removal family both ways — N fresh runs (the status quo) vs one
+/// shared prefix plus forks — asserting identical reports, and returns
+/// `(forked runs, stats, fresh wall, forked wall)`.
+fn run_both_ways(
+    env: &Env,
+    points: &[(String, LuConfig)],
+) -> (Vec<(String, lu_app::LuRun)>, SweepStats, f64, f64) {
+    let (fresh, fresh_wall) = time(|| run_parallel(points, |_, (_, cfg)| env.predict(cfg)));
+    let ((forked, stats), forked_wall) = time(|| sweep_lu_labelled(points, env.net, &env.simcfg));
+    for ((label, f), fr) in forked.iter().zip(&fresh) {
+        assert_eq!(
+            f.report.canonical_string(),
+            fr.report.canonical_string(),
+            "{label}: forked sweep must equal fresh runs"
+        );
+    }
+    (forked, stats, fresh_wall, forked_wall)
+}
 
 fn main() {
     let env = Env::paper();
     let points = removal_configs(&env);
-    let pairs: Vec<Pair> = run_parallel(&points, |i, (_, cfg)| run_pair(&env, cfg, 500 + i as u64));
+    let measured: Vec<f64> = run_parallel(&points, |i, (_, cfg)| {
+        env.measure(cfg, 500 + i as u64)
+            .factorization_time
+            .as_secs_f64()
+    });
+    let (forked, stats, fresh_wall, forked_wall) = run_both_ways(&env, &points);
 
-    let mut measured = Series::new("Measurement");
-    let mut predicted = Series::new("Prediction");
-    for ((label, _), pair) in points.iter().zip(&pairs) {
-        measured.push(label, pair.measured_secs);
-        predicted.push(label, pair.predicted_secs);
+    let mut m_series = Series::new("Measurement");
+    let mut p_series = Series::new("Prediction");
+    for ((label, run), m) in forked.iter().zip(&measured) {
+        let p = run.factorization_time.as_secs_f64();
+        m_series.push(label, *m);
+        p_series.push(label, p);
         println!(
-            "{label:<45} measured {:7.1}s  predicted {:7.1}s  (err {:+.1}%)",
-            pair.measured_secs,
-            pair.predicted_secs,
-            pair.rel_error() * 100.0
+            "{label:<45} measured {m:7.1}s  predicted {p:7.1}s  (err {:+.1}%)",
+            rel_error(*m, p) * 100.0
         );
     }
     println!();
@@ -31,7 +64,52 @@ fn main() {
         "Figure 12 — impact of removing multiplication threads [s]",
         "strategy",
     );
-    fig.add(measured);
-    fig.add(predicted);
+    fig.add(m_series);
+    fig.add(p_series);
     emit("fig12", &fig.render(), Some(&fig.to_csv()));
+
+    let mut json = BenchJson::new();
+    json.record(
+        "fig12_removal_sweep",
+        &[
+            ("points", points.len() as f64),
+            ("fresh_wall_secs", fresh_wall),
+            ("forked_wall_secs", forked_wall),
+            ("forked_points", stats.forked as f64),
+            ("speedup", fresh_wall / forked_wall.max(1e-12)),
+        ],
+    );
+
+    // The denser what-if sweep a scheduler would ask for: "what does
+    // killing half the nodes after iteration k cost?", for every k. All
+    // points share one prefix family, so the planner's advantage compounds.
+    let ks = if smoke() { 1..=3 } else { 1..=7 };
+    let mut whatif: Vec<(String, LuConfig)> = vec![("keep 8".into(), {
+        let mut c = env.lu(324, 8);
+        c.workers = 8;
+        c
+    })];
+    for k in ks {
+        let mut c = env.lu(324, 8);
+        c.workers = 8;
+        c.removal = vec![(k, 4)];
+        whatif.push((format!("kill 4 after it. {k}"), c));
+    }
+    let (_, stats, fresh_wall, forked_wall) = run_both_ways(&env, &whatif);
+    println!(
+        "what-if removal sweep ({} points): fresh {fresh_wall:.2}s, forked {forked_wall:.2}s ({:.2}x)",
+        whatif.len(),
+        fresh_wall / forked_wall.max(1e-12),
+    );
+    json.record(
+        "removal_whatif_sweep",
+        &[
+            ("points", whatif.len() as f64),
+            ("fresh_wall_secs", fresh_wall),
+            ("forked_wall_secs", forked_wall),
+            ("forked_points", stats.forked as f64),
+            ("speedup", fresh_wall / forked_wall.max(1e-12)),
+        ],
+    );
+    json.write();
 }

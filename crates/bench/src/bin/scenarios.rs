@@ -1,22 +1,26 @@
 //! Scenario runner: lists and executes any registered scenario —
 //! the workload crate's built-ins (efficiency profiles, the simulator-
 //! backed cluster server) plus this crate's figure reproductions —
-//! through the bench harness.
+//! through the bench harness, behind a persistent result cache.
 //!
 //! ```text
 //! scenarios --list          # every registered scenario
 //! scenarios server-sim      # run one (or several) by name
 //! scenarios --all           # run everything
 //! scenarios server-elastic --seed 7   # re-seed the stochastic inputs
+//! scenarios fig10-granularity --no-cache   # force recomputation
 //! ```
 //!
 //! `--seed N` (default 42) is the root seed every stochastic ingredient —
 //! analytic job sets, fault schedules — derives from; two invocations with
-//! the same seed emit byte-identical CSVs. `DVNS_SMOKE=1` shrinks every
-//! scenario to its CI-sized subset and `DVNS_THREADS` bounds the fan-out,
-//! exactly as for the figure binaries.
+//! the same seed emit byte-identical CSVs. That determinism backs the
+//! result cache (`results/cache/`, override with `DVNS_CACHE_DIR`): a rerun
+//! with an unchanged fingerprint replays the stored rendering instead of
+//! re-simulating, and `--no-cache` bypasses the lookup. `DVNS_SMOKE=1`
+//! shrinks every scenario to its CI-sized subset and `DVNS_THREADS` bounds
+//! the fan-out, exactly as for the figure binaries.
 
-use dps_bench::{emit, figure_scenarios, run_parallel, smoke, time, BenchJson};
+use dps_bench::{emit, figure_scenarios, run_scenario, smoke, time, BenchJson};
 use workload::{builtin_scenarios, find_scenario, ScenarioCtx, ScenarioSpec, DEFAULT_SEED};
 
 fn registry() -> Vec<ScenarioSpec> {
@@ -34,53 +38,22 @@ fn list(specs: &[ScenarioSpec]) {
     println!("\nrun with: scenarios <name>... | --all   (DVNS_SMOKE=1 for the CI-sized subset)");
 }
 
-/// Renders rows of `(label, fields)` as an aligned table; field names
-/// come from the first row (every point of a scenario reports the same
-/// fields).
-fn render(spec: &ScenarioSpec, rows: &[(String, Vec<(&'static str, f64)>)]) -> (String, String) {
-    let headers: Vec<&str> = rows
-        .first()
-        .map(|(_, fields)| fields.iter().map(|(k, _)| *k).collect())
-        .unwrap_or_default();
-    let label_w = rows
-        .iter()
-        .map(|(l, _)| l.len())
-        .chain(std::iter::once(spec.name.len()))
-        .max()
-        .unwrap_or(0);
-
-    let mut text = format!("{} — {}\n", spec.name, spec.summary);
-    let mut csv = String::from("label");
-    text.push_str(&format!("{:label_w$}", ""));
-    for h in &headers {
-        text.push_str(&format!("  {h:>24}"));
-        csv.push(',');
-        csv.push_str(h);
+fn run(spec: &ScenarioSpec, ctx: &ScenarioCtx, use_cache: bool, json: &mut BenchJson) {
+    let (outcome, wall) = time(|| run_scenario(spec, ctx, use_cache));
+    if outcome.cache_hit {
+        eprintln!("scenario {}: cache hit", spec.name);
     }
-    text.push('\n');
-    csv.push('\n');
-    for (label, fields) in rows {
-        text.push_str(&format!("{label:label_w$}"));
-        csv.push_str(label);
-        for (key, value) in fields {
-            debug_assert!(headers.contains(key));
-            text.push_str(&format!("  {value:>24.4}"));
-            csv.push_str(&format!(",{value}"));
-        }
-        text.push('\n');
-        csv.push('\n');
-    }
-    (text, csv)
-}
-
-fn run(spec: &ScenarioSpec, ctx: &ScenarioCtx, json: &mut BenchJson) {
-    let points = (spec.points)(ctx);
-    let (rows, wall) = time(|| run_parallel(&points, |_, p| (p.label.clone(), (p.run)())));
-    let (text, csv) = render(spec, &rows);
-    emit(&format!("scenario_{}", spec.name), &text, Some(&csv));
+    emit(
+        &format!("scenario_{}", spec.name),
+        &outcome.text,
+        Some(&outcome.csv),
+    );
     json.record(
         &format!("scenario_{}", spec.name),
-        &[("points", points.len() as f64), ("wall_secs", wall)],
+        &[
+            ("wall_secs", wall),
+            ("cache_hit", f64::from(u8::from(outcome.cache_hit))),
+        ],
     );
 }
 
@@ -97,6 +70,11 @@ fn main() {
             std::process::exit(2);
         });
         args.drain(i..=i + 1);
+    }
+    let mut use_cache = true;
+    if let Some(i) = args.iter().position(|a| a == "--no-cache") {
+        use_cache = false;
+        args.remove(i);
     }
     let ctx = ScenarioCtx::new(smoke(), seed);
     let specs = registry();
@@ -120,7 +98,7 @@ fn main() {
 
     let mut json = BenchJson::new();
     for spec in selected {
-        run(spec, &ctx, &mut json);
+        run(spec, &ctx, use_cache, &mut json);
     }
     json.write();
 }

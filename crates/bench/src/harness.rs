@@ -16,11 +16,33 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 /// Number of worker threads the harness fans out over: `DVNS_THREADS` if
-/// set (minimum 1), otherwise all available cores.
+/// set (clamped to `1..=available cores`), otherwise all available cores.
+///
+/// The clamp matters: the sweep points are CPU-bound simulator runs, so
+/// oversubscribing a small container (e.g. `DVNS_THREADS=4` on one core)
+/// only buys scheduler churn — a 4-thread run used to come out *slower*
+/// than the serial one there. An unparseable value falls back to all cores
+/// (the same as unset) with a warning, instead of silently forcing the
+/// serial path.
 pub fn thread_count() -> usize {
-    match std::env::var("DVNS_THREADS") {
-        Ok(v) => v.trim().parse::<usize>().unwrap_or(1).max(1),
-        Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    resolve_thread_count(std::env::var("DVNS_THREADS").ok().as_deref(), cores)
+}
+
+/// The pure policy behind [`thread_count`], split out for testing.
+fn resolve_thread_count(var: Option<&str>, cores: usize) -> usize {
+    match var {
+        Some(v) => match v.trim().parse::<usize>() {
+            Ok(n) => n.clamp(1, cores),
+            Err(_) => {
+                eprintln!(
+                    "warning: DVNS_THREADS={v:?} is not an unsigned integer; \
+                     using all {cores} core(s)"
+                );
+                cores
+            }
+        },
+        None => cores,
     }
 }
 
@@ -241,6 +263,21 @@ pub fn bench_iters(name: &str, iters: u32, mut f: impl FnMut()) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn thread_count_policy() {
+        // Unset: all cores.
+        assert_eq!(resolve_thread_count(None, 8), 8);
+        // Explicit counts clamp to 1..=cores — no oversubscription.
+        assert_eq!(resolve_thread_count(Some("1"), 8), 1);
+        assert_eq!(resolve_thread_count(Some("4"), 8), 4);
+        assert_eq!(resolve_thread_count(Some("64"), 8), 8);
+        assert_eq!(resolve_thread_count(Some("4"), 1), 1);
+        assert_eq!(resolve_thread_count(Some("0"), 8), 1);
+        // Garbage behaves like unset (all cores), not like "1".
+        assert_eq!(resolve_thread_count(Some("lots"), 8), 8);
+        assert_eq!(resolve_thread_count(Some(""), 2), 2);
+    }
 
     #[test]
     fn parallel_results_arrive_in_input_order() {

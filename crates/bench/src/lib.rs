@@ -23,8 +23,10 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod runner;
 pub mod scenarios;
 
 pub use experiments::*;
 pub use harness::{run_parallel, run_parallel_with, smoke, thread_count, time, BenchJson};
+pub use runner::{cache_dir, run_scenario, run_scenario_at, scenario_fingerprint, ScenarioOutcome};
 pub use scenarios::figure_scenarios;

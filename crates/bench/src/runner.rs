@@ -1,0 +1,197 @@
+//! Scenario execution with a persistent on-disk result cache.
+//!
+//! Scenario runs are deterministic functions of `(scenario, seed, smoke
+//! flag)` — the registry's whole design (see `workload::scenarios`) is that
+//! two invocations with the same context emit byte-identical tables. That
+//! makes their outputs cacheable: [`run_scenario`] fingerprints the
+//! scenario identity and context, and on a hit replays the stored
+//! rendering instead of re-simulating.
+//!
+//! Cache entries live under `results/cache/` (override with
+//! `DVNS_CACHE_DIR`), one `<name>-<fingerprint>.txt`/`.csv` pair per entry.
+//! The fingerprint covers the scenario name and summary, the expanded point
+//! labels, the root seed, the smoke flag and a version salt
+//! ([`CACHE_VERSION`], bumped whenever engine semantics change) — anything
+//! that legitimately changes results changes the file name, so stale
+//! entries are never *wrong*, only orphaned. `scenarios --no-cache`
+//! bypasses the lookup (and still refreshes the entry), and the
+//! `cache determinism` CI step asserts that a cache hit is byte-identical
+//! to a recomputation.
+
+use std::hash::Hasher;
+use std::path::PathBuf;
+
+use desim::fxhash::FxHasher;
+use workload::{ScenarioCtx, ScenarioSpec};
+
+use crate::harness::run_parallel;
+
+/// Salt folded into every cache fingerprint. Bump when simulator or
+/// scenario semantics change in ways the fingerprinted inputs don't
+/// capture.
+pub const CACHE_VERSION: u32 = 1;
+
+/// Where cache entries live: `DVNS_CACHE_DIR`, or `results/cache`.
+pub fn cache_dir() -> PathBuf {
+    match std::env::var("DVNS_CACHE_DIR") {
+        Ok(d) if !d.trim().is_empty() => PathBuf::from(d),
+        _ => PathBuf::from("results").join("cache"),
+    }
+}
+
+/// Fingerprint of one scenario execution: everything its deterministic
+/// output depends on. Point labels are included (they encode the expanded
+/// configuration list, e.g. smoke truncation), point *closures* cannot be —
+/// the version salt stands in for their code.
+pub fn scenario_fingerprint(spec: &ScenarioSpec, ctx: &ScenarioCtx) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u32(CACHE_VERSION);
+    h.write(spec.name.as_bytes());
+    h.write(spec.summary.as_bytes());
+    h.write_u64(ctx.seed);
+    h.write_u8(u8::from(ctx.smoke));
+    for p in (spec.points)(ctx) {
+        h.write(p.label.as_bytes());
+    }
+    h.finish()
+}
+
+/// Outcome of [`run_scenario`]: the rendered table, its CSV, and whether
+/// the result came from the cache.
+pub struct ScenarioOutcome {
+    /// Aligned human-readable table.
+    pub text: String,
+    /// Machine-readable CSV of the same rows.
+    pub csv: String,
+    /// `true` when both renderings were replayed from the cache.
+    pub cache_hit: bool,
+}
+
+/// Runs a scenario through the harness, consulting the persistent cache.
+/// With `use_cache` false the lookup is skipped but the entry is still
+/// (re)written, so a later cached run can be diffed against this one.
+pub fn run_scenario(spec: &ScenarioSpec, ctx: &ScenarioCtx, use_cache: bool) -> ScenarioOutcome {
+    run_scenario_at(spec, ctx, use_cache, &cache_dir())
+}
+
+/// [`run_scenario`] against an explicit cache directory — the determinism
+/// tests point this at a scratch directory instead of mutating
+/// `DVNS_CACHE_DIR`.
+pub fn run_scenario_at(
+    spec: &ScenarioSpec,
+    ctx: &ScenarioCtx,
+    use_cache: bool,
+    dir: &std::path::Path,
+) -> ScenarioOutcome {
+    let stem = format!("{}-{:016x}", spec.name, scenario_fingerprint(spec, ctx));
+    let txt_path = dir.join(format!("{stem}.txt"));
+    let csv_path = dir.join(format!("{stem}.csv"));
+
+    if use_cache {
+        if let (Ok(text), Ok(csv)) = (
+            std::fs::read_to_string(&txt_path),
+            std::fs::read_to_string(&csv_path),
+        ) {
+            return ScenarioOutcome {
+                text,
+                csv,
+                cache_hit: true,
+            };
+        }
+    }
+
+    let points = (spec.points)(ctx);
+    let rows = run_parallel(&points, |_, p| (p.label.clone(), (p.run)()));
+    let (text, csv) = render(spec, &rows);
+    if std::fs::create_dir_all(dir).is_ok() {
+        let _ = std::fs::write(&txt_path, &text);
+        let _ = std::fs::write(&csv_path, &csv);
+    }
+    ScenarioOutcome {
+        text,
+        csv,
+        cache_hit: false,
+    }
+}
+
+/// Renders rows of `(label, fields)` as an aligned table plus a CSV; field
+/// names come from the first row (every point of a scenario reports the
+/// same fields).
+pub fn render(
+    spec: &ScenarioSpec,
+    rows: &[(String, Vec<(&'static str, f64)>)],
+) -> (String, String) {
+    let headers: Vec<&str> = rows
+        .first()
+        .map(|(_, fields)| fields.iter().map(|(k, _)| *k).collect())
+        .unwrap_or_default();
+    let label_w = rows
+        .iter()
+        .map(|(l, _)| l.len())
+        .chain(std::iter::once(spec.name.len()))
+        .max()
+        .unwrap_or(0);
+
+    let mut text = format!("{} — {}\n", spec.name, spec.summary);
+    let mut csv = String::from("label");
+    text.push_str(&format!("{:label_w$}", ""));
+    for h in &headers {
+        text.push_str(&format!("  {h:>24}"));
+        csv.push(',');
+        csv.push_str(h);
+    }
+    text.push('\n');
+    csv.push('\n');
+    for (label, fields) in rows {
+        text.push_str(&format!("{label:label_w$}"));
+        csv.push_str(label);
+        for (key, value) in fields {
+            debug_assert!(headers.contains(key));
+            text.push_str(&format!("  {value:>24.4}"));
+            csv.push_str(&format!(",{value}"));
+        }
+        text.push('\n');
+        csv.push('\n');
+    }
+    (text, csv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::ScenarioPoint;
+
+    fn toy_spec() -> ScenarioSpec {
+        ScenarioSpec {
+            name: "toy",
+            summary: "toy scenario for runner tests",
+            points: |ctx| {
+                let seed = ctx.seed;
+                vec![ScenarioPoint::new("only", move || {
+                    vec![("seed", seed as f64), ("answer", 42.0)]
+                })]
+            },
+        }
+    }
+
+    #[test]
+    fn fingerprints_separate_contexts() {
+        let spec = toy_spec();
+        let a = scenario_fingerprint(&spec, &ScenarioCtx::new(false, 1));
+        let b = scenario_fingerprint(&spec, &ScenarioCtx::new(false, 2));
+        let c = scenario_fingerprint(&spec, &ScenarioCtx::new(true, 1));
+        assert_ne!(a, b, "seed must be keyed");
+        assert_ne!(a, c, "smoke flag must be keyed");
+    }
+
+    #[test]
+    fn render_emits_headers_and_rows() {
+        let spec = toy_spec();
+        let rows = vec![("only".to_string(), vec![("seed", 1.0), ("answer", 42.0)])];
+        let (text, csv) = render(&spec, &rows);
+        assert!(text.contains("toy — toy scenario"));
+        assert!(text.contains("answer"));
+        assert!(csv.starts_with("label,seed,answer\n"));
+        assert!(csv.contains("only,1,42"));
+    }
+}

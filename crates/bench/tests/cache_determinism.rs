@@ -1,0 +1,76 @@
+//! Property test for the persistent result cache: a cached scenario run
+//! must be byte-identical to an uncached recomputation, on real registered
+//! scenarios (smoke-sized), across the cache-hit and cache-miss paths.
+
+use dps_bench::{figure_scenarios, run_scenario_at, scenario_fingerprint};
+use workload::{builtin_scenarios, find_scenario, ScenarioCtx};
+
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("dvns-cache-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn cached_and_uncached_runs_emit_identical_bytes() {
+    let specs = builtin_scenarios();
+    let spec = find_scenario(&specs, "lu-efficiency").expect("registered");
+    let ctx = ScenarioCtx::new(true, 42);
+    let dir = scratch_dir("roundtrip");
+
+    // Cold: populates the cache.
+    let cold = run_scenario_at(spec, &ctx, true, &dir);
+    assert!(!cold.cache_hit, "first run must compute");
+    // Warm: replays the stored rendering.
+    let warm = run_scenario_at(spec, &ctx, true, &dir);
+    assert!(warm.cache_hit, "second run must hit the cache");
+    // Bypass: recomputes from scratch.
+    let bypass = run_scenario_at(spec, &ctx, false, &dir);
+    assert!(!bypass.cache_hit, "--no-cache must recompute");
+
+    assert_eq!(cold.csv, warm.csv, "cache replay must be byte-identical");
+    assert_eq!(cold.text, warm.text);
+    assert_eq!(cold.csv, bypass.csv, "recomputation must be byte-identical");
+    assert_eq!(cold.text, bypass.text);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn different_seeds_occupy_different_entries() {
+    let specs = builtin_scenarios();
+    let spec = find_scenario(&specs, "server-analytic").expect("registered");
+    let dir = scratch_dir("seeds");
+
+    let a = run_scenario_at(spec, &ScenarioCtx::new(true, 1), true, &dir);
+    let b = run_scenario_at(spec, &ScenarioCtx::new(true, 2), true, &dir);
+    assert!(!a.cache_hit && !b.cache_hit, "distinct seeds both compute");
+    assert_ne!(
+        scenario_fingerprint(spec, &ScenarioCtx::new(true, 1)),
+        scenario_fingerprint(spec, &ScenarioCtx::new(true, 2)),
+    );
+    assert_ne!(a.csv, b.csv, "the analytic job set derives from the seed");
+
+    // Each seed's rerun hits its own entry and replays its own bytes.
+    let a2 = run_scenario_at(spec, &ScenarioCtx::new(true, 1), true, &dir);
+    assert!(a2.cache_hit);
+    assert_eq!(a2.csv, a.csv);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn figure_scenario_round_trips_through_the_cache() {
+    let specs = figure_scenarios();
+    let spec = find_scenario(&specs, "fig11-12-removal").expect("registered");
+    let ctx = ScenarioCtx::new(true, 42);
+    let dir = scratch_dir("figure");
+
+    let cold = run_scenario_at(spec, &ctx, true, &dir);
+    let warm = run_scenario_at(spec, &ctx, true, &dir);
+    assert!(!cold.cache_hit && warm.cache_hit);
+    assert_eq!(cold.csv, warm.csv);
+    assert_eq!(cold.text, warm.text);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -72,6 +72,7 @@ impl Ord for Entry {
     }
 }
 
+#[derive(Clone)]
 struct Slot<E> {
     /// Bumped every time the slot's event is consumed (popped or cancelled),
     /// invalidating outstanding `EventId`s and stale heap entries.
@@ -85,6 +86,7 @@ struct Slot<E> {
 const COMPACT_MIN: usize = 64;
 
 /// A time-ordered queue of future events.
+#[derive(Clone)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<Entry>>,
     slots: Vec<Slot<E>>,
@@ -227,6 +229,38 @@ impl<E> EventQueue<E> {
     /// exposed for memory-bound regression tests.
     pub fn heap_len(&self) -> usize {
         self.heap.len()
+    }
+}
+
+impl<E: Clone> EventQueue<E> {
+    /// An O(live-state) copy for checkpoint/fork: dead heap entries and
+    /// vacant slab slots are dropped first, so the snapshot's memory is
+    /// proportional to the live event count, not the churn history. The
+    /// original queue keeps its behaviour (compaction here also benefits
+    /// it); the copy pops the same `(time, seq)` sequence as the original.
+    pub fn snapshot(&mut self) -> EventQueue<E> {
+        // Full compaction (not the amortized half-dead heuristic): retain
+        // only live heap entries, then drop slots above the highest one
+        // still referenced.
+        let slots = &self.slots;
+        self.heap.retain(|Reverse(e)| {
+            let slot = &slots[e.slot as usize];
+            slot.generation == e.generation && slot.event.is_some()
+        });
+        let high = self
+            .slots
+            .iter()
+            .rposition(|s| s.event.is_some())
+            .map_or(0, |i| i + 1);
+        self.slots.truncate(high);
+        self.free.retain(|&s| (s as usize) < high);
+        EventQueue {
+            heap: self.heap.clone(),
+            slots: self.slots.clone(),
+            free: self.free.clone(),
+            live: self.live,
+            next_seq: self.next_seq,
+        }
     }
 }
 
@@ -424,6 +458,54 @@ mod tests {
         while q.pop().is_some() {}
         assert!(q.is_empty());
         assert!(q.heap_len() <= COMPACT_MIN);
+    }
+
+    #[test]
+    fn snapshot_is_compact_and_equivalent() {
+        let mut q = EventQueue::new();
+        let mut keep = Vec::new();
+        for i in 0..1_000u64 {
+            let id = q.schedule(at(i), i);
+            if i % 10 == 0 {
+                keep.push((i, id));
+            } else {
+                q.cancel(id);
+            }
+        }
+        let mut snap = q.snapshot();
+        // O(live-state): no dead heap entries or trailing vacant slots.
+        assert_eq!(snap.heap_len(), snap.len());
+        assert_eq!(q.heap_len(), q.len());
+        assert!(snap.slots.len() <= 1_000 / 10 * 2 + 1);
+        // Cancellation handles taken before the snapshot still work on both.
+        let (_, cancel_id) = keep[3];
+        assert!(q.cancel(cancel_id));
+        assert!(snap.cancel(cancel_id));
+        // Both queues pop the same remaining sequence.
+        let mut a = Vec::new();
+        while let Some(e) = q.pop() {
+            a.push(e);
+        }
+        let mut b = Vec::new();
+        while let Some(e) = snap.pop() {
+            b.push(e);
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.len(), keep.len() - 1);
+    }
+
+    #[test]
+    fn snapshot_diverges_independently() {
+        let mut q = EventQueue::new();
+        q.schedule(at(1), "a");
+        q.schedule(at(2), "b");
+        let mut snap = q.snapshot();
+        q.schedule(at(0), "q-only");
+        snap.schedule(at(3), "s-only");
+        assert_eq!(q.pop(), Some((at(0), "q-only")));
+        assert_eq!(snap.pop(), Some((at(1), "a")));
+        assert_eq!(q.len(), 2);
+        assert_eq!(snap.len(), 2);
     }
 
     #[test]

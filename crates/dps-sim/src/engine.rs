@@ -25,11 +25,14 @@
 //!   timeline feeds the dynamic-efficiency computation.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 use desim::{FxHashMap, ProgressSet, SimDuration, SimTime};
-use dps::{ActiveSet, Application, DataObj, OpCtx, OpId, Operation, RouteCtx, ThreadId, Window};
+use dps::{
+    ActiveSet, AnyDataObject, Application, DataObj, OpCtx, OpId, Operation, RouteCtx, ThreadId,
+    Window,
+};
 use netmodel::{NetParams, NodeId};
 
 use crate::fabric::{Fabric, SimFabric};
@@ -70,16 +73,47 @@ type ServerKey = (OpId, ThreadId);
 
 enum Action {
     Post { to: OpId, obj: DataObj },
-    Mark(Rc<str>),
+    Mark(Arc<str>),
     Deactivate(ThreadId),
     Release(OpId),
     Account(i64),
     Terminate,
 }
 
+impl Action {
+    /// Deep copy for checkpoint/fork; fails when a posted payload opted out
+    /// of cloning (see [`dps::DataObject::try_clone_obj`]).
+    fn try_clone(&self) -> Option<Action> {
+        Some(match self {
+            Action::Post { to, obj } => Action::Post {
+                to: *to,
+                obj: obj.clone_obj()?,
+            },
+            Action::Mark(l) => Action::Mark(Arc::clone(l)),
+            Action::Deactivate(t) => Action::Deactivate(*t),
+            Action::Release(op) => Action::Release(*op),
+            Action::Account(d) => Action::Account(*d),
+            Action::Terminate => Action::Terminate,
+        })
+    }
+}
+
+fn fork_actions(q: &VecDeque<Action>) -> Option<VecDeque<Action>> {
+    q.iter().map(Action::try_clone).collect()
+}
+
 struct Segment {
     work: SimDuration,
     actions: VecDeque<Action>,
+}
+
+impl Segment {
+    fn try_clone(&self) -> Option<Segment> {
+        Some(Segment {
+            work: self.work,
+            actions: fork_actions(&self.actions)?,
+        })
+    }
 }
 
 struct RunState {
@@ -93,20 +127,21 @@ struct RunState {
 }
 
 /// Mark labels are emitted once per application call site but recorded on
-/// every invocation; interning makes the per-mark cost one `Rc` clone
-/// instead of a `String` allocation.
-#[derive(Default)]
+/// every invocation; interning makes the per-mark cost one `Arc` clone
+/// instead of a `String` allocation. (`Arc`, not `Rc`, so forked engines
+/// stay sendable to other threads.)
+#[derive(Clone, Default)]
 struct Interner {
-    map: FxHashMap<Box<str>, Rc<str>>,
+    map: FxHashMap<Box<str>, Arc<str>>,
 }
 
 impl Interner {
-    fn intern(&mut self, s: &str) -> Rc<str> {
+    fn intern(&mut self, s: &str) -> Arc<str> {
         if let Some(r) = self.map.get(s) {
-            return Rc::clone(r);
+            return Arc::clone(r);
         }
-        let r: Rc<str> = Rc::from(s);
-        self.map.insert(Box::from(s), Rc::clone(&r));
+        let r: Arc<str> = Arc::from(s);
+        self.map.insert(Box::from(s), Arc::clone(&r));
         r
     }
 }
@@ -120,6 +155,34 @@ struct Server {
     run: Option<RunState>,
 }
 
+impl Server {
+    fn try_clone(&self) -> Option<Server> {
+        let op = match &self.op {
+            Some(op) => Some(op.fork_op()?),
+            None => None,
+        };
+        let queue = self
+            .queue
+            .iter()
+            .map(|o| o.clone_obj())
+            .collect::<Option<VecDeque<_>>>()?;
+        let run = match &self.run {
+            Some(r) => Some(RunState {
+                consumed_heap: r.consumed_heap,
+                segments: r
+                    .segments
+                    .iter()
+                    .map(Segment::try_clone)
+                    .collect::<Option<Vec<_>>>()?,
+                next_seg: r.next_seg,
+                pending: fork_actions(&r.pending)?,
+            }),
+            None => None,
+        };
+        Some(Server { op, queue, run })
+    }
+}
+
 struct JobInfo {
     server: ServerKey,
     node: NodeId,
@@ -128,11 +191,93 @@ struct JobInfo {
     actions: VecDeque<Action>,
 }
 
+impl JobInfo {
+    fn try_clone(&self) -> Option<JobInfo> {
+        Some(JobInfo {
+            server: self.server,
+            node: self.node,
+            start: self.start,
+            work: self.work,
+            actions: fork_actions(&self.actions)?,
+        })
+    }
+}
+
 struct Delivery {
     to: OpId,
     thread: ThreadId,
     obj: DataObj,
 }
+
+/// The application an engine executes: borrowed for plain runs, shared for
+/// checkpoints (which outlive the calling frame and hand clones to forks).
+enum AppRef<'a> {
+    Borrowed(&'a Application),
+    Shared(Arc<Application>),
+}
+
+impl<'a> AppRef<'a> {
+    fn clone_ref(&self) -> AppRef<'a> {
+        match self {
+            AppRef::Borrowed(a) => AppRef::Borrowed(a),
+            AppRef::Shared(a) => AppRef::Shared(Arc::clone(a)),
+        }
+    }
+}
+
+impl std::ops::Deref for AppRef<'_> {
+    type Target = Application;
+    fn deref(&self) -> &Application {
+        match self {
+            AppRef::Borrowed(a) => a,
+            AppRef::Shared(a) => a,
+        }
+    }
+}
+
+/// The fabric an engine drives: borrowed for plain runs (the testbed plugs
+/// in a `&mut dyn Fabric`), owned for checkpoints and forks.
+enum FabricSlot<'a> {
+    Borrowed(&'a mut dyn Fabric),
+    Owned(Box<dyn Fabric + Send>),
+}
+
+impl<'a> std::ops::Deref for FabricSlot<'a> {
+    type Target = dyn Fabric + 'a;
+    fn deref(&self) -> &(dyn Fabric + 'a) {
+        match self {
+            FabricSlot::Borrowed(f) => &**f,
+            FabricSlot::Owned(b) => &**b,
+        }
+    }
+}
+
+impl<'a> std::ops::DerefMut for FabricSlot<'a> {
+    fn deref_mut(&mut self) -> &mut (dyn Fabric + 'a) {
+        match self {
+            FabricSlot::Borrowed(f) => &mut **f,
+            FabricSlot::Owned(b) => &mut **b,
+        }
+    }
+}
+
+/// What a checkpoint pause predicate sees: a server about to consume the
+/// head object of its queue, *before* the operation's code runs. Pausing
+/// here leaves the object queued, so a fork resumes by consuming it.
+pub struct PausePoint<'e> {
+    /// Operation about to run.
+    pub op: OpId,
+    /// Thread it runs on.
+    pub thread: ThreadId,
+    /// The data object about to be consumed.
+    pub obj: &'e dyn AnyDataObject,
+    /// The operation's behaviour state (`None` before its first
+    /// invocation); inspect concrete state via [`Operation::as_any`].
+    pub state: Option<&'e dyn Operation>,
+}
+
+/// Pause predicate for [`crate::checkpoint::SimCheckpoint::run_until`].
+pub type PausePred = Box<dyn FnMut(&PausePoint<'_>) -> bool>;
 
 /// Runs `app` on the paper's machine model with the given network
 /// parameters.
@@ -149,17 +294,17 @@ pub fn simulate_with_fabric(
     cfg: &SimConfig,
 ) -> RunReport {
     let wall = Instant::now();
-    let mut eng = Engine::new(app, fabric, cfg);
+    let mut eng = Engine::new(AppRef::Borrowed(app), FabricSlot::Borrowed(fabric), cfg);
     eng.inject_starts();
     eng.recompute_cpu();
     eng.event_loop();
     eng.into_report(wall.elapsed())
 }
 
-struct Engine<'a> {
-    app: &'a Application,
-    fabric: &'a mut dyn Fabric,
-    cfg: &'a SimConfig,
+pub(crate) struct Engine<'a> {
+    app: AppRef<'a>,
+    fabric: FabricSlot<'a>,
+    cfg: SimConfig,
     now: SimTime,
 
     /// Dense server table, indexed `op * thread_count + thread` — every
@@ -215,10 +360,26 @@ struct Engine<'a> {
     alloc_timeline: Vec<(SimTime, usize)>,
 
     trace: Option<Trace>,
+
+    // ----- checkpoint machinery ------------------------------------------
+    /// Completed transfers / finished CPU jobs not yet acted upon. The
+    /// event loop buffers them so a pause can stop *between* same-instant
+    /// events and a fork resumes with the remainder intact.
+    pending_net: VecDeque<u64>,
+    pending_jobs: VecDeque<u64>,
+    /// Active pause predicate (checkpoint `run_until`); never set during
+    /// plain `simulate` runs.
+    pause: Option<PausePred>,
+    /// Servers stopped by the predicate, their triggering object still at
+    /// the head of their queue.
+    paused: Vec<ServerKey>,
+    /// Virtual-time ceiling (checkpoint `advance_until`); the loop stops
+    /// before advancing past it.
+    time_limit: Option<SimTime>,
 }
 
 impl<'a> Engine<'a> {
-    fn new(app: &'a Application, fabric: &'a mut dyn Fabric, cfg: &'a SimConfig) -> Engine<'a> {
+    fn new(app: AppRef<'a>, fabric: FabricSlot<'a>, cfg: &SimConfig) -> Engine<'a> {
         let thread_count = app.deployment().thread_count();
         let active = ActiveSet::all_active(thread_count);
         let cur_nodes = active.allocated_nodes(app.deployment()).len();
@@ -233,15 +394,16 @@ impl<'a> Engine<'a> {
                 run: None,
             })
             .collect();
+        let edge_count = app.graph().edge_count();
         Engine {
             app,
             fabric,
-            cfg,
+            cfg: cfg.clone(),
             now: SimTime::ZERO,
             servers,
             thread_count,
             active,
-            edge_seq: vec![0; app.graph().edge_count()],
+            edge_seq: vec![0; edge_count],
             cpu: ProgressSet::new(),
             jobs: FxHashMap::default(),
             jobs_by_node: BTreeMap::new(),
@@ -276,11 +438,17 @@ impl<'a> Engine<'a> {
             } else {
                 None
             },
+            pending_net: VecDeque::new(),
+            pending_jobs: VecDeque::new(),
+            pause: None,
+            paused: Vec::new(),
+            time_limit: None,
         }
     }
 
     fn inject_starts(&mut self) {
-        for s in self.app.starts() {
+        let app = self.app.clone_ref();
+        for s in app.starts() {
             let obj = (s.make)();
             self.meter.alloc(obj.heap_bytes());
             self.enqueue_delivery(s.op, s.thread, obj);
@@ -290,43 +458,67 @@ impl<'a> Engine<'a> {
     // ----- event loop ---------------------------------------------------
 
     fn event_loop(&mut self) {
-        loop {
-            if self.terminated {
-                return;
-            }
-            if self.steps_executed > self.cfg.max_steps {
-                self.terminated = false;
-                self.completion = self.now;
-                return;
-            }
-            let t_net = self.fabric.next_event_time();
-            let t_cpu = self.cpu.earliest_completion().map(|(_, t)| t);
-            let t = match (t_net, t_cpu) {
-                (None, None) => {
-                    self.completion = self.now;
-                    return;
-                }
-                (Some(a), None) => a,
-                (None, Some(b)) => b,
-                (Some(a), Some(b)) => a.min(b),
-            };
-            debug_assert!(t >= self.now);
-            self.now = t;
+        while self.step_events() {}
+    }
 
-            // Network first: arrivals may start new computations at `t`.
-            for handle in self.fabric.advance(t) {
-                self.deliver_transfer(handle);
-            }
-            // Then completed atomic steps.
-            for job in self.cpu.take_finished(t) {
-                self.complete_job(job);
-                if self.terminated {
-                    self.completion = self.now;
-                    return;
-                }
-            }
-            self.recompute_cpu();
+    /// Acts on every buffered event, then advances virtual time to the next
+    /// one. Returns `false` when the run is over (terminated, quiescent,
+    /// step budget blown) or stopped by the checkpoint machinery (pause
+    /// predicate fired, time limit reached) — in the stopped cases the
+    /// un-acted-on events stay buffered and a later call resumes exactly
+    /// where this one left off.
+    fn step_events(&mut self) -> bool {
+        if self.terminated {
+            return false;
         }
+        // Network first: arrivals may start new computations at `now`.
+        while let Some(handle) = self.pending_net.pop_front() {
+            self.deliver_transfer(handle);
+            if self.terminated {
+                self.completion = self.now;
+                return false;
+            }
+            if !self.paused.is_empty() {
+                return false;
+            }
+        }
+        // Then completed atomic steps.
+        while let Some(job) = self.pending_jobs.pop_front() {
+            self.complete_job(job);
+            if self.terminated {
+                self.completion = self.now;
+                return false;
+            }
+            if !self.paused.is_empty() {
+                return false;
+            }
+        }
+        self.recompute_cpu();
+        if self.steps_executed > self.cfg.max_steps {
+            self.terminated = false;
+            self.completion = self.now;
+            return false;
+        }
+        let t_net = self.fabric.next_event_time();
+        let t_cpu = self.cpu.earliest_completion().map(|(_, t)| t);
+        let t = match (t_net, t_cpu) {
+            (None, None) => {
+                self.completion = self.now;
+                return false;
+            }
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (Some(a), Some(b)) => a.min(b),
+        };
+        debug_assert!(t >= self.now);
+        if self.time_limit.is_some_and(|lim| t > lim) {
+            return false;
+        }
+        self.now = t;
+        let arrived = self.fabric.advance(t);
+        self.pending_net.extend(arrived);
+        self.pending_jobs.extend(self.cpu.take_finished(t));
+        true
     }
 
     // ----- CPU model ------------------------------------------------------
@@ -430,6 +622,30 @@ impl<'a> Engine<'a> {
     /// segments.
     fn start_invocations(&mut self, key: ServerKey) {
         loop {
+            // Checkpoint pause: consult the predicate *before* consuming, so
+            // the triggering object is still queued in the snapshot and the
+            // operation's code has not yet run.
+            if let Some(mut pred) = self.pause.take() {
+                let hit = {
+                    let server = &self.servers[self.sidx(key)];
+                    match server.queue.front() {
+                        Some(obj) if server.run.is_none() => pred(&PausePoint {
+                            op: key.0,
+                            thread: key.1,
+                            obj: obj.as_ref(),
+                            state: server.op.as_deref(),
+                        }),
+                        _ => false,
+                    }
+                };
+                self.pause = Some(pred);
+                if hit {
+                    if !self.paused.contains(&key) {
+                        self.paused.push(key);
+                    }
+                    return;
+                }
+            }
             // Take what we need out of the server to keep borrows disjoint.
             let (obj, op) = {
                 let server = self.server_mut(key);
@@ -702,6 +918,174 @@ impl<'a> Engine<'a> {
             self.cur_nodes = nodes;
             self.alloc_timeline.push((self.now, nodes));
         }
+    }
+
+    // ----- checkpoint machinery ------------------------------------------
+
+    /// An engine that owns its application and fabric, for checkpoints.
+    pub(crate) fn new_owned(
+        app: Arc<Application>,
+        fabric: Box<dyn Fabric + Send>,
+        cfg: &SimConfig,
+    ) -> Engine<'static> {
+        let mut eng = Engine::new(AppRef::Shared(app), FabricSlot::Owned(fabric), cfg);
+        eng.inject_starts();
+        eng.recompute_cpu();
+        eng
+    }
+
+    /// Runs until the next event would land past `limit` (leaving `now` at
+    /// the last event at or before it). Returns `true` while the run still
+    /// has work left, `false` once it terminated or went quiescent.
+    pub(crate) fn drive_until(&mut self, limit: SimTime) -> bool {
+        self.time_limit = Some(limit);
+        self.resume_paused();
+        if self.paused.is_empty() {
+            self.event_loop();
+        }
+        self.time_limit = None;
+        !self.terminated && self.has_pending_work()
+    }
+
+    /// Runs until `pred` pauses a server about to consume an object.
+    /// Returns `true` if the predicate fired, `false` if the run finished
+    /// first.
+    pub(crate) fn drive_with_pause(&mut self, pred: PausePred) -> bool {
+        self.pause = Some(pred);
+        self.resume_paused();
+        if self.paused.is_empty() {
+            self.event_loop();
+        }
+        self.pause = None;
+        !self.paused.is_empty()
+    }
+
+    /// Runs to completion and produces the report; `host_wall` is the
+    /// caller-accumulated host cost of all drive phases.
+    pub(crate) fn finish_run(mut self, host_accum: std::time::Duration) -> RunReport {
+        let wall = Instant::now();
+        self.resume_paused();
+        self.event_loop();
+        self.into_report(host_accum + wall.elapsed())
+    }
+
+    /// Re-attempts consumption at servers stopped by a pause predicate.
+    /// With a new predicate in place some may immediately pause again (and
+    /// block the rest); with none they consume and the run proceeds.
+    fn resume_paused(&mut self) {
+        let keys = std::mem::take(&mut self.paused);
+        for key in keys {
+            if !self.paused.is_empty() {
+                // A fresh pause already fired; keep the rest parked.
+                self.paused.push(key);
+                continue;
+            }
+            if self.servers[self.sidx(key)].run.is_none() {
+                self.start_invocations(key);
+            }
+        }
+    }
+
+    fn has_pending_work(&mut self) -> bool {
+        !self.pending_net.is_empty()
+            || !self.pending_jobs.is_empty()
+            || !self.paused.is_empty()
+            || self.cpu.earliest_completion().is_some()
+            || self.fabric.next_event_time().is_some()
+    }
+
+    pub(crate) fn current_time(&self) -> SimTime {
+        self.now
+    }
+
+    /// Mutable `Any` view of one server's behaviour state, for divergence
+    /// rewrites in forks (see [`Operation::as_any_mut`]). `None` when the
+    /// operation never ran or opted out.
+    pub(crate) fn op_state_mut(
+        &mut self,
+        op: OpId,
+        thread: ThreadId,
+    ) -> Option<&mut dyn std::any::Any> {
+        let i = self.sidx((op, thread));
+        self.servers[i].op.as_mut()?.as_any_mut()
+    }
+
+    /// A fully independent deep copy of the running simulation, sharing
+    /// only immutable structure (the application, interned labels) with the
+    /// original. `None` when any live payload, behaviour state, or the
+    /// fabric does not support cloning — callers then fall back to a fresh
+    /// run.
+    pub(crate) fn try_fork(&mut self) -> Option<Engine<'a>> {
+        let fabric = self.fabric.fork_fabric()?;
+        let servers = self
+            .servers
+            .iter()
+            .map(Server::try_clone)
+            .collect::<Option<Vec<_>>>()?;
+        let jobs = self
+            .jobs
+            .iter()
+            .map(|(&id, j)| Some((id, j.try_clone()?)))
+            .collect::<Option<FxHashMap<_, _>>>()?;
+        let inflight = self
+            .inflight
+            .iter()
+            .map(|(&h, d)| {
+                Some((
+                    h,
+                    Delivery {
+                        to: d.to,
+                        thread: d.thread,
+                        obj: d.obj.clone_obj()?,
+                    },
+                ))
+            })
+            .collect::<Option<FxHashMap<_, _>>>()?;
+        Some(Engine {
+            app: self.app.clone_ref(),
+            fabric: FabricSlot::Owned(fabric),
+            cfg: self.cfg.clone(),
+            now: self.now,
+            servers,
+            thread_count: self.thread_count,
+            active: self.active.clone(),
+            edge_seq: self.edge_seq.clone(),
+            cpu: self.cpu.snapshot(),
+            jobs,
+            jobs_by_node: self.jobs_by_node.clone(),
+            node_rate: self.node_rate.clone(),
+            dirty_nodes: self.dirty_nodes.clone(),
+            next_job: self.next_job,
+            action_pool: Vec::new(),
+            segment_pool: Vec::new(),
+            interner: self.interner.clone(),
+            node_scratch: Vec::new(),
+            inflight,
+            transfer_meta: self.transfer_meta.clone(),
+            windows: self.windows.clone(),
+            fc_waiters: self.fc_waiters.clone(),
+            timing: self.timing.clone(),
+            meter: self.meter,
+            terminated: self.terminated,
+            completion: self.completion,
+            steps_executed: self.steps_executed,
+            max_queue_len: self.max_queue_len,
+            marks: self.marks.clone(),
+            intervals: self.intervals.clone(),
+            interval_start: self.interval_start,
+            interval_work: self.interval_work,
+            total_work: self.total_work,
+            node_seconds_acc: self.node_seconds_acc,
+            cur_nodes: self.cur_nodes,
+            last_alloc_change: self.last_alloc_change,
+            alloc_timeline: self.alloc_timeline.clone(),
+            trace: self.trace.clone(),
+            pending_net: self.pending_net.clone(),
+            pending_jobs: self.pending_jobs.clone(),
+            pause: None,
+            paused: self.paused.clone(),
+            time_limit: None,
+        })
     }
 
     // ----- reporting -----------------------------------------------------

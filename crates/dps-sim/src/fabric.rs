@@ -60,6 +60,15 @@ pub trait Fabric {
 
     /// Cumulative transfer statistics.
     fn net_stats(&self) -> NetStats;
+
+    /// An independent deep copy of the fabric's current state, for engines
+    /// that snapshot and fork a running simulation. `None` — the default —
+    /// marks the fabric as unforkable; checkpoints over it cannot fork.
+    /// Takes `&mut self` so implementations may compact internal state
+    /// (dead heap entries) before copying.
+    fn fork_fabric(&mut self) -> Option<Box<dyn Fabric + Send>> {
+        None
+    }
 }
 
 /// The paper's machine model: [`netmodel`] flow network + linear CPU cost of
@@ -89,6 +98,15 @@ impl SimFabric {
     /// The underlying network model.
     pub fn network(&self) -> &Network {
         &self.net
+    }
+
+    /// Concrete-typed fork (see [`Fabric::fork_fabric`]); used by wrapper
+    /// fabrics that need to rebuild themselves around the copy.
+    pub(crate) fn fork_sim(&mut self) -> SimFabric {
+        SimFabric {
+            net: self.net.snapshot(),
+            params: self.params,
+        }
     }
 
     /// Overrides one node's link capacities (heterogeneous clusters,
@@ -149,6 +167,10 @@ impl Fabric for SimFabric {
 
     fn net_stats(&self) -> NetStats {
         self.net.stats()
+    }
+
+    fn fork_fabric(&mut self) -> Option<Box<dyn Fabric + Send>> {
+        Some(Box::new(self.fork_sim()))
     }
 }
 

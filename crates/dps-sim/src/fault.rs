@@ -127,6 +127,16 @@ impl Fabric for FaultFabric {
     fn net_stats(&self) -> NetStats {
         self.inner.net_stats()
     }
+
+    fn fork_fabric(&mut self) -> Option<Box<dyn Fabric + Send>> {
+        Some(Box::new(FaultFabric {
+            inner: self.inner.fork_sim(),
+            cpu: self.cpu.clone(),
+            now: self.now,
+            changed: self.changed.clone(),
+            scratch: Vec::new(),
+        }))
+    }
 }
 
 #[cfg(test)]

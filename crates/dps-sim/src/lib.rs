@@ -26,6 +26,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod engine;
 pub mod fabric;
 pub mod fault;
@@ -34,7 +35,8 @@ pub mod report;
 pub mod timing;
 pub mod trace;
 
-pub use engine::{simulate, simulate_with_fabric, SimConfig};
+pub use checkpoint::{simulate_until, SimCheckpoint};
+pub use engine::{simulate, simulate_with_fabric, PausePoint, PausePred, SimConfig};
 pub use fabric::{Fabric, SimFabric};
 pub use fault::FaultFabric;
 pub use memory::MemoryMeter;

@@ -95,6 +95,55 @@ impl RunReport {
         }
         self.total_cpu_work.as_secs_f64() / node_seconds
     }
+
+    /// A canonical rendering of every *simulation-determined* field — i.e.
+    /// everything except `host_wall`, which measures the host machine, not
+    /// the simulated one. Two runs of the same configuration are equivalent
+    /// iff their canonical strings are byte-identical; the checkpoint/fork
+    /// property tests compare forked continuations against uninterrupted
+    /// runs with exactly this.
+    pub fn canonical_string(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "completion={:?} terminated={} stall={:?} marks={:?} \
+             total_cpu_work={:?} alloc_timeline={:?} mem_peak_bytes={} \
+             steps={} max_queue_len={} net={:?}",
+            self.completion,
+            self.terminated,
+            self.stall,
+            self.marks,
+            self.total_cpu_work,
+            self.alloc_timeline,
+            self.mem_peak_bytes,
+            self.steps,
+            self.max_queue_len,
+            self.net,
+        );
+        for i in &self.intervals {
+            let _ = write!(
+                s,
+                " [{} {:?}..{:?} work={:?} ns={}]",
+                i.label,
+                i.start,
+                i.end,
+                i.cpu_work,
+                i.node_seconds.to_bits(),
+            );
+        }
+        let _ = write!(s, " trace={}", self.trace.is_some());
+        s
+    }
+
+    /// `FxHash` of [`canonical_string`](RunReport::canonical_string) — a
+    /// compact run fingerprint for caches and equivalence checks.
+    pub fn digest(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = desim::FxHasher::default();
+        self.canonical_string().hash(&mut h);
+        h.finish()
+    }
 }
 
 #[cfg(test)]

@@ -43,14 +43,14 @@ pub enum TimingMode {
     },
 }
 
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct CalEntry {
     count: u64,
     total: SimDuration,
 }
 
 /// Mutable timing state shared across the run (calibration averages).
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct TimingState {
     cal: HashMap<(OpId, u32), CalEntry>,
 }

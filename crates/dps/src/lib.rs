@@ -90,7 +90,7 @@ pub mod window;
 pub use app::{AppBuilder, Application, BuildError, FlowControl, StartSpec};
 pub use deploy::{ActiveSet, Deployment, ThreadId};
 pub use graph::{EdgeId, FlowGraph, GraphError, OpId, OpKind};
-pub use object::{downcast, downcast_ref, DataObj, DataObject, WireSize};
+pub use object::{downcast, downcast_ref, AnyDataObject, DataObj, DataObject, WireSize};
 pub use op::{charge_secs, op_fn, OpCtx, Operation};
 pub use route::{
     by_key, by_target, local_thread, relative, round_robin, to_thread, RouteCtx, Router,

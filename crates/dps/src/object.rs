@@ -29,6 +29,15 @@ pub trait DataObject: Send + 'static {
     fn heap_bytes(&self) -> u64 {
         0
     }
+
+    /// A deep copy of this object, for engines that snapshot in-flight
+    /// state (checkpoint/fork). `None` — the default — marks the payload
+    /// as uncloneable; a simulator checkpoint containing it cannot fork
+    /// and callers fall back to a fresh run. Implement via
+    /// [`crate::impl_obj_clone!`] for `Clone` payloads.
+    fn try_clone_obj(&self) -> Option<DataObj> {
+        None
+    }
 }
 
 /// Object-safe view of a [`DataObject`]; what engines and routers handle.
@@ -43,6 +52,9 @@ pub trait AnyDataObject: Send {
     fn into_any(self: Box<Self>) -> Box<dyn Any>;
     /// The payload's type name; used in traces and error messages.
     fn label(&self) -> &'static str;
+    /// Deep copy for checkpoint/fork; `None` when the payload does not
+    /// support cloning (see [`DataObject::try_clone_obj`]).
+    fn clone_obj(&self) -> Option<DataObj>;
 }
 
 impl<T: DataObject> AnyDataObject for T {
@@ -60,6 +72,9 @@ impl<T: DataObject> AnyDataObject for T {
     }
     fn label(&self) -> &'static str {
         std::any::type_name::<T>()
+    }
+    fn clone_obj(&self) -> Option<DataObj> {
+        DataObject::try_clone_obj(self)
     }
 }
 
@@ -172,6 +187,33 @@ macro_rules! wire_size_fixed {
             }
         }
     };
+    ($t:ty, $n:expr, clone) => {
+        impl $crate::object::DataObject for $t {
+            fn wire_size(&self) -> u64 {
+                $n
+            }
+            $crate::impl_obj_clone!();
+        }
+    };
+}
+
+/// Expands, inside an `impl DataObject for T` block of a `Clone` type, to a
+/// `try_clone_obj` override that deep-copies the payload — opting the type
+/// into simulator checkpoint/fork support:
+///
+/// ```ignore
+/// impl DataObject for MyMsg {
+///     fn wire_size(&self) -> u64 { 16 }
+///     impl_obj_clone!();
+/// }
+/// ```
+#[macro_export]
+macro_rules! impl_obj_clone {
+    () => {
+        fn try_clone_obj(&self) -> Option<$crate::object::DataObj> {
+            Some(Box::new(self.clone()))
+        }
+    };
 }
 
 #[cfg(test)]
@@ -252,6 +294,32 @@ mod tests {
         fn wire_size(&self) -> u64 {
             self.declared
         }
+    }
+
+    #[derive(Clone)]
+    struct Cloneable(u32);
+    impl DataObject for Cloneable {
+        fn wire_size(&self) -> u64 {
+            4
+        }
+        impl_obj_clone!();
+    }
+
+    #[derive(Clone)]
+    struct FixedCloneable(u16);
+    wire_size_fixed!(FixedCloneable, 2, clone);
+
+    #[test]
+    fn clone_hook_defaults_to_none_and_macro_opts_in() {
+        let plain: DataObj = Box::new(Note(7));
+        assert!(plain.clone_obj().is_none(), "default payloads don't clone");
+        let c: DataObj = Box::new(Cloneable(5));
+        let copy = c.clone_obj().expect("opted-in payload clones");
+        assert_eq!(downcast::<Cloneable>(copy).0, 5);
+        let f: DataObj = Box::new(FixedCloneable(3));
+        let copy = f.clone_obj().expect("fixed-size clone arm works");
+        assert_eq!(copy.wire_size(), 2);
+        assert_eq!(downcast::<FixedCloneable>(copy).0, 3);
     }
 
     #[test]

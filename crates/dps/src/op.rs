@@ -40,6 +40,28 @@ use crate::object::DataObj;
 pub trait Operation: Send {
     /// Invoked when a data object arrives for this operation instance.
     fn on_object(&mut self, obj: DataObj, ctx: &mut dyn OpCtx);
+
+    /// A deep copy of this behaviour instance (its thread-local state), for
+    /// engines that snapshot and fork a running simulation. `None` — the
+    /// default — marks the operation as unforkable; a checkpoint holding
+    /// one cannot fork and callers fall back to fresh full runs.
+    fn fork_op(&self) -> Option<Box<dyn Operation>> {
+        None
+    }
+
+    /// Shared `Any` view of the behaviour state, letting checkpoint pause
+    /// predicates inspect it (e.g. "is the coordinator about to close this
+    /// iteration's barrier?"). `None` opts out of such inspection.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+
+    /// Mutable `Any` view of the behaviour state, letting checkpoint users
+    /// rewrite divergent-continuation parameters (e.g. a thread-removal
+    /// plan) inside a forked engine. `None` opts out of such rewrites.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
 }
 
 /// Engine services available to operations (see module docs).

@@ -11,6 +11,7 @@ use crate::ops::LuShared;
 use crate::payload::{ColumnOut, LuOutput};
 
 /// Verification collector: assembles dumped columns (see module docs).
+#[derive(Clone)]
 pub struct CollectOp {
     sh: Arc<LuShared>,
     acc: Option<Matrix>,
@@ -29,6 +30,7 @@ impl CollectOp {
 }
 
 impl Operation for CollectOp {
+    crate::ops::impl_lu_fork!();
     fn on_object(&mut self, obj: DataObj, ctx: &mut dyn OpCtx) {
         let sh = self.sh.clone();
         let (n, r) = (sh.cfg.n, sh.cfg.r);

@@ -19,6 +19,7 @@ use crate::ops::{initial_owner, LuShared};
 use crate::payload::{CoordMsg, Pivots, TrsmGo, WorkerReq, WorkerReqBody};
 
 /// The coordinator state machine (see module docs).
+#[derive(Clone)]
 pub struct CoordOp {
     sh: Arc<LuShared>,
     /// Current owner of each column block.
@@ -271,6 +272,52 @@ impl CoordOp {
         }
     }
 
+    // ----- checkpoint/fork support ---------------------------------------
+
+    /// Iteration (panel index) whose barrier the coordinator is currently
+    /// collecting.
+    pub fn current_iteration(&self) -> usize {
+        self.cur_k
+    }
+
+    /// The not-yet-executed tail of the thread-removal plan.
+    pub fn removal_plan(&self) -> &[(usize, u32)] {
+        &self.removal_queue
+    }
+
+    /// Replaces the not-yet-executed removal plan — the divergence rewrite
+    /// a forked checkpoint applies before continuing. Entries whose
+    /// iteration already passed are dropped (they can no longer fire).
+    pub fn set_removal_plan(&mut self, plan: Vec<(usize, u32)>) {
+        self.removal_queue = plan;
+        if self.started {
+            self.removal_queue.retain(|&(after, _)| after > self.cur_k);
+        }
+    }
+
+    /// Whether consuming `msg` next would close iteration `cur_k`'s
+    /// barrier — i.e. run the atomic step that records `iter:{cur_k+1}`
+    /// and consults the removal plan. Pausing a checkpoint right before
+    /// this step lets a fork rewrite the plan in time for the decision.
+    /// Always `false` in the pipelined graph, which has no barrier.
+    pub fn barrier_closing(&self, msg: &CoordMsg) -> bool {
+        if self.sh.cfg.pipelined || !self.started || self.migrations_left > 0 {
+            return false;
+        }
+        match *msg {
+            CoordMsg::SubDone { k, j } => {
+                k == self.cur_k
+                    && self.iter_flips_left == 0
+                    && self.iter_cols_left == 1
+                    && self.subs_left.get(&(k, j)) == Some(&1)
+            }
+            CoordMsg::FlipDone { k, .. } => {
+                k == self.cur_k && self.iter_cols_left == 0 && self.iter_flips_left == 1
+            }
+            _ => false,
+        }
+    }
+
     /// Checks global completion: every panel factored, every subtraction
     /// and flip applied, no migrations in flight.
     fn maybe_finish(&mut self, ctx: &mut dyn OpCtx) {
@@ -312,6 +359,7 @@ impl CoordOp {
 }
 
 impl Operation for CoordOp {
+    crate::ops::impl_lu_fork!();
     fn on_object(&mut self, obj: DataObj, ctx: &mut dyn OpCtx) {
         let m: CoordMsg = downcast(obj);
         match m {

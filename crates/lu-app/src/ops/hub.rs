@@ -19,6 +19,7 @@ use crate::ops::LuShared;
 use crate::payload::{MulIn, MulReq, Payload, Pivots, TrsmGo, TrsmReq};
 
 /// State of one iteration inside [`TrsmGenOp`].
+#[derive(Clone)]
 struct TrsmState {
     l11: Payload,
     pivots: Pivots,
@@ -26,6 +27,7 @@ struct TrsmState {
 }
 
 /// Stream issuing triangular-solve requests (paper op (f), split side).
+#[derive(Clone)]
 pub struct TrsmGenOp {
     sh: Arc<LuShared>,
     me: ThreadId,
@@ -67,6 +69,7 @@ impl TrsmGenOp {
 }
 
 impl Operation for TrsmGenOp {
+    crate::ops::impl_lu_fork!();
     fn on_object(&mut self, obj: DataObj, ctx: &mut dyn OpCtx) {
         let any = obj.into_any();
         let any = match any.downcast::<crate::payload::TrsmSetup>() {
@@ -108,7 +111,7 @@ impl Operation for TrsmGenOp {
 }
 
 /// State of one iteration inside [`MulGenOp`].
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct MulState {
     l21: Option<Vec<Payload>>,
     /// Buffered (j, owner, t12) tuples (basic mode holds all of them until
@@ -120,6 +123,7 @@ struct MulState {
 }
 
 /// Stream generating multiplication requests (paper op (c)).
+#[derive(Clone)]
 pub struct MulGenOp {
     sh: Arc<LuShared>,
     states: HashMap<usize, MulState>,
@@ -168,6 +172,7 @@ impl MulGenOp {
 }
 
 impl Operation for MulGenOp {
+    crate::ops::impl_lu_fork!();
     fn on_object(&mut self, obj: DataObj, ctx: &mut dyn OpCtx) {
         let sh = self.sh.clone();
         let kb = sh.kb;

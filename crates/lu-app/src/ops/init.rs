@@ -10,6 +10,7 @@ use crate::ops::{initial_owner, LuShared};
 use crate::payload::{ColumnData, Start};
 
 /// The initial matrix distribution split (see module docs).
+#[derive(Clone)]
 pub struct InitOp {
     sh: Arc<LuShared>,
 }
@@ -22,6 +23,7 @@ impl InitOp {
 }
 
 impl Operation for InitOp {
+    crate::ops::impl_lu_fork!();
     fn on_object(&mut self, obj: DataObj, ctx: &mut dyn OpCtx) {
         let _: Start = downcast(obj);
         let sh = &self.sh;

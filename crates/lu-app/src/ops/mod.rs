@@ -108,7 +108,36 @@ impl LuShared {
     pub fn compute(&self) -> bool {
         self.cfg.mode == DataMode::Real
     }
+
+    /// Whether behaviour state may be deep-copied for simulator
+    /// checkpoint/fork. `Real` mode opts out: forks would share the
+    /// `pending_pivots`/`result` channels through the `Arc` and corrupt
+    /// each other's output.
+    pub fn forkable(&self) -> bool {
+        self.cfg.mode != DataMode::Real
+    }
 }
+
+/// Expands, inside an `impl Operation` block of a `Clone` LU behaviour
+/// holding an `sh: Arc<LuShared>` field, to the simulator checkpoint/fork
+/// hooks: deep copy via `Clone` (gated on [`LuShared::forkable`]) and
+/// `Any` views for pause predicates and divergence rewrites.
+macro_rules! impl_lu_fork {
+    () => {
+        fn fork_op(&self) -> Option<Box<dyn Operation>> {
+            self.sh
+                .forkable()
+                .then(|| Box::new(self.clone()) as Box<dyn Operation>)
+        }
+        fn as_any(&self) -> Option<&dyn std::any::Any> {
+            Some(self)
+        }
+        fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+            Some(self)
+        }
+    };
+}
+pub(crate) use impl_lu_fork;
 
 /// Initial owner of column block `j` among `workers`.
 pub fn initial_owner(workers: &[ThreadId], j: usize) -> ThreadId {

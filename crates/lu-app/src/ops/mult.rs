@@ -9,6 +9,7 @@ use crate::ops::LuShared;
 use crate::payload::{MulReq, Payload, SubReq};
 
 /// The block multiplication leaf (see module docs).
+#[derive(Clone)]
 pub struct MultOp {
     sh: Arc<LuShared>,
 }
@@ -21,6 +22,7 @@ impl MultOp {
 }
 
 impl Operation for MultOp {
+    crate::ops::impl_lu_fork!();
     fn on_object(&mut self, obj: DataObj, ctx: &mut dyn OpCtx) {
         let sh = self.sh.clone();
         let r = sh.cfg.r;

@@ -21,6 +21,7 @@ use linalg::Matrix;
 use crate::ops::LuShared;
 use crate::payload::{MulKey, MulReq, Payload, PmColAck, PmPiece, PmWork, SubReq};
 
+#[derive(Clone)]
 struct SplitState {
     a: Payload,
     storers: Vec<ThreadId>,
@@ -30,6 +31,7 @@ struct SplitState {
 
 /// PM (a)(c)(d): stores the first matrix, distributes column sub-blocks,
 /// collects storage acks, sends line blocks.
+#[derive(Clone)]
 pub struct PmSplitOp {
     sh: Arc<LuShared>,
     me: ThreadId,
@@ -132,6 +134,7 @@ impl PmSplitOp {
 }
 
 impl Operation for PmSplitOp {
+    crate::ops::impl_lu_fork!();
     fn on_object(&mut self, obj: DataObj, ctx: &mut dyn OpCtx) {
         let any = obj.into_any();
         let any = match any.downcast::<MulReq>() {
@@ -146,6 +149,7 @@ impl Operation for PmSplitOp {
 }
 
 /// PM (b)(e): stores column sub-blocks and multiplies line blocks with them.
+#[derive(Clone)]
 pub struct PmWorkerOp {
     sh: Arc<LuShared>,
     me: ThreadId,
@@ -164,6 +168,7 @@ impl PmWorkerOp {
 }
 
 impl Operation for PmWorkerOp {
+    crate::ops::impl_lu_fork!();
     fn on_object(&mut self, obj: DataObj, ctx: &mut dyn OpCtx) {
         let sh = self.sh.clone();
         let m: PmWork = downcast(obj);
@@ -232,6 +237,7 @@ impl Operation for PmWorkerOp {
 }
 
 /// PM (f): assembles the r x r product from the s x s pieces.
+#[derive(Clone)]
 pub struct PmMergeOp {
     sh: Arc<LuShared>,
     pieces: HashMap<MulKey, Vec<PmPiece>>,
@@ -248,6 +254,7 @@ impl PmMergeOp {
 }
 
 impl Operation for PmMergeOp {
+    crate::ops::impl_lu_fork!();
     fn on_object(&mut self, obj: DataObj, ctx: &mut dyn OpCtx) {
         let sh = self.sh.clone();
         let r = sh.cfg.r;

@@ -16,6 +16,7 @@ use crate::payload::{
 };
 
 /// The column-block owner operation (see module docs).
+#[derive(Clone)]
 pub struct WorkerOp {
     sh: Arc<LuShared>,
     me: ThreadId,
@@ -201,6 +202,7 @@ impl WorkerOp {
 }
 
 impl Operation for WorkerOp {
+    crate::ops::impl_lu_fork!();
     fn on_object(&mut self, obj: DataObj, ctx: &mut dyn OpCtx) {
         let any = obj.into_any();
         let any = match any.downcast::<ColumnData>() {

@@ -100,9 +100,11 @@ impl Pivots {
 // ---------------------------------------------------------------------------
 
 /// Kick-off token for the init split.
+#[derive(Clone)]
 pub struct Start;
 
 /// Initial (or migrated) column block heading to its owner.
+#[derive(Clone)]
 pub struct ColumnData {
     /// Column-block index.
     pub j: usize,
@@ -116,6 +118,7 @@ pub struct ColumnData {
 }
 
 /// Requests the coordinator sends to workers.
+#[derive(Clone)]
 pub enum WorkerReqBody {
     /// Factorize the panel of iteration `k` (the local column `k`).
     Panel {
@@ -146,6 +149,7 @@ pub enum WorkerReqBody {
 }
 
 /// A routed coordinator request (see [`WorkerReqBody`]).
+#[derive(Clone)]
 pub struct WorkerReq {
     /// Destination thread (resolved by the `by_target` router).
     pub dest: ThreadId,
@@ -154,6 +158,7 @@ pub struct WorkerReq {
 }
 
 /// Notifications the workers send to the coordinator.
+#[derive(Clone)]
 pub enum CoordMsg {
     /// Column `j` stored at its initial owner.
     ColStored {
@@ -189,6 +194,7 @@ pub enum CoordMsg {
 }
 
 /// Panel results for the trsm-request generator (local to the panel owner).
+#[derive(Clone)]
 pub struct TrsmSetup {
     /// Iteration (panel) index.
     pub k: usize,
@@ -201,6 +207,7 @@ pub struct TrsmSetup {
 }
 
 /// Coordinator tells the trsm generator to issue the solve for column `j`.
+#[derive(Clone)]
 pub struct TrsmGo {
     /// Iteration (panel) index.
     pub k: usize,
@@ -213,6 +220,7 @@ pub struct TrsmGo {
 }
 
 /// Triangular-solve request carrying `L11` + pivots to column `j`'s owner.
+#[derive(Clone)]
 pub struct TrsmReq {
     /// Iteration (panel) index.
     pub k: usize,
@@ -229,6 +237,7 @@ pub struct TrsmReq {
 }
 
 /// Inputs of the multiplication-request generator (runs on the panel owner).
+#[derive(Clone)]
 pub enum MulIn {
     /// `L21` blocks, local from the panel factorization.
     L21 {
@@ -265,6 +274,7 @@ impl MulIn {
 
 /// One block multiplication request: `B(i,j) -= a · b` (paper: "two matrix
 /// blocks of size r × r").
+#[derive(Clone)]
 pub struct MulReq {
     /// Iteration (panel) index.
     pub k: usize,
@@ -281,6 +291,7 @@ pub struct MulReq {
 }
 
 /// A finished product heading to the subtraction at column `j`'s owner.
+#[derive(Clone)]
 pub struct SubReq {
     /// Iteration (panel) index.
     pub k: usize,
@@ -295,6 +306,7 @@ pub struct SubReq {
 }
 
 /// Column dump for verification.
+#[derive(Clone)]
 pub struct ColumnOut {
     /// Column-block index.
     pub j: usize,
@@ -314,6 +326,7 @@ pub struct MulKey {
 }
 
 /// Work items of the PM sub-flow-graph (paper Figure 7).
+#[derive(Clone)]
 pub enum PmWork {
     /// (a)→(b): store a column sub-block of the second matrix.
     Col {
@@ -353,6 +366,7 @@ pub enum PmWork {
 }
 
 /// (b)→(c): notification that a column sub-block was stored.
+#[derive(Clone)]
 pub struct PmColAck {
     /// The enclosing block multiplication.
     pub key: MulKey,
@@ -365,6 +379,7 @@ pub struct PmColAck {
 }
 
 /// (e)→(f): one `s × s` product piece.
+#[derive(Clone)]
 pub struct PmPiece {
     /// The enclosing block multiplication.
     pub key: MulKey,
@@ -385,12 +400,14 @@ pub struct PmPiece {
 // --- DataObject implementations -------------------------------------------
 
 impl DataObject for Start {
+    dps::impl_obj_clone!();
     fn wire_size(&self) -> u64 {
         MSG_HEADER
     }
 }
 
 impl DataObject for ColumnData {
+    dps::impl_obj_clone!();
     fn wire_size(&self) -> u64 {
         MSG_HEADER + self.col.wire()
     }
@@ -400,6 +417,7 @@ impl DataObject for ColumnData {
 }
 
 impl DataObject for WorkerReq {
+    dps::impl_obj_clone!();
     fn wire_size(&self) -> u64 {
         MSG_HEADER
             + match &self.body {
@@ -412,6 +430,7 @@ impl DataObject for WorkerReq {
 }
 
 impl DataObject for CoordMsg {
+    dps::impl_obj_clone!();
     fn wire_size(&self) -> u64 {
         MSG_HEADER
             + match self {
@@ -422,6 +441,7 @@ impl DataObject for CoordMsg {
 }
 
 impl DataObject for TrsmSetup {
+    dps::impl_obj_clone!();
     fn wire_size(&self) -> u64 {
         MSG_HEADER + self.l11.wire() + self.pivots.wire()
     }
@@ -431,12 +451,14 @@ impl DataObject for TrsmSetup {
 }
 
 impl DataObject for TrsmGo {
+    dps::impl_obj_clone!();
     fn wire_size(&self) -> u64 {
         MSG_HEADER + 16
     }
 }
 
 impl DataObject for TrsmReq {
+    dps::impl_obj_clone!();
     fn wire_size(&self) -> u64 {
         MSG_HEADER + 16 + self.l11.wire() + self.pivots.wire()
     }
@@ -446,6 +468,7 @@ impl DataObject for TrsmReq {
 }
 
 impl DataObject for MulIn {
+    dps::impl_obj_clone!();
     fn wire_size(&self) -> u64 {
         MSG_HEADER
             + match self {
@@ -462,6 +485,7 @@ impl DataObject for MulIn {
 }
 
 impl DataObject for MulReq {
+    dps::impl_obj_clone!();
     fn wire_size(&self) -> u64 {
         MSG_HEADER + 24 + self.a.wire() + self.b.wire()
     }
@@ -471,6 +495,7 @@ impl DataObject for MulReq {
 }
 
 impl DataObject for SubReq {
+    dps::impl_obj_clone!();
     fn wire_size(&self) -> u64 {
         MSG_HEADER + 24 + self.prod.wire()
     }
@@ -480,6 +505,7 @@ impl DataObject for SubReq {
 }
 
 impl DataObject for ColumnOut {
+    dps::impl_obj_clone!();
     fn wire_size(&self) -> u64 {
         MSG_HEADER + self.col.wire()
     }
@@ -489,6 +515,7 @@ impl DataObject for ColumnOut {
 }
 
 impl DataObject for PmWork {
+    dps::impl_obj_clone!();
     fn wire_size(&self) -> u64 {
         MSG_HEADER
             + match self {
@@ -504,12 +531,14 @@ impl DataObject for PmWork {
 }
 
 impl DataObject for PmColAck {
+    dps::impl_obj_clone!();
     fn wire_size(&self) -> u64 {
         MSG_HEADER + 24
     }
 }
 
 impl DataObject for PmPiece {
+    dps::impl_obj_clone!();
     fn wire_size(&self) -> u64 {
         MSG_HEADER + 32 + self.data.wire()
     }

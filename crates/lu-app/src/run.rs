@@ -1,8 +1,10 @@
 //! Running the LU application on the simulator or the testbed, and
 //! extracting the paper's quantities from the run report.
 
-use desim::SimDuration;
-use dps_sim::{RunReport, SimConfig};
+use std::sync::Arc;
+
+use desim::{SimDuration, SimTime};
+use dps_sim::{RunReport, SimCheckpoint, SimConfig};
 use linalg::blocked::LuFactors;
 use linalg::{lu_residual, Matrix};
 use netmodel::NetParams;
@@ -10,6 +12,8 @@ use testbed::TestbedParams;
 
 use crate::builder::build_lu_app;
 use crate::config::{DataMode, LuConfig};
+use crate::ops::coord::CoordOp;
+use crate::payload::CoordMsg;
 
 /// Outcome of one LU run.
 pub struct LuRun {
@@ -76,6 +80,96 @@ pub fn predict_lu_with_fabric(
     let (app, sh) = build_lu_app(cfg.clone());
     let report = dps_sim::simulate_with_fabric(&app, fabric, simcfg);
     finish(cfg, &sh, report)
+}
+
+/// A pausable/forkable LU prediction run: the building block of
+/// shared-prefix sweeps (one common prefix, N divergent removal plans).
+///
+/// Only prediction (`DataMode::Alloc`/`Ghost`) runs fork — `Real` mode
+/// behaviours opt out of cloning and [`LuCheckpoint::fork`] returns `None`.
+pub struct LuCheckpoint {
+    ck: SimCheckpoint,
+    cfg: LuConfig,
+    sh: Arc<crate::ops::LuShared>,
+}
+
+impl LuCheckpoint {
+    /// Builds the application and pauses it at virtual time zero.
+    pub fn start(cfg: &LuConfig, net: NetParams, simcfg: &SimConfig) -> LuCheckpoint {
+        let (app, sh) = build_lu_app(cfg.clone());
+        LuCheckpoint {
+            ck: dps_sim::simulate_until(Arc::new(app), net, simcfg, SimTime::ZERO),
+            cfg: cfg.clone(),
+            sh,
+        }
+    }
+
+    /// Advances until the next event would pass `t` (see
+    /// [`SimCheckpoint::advance_until`]).
+    pub fn advance_until(&mut self, t: SimTime) -> bool {
+        self.ck.advance_until(t)
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.ck.now()
+    }
+
+    /// Advances until the coordinator is about to close iteration
+    /// `after`'s barrier (1-based, matching removal-plan notation: the
+    /// decision step that records `iter:{after}` and consults the removal
+    /// plan for removals "after iteration `after`"). Returns `false` if
+    /// the run finished first — e.g. `after` is past the last barrier.
+    pub fn pause_before_barrier(&mut self, after: usize) -> bool {
+        assert!(after >= 1, "barriers are 1-based");
+        let coord = self.sh.ids.coord;
+        let target = after - 1;
+        self.ck.run_until(Box::new(move |p| {
+            if p.op != coord {
+                return false;
+            }
+            let Some(state) = p.state.and_then(|s| s.as_any()) else {
+                return false;
+            };
+            let Some(c) = state.downcast_ref::<CoordOp>() else {
+                return false;
+            };
+            c.current_iteration() == target
+                && c.barrier_closing(dps::downcast_ref::<CoordMsg>(p.obj))
+        }))
+    }
+
+    /// An independent copy of the paused run, or `None` when the
+    /// configuration cannot fork (Real mode).
+    pub fn fork(&mut self) -> Option<LuCheckpoint> {
+        Some(LuCheckpoint {
+            ck: self.ck.fork()?,
+            cfg: self.cfg.clone(),
+            sh: Arc::clone(&self.sh),
+        })
+    }
+
+    /// Installs a different removal plan in this branch's coordinator —
+    /// the divergence rewrite applied to a fresh fork. Entries at or
+    /// before the current iteration are dropped. Panics if the coordinator
+    /// never ran (pause the checkpoint after `dist` first).
+    pub fn set_removal_plan(&mut self, plan: Vec<(usize, u32)>) {
+        let (coord, thread) = (self.sh.ids.coord, self.main_thread());
+        self.ck
+            .with_op_state::<CoordOp, _>(coord, thread, |c| c.set_removal_plan(plan))
+            .expect("coordinator state available for rewrite");
+    }
+
+    /// Runs to completion and extracts the paper's quantities.
+    pub fn finish(self) -> LuRun {
+        finish(&self.cfg, &self.sh, self.ck.finish())
+    }
+
+    fn main_thread(&self) -> dps::ThreadId {
+        // The coordinator runs on the deployment's "main" group, a single
+        // thread the builder places after the workers.
+        dps::ThreadId(self.cfg.workers)
+    }
 }
 
 /// "Measures" the run on the ground-truth testbed emulator.

@@ -30,4 +30,6 @@ pub mod run;
 
 pub use builder::build_stencil_app;
 pub use config::StencilConfig;
-pub use run::{measure_stencil, predict_stencil, predict_stencil_with_fabric, StencilRun};
+pub use run::{
+    measure_stencil, predict_stencil, predict_stencil_with_fabric, StencilCheckpoint, StencilRun,
+};

@@ -75,11 +75,38 @@ impl StShared {
             ctx.charge(d);
         }
     }
+
+    /// Whether behaviour state may be deep-copied for simulator
+    /// checkpoint/fork. `Real` mode opts out: forks would share the
+    /// `result` slot through the `Arc` and clobber each other.
+    pub fn forkable(&self) -> bool {
+        self.cfg.mode != DataMode::Real
+    }
+}
+
+/// Expands to the simulator checkpoint/fork hooks inside an
+/// `impl Operation` block of a `Clone` behaviour holding `sh: Arc<StShared>`
+/// (see [`StShared::forkable`]).
+macro_rules! impl_st_fork {
+    () => {
+        fn fork_op(&self) -> Option<Box<dyn Operation>> {
+            self.sh
+                .forkable()
+                .then(|| Box::new(self.clone()) as Box<dyn Operation>)
+        }
+        fn as_any(&self) -> Option<&dyn std::any::Any> {
+            Some(self)
+        }
+        fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+            Some(self)
+        }
+    };
 }
 
 // ---------------------------------------------------------------------------
 
 /// The grid distribution split.
+#[derive(Clone)]
 pub struct InitOp {
     sh: Arc<StShared>,
 }
@@ -92,6 +119,7 @@ impl InitOp {
 }
 
 impl Operation for InitOp {
+    impl_st_fork!();
     fn on_object(&mut self, obj: DataObj, ctx: &mut dyn OpCtx) {
         let _: Start = downcast(obj);
         let sh = &self.sh;
@@ -116,6 +144,7 @@ impl Operation for InitOp {
 // ---------------------------------------------------------------------------
 
 /// Per-worker stencil state machine.
+#[derive(Clone)]
 pub struct StencilOp {
     sh: Arc<StShared>,
     me: ThreadId,
@@ -266,6 +295,7 @@ impl StencilOp {
 }
 
 impl Operation for StencilOp {
+    impl_st_fork!();
     fn on_object(&mut self, obj: DataObj, ctx: &mut dyn OpCtx) {
         let any = obj.into_any();
         let any = match any.downcast::<BandData>() {
@@ -320,6 +350,7 @@ impl Operation for StencilOp {
 
 /// The iteration driver: collects notifications, enforces barriers in
 /// synchronized mode, marks iterations, triggers the dump.
+#[derive(Clone)]
 pub struct DriverOp {
     sh: Arc<StShared>,
     stored: usize,
@@ -386,6 +417,7 @@ impl DriverOp {
 }
 
 impl Operation for DriverOp {
+    impl_st_fork!();
     fn on_object(&mut self, obj: DataObj, ctx: &mut dyn OpCtx) {
         let m: DriverMsg = downcast(obj);
         match m {
@@ -404,6 +436,7 @@ impl Operation for DriverOp {
 // ---------------------------------------------------------------------------
 
 /// Verification collector: assembles the final grid.
+#[derive(Clone)]
 pub struct CollectOp {
     sh: Arc<StShared>,
     acc: Option<Matrix>,
@@ -422,6 +455,7 @@ impl CollectOp {
 }
 
 impl Operation for CollectOp {
+    impl_st_fork!();
     fn on_object(&mut self, obj: DataObj, ctx: &mut dyn OpCtx) {
         let sh = self.sh.clone();
         let n = sh.cfg.n;

@@ -9,9 +9,11 @@ pub use lu_app::Payload;
 pub const MSG_HEADER: u64 = 16;
 
 /// Kick-off token.
+#[derive(Clone)]
 pub struct Start;
 
 /// A band of the grid heading to its worker.
+#[derive(Clone)]
 pub struct BandData {
     /// Band / worker index.
     pub w: usize,
@@ -22,6 +24,7 @@ pub struct BandData {
 }
 
 /// Commands from the driver to workers.
+#[derive(Clone)]
 pub enum WorkerCmdBody {
     /// Start iteration `iter` (exchange halos, then update).
     Go {
@@ -33,6 +36,7 @@ pub enum WorkerCmdBody {
 }
 
 /// A routed driver command (see [`WorkerCmdBody`]).
+#[derive(Clone)]
 pub struct WorkerCmd {
     /// Destination thread (resolved by the `by_target` router).
     pub dest: ThreadId,
@@ -43,6 +47,7 @@ pub struct WorkerCmd {
 /// A halo row travelling to a neighbour band. `to_above` selects the
 /// neighbour (relative thread index −1 or +1); the edge router derives the
 /// destination from the posting thread.
+#[derive(Clone)]
 pub struct Halo {
     /// Iteration index.
     pub iter: usize,
@@ -53,6 +58,7 @@ pub struct Halo {
 }
 
 /// Notifications from workers to the driver.
+#[derive(Clone)]
 pub enum DriverMsg {
     /// A band was stored at its worker.
     BandStored {
@@ -69,6 +75,7 @@ pub enum DriverMsg {
 }
 
 /// A finished band for the collector.
+#[derive(Clone)]
 pub struct BandOut {
     /// Band / worker index.
     pub w: usize,
@@ -77,12 +84,14 @@ pub struct BandOut {
 }
 
 impl DataObject for Start {
+    dps::impl_obj_clone!();
     fn wire_size(&self) -> u64 {
         MSG_HEADER
     }
 }
 
 impl DataObject for BandData {
+    dps::impl_obj_clone!();
     fn wire_size(&self) -> u64 {
         MSG_HEADER + self.band.wire()
     }
@@ -92,12 +101,14 @@ impl DataObject for BandData {
 }
 
 impl DataObject for WorkerCmd {
+    dps::impl_obj_clone!();
     fn wire_size(&self) -> u64 {
         MSG_HEADER + 8
     }
 }
 
 impl DataObject for Halo {
+    dps::impl_obj_clone!();
     fn wire_size(&self) -> u64 {
         MSG_HEADER + 9 + self.row.wire()
     }
@@ -107,12 +118,14 @@ impl DataObject for Halo {
 }
 
 impl DataObject for DriverMsg {
+    dps::impl_obj_clone!();
     fn wire_size(&self) -> u64 {
         MSG_HEADER + 16
     }
 }
 
 impl DataObject for BandOut {
+    dps::impl_obj_clone!();
     fn wire_size(&self) -> u64 {
         MSG_HEADER + self.band.wire()
     }

@@ -57,6 +57,58 @@ pub fn predict_stencil(cfg: &StencilConfig, net: NetParams, simcfg: &SimConfig) 
     finish(cfg, &sh, report)
 }
 
+/// A pausable/forkable stencil prediction run (see
+/// `dps_sim::SimCheckpoint`). Only prediction modes fork — `Real` mode
+/// behaviours opt out of cloning and [`StencilCheckpoint::fork`] returns
+/// `None`.
+pub struct StencilCheckpoint {
+    ck: dps_sim::SimCheckpoint,
+    cfg: StencilConfig,
+    sh: std::sync::Arc<crate::ops::StShared>,
+}
+
+impl StencilCheckpoint {
+    /// Builds the application and pauses it at virtual time zero.
+    pub fn start(cfg: &StencilConfig, net: NetParams, simcfg: &SimConfig) -> StencilCheckpoint {
+        let (app, sh) = build_stencil_app(cfg.clone());
+        StencilCheckpoint {
+            ck: dps_sim::simulate_until(
+                std::sync::Arc::new(app),
+                net,
+                simcfg,
+                desim::SimTime::ZERO,
+            ),
+            cfg: cfg.clone(),
+            sh,
+        }
+    }
+
+    /// Advances until the next event would pass `t`.
+    pub fn advance_until(&mut self, t: desim::SimTime) -> bool {
+        self.ck.advance_until(t)
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> desim::SimTime {
+        self.ck.now()
+    }
+
+    /// An independent copy of the paused run, or `None` when the
+    /// configuration cannot fork (Real mode).
+    pub fn fork(&mut self) -> Option<StencilCheckpoint> {
+        Some(StencilCheckpoint {
+            ck: self.ck.fork()?,
+            cfg: self.cfg.clone(),
+            sh: std::sync::Arc::clone(&self.sh),
+        })
+    }
+
+    /// Runs to completion and extracts the run's quantities.
+    pub fn finish(self) -> StencilRun {
+        finish(&self.cfg, &self.sh, self.ck.finish())
+    }
+}
+
 /// Predicts the run against an arbitrary machine model (e.g. a
 /// `dps_sim::FaultFabric` with injected slowdowns and link degradations).
 pub fn predict_stencil_with_fabric(

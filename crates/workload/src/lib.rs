@@ -21,6 +21,10 @@
 //!   iteration boundaries with checkpoint/restart replay costs, slowdown
 //!   and link-degrade windows inject through the fault fabric — and
 //!   [`FaultedWorkload`] keys the server's profile cache by fault schedule;
+//! * [`sweep`] is the shared-prefix sweep planner: a family of
+//!   configurations differing only in their removal plans runs as one
+//!   checkpointed prefix plus cheap per-plan forks
+//!   (`lu_app::LuCheckpoint`), instead of N full simulations;
 //! * [`scenarios`] is a registry of named experiment setups
 //!   ([`ScenarioSpec`]) the `scenarios` runner binary lists and executes
 //!   through the bench harness.
@@ -31,6 +35,7 @@ pub mod apps;
 pub mod env;
 pub mod faulted;
 pub mod scenarios;
+pub mod sweep;
 
 pub use apps::{LuWorkload, StencilWorkload};
 pub use env::{SimEnv, DEFAULT_SEED, N};
@@ -39,3 +44,4 @@ pub use scenarios::{
     builtin_scenarios, fault_server_policies, find_scenario, server_policies, shrink_schedule,
     sim_job_set, ScenarioCtx, ScenarioPoint, ScenarioSpec,
 };
+pub use sweep::{sweep_lu, sweep_lu_labelled, SweepStats};

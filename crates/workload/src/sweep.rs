@@ -1,0 +1,219 @@
+//! Shared-prefix sweep planner: runs a family of LU configurations that
+//! differ **only in their removal plans** as one common simulation prefix
+//! plus per-plan forks, instead of N independent full runs.
+//!
+//! The paper's Figures 11–12 sweep exactly such a family ("8 nodes", "kill
+//! 4 after iteration 1", "kill 4 after iteration 4", …): every point
+//! executes identically until its first removal decision. The planner
+//! groups points by their removal-stripped configuration, advances one
+//! checkpointed run barrier by barrier (`lu_app::LuCheckpoint`), forks an
+//! independent branch at each point's first divergence, rewrites the
+//! branch's removal plan in place, and finishes only the divergent suffix.
+//! Fork results are byte-identical to fresh full runs (the `checkpoints`
+//! property tests assert `RunReport::canonical_string` equality), so
+//! callers may treat the planner as a drop-in replacement for a loop of
+//! `predict_lu` calls.
+//!
+//! Points that cannot fork (Real mode, a pipelined graph, a run that ends
+//! before the requested barrier) silently fall back to fresh full runs;
+//! [`SweepStats`] reports how many points took which path.
+
+use dps_sim::SimConfig;
+use lu_app::{predict_lu, LuCheckpoint, LuConfig, LuRun};
+use netmodel::NetParams;
+
+/// How a [`sweep_lu`] call executed its points.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Shared-prefix groups the points were partitioned into.
+    pub groups: usize,
+    /// Points answered by forking a shared prefix.
+    pub forked: usize,
+    /// Points answered by a fresh full run (group of one, unforkable
+    /// configuration, or a barrier past the end of the run).
+    pub fresh: usize,
+}
+
+/// The group key: everything that shapes the simulation *except* the
+/// removal plan. Two configurations with equal keys execute identically
+/// until the earlier of their first removal decisions.
+fn prefix_key(cfg: &LuConfig, net: &NetParams, simcfg: &SimConfig) -> String {
+    format!(
+        "n={},r={},nodes={},workers={},variant={},fc={:?},pm={:?},mode={:?},seed={},cost={},net={:?},sim={:?}",
+        cfg.n,
+        cfg.r,
+        cfg.nodes,
+        cfg.workers,
+        cfg.variant_label(),
+        cfg.flow_control,
+        cfg.parallel_mul,
+        cfg.mode,
+        cfg.seed,
+        cfg.cost.map_or("none".into(), |c| format!("{c:?}")),
+        net,
+        simcfg,
+    )
+}
+
+/// First 1-based iteration whose barrier consults this plan, i.e. where
+/// the point diverges from the removal-free base. Empty plans never
+/// diverge (`usize::MAX` orders them last).
+fn first_divergence(cfg: &LuConfig) -> usize {
+    cfg.removal.first().map_or(usize::MAX, |&(after, _)| after)
+}
+
+/// Runs every configuration and returns the runs **in input order**,
+/// sharing simulation prefixes between points that only differ in their
+/// removal plans. Results are identical to calling
+/// [`lu_app::predict_lu`] per point; only the wall-clock cost changes.
+pub fn sweep_lu(
+    points: &[LuConfig],
+    net: NetParams,
+    simcfg: &SimConfig,
+) -> (Vec<LuRun>, SweepStats) {
+    let mut stats = SweepStats::default();
+    let mut runs: Vec<Option<LuRun>> = Vec::with_capacity(points.len());
+    runs.resize_with(points.len(), || None);
+
+    // Partition into shared-prefix groups, preserving first-seen order.
+    let mut groups: Vec<(String, Vec<usize>)> = Vec::new();
+    for (i, cfg) in points.iter().enumerate() {
+        let key = prefix_key(cfg, &net, simcfg);
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, idxs)) => idxs.push(i),
+            None => groups.push((key, vec![i])),
+        }
+    }
+    stats.groups = groups.len();
+
+    for (_, mut idxs) in groups {
+        if idxs.len() == 1 {
+            let i = idxs[0];
+            runs[i] = Some(predict_lu(&points[i], net, simcfg));
+            stats.fresh += 1;
+            continue;
+        }
+        // Advance the base barrier by barrier, in divergence order.
+        idxs.sort_by_key(|&i| first_divergence(&points[i]));
+        let mut base_cfg = points[idxs[0]].clone();
+        base_cfg.removal.clear();
+        let mut base = Some(LuCheckpoint::start(&base_cfg, net, simcfg));
+        for &i in &idxs {
+            let cfg = &points[i];
+            let after = first_divergence(cfg);
+            let branch = base.as_mut().and_then(|b| {
+                if after == usize::MAX {
+                    // Never diverges: any fork of the base is the point.
+                    b.fork()
+                } else if b.pause_before_barrier(after) {
+                    let mut f = b.fork()?;
+                    f.set_removal_plan(cfg.removal.clone());
+                    Some(f)
+                } else {
+                    // The run ended before the barrier; this point (and
+                    // every later one) degenerates to the base run, but a
+                    // fresh run keeps the equivalence trivially exact.
+                    None
+                }
+            });
+            match branch {
+                Some(f) => {
+                    runs[i] = Some(f.finish());
+                    stats.forked += 1;
+                }
+                None => {
+                    // Forking failed once (Real mode, pipelined graph, or a
+                    // barrier past the end): stop paying for the prefix.
+                    base = None;
+                    runs[i] = Some(predict_lu(cfg, net, simcfg));
+                    stats.fresh += 1;
+                }
+            }
+        }
+    }
+
+    let runs = runs
+        .into_iter()
+        .map(|r| r.expect("every point ran"))
+        .collect();
+    (runs, stats)
+}
+
+/// [`sweep_lu`] over labelled points, returning `(label, run)` pairs in
+/// input order — the shape the figure binaries consume.
+pub fn sweep_lu_labelled(
+    points: &[(String, LuConfig)],
+    net: NetParams,
+    simcfg: &SimConfig,
+) -> (Vec<(String, LuRun)>, SweepStats) {
+    let cfgs: Vec<LuConfig> = points.iter().map(|(_, c)| c.clone()).collect();
+    let (runs, stats) = sweep_lu(&cfgs, net, simcfg);
+    let out = points.iter().map(|(l, _)| l.clone()).zip(runs).collect();
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::SimEnv;
+    use lu_app::DataMode;
+
+    fn removal_family(env: &SimEnv) -> Vec<LuConfig> {
+        let base = {
+            let mut c = env.lu_sized(648, 81, 8);
+            c.workers = 8;
+            c
+        };
+        let mut out = vec![base.clone()];
+        for plan in [vec![(1usize, 4u32)], vec![(4, 4)], vec![(2, 2), (3, 2)]] {
+            let mut c = base.clone();
+            c.removal = plan;
+            out.push(c);
+        }
+        out
+    }
+
+    #[test]
+    fn forked_sweep_equals_fresh_runs() {
+        let env = SimEnv::paper();
+        let points = removal_family(&env);
+        let (runs, stats) = sweep_lu(&points, env.net, &env.simcfg);
+        assert_eq!(stats.groups, 1);
+        assert_eq!(stats.forked, points.len(), "whole family forks");
+        assert_eq!(stats.fresh, 0);
+        for (cfg, run) in points.iter().zip(&runs) {
+            let fresh = env.predict(cfg);
+            assert_eq!(
+                run.report.canonical_string(),
+                fresh.report.canonical_string(),
+                "removal={:?}",
+                cfg.removal
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_points_partition_into_groups() {
+        let env = SimEnv::paper();
+        let mut points = removal_family(&env);
+        points.push(env.lu_sized(648, 81, 4)); // different node count
+        let (runs, stats) = sweep_lu(&points, env.net, &env.simcfg);
+        assert_eq!(stats.groups, 2);
+        assert_eq!(stats.fresh, 1, "singleton group runs fresh");
+        assert_eq!(runs.len(), points.len());
+    }
+
+    #[test]
+    fn real_mode_family_falls_back_to_fresh_runs() {
+        let env = SimEnv::paper();
+        let mut a = env.lu_sized(162, 81, 2);
+        a.mode = DataMode::Real;
+        a.cost = None;
+        let mut b = a.clone();
+        b.removal = vec![(1, 1)];
+        let (runs, stats) = sweep_lu(&[a, b], env.net, &env.simcfg);
+        assert_eq!(stats.forked, 0);
+        assert_eq!(stats.fresh, 2);
+        assert!(runs.iter().all(|r| r.residual.is_some()));
+    }
+}

@@ -1,0 +1,160 @@
+//! Property tests for snapshot/fork simulation: a run paused at an
+//! arbitrary point, forked, and driven to completion must produce a
+//! `RunReport` byte-identical (modulo host wall time) to an uninterrupted
+//! run of the same configuration. This is the guarantee the shared-prefix
+//! sweep planner and the bench result cache are built on.
+
+use dvns::desim::{SimDuration, SimTime};
+use dvns::lu_app::{predict_lu, DataMode, LuCheckpoint, LuConfig};
+use dvns::netmodel::NetParams;
+use dvns::perfmodel::{LuCost, PlatformProfile};
+use dvns::sim::{SimConfig, TimingMode};
+use simrng::{Rng, Xoshiro256};
+
+fn simcfg() -> SimConfig {
+    SimConfig {
+        timing: TimingMode::ChargedOnly,
+        step_overhead: SimDuration::from_micros(50),
+        ..SimConfig::default()
+    }
+}
+
+fn random_cfg(rng: &mut Xoshiro256) -> LuConfig {
+    let r = [64usize, 96, 128][rng.gen_range_u64(0, 3) as usize];
+    let k = 4 + rng.gen_range_u64(0, 4) as usize;
+    let nodes = 2 + rng.gen_range_u64(0, 3) as u32;
+    let mut cfg = LuConfig::new(r * k, r, nodes);
+    cfg.workers = nodes + rng.gen_range_u64(0, 2) as u32 * nodes;
+    cfg.mode = if rng.gen_range_u64(0, 2) == 0 {
+        DataMode::Ghost
+    } else {
+        DataMode::Alloc
+    };
+    cfg.cost = Some(LuCost::new(PlatformProfile::ultrasparc_ii_440()));
+    cfg.validate().expect("generated config is valid");
+    cfg
+}
+
+/// Random configurations, random checkpoint times: both the fork and the
+/// paused original must finish byte-identical to a fresh full run.
+#[test]
+fn fork_at_random_times_matches_fresh_run() {
+    let mut rng = Xoshiro256::seed_from_u64(0x5EED_C0DE);
+    let net = NetParams::fast_ethernet();
+    for _ in 0..4 {
+        let cfg = random_cfg(&mut rng);
+        let fresh = predict_lu(&cfg, net, &simcfg());
+        let want = fresh.report.canonical_string();
+        let span = fresh.report.completion.as_nanos();
+        for _ in 0..2 {
+            let t = SimTime(rng.gen_range_u64(1, span));
+            let mut base = LuCheckpoint::start(&cfg, net, &simcfg());
+            base.advance_until(t);
+            let forked = base.fork().expect("prediction modes fork");
+            // Finish the fork before the original: divergent branch order
+            // must not matter.
+            let a = forked.finish();
+            let b = base.finish();
+            let ctx = format!(
+                "n={} r={} nodes={} workers={} mode={:?} t={}ns",
+                cfg.n, cfg.r, cfg.nodes, cfg.workers, cfg.mode, t.0
+            );
+            assert_eq!(a.report.canonical_string(), want, "fork ({ctx})");
+            assert_eq!(b.report.canonical_string(), want, "original ({ctx})");
+            assert_eq!(a.factorization_time, fresh.factorization_time, "{ctx}");
+        }
+    }
+}
+
+/// Chained forking: one shared prefix advanced barrier to barrier, each
+/// branch rewriting the coordinator's removal plan, must reproduce fresh
+/// runs of the corresponding removal configurations exactly.
+#[test]
+fn removal_rewritten_forks_match_fresh_removal_runs() {
+    let mut base_cfg = LuConfig::new(768, 96, 8);
+    base_cfg.mode = DataMode::Ghost;
+    base_cfg.cost = Some(LuCost::new(PlatformProfile::ultrasparc_ii_440()));
+    let net = NetParams::fast_ethernet();
+
+    // Ascending first-removal iterations so one prefix serves all plans.
+    let plans: Vec<Vec<(usize, u32)>> = vec![
+        vec![(2, 2)],
+        vec![(2, 1), (5, 2)],
+        vec![(3, 4)],
+        vec![(5, 7)],
+    ];
+
+    let mut base = LuCheckpoint::start(&base_cfg, net, &simcfg());
+    for plan in &plans {
+        let after = plan[0].0;
+        assert!(
+            base.pause_before_barrier(after),
+            "run ended before barrier {after}"
+        );
+        let mut branch = base.fork().expect("ghost mode forks");
+        branch.set_removal_plan(plan.clone());
+        let run = branch.finish();
+
+        let mut fresh_cfg = base_cfg.clone();
+        fresh_cfg.removal = plan.clone();
+        fresh_cfg.validate().expect("removal plan is valid");
+        let fresh = predict_lu(&fresh_cfg, net, &simcfg());
+        assert_eq!(
+            run.report.canonical_string(),
+            fresh.report.canonical_string(),
+            "plan {plan:?}"
+        );
+    }
+
+    // The shared prefix itself, driven to the end, is the no-removal run.
+    let run = base.finish();
+    let fresh = predict_lu(&base_cfg, net, &simcfg());
+    assert_eq!(
+        run.report.canonical_string(),
+        fresh.report.canonical_string(),
+        "no-removal base"
+    );
+}
+
+/// The same fork≡fresh property for the stencil application, random
+/// configurations and checkpoint times.
+#[test]
+fn stencil_forks_match_fresh_runs() {
+    use dvns::stencil_app::{predict_stencil, StencilCheckpoint, StencilConfig};
+    let mut rng = Xoshiro256::seed_from_u64(0xBAD5_EED5);
+    let net = NetParams::fast_ethernet();
+    for _ in 0..3 {
+        let mut cfg = StencilConfig::new(
+            256 * (1 + rng.gen_range_u64(0, 2) as usize),
+            3 + rng.gen_range_u64(0, 4) as usize,
+            2u32 << rng.gen_range_u64(0, 3),
+        );
+        cfg.synchronized = rng.gen_range_u64(0, 2) == 0;
+        cfg.validate().expect("generated config is valid");
+        let fresh = predict_stencil(&cfg, net, &simcfg());
+        let want = fresh.report.canonical_string();
+        let t = SimTime(rng.gen_range_u64(1, fresh.report.completion.as_nanos()));
+        let mut base = StencilCheckpoint::start(&cfg, net, &simcfg());
+        base.advance_until(t);
+        let forked = base.fork().expect("ghost mode forks");
+        let a = forked.finish();
+        let b = base.finish();
+        let ctx = format!(
+            "n={} iters={} nodes={} sync={} t={}ns",
+            cfg.n, cfg.iters, cfg.nodes, cfg.synchronized, t.0
+        );
+        assert_eq!(a.report.canonical_string(), want, "fork ({ctx})");
+        assert_eq!(b.report.canonical_string(), want, "original ({ctx})");
+    }
+}
+
+/// Real mode must refuse to fork (its branches would share result
+/// channels) rather than silently corrupt output.
+#[test]
+fn real_mode_refuses_to_fork() {
+    let mut cfg = LuConfig::new(256, 64, 2);
+    cfg.mode = DataMode::Real;
+    let mut ck = LuCheckpoint::start(&cfg, NetParams::fast_ethernet(), &simcfg());
+    ck.advance_until(SimTime(u64::MAX / 2));
+    assert!(ck.fork().is_none(), "Real mode forks must be refused");
+}

@@ -150,18 +150,31 @@ fn calibrated_direct_execution_stays_near_measured() {
     let mut calibrated_cfg = simcfg();
     calibrated_cfg.timing = TimingMode::Calibrated { warmup: 3 };
 
-    let m = predict_stencil(&cfg, NetParams::ideal(), &measured_cfg)
-        .sweep_time
-        .as_secs_f64();
-    let c_run = predict_stencil(&cfg, NetParams::ideal(), &calibrated_cfg);
-    let c = c_run.sweep_time.as_secs_f64();
-    let rel = ((m - c) / m).abs();
-    assert!(
-        rel < 0.6,
-        "calibrated ({c:.4}s) diverged from measured ({m:.4}s) by {:.0}%",
-        rel * 100.0
+    // Both sides time real host execution, so a CPU spike from a
+    // concurrently running test binary can blow the tolerance on a loaded
+    // machine; take the best of a few attempts before declaring divergence.
+    let mut last = (0.0, 0.0, f64::INFINITY);
+    for _ in 0..3 {
+        let m = predict_stencil(&cfg, NetParams::ideal(), &measured_cfg)
+            .sweep_time
+            .as_secs_f64();
+        let c_run = predict_stencil(&cfg, NetParams::ideal(), &calibrated_cfg);
+        let c = c_run.sweep_time.as_secs_f64();
+        assert!(c_run.error.unwrap() < 1e-12, "calibrated run must verify");
+        let rel = ((m - c) / m).abs();
+        if rel < 0.6 {
+            return;
+        }
+        if rel < last.2 {
+            last = (m, c, rel);
+        }
+    }
+    panic!(
+        "calibrated ({:.4}s) diverged from measured ({:.4}s) by {:.0}% on every attempt",
+        last.1,
+        last.0,
+        last.2 * 100.0
     );
-    assert!(c_run.error.unwrap() < 1e-12, "calibrated run must verify");
 }
 
 #[test]
