@@ -12,20 +12,20 @@ fn main() {
     bench_iters("predict_lu_1296_r162_4n_basic", 10, || {
         let mut cfg = env.lu(162, 4);
         cfg.n = 1296;
-        black_box(env.predict(&cfg).factorization_time);
+        black_box(env.predict(&cfg).unwrap().factorization_time);
     });
     bench_iters("predict_lu_1296_r162_4n_pipelined_fc", 10, || {
         let mut cfg = env.lu(162, 4);
         cfg.n = 1296;
         cfg.pipelined = true;
         cfg.flow_control = Some(8);
-        black_box(env.predict(&cfg).factorization_time);
+        black_box(env.predict(&cfg).unwrap().factorization_time);
     });
     let mut seed = 0u64;
     bench_iters("measure_lu_1296_r162_4n_testbed", 10, || {
         let mut cfg = env.lu(162, 4);
         cfg.n = 1296;
         seed += 1;
-        black_box(env.measure(&cfg, seed).factorization_time);
+        black_box(env.measure(&cfg, seed).unwrap().factorization_time);
     });
 }

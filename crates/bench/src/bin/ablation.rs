@@ -32,7 +32,9 @@ fn main() {
         let mut cfg = env.lu(162, 8);
         cfg.pipelined = true;
         cfg.flow_control = w;
-        let run = env.predict(&cfg);
+        let run = env
+            .predict(&cfg)
+            .unwrap_or_else(|e| panic!("predicted run failed: {e}"));
         (
             run.factorization_time.as_secs_f64(),
             run.report.max_queue_len as f64,
@@ -62,10 +64,15 @@ fn main() {
     let rows: Vec<(f64, f64)> = run_parallel(&configs, |_, &(_, r, nodes, pipelined)| {
         let mut cfg = env.lu(r, nodes);
         cfg.pipelined = pipelined;
-        let eq = env.predict(&cfg).factorization_time.as_secs_f64();
+        let eq = env
+            .predict(&cfg)
+            .unwrap_or_else(|e| panic!("predicted run failed: {e}"))
+            .factorization_time
+            .as_secs_f64();
         let (app, _sh) = build_lu_app(cfg.clone());
         let mut fabric = SimFabric::with_sharing(env.net, Sharing::MaxMin);
-        let mm_report = dps_sim::simulate_with_fabric(&app, &mut fabric, &env.simcfg);
+        let mm_report = dps_sim::simulate_with_fabric(&app, &mut fabric, &env.simcfg)
+            .unwrap_or_else(|e| panic!("max-min run failed: {e}"));
         let dist = mm_report.mark_time("dist").expect("dist mark");
         let end = mm_report
             .mark_time(&format!("iter:{}", cfg.k_blocks()))
@@ -93,11 +100,16 @@ fn main() {
     ];
     let rows: Vec<(f64, f64)> = run_parallel(&configs, |_, &(_, r, nodes)| {
         let cfg = env.lu(r, nodes);
-        let with = env.predict(&cfg).factorization_time.as_secs_f64();
+        let with = env
+            .predict(&cfg)
+            .unwrap_or_else(|e| panic!("predicted run failed: {e}"))
+            .factorization_time
+            .as_secs_f64();
         let mut free_net = env.net;
         free_net.cpu_in_cost = 0.0;
         free_net.cpu_out_cost = 0.0;
         let without = lu_app::predict_lu(&cfg, free_net, &env.simcfg)
+            .unwrap_or_else(|e| panic!("predicted run failed: {e}"))
             .factorization_time
             .as_secs_f64();
         (with, without)
@@ -123,6 +135,7 @@ fn main() {
         simcfg.step_overhead = desim::SimDuration::from_micros(us);
         let cfg = env.lu(108, 8);
         lu_app::predict_lu(&cfg, env.net, &simcfg)
+            .unwrap_or_else(|e| panic!("predicted run failed: {e}"))
             .factorization_time
             .as_secs_f64()
     });

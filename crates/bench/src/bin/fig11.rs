@@ -34,12 +34,14 @@ fn main() {
     // fork-based sweep planner.
     let measured: Vec<LuRun> = run_parallel(&points, |_, (li, _, cfg)| {
         env.measure(cfg, 400 + *li as u64)
+            .unwrap_or_else(|e| panic!("measured run failed: {e}"))
     });
     let labelled: Vec<(String, LuConfig)> = points
         .iter()
         .map(|(_, l, c)| (l.clone(), c.clone()))
         .collect();
-    let (predicted, _) = sweep_lu_labelled(&labelled, env.net, &env.simcfg);
+    let (predicted, _) = sweep_lu_labelled(&labelled, env.net, &env.simcfg)
+        .unwrap_or_else(|e| panic!("sweep failed: {e}"));
     let runs: Vec<(LuRun, LuRun)> = measured
         .into_iter()
         .zip(predicted)

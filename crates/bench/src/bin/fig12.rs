@@ -26,8 +26,16 @@ fn run_both_ways(
     env: &Env,
     points: &[(String, LuConfig)],
 ) -> (Vec<(String, lu_app::LuRun)>, SweepStats, f64, f64) {
-    let (fresh, fresh_wall) = time(|| run_parallel(points, |_, (_, cfg)| env.predict(cfg)));
-    let ((forked, stats), forked_wall) = time(|| sweep_lu_labelled(points, env.net, &env.simcfg));
+    let (fresh, fresh_wall) = time(|| {
+        run_parallel(points, |_, (_, cfg)| {
+            env.predict(cfg)
+                .unwrap_or_else(|e| panic!("predicted run failed: {e}"))
+        })
+    });
+    let ((forked, stats), forked_wall) = time(|| {
+        sweep_lu_labelled(points, env.net, &env.simcfg)
+            .unwrap_or_else(|e| panic!("sweep failed: {e}"))
+    });
     for ((label, f), fr) in forked.iter().zip(&fresh) {
         assert_eq!(
             f.report.canonical_string(),
@@ -43,6 +51,7 @@ fn main() {
     let points = removal_configs(&env);
     let measured: Vec<f64> = run_parallel(&points, |i, (_, cfg)| {
         env.measure(cfg, 500 + i as u64)
+            .unwrap_or_else(|e| panic!("measured run failed: {e}"))
             .factorization_time
             .as_secs_f64()
     });

@@ -21,11 +21,16 @@ fn main() {
     // Whole-run errors across every configuration, `seeds` seeds each.
     let configs = all_configs(&env);
     let errors: Vec<Vec<f64>> = run_parallel(&configs, |i, (_label, cfg)| {
-        let predicted = env.predict(cfg).factorization_time.as_secs_f64();
+        let predicted = env
+            .predict(cfg)
+            .unwrap_or_else(|e| panic!("predicted run failed: {e}"))
+            .factorization_time
+            .as_secs_f64();
         (0..seeds)
             .map(|seed| {
                 let measured = env
                     .measure(cfg, 1000 + 31 * i as u64 + seed)
+                    .unwrap_or_else(|e| panic!("measured run failed: {e}"))
                     .factorization_time
                     .as_secs_f64();
                 rel_error(measured, predicted)
@@ -44,6 +49,7 @@ fn main() {
         cfg.mode = lu_app::DataMode::Ghost;
         cfg.synchronized = sync;
         let predicted = stencil_app::predict_stencil(&cfg, env.net, &env.simcfg)
+            .unwrap_or_else(|e| panic!("predicted stencil run failed: {e}"))
             .sweep_time
             .as_secs_f64();
         (0..seeds)
@@ -54,6 +60,7 @@ fn main() {
                     3000 + 7 * i as u64 + seed,
                     &env.simcfg,
                 )
+                .unwrap_or_else(|e| panic!("measured stencil run failed: {e}"))
                 .sweep_time
                 .as_secs_f64();
                 rel_error(measured, predicted)
@@ -68,11 +75,15 @@ fn main() {
     // validation adds finer-grained samples, like the paper's 168).
     let removal = removal_configs(&env);
     let removal_errors: Vec<Vec<f64>> = run_parallel(&removal, |i, (_label, cfg)| {
-        let predicted = env.predict(cfg);
+        let predicted = env
+            .predict(cfg)
+            .unwrap_or_else(|e| panic!("predicted run failed: {e}"));
         let pred_iters = lu_app::iteration_times(&predicted.report);
         let mut out = Vec::new();
         for seed in 0..seeds.min(2) {
-            let measured = env.measure(cfg, 2000 + 17 * i as u64 + seed);
+            let measured = env
+                .measure(cfg, 2000 + 17 * i as u64 + seed)
+                .unwrap_or_else(|e| panic!("measured run failed: {e}"));
             let meas_iters = lu_app::iteration_times(&measured.report);
             for (p, m) in pred_iters.iter().zip(meas_iters.iter()) {
                 // Skip sub-millisecond iterations: relative error on a

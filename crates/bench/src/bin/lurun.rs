@@ -160,13 +160,21 @@ fn main() {
     );
 
     match engine.as_str() {
-        "sim" => {
-            let run = lu_app::predict_lu(&cfg, net, &simcfg);
-            report(&run, gantt);
-        }
+        "sim" => match lu_app::predict_lu(&cfg, net, &simcfg) {
+            Ok(run) => report(&run, gantt),
+            Err(e) => {
+                eprintln!("simulation failed: {e}");
+                std::process::exit(1);
+            }
+        },
         "testbed" => {
-            let run = lu_app::measure_lu(&cfg, TestbedParams::sun_cluster(), cfg.seed, &simcfg);
-            report(&run, gantt);
+            match lu_app::measure_lu(&cfg, TestbedParams::sun_cluster(), cfg.seed, &simcfg) {
+                Ok(run) => report(&run, gantt),
+                Err(e) => {
+                    eprintln!("testbed run failed: {e}");
+                    std::process::exit(1);
+                }
+            }
         }
         "native" => {
             let (app, sh) = build_lu_app(cfg.clone());

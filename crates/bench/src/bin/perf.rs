@@ -38,7 +38,9 @@ fn main() {
         let mut batch_secs = 0.0;
         let mut batch_steps = 0u64;
         for _ in 0..batch {
-            let run = env.predict(&cfg);
+            let run = env
+                .predict(&cfg)
+                .unwrap_or_else(|e| panic!("predicted run failed: {e}"));
             batch_secs += run.report.host_wall.as_secs_f64();
             batch_steps += run.report.steps;
         }
@@ -69,7 +71,9 @@ fn main() {
         let mut batch_secs = 0.0;
         let mut batch_steps = 0u64;
         for b in 0..batch {
-            let run = env.measure(&cfg, 42 + u64::from(s * batch + b));
+            let run = env
+                .measure(&cfg, 42 + u64::from(s * batch + b))
+                .unwrap_or_else(|e| panic!("measured run failed: {e}"));
             batch_secs += run.report.host_wall.as_secs_f64();
             batch_steps += run.report.steps;
         }

@@ -84,7 +84,8 @@ fn main() {
     direct_cfg.cost = None; // no charges: pure measurement
     let mut simcfg = env.simcfg.clone();
     simcfg.timing = TimingMode::Measured;
-    let run = lu_app::predict_lu(&direct_cfg, env.net, &simcfg);
+    let run = lu_app::predict_lu(&direct_cfg, env.net, &simcfg)
+        .unwrap_or_else(|e| panic!("direct-execution run failed: {e}"));
     table.row(&[
         "Direct execution (sim, this host)".into(),
         format!("{:.2}", run.report.host_wall.as_secs_f64()),
@@ -99,7 +100,8 @@ fn main() {
     let mut pdexec_cfg = LuConfig::new(n, r, 8);
     pdexec_cfg.mode = DataMode::Alloc;
     pdexec_cfg.cost = Some(env.cost);
-    let run = lu_app::predict_lu(&pdexec_cfg, env.net, &env.simcfg);
+    let run = lu_app::predict_lu(&pdexec_cfg, env.net, &env.simcfg)
+        .unwrap_or_else(|e| panic!("PDEXEC run failed: {e}"));
     let pdexec_pred = run.factorization_time.as_secs_f64();
     table.row(&[
         "PDEXEC (sim)".into(),
@@ -111,7 +113,8 @@ fn main() {
     // --- PDEXEC NOALLOC: ghost payloads.
     let mut noalloc_cfg = pdexec_cfg.clone();
     noalloc_cfg.mode = DataMode::Ghost;
-    let run = lu_app::predict_lu(&noalloc_cfg, env.net, &env.simcfg);
+    let run = lu_app::predict_lu(&noalloc_cfg, env.net, &env.simcfg)
+        .unwrap_or_else(|e| panic!("NOALLOC run failed: {e}"));
     let noalloc_pred = run.factorization_time.as_secs_f64();
     table.row(&[
         "PDEXEC NOALLOC (sim)".into(),
@@ -123,14 +126,16 @@ fn main() {
     // --- Portability / what-if rows (§4's parametric studies).
     let mut p4_cfg = noalloc_cfg.clone();
     p4_cfg.cost = Some(LuCost::new(PlatformProfile::pentium4_2800()));
-    let run = lu_app::predict_lu(&p4_cfg, env.net, &env.simcfg);
+    let run = lu_app::predict_lu(&p4_cfg, env.net, &env.simcfg)
+        .unwrap_or_else(|e| panic!("Pentium 4 run failed: {e}"));
     table.row(&[
         "PDEXEC, target = Pentium 4 cluster".into(),
         format!("{:.2}", run.report.host_wall.as_secs_f64()),
         mb(run.report.mem_peak_bytes),
         format!("{:.1}", run.factorization_time.as_secs_f64()),
     ]);
-    let run = lu_app::predict_lu(&noalloc_cfg, NetParams::gigabit_ethernet(), &env.simcfg);
+    let run = lu_app::predict_lu(&noalloc_cfg, NetParams::gigabit_ethernet(), &env.simcfg)
+        .unwrap_or_else(|e| panic!("gigabit what-if run failed: {e}"));
     table.row(&[
         "PDEXEC, what-if gigabit network".into(),
         format!("{:.2}", run.report.host_wall.as_secs_f64()),

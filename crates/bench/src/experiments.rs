@@ -33,10 +33,16 @@ impl Pair {
     }
 }
 
-/// Runs one configuration through both engines.
+/// Runs one configuration through both engines. A failing run panics with
+/// the typed simulation error; sweep drivers running points through
+/// [`crate::harness::run_parallel_isolated`] turn that into an error row.
 pub fn run_pair(env: &Env, cfg: &LuConfig, seed: u64) -> Pair {
-    let measured = env.measure(cfg, seed);
-    let predicted = env.predict(cfg);
+    let measured = env
+        .measure(cfg, seed)
+        .unwrap_or_else(|e| panic!("measured run failed: {e}"));
+    let predicted = env
+        .predict(cfg)
+        .unwrap_or_else(|e| panic!("predicted run failed: {e}"));
     Pair {
         measured_secs: measured.factorization_time.as_secs_f64(),
         predicted_secs: predicted.factorization_time.as_secs_f64(),

@@ -105,6 +105,50 @@ where
         .collect()
 }
 
+/// Renders a panic payload as text: the `&str`/`String` message when the
+/// panic carried one (the overwhelmingly common case), a placeholder
+/// otherwise.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// [`run_parallel`] with per-point panic isolation: each point runs under
+/// [`std::panic::catch_unwind`], so one poisoned point yields an
+/// `Err(panic message)` in its slot while every other point completes and
+/// keeps its deterministic input-order position. Serial (`threads = 1`) and
+/// parallel runs produce identical result vectors.
+pub fn run_parallel_isolated<T, R, F>(items: &[T], f: F) -> Vec<Result<R, String>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    run_parallel_isolated_with(items, thread_count(), f)
+}
+
+/// [`run_parallel_isolated`] with an explicit thread count.
+pub fn run_parallel_isolated_with<T, R, F>(
+    items: &[T],
+    threads: usize,
+    f: F,
+) -> Vec<Result<R, String>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    run_parallel_with(items, threads, |i, t| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, t)))
+            .map_err(|p| panic_message(&*p))
+    })
+}
+
 /// Times a closure, returning its result and the elapsed seconds.
 pub fn time<R>(f: impl FnOnce() -> R) -> (R, f64) {
     let t0 = Instant::now();
@@ -288,6 +332,28 @@ mod tests {
             i as u64 + x
         });
         assert_eq!(out, (0..100).map(|x| 2 * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panicking_point_is_isolated_serial_and_parallel() {
+        let items: Vec<u32> = (0..16).collect();
+        let run = |threads| {
+            run_parallel_isolated_with(&items, threads, |_, &x| {
+                assert!(x != 7, "point {x} is poisoned");
+                x * 2
+            })
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert_eq!(serial, parallel, "isolation must not break determinism");
+        for (i, r) in serial.iter().enumerate() {
+            if i == 7 {
+                let msg = r.as_ref().unwrap_err();
+                assert!(msg.contains("point 7 is poisoned"), "got: {msg}");
+            } else {
+                assert_eq!(*r, Ok(i as u32 * 2));
+            }
+        }
     }
 
     #[test]

@@ -27,6 +27,12 @@ pub mod runner;
 pub mod scenarios;
 
 pub use experiments::*;
-pub use harness::{run_parallel, run_parallel_with, smoke, thread_count, time, BenchJson};
-pub use runner::{cache_dir, run_scenario, run_scenario_at, scenario_fingerprint, ScenarioOutcome};
+pub use harness::{
+    panic_message, run_parallel, run_parallel_isolated, run_parallel_isolated_with,
+    run_parallel_with, smoke, thread_count, time, BenchJson,
+};
+pub use runner::{
+    cache_dir, run_scenario, run_scenario_at, scenario_fingerprint, ScenarioOutcome, ScenarioRow,
+    CACHE_VERSION,
+};
 pub use scenarios::figure_scenarios;

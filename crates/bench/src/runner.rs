@@ -17,19 +17,33 @@
 //! bypasses the lookup (and still refreshes the entry), and the
 //! `cache determinism` CI step asserts that a cache hit is byte-identical
 //! to a recomputation.
+//!
+//! Entries are additionally **sealed** with an integrity footer (a comment
+//! line carrying the cache version and a content hash). A truncated,
+//! hand-edited, or otherwise corrupt entry fails the seal check and is
+//! treated as a miss: the bad file is quarantined as `<entry>.corrupt`, a
+//! warning goes to stderr, and the entry is recomputed and rewritten.
+//!
+//! Points run under per-point panic isolation
+//! ([`crate::harness::run_parallel_isolated`]): a poisoned point becomes an
+//! error row (`!error` in the CSV) while every other point's row stays
+//! byte-identical to a clean run.
 
 use std::hash::Hasher;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use desim::fxhash::FxHasher;
 use workload::{ScenarioCtx, ScenarioSpec};
 
-use crate::harness::run_parallel;
+use crate::harness::run_parallel_isolated;
 
 /// Salt folded into every cache fingerprint. Bump when simulator or
 /// scenario semantics change in ways the fingerprinted inputs don't
 /// capture.
-pub const CACHE_VERSION: u32 = 1;
+///
+/// v2: `RunReport` lost its `stall` field to the typed-error rework
+/// (`canonical_string` changed) and rows can now carry error columns.
+pub const CACHE_VERSION: u32 = 2;
 
 /// Where cache entries live: `DVNS_CACHE_DIR`, or `results/cache`.
 pub fn cache_dir() -> PathBuf {
@@ -67,6 +81,65 @@ pub struct ScenarioOutcome {
     pub cache_hit: bool,
 }
 
+fn content_hash(content: &str) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(content.as_bytes());
+    h.finish()
+}
+
+/// Appends the integrity footer to a cache entry's content.
+fn seal(content: &str) -> String {
+    format!(
+        "{content}# dvns-cache {CACHE_VERSION} {:016x}\n",
+        content_hash(content)
+    )
+}
+
+/// Validates and strips the integrity footer. `None` means the entry is
+/// truncated, hand-edited, or from a different cache version — treat as a
+/// miss.
+fn unseal(sealed: &str) -> Option<String> {
+    let body_end = sealed.trim_end_matches('\n').rfind('\n')? + 1;
+    let (content, footer) = sealed.split_at(body_end);
+    let mut parts = footer.trim_end().split(' ');
+    if (parts.next(), parts.next()) != (Some("#"), Some("dvns-cache")) {
+        return None;
+    }
+    if parts.next()? != CACHE_VERSION.to_string() {
+        return None;
+    }
+    let hash = u64::from_str_radix(parts.next()?, 16).ok()?;
+    if parts.next().is_some() || hash != content_hash(content) {
+        return None;
+    }
+    Some(content.to_string())
+}
+
+/// Reads a sealed cache entry. A file that exists but fails the seal check
+/// is quarantined as `<path>.corrupt` (a warning goes to stderr) so the
+/// caller recomputes and rewrites it.
+fn read_sealed(path: &Path) -> Option<String> {
+    let sealed = std::fs::read_to_string(path).ok()?;
+    match unseal(&sealed) {
+        Some(content) => Some(content),
+        None => {
+            let quarantine = {
+                let mut os = path.as_os_str().to_owned();
+                os.push(".corrupt");
+                PathBuf::from(os)
+            };
+            eprintln!(
+                "warning: cache entry {} failed its integrity check; \
+                 quarantining as {} and recomputing",
+                path.display(),
+                quarantine.display()
+            );
+            let _ = std::fs::rename(path, &quarantine);
+            None
+        }
+    }
+}
+
 /// Runs a scenario through the harness, consulting the persistent cache.
 /// With `use_cache` false the lookup is skipped but the entry is still
 /// (re)written, so a later cached run can be diffed against this one.
@@ -88,10 +161,7 @@ pub fn run_scenario_at(
     let csv_path = dir.join(format!("{stem}.csv"));
 
     if use_cache {
-        if let (Ok(text), Ok(csv)) = (
-            std::fs::read_to_string(&txt_path),
-            std::fs::read_to_string(&csv_path),
-        ) {
+        if let (Some(text), Some(csv)) = (read_sealed(&txt_path), read_sealed(&csv_path)) {
             return ScenarioOutcome {
                 text,
                 csv,
@@ -101,11 +171,19 @@ pub fn run_scenario_at(
     }
 
     let points = (spec.points)(ctx);
-    let rows = run_parallel(&points, |_, p| (p.label.clone(), (p.run)()));
+    let rows = run_parallel_isolated(&points, |_, p| (p.label.clone(), (p.run)()));
+    let rows: Vec<ScenarioRow> = points
+        .iter()
+        .zip(rows)
+        .map(|(p, r)| match r {
+            Ok((label, fields)) => (label, Ok(fields)),
+            Err(msg) => (p.label.clone(), Err(msg)),
+        })
+        .collect();
     let (text, csv) = render(spec, &rows);
     if std::fs::create_dir_all(dir).is_ok() {
-        let _ = std::fs::write(&txt_path, &text);
-        let _ = std::fs::write(&csv_path, &csv);
+        let _ = std::fs::write(&txt_path, seal(&text));
+        let _ = std::fs::write(&csv_path, seal(&csv));
     }
     ScenarioOutcome {
         text,
@@ -114,16 +192,28 @@ pub fn run_scenario_at(
     }
 }
 
-/// Renders rows of `(label, fields)` as an aligned table plus a CSV; field
-/// names come from the first row (every point of a scenario reports the
-/// same fields).
-pub fn render(
-    spec: &ScenarioSpec,
-    rows: &[(String, Vec<(&'static str, f64)>)],
-) -> (String, String) {
+/// One executed scenario row: the point's fields, or the message of the
+/// panic that killed it.
+pub type ScenarioRow = (String, Result<Vec<(&'static str, f64)>, String>);
+
+/// Flattens an error message to one CSV-safe cell (no commas, no
+/// newlines).
+fn sanitize_error(msg: &str) -> String {
+    msg.replace(['\n', '\r'], " ").replace(',', ";")
+}
+
+/// Renders rows of `(label, fields-or-error)` as an aligned table plus a
+/// CSV; field names come from the first succeeding row (every point of a
+/// scenario reports the same fields). A failed point renders as an `!error`
+/// row carrying its panic message instead of silently vanishing.
+pub fn render(spec: &ScenarioSpec, rows: &[ScenarioRow]) -> (String, String) {
     let headers: Vec<&str> = rows
-        .first()
-        .map(|(_, fields)| fields.iter().map(|(k, _)| *k).collect())
+        .iter()
+        .find_map(|(_, r)| {
+            r.as_ref()
+                .ok()
+                .map(|fields| fields.iter().map(|(k, _)| *k).collect())
+        })
         .unwrap_or_default();
     let label_w = rows
         .iter()
@@ -142,13 +232,21 @@ pub fn render(
     }
     text.push('\n');
     csv.push('\n');
-    for (label, fields) in rows {
+    for (label, row) in rows {
         text.push_str(&format!("{label:label_w$}"));
         csv.push_str(label);
-        for (key, value) in fields {
-            debug_assert!(headers.contains(key));
-            text.push_str(&format!("  {value:>24.4}"));
-            csv.push_str(&format!(",{value}"));
+        match row {
+            Ok(fields) => {
+                for (key, value) in fields {
+                    debug_assert!(headers.contains(key));
+                    text.push_str(&format!("  {value:>24.4}"));
+                    csv.push_str(&format!(",{value}"));
+                }
+            }
+            Err(msg) => {
+                text.push_str(&format!("  !error: {msg}"));
+                csv.push_str(&format!(",!error,{}", sanitize_error(msg)));
+            }
         }
         text.push('\n');
         csv.push('\n');
@@ -187,11 +285,46 @@ mod tests {
     #[test]
     fn render_emits_headers_and_rows() {
         let spec = toy_spec();
-        let rows = vec![("only".to_string(), vec![("seed", 1.0), ("answer", 42.0)])];
+        let rows = vec![(
+            "only".to_string(),
+            Ok(vec![("seed", 1.0), ("answer", 42.0)]),
+        )];
         let (text, csv) = render(&spec, &rows);
         assert!(text.contains("toy — toy scenario"));
         assert!(text.contains("answer"));
         assert!(csv.starts_with("label,seed,answer\n"));
         assert!(csv.contains("only,1,42"));
+    }
+
+    #[test]
+    fn render_keeps_error_rows_and_headers_from_first_ok_row() {
+        let spec = toy_spec();
+        let rows = vec![
+            ("dead".to_string(), Err("boom, with a comma".to_string())),
+            ("live".to_string(), Ok(vec![("answer", 42.0)])),
+        ];
+        let (text, csv) = render(&spec, &rows);
+        assert!(csv.starts_with("label,answer\n"), "csv: {csv}");
+        assert!(csv.contains("dead,!error,boom; with a comma\n"));
+        assert!(csv.contains("live,42\n"));
+        assert!(text.contains("!error: boom, with a comma"));
+    }
+
+    #[test]
+    fn seal_roundtrips_and_rejects_tampering() {
+        let content = "label,answer\nonly,42\n";
+        let sealed = seal(content);
+        assert_eq!(unseal(&sealed).as_deref(), Some(content));
+        // Truncation, edits and footer-less files all fail the check.
+        assert_eq!(unseal(&sealed[..sealed.len() - 2]), None);
+        assert_eq!(unseal(&sealed.replace("42", "43")), None);
+        assert_eq!(unseal(content), None);
+        // A footer from another cache version fails even when its hash is
+        // formally correct.
+        let other = sealed.replace(
+            &format!("# dvns-cache {CACHE_VERSION} "),
+            "# dvns-cache 999 ",
+        );
+        assert_eq!(unseal(&other), None);
     }
 }

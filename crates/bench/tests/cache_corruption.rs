@@ -1,0 +1,98 @@
+//! Cache robustness: a truncated or hand-edited entry under the cache
+//! directory must fail its integrity seal, be quarantined as
+//! `<entry>.corrupt`, and count as a miss — the scenario recomputes,
+//! rewrites the entry, and emits bytes identical to a clean run.
+
+use dps_bench::{run_scenario_at, scenario_fingerprint};
+use workload::{builtin_scenarios, find_scenario, ScenarioCtx};
+
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("dvns-corrupt-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn truncated_entry_is_quarantined_and_recomputed() {
+    let specs = builtin_scenarios();
+    let spec = find_scenario(&specs, "lu-efficiency").expect("registered");
+    let ctx = ScenarioCtx::new(true, 42);
+    let dir = scratch_dir("truncate");
+    let stem = format!("{}-{:016x}", spec.name, scenario_fingerprint(spec, &ctx));
+    let txt_path = dir.join(format!("{stem}.txt"));
+
+    let cold = run_scenario_at(spec, &ctx, true, &dir);
+    assert!(!cold.cache_hit);
+    assert!(txt_path.exists(), "entry must be written");
+
+    // Truncate the stored entry mid-file: the seal no longer matches.
+    let sealed = std::fs::read_to_string(&txt_path).unwrap();
+    std::fs::write(&txt_path, &sealed[..sealed.len() / 2]).unwrap();
+
+    let recovered = run_scenario_at(spec, &ctx, true, &dir);
+    assert!(!recovered.cache_hit, "a corrupt entry must miss");
+    assert_eq!(recovered.text, cold.text, "recomputation matches clean run");
+    assert_eq!(recovered.csv, cold.csv);
+
+    // The bad file was preserved for inspection, not silently deleted.
+    let quarantine = dir.join(format!("{stem}.txt.corrupt"));
+    assert!(quarantine.exists(), "corrupt entry must be quarantined");
+
+    // The entry was rewritten: the next run is a clean hit again.
+    let warm = run_scenario_at(spec, &ctx, true, &dir);
+    assert!(warm.cache_hit, "rewritten entry must hit");
+    assert_eq!(warm.text, cold.text);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn hand_edited_entry_fails_the_seal_even_with_footer_intact() {
+    let specs = builtin_scenarios();
+    let spec = find_scenario(&specs, "lu-efficiency").expect("registered");
+    let ctx = ScenarioCtx::new(true, 7);
+    let dir = scratch_dir("edit");
+    let stem = format!("{}-{:016x}", spec.name, scenario_fingerprint(spec, &ctx));
+    let csv_path = dir.join(format!("{stem}.csv"));
+
+    let cold = run_scenario_at(spec, &ctx, true, &dir);
+    assert!(!cold.cache_hit);
+
+    // Flip one digit in the body, leaving the footer line untouched: the
+    // content hash no longer matches.
+    let sealed = std::fs::read_to_string(&csv_path).unwrap();
+    let edited = sealed.replacen(|c: char| c.is_ascii_digit(), "9", 1);
+    assert_ne!(edited, sealed, "the entry must contain a digit to flip");
+    std::fs::write(&csv_path, edited).unwrap();
+
+    let recovered = run_scenario_at(spec, &ctx, true, &dir);
+    assert!(!recovered.cache_hit, "an edited entry must miss");
+    assert_eq!(
+        recovered.csv, cold.csv,
+        "the edit must not leak into output"
+    );
+    assert!(dir.join(format!("{stem}.csv.corrupt")).exists());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn footerless_legacy_entry_counts_as_miss() {
+    // A file from before sealing existed (no footer at all) is treated the
+    // same way: miss, quarantine, rewrite.
+    let specs = builtin_scenarios();
+    let spec = find_scenario(&specs, "lu-efficiency").expect("registered");
+    let ctx = ScenarioCtx::new(true, 99);
+    let dir = scratch_dir("legacy");
+    let stem = format!("{}-{:016x}", spec.name, scenario_fingerprint(spec, &ctx));
+
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join(format!("{stem}.txt")), "legacy body\n").unwrap();
+    std::fs::write(dir.join(format!("{stem}.csv")), "label,x\nlegacy,1\n").unwrap();
+
+    let run = run_scenario_at(spec, &ctx, true, &dir);
+    assert!(!run.cache_hit, "footerless entries must not replay");
+    assert!(!run.text.contains("legacy"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

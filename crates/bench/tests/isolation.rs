@@ -1,0 +1,116 @@
+//! Panic isolation in the sweep harness: one poisoned point must become an
+//! `!error` row while every other point's rendered CSV bytes stay identical
+//! to a clean sweep — under serial and parallel thread counts alike.
+
+use dps_bench::runner::render;
+use dps_bench::{run_parallel_isolated_with, run_scenario_at, ScenarioRow};
+use workload::{ScenarioCtx, ScenarioPoint, ScenarioSpec};
+
+fn poisoned_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "poisoned",
+        summary: "sweep with one panicking point",
+        points: |ctx| {
+            let seed = ctx.seed;
+            vec![
+                ScenarioPoint::new("alpha", move || {
+                    vec![("value", seed as f64), ("twice", 2.0 * seed as f64)]
+                }),
+                ScenarioPoint::new("boom", || panic!("injected failure for isolation test")),
+                ScenarioPoint::new("gamma", move || {
+                    vec![
+                        ("value", seed as f64 + 1.0),
+                        ("twice", 2.0 * seed as f64 + 2.0),
+                    ]
+                }),
+            ]
+        },
+    }
+}
+
+fn clean_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "poisoned",
+        summary: "sweep with one panicking point",
+        points: |ctx| {
+            let seed = ctx.seed;
+            vec![
+                ScenarioPoint::new("alpha", move || {
+                    vec![("value", seed as f64), ("twice", 2.0 * seed as f64)]
+                }),
+                ScenarioPoint::new("gamma", move || {
+                    vec![
+                        ("value", seed as f64 + 1.0),
+                        ("twice", 2.0 * seed as f64 + 2.0),
+                    ]
+                }),
+            ]
+        },
+    }
+}
+
+/// Runs the poisoned spec through the isolating harness at an explicit
+/// thread count and renders it, mirroring what `run_scenario_at` does with
+/// the ambient `DVNS_THREADS`.
+fn sweep_csv(spec: &ScenarioSpec, ctx: &ScenarioCtx, threads: usize) -> String {
+    let points = (spec.points)(ctx);
+    let raw = run_parallel_isolated_with(&points, threads, |_, p| (p.label.clone(), (p.run)()));
+    let rows: Vec<ScenarioRow> = points
+        .iter()
+        .zip(raw)
+        .map(|(p, r)| match r {
+            Ok((label, fields)) => (label, Ok(fields)),
+            Err(msg) => (p.label.clone(), Err(msg)),
+        })
+        .collect();
+    render(spec, &rows).1
+}
+
+#[test]
+fn panicking_point_leaves_other_rows_byte_identical() {
+    let ctx = ScenarioCtx::new(true, 42);
+    let serial = sweep_csv(&poisoned_spec(), &ctx, 1);
+    let parallel = sweep_csv(&poisoned_spec(), &ctx, 4);
+    assert_eq!(
+        serial, parallel,
+        "isolation must not depend on thread count"
+    );
+
+    // Every non-poisoned row is byte-identical to the clean sweep's row.
+    let clean = sweep_csv(&clean_spec(), &ctx, 1);
+    let clean_rows: Vec<&str> = clean.lines().collect();
+    let poisoned_rows: Vec<&str> = serial.lines().collect();
+    assert_eq!(poisoned_rows.len(), clean_rows.len() + 1);
+    assert_eq!(poisoned_rows[0], clean_rows[0], "same headers");
+    assert_eq!(poisoned_rows[1], clean_rows[1], "alpha row unchanged");
+    assert_eq!(poisoned_rows[3], clean_rows[2], "gamma row unchanged");
+    assert!(
+        poisoned_rows[2].starts_with("boom,!error,"),
+        "poisoned row must carry the panic: {}",
+        poisoned_rows[2]
+    );
+    assert!(poisoned_rows[2].contains("injected failure"));
+}
+
+#[test]
+fn poisoned_scenario_still_flows_through_the_cached_runner() {
+    // End to end through run_scenario_at: the error row is part of the
+    // deterministic output, so it caches and replays like any other.
+    let spec = poisoned_spec();
+    let ctx = ScenarioCtx::new(true, 7);
+    let dir = std::env::temp_dir().join(format!("dvns-poison-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let cold = run_scenario_at(&spec, &ctx, true, &dir);
+    assert!(!cold.cache_hit);
+    assert!(cold.csv.contains("boom,!error,"));
+    assert!(cold.csv.contains("alpha,"));
+    assert!(cold.csv.contains("gamma,"));
+
+    let warm = run_scenario_at(&spec, &ctx, true, &dir);
+    assert!(warm.cache_hit, "error rows must not poison the cache");
+    assert_eq!(warm.csv, cold.csv);
+    assert_eq!(warm.text, cold.text);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

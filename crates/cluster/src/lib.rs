@@ -29,5 +29,5 @@ pub mod workload;
 
 pub use efficiency::{profile_from_report, EfficiencyProfile, IterationPoint};
 pub use policy::{recommend_removal, ThresholdPolicy};
-pub use server::{ClusterSim, Job, JobRecord, Phase, SchedulePolicy, ServerReport};
+pub use server::{ClusterSim, Job, JobOutcome, JobRecord, Phase, SchedulePolicy, ServerReport};
 pub use workload::{random_jobs, PhaseWorkload, ProfileCache, Workload};

@@ -39,6 +39,7 @@
 use std::collections::VecDeque;
 
 use desim::{EventQueue, SimDuration, SimTime};
+use dps_sim::SimResult;
 use faults::{CheckpointSpec, FaultPlan, RateTimeline};
 
 use crate::efficiency::IterationPoint;
@@ -167,14 +168,36 @@ pub enum SchedulePolicy {
     },
 }
 
-/// Completion record of one job.
+/// How a job left the server.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// The job ran all its iterations.
+    #[default]
+    Completed,
+    /// The job was rejected at admission or its workload failed (a typed
+    /// simulation error while profiling); the server freed its nodes and
+    /// kept serving the rest of the batch.
+    Failed {
+        /// Rendered [`dps_sim::SimError`] (or admission diagnostic).
+        reason: String,
+    },
+}
+
+impl JobOutcome {
+    /// Whether this is a failure outcome.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, JobOutcome::Failed { .. })
+    }
+}
+
+/// Terminal record of one job (completed or failed).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct JobRecord {
     /// Job name.
     pub name: String,
     /// Time the job started executing.
     pub start: SimTime,
-    /// Time the job completed.
+    /// Time the job completed (or failed).
     pub completion: SimTime,
     /// Node allocation actually granted for each executed iteration — the
     /// job's allocation trajectory under the policy. Restarted segments
@@ -188,12 +211,14 @@ pub struct JobRecord {
     /// Extra wall time spent inside slowdown/degrade windows relative to
     /// the nominal iteration spans.
     pub degraded: SimDuration,
+    /// Whether the job completed or failed (and why).
+    pub outcome: JobOutcome,
 }
 
 /// Outcome of one server simulation.
 #[derive(Clone, Debug, Default)]
 pub struct ServerReport {
-    /// Per-job records in completion order.
+    /// Per-job terminal records (completed and failed) in completion order.
     pub jobs: Vec<JobRecord>,
     /// Completion time of the last job ([`SimTime::ZERO`] when no job ran).
     pub makespan: SimTime,
@@ -248,18 +273,31 @@ impl ServerReport {
             .fold(SimDuration::ZERO, |acc, j| acc + j.degraded)
     }
 
-    /// Mean completion time (flow-time proxy for service rate). Returns
-    /// `0.0` when no jobs completed — callers comparing policies on an
-    /// empty workload see equal (not NaN) means.
+    /// Mean completion time over *completed* jobs (flow-time proxy for
+    /// service rate). Returns `0.0` when no jobs completed — callers
+    /// comparing policies on an empty workload see equal (not NaN) means.
     pub fn mean_completion_secs(&self) -> f64 {
-        if self.jobs.is_empty() {
+        let done: Vec<f64> = self
+            .jobs
+            .iter()
+            .filter(|j| !j.outcome.is_failed())
+            .map(|j| j.completion.as_secs_f64())
+            .collect();
+        if done.is_empty() {
             return 0.0;
         }
-        self.jobs
-            .iter()
-            .map(|j| j.completion.as_secs_f64())
-            .sum::<f64>()
-            / self.jobs.len() as f64
+        done.iter().sum::<f64>() / done.len() as f64
+    }
+
+    /// Number of jobs that failed (admission rejection or workload error)
+    /// instead of completing.
+    pub fn failed_jobs(&self) -> usize {
+        self.jobs.iter().filter(|j| j.outcome.is_failed()).count()
+    }
+
+    /// Number of jobs that ran all their iterations.
+    pub fn completed_jobs(&self) -> usize {
+        self.jobs.len() - self.failed_jobs()
     }
 }
 
@@ -388,19 +426,19 @@ impl ClusterSim {
         iter: usize,
         request: u32,
         available: u32,
-    ) -> u32 {
+    ) -> SimResult<u32> {
         let cap = request.min(available).min(w.max_nodes());
         match self.policy {
-            SchedulePolicy::Rigid => cap,
+            SchedulePolicy::Rigid => Ok(cap),
             SchedulePolicy::Malleable { min_efficiency }
             | SchedulePolicy::ElasticRecovery { min_efficiency, .. } => {
                 let mut best = 1;
                 for n in 1..=cap {
-                    if cache.efficiency(w, n, iter) >= min_efficiency {
+                    if cache.efficiency(w, n, iter)? >= min_efficiency {
                         best = n;
                     }
                 }
-                best
+                Ok(best)
             }
         }
     }
@@ -434,26 +472,49 @@ impl ClusterSim {
     /// An empty plan reproduces [`ClusterSim::run_with_cache`] exactly.
     /// Jobs that can never run again (e.g. every node crashed) are absent
     /// from the report.
+    ///
+    /// A job the server cannot admit (zero/oversized request, no phases)
+    /// or whose workload errors while profiling gets a terminal
+    /// [`JobOutcome::Failed`] record — its nodes return to the pool and
+    /// the rest of the batch keeps running.
     pub fn run_with_faults(
         &self,
         jobs: &[Job],
         plan: &FaultPlan,
         cache: &mut ProfileCache,
     ) -> ServerReport {
-        for j in jobs {
-            assert!(
-                j.requested_nodes >= 1 && j.requested_nodes <= self.total_nodes,
-                "job {} requests {} of {} nodes",
-                j.name,
-                j.requested_nodes,
-                self.total_nodes
-            );
-            assert!(
-                j.requested_nodes <= j.workload.max_nodes(),
-                "job {} requests more nodes than its workload supports",
-                j.name
-            );
-            assert!(j.workload.iterations() >= 1, "job {} has no phases", j.name);
+        let mut report = ServerReport::default();
+        let mut admitted: Vec<bool> = vec![true; jobs.len()];
+        for (i, j) in jobs.iter().enumerate() {
+            let reason = if j.requested_nodes < 1 || j.requested_nodes > self.total_nodes {
+                Some(format!(
+                    "rejected at admission: requests {} of {} nodes",
+                    j.requested_nodes, self.total_nodes
+                ))
+            } else if j.requested_nodes > j.workload.max_nodes() {
+                Some(format!(
+                    "rejected at admission: requests {} nodes but the workload supports at most {}",
+                    j.requested_nodes,
+                    j.workload.max_nodes()
+                ))
+            } else if j.workload.iterations() < 1 {
+                Some("rejected at admission: the workload has no phases".to_string())
+            } else {
+                None
+            };
+            if let Some(reason) = reason {
+                admitted[i] = false;
+                report.jobs.push(JobRecord {
+                    name: j.name.clone(),
+                    start: j.arrival,
+                    completion: j.arrival,
+                    allocations: Vec::new(),
+                    restarts: 0,
+                    lost_work: SimDuration::ZERO,
+                    degraded: SimDuration::ZERO,
+                    outcome: JobOutcome::Failed { reason },
+                });
+            }
         }
         let cpu_tl = RateTimeline::new(plan.cpu_windows());
         let link_tl = RateTimeline::new(plan.link_windows());
@@ -468,7 +529,9 @@ impl ClusterSim {
 
         let mut q: EventQueue<Ev> = EventQueue::new();
         for (i, j) in jobs.iter().enumerate() {
-            q.schedule(j.arrival, Ev::Arrival(i));
+            if admitted[i] {
+                q.schedule(j.arrival, Ev::Arrival(i));
+            }
         }
         for (i, o) in outages.iter().enumerate() {
             q.schedule(o.at, Ev::Fault(i));
@@ -481,7 +544,6 @@ impl ClusterSim {
         let mut waiting: VecDeque<usize> = VecDeque::new();
         let mut running: Vec<Option<RunningJob>> = jobs.iter().map(|_| None).collect();
         let mut st: Vec<JobState> = jobs.iter().map(|_| JobState::default()).collect();
-        let mut report = ServerReport::default();
         #[allow(unused_assignments)]
         let mut now = SimTime::ZERO;
         let mut gen_counter = 0u64;
@@ -492,6 +554,29 @@ impl ClusterSim {
         // for the full one. Requests are capped at the surviving capacity
         // so jobs stay schedulable after crashes.
         let moldable = !matches!(self.policy, SchedulePolicy::Rigid);
+
+        // Records a terminal failure for a job whose workload errored. The
+        // caller has already returned the job's nodes to the free pool; the
+        // batch keeps running.
+        macro_rules! fail_job {
+            ($idx:expr, $err:expr) => {{
+                let s = &mut st[$idx];
+                report.jobs.push(JobRecord {
+                    name: jobs[$idx].name.clone(),
+                    start: s.first_start.unwrap_or(now),
+                    completion: now,
+                    allocations: std::mem::take(&mut s.allocations),
+                    restarts: s.restarts,
+                    lost_work: s.lost_work,
+                    degraded: s.degraded,
+                    outcome: JobOutcome::Failed {
+                        reason: $err.to_string(),
+                    },
+                });
+                report.makespan = report.makespan.max(now);
+            }};
+        }
+
         macro_rules! start_waiting {
             () => {
                 while let Some(&idx) = waiting.front() {
@@ -516,7 +601,15 @@ impl ClusterSim {
                         SimDuration::ZERO
                     };
                     s.pending_restart = false;
-                    let point = cache.point(&*jobs[idx].workload, grant, phase0);
+                    let point = match cache.point(&*jobs[idx].workload, grant, phase0) {
+                        Ok(p) => p,
+                        Err(e) => {
+                            free.extend(held);
+                            free.sort_unstable();
+                            fail_job!(idx, e);
+                            continue;
+                        }
+                    };
                     let (span, extra) =
                         priced_span(&held, &point, now, &pricing, phase0, restart_cost);
                     s.degraded += extra;
@@ -579,6 +672,7 @@ impl ClusterSim {
                             restarts: s.restarts,
                             lost_work: s.lost_work,
                             degraded: s.degraded,
+                            outcome: JobOutcome::Completed,
                         });
                         report.makespan = report.makespan.max(now);
                         start_waiting!();
@@ -589,13 +683,23 @@ impl ClusterSim {
                     let w = &*jobs[job].workload;
                     let iter = rj.phase;
                     let nodes = rj.held.len() as u32;
-                    let target = self.target_nodes(
+                    let target = match self.target_nodes(
                         cache,
                         w,
                         iter,
                         jobs[job].requested_nodes,
                         nodes + free.len() as u32,
-                    );
+                    ) {
+                        Ok(t) => t,
+                        Err(e) => {
+                            let failed = running[job].take().expect("job running");
+                            free.extend(failed.held);
+                            free.sort_unstable();
+                            fail_job!(job, e);
+                            start_waiting!();
+                            continue;
+                        }
+                    };
                     let rj = running[job].as_mut().expect("job running");
                     if target < nodes {
                         // Release the highest-numbered held nodes.
@@ -606,7 +710,17 @@ impl ClusterSim {
                         rj.held.extend(free.drain(..(target - nodes) as usize));
                     }
                     st[job].allocations.push(target);
-                    let point = cache.point(w, target, iter);
+                    let point = match cache.point(w, target, iter) {
+                        Ok(p) => p,
+                        Err(e) => {
+                            let failed = running[job].take().expect("job running");
+                            free.extend(failed.held);
+                            free.sort_unstable();
+                            fail_job!(job, e);
+                            start_waiting!();
+                            continue;
+                        }
+                    };
                     let (span, extra) =
                         priced_span(&rj.held, &point, now, &pricing, iter, SimDuration::ZERO);
                     st[job].degraded += extra;
@@ -830,6 +944,7 @@ mod tests {
                 restarts: 0,
                 lost_work: SimDuration::ZERO,
                 degraded: SimDuration::ZERO,
+                outcome: JobOutcome::Completed,
             }],
             makespan: SimTime::ZERO,
             allocated_node_seconds: 0.0,
@@ -838,6 +953,66 @@ mod tests {
         assert_eq!(r.allocation_efficiency(), 0.0);
         assert_eq!(r.mean_completion_secs(), 0.0);
         assert!(r.allocation_efficiency().is_finite());
+    }
+
+    /// A workload whose profile always fails with a typed error — stands in
+    /// for a mis-wired DPS application that deadlocks under simulation.
+    struct PoisonWorkload;
+
+    impl Workload for PoisonWorkload {
+        fn key(&self) -> String {
+            "poison".into()
+        }
+        fn iterations(&self) -> usize {
+            4
+        }
+        fn max_nodes(&self) -> u32 {
+            u32::MAX
+        }
+        fn profile(&self, _nodes: u32) -> dps_sim::SimResult<crate::EfficiencyProfile> {
+            Err(dps_sim::SimError::protocol("poisoned workload"))
+        }
+    }
+
+    #[test]
+    fn failed_workload_becomes_terminal_record_not_abort() {
+        let sim = ClusterSim::new(8, SchedulePolicy::Rigid);
+        let jobs = [
+            lu_job("a", 0, 4),
+            Job::new("bad", SimTime(2_000_000_000), 4, Box::new(PoisonWorkload)),
+            lu_job("c", 3, 4),
+        ];
+        let r = sim.run(&jobs);
+        assert_eq!(r.jobs.len(), 3, "every job gets a terminal record");
+        assert_eq!(r.failed_jobs(), 1);
+        assert_eq!(r.completed_jobs(), 2);
+        let bad = r.job("bad").unwrap();
+        assert!(bad.outcome.is_failed());
+        let JobOutcome::Failed { reason } = &bad.outcome else {
+            panic!("bad must fail");
+        };
+        assert!(reason.contains("poisoned workload"), "reason: {reason}");
+        // The healthy jobs still run to completion, and the mean only
+        // averages over them.
+        assert!(!r.job("a").unwrap().outcome.is_failed());
+        assert!(!r.job("c").unwrap().outcome.is_failed());
+        assert!(r.mean_completion_secs() > 0.0);
+    }
+
+    #[test]
+    fn inadmissible_job_is_rejected_not_panicked() {
+        let sim = ClusterSim::new(4, SchedulePolicy::Rigid);
+        // Requests more nodes than the server owns: rejected at admission,
+        // while the rest of the batch runs normally.
+        let r = sim.run(&[lu_job("big", 0, 16), lu_job("ok", 0, 4)]);
+        assert_eq!(r.failed_jobs(), 1);
+        let big = r.job("big").unwrap();
+        let JobOutcome::Failed { reason } = &big.outcome else {
+            panic!("big must be rejected");
+        };
+        assert!(reason.contains("admission"), "reason: {reason}");
+        assert_eq!(big.completion, SimTime::ZERO);
+        assert!(!r.job("ok").unwrap().outcome.is_failed());
     }
 
     #[test]

@@ -21,6 +21,7 @@ use std::hash::Hasher;
 
 use desim::fxhash::{FxHashMap, FxHasher};
 use desim::SimDuration;
+use dps_sim::{SimError, SimResult};
 
 use crate::efficiency::{EfficiencyProfile, IterationPoint};
 use crate::server::Phase;
@@ -47,18 +48,21 @@ pub trait Workload: Send + Sync {
     /// Per-iteration dynamic-efficiency profile of a complete run at a
     /// fixed allocation of `nodes` compute nodes (`1..=max_nodes`). The
     /// returned profile has exactly [`Workload::iterations`] points.
-    fn profile(&self, nodes: u32) -> EfficiencyProfile;
+    /// Simulator-backed implementations surface the run's typed failure
+    /// (deadlock, blown budget, …) instead of panicking.
+    fn profile(&self, nodes: u32) -> SimResult<EfficiencyProfile>;
 
     /// Executes the application **once** with the allocation varying per
     /// iteration (`allocs[k]` nodes during iteration `k`;
     /// `allocs.len() == iterations`), using the backend's real dynamic
     /// reallocation machinery (DPS thread removal for the simulator-backed
-    /// workloads). Returns `None` when the backend cannot realize the
+    /// workloads). Returns `Ok(None)` when the backend cannot realize the
     /// schedule in a single run (e.g. a growing allocation under a
-    /// removal-only mechanism).
-    fn realize(&self, allocs: &[u32]) -> Option<EfficiencyProfile> {
+    /// removal-only mechanism), `Err` when the realization run itself
+    /// failed.
+    fn realize(&self, allocs: &[u32]) -> SimResult<Option<EfficiencyProfile>> {
         let _ = allocs;
-        None
+        Ok(None)
     }
 }
 
@@ -118,24 +122,32 @@ impl Workload for PhaseWorkload {
         u32::MAX
     }
 
-    fn profile(&self, nodes: u32) -> EfficiencyProfile {
-        assert!(nodes >= 1);
-        EfficiencyProfile {
+    fn profile(&self, nodes: u32) -> SimResult<EfficiencyProfile> {
+        if nodes < 1 {
+            return Err(SimError::protocol("profile at zero nodes"));
+        }
+        Ok(EfficiencyProfile {
             points: (0..self.phases.len())
                 .map(|k| self.point(k, nodes))
                 .collect(),
-        }
+        })
     }
 
-    fn realize(&self, allocs: &[u32]) -> Option<EfficiencyProfile> {
-        assert_eq!(allocs.len(), self.phases.len());
-        Some(EfficiencyProfile {
+    fn realize(&self, allocs: &[u32]) -> SimResult<Option<EfficiencyProfile>> {
+        if allocs.len() != self.phases.len() {
+            return Err(SimError::protocol(format!(
+                "realize schedule has {} entries for {} phases",
+                allocs.len(),
+                self.phases.len()
+            )));
+        }
+        Ok(Some(EfficiencyProfile {
             points: allocs
                 .iter()
                 .enumerate()
                 .map(|(k, &n)| self.point(k, n))
                 .collect(),
-        })
+        }))
     }
 }
 
@@ -178,33 +190,42 @@ impl ProfileCache {
     }
 
     /// The profile of `w` at `nodes`, computing and memoizing it on first
-    /// use.
-    pub fn profile(&mut self, w: &dyn Workload, nodes: u32) -> &EfficiencyProfile {
+    /// use. Failures are *not* memoized — a later retry recomputes.
+    pub fn profile(&mut self, w: &dyn Workload, nodes: u32) -> SimResult<&EfficiencyProfile> {
         let key = (w.key(), nodes);
         if !self.map.contains_key(&key) {
             self.misses += 1;
-            let p = w.profile(nodes);
-            assert_eq!(
-                p.points.len(),
-                w.iterations(),
-                "workload {} profile at {nodes} nodes has wrong length",
-                w.key()
-            );
+            let p = w
+                .profile(nodes)
+                .map_err(|e| e.context(format!("profiling workload {} at {nodes} nodes", key.0)))?;
+            if p.points.len() != w.iterations() {
+                return Err(SimError::protocol(format!(
+                    "workload {} profile at {nodes} nodes has {} points for {} iterations",
+                    key.0,
+                    p.points.len(),
+                    w.iterations()
+                )));
+            }
             self.map.insert(key.clone(), p);
         } else {
             self.hits += 1;
         }
-        self.map.get(&key).expect("just ensured")
+        Ok(self.map.get(&key).expect("just ensured"))
     }
 
     /// One iteration's point of `w` at `nodes` (cloned out of the cache).
-    pub fn point(&mut self, w: &dyn Workload, nodes: u32, iter: usize) -> IterationPoint {
-        self.profile(w, nodes).points[iter].clone()
+    pub fn point(
+        &mut self,
+        w: &dyn Workload,
+        nodes: u32,
+        iter: usize,
+    ) -> SimResult<IterationPoint> {
+        Ok(self.profile(w, nodes)?.points[iter].clone())
     }
 
     /// Predicted dynamic efficiency of iteration `iter` of `w` at `nodes`.
-    pub fn efficiency(&mut self, w: &dyn Workload, nodes: u32, iter: usize) -> f64 {
-        self.profile(w, nodes).points[iter].efficiency
+    pub fn efficiency(&mut self, w: &dyn Workload, nodes: u32, iter: usize) -> SimResult<f64> {
+        Ok(self.profile(w, nodes)?.points[iter].efficiency)
     }
 }
 
@@ -253,7 +274,7 @@ mod tests {
         let w = PhaseWorkload::new(phases.clone());
         assert_eq!(w.iterations(), 6);
         for nodes in [1u32, 4, 8] {
-            let p = w.profile(nodes);
+            let p = w.profile(nodes).unwrap();
             assert_eq!(p.points.len(), 6);
             for (k, pt) in p.points.iter().enumerate() {
                 assert_eq!(pt.span, phases[k].duration_on(nodes));
@@ -266,7 +287,10 @@ mod tests {
     #[test]
     fn phase_workload_realizes_any_schedule() {
         let w = PhaseWorkload::new(lu_like_job(SimDuration::from_secs(100), 4));
-        let r = w.realize(&[4, 2, 4, 1]).expect("analytic realize");
+        let r = w
+            .realize(&[4, 2, 4, 1])
+            .expect("no run failure")
+            .expect("analytic realize");
         assert_eq!(r.points.len(), 4);
         assert_eq!(r.points[1].span, w.phases()[1].duration_on(2));
     }
@@ -285,15 +309,15 @@ mod tests {
         let w = PhaseWorkload::new(lu_like_job(SimDuration::from_secs(100), 5));
         let mut cache = ProfileCache::new();
         assert!(cache.is_empty());
-        let e1 = cache.efficiency(&w, 4, 0);
-        let e2 = cache.efficiency(&w, 4, 0);
+        let e1 = cache.efficiency(&w, 4, 0).unwrap();
+        let e2 = cache.efficiency(&w, 4, 0).unwrap();
         assert_eq!(e1, e2);
         assert_eq!(cache.len(), 1);
-        cache.efficiency(&w, 8, 0);
+        cache.efficiency(&w, 8, 0).unwrap();
         assert_eq!(cache.len(), 2);
         // A structurally identical workload hits the same entries.
         let w2 = PhaseWorkload::new(lu_like_job(SimDuration::from_secs(100), 5));
-        cache.efficiency(&w2, 8, 2);
+        cache.efficiency(&w2, 8, 2).unwrap();
         assert_eq!(cache.len(), 2);
     }
 
@@ -302,16 +326,16 @@ mod tests {
         let w = PhaseWorkload::new(lu_like_job(SimDuration::from_secs(100), 5));
         let mut cache = ProfileCache::new();
         assert_eq!((cache.hits(), cache.misses()), (0, 0));
-        cache.profile(&w, 4);
+        cache.profile(&w, 4).unwrap();
         assert_eq!((cache.hits(), cache.misses()), (0, 1));
-        cache.profile(&w, 4);
-        cache.point(&w, 4, 2);
+        cache.profile(&w, 4).unwrap();
+        cache.point(&w, 4, 2).unwrap();
         assert_eq!((cache.hits(), cache.misses()), (2, 1));
-        cache.profile(&w, 8);
+        cache.profile(&w, 8).unwrap();
         assert_eq!((cache.hits(), cache.misses()), (2, 2));
         // A structurally identical workload hits the shared entry.
         let w2 = PhaseWorkload::new(lu_like_job(SimDuration::from_secs(100), 5));
-        cache.profile(&w2, 8);
+        cache.profile(&w2, 8).unwrap();
         assert_eq!((cache.hits(), cache.misses()), (3, 2));
     }
 

@@ -37,6 +37,7 @@ use dps::{Application, OpId, ThreadId};
 use netmodel::NetParams;
 
 use crate::engine::{Engine, PausePred, SimConfig};
+use crate::error::{SimError, SimResult};
 use crate::fabric::{Fabric, SimFabric};
 use crate::report::RunReport;
 
@@ -60,10 +61,10 @@ pub fn simulate_until(
     params: NetParams,
     cfg: &SimConfig,
     t: SimTime,
-) -> SimCheckpoint {
+) -> SimResult<SimCheckpoint> {
     let mut ck = SimCheckpoint::new(app, Box::new(SimFabric::new(params)), cfg);
-    ck.advance_until(t);
-    ck
+    ck.advance_until(t)?;
+    Ok(ck)
 }
 
 impl SimCheckpoint {
@@ -76,23 +77,32 @@ impl SimCheckpoint {
         }
     }
 
-    /// Advances until the next event would land past `t`. Returns `true`
-    /// while the run still has work left, `false` once it completed.
-    pub fn advance_until(&mut self, t: SimTime) -> bool {
+    /// Advances until the next event would land past `t`. Returns
+    /// `Ok(true)` while the run still has work left, `Ok(false)` once it
+    /// completed, and the typed failure if the run deadlocked, blew a
+    /// budget, or was cancelled while advancing.
+    pub fn advance_until(&mut self, t: SimTime) -> SimResult<bool> {
         let wall = Instant::now();
         let live = self.eng.drive_until(t);
         self.host += wall.elapsed();
-        live
+        if let Some(err) = self.eng.error() {
+            return Err(err.clone().context("advancing a checkpoint"));
+        }
+        Ok(live)
     }
 
     /// Advances until `pred` pauses a server about to consume an object
-    /// (see [`PausePoint`]). Returns `true` if the predicate fired, `false`
-    /// if the run finished first.
-    pub fn run_until(&mut self, pred: PausePred) -> bool {
+    /// (see [`PausePoint`]). Returns `Ok(true)` if the predicate fired,
+    /// `Ok(false)` if the run finished first, and the typed failure if the
+    /// run failed before either.
+    pub fn run_until(&mut self, pred: PausePred) -> SimResult<bool> {
         let wall = Instant::now();
         let paused = self.eng.drive_with_pause(pred);
         self.host += wall.elapsed();
-        paused
+        if let Some(err) = self.eng.error() {
+            return Err(err.clone().context("running a checkpoint to a pause point"));
+        }
+        Ok(paused)
     }
 
     /// Current virtual time of the paused engine.
@@ -100,14 +110,21 @@ impl SimCheckpoint {
         self.eng.current_time()
     }
 
-    /// A fully independent copy of the paused simulation, or `None` when
-    /// some live payload, behaviour state, or the fabric opted out of
-    /// cloning (fall back to a fresh run).
-    pub fn fork(&mut self) -> Option<SimCheckpoint> {
-        Some(SimCheckpoint {
-            eng: self.eng.try_fork()?,
-            host: self.host,
-        })
+    /// A fully independent copy of the paused simulation.
+    /// [`crate::SimErrorKind::ForkRefused`] when some live payload,
+    /// behaviour state, or the fabric opted out of cloning — callers fall
+    /// back to a fresh run on exactly that variant
+    /// ([`SimError::is_fork_refused`]).
+    pub fn fork(&mut self) -> SimResult<SimCheckpoint> {
+        match self.eng.try_fork() {
+            Some(eng) => Ok(SimCheckpoint {
+                eng,
+                host: self.host,
+            }),
+            None => Err(SimError::fork_refused(
+                "a live payload, behaviour state, or the fabric does not support cloning",
+            )),
+        }
     }
 
     /// Rewrites the behaviour state of `(op, thread)` — typically in a
@@ -125,10 +142,11 @@ impl SimCheckpoint {
         Some(f(any.downcast_mut::<T>()?))
     }
 
-    /// Runs the simulation to completion and returns its report. The
-    /// report's `host_wall` covers all drive phases of this branch,
-    /// including time inherited from the checkpoint it was forked from.
-    pub fn finish(self) -> RunReport {
+    /// Runs the simulation to completion and returns its report (or the
+    /// typed failure that stopped it). The report's `host_wall` covers all
+    /// drive phases of this branch, including time inherited from the
+    /// checkpoint it was forked from.
+    pub fn finish(self) -> SimResult<RunReport> {
         self.eng.finish_run(self.host)
     }
 }

@@ -35,6 +35,7 @@ use dps::{
 };
 use netmodel::{NetParams, NodeId};
 
+use crate::error::{BlockedOp, BudgetKind, CancelToken, DeadlockDiag, SimError, SimResult};
 use crate::fabric::{Fabric, SimFabric};
 use crate::memory::MemoryMeter;
 use crate::report::{Interval, RunReport};
@@ -53,8 +54,17 @@ pub struct SimConfig {
     pub record_trace: bool,
     /// Modeled baseline memory of the DPS runtime itself.
     pub baseline_memory: u64,
-    /// Safety valve against runaway applications.
+    /// Atomic-step budget: exceeding it fails the run with
+    /// [`crate::SimErrorKind::BudgetExceeded`] instead of looping forever.
     pub max_steps: u64,
+    /// Virtual-time budget: the run fails with
+    /// [`crate::SimErrorKind::BudgetExceeded`] before advancing past this
+    /// instant. `None` leaves virtual time unbounded.
+    pub max_virtual_time: Option<SimTime>,
+    /// Cooperative cancellation token checked between events; callers (the
+    /// cluster server, the sweep planner) cancel it to abort a runaway job
+    /// with [`crate::SimErrorKind::Cancelled`].
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for SimConfig {
@@ -65,6 +75,8 @@ impl Default for SimConfig {
             record_trace: false,
             baseline_memory: 2 << 20,
             max_steps: 200_000_000,
+            max_virtual_time: None,
+            cancel: None,
         }
     }
 }
@@ -280,8 +292,9 @@ pub struct PausePoint<'e> {
 pub type PausePred = Box<dyn FnMut(&PausePoint<'_>) -> bool>;
 
 /// Runs `app` on the paper's machine model with the given network
-/// parameters.
-pub fn simulate(app: &Application, params: NetParams, cfg: &SimConfig) -> RunReport {
+/// parameters. Fails with a typed [`SimError`] on deadlock, a blown
+/// budget, cancellation, or a wiring bug — never panics, never hangs.
+pub fn simulate(app: &Application, params: NetParams, cfg: &SimConfig) -> SimResult<RunReport> {
     let mut fabric = SimFabric::new(params);
     simulate_with_fabric(app, &mut fabric, cfg)
 }
@@ -292,13 +305,13 @@ pub fn simulate_with_fabric(
     app: &Application,
     fabric: &mut dyn Fabric,
     cfg: &SimConfig,
-) -> RunReport {
+) -> SimResult<RunReport> {
     let wall = Instant::now();
     let mut eng = Engine::new(AppRef::Borrowed(app), FabricSlot::Borrowed(fabric), cfg);
     eng.inject_starts();
     eng.recompute_cpu();
     eng.event_loop();
-    eng.into_report(wall.elapsed())
+    eng.into_result(wall.elapsed())
 }
 
 pub(crate) struct Engine<'a> {
@@ -348,6 +361,9 @@ pub(crate) struct Engine<'a> {
     completion: SimTime,
     steps_executed: u64,
     max_queue_len: usize,
+    /// First typed failure observed; once set, the event loop halts and the
+    /// run reports `Err` instead of a report.
+    error: Option<SimError>,
 
     marks: Vec<(String, SimTime)>,
     intervals: Vec<Interval>,
@@ -424,6 +440,7 @@ impl<'a> Engine<'a> {
             completion: SimTime::ZERO,
             steps_executed: 0,
             max_queue_len: 0,
+            error: None,
             marks: Vec::new(),
             intervals: Vec::new(),
             interval_start: SimTime::ZERO,
@@ -468,7 +485,19 @@ impl<'a> Engine<'a> {
     /// un-acted-on events stay buffered and a later call resumes exactly
     /// where this one left off.
     fn step_events(&mut self) -> bool {
-        if self.terminated {
+        if self.terminated || self.error.is_some() {
+            return false;
+        }
+        if self
+            .cfg
+            .cancel
+            .as_ref()
+            .is_some_and(CancelToken::is_cancelled)
+        {
+            self.fail(SimError::new(crate::error::SimErrorKind::Cancelled {
+                at: self.now,
+                steps: self.steps_executed,
+            }));
             return false;
         }
         // Network first: arrivals may start new computations at `now`.
@@ -489,14 +518,18 @@ impl<'a> Engine<'a> {
                 self.completion = self.now;
                 return false;
             }
-            if !self.paused.is_empty() {
+            if self.error.is_some() || !self.paused.is_empty() {
                 return false;
             }
         }
         self.recompute_cpu();
         if self.steps_executed > self.cfg.max_steps {
             self.terminated = false;
-            self.completion = self.now;
+            self.fail(SimError::new(crate::error::SimErrorKind::BudgetExceeded {
+                kind: BudgetKind::Steps,
+                at: self.now,
+                steps: self.steps_executed,
+            }));
             return false;
         }
         let t_net = self.fabric.next_event_time();
@@ -511,6 +544,14 @@ impl<'a> Engine<'a> {
             (Some(a), Some(b)) => a.min(b),
         };
         debug_assert!(t >= self.now);
+        if self.cfg.max_virtual_time.is_some_and(|lim| t > lim) {
+            self.fail(SimError::new(crate::error::SimErrorKind::BudgetExceeded {
+                kind: BudgetKind::VirtualTime,
+                at: self.now,
+                steps: self.steps_executed,
+            }));
+            return false;
+        }
         if self.time_limit.is_some_and(|lim| t > lim) {
             return false;
         }
@@ -823,22 +864,35 @@ impl<'a> Engine<'a> {
                     return;
                 }
             }
-            if self.terminated {
+            if self.terminated || self.error.is_some() {
                 return;
             }
         }
         self.begin_segment(key);
     }
 
+    /// Records the first typed failure; the event loop halts on it and the
+    /// run reports `Err` from [`Engine::into_result`].
+    fn fail(&mut self, err: SimError) {
+        if self.error.is_none() {
+            self.error = Some(err);
+        }
+        self.completion = self.now;
+    }
+
     fn do_post(&mut self, from: ServerKey, to: OpId, obj: DataObj) {
-        let graph = self.app.graph();
-        let edge = graph.edge_between(from.0, to).unwrap_or_else(|| {
-            panic!(
-                "operation {:?} posted to {:?} but the flow graph has no such edge",
-                graph.op(from.0).name,
-                graph.op(to).name
-            )
-        });
+        let edge = match self.app.graph().edge_between(from.0, to) {
+            Some(e) => e,
+            None => {
+                let from_name = self.app.graph().op(from.0).name.clone();
+                let to_name = self.app.graph().op(to).name.clone();
+                self.fail(SimError::wiring(
+                    from_name,
+                    format!("posted to '{to_name}' but the flow graph has no such edge"),
+                ));
+                return;
+            }
+        };
         let seq = self.edge_seq[edge.0 as usize];
         self.edge_seq[edge.0 as usize] += 1;
         let dst_thread = {
@@ -877,10 +931,14 @@ impl<'a> Engine<'a> {
     }
 
     fn release_credit(&mut self, op: OpId) {
-        let w = self
-            .windows
-            .get_mut(&op)
-            .unwrap_or_else(|| panic!("fc_release for op without flow control window"));
+        let Some(w) = self.windows.get_mut(&op) else {
+            let name = self.app.graph().op(op).name.clone();
+            self.fail(SimError::wiring(
+                name,
+                "fc_release for an operation without a flow-control window",
+            ));
+            return;
+        };
         w.release();
         if let Some(waiters) = self.fc_waiters.get_mut(&op) {
             if let Some(key) = waiters.pop_front() {
@@ -962,11 +1020,11 @@ impl<'a> Engine<'a> {
 
     /// Runs to completion and produces the report; `host_wall` is the
     /// caller-accumulated host cost of all drive phases.
-    pub(crate) fn finish_run(mut self, host_accum: std::time::Duration) -> RunReport {
+    pub(crate) fn finish_run(mut self, host_accum: std::time::Duration) -> SimResult<RunReport> {
         let wall = Instant::now();
         self.resume_paused();
         self.event_loop();
-        self.into_report(host_accum + wall.elapsed())
+        self.into_result(host_accum + wall.elapsed())
     }
 
     /// Re-attempts consumption at servers stopped by a pause predicate.
@@ -1070,6 +1128,7 @@ impl<'a> Engine<'a> {
             completion: self.completion,
             steps_executed: self.steps_executed,
             max_queue_len: self.max_queue_len,
+            error: self.error.clone(),
             marks: self.marks.clone(),
             intervals: self.intervals.clone(),
             interval_start: self.interval_start,
@@ -1090,7 +1149,19 @@ impl<'a> Engine<'a> {
 
     // ----- reporting -----------------------------------------------------
 
-    fn stall_diagnostic(&self) -> Option<String> {
+    /// Objects queued at `op` across every thread.
+    fn queued_at(&self, op: OpId) -> usize {
+        let base = op.0 as usize * self.thread_count;
+        self.servers[base..base + self.thread_count]
+            .iter()
+            .map(|s| s.queue.len())
+            .sum()
+    }
+
+    /// Builds the wait-for diagnostic when the event queue drained with
+    /// pending work. `None` on clean quiescence (an application that simply
+    /// never called `terminate` but left no residual state).
+    fn deadlock_diagnostic(&self) -> Option<DeadlockDiag> {
         if self.terminated {
             return None;
         }
@@ -1102,22 +1173,77 @@ impl<'a> Engine<'a> {
                 running += 1;
             }
         }
-        let blocked: usize = self.fc_waiters.values().map(|w| w.len()).sum();
-        if queued == 0 && running == 0 && self.inflight.is_empty() && blocked == 0 {
+        let blocked_count: usize = self.fc_waiters.values().map(|w| w.len()).sum();
+        if queued == 0 && running == 0 && self.inflight.is_empty() && blocked_count == 0 {
             return None; // clean quiescence without explicit terminate
         }
-        Some(format!(
-            "stalled at {}: {queued} queued objects, {running} busy servers, \
-             {blocked} flow-control-blocked servers, {} transfers in flight",
-            self.now,
-            self.inflight.len()
-        ))
+        // Wait-for graph over flow-control windows: each parked server
+        // waits on a credit for its own window while its parked post
+        // targets another operation — edge `blocked op -> post target`.
+        let graph = self.app.graph();
+        let mut blocked = Vec::new();
+        let mut edges: BTreeMap<OpId, Vec<OpId>> = BTreeMap::new();
+        for (&op, waiters) in &self.fc_waiters {
+            for &key in waiters {
+                let server = &self.servers[self.sidx(key)];
+                let target = server
+                    .run
+                    .as_ref()
+                    .and_then(|r| r.pending.front())
+                    .and_then(|a| match a {
+                        Action::Post { to, .. } => Some(*to),
+                        _ => None,
+                    });
+                let (waiting_on, dest_queued) = match target {
+                    Some(to) => {
+                        edges.entry(op).or_default().push(to);
+                        (graph.op(to).name.clone(), self.queued_at(to))
+                    }
+                    None => ("<unknown>".to_string(), 0),
+                };
+                let w = &self.windows[&op];
+                blocked.push(BlockedOp {
+                    op: graph.op(op).name.clone(),
+                    thread: key.1 .0,
+                    window: w.limit(),
+                    in_flight: w.in_flight(),
+                    waiting_on,
+                    dest_queued,
+                });
+            }
+        }
+        let cycle = find_wait_cycle(&edges)
+            .map(|ops| {
+                ops.into_iter()
+                    .map(|op| graph.op(op).name.clone())
+                    .collect()
+            })
+            .unwrap_or_default();
+        Some(DeadlockDiag {
+            at: self.now,
+            blocked,
+            cycle,
+            queued_objects: queued,
+            busy_servers: running,
+            inflight_transfers: self.inflight.len(),
+        })
     }
 
-    fn into_report(mut self, host_wall: std::time::Duration) -> RunReport {
+    /// The typed failure recorded so far, if any — checkpoints poll this
+    /// after every drive phase.
+    pub(crate) fn error(&self) -> Option<&SimError> {
+        self.error.as_ref()
+    }
+
+    fn into_result(mut self, host_wall: std::time::Duration) -> SimResult<RunReport> {
+        if let Some(err) = self.error.take() {
+            return Err(err);
+        }
+        if let Some(diag) = self.deadlock_diagnostic() {
+            return Err(SimError::deadlock(diag));
+        }
         // Close the trailing interval.
         self.flush_node_seconds();
-        let stall = self.stall_diagnostic();
         self.intervals.push(Interval {
             label: "end".to_string(),
             start: self.interval_start,
@@ -1125,10 +1251,9 @@ impl<'a> Engine<'a> {
             cpu_work: self.interval_work,
             node_seconds: self.node_seconds_acc,
         });
-        RunReport {
+        Ok(RunReport {
             completion: self.completion,
             terminated: self.terminated,
-            stall,
             marks: self.marks,
             intervals: self.intervals,
             total_cpu_work: self.total_work,
@@ -1139,8 +1264,55 @@ impl<'a> Engine<'a> {
             net: self.fabric.net_stats(),
             host_wall,
             trace: self.trace,
+        })
+    }
+}
+
+/// Finds a directed cycle among the flow-control-blocked operations
+/// (DFS three-colouring); only ops that are themselves blocked can extend
+/// a cycle.
+fn find_wait_cycle(edges: &BTreeMap<OpId, Vec<OpId>>) -> Option<Vec<OpId>> {
+    fn dfs(
+        op: OpId,
+        edges: &BTreeMap<OpId, Vec<OpId>>,
+        state: &mut BTreeMap<OpId, u8>, // 1 = on stack, 2 = done
+        stack: &mut Vec<OpId>,
+    ) -> Option<Vec<OpId>> {
+        state.insert(op, 1);
+        stack.push(op);
+        if let Some(nexts) = edges.get(&op) {
+            for &next in nexts {
+                match state.get(&next) {
+                    Some(1) => {
+                        let start = stack.iter().position(|&o| o == next).unwrap_or(0);
+                        return Some(stack[start..].to_vec());
+                    }
+                    Some(_) => {}
+                    None => {
+                        if edges.contains_key(&next) {
+                            if let Some(c) = dfs(next, edges, state, stack) {
+                                return Some(c);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        stack.pop();
+        state.insert(op, 2);
+        None
+    }
+    let mut state = BTreeMap::new();
+    let mut stack = Vec::new();
+    for &op in edges.keys() {
+        if !state.contains_key(&op) {
+            if let Some(c) = dfs(op, edges, &mut state, &mut stack) {
+                return Some(c);
+            }
+            stack.clear();
         }
     }
+    None
 }
 
 // ----- atomic-step collection ---------------------------------------------

@@ -28,6 +28,7 @@
 
 pub mod checkpoint;
 pub mod engine;
+pub mod error;
 pub mod fabric;
 pub mod fault;
 pub mod memory;
@@ -37,6 +38,9 @@ pub mod trace;
 
 pub use checkpoint::{simulate_until, SimCheckpoint};
 pub use engine::{simulate, simulate_with_fabric, PausePoint, PausePred, SimConfig};
+pub use error::{
+    BlockedOp, BudgetKind, CancelToken, DeadlockDiag, SimError, SimErrorKind, SimResult,
+};
 pub use fabric::{Fabric, SimFabric};
 pub use fault::FaultFabric;
 pub use memory::MemoryMeter;

@@ -46,11 +46,12 @@ pub struct RunReport {
     /// Virtual time at which the application terminated (or the engine went
     /// quiescent).
     pub completion: SimTime,
-    /// Whether the application called `terminate`. `false` with pending
-    /// work indicates a deadlock or a wiring bug; see `stall`.
+    /// Whether the application called `terminate`. `false` means the run
+    /// went cleanly quiescent without an explicit terminate — runs that
+    /// stall with pending work now fail with
+    /// [`crate::SimErrorKind::DeadlockDetected`] instead of producing a
+    /// report.
     pub terminated: bool,
-    /// Diagnostic when the run stalled without terminating.
-    pub stall: Option<String>,
     /// Named instants recorded by the application, in time order.
     pub marks: Vec<(String, SimTime)>,
     /// Mark-delimited intervals with efficiency data.
@@ -107,12 +108,11 @@ impl RunReport {
         let mut s = String::new();
         let _ = write!(
             s,
-            "completion={:?} terminated={} stall={:?} marks={:?} \
+            "completion={:?} terminated={} marks={:?} \
              total_cpu_work={:?} alloc_timeline={:?} mem_peak_bytes={} \
              steps={} max_queue_len={} net={:?}",
             self.completion,
             self.terminated,
-            self.stall,
             self.marks,
             self.total_cpu_work,
             self.alloc_timeline,

@@ -113,8 +113,8 @@ fn charged_pipeline_has_exact_completion_time() {
     // Completion when the merge sees the second result: 1020us.
     // (The extra Work(0) start token is absorbed by the split's zero loop.)
     let app = pipeline_app(2, 2, US * 10, MS, 100);
-    let r = simulate(&app, NetParams::ideal(), &cfg());
-    assert!(r.terminated, "stall: {:?}", r.stall);
+    let r = simulate(&app, NetParams::ideal(), &cfg()).unwrap();
+    assert!(r.terminated);
     assert_eq!(r.completion, SimTime(1_020_000));
 }
 
@@ -123,7 +123,7 @@ fn single_worker_serializes_compute() {
     // Both pieces on one worker: second starts after first finishes.
     // gen: 10/20us; piece1 [10, 1010]us, piece2 [1010, 2010]us.
     let app = pipeline_app(1, 2, US * 10, MS, 100);
-    let r = simulate(&app, NetParams::ideal(), &cfg());
+    let r = simulate(&app, NetParams::ideal(), &cfg()).unwrap();
     assert_eq!(r.completion, SimTime(2_010_000));
 }
 
@@ -168,7 +168,7 @@ fn cpu_sharing_on_one_node_halves_progress() {
     b.edge(lb, merge, to_thread(main));
     b.start(fan, main, || Box::new(Work(0)));
     let app = b.build().unwrap();
-    let r = simulate(&app, NetParams::ideal(), &cfg());
+    let r = simulate(&app, NetParams::ideal(), &cfg()).unwrap();
     // Posts happen in one zero-work segment at t=0; both leaves start at 0
     // on node 0 and share it: both finish at 2ms.
     assert_eq!(r.completion, SimTime(2_000_000));
@@ -186,7 +186,7 @@ fn network_transfer_time_follows_formula() {
         per_message_overhead_bytes: 0,
     };
     let app = pipeline_app(1, 1, SimDuration::ZERO, SimDuration::ZERO, 1_000_000);
-    let r = simulate(&app, params, &cfg());
+    let r = simulate(&app, params, &cfg()).unwrap();
     // split -> leaf transfer: 100us + 1s; result back: 100us + ~8 bytes.
     let expect = 1_000_100_000 + 100_000 + 8_000;
     assert_eq!(r.completion, SimTime(expect));
@@ -205,7 +205,7 @@ fn concurrent_transfers_share_uplink() {
         per_message_overhead_bytes: 0,
     };
     let app = pipeline_app(2, 2, SimDuration::ZERO, SimDuration::ZERO, 500_000);
-    let r = simulate(&app, params, &cfg());
+    let r = simulate(&app, params, &cfg()).unwrap();
     // Both transfers share 1MB/s: each runs at 0.5MB/s -> arrive at 1s.
     // Results (8 bytes) return in ~16us each.
     assert!(
@@ -263,7 +263,7 @@ fn communication_cpu_cost_slows_computation() {
     b.edge(compute, merge, to_thread(main));
     b.start(fan, main, || Box::new(Work(0)));
     let app = b.build().unwrap();
-    let r = simulate(&app, params, &cfg());
+    let r = simulate(&app, params, &cfg()).unwrap();
     // Trigger (1 byte) arrives ~instantly; bulk transfer occupies [eps, 1s].
     // During that 1s the compute step gets 0.5 CPU -> does 0.5s of its 2s.
     // Remaining 1.5s at full speed: ends ~2.5s (+ result return ~8us).
@@ -322,8 +322,8 @@ fn flow_control_blocks_and_resumes() {
     b.flow_control(split, 1);
     b.start(split, main, || Box::new(Work(3)));
     let app = b.build().unwrap();
-    let r = simulate(&app, NetParams::ideal(), &cfg());
-    assert!(r.terminated, "stall: {:?}", r.stall);
+    let r = simulate(&app, NetParams::ideal(), &cfg()).unwrap();
+    assert!(r.terminated);
     // Piece 1: gen [0,1], compute [1,4], release at 4.
     // Piece 2: gen [1,2] but post blocked until 4; compute [4,7], release 7.
     // Piece 3: gen [4,5] blocked until 7; compute [7,10]; terminate at 10ms.
@@ -337,7 +337,7 @@ fn without_flow_control_pieces_pipeline_immediately() {
     // nothing blocks. Verify via no-stall and earlier first-compute overlap
     // using the step trace.
     let app = pipeline_app(1, 3, MS, MS * 3, 8);
-    let r = simulate(&app, NetParams::ideal(), &cfg());
+    let r = simulate(&app, NetParams::ideal(), &cfg()).unwrap();
     assert_eq!(r.completion, SimTime(10_000_000));
     let trace = r.trace.unwrap();
     // Split executed its three generation steps contiguously [0,3]ms.
@@ -386,7 +386,7 @@ fn marks_and_intervals_capture_dynamic_efficiency() {
     b.edge(leaf, merge, to_thread(main));
     b.start(driver, main, || Box::new(Work(0)));
     let app = b.build().unwrap();
-    let r = simulate(&app, NetParams::ideal(), &cfg());
+    let r = simulate(&app, NetParams::ideal(), &cfg()).unwrap();
     assert_eq!(r.marks.len(), 1);
     let phase1 = &r.intervals[0];
     assert_eq!(phase1.label, "phase1");
@@ -453,7 +453,7 @@ fn deactivation_redistributes_round_robin_work() {
     b.edge(leaf, merge, to_thread(main));
     b.start(driver, main, || Box::new(Work(4)));
     let app = b.build().unwrap();
-    let r = simulate(&app, NetParams::ideal(), &cfg());
+    let r = simulate(&app, NetParams::ideal(), &cfg()).unwrap();
     assert!(r.terminated);
     // All four leaf steps ran on thread 0 (serialized: 4ms of compute).
     let trace = r.trace.unwrap();
@@ -512,8 +512,8 @@ fn memory_meter_tracks_heap_payloads() {
         b.start(driver, main, || Box::new(Work(0)));
         b.build().unwrap()
     };
-    let big = simulate(&build(1_000_000), NetParams::ideal(), &cfg());
-    let ghost = simulate(&build(0), NetParams::ideal(), &cfg());
+    let big = simulate(&build(1_000_000), NetParams::ideal(), &cfg()).unwrap();
+    let ghost = simulate(&build(0), NetParams::ideal(), &cfg()).unwrap();
     assert_eq!(
         big.completion, ghost.completion,
         "NOALLOC must not change timing"
@@ -532,11 +532,10 @@ fn stall_without_terminate_is_reported() {
     b.body(op, |_, _| op_fn(|_obj, _ctx| {})); // never terminates
     b.start(op, main, || Box::new(Work(0)));
     let app2 = b.build().unwrap();
-    let r2 = simulate(&app2, NetParams::ideal(), &cfg());
+    let r2 = simulate(&app2, NetParams::ideal(), &cfg()).expect("clean quiescence is not an error");
     assert!(!r2.terminated);
-    assert!(r2.stall.is_none(), "clean quiescence, no stall");
     // And the well-formed app does terminate.
-    let r = simulate(&app, NetParams::ideal(), &cfg());
+    let r = simulate(&app, NetParams::ideal(), &cfg()).unwrap();
     assert!(r.terminated);
 }
 
@@ -568,18 +567,28 @@ fn flow_control_stall_is_diagnosed() {
     b.flow_control(split, 1);
     b.start(split, main, || Box::new(Work(0)));
     let app = b.build().unwrap();
-    let r = simulate(&app, NetParams::ideal(), &cfg());
-    assert!(!r.terminated);
-    let stall = r.stall.expect("stall diagnostic expected");
-    assert!(stall.contains("flow-control-blocked"), "{stall}");
+    let err = match simulate(&app, NetParams::ideal(), &cfg()) {
+        Ok(r) => panic!(
+            "deadlocked run must not succeed (terminated={})",
+            r.terminated
+        ),
+        Err(e) => e,
+    };
+    let diag = err.deadlock_diag().expect("deadlock diagnostic expected");
+    assert!(
+        diag.blocked
+            .iter()
+            .any(|b| b.op == "split" && b.waiting_on == "leaf"),
+        "diagnostic must name the blocked split: {err}"
+    );
 }
 
 #[test]
 fn runs_are_deterministic() {
     let mk = || pipeline_app(3, 20, US * 7, MS, 10_000);
     let params = NetParams::fast_ethernet();
-    let a = simulate(&mk(), params, &cfg());
-    let b = simulate(&mk(), params, &cfg());
+    let a = simulate(&mk(), params, &cfg()).unwrap();
+    let b = simulate(&mk(), params, &cfg()).unwrap();
     assert_eq!(a.completion, b.completion);
     assert_eq!(a.steps, b.steps);
     assert_eq!(a.net.wire_bytes, b.net.wire_bytes);
@@ -607,7 +616,7 @@ fn direct_execution_measures_host_time() {
     let app = b.build().unwrap();
     let mut c = cfg();
     c.timing = TimingMode::Measured;
-    let r = simulate(&app, NetParams::ideal(), &c);
+    let r = simulate(&app, NetParams::ideal(), &c).unwrap();
     let secs = r.completion.as_secs_f64();
     assert!(
         (0.015..0.5).contains(&secs),
@@ -622,7 +631,7 @@ fn calibrated_mode_stabilizes_predictions() {
     let mk = || pipeline_app(2, 50, SimDuration::ZERO, SimDuration::ZERO, 8);
     let mut c = cfg();
     c.timing = TimingMode::Calibrated { warmup: 4 };
-    let r = simulate(&mk(), NetParams::ideal(), &c);
+    let r = simulate(&mk(), NetParams::ideal(), &c).unwrap();
     assert!(r.terminated);
     // All uncharged steps are host-measured (sub-microsecond each; in
     // release builds they can even round to zero nanoseconds); the
@@ -655,7 +664,7 @@ fn account_state_flows_into_memory_peak() {
     b.start(op, main, || Box::new(Work(0)));
     b.start(op, main, || Box::new(Work(0)));
     let app = b.build().unwrap();
-    let r = simulate(&app, NetParams::ideal(), &cfg());
+    let r = simulate(&app, NetParams::ideal(), &cfg()).unwrap();
     assert!(r.terminated);
     assert!(
         r.mem_peak_bytes >= 5_000_000,
@@ -716,14 +725,14 @@ fn deactivation_does_not_drop_in_flight_work() {
     b.edge(leaf, merge, to_thread(main));
     b.start(fan, main, || Box::new(Work(0)));
     let app = b.build().unwrap();
-    let r = simulate(&app, NetParams::fast_ethernet(), &cfg());
-    assert!(r.terminated, "in-flight work must finish: {:?}", r.stall);
+    let r = simulate(&app, NetParams::fast_ethernet(), &cfg()).unwrap();
+    assert!(r.terminated, "in-flight work must finish");
 }
 
 #[test]
 fn marks_are_time_ordered() {
     let app = pipeline_app(2, 8, US * 5, MS, 1000);
-    let r = simulate(&app, NetParams::fast_ethernet(), &cfg());
+    let r = simulate(&app, NetParams::fast_ethernet(), &cfg()).unwrap();
     let mut last = SimTime::ZERO;
     for (_, t) in &r.marks {
         assert!(*t >= last);

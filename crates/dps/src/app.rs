@@ -277,9 +277,11 @@ impl AppBuilder {
         id
     }
 
-    /// Declares a flow-control window on a split/stream operation.
+    /// Declares a flow-control window on a split/stream operation. A window
+    /// of size zero blocks every post from `source`; the engine reports the
+    /// resulting deadlock as a typed error rather than rejecting the graph
+    /// here.
     pub fn flow_control(&mut self, source: OpId, window: usize) {
-        assert!(window > 0, "flow-control window must be positive");
         self.flow_controls.insert(source, window);
     }
 

@@ -21,9 +21,11 @@ pub struct Window {
 }
 
 impl Window {
-    /// Creates an empty instance.
+    /// Creates an empty instance. A window of size zero is representable —
+    /// every post from its source blocks immediately — so engines can
+    /// diagnose the resulting deadlock instead of rejecting the graph up
+    /// front.
     pub fn new(limit: usize) -> Window {
-        assert!(limit > 0, "flow-control window must be positive");
         Window {
             limit,
             in_flight: 0,
@@ -88,9 +90,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "must be positive")]
-    fn zero_window_rejected() {
-        Window::new(0);
+    fn zero_window_never_grants_credit() {
+        let mut w = Window::new(0);
+        assert!(!w.has_credit());
+        assert!(!w.try_acquire());
+        assert_eq!(w.in_flight(), 0);
     }
 }
 

@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use desim::{SimDuration, SimTime};
-use dps_sim::{RunReport, SimCheckpoint, SimConfig};
+use dps_sim::{RunReport, SimCheckpoint, SimConfig, SimError, SimResult};
 use linalg::blocked::LuFactors;
 use linalg::{lu_residual, Matrix};
 use netmodel::NetParams;
@@ -26,19 +26,22 @@ pub struct LuRun {
     pub residual: Option<f64>,
 }
 
-fn finish(cfg: &LuConfig, sh: &crate::ops::LuShared, report: RunReport) -> LuRun {
-    assert!(
-        report.terminated,
-        "LU run did not terminate: {:?}",
-        report.stall
-    );
-    let dist = report.mark_time("dist").expect("distribution mark");
+fn finish(cfg: &LuConfig, sh: &crate::ops::LuShared, report: RunReport) -> SimResult<LuRun> {
+    if !report.terminated {
+        return Err(SimError::protocol(
+            "LU run went quiescent without terminating",
+        ));
+    }
+    let dist = report
+        .mark_time("dist")
+        .ok_or_else(|| SimError::protocol("LU run recorded no 'dist' mark"))?;
     // The factorization ends at the final iteration mark; in Real mode the
     // run continues past it with the verification dump, which is not part
     // of the measured quantity.
+    let final_mark = format!("iter:{}", cfg.k_blocks());
     let end = report
-        .mark_time(&format!("iter:{}", cfg.k_blocks()))
-        .expect("final iteration mark");
+        .mark_time(&final_mark)
+        .ok_or_else(|| SimError::protocol(format!("LU run recorded no '{final_mark}' mark")))?;
     let factorization_time = end - dist;
     let residual = if cfg.mode == DataMode::Real {
         let out = sh
@@ -46,7 +49,7 @@ fn finish(cfg: &LuConfig, sh: &crate::ops::LuShared, report: RunReport) -> LuRun
             .lock()
             .expect("result lock")
             .take()
-            .expect("Real mode produces a factorization");
+            .ok_or_else(|| SimError::protocol("Real mode run produced no factorization"))?;
         let a = Matrix::random(cfg.n, cfg.n, cfg.seed);
         let f = LuFactors {
             lu: out.lu,
@@ -56,18 +59,26 @@ fn finish(cfg: &LuConfig, sh: &crate::ops::LuShared, report: RunReport) -> LuRun
     } else {
         None
     };
-    LuRun {
+    Ok(LuRun {
         report,
         factorization_time,
         residual,
-    }
+    })
+}
+
+/// One-line context for errors surfacing from an LU run.
+fn lu_context(cfg: &LuConfig) -> String {
+    format!(
+        "running LU n={} r={} on {} nodes ({} workers)",
+        cfg.n, cfg.r, cfg.nodes, cfg.workers
+    )
 }
 
 /// Predicts the run on the paper's machine model (the simulator).
-pub fn predict_lu(cfg: &LuConfig, net: NetParams, simcfg: &SimConfig) -> LuRun {
+pub fn predict_lu(cfg: &LuConfig, net: NetParams, simcfg: &SimConfig) -> SimResult<LuRun> {
     let (app, sh) = build_lu_app(cfg.clone());
-    let report = dps_sim::simulate(&app, net, simcfg);
-    finish(cfg, &sh, report)
+    let report = dps_sim::simulate(&app, net, simcfg).map_err(|e| e.context(lu_context(cfg)))?;
+    finish(cfg, &sh, report).map_err(|e| e.context(lu_context(cfg)))
 }
 
 /// Predicts the run against an arbitrary machine model (e.g. a
@@ -76,17 +87,19 @@ pub fn predict_lu_with_fabric(
     cfg: &LuConfig,
     fabric: &mut dyn dps_sim::Fabric,
     simcfg: &SimConfig,
-) -> LuRun {
+) -> SimResult<LuRun> {
     let (app, sh) = build_lu_app(cfg.clone());
-    let report = dps_sim::simulate_with_fabric(&app, fabric, simcfg);
-    finish(cfg, &sh, report)
+    let report = dps_sim::simulate_with_fabric(&app, fabric, simcfg)
+        .map_err(|e| e.context(lu_context(cfg)))?;
+    finish(cfg, &sh, report).map_err(|e| e.context(lu_context(cfg)))
 }
 
 /// A pausable/forkable LU prediction run: the building block of
 /// shared-prefix sweeps (one common prefix, N divergent removal plans).
 ///
 /// Only prediction (`DataMode::Alloc`/`Ghost`) runs fork — `Real` mode
-/// behaviours opt out of cloning and [`LuCheckpoint::fork`] returns `None`.
+/// behaviours opt out of cloning and [`LuCheckpoint::fork`] fails with
+/// `ForkRefused`.
 pub struct LuCheckpoint {
     ck: SimCheckpoint,
     cfg: LuConfig,
@@ -95,18 +108,19 @@ pub struct LuCheckpoint {
 
 impl LuCheckpoint {
     /// Builds the application and pauses it at virtual time zero.
-    pub fn start(cfg: &LuConfig, net: NetParams, simcfg: &SimConfig) -> LuCheckpoint {
+    pub fn start(cfg: &LuConfig, net: NetParams, simcfg: &SimConfig) -> SimResult<LuCheckpoint> {
         let (app, sh) = build_lu_app(cfg.clone());
-        LuCheckpoint {
-            ck: dps_sim::simulate_until(Arc::new(app), net, simcfg, SimTime::ZERO),
+        Ok(LuCheckpoint {
+            ck: dps_sim::simulate_until(Arc::new(app), net, simcfg, SimTime::ZERO)
+                .map_err(|e| e.context(lu_context(cfg)))?,
             cfg: cfg.clone(),
             sh,
-        }
+        })
     }
 
     /// Advances until the next event would pass `t` (see
     /// [`SimCheckpoint::advance_until`]).
-    pub fn advance_until(&mut self, t: SimTime) -> bool {
+    pub fn advance_until(&mut self, t: SimTime) -> SimResult<bool> {
         self.ck.advance_until(t)
     }
 
@@ -118,9 +132,9 @@ impl LuCheckpoint {
     /// Advances until the coordinator is about to close iteration
     /// `after`'s barrier (1-based, matching removal-plan notation: the
     /// decision step that records `iter:{after}` and consults the removal
-    /// plan for removals "after iteration `after`"). Returns `false` if
+    /// plan for removals "after iteration `after`"). Returns `Ok(false)` if
     /// the run finished first — e.g. `after` is past the last barrier.
-    pub fn pause_before_barrier(&mut self, after: usize) -> bool {
+    pub fn pause_before_barrier(&mut self, after: usize) -> SimResult<bool> {
         assert!(after >= 1, "barriers are 1-based");
         let coord = self.sh.ids.coord;
         let target = after - 1;
@@ -139,10 +153,10 @@ impl LuCheckpoint {
         }))
     }
 
-    /// An independent copy of the paused run, or `None` when the
-    /// configuration cannot fork (Real mode).
-    pub fn fork(&mut self) -> Option<LuCheckpoint> {
-        Some(LuCheckpoint {
+    /// An independent copy of the paused run; fails with `ForkRefused` when
+    /// the configuration cannot fork (Real mode).
+    pub fn fork(&mut self) -> SimResult<LuCheckpoint> {
+        Ok(LuCheckpoint {
             ck: self.ck.fork()?,
             cfg: self.cfg.clone(),
             sh: Arc::clone(&self.sh),
@@ -161,8 +175,10 @@ impl LuCheckpoint {
     }
 
     /// Runs to completion and extracts the paper's quantities.
-    pub fn finish(self) -> LuRun {
-        finish(&self.cfg, &self.sh, self.ck.finish())
+    pub fn finish(self) -> SimResult<LuRun> {
+        let ctx = lu_context(&self.cfg);
+        let report = self.ck.finish().map_err(|e| e.context(ctx.clone()))?;
+        finish(&self.cfg, &self.sh, report).map_err(|e| e.context(ctx))
     }
 
     fn main_thread(&self) -> dps::ThreadId {
@@ -173,10 +189,16 @@ impl LuCheckpoint {
 }
 
 /// "Measures" the run on the ground-truth testbed emulator.
-pub fn measure_lu(cfg: &LuConfig, tb: TestbedParams, seed: u64, simcfg: &SimConfig) -> LuRun {
+pub fn measure_lu(
+    cfg: &LuConfig,
+    tb: TestbedParams,
+    seed: u64,
+    simcfg: &SimConfig,
+) -> SimResult<LuRun> {
     let (app, sh) = build_lu_app(cfg.clone());
-    let report = testbed::measure(&app, tb, seed, simcfg);
-    finish(cfg, &sh, report)
+    let report =
+        testbed::measure(&app, tb, seed, simcfg).map_err(|e| e.context(lu_context(cfg)))?;
+    finish(cfg, &sh, report).map_err(|e| e.context(lu_context(cfg)))
 }
 
 /// Per-iteration wall time and efficiency, from the run's mark-delimited

@@ -29,7 +29,7 @@ fn real_cfg(n: usize, r: usize, nodes: u32) -> LuConfig {
 #[test]
 fn basic_graph_factorizes_correctly() {
     let cfg = real_cfg(96, 24, 3);
-    let run = predict_lu(&cfg, NetParams::fast_ethernet(), &simcfg());
+    let run = predict_lu(&cfg, NetParams::fast_ethernet(), &simcfg()).unwrap();
     let res = run.residual.expect("real mode verifies");
     assert!(res < 1e-10, "residual {res}");
     assert!(run.factorization_time > SimDuration::ZERO);
@@ -39,7 +39,7 @@ fn basic_graph_factorizes_correctly() {
 fn pipelined_graph_factorizes_correctly() {
     let mut cfg = real_cfg(96, 24, 3);
     cfg.pipelined = true;
-    let run = predict_lu(&cfg, NetParams::fast_ethernet(), &simcfg());
+    let run = predict_lu(&cfg, NetParams::fast_ethernet(), &simcfg()).unwrap();
     assert!(run.residual.unwrap() < 1e-10);
 }
 
@@ -48,7 +48,7 @@ fn flow_control_graph_factorizes_correctly() {
     let mut cfg = real_cfg(96, 24, 3);
     cfg.pipelined = true;
     cfg.flow_control = Some(3);
-    let run = predict_lu(&cfg, NetParams::fast_ethernet(), &simcfg());
+    let run = predict_lu(&cfg, NetParams::fast_ethernet(), &simcfg()).unwrap();
     assert!(run.residual.unwrap() < 1e-10);
 }
 
@@ -56,7 +56,7 @@ fn flow_control_graph_factorizes_correctly() {
 fn parallel_submul_graph_factorizes_correctly() {
     let mut cfg = real_cfg(96, 24, 3);
     cfg.parallel_mul = Some(12);
-    let run = predict_lu(&cfg, NetParams::fast_ethernet(), &simcfg());
+    let run = predict_lu(&cfg, NetParams::fast_ethernet(), &simcfg()).unwrap();
     assert!(run.residual.unwrap() < 1e-10);
 }
 
@@ -66,7 +66,7 @@ fn all_variants_combined_factorize_correctly() {
     cfg.pipelined = true;
     cfg.flow_control = Some(4);
     cfg.parallel_mul = Some(8);
-    let run = predict_lu(&cfg, NetParams::fast_ethernet(), &simcfg());
+    let run = predict_lu(&cfg, NetParams::fast_ethernet(), &simcfg()).unwrap();
     assert!(run.residual.unwrap() < 1e-10);
 }
 
@@ -76,7 +76,7 @@ fn thread_removal_preserves_correctness() {
     let mut cfg = real_cfg(128, 16, 4);
     cfg.workers = 8;
     cfg.removal = vec![(1, 4), (2, 2)];
-    let run = predict_lu(&cfg, NetParams::fast_ethernet(), &simcfg());
+    let run = predict_lu(&cfg, NetParams::fast_ethernet(), &simcfg()).unwrap();
     assert!(run.residual.unwrap() < 1e-10);
     // The allocation timeline shrank twice.
     assert!(run.report.alloc_timeline.len() >= 3);
@@ -88,7 +88,7 @@ fn thread_removal_preserves_correctness() {
 #[test]
 fn testbed_measurement_factorizes_correctly() {
     let cfg = real_cfg(64, 16, 2);
-    let run = measure_lu(&cfg, TestbedParams::sun_cluster(), 9, &simcfg());
+    let run = measure_lu(&cfg, TestbedParams::sun_cluster(), 9, &simcfg()).unwrap();
     assert!(run.residual.unwrap() < 1e-10);
 }
 
@@ -97,7 +97,7 @@ fn more_workers_than_nodes_factorizes_correctly() {
     // The paper's "eight column blocks on four nodes".
     let mut cfg = real_cfg(128, 16, 4);
     cfg.workers = 8;
-    let run = predict_lu(&cfg, NetParams::fast_ethernet(), &simcfg());
+    let run = predict_lu(&cfg, NetParams::fast_ethernet(), &simcfg()).unwrap();
     assert!(run.residual.unwrap() < 1e-10);
 }
 
@@ -112,9 +112,9 @@ fn ghost_and_real_modes_predict_identical_times() {
     let mut alloc = real.clone();
     alloc.mode = DataMode::Alloc;
 
-    let rr = predict_lu(&real, NetParams::fast_ethernet(), &simcfg());
-    let rg = predict_lu(&ghost, NetParams::fast_ethernet(), &simcfg());
-    let ra = predict_lu(&alloc, NetParams::fast_ethernet(), &simcfg());
+    let rr = predict_lu(&real, NetParams::fast_ethernet(), &simcfg()).unwrap();
+    let rg = predict_lu(&ghost, NetParams::fast_ethernet(), &simcfg()).unwrap();
+    let ra = predict_lu(&alloc, NetParams::fast_ethernet(), &simcfg()).unwrap();
     // Completion differs (Real mode appends the verification dump), but the
     // factorization itself must take identical virtual time in all modes.
     assert_eq!(rr.factorization_time, rg.factorization_time);
@@ -128,7 +128,7 @@ fn iteration_marks_cover_every_iteration() {
     let mut cfg = LuConfig::new(96, 16, 3); // K = 6
     cfg.mode = DataMode::Ghost;
     cfg.cost = Some(LuCost::new(PlatformProfile::ultrasparc_ii_440()));
-    let run = predict_lu(&cfg, NetParams::fast_ethernet(), &simcfg());
+    let run = predict_lu(&cfg, NetParams::fast_ethernet(), &simcfg()).unwrap();
     let iters = lu_app::iteration_times(&run.report);
     assert_eq!(iters.len(), 6);
     for (label, span, eff) in &iters {
@@ -151,8 +151,8 @@ fn deterministic_predictions() {
     cfg.pipelined = true;
     cfg.flow_control = Some(8);
     cfg.cost = Some(LuCost::new(PlatformProfile::ultrasparc_ii_440()));
-    let a = predict_lu(&cfg, NetParams::fast_ethernet(), &simcfg());
-    let b = predict_lu(&cfg, NetParams::fast_ethernet(), &simcfg());
+    let a = predict_lu(&cfg, NetParams::fast_ethernet(), &simcfg()).unwrap();
+    let b = predict_lu(&cfg, NetParams::fast_ethernet(), &simcfg()).unwrap();
     assert_eq!(a.report.completion, b.report.completion);
     assert_eq!(a.report.steps, b.report.steps);
 }

@@ -1,7 +1,7 @@
 //! Running the stencil on the simulator or testbed, with verification.
 
 use desim::SimDuration;
-use dps_sim::{RunReport, SimConfig};
+use dps_sim::{RunReport, SimConfig, SimError, SimResult};
 use linalg::{max_abs_diff, Matrix};
 use lu_app::DataMode;
 use netmodel::NetParams;
@@ -21,46 +21,65 @@ pub struct StencilRun {
     pub error: Option<f64>,
 }
 
-fn finish(cfg: &StencilConfig, sh: &crate::ops::StShared, report: RunReport) -> StencilRun {
-    assert!(
-        report.terminated,
-        "stencil run did not terminate: {:?}",
-        report.stall
-    );
-    let dist = report.mark_time("dist").expect("distribution mark");
-    let end = report
-        .mark_time(&format!("iter:{}", cfg.iters))
-        .expect("final iteration mark");
+fn finish(
+    cfg: &StencilConfig,
+    sh: &crate::ops::StShared,
+    report: RunReport,
+) -> SimResult<StencilRun> {
+    if !report.terminated {
+        return Err(SimError::protocol(
+            "stencil run went quiescent without terminating",
+        ));
+    }
+    let dist = report
+        .mark_time("dist")
+        .ok_or_else(|| SimError::protocol("stencil run recorded no 'dist' mark"))?;
+    let final_mark = format!("iter:{}", cfg.iters);
+    let end = report.mark_time(&final_mark).ok_or_else(|| {
+        SimError::protocol(format!("stencil run recorded no '{final_mark}' mark"))
+    })?;
     let error = if cfg.mode == DataMode::Real {
         let got = sh
             .result
             .lock()
             .expect("result lock")
             .take()
-            .expect("Real mode produces a grid");
+            .ok_or_else(|| SimError::protocol("Real mode run produced no grid"))?;
         let reference = jacobi(&Matrix::random(cfg.n, cfg.n, cfg.seed), cfg.iters);
         Some(max_abs_diff(&got, &reference))
     } else {
         None
     };
-    StencilRun {
+    Ok(StencilRun {
         sweep_time: end - dist,
         report,
         error,
-    }
+    })
+}
+
+/// One-line context for errors surfacing from a stencil run.
+fn st_context(cfg: &StencilConfig) -> String {
+    format!(
+        "running stencil n={} iters={} on {} nodes",
+        cfg.n, cfg.iters, cfg.nodes
+    )
 }
 
 /// Predicts the run on the simulator.
-pub fn predict_stencil(cfg: &StencilConfig, net: NetParams, simcfg: &SimConfig) -> StencilRun {
+pub fn predict_stencil(
+    cfg: &StencilConfig,
+    net: NetParams,
+    simcfg: &SimConfig,
+) -> SimResult<StencilRun> {
     let (app, sh) = build_stencil_app(cfg.clone());
-    let report = dps_sim::simulate(&app, net, simcfg);
-    finish(cfg, &sh, report)
+    let report = dps_sim::simulate(&app, net, simcfg).map_err(|e| e.context(st_context(cfg)))?;
+    finish(cfg, &sh, report).map_err(|e| e.context(st_context(cfg)))
 }
 
 /// A pausable/forkable stencil prediction run (see
 /// `dps_sim::SimCheckpoint`). Only prediction modes fork — `Real` mode
-/// behaviours opt out of cloning and [`StencilCheckpoint::fork`] returns
-/// `None`.
+/// behaviours opt out of cloning and [`StencilCheckpoint::fork`] fails with
+/// `ForkRefused`.
 pub struct StencilCheckpoint {
     ck: dps_sim::SimCheckpoint,
     cfg: StencilConfig,
@@ -69,22 +88,27 @@ pub struct StencilCheckpoint {
 
 impl StencilCheckpoint {
     /// Builds the application and pauses it at virtual time zero.
-    pub fn start(cfg: &StencilConfig, net: NetParams, simcfg: &SimConfig) -> StencilCheckpoint {
+    pub fn start(
+        cfg: &StencilConfig,
+        net: NetParams,
+        simcfg: &SimConfig,
+    ) -> SimResult<StencilCheckpoint> {
         let (app, sh) = build_stencil_app(cfg.clone());
-        StencilCheckpoint {
+        Ok(StencilCheckpoint {
             ck: dps_sim::simulate_until(
                 std::sync::Arc::new(app),
                 net,
                 simcfg,
                 desim::SimTime::ZERO,
-            ),
+            )
+            .map_err(|e| e.context(st_context(cfg)))?,
             cfg: cfg.clone(),
             sh,
-        }
+        })
     }
 
     /// Advances until the next event would pass `t`.
-    pub fn advance_until(&mut self, t: desim::SimTime) -> bool {
+    pub fn advance_until(&mut self, t: desim::SimTime) -> SimResult<bool> {
         self.ck.advance_until(t)
     }
 
@@ -93,10 +117,10 @@ impl StencilCheckpoint {
         self.ck.now()
     }
 
-    /// An independent copy of the paused run, or `None` when the
-    /// configuration cannot fork (Real mode).
-    pub fn fork(&mut self) -> Option<StencilCheckpoint> {
-        Some(StencilCheckpoint {
+    /// An independent copy of the paused run; fails with `ForkRefused` when
+    /// the configuration cannot fork (Real mode).
+    pub fn fork(&mut self) -> SimResult<StencilCheckpoint> {
+        Ok(StencilCheckpoint {
             ck: self.ck.fork()?,
             cfg: self.cfg.clone(),
             sh: std::sync::Arc::clone(&self.sh),
@@ -104,8 +128,10 @@ impl StencilCheckpoint {
     }
 
     /// Runs to completion and extracts the run's quantities.
-    pub fn finish(self) -> StencilRun {
-        finish(&self.cfg, &self.sh, self.ck.finish())
+    pub fn finish(self) -> SimResult<StencilRun> {
+        let ctx = st_context(&self.cfg);
+        let report = self.ck.finish().map_err(|e| e.context(ctx.clone()))?;
+        finish(&self.cfg, &self.sh, report).map_err(|e| e.context(ctx))
     }
 }
 
@@ -115,10 +141,11 @@ pub fn predict_stencil_with_fabric(
     cfg: &StencilConfig,
     fabric: &mut dyn dps_sim::Fabric,
     simcfg: &SimConfig,
-) -> StencilRun {
+) -> SimResult<StencilRun> {
     let (app, sh) = build_stencil_app(cfg.clone());
-    let report = dps_sim::simulate_with_fabric(&app, fabric, simcfg);
-    finish(cfg, &sh, report)
+    let report = dps_sim::simulate_with_fabric(&app, fabric, simcfg)
+        .map_err(|e| e.context(st_context(cfg)))?;
+    finish(cfg, &sh, report).map_err(|e| e.context(st_context(cfg)))
 }
 
 /// "Measures" the run on the testbed emulator.
@@ -127,8 +154,9 @@ pub fn measure_stencil(
     tb: TestbedParams,
     seed: u64,
     simcfg: &SimConfig,
-) -> StencilRun {
+) -> SimResult<StencilRun> {
     let (app, sh) = build_stencil_app(cfg.clone());
-    let report = testbed::measure(&app, tb, seed, simcfg);
-    finish(cfg, &sh, report)
+    let report =
+        testbed::measure(&app, tb, seed, simcfg).map_err(|e| e.context(st_context(cfg)))?;
+    finish(cfg, &sh, report).map_err(|e| e.context(st_context(cfg)))
 }

@@ -26,7 +26,7 @@ fn real_cfg(n: usize, iters: usize, nodes: u32) -> StencilConfig {
 #[test]
 fn synchronized_stencil_matches_reference() {
     let cfg = real_cfg(64, 6, 4);
-    let run = predict_stencil(&cfg, NetParams::fast_ethernet(), &simcfg());
+    let run = predict_stencil(&cfg, NetParams::fast_ethernet(), &simcfg()).unwrap();
     assert!(run.error.unwrap() < 1e-12, "error {:?}", run.error);
 }
 
@@ -34,14 +34,14 @@ fn synchronized_stencil_matches_reference() {
 fn asynchronous_stencil_matches_reference() {
     let mut cfg = real_cfg(64, 6, 4);
     cfg.synchronized = false;
-    let run = predict_stencil(&cfg, NetParams::fast_ethernet(), &simcfg());
+    let run = predict_stencil(&cfg, NetParams::fast_ethernet(), &simcfg()).unwrap();
     assert!(run.error.unwrap() < 1e-12);
 }
 
 #[test]
 fn single_worker_stencil_matches_reference() {
     let cfg = real_cfg(32, 4, 1);
-    let run = predict_stencil(&cfg, NetParams::fast_ethernet(), &simcfg());
+    let run = predict_stencil(&cfg, NetParams::fast_ethernet(), &simcfg()).unwrap();
     assert!(run.error.unwrap() < 1e-12);
 }
 
@@ -49,7 +49,7 @@ fn single_worker_stencil_matches_reference() {
 fn many_bands_on_few_nodes() {
     let mut cfg = real_cfg(64, 5, 2);
     cfg.workers = 8; // four bands per node
-    let run = predict_stencil(&cfg, NetParams::fast_ethernet(), &simcfg());
+    let run = predict_stencil(&cfg, NetParams::fast_ethernet(), &simcfg()).unwrap();
     assert!(run.error.unwrap() < 1e-12);
 }
 
@@ -57,7 +57,7 @@ fn many_bands_on_few_nodes() {
 fn testbed_run_matches_reference_too() {
     let mut cfg = real_cfg(64, 4, 4);
     cfg.synchronized = false;
-    let run = measure_stencil(&cfg, TestbedParams::sun_cluster(), 5, &simcfg());
+    let run = measure_stencil(&cfg, TestbedParams::sun_cluster(), 5, &simcfg()).unwrap();
     assert!(run.error.unwrap() < 1e-12);
 }
 
@@ -68,8 +68,12 @@ fn async_pipelining_is_not_slower() {
     sync.mode = DataMode::Ghost;
     let mut async_ = sync.clone();
     async_.synchronized = false;
-    let ts = predict_stencil(&sync, NetParams::fast_ethernet(), &simcfg()).sweep_time;
-    let ta = predict_stencil(&async_, NetParams::fast_ethernet(), &simcfg()).sweep_time;
+    let ts = predict_stencil(&sync, NetParams::fast_ethernet(), &simcfg())
+        .unwrap()
+        .sweep_time;
+    let ta = predict_stencil(&async_, NetParams::fast_ethernet(), &simcfg())
+        .unwrap()
+        .sweep_time;
     assert!(
         ta <= ts,
         "async ({}) must not be slower than synchronized ({})",
@@ -84,7 +88,7 @@ fn stencil_dynamic_efficiency_is_flat() {
     // removal policy recommends keeping every node.
     let mut cfg = StencilConfig::new(2048, 12, 8);
     cfg.mode = DataMode::Ghost;
-    let run = predict_stencil(&cfg, NetParams::fast_ethernet(), &simcfg());
+    let run = predict_stencil(&cfg, NetParams::fast_ethernet(), &simcfg()).unwrap();
     let profile = cluster_profile(&run.report);
     let effs: Vec<f64> = profile.points.iter().map(|p| p.efficiency).collect();
     let min = effs.iter().cloned().fold(f64::MAX, f64::min);
@@ -106,9 +110,11 @@ fn prediction_tracks_testbed_for_stencil() {
     let mut cfg = StencilConfig::new(2048, 16, 8);
     cfg.mode = DataMode::Ghost;
     let p = predict_stencil(&cfg, NetParams::fast_ethernet(), &simcfg())
+        .unwrap()
         .sweep_time
         .as_secs_f64();
     let m = measure_stencil(&cfg, TestbedParams::sun_cluster(), 11, &simcfg())
+        .unwrap()
         .sweep_time
         .as_secs_f64();
     assert!(
@@ -122,8 +128,8 @@ fn deterministic_stencil_predictions() {
     let mut cfg = StencilConfig::new(1024, 8, 4);
     cfg.mode = DataMode::Ghost;
     cfg.synchronized = false;
-    let a = predict_stencil(&cfg, NetParams::fast_ethernet(), &simcfg());
-    let b = predict_stencil(&cfg, NetParams::fast_ethernet(), &simcfg());
+    let a = predict_stencil(&cfg, NetParams::fast_ethernet(), &simcfg()).unwrap();
+    let b = predict_stencil(&cfg, NetParams::fast_ethernet(), &simcfg()).unwrap();
     assert_eq!(a.report.completion, b.report.completion);
 }
 

@@ -29,11 +29,16 @@ pub use fabric::{TestbedFabric, TestbedParams};
 pub use native::{run_native, NativeReport};
 
 use dps::Application;
-use dps_sim::{RunReport, SimConfig};
+use dps_sim::{RunReport, SimConfig, SimResult};
 
 /// Convenience: runs `app` against the testbed emulator — the repository's
 /// equivalent of "measuring on the cluster".
-pub fn measure(app: &Application, params: TestbedParams, seed: u64, cfg: &SimConfig) -> RunReport {
+pub fn measure(
+    app: &Application,
+    params: TestbedParams,
+    seed: u64,
+    cfg: &SimConfig,
+) -> SimResult<RunReport> {
     let mut fabric = TestbedFabric::new(params, seed);
     dps_sim::simulate_with_fabric(app, &mut fabric, cfg)
 }

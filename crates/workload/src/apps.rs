@@ -19,7 +19,7 @@ use std::hash::Hasher;
 
 use cluster::{profile_from_report, EfficiencyProfile, Workload};
 use desim::fxhash::FxHasher;
-use dps_sim::SimConfig;
+use dps_sim::{SimConfig, SimError, SimResult};
 use lu_app::{predict_lu, LuConfig};
 use netmodel::NetParams;
 use stencil_app::{predict_stencil, StencilConfig};
@@ -94,15 +94,16 @@ impl LuWorkload {
         &self.cfg
     }
 
-    fn at_nodes(&self, nodes: u32) -> LuConfig {
-        assert!(
-            nodes >= 1 && nodes <= self.cfg.workers,
-            "LU profile needs 1..={} nodes, got {nodes}",
-            self.cfg.workers
-        );
+    fn at_nodes(&self, nodes: u32) -> SimResult<LuConfig> {
+        if nodes < 1 || nodes > self.cfg.workers {
+            return Err(SimError::protocol(format!(
+                "LU profile needs 1..={} nodes, got {nodes}",
+                self.cfg.workers
+            )));
+        }
         let mut cfg = self.cfg.clone();
         cfg.nodes = nodes;
-        cfg
+        Ok(cfg)
     }
 }
 
@@ -119,9 +120,9 @@ impl Workload for LuWorkload {
         self.cfg.workers
     }
 
-    fn profile(&self, nodes: u32) -> EfficiencyProfile {
-        let run = predict_lu(&self.at_nodes(nodes), self.net, &self.simcfg);
-        profile_from_report(&run.report)
+    fn profile(&self, nodes: u32) -> SimResult<EfficiencyProfile> {
+        let run = predict_lu(&self.at_nodes(nodes)?, self.net, &self.simcfg)?;
+        Ok(profile_from_report(&run.report))
     }
 
     /// One simulator run with the node count genuinely varying mid-job: the
@@ -131,21 +132,34 @@ impl Workload for LuWorkload {
     /// schedules return `None` — thread removal cannot re-add workers — as
     /// do pipelined flow graphs (the paper restricts removal to the basic
     /// graph).
-    fn realize(&self, allocs: &[u32]) -> Option<EfficiencyProfile> {
-        assert_eq!(allocs.len(), self.iterations());
-        assert!(allocs.iter().all(|&n| n >= 1));
-        if self.cfg.pipelined {
-            return None;
+    fn realize(&self, allocs: &[u32]) -> SimResult<Option<EfficiencyProfile>> {
+        if allocs.len() != self.iterations() {
+            return Err(SimError::protocol(format!(
+                "schedule has {} entries for {} iterations",
+                allocs.len(),
+                self.iterations()
+            )));
         }
-        let plan = removal_plan(allocs)?;
+        if allocs.iter().any(|&n| n < 1) {
+            return Err(SimError::protocol(
+                "schedule grants zero nodes to an iteration",
+            ));
+        }
+        if self.cfg.pipelined {
+            return Ok(None);
+        }
+        let Some(plan) = removal_plan(allocs) else {
+            return Ok(None);
+        };
         let mut cfg = self.cfg.clone();
         // One worker per node so removing a worker vacates its node.
         cfg.nodes = allocs[0];
         cfg.workers = allocs[0];
         cfg.removal = plan;
-        cfg.validate().expect("realized schedule must be valid");
-        let run = predict_lu(&cfg, self.net, &self.simcfg);
-        Some(profile_from_report(&run.report))
+        cfg.validate()
+            .map_err(|e| SimError::protocol(format!("realized schedule is invalid: {e}")))?;
+        let run = predict_lu(&cfg, self.net, &self.simcfg)?;
+        Ok(Some(profile_from_report(&run.report)))
     }
 }
 
@@ -201,16 +215,17 @@ impl Workload for StencilWorkload {
         self.cfg.workers
     }
 
-    fn profile(&self, nodes: u32) -> EfficiencyProfile {
-        assert!(
-            nodes >= 1 && nodes <= self.cfg.workers,
-            "stencil profile needs 1..={} nodes, got {nodes}",
-            self.cfg.workers
-        );
+    fn profile(&self, nodes: u32) -> SimResult<EfficiencyProfile> {
+        if nodes < 1 || nodes > self.cfg.workers {
+            return Err(SimError::protocol(format!(
+                "stencil profile needs 1..={} nodes, got {nodes}",
+                self.cfg.workers
+            )));
+        }
         let mut cfg = self.cfg.clone();
         cfg.nodes = nodes;
-        let run = predict_stencil(&cfg, self.net, &self.simcfg);
-        profile_from_report(&run.report)
+        let run = predict_stencil(&cfg, self.net, &self.simcfg)?;
+        Ok(profile_from_report(&run.report))
     }
 }
 

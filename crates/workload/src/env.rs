@@ -10,7 +10,7 @@
 //! workloads all share the exact same wiring.
 
 use desim::SimDuration;
-use dps_sim::{SimConfig, TimingMode};
+use dps_sim::{SimConfig, SimResult, TimingMode};
 use lu_app::{measure_lu, predict_lu, DataMode, LuConfig, LuRun};
 use netmodel::NetParams;
 use perfmodel::{LuCost, PlatformProfile};
@@ -91,22 +91,22 @@ impl SimEnv {
     }
 
     /// Predicts an LU run on the simulator.
-    pub fn predict(&self, cfg: &LuConfig) -> LuRun {
+    pub fn predict(&self, cfg: &LuConfig) -> SimResult<LuRun> {
         predict_lu(cfg, self.net, &self.simcfg)
     }
 
     /// "Measures" an LU run on the ground-truth testbed emulator.
-    pub fn measure(&self, cfg: &LuConfig, seed: u64) -> LuRun {
+    pub fn measure(&self, cfg: &LuConfig, seed: u64) -> SimResult<LuRun> {
         measure_lu(cfg, self.tb, seed, &self.simcfg)
     }
 
     /// Predicts a stencil run on the simulator.
-    pub fn predict_stencil(&self, cfg: &StencilConfig) -> StencilRun {
+    pub fn predict_stencil(&self, cfg: &StencilConfig) -> SimResult<StencilRun> {
         predict_stencil(cfg, self.net, &self.simcfg)
     }
 
     /// "Measures" a stencil run on the ground-truth testbed emulator.
-    pub fn measure_stencil(&self, cfg: &StencilConfig, seed: u64) -> StencilRun {
+    pub fn measure_stencil(&self, cfg: &StencilConfig, seed: u64) -> SimResult<StencilRun> {
         measure_stencil(cfg, self.tb, seed, &self.simcfg)
     }
 
@@ -138,7 +138,7 @@ mod tests {
     #[test]
     fn small_lu_prediction_runs() {
         let env = SimEnv::paper();
-        let run = env.predict(&env.lu_sized(144, 36, 2));
+        let run = env.predict(&env.lu_sized(144, 36, 2)).unwrap();
         assert!(run.report.terminated);
         assert!(run.factorization_time > SimDuration::ZERO);
     }

@@ -18,7 +18,7 @@
 
 use cluster::{EfficiencyProfile, Workload};
 use desim::{SimDuration, SimTime};
-use dps_sim::FaultFabric;
+use dps_sim::{FaultFabric, SimError, SimResult};
 use faults::FaultPlan;
 use lu_app::predict_lu_with_fabric;
 use stencil_app::predict_stencil_with_fabric;
@@ -139,7 +139,8 @@ impl LuWorkload {
     /// rates; checkpoint writes, restart reads and since-checkpoint replay
     /// are added to the affected iterations' spans analytically. Returns
     /// `None` for pipelined configurations (the paper restricts thread
-    /// removal to the basic flow graph).
+    /// removal to the basic flow graph); `Err` when the underlying engine
+    /// runs fail.
     ///
     /// Timeline semantics: **outage** times are interpreted on the
     /// *iteration* timeline (time 0 = first iteration start), matching the
@@ -150,16 +151,21 @@ impl LuWorkload {
     /// With a crash exactly on an iteration boundary, a checkpoint interval
     /// of 1 and zero costs, the result is identical to
     /// [`Workload::realize`] on the equivalent voluntary shrink schedule.
-    pub fn realize_under_faults(&self, nodes: u32, plan: &FaultPlan) -> Option<FaultedRun> {
-        assert!(
-            nodes >= 1 && nodes <= self.max_nodes(),
-            "LU faulted run needs 1..={} nodes, got {nodes}",
-            self.max_nodes()
-        );
-        if self.cfg.pipelined {
-            return None;
+    pub fn realize_under_faults(
+        &self,
+        nodes: u32,
+        plan: &FaultPlan,
+    ) -> SimResult<Option<FaultedRun>> {
+        if nodes < 1 || nodes > self.max_nodes() {
+            return Err(SimError::protocol(format!(
+                "LU faulted run needs 1..={} nodes, got {nodes}",
+                self.max_nodes()
+            )));
         }
-        let base = self.profile(nodes);
+        if self.cfg.pipelined {
+            return Ok(None);
+        }
+        let base = self.profile(nodes)?;
         let m = map_outages(&base, nodes, plan);
         let rplan = removal_plan(&m.schedule).expect("outage schedules only shrink");
         let mut cfg = self.cfg.clone();
@@ -167,34 +173,39 @@ impl LuWorkload {
         cfg.nodes = m.schedule[0];
         cfg.workers = m.schedule[0];
         cfg.removal = rplan;
-        cfg.validate().expect("faulted schedule must be valid");
+        cfg.validate()
+            .map_err(|e| SimError::protocol(format!("faulted schedule is invalid: {e}")))?;
         let mut fabric = FaultFabric::new(self.net, plan);
-        let run = predict_lu_with_fabric(&cfg, &mut fabric, &self.simcfg);
+        let run = predict_lu_with_fabric(&cfg, &mut fabric, &self.simcfg)?;
         let mut profile = cluster::profile_from_report(&run.report);
         apply_extras(&mut profile, &m.extra, plan);
-        Some(FaultedRun {
+        Ok(Some(FaultedRun {
             profile,
             schedule: m.schedule,
             restarts: m.restarts,
             lost_work: m.lost_work,
-        })
+        }))
     }
 
     /// Per-iteration profile at a fixed allocation with `plan` injected —
     /// the [`FaultedWorkload`] backend. Falls back to a fixed-allocation
     /// run through the [`FaultFabric`] (windows only) when the outage
     /// schedule cannot be realized (pipelined flow graphs).
-    pub fn profile_under_faults(&self, nodes: u32, plan: &FaultPlan) -> EfficiencyProfile {
-        if let Some(run) = self.realize_under_faults(nodes, plan) {
-            return run.profile;
+    pub fn profile_under_faults(
+        &self,
+        nodes: u32,
+        plan: &FaultPlan,
+    ) -> SimResult<EfficiencyProfile> {
+        if let Some(run) = self.realize_under_faults(nodes, plan)? {
+            return Ok(run.profile);
         }
         let mut cfg = self.cfg.clone();
         cfg.nodes = nodes;
         let mut fabric = FaultFabric::new(self.net, plan);
-        let run = predict_lu_with_fabric(&cfg, &mut fabric, &self.simcfg);
+        let run = predict_lu_with_fabric(&cfg, &mut fabric, &self.simcfg)?;
         let mut profile = cluster::profile_from_report(&run.report);
         apply_extras(&mut profile, &[], plan);
-        profile
+        Ok(profile)
     }
 }
 
@@ -206,19 +217,24 @@ impl StencilWorkload {
     /// are not removable mid-run).
     ///
     /// [`CheckpointSpec`]: faults::CheckpointSpec
-    pub fn profile_under_faults(&self, nodes: u32, plan: &FaultPlan) -> EfficiencyProfile {
-        assert!(
-            nodes >= 1 && nodes <= self.max_nodes(),
-            "stencil faulted profile needs 1..={} nodes, got {nodes}",
-            self.max_nodes()
-        );
+    pub fn profile_under_faults(
+        &self,
+        nodes: u32,
+        plan: &FaultPlan,
+    ) -> SimResult<EfficiencyProfile> {
+        if nodes < 1 || nodes > self.max_nodes() {
+            return Err(SimError::protocol(format!(
+                "stencil faulted profile needs 1..={} nodes, got {nodes}",
+                self.max_nodes()
+            )));
+        }
         let mut cfg = self.cfg.clone();
         cfg.nodes = nodes;
         let mut fabric = FaultFabric::new(self.net, plan);
-        let run = predict_stencil_with_fabric(&cfg, &mut fabric, &self.simcfg);
+        let run = predict_stencil_with_fabric(&cfg, &mut fabric, &self.simcfg)?;
         let mut profile = cluster::profile_from_report(&run.report);
         apply_extras(&mut profile, &[], plan);
-        profile
+        Ok(profile)
     }
 }
 
@@ -226,17 +242,17 @@ impl StencilWorkload {
 /// two simulator-backed applications.
 pub trait FaultAware: Workload {
     /// Profile at `nodes` with `plan` injected.
-    fn faulted_profile(&self, nodes: u32, plan: &FaultPlan) -> EfficiencyProfile;
+    fn faulted_profile(&self, nodes: u32, plan: &FaultPlan) -> SimResult<EfficiencyProfile>;
 }
 
 impl FaultAware for LuWorkload {
-    fn faulted_profile(&self, nodes: u32, plan: &FaultPlan) -> EfficiencyProfile {
+    fn faulted_profile(&self, nodes: u32, plan: &FaultPlan) -> SimResult<EfficiencyProfile> {
         self.profile_under_faults(nodes, plan)
     }
 }
 
 impl FaultAware for StencilWorkload {
-    fn faulted_profile(&self, nodes: u32, plan: &FaultPlan) -> EfficiencyProfile {
+    fn faulted_profile(&self, nodes: u32, plan: &FaultPlan) -> SimResult<EfficiencyProfile> {
         self.profile_under_faults(nodes, plan)
     }
 }
@@ -285,7 +301,7 @@ impl<W: FaultAware> Workload for FaultedWorkload<W> {
         self.inner.max_nodes()
     }
 
-    fn profile(&self, nodes: u32) -> EfficiencyProfile {
+    fn profile(&self, nodes: u32) -> SimResult<EfficiencyProfile> {
         self.inner.faulted_profile(nodes, &self.plan)
     }
 }
@@ -306,11 +322,15 @@ mod tests {
         let w = small_lu();
         let run = w
             .realize_under_faults(4, &FaultPlan::none())
+            .unwrap()
             .expect("basic graph realizes");
         assert_eq!(run.schedule, vec![4; 4]);
         assert_eq!(run.restarts, 0);
         assert_eq!(run.lost_work, SimDuration::ZERO);
-        let flat = w.realize(&[4, 4, 4, 4]).expect("flat schedule realizes");
+        let flat = w
+            .realize(&[4, 4, 4, 4])
+            .unwrap()
+            .expect("flat schedule realizes");
         for (a, b) in run.profile.points.iter().zip(&flat.points) {
             assert_eq!(a.span, b.span, "{}", a.label);
             assert_eq!(a.efficiency, b.efficiency);
@@ -320,7 +340,7 @@ mod tests {
     #[test]
     fn crash_shrinks_the_schedule_and_costs_replay() {
         let w = small_lu();
-        let base = w.profile(4);
+        let base = w.profile(4).unwrap();
         // Crash node 3 strictly inside iteration 2.
         let t = base.points[0].span + base.points[1].span + base.points[2].span.mul_f64(0.5);
         let plan = FaultPlan::new(
@@ -331,12 +351,15 @@ mod tests {
             }],
             CheckpointSpec::every(1, SimDuration::ZERO, SimDuration::from_millis(100)),
         );
-        let run = w.realize_under_faults(4, &plan).expect("realizable");
+        let run = w
+            .realize_under_faults(4, &plan)
+            .unwrap()
+            .expect("realizable");
         assert_eq!(run.schedule, vec![4, 4, 4, 3]);
         assert_eq!(run.restarts, 1);
         assert!(run.lost_work > SimDuration::ZERO, "in-flight work is lost");
         // The restart iteration pays the replay plus the checkpoint read.
-        let voluntary = w.realize(&[4, 4, 4, 3]).expect("shrink realizes");
+        let voluntary = w.realize(&[4, 4, 4, 3]).unwrap().expect("shrink realizes");
         assert!(run.profile.points[3].span > voluntary.points[3].span);
         assert_eq!(run.profile.points[0].span, voluntary.points[0].span);
     }
@@ -371,16 +394,16 @@ mod tests {
             CheckpointSpec::none(),
         );
         let faulted = FaultedWorkload::new(small_lu(), plan);
-        cache.profile(&quiet, 4);
-        cache.profile(&faulted, 4);
+        cache.profile(&quiet, 4).unwrap();
+        cache.profile(&faulted, 4).unwrap();
         assert_eq!(cache.len(), 2, "plans occupy distinct cache entries");
         assert_eq!(cache.misses(), 2);
-        cache.profile(&faulted, 4);
+        cache.profile(&faulted, 4).unwrap();
         assert_eq!(cache.hits(), 1, "same plan hits the memo");
         // The faulted profile genuinely differs (three nodes from the
         // first boundary on).
-        let q = cache.profile(&quiet, 4).total_span();
-        let f = cache.profile(&faulted, 4).total_span();
+        let q = cache.profile(&quiet, 4).unwrap().total_span();
+        let f = cache.profile(&faulted, 4).unwrap().total_span();
         assert_ne!(q, f);
     }
 }

@@ -184,7 +184,7 @@ fn lu_efficiency_points(ctx: &ScenarioCtx) -> Vec<ScenarioPoint> {
             ScenarioPoint::new(format!("lu {n} nodes"), move || {
                 let env = SimEnv::paper_seeded(seed);
                 let w = env.lu_workload(env.lu_sized(288, 36, 8));
-                profile_fields(&w.profile(n))
+                profile_fields(&w.profile(n).expect("LU profile run"))
             })
         })
         .collect()
@@ -199,7 +199,7 @@ fn stencil_efficiency_points(ctx: &ScenarioCtx) -> Vec<ScenarioPoint> {
             ScenarioPoint::new(format!("stencil {n} nodes"), move || {
                 let env = SimEnv::paper_seeded(seed);
                 let w = env.stencil_workload(env.stencil(256, 8, 8));
-                profile_fields(&w.profile(n))
+                profile_fields(&w.profile(n).expect("stencil profile run"))
             })
         })
         .collect()
@@ -264,6 +264,7 @@ fn server_shrink_points(_ctx: &ScenarioCtx) -> Vec<ScenarioPoint> {
         let realized = job
             .workload
             .realize(&allocs)
+            .expect("realization run")
             .expect("shrink-only schedules are realizable")
             .total_span()
             .as_secs_f64();
@@ -286,7 +287,11 @@ fn lu_crash_points(ctx: &ScenarioCtx) -> Vec<ScenarioPoint> {
                 let w = env.lu_workload(env.lu_sized(288, 36, 8));
                 // Draw the crash from the first 80% of the quiet run so it
                 // lands while the application is still working.
-                let horizon = w.profile(8).total_span().mul_f64(0.8);
+                let horizon = w
+                    .profile(8)
+                    .expect("quiet LU profile")
+                    .total_span()
+                    .mul_f64(0.8);
                 let plan = FaultGenConfig {
                     crashes,
                     checkpoint: CheckpointSpec::every(
@@ -299,6 +304,7 @@ fn lu_crash_points(ctx: &ScenarioCtx) -> Vec<ScenarioPoint> {
                 .generate(env.seed);
                 let run = w
                     .realize_under_faults(8, &plan)
+                    .expect("faulted realization run")
                     .expect("basic LU graphs realize fault schedules");
                 vec![
                     ("span_secs", run.profile.total_span().as_secs_f64()),
@@ -326,7 +332,7 @@ fn stencil_slowdown_points(ctx: &ScenarioCtx) -> Vec<ScenarioPoint> {
                 // or they'd expire before any stencil compute runs.
                 let mut cfg = w.config().clone();
                 cfg.nodes = 8;
-                let quiet = env.predict_stencil(&cfg);
+                let quiet = env.predict_stencil(&cfg).expect("quiet stencil run");
                 let dist = quiet.report.mark_time("dist").expect("distribution mark");
                 let base = FaultGenConfig {
                     slowdowns,
@@ -342,7 +348,10 @@ fn stencil_slowdown_points(ctx: &ScenarioCtx) -> Vec<ScenarioPoint> {
                     })
                     .collect();
                 let plan = FaultPlan::new(events, base.checkpoint);
-                profile_fields(&w.profile_under_faults(8, &plan))
+                profile_fields(
+                    &w.profile_under_faults(8, &plan)
+                        .expect("faulted stencil profile"),
+                )
             })
         })
         .collect()

@@ -15,10 +15,13 @@
 //! `predict_lu` calls.
 //!
 //! Points that cannot fork (Real mode, a pipelined graph, a run that ends
-//! before the requested barrier) silently fall back to fresh full runs;
-//! [`SweepStats`] reports how many points took which path.
+//! before the requested barrier) silently fall back to fresh full runs —
+//! `ForkRefused` is the one *recoverable* [`SimError`]; every other error
+//! (deadlock, blown budget, cancellation) aborts the sweep with context
+//! naming the failing point. [`SweepStats`] reports how many points took
+//! which path.
 
-use dps_sim::SimConfig;
+use dps_sim::{SimConfig, SimError, SimResult};
 use lu_app::{predict_lu, LuCheckpoint, LuConfig, LuRun};
 use netmodel::NetParams;
 
@@ -62,15 +65,54 @@ fn first_divergence(cfg: &LuConfig) -> usize {
     cfg.removal.first().map_or(usize::MAX, |&(after, _)| after)
 }
 
+/// One-line context naming a sweep point in errors.
+fn point_context(i: usize, cfg: &LuConfig) -> String {
+    format!("sweep point {i} (removal plan {:?})", cfg.removal)
+}
+
+/// Tries to answer a point by forking the shared prefix. `Ok(None)` means
+/// "fall back to a fresh run" — the prefix is gone or this configuration
+/// refuses to fork (the recoverable `ForkRefused` error). Anything else the
+/// engine reports (deadlock, budget, cancellation) propagates.
+fn try_branch(
+    base: &mut Option<LuCheckpoint>,
+    cfg: &LuConfig,
+    after: usize,
+) -> SimResult<Option<LuCheckpoint>> {
+    let Some(b) = base.as_mut() else {
+        return Ok(None);
+    };
+    if after != usize::MAX && !b.pause_before_barrier(after)? {
+        // The run ended before the barrier; this point (and every later
+        // one) degenerates to the base run, but a fresh run keeps the
+        // equivalence trivially exact.
+        return Ok(None);
+    }
+    match b.fork() {
+        Ok(mut f) => {
+            if after != usize::MAX {
+                f.set_removal_plan(cfg.removal.clone());
+            }
+            Ok(Some(f))
+        }
+        Err(e) if e.is_fork_refused() => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
 /// Runs every configuration and returns the runs **in input order**,
 /// sharing simulation prefixes between points that only differ in their
 /// removal plans. Results are identical to calling
 /// [`lu_app::predict_lu`] per point; only the wall-clock cost changes.
+///
+/// The first point whose simulation fails (other than the recoverable
+/// `ForkRefused`) aborts the sweep with its error, contextualized with the
+/// point's index and removal plan.
 pub fn sweep_lu(
     points: &[LuConfig],
     net: NetParams,
     simcfg: &SimConfig,
-) -> (Vec<LuRun>, SweepStats) {
+) -> SimResult<(Vec<LuRun>, SweepStats)> {
     let mut stats = SweepStats::default();
     let mut runs: Vec<Option<LuRun>> = Vec::with_capacity(points.len());
     runs.resize_with(points.len(), || None);
@@ -89,7 +131,10 @@ pub fn sweep_lu(
     for (_, mut idxs) in groups {
         if idxs.len() == 1 {
             let i = idxs[0];
-            runs[i] = Some(predict_lu(&points[i], net, simcfg));
+            runs[i] = Some(
+                predict_lu(&points[i], net, simcfg)
+                    .map_err(|e| e.context(point_context(i, &points[i])))?,
+            );
             stats.fresh += 1;
             continue;
         }
@@ -97,35 +142,25 @@ pub fn sweep_lu(
         idxs.sort_by_key(|&i| first_divergence(&points[i]));
         let mut base_cfg = points[idxs[0]].clone();
         base_cfg.removal.clear();
-        let mut base = Some(LuCheckpoint::start(&base_cfg, net, simcfg));
+        let mut base = match LuCheckpoint::start(&base_cfg, net, simcfg) {
+            Ok(b) => Some(b),
+            Err(e) if e.is_fork_refused() => None,
+            Err(e) => return Err(e.context("starting a shared sweep prefix")),
+        };
         for &i in &idxs {
             let cfg = &points[i];
             let after = first_divergence(cfg);
-            let branch = base.as_mut().and_then(|b| {
-                if after == usize::MAX {
-                    // Never diverges: any fork of the base is the point.
-                    b.fork()
-                } else if b.pause_before_barrier(after) {
-                    let mut f = b.fork()?;
-                    f.set_removal_plan(cfg.removal.clone());
-                    Some(f)
-                } else {
-                    // The run ended before the barrier; this point (and
-                    // every later one) degenerates to the base run, but a
-                    // fresh run keeps the equivalence trivially exact.
-                    None
-                }
-            });
-            match branch {
+            let ctx = |e: SimError| e.context(point_context(i, cfg));
+            match try_branch(&mut base, cfg, after).map_err(ctx)? {
                 Some(f) => {
-                    runs[i] = Some(f.finish());
+                    runs[i] = Some(f.finish().map_err(ctx)?);
                     stats.forked += 1;
                 }
                 None => {
                     // Forking failed once (Real mode, pipelined graph, or a
                     // barrier past the end): stop paying for the prefix.
                     base = None;
-                    runs[i] = Some(predict_lu(cfg, net, simcfg));
+                    runs[i] = Some(predict_lu(cfg, net, simcfg).map_err(ctx)?);
                     stats.fresh += 1;
                 }
             }
@@ -136,7 +171,7 @@ pub fn sweep_lu(
         .into_iter()
         .map(|r| r.expect("every point ran"))
         .collect();
-    (runs, stats)
+    Ok((runs, stats))
 }
 
 /// [`sweep_lu`] over labelled points, returning `(label, run)` pairs in
@@ -145,11 +180,11 @@ pub fn sweep_lu_labelled(
     points: &[(String, LuConfig)],
     net: NetParams,
     simcfg: &SimConfig,
-) -> (Vec<(String, LuRun)>, SweepStats) {
+) -> SimResult<(Vec<(String, LuRun)>, SweepStats)> {
     let cfgs: Vec<LuConfig> = points.iter().map(|(_, c)| c.clone()).collect();
-    let (runs, stats) = sweep_lu(&cfgs, net, simcfg);
+    let (runs, stats) = sweep_lu(&cfgs, net, simcfg)?;
     let out = points.iter().map(|(l, _)| l.clone()).zip(runs).collect();
-    (out, stats)
+    Ok((out, stats))
 }
 
 #[cfg(test)]
@@ -177,12 +212,12 @@ mod tests {
     fn forked_sweep_equals_fresh_runs() {
         let env = SimEnv::paper();
         let points = removal_family(&env);
-        let (runs, stats) = sweep_lu(&points, env.net, &env.simcfg);
+        let (runs, stats) = sweep_lu(&points, env.net, &env.simcfg).unwrap();
         assert_eq!(stats.groups, 1);
         assert_eq!(stats.forked, points.len(), "whole family forks");
         assert_eq!(stats.fresh, 0);
         for (cfg, run) in points.iter().zip(&runs) {
-            let fresh = env.predict(cfg);
+            let fresh = env.predict(cfg).unwrap();
             assert_eq!(
                 run.report.canonical_string(),
                 fresh.report.canonical_string(),
@@ -197,7 +232,7 @@ mod tests {
         let env = SimEnv::paper();
         let mut points = removal_family(&env);
         points.push(env.lu_sized(648, 81, 4)); // different node count
-        let (runs, stats) = sweep_lu(&points, env.net, &env.simcfg);
+        let (runs, stats) = sweep_lu(&points, env.net, &env.simcfg).unwrap();
         assert_eq!(stats.groups, 2);
         assert_eq!(stats.fresh, 1, "singleton group runs fresh");
         assert_eq!(runs.len(), points.len());
@@ -211,7 +246,7 @@ mod tests {
         a.cost = None;
         let mut b = a.clone();
         b.removal = vec![(1, 1)];
-        let (runs, stats) = sweep_lu(&[a, b], env.net, &env.simcfg);
+        let (runs, stats) = sweep_lu(&[a, b], env.net, &env.simcfg).unwrap();
         assert_eq!(stats.forked, 0);
         assert_eq!(stats.fresh, 2);
         assert!(runs.iter().all(|r| r.residual.is_some()));

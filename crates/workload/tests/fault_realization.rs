@@ -16,7 +16,7 @@ fn boundary_crash_with_free_checkpoints_equals_voluntary_shrink() {
     assert_eq!(w.iterations(), 4);
 
     // Crash node 3 exactly when iteration 2 begins.
-    let base = w.profile(4);
+    let base = w.profile(4).unwrap();
     let boundary = SimTime::ZERO + base.points[0].span + base.points[1].span;
     let plan = FaultPlan::new(
         vec![FaultEvent {
@@ -29,6 +29,7 @@ fn boundary_crash_with_free_checkpoints_equals_voluntary_shrink() {
 
     let run = w
         .realize_under_faults(4, &plan)
+        .unwrap()
         .expect("basic LU graphs realize fault schedules");
     assert_eq!(run.schedule, vec![4, 4, 3, 3]);
     assert_eq!(run.restarts, 1, "the crash still counts as an interruption");
@@ -40,6 +41,7 @@ fn boundary_crash_with_free_checkpoints_equals_voluntary_shrink() {
 
     let voluntary = w
         .realize(&[4, 4, 3, 3])
+        .unwrap()
         .expect("shrink-only schedules are realizable");
     assert_eq!(run.profile.points.len(), voluntary.points.len());
     for (a, b) in run.profile.points.iter().zip(&voluntary.points) {
@@ -57,7 +59,7 @@ fn boundary_crash_with_free_checkpoints_equals_voluntary_shrink() {
 fn mid_iteration_crash_charges_replay_on_top_of_the_shrink() {
     let env = SimEnv::paper();
     let w = env.lu_workload(env.lu_sized(144, 36, 4));
-    let base = w.profile(4);
+    let base = w.profile(4).unwrap();
     // Strictly inside iteration 2, with no checkpoints: everything done so
     // far replays.
     let inside = SimTime::ZERO
@@ -72,9 +74,12 @@ fn mid_iteration_crash_charges_replay_on_top_of_the_shrink() {
         }],
         CheckpointSpec::none(),
     );
-    let run = w.realize_under_faults(4, &plan).expect("realizable");
+    let run = w
+        .realize_under_faults(4, &plan)
+        .unwrap()
+        .expect("realizable");
     assert_eq!(run.schedule, vec![4, 4, 4, 3]);
-    let voluntary = w.realize(&[4, 4, 4, 3]).expect("realizable");
+    let voluntary = w.realize(&[4, 4, 4, 3]).unwrap().expect("realizable");
     // The restart iteration replays iterations 0..2 plus the lost half of
     // iteration 2; everything before it is untouched.
     let replay = base.points[0].span + base.points[1].span + base.points[2].span.mul_f64(0.5);

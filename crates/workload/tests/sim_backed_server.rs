@@ -98,6 +98,7 @@ fn reallocation_mid_job_changes_the_simulated_applications_node_count() {
     let realized = job
         .workload
         .realize(&schedule)
+        .unwrap()
         .expect("shrink-only schedule is realizable");
     assert_eq!(realized.points.len(), job.workload.iterations());
     let first = implied_nodes(&realized.points[0]);
@@ -119,7 +120,7 @@ fn reallocation_mid_job_changes_the_simulated_applications_node_count() {
 
     // Fewer nodes on the shrunk iterations means higher dynamic efficiency
     // than the same iterations at the full allocation.
-    let full = job.workload.profile(8);
+    let full = job.workload.profile(8).unwrap();
     assert!(realized.points[5].efficiency > full.points[5].efficiency);
 }
 
@@ -127,7 +128,7 @@ fn reallocation_mid_job_changes_the_simulated_applications_node_count() {
 fn lu_profile_decays_and_stencil_profile_is_flat() {
     let env = SimEnv::paper();
     let lu = env.lu_workload(env.lu_sized(288, 36, 8));
-    let p = lu.profile(4);
+    let p = lu.profile(4).unwrap();
     // LU's trailing matrix shrinks: mid-run efficiency decays (the last
     // iteration's cleanup spike is excluded, as in the paper's Figure 11).
     assert!(
@@ -138,7 +139,7 @@ fn lu_profile_decays_and_stencil_profile_is_flat() {
     );
 
     let st = env.stencil_workload(env.stencil(768, 12, 8));
-    let p = st.profile(4);
+    let p = st.profile(4).unwrap();
     let effs: Vec<f64> = p.points.iter().map(|pt| pt.efficiency).collect();
     let (min, max) = effs
         .iter()
@@ -163,7 +164,7 @@ fn profiles_are_memoized_per_workload_and_node_count() {
     // Identically configured workloads share cache entries by key.
     let dup = env.lu_workload(env.lu_sized(288, 36, 8));
     let before = cache.len();
-    cache.profile(&dup, 8);
+    cache.profile(&dup, 8).unwrap();
     assert_eq!(cache.len(), before, "equal keys share memoized profiles");
 }
 

@@ -27,7 +27,7 @@ fn main() {
     cfg.cost = Some(LuCost::new(PlatformProfile::ultrasparc_ii_440()));
 
     // 1. Predict and inspect the dynamic efficiency.
-    let base = predict_lu(&cfg, NetParams::fast_ethernet(), &simcfg);
+    let base = predict_lu(&cfg, NetParams::fast_ethernet(), &simcfg).expect("base run");
     let profile = profile_from_report(&base.report);
     println!("predicted dynamic efficiency on 8 nodes:");
     for p in &profile.points {
@@ -54,7 +54,7 @@ fn main() {
     // 3. Re-run with the recommended plan.
     let mut planned = cfg.clone();
     planned.removal = plan;
-    let adapted = predict_lu(&planned, NetParams::fast_ethernet(), &simcfg);
+    let adapted = predict_lu(&planned, NetParams::fast_ethernet(), &simcfg).expect("adapted run");
 
     let t0 = base.factorization_time.as_secs_f64();
     let t1 = adapted.factorization_time.as_secs_f64();

@@ -17,7 +17,9 @@ fn main() {
     // the next iteration boundary; the work since the last checkpoint is
     // replayed on the survivors.
     let w = env.lu_workload(env.lu_sized(288, 36, 8));
-    let quiet_span = dvns::cluster::Workload::profile(&w, 8).total_span();
+    let quiet_span = dvns::cluster::Workload::profile(&w, 8)
+        .expect("quiet LU profile")
+        .total_span();
     let app_plan = FaultGenConfig {
         crashes: 1,
         checkpoint: CheckpointSpec::every(
@@ -30,6 +32,7 @@ fn main() {
     .generate(env.seed);
     let run = w
         .realize_under_faults(8, &app_plan)
+        .expect("faulted realization run")
         .expect("basic LU graphs realize fault schedules");
     println!("== LU under a seeded crash (seed {}) ==", env.seed);
     println!("  quiet span    {:>8.2}s", quiet_span.as_secs_f64());

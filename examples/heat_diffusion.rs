@@ -25,7 +25,8 @@ fn main() {
     let mut small = StencilConfig::new(64, 8, 4);
     small.mode = DataMode::Real;
     small.cost = Some(PlatformProfile::modern_x86());
-    let run = predict_stencil(&small, NetParams::fast_ethernet(), &simcfg);
+    let run =
+        predict_stencil(&small, NetParams::fast_ethernet(), &simcfg).expect("simulation runs");
     println!(
         "64x64 Jacobi through the DPS flow graph: max deviation from the \
          sequential reference {:.2e}",
@@ -42,7 +43,8 @@ fn main() {
     ] {
         let mut c = cfg.clone();
         c.synchronized = sync;
-        let run = predict_stencil(&c, NetParams::fast_ethernet(), &simcfg);
+        let run =
+            predict_stencil(&c, NetParams::fast_ethernet(), &simcfg).expect("simulation runs");
         println!(
             "  {label:<26} predicted {:6.2}s",
             run.sweep_time.as_secs_f64()
@@ -50,13 +52,15 @@ fn main() {
     }
 
     // 3. Dynamic efficiency: flat for the stencil, decaying for LU.
-    let stencil_run = predict_stencil(&cfg, NetParams::fast_ethernet(), &simcfg);
+    let stencil_run =
+        predict_stencil(&cfg, NetParams::fast_ethernet(), &simcfg).expect("simulation runs");
     let stencil_profile = profile_from_report(&stencil_run.report);
 
     let mut lu_cfg = dvns::lu_app::LuConfig::new(2592, 324, 8);
     lu_cfg.mode = DataMode::Ghost;
     lu_cfg.cost = Some(LuCost::new(PlatformProfile::ultrasparc_ii_440()));
-    let lu_run = dvns::lu_app::predict_lu(&lu_cfg, NetParams::fast_ethernet(), &simcfg);
+    let lu_run = dvns::lu_app::predict_lu(&lu_cfg, NetParams::fast_ethernet(), &simcfg)
+        .expect("simulation runs");
     let lu_profile = profile_from_report(&lu_run.report);
 
     println!("\nper-iteration dynamic efficiency (8 nodes):");

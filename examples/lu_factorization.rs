@@ -26,7 +26,7 @@ fn main() {
     cfg.mode = DataMode::Real;
     cfg.cost = Some(cost);
     cfg.pipelined = true;
-    let run = predict_lu(&cfg, NetParams::fast_ethernet(), &simcfg);
+    let run = predict_lu(&cfg, NetParams::fast_ethernet(), &simcfg).expect("simulation runs");
     println!(
         "384x384 LU through the DPS flow graph: residual {:.2e} (verified)",
         run.residual.expect("real mode")
@@ -44,8 +44,10 @@ fn main() {
         cfg.cost = Some(cost);
         cfg.pipelined = pipelined;
         cfg.flow_control = fc;
-        let predicted = predict_lu(&cfg, NetParams::fast_ethernet(), &simcfg);
-        let measured = dvns::lu_app::measure_lu(&cfg, TestbedParams::sun_cluster(), 7, &simcfg);
+        let predicted =
+            predict_lu(&cfg, NetParams::fast_ethernet(), &simcfg).expect("simulation runs");
+        let measured = dvns::lu_app::measure_lu(&cfg, TestbedParams::sun_cluster(), 7, &simcfg)
+            .expect("testbed runs");
         let p = predicted.factorization_time.as_secs_f64();
         let m = measured.factorization_time.as_secs_f64();
         println!(

@@ -36,7 +36,7 @@ fn main() {
         ("Gigabit Ethernet", NetParams::gigabit_ethernet()),
         ("ideal (free network)", NetParams::ideal()),
     ] {
-        let run = predict_lu(&cfg, params, &simcfg);
+        let run = predict_lu(&cfg, params, &simcfg).expect("simulation runs");
         println!(
             "{:<28} {:>12} {:>14.1}",
             label,
@@ -51,7 +51,7 @@ fn main() {
         let mut p = NetParams::fast_ethernet();
         p.up_bytes_per_sec = mbps * 1e6 / 8.0;
         p.down_bytes_per_sec = p.up_bytes_per_sec;
-        let run = predict_lu(&cfg, p, &simcfg);
+        let run = predict_lu(&cfg, p, &simcfg).expect("simulation runs");
         println!(
             "  {:>6.0} Mb/s  ->  {:6.1}s",
             mbps,
@@ -65,8 +65,8 @@ fn main() {
     fast_gemm.gemm_flops_per_sec *= 2.0;
     let mut cfg2 = base_cfg();
     cfg2.cost = Some(LuCost::new(fast_gemm));
-    let a = predict_lu(&cfg, NetParams::fast_ethernet(), &simcfg);
-    let b = predict_lu(&cfg2, NetParams::fast_ethernet(), &simcfg);
+    let a = predict_lu(&cfg, NetParams::fast_ethernet(), &simcfg).expect("simulation runs");
+    let b = predict_lu(&cfg2, NetParams::fast_ethernet(), &simcfg).expect("simulation runs");
     println!(
         "  baseline {:.1}s  ->  2x faster gemm {:.1}s  (speedup {:.2}x: multiplication dominates)",
         a.factorization_time.as_secs_f64(),

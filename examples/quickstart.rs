@@ -70,7 +70,7 @@ fn main() {
         record_trace: true,
         ..SimConfig::default()
     };
-    let report = simulate(&app, NetParams::fast_ethernet(), &cfg);
+    let report = simulate(&app, NetParams::fast_ethernet(), &cfg).expect("simulation runs");
 
     println!("predicted running time: {}", report.completion);
     println!(

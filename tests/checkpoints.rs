@@ -43,18 +43,18 @@ fn fork_at_random_times_matches_fresh_run() {
     let net = NetParams::fast_ethernet();
     for _ in 0..4 {
         let cfg = random_cfg(&mut rng);
-        let fresh = predict_lu(&cfg, net, &simcfg());
+        let fresh = predict_lu(&cfg, net, &simcfg()).unwrap();
         let want = fresh.report.canonical_string();
         let span = fresh.report.completion.as_nanos();
         for _ in 0..2 {
             let t = SimTime(rng.gen_range_u64(1, span));
-            let mut base = LuCheckpoint::start(&cfg, net, &simcfg());
-            base.advance_until(t);
+            let mut base = LuCheckpoint::start(&cfg, net, &simcfg()).unwrap();
+            base.advance_until(t).unwrap();
             let forked = base.fork().expect("prediction modes fork");
             // Finish the fork before the original: divergent branch order
             // must not matter.
-            let a = forked.finish();
-            let b = base.finish();
+            let a = forked.finish().unwrap();
+            let b = base.finish().unwrap();
             let ctx = format!(
                 "n={} r={} nodes={} workers={} mode={:?} t={}ns",
                 cfg.n, cfg.r, cfg.nodes, cfg.workers, cfg.mode, t.0
@@ -84,21 +84,21 @@ fn removal_rewritten_forks_match_fresh_removal_runs() {
         vec![(5, 7)],
     ];
 
-    let mut base = LuCheckpoint::start(&base_cfg, net, &simcfg());
+    let mut base = LuCheckpoint::start(&base_cfg, net, &simcfg()).unwrap();
     for plan in &plans {
         let after = plan[0].0;
         assert!(
-            base.pause_before_barrier(after),
+            base.pause_before_barrier(after).unwrap(),
             "run ended before barrier {after}"
         );
         let mut branch = base.fork().expect("ghost mode forks");
         branch.set_removal_plan(plan.clone());
-        let run = branch.finish();
+        let run = branch.finish().unwrap();
 
         let mut fresh_cfg = base_cfg.clone();
         fresh_cfg.removal = plan.clone();
         fresh_cfg.validate().expect("removal plan is valid");
-        let fresh = predict_lu(&fresh_cfg, net, &simcfg());
+        let fresh = predict_lu(&fresh_cfg, net, &simcfg()).unwrap();
         assert_eq!(
             run.report.canonical_string(),
             fresh.report.canonical_string(),
@@ -107,8 +107,8 @@ fn removal_rewritten_forks_match_fresh_removal_runs() {
     }
 
     // The shared prefix itself, driven to the end, is the no-removal run.
-    let run = base.finish();
-    let fresh = predict_lu(&base_cfg, net, &simcfg());
+    let run = base.finish().unwrap();
+    let fresh = predict_lu(&base_cfg, net, &simcfg()).unwrap();
     assert_eq!(
         run.report.canonical_string(),
         fresh.report.canonical_string(),
@@ -131,14 +131,14 @@ fn stencil_forks_match_fresh_runs() {
         );
         cfg.synchronized = rng.gen_range_u64(0, 2) == 0;
         cfg.validate().expect("generated config is valid");
-        let fresh = predict_stencil(&cfg, net, &simcfg());
+        let fresh = predict_stencil(&cfg, net, &simcfg()).unwrap();
         let want = fresh.report.canonical_string();
         let t = SimTime(rng.gen_range_u64(1, fresh.report.completion.as_nanos()));
-        let mut base = StencilCheckpoint::start(&cfg, net, &simcfg());
-        base.advance_until(t);
+        let mut base = StencilCheckpoint::start(&cfg, net, &simcfg()).unwrap();
+        base.advance_until(t).unwrap();
         let forked = base.fork().expect("ghost mode forks");
-        let a = forked.finish();
-        let b = base.finish();
+        let a = forked.finish().unwrap();
+        let b = base.finish().unwrap();
         let ctx = format!(
             "n={} iters={} nodes={} sync={} t={}ns",
             cfg.n, cfg.iters, cfg.nodes, cfg.synchronized, t.0
@@ -154,7 +154,10 @@ fn stencil_forks_match_fresh_runs() {
 fn real_mode_refuses_to_fork() {
     let mut cfg = LuConfig::new(256, 64, 2);
     cfg.mode = DataMode::Real;
-    let mut ck = LuCheckpoint::start(&cfg, NetParams::fast_ethernet(), &simcfg());
-    ck.advance_until(SimTime(u64::MAX / 2));
-    assert!(ck.fork().is_none(), "Real mode forks must be refused");
+    let mut ck = LuCheckpoint::start(&cfg, NetParams::fast_ethernet(), &simcfg()).unwrap();
+    ck.advance_until(SimTime(u64::MAX / 2)).unwrap();
+    match ck.fork() {
+        Err(e) => assert!(e.is_fork_refused(), "unexpected error: {e}"),
+        Ok(_) => panic!("Real mode forks must be refused"),
+    }
 }

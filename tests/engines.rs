@@ -33,8 +33,8 @@ fn calm_testbed_reproduces_simulator_exactly() {
     // machine: predictions must agree to the nanosecond.
     let cfg = small_lu();
     let net = NetParams::fast_ethernet();
-    let predicted = predict_lu(&cfg, net, &simcfg());
-    let calm = measure_lu(&cfg, TestbedParams::calm(net), 7, &simcfg());
+    let predicted = predict_lu(&cfg, net, &simcfg()).unwrap();
+    let calm = measure_lu(&cfg, TestbedParams::calm(net), 7, &simcfg()).unwrap();
     assert_eq!(
         predicted.report.completion, calm.report.completion,
         "calm testbed must equal the simulator exactly"
@@ -45,8 +45,8 @@ fn calm_testbed_reproduces_simulator_exactly() {
 #[test]
 fn noisy_testbed_differs_but_stays_close() {
     let cfg = small_lu();
-    let predicted = predict_lu(&cfg, NetParams::fast_ethernet(), &simcfg());
-    let measured = measure_lu(&cfg, TestbedParams::sun_cluster(), 3, &simcfg());
+    let predicted = predict_lu(&cfg, NetParams::fast_ethernet(), &simcfg()).unwrap();
+    let measured = measure_lu(&cfg, TestbedParams::sun_cluster(), 3, &simcfg()).unwrap();
     assert_ne!(predicted.report.completion, measured.report.completion);
     let p = predicted.factorization_time.as_secs_f64();
     let m = measured.factorization_time.as_secs_f64();
@@ -56,9 +56,9 @@ fn noisy_testbed_differs_but_stays_close() {
 #[test]
 fn testbed_seeds_vary_measurements() {
     let cfg = small_lu();
-    let a = measure_lu(&cfg, TestbedParams::sun_cluster(), 1, &simcfg());
-    let b = measure_lu(&cfg, TestbedParams::sun_cluster(), 2, &simcfg());
-    let c = measure_lu(&cfg, TestbedParams::sun_cluster(), 1, &simcfg());
+    let a = measure_lu(&cfg, TestbedParams::sun_cluster(), 1, &simcfg()).unwrap();
+    let b = measure_lu(&cfg, TestbedParams::sun_cluster(), 2, &simcfg()).unwrap();
+    let c = measure_lu(&cfg, TestbedParams::sun_cluster(), 1, &simcfg()).unwrap();
     assert_ne!(
         a.report.completion, b.report.completion,
         "seeds must differ"
@@ -82,8 +82,8 @@ fn all_variants_run_on_both_engines() {
         cfg.pipelined = p;
         cfg.flow_control = fc;
         cfg.parallel_mul = pm;
-        let pr = predict_lu(&cfg, NetParams::fast_ethernet(), &simcfg());
-        let me = measure_lu(&cfg, TestbedParams::sun_cluster(), 5, &simcfg());
+        let pr = predict_lu(&cfg, NetParams::fast_ethernet(), &simcfg()).unwrap();
+        let me = measure_lu(&cfg, TestbedParams::sun_cluster(), 5, &simcfg()).unwrap();
         assert!(
             pr.report.terminated && me.report.terminated,
             "{:?}",
@@ -103,7 +103,7 @@ fn native_runner_agrees_with_simulator_on_results() {
     cfg.flow_control = Some(4);
     cfg.cost = Some(LuCost::new(PlatformProfile::modern_x86()));
 
-    let sim_run = predict_lu(&cfg, NetParams::fast_ethernet(), &simcfg());
+    let sim_run = predict_lu(&cfg, NetParams::fast_ethernet(), &simcfg()).unwrap();
     let sim_res = sim_run.residual.expect("verified");
 
     let (app, sh) = build_lu_app(cfg.clone());
@@ -124,9 +124,9 @@ fn simulator_memory_modes_ordered() {
     // Table 1 relation: Real/Alloc peaks ≫ Ghost peak.
     let mut cfg = small_lu();
     cfg.mode = DataMode::Alloc;
-    let alloc = predict_lu(&cfg, NetParams::fast_ethernet(), &simcfg());
+    let alloc = predict_lu(&cfg, NetParams::fast_ethernet(), &simcfg()).unwrap();
     cfg.mode = DataMode::Ghost;
-    let ghost = predict_lu(&cfg, NetParams::fast_ethernet(), &simcfg());
+    let ghost = predict_lu(&cfg, NetParams::fast_ethernet(), &simcfg()).unwrap();
     assert!(
         alloc.report.mem_peak_bytes > 4 * ghost.report.mem_peak_bytes,
         "alloc {} vs ghost {}",
@@ -147,10 +147,10 @@ fn max_min_sharing_ablation_changes_little_here() {
     // model suffices (DESIGN.md ablation).
     let cfg = small_lu();
     let net = NetParams::fast_ethernet();
-    let eq = predict_lu(&cfg, net, &simcfg());
+    let eq = predict_lu(&cfg, net, &simcfg()).unwrap();
     let mut fabric = dvns::sim::SimFabric::with_sharing(net, dvns::netmodel::Sharing::MaxMin);
     let (app, _sh) = build_lu_app(cfg.clone());
-    let mm = dvns::sim::simulate_with_fabric(&app, &mut fabric, &simcfg());
+    let mm = dvns::sim::simulate_with_fabric(&app, &mut fabric, &simcfg()).unwrap();
     let a = eq.report.completion.as_secs_f64();
     let b = mm.completion.as_secs_f64();
     assert!(
@@ -176,12 +176,12 @@ fn straggler_node_slows_the_whole_factorization() {
 
     let (app, _sh) = build_lu_app(cfg.clone());
     let mut uniform = dvns::sim::SimFabric::new(net);
-    let base = dvns::sim::simulate_with_fabric(&app, &mut uniform, &simcfg());
+    let base = dvns::sim::simulate_with_fabric(&app, &mut uniform, &simcfg()).unwrap();
 
     let (app2, _sh2) = build_lu_app(cfg.clone());
     let mut slow = dvns::sim::SimFabric::new(net);
     cripple(&mut slow);
-    let degraded = dvns::sim::simulate_with_fabric(&app2, &mut slow, &simcfg());
+    let degraded = dvns::sim::simulate_with_fabric(&app2, &mut slow, &simcfg()).unwrap();
 
     assert!(
         degraded.completion > base.completion,

@@ -33,7 +33,7 @@ fn total_work_is_conserved_across_allocations() {
         .map(|nodes| {
             let mut cfg = lu(162, nodes);
             cfg.workers = 8; // fixed decomposition, varying hardware
-            predict_lu(&cfg, NetParams::fast_ethernet(), &simcfg())
+            predict_lu(&cfg, NetParams::fast_ethernet(), &simcfg()).unwrap()
         })
         .collect();
     let works: Vec<f64> = runs
@@ -62,8 +62,8 @@ fn steps_and_transfers_are_schedule_invariant() {
     // handful of steps/transfers co-completing right then may or may not be
     // counted depending on event ordering.
     let cfg = lu(162, 4);
-    let slow = predict_lu(&cfg, NetParams::fast_ethernet(), &simcfg());
-    let fast = predict_lu(&cfg, NetParams::gigabit_ethernet(), &simcfg());
+    let slow = predict_lu(&cfg, NetParams::fast_ethernet(), &simcfg()).unwrap();
+    let fast = predict_lu(&cfg, NetParams::gigabit_ethernet(), &simcfg()).unwrap();
     let d_steps = slow.report.steps.abs_diff(fast.report.steps);
     assert!(d_steps <= 8, "step counts diverged: {d_steps}");
     let d_flows = slow
@@ -83,6 +83,7 @@ fn completion_is_monotone_in_bandwidth() {
         p.up_bytes_per_sec = mbps * 1e6 / 8.0;
         p.down_bytes_per_sec = p.up_bytes_per_sec;
         let t = predict_lu(&cfg, p, &simcfg())
+            .unwrap()
             .factorization_time
             .as_secs_f64();
         assert!(
@@ -101,6 +102,7 @@ fn completion_is_monotone_in_latency() {
         let mut p = NetParams::fast_ethernet();
         p.latency = SimDuration::from_micros(lat_us);
         let t = predict_lu(&cfg, p, &simcfg())
+            .unwrap()
             .factorization_time
             .as_secs_f64();
         assert!(
@@ -123,9 +125,11 @@ fn substantial_step_overhead_increases_predictions() {
     let mut costly = simcfg();
     costly.step_overhead = SimDuration::from_millis(10);
     let t0 = predict_lu(&cfg, NetParams::fast_ethernet(), &cheap)
+        .unwrap()
         .factorization_time
         .as_secs_f64();
     let t1 = predict_lu(&cfg, NetParams::fast_ethernet(), &costly)
+        .unwrap()
         .factorization_time
         .as_secs_f64();
     assert!(
@@ -156,9 +160,10 @@ fn calibrated_direct_execution_stays_near_measured() {
     let mut last = (0.0, 0.0, f64::INFINITY);
     for _ in 0..3 {
         let m = predict_stencil(&cfg, NetParams::ideal(), &measured_cfg)
+            .unwrap()
             .sweep_time
             .as_secs_f64();
-        let c_run = predict_stencil(&cfg, NetParams::ideal(), &calibrated_cfg);
+        let c_run = predict_stencil(&cfg, NetParams::ideal(), &calibrated_cfg).unwrap();
         let c = c_run.sweep_time.as_secs_f64();
         assert!(c_run.error.unwrap() < 1e-12, "calibrated run must verify");
         let rel = ((m - c) / m).abs();
@@ -184,6 +189,7 @@ fn tighter_flow_control_never_speeds_things_up() {
         cfg.pipelined = true;
         cfg.flow_control = w;
         predict_lu(&cfg, NetParams::fast_ethernet(), &simcfg())
+            .unwrap()
             .factorization_time
             .as_secs_f64()
     };

@@ -26,6 +26,7 @@ fn lu(r: usize, nodes: u32) -> LuConfig {
 
 fn predicted_secs(cfg: &LuConfig) -> f64 {
     predict_lu(cfg, NetParams::fast_ethernet(), &simcfg())
+        .unwrap()
         .factorization_time
         .as_secs_f64()
 }
@@ -46,6 +47,7 @@ fn prediction_tracks_testbed_measurement() {
     let cfg = lu(216, 8);
     let p = predicted_secs(&cfg);
     let m = measure_lu(&cfg, TestbedParams::sun_cluster(), 42, &simcfg())
+        .unwrap()
         .factorization_time
         .as_secs_f64();
     let err = ((p - m) / m).abs();
@@ -169,8 +171,8 @@ fn dynamic_efficiency_decays_and_four_nodes_beat_eight() {
     c4.workers = 8;
     let mut c8 = lu(324, 8);
     c8.workers = 8;
-    let r4 = predict_lu(&c4, NetParams::fast_ethernet(), &simcfg());
-    let r8 = predict_lu(&c8, NetParams::fast_ethernet(), &simcfg());
+    let r4 = predict_lu(&c4, NetParams::fast_ethernet(), &simcfg()).unwrap();
+    let r8 = predict_lu(&c8, NetParams::fast_ethernet(), &simcfg()).unwrap();
     let e4 = dvns::lu_app::iteration_times(&r4.report);
     let e8 = dvns::lu_app::iteration_times(&r8.report);
     assert_eq!(e4.len(), 8);
@@ -247,9 +249,11 @@ fn faster_network_helps_until_compute_bound() {
     let cfg = lu(162, 8);
     let fast_eth = predicted_secs(&cfg);
     let gig = predict_lu(&cfg, NetParams::gigabit_ethernet(), &simcfg())
+        .unwrap()
         .factorization_time
         .as_secs_f64();
     let ideal = predict_lu(&cfg, NetParams::ideal(), &simcfg())
+        .unwrap()
         .factorization_time
         .as_secs_f64();
     assert!(gig < fast_eth, "gigabit must beat fast ethernet");
@@ -272,9 +276,9 @@ fn flow_control_bounds_queues_and_window_has_an_optimum() {
     let mut fc2 = nofc.clone();
     fc2.flow_control = Some(2);
 
-    let r_nofc = predict_lu(&nofc, NetParams::fast_ethernet(), &simcfg());
-    let r_fc8 = predict_lu(&fc8, NetParams::fast_ethernet(), &simcfg());
-    let r_fc2 = predict_lu(&fc2, NetParams::fast_ethernet(), &simcfg());
+    let r_nofc = predict_lu(&nofc, NetParams::fast_ethernet(), &simcfg()).unwrap();
+    let r_fc8 = predict_lu(&fc8, NetParams::fast_ethernet(), &simcfg()).unwrap();
+    let r_fc2 = predict_lu(&fc2, NetParams::fast_ethernet(), &simcfg()).unwrap();
 
     assert!(
         r_fc8.report.max_queue_len < r_nofc.report.max_queue_len,
