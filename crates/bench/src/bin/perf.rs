@@ -5,33 +5,35 @@
 //! The headline workload is the paper's Table 1 PDEXEC setting: a 2592²
 //! matrix in twelve 216-column blocks on 8 nodes, simulated with ghost
 //! payloads (NOALLOC). `DVNS_SMOKE=1` shrinks the matrix for CI.
+//!
+//! `--scaling` instead sweeps the parallel engine core's thread count
+//! (`SimConfig::engine_threads` ∈ {1, 2, 4, 8}) over the headline instance
+//! and a ~10× larger one, appending per-thread-count throughput and peak-RSS
+//! rows to the same JSON in one invocation.
 
 use dps_bench::harness::{peak_rss_bytes, smoke, thread_count, BenchJson};
 use dps_bench::{Env, N};
+use lu_app::LuConfig;
 
-fn main() {
-    let env = Env::paper();
-    let n = if smoke() { 432 } else { N };
-    let r = n / 12;
-    // A single 2592² run lasts only tens of milliseconds of host time, so
-    // a lone wall-clock sample swings wildly on a shared host. Each sample
-    // therefore sums the engine-internal wall of `batch` consecutive runs,
-    // and we keep the best of `samples` batches.
-    let batch: u32 = std::env::var("DVNS_PERF_BATCH")
+/// Engine thread counts the `--scaling` sweep measures.
+const SCALING_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn batch_samples(default_batch: u32, default_samples: u32) -> (u32, u32) {
+    let batch = std::env::var("DVNS_PERF_BATCH")
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(10);
-    let samples: u32 = std::env::var("DVNS_PERF_SAMPLES")
+        .unwrap_or(default_batch);
+    let samples = std::env::var("DVNS_PERF_SAMPLES")
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(3);
-    let mut json = BenchJson::new();
+        .unwrap_or(default_samples);
+    (batch, samples)
+}
 
-    // --- End-to-end LU simulation throughput (PDEXEC NOALLOC, 8 nodes).
-    let mut cfg = env.lu(r, 8);
-    cfg.n = n;
-    // Warmup once (page in code + allocator), then sample.
-    let _ = env.predict(&cfg);
+/// Best-of-`samples` sum-of-`batch` engine-internal wall time of predicted
+/// runs of `cfg` under `env`, as `(total steps, secs)` of the best batch.
+fn sample_predict(env: &Env, cfg: &LuConfig, batch: u32, samples: u32) -> (u64, f64) {
+    let _ = env.predict(cfg); // warmup: page in code + allocator
     let mut best_secs = f64::INFINITY;
     let mut steps = 0u64;
     for _ in 0..samples {
@@ -39,7 +41,7 @@ fn main() {
         let mut batch_steps = 0u64;
         for _ in 0..batch {
             let run = env
-                .predict(&cfg)
+                .predict(cfg)
                 .unwrap_or_else(|e| panic!("predicted run failed: {e}"));
             batch_secs += run.report.host_wall.as_secs_f64();
             batch_steps += run.report.steps;
@@ -49,6 +51,71 @@ fn main() {
             steps = batch_steps;
         }
     }
+    (steps, best_secs)
+}
+
+/// The engine-threads scaling sweep (`--scaling`): events/s at each thread
+/// count, on the headline instance and a ~10× larger one.
+fn scaling(json: &mut BenchJson) {
+    // (n, r, batch, samples): the reference Table 1 instance and a ~10×
+    // larger one (3× the blocks — triple-digit seconds serial on the paper's
+    // hardware class), sampled more lightly.
+    let instances: &[(usize, usize, u32, u32)] = if smoke() {
+        &[(432, 36, 2, 2), (864, 72, 1, 2)]
+    } else {
+        &[(N, 216, 5, 3), (3 * N, 216, 1, 2)]
+    };
+    for &(n, r, default_batch, default_samples) in instances {
+        let (batch, samples) = batch_samples(default_batch, default_samples);
+        let mut eps_t1 = f64::NAN;
+        for t in SCALING_THREADS {
+            let env = Env::paper().with_engine_threads(t);
+            let mut cfg = env.lu(r, 8);
+            cfg.n = n;
+            let (steps, secs) = sample_predict(&env, &cfg, batch, samples);
+            let eps = steps as f64 / secs;
+            if t == 1 {
+                eps_t1 = eps;
+            }
+            let speedup = eps / eps_t1;
+            let rss = peak_rss_bytes().unwrap_or(0);
+            println!(
+                "lu_scaling n={n} r={r} 8 nodes t={t}: {steps} steps in {secs:.3}s host \
+                 = {eps:.0} events/sec ({speedup:.2}x vs t=1)"
+            );
+            json.record(
+                &format!("lu_scaling_{n}_r{r}_8n_t{t}"),
+                &[
+                    ("n", n as f64),
+                    ("r", r as f64),
+                    ("engine_threads", t as f64),
+                    ("steps", steps as f64),
+                    ("host_wall_secs", secs),
+                    ("events_per_sec", eps),
+                    ("speedup_vs_t1", speedup),
+                    ("peak_rss_bytes", rss as f64),
+                ],
+            );
+        }
+    }
+}
+
+/// The default throughput benchmarks: simulator and testbed events/s on the
+/// headline instance.
+fn throughput(json: &mut BenchJson) {
+    let env = Env::paper();
+    let n = if smoke() { 432 } else { N };
+    let r = n / 12;
+    // A single 2592² run lasts only tens of milliseconds of host time, so
+    // a lone wall-clock sample swings wildly on a shared host. Each sample
+    // therefore sums the engine-internal wall of `batch` consecutive runs,
+    // and we keep the best of `samples` batches.
+    let (batch, samples) = batch_samples(10, 3);
+
+    // --- End-to-end LU simulation throughput (PDEXEC NOALLOC, 8 nodes).
+    let mut cfg = env.lu(r, 8);
+    cfg.n = n;
+    let (steps, best_secs) = sample_predict(&env, &cfg, batch, samples);
     let eps = steps as f64 / best_secs;
     println!(
         "lu_sim_pdexec n={n} r={r} 8 nodes: {steps} steps in {best_secs:.3}s host = {eps:.0} events/sec"
@@ -94,6 +161,15 @@ fn main() {
             ("events_per_sec", eps_tb),
         ],
     );
+}
+
+fn main() {
+    let mut json = BenchJson::new();
+    if std::env::args().any(|a| a == "--scaling") {
+        scaling(&mut json);
+    } else {
+        throughput(&mut json);
+    }
 
     if let Some(rss) = peak_rss_bytes() {
         println!(

@@ -1,0 +1,170 @@
+//! Serial ≡ parallel: the ticketed engine core must be a pure throughput
+//! optimization. Every run here is executed with the plain serial engine
+//! and re-executed at `engine_threads` ∈ {2, 4}, and the *entire*
+//! simulation-determined output — [`RunReport::canonical_string`], sweep
+//! CSV bytes — must match byte for byte, including under a seeded fault
+//! plan and across checkpoint forks.
+//!
+//! [`RunReport::canonical_string`]: dps_sim::RunReport::canonical_string
+
+use dps_bench::runner::render;
+use dps_bench::{run_parallel_isolated_with, Env, ScenarioRow};
+use dps_sim::FaultFabric;
+use faults::FaultGenConfig;
+use lu_app::LuCheckpoint;
+use workload::{ScenarioCtx, ScenarioPoint, ScenarioSpec};
+
+use desim::SimDuration;
+
+/// Thread counts the parallel runs are checked at (2 = one worker,
+/// 4 = contended pool on small hosts).
+const THREADS: [usize; 2] = [2, 4];
+
+#[test]
+fn lu_reports_are_byte_identical_across_thread_counts() {
+    let serial = {
+        let env = Env::paper().with_engine_threads(1);
+        let run = env.predict(&env.lu_sized(288, 36, 4)).unwrap();
+        run.report.canonical_string()
+    };
+    for t in THREADS {
+        let env = Env::paper().with_engine_threads(t);
+        let run = env.predict(&env.lu_sized(288, 36, 4)).unwrap();
+        assert_eq!(
+            run.report.canonical_string(),
+            serial,
+            "LU report diverged at engine_threads={t}"
+        );
+    }
+}
+
+#[test]
+fn stencil_reports_are_byte_identical_across_thread_counts() {
+    let serial = {
+        let env = Env::paper().with_engine_threads(1);
+        let run = env.predict_stencil(&env.stencil(192, 6, 4)).unwrap();
+        run.report.canonical_string()
+    };
+    for t in THREADS {
+        let env = Env::paper().with_engine_threads(t);
+        let run = env.predict_stencil(&env.stencil(192, 6, 4)).unwrap();
+        assert_eq!(
+            run.report.canonical_string(),
+            serial,
+            "stencil report diverged at engine_threads={t}"
+        );
+    }
+}
+
+/// A seeded fault plan perturbs rates mid-run (slowdown + link-degrade
+/// windows); the FaultFabric inherits `parallel_commit_safe` from the
+/// wrapped simulator fabric, so parallel runs must still match exactly.
+#[test]
+fn faulted_runs_are_byte_identical_across_thread_counts() {
+    let mut gen = FaultGenConfig::quiet(4, SimDuration::from_secs(400));
+    gen.slowdowns = 3;
+    gen.degrades = 2;
+    let plan = gen.generate(0xFA_17);
+
+    let run_at = |threads: usize| {
+        let env = Env::paper().with_engine_threads(threads);
+        let mut fabric = FaultFabric::new(env.net, &plan);
+        let run =
+            lu_app::predict_lu_with_fabric(&env.lu_sized(288, 36, 4), &mut fabric, &env.simcfg)
+                .unwrap();
+        run.report.canonical_string()
+    };
+
+    let serial = run_at(1);
+    for t in THREADS {
+        assert_eq!(
+            run_at(t),
+            serial,
+            "faulted report diverged at engine_threads={t}"
+        );
+    }
+}
+
+/// Fork drains the worker pipeline before snapshotting: a fork taken
+/// mid-run under the parallel engine and run to completion must match the
+/// uninterrupted serial run, and so must its parent.
+#[test]
+fn forked_continuations_are_byte_identical_across_thread_counts() {
+    let serial = {
+        let env = Env::paper().with_engine_threads(1);
+        let run = env.predict(&env.lu_sized(288, 36, 4)).unwrap();
+        run.report.canonical_string()
+    };
+    for t in THREADS {
+        let env = Env::paper().with_engine_threads(t);
+        let cfg = env.lu_sized(288, 36, 4);
+        let mut ck = LuCheckpoint::start(&cfg, env.net, &env.simcfg).unwrap();
+        assert!(ck.pause_before_barrier(2).unwrap());
+        let fork = ck.fork().unwrap();
+        let forked = fork.finish().unwrap().report.canonical_string();
+        let parent = ck.finish().unwrap().report.canonical_string();
+        assert_eq!(forked, serial, "fork diverged at engine_threads={t}");
+        assert_eq!(parent, serial, "parent diverged at engine_threads={t}");
+    }
+}
+
+/// A small LU sweep rendered to CSV, with each point simulated at
+/// `engine_threads`: the rendered bytes must not depend on it, at any
+/// harness fan-out.
+fn sweep_csv(engine_threads: usize, harness_threads: usize) -> String {
+    let spec = ScenarioSpec {
+        name: "parallel_determinism",
+        summary: "LU sweep under the ticketed parallel engine",
+        points: |_ctx| {
+            vec![
+                ScenarioPoint::new("lu_288_4n", Vec::new),
+                ScenarioPoint::new("lu_216_2n", Vec::new),
+                ScenarioPoint::new("lu_144_2n", Vec::new),
+            ]
+        },
+    };
+    let configs = [(288usize, 36usize, 4u32), (216, 36, 2), (144, 36, 2)];
+    let ctx = ScenarioCtx::new(true, 42);
+    let points = (spec.points)(&ctx);
+    let raw = run_parallel_isolated_with(&points, harness_threads, |i, p| {
+        let env = Env::paper().with_engine_threads(engine_threads);
+        let (n, r, nodes) = configs[i];
+        let run = env.predict(&env.lu_sized(n, r, nodes)).unwrap();
+        (
+            p.label.clone(),
+            vec![
+                ("steps", run.report.steps as f64),
+                ("virtual_secs", run.report.completion.as_secs_f64()),
+                ("factorization_secs", run.factorization_time.as_secs_f64()),
+            ],
+        )
+    });
+    let rows: Vec<ScenarioRow> = points
+        .iter()
+        .zip(raw)
+        .map(|(p, r)| match r {
+            Ok((label, fields)) => (label, Ok(fields)),
+            Err(msg) => (p.label.clone(), Err(msg)),
+        })
+        .collect();
+    render(&spec, &rows).1
+}
+
+#[test]
+fn sweep_csvs_are_byte_identical_across_thread_counts() {
+    let serial = sweep_csv(1, 1);
+    for t in THREADS {
+        // Engine threads and harness fan-out compose: neither may leak
+        // into the rendered bytes.
+        assert_eq!(
+            sweep_csv(t, 1),
+            serial,
+            "CSV diverged at engine_threads={t}"
+        );
+        assert_eq!(
+            sweep_csv(t, 2),
+            serial,
+            "CSV diverged at engine_threads={t} under a parallel harness"
+        );
+    }
+}

@@ -24,5 +24,5 @@ pub mod time;
 
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use queue::{EventId, EventQueue};
-pub use share::ProgressSet;
+pub use share::{ProgressSet, ProgressView};
 pub use time::{SimDuration, SimTime};

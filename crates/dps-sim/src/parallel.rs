@@ -1,0 +1,318 @@
+//! The engine's ticketed worker pool: the *workers* stage of the
+//! sequencer/workers/committer pipeline.
+//!
+//! The serial engine interleaves two very different kinds of work at every
+//! invocation: the **compute phase** (running the operation's Rust code and
+//! pricing its atomic steps — pure given the object, the behaviour state,
+//! and immutable snapshots of the deployment and active set) and the
+//! **commit phase** (mutating the event queue, flow-control windows, the
+//! network model, the memory meter). This module offloads only the former.
+//!
+//! The contract with [`super::Engine`]:
+//!
+//! * The sequencer ([`super::Engine::submit_invocation`]) checks out the
+//!   server's behaviour state and head object, reserves a monotonically
+//!   increasing *ticket* (the job id the serial engine would allocate at
+//!   that point), and calls [`WorkerPool::submit`]. Each task owns
+//!   everything its compute phase reads — tasks are mutually independent by
+//!   construction, which is what makes the conservative footprint analysis
+//!   trivial: a server is its own footprint, and the `invoking` flag keeps
+//!   two phases for one server from ever overlapping.
+//! * Workers execute compute phases in any order, against worker-local
+//!   scratch state (timing state, label interner, recycled buffers); a
+//!   panic from application code is captured per task.
+//! * The committer ([`super::Engine::join_outstanding`]) collects results
+//!   **in ticket order** via [`WorkerPool::join`]. A task no worker has
+//!   picked up yet is *stolen* and executed inline on the committer thread
+//!   — on a saturated or single-core host the pipeline therefore degrades
+//!   to roughly the serial engine rather than blocking on context switches.
+//!   Captured panics resume on the committer thread at the ticket's serial
+//!   position.
+//!
+//! Mutations never happen here, so steps whose *commits* conflict (posts
+//! through one shared flow-control window, deactivations, credits) are
+//! naturally applied in serial order by the committer — correctness never
+//! depends on an aggressive independence analysis, only throughput does.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use desim::{SimDuration, SimTime};
+use dps::{ActiveSet, DataObj, Deployment, OpId, Operation, ThreadId};
+
+use super::{Action, CollectCtx, Interner, Segment, ServerKey, POOL_CAP};
+use crate::timing::{Stopwatch, TimingMode, TimingState};
+
+/// One checked-out compute phase: everything `Operation::on_object` and the
+/// step pricing read, owned or snapshotted.
+pub(super) struct ComputeTask {
+    pub op: Box<dyn Operation>,
+    pub obj: DataObj,
+    pub op_id: OpId,
+    pub thread: ThreadId,
+    pub now: SimTime,
+    pub active: Arc<ActiveSet>,
+}
+
+/// What a compute phase produces; the committer installs it verbatim.
+pub(super) struct ComputeResult {
+    pub op: Box<dyn Operation>,
+    pub segments: Vec<Segment>,
+    pub consumed_heap: u64,
+}
+
+/// A dispatched ticket awaiting its commit, queued in ticket order.
+pub(super) struct PendingTicket {
+    pub key: ServerKey,
+    pub ticket: u64,
+    pub slot: Arc<TaskSlot>,
+}
+
+enum SlotState {
+    /// Waiting for a worker (or the committer's inline steal).
+    Queued(ComputeTask),
+    /// Some thread is executing the task right now.
+    Taken,
+    /// Finished; `Err` carries a captured panic payload.
+    Done(std::thread::Result<ComputeResult>),
+    /// Result handed to the committer.
+    Consumed,
+}
+
+/// Shared completion slot for one task.
+pub(super) struct TaskSlot {
+    state: Mutex<SlotState>,
+    done: Condvar,
+}
+
+/// Thread-local allocation caches mirroring the serial engine's pools.
+struct Scratch {
+    /// Never written under `ChargedOnly` (the only mode workers run in);
+    /// exists so `CollectCtx` keeps a single shape on both paths.
+    timing: TimingState,
+    interner: Interner,
+    action_pool: Vec<VecDeque<Action>>,
+    segment_pool: Vec<Vec<Segment>>,
+}
+
+impl Scratch {
+    fn new() -> Scratch {
+        Scratch {
+            timing: TimingState::new(),
+            interner: Interner::default(),
+            action_pool: Vec::new(),
+            segment_pool: Vec::new(),
+        }
+    }
+}
+
+struct Queue {
+    slots: VecDeque<Arc<TaskSlot>>,
+    shutdown: bool,
+}
+
+/// State shared between the committer and the workers.
+struct Shared {
+    queue: Mutex<Queue>,
+    available: Condvar,
+    mode: TimingMode,
+    overhead: SimDuration,
+    deploy: Arc<Deployment>,
+}
+
+/// A fixed pool of compute workers plus the committer-side scratch used
+/// for inline steals. Dropping the pool shuts the workers down and joins
+/// them; tasks still queued at that point are discarded (they belong to an
+/// abandoned — terminated or failed — event batch).
+pub(super) struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    scratch: Scratch,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` compute threads (the committer itself is the
+    /// pipeline's extra thread, so `engine_threads - 1` is the right count).
+    pub fn new(
+        workers: usize,
+        mode: TimingMode,
+        overhead: SimDuration,
+        deploy: Arc<Deployment>,
+    ) -> WorkerPool {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                slots: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+            mode,
+            overhead,
+            deploy,
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("dps-sim-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawning an engine compute worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles,
+            scratch: Scratch::new(),
+        }
+    }
+
+    /// Enqueues a compute phase and returns its completion slot.
+    pub fn submit(&mut self, task: ComputeTask) -> Arc<TaskSlot> {
+        let slot = Arc::new(TaskSlot {
+            state: Mutex::new(SlotState::Queued(task)),
+            done: Condvar::new(),
+        });
+        self.shared
+            .queue
+            .lock()
+            .expect("pool queue lock")
+            .slots
+            .push_back(Arc::clone(&slot));
+        self.shared.available.notify_one();
+        slot
+    }
+
+    /// Retrieves one task's result, stealing it inline if no worker has
+    /// started it yet and blocking until done otherwise. Resumes captured
+    /// panics on the calling (committer) thread.
+    pub fn join(&mut self, slot: &TaskSlot) -> ComputeResult {
+        if let Some(task) = claim(slot) {
+            // Inline steal: the worker that eventually pops this slot from
+            // the queue finds it taken and skips it.
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                run_compute(task, &self.shared, &mut self.scratch)
+            }));
+            return unwrap_result(result);
+        }
+        let mut st = slot.state.lock().expect("task slot lock");
+        loop {
+            match &*st {
+                SlotState::Done(_) => {
+                    let SlotState::Done(result) = std::mem::replace(&mut *st, SlotState::Consumed)
+                    else {
+                        unreachable!("just matched Done");
+                    };
+                    return unwrap_result(result);
+                }
+                SlotState::Taken => {
+                    st = slot.done.wait(st).expect("task slot lock");
+                }
+                SlotState::Queued(_) | SlotState::Consumed => {
+                    unreachable!("ticket joined twice")
+                }
+            }
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().expect("pool queue lock");
+            q.shutdown = true;
+            q.slots.clear();
+        }
+        self.shared.available.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Takes the task out of a `Queued` slot, marking it `Taken`. `None` when
+/// another thread already has it.
+fn claim(slot: &TaskSlot) -> Option<ComputeTask> {
+    let mut st = slot.state.lock().expect("task slot lock");
+    match std::mem::replace(&mut *st, SlotState::Taken) {
+        SlotState::Queued(task) => Some(task),
+        other => {
+            *st = other;
+            None
+        }
+    }
+}
+
+fn unwrap_result(result: std::thread::Result<ComputeResult>) -> ComputeResult {
+    match result {
+        Ok(res) => res,
+        Err(payload) => resume_unwind(payload),
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut scratch = Scratch::new();
+    loop {
+        let slot = {
+            let mut q = shared.queue.lock().expect("pool queue lock");
+            loop {
+                if q.shutdown {
+                    return;
+                }
+                if let Some(slot) = q.slots.pop_front() {
+                    break slot;
+                }
+                q = shared.available.wait(q).expect("pool queue lock");
+            }
+        };
+        let Some(task) = claim(&slot) else {
+            continue; // stolen inline by the committer
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| run_compute(task, shared, &mut scratch)));
+        *slot.state.lock().expect("task slot lock") = SlotState::Done(result);
+        slot.done.notify_all();
+    }
+}
+
+/// The pure compute phase: exactly what the serial engine's
+/// `start_invocations` does between checking the object out and installing
+/// the recorded segments, against snapshots instead of live engine state.
+fn run_compute(task: ComputeTask, shared: &Shared, scratch: &mut Scratch) -> ComputeResult {
+    let ComputeTask {
+        mut op,
+        obj,
+        op_id,
+        thread,
+        now,
+        active,
+    } = task;
+    let consumed_heap = obj.heap_bytes();
+    let mut ctx = CollectCtx {
+        now,
+        op_id,
+        thread,
+        deployment: &shared.deploy,
+        active: &active,
+        mode: shared.mode,
+        overhead: shared.overhead,
+        timing: &mut scratch.timing,
+        segments: scratch.segment_pool.pop().unwrap_or_default(),
+        cur_actions: scratch.action_pool.pop().unwrap_or_default(),
+        pool: &mut scratch.action_pool,
+        interner: &mut scratch.interner,
+        cur_charge: None,
+        seg_idx: 0,
+        sw: Stopwatch::for_mode(shared.mode),
+    };
+    op.on_object(obj, &mut ctx);
+    let (segments, mut spare) = ctx.finish();
+    if scratch.action_pool.len() < POOL_CAP {
+        spare.clear();
+        scratch.action_pool.push(spare);
+    }
+    ComputeResult {
+        op,
+        segments,
+        consumed_heap,
+    }
+}

@@ -93,23 +93,47 @@ impl TimingState {
 }
 
 /// Wall-clock stopwatch over the host, yielding per-step measurements.
+///
+/// A *disabled* stopwatch reports every lap as zero without touching the
+/// host clock: [`TimingMode::ChargedOnly`] ignores measurements entirely,
+/// so pricing steps under it should not pay two `Instant::now` calls per
+/// atomic step — and a measurement-free compute phase is what lets the
+/// engine's parallel core run it on worker threads deterministically.
 pub struct Stopwatch {
-    last: Instant,
+    last: Option<Instant>,
 }
 
 impl Stopwatch {
     /// Starts timing from now.
     pub fn start() -> Stopwatch {
         Stopwatch {
-            last: Instant::now(),
+            last: Some(Instant::now()),
         }
     }
 
-    /// Duration since start or last lap, resetting the lap point.
+    /// A stopwatch whose laps are all [`SimDuration::ZERO`].
+    pub fn disabled() -> Stopwatch {
+        Stopwatch { last: None }
+    }
+
+    /// [`Stopwatch::start`] when `mode` consumes measurements,
+    /// [`Stopwatch::disabled`] when it provably never does.
+    pub fn for_mode(mode: TimingMode) -> Stopwatch {
+        match mode {
+            TimingMode::ChargedOnly => Stopwatch::disabled(),
+            TimingMode::Measured | TimingMode::Calibrated { .. } => Stopwatch::start(),
+        }
+    }
+
+    /// Duration since start or last lap, resetting the lap point. Zero for
+    /// a disabled stopwatch.
     pub fn lap(&mut self) -> SimDuration {
+        let Some(last) = &mut self.last else {
+            return SimDuration::ZERO;
+        };
         let now = Instant::now();
-        let d = now.duration_since(self.last);
-        self.last = now;
+        let d = now.duration_since(*last);
+        *last = now;
         SimDuration::from_nanos(d.as_nanos().min(u128::from(u64::MAX)) as u64)
     }
 }
@@ -164,6 +188,16 @@ mod tests {
         // Other (op, step) keys calibrate independently.
         assert_eq!(st.step_duration(mode, OpId(1), 1, None, MS * 4), MS * 4);
         assert_eq!(st.step_duration(mode, OpId(2), 0, None, MS * 4), MS * 4);
+    }
+
+    #[test]
+    fn stopwatch_for_mode_disables_only_charged_only() {
+        let mut sw = Stopwatch::for_mode(TimingMode::ChargedOnly);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        assert_eq!(sw.lap(), SimDuration::ZERO);
+        let mut sw = Stopwatch::for_mode(TimingMode::Measured);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        assert!(sw.lap() > SimDuration::ZERO);
     }
 
     #[test]

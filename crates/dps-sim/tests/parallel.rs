@@ -1,0 +1,277 @@
+//! The ticketed parallel engine core under adversarial workloads: steps
+//! whose *commits* all conflict (every post funnels through one shared
+//! flow-control window) must degenerate to serial commit order without
+//! deadlocking or diverging, error paths (deadlock diagnostics, budget
+//! kills) must stay deterministic with worker threads active, and panics
+//! from application code must resume at the ticket's serial position.
+
+use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex};
+
+use desim::SimDuration;
+use dps::prelude::*;
+use dps::wire_size_fixed;
+use dps_sim::{simulate, SimConfig, SimErrorKind, TimingMode};
+use netmodel::NetParams;
+
+struct Token(#[allow(dead_code)] u64);
+wire_size_fixed!(Token, 8);
+
+const US: SimDuration = SimDuration(1_000);
+
+fn cfg_threads(engine_threads: usize) -> SimConfig {
+    SimConfig {
+        timing: TimingMode::ChargedOnly,
+        step_overhead: SimDuration::ZERO,
+        engine_threads,
+        ..SimConfig::default()
+    }
+}
+
+/// A pipeline in which *every* step's commit conflicts with every other:
+/// all `n` posts go through the split's single flow-control `window`, and
+/// each leaf invocation both releases a credit into that window and posts
+/// to the one merge server. No two commits are independent, so the
+/// parallel engine wins nothing here — the test is that it also *loses*
+/// nothing: same completion, same report bytes, no deadlock.
+fn shared_window_app(n: u64, window: usize) -> Application {
+    let mut b = AppBuilder::new("shared-window");
+    b.thread_group("workers", 4);
+    let main = b.thread_on_node("main", 4);
+    let split = b.declare("split", OpKind::Split);
+    let leaf = b.declare("leaf", OpKind::Leaf);
+    let merge = b.declare("merge", OpKind::Merge);
+    b.body(split, move |_, _| {
+        op_fn(move |_obj, ctx: &mut dyn OpCtx| {
+            for i in 0..n {
+                ctx.charge(US);
+                ctx.post(leaf, Box::new(Token(i)));
+            }
+        })
+    });
+    b.body(leaf, move |_, _| {
+        op_fn(move |_obj, ctx: &mut dyn OpCtx| {
+            ctx.charge(US * 3);
+            ctx.fc_release(split);
+            ctx.post(merge, Box::new(Token(0)));
+        })
+    });
+    b.body(merge, move |_, _| {
+        let mut seen = 0;
+        op_fn(move |_obj, ctx: &mut dyn OpCtx| {
+            seen += 1;
+            if seen == n {
+                ctx.terminate();
+            }
+        })
+    });
+    b.edge(split, leaf, round_robin("workers"));
+    b.edge(leaf, merge, to_thread(main));
+    b.flow_control(split, window);
+    b.start(split, main, || Box::new(Token(0)));
+    b.build().unwrap()
+}
+
+#[test]
+fn conflicting_footprints_degenerate_to_serial_without_deadlock() {
+    // Tight windows (1 and 2) park the split repeatedly behind in-flight
+    // credits; every leaf commit reopens the window. All of that is
+    // commit-phase work, so the parallel engine must thread it in exact
+    // ticket order — a reordered credit release would deadlock or change
+    // the virtual timeline.
+    for window in [1, 2, 7] {
+        let serial = simulate(
+            &shared_window_app(48, window),
+            NetParams::ideal(),
+            &cfg_threads(1),
+        )
+        .unwrap_or_else(|e| panic!("serial run deadlocked at window {window}: {e}"));
+        assert!(serial.terminated);
+        for threads in [2, 4] {
+            let par = simulate(
+                &shared_window_app(48, window),
+                NetParams::ideal(),
+                &cfg_threads(threads),
+            )
+            .unwrap_or_else(|e| panic!("parallel run deadlocked at window {window}: {e}"));
+            assert_eq!(
+                par.canonical_string(),
+                serial.canonical_string(),
+                "window {window}, engine_threads {threads}"
+            );
+        }
+    }
+}
+
+/// A split that posts `n` tokens to a leaf which never releases credits —
+/// the mis-wired graph the deadlock detector must name identically with
+/// workers running.
+fn non_draining_app(n: u64, window: usize) -> Application {
+    let mut b = AppBuilder::new("nondraining");
+    b.thread_group("workers", 1);
+    let main = b.thread_on_node("main", 1);
+    let split = b.declare("split", OpKind::Split);
+    let leaf = b.declare("leaf", OpKind::Leaf);
+    b.body(split, move |_, _| {
+        op_fn(move |_obj, ctx: &mut dyn OpCtx| {
+            for i in 0..n {
+                ctx.charge(US);
+                ctx.post(leaf, Box::new(Token(i)));
+            }
+        })
+    });
+    b.body(leaf, |_, _| op_fn(|_obj, _ctx| {}));
+    b.edge(split, leaf, round_robin("workers"));
+    b.flow_control(split, window);
+    b.start(split, main, || Box::new(Token(0)));
+    b.build().unwrap()
+}
+
+#[test]
+fn deadlock_diagnostics_are_identical_with_workers_active() {
+    let serial = simulate(&non_draining_app(2, 1), NetParams::ideal(), &cfg_threads(1))
+        .expect_err("a non-draining window must deadlock");
+    let parallel = simulate(&non_draining_app(2, 1), NetParams::ideal(), &cfg_threads(4))
+        .expect_err("a non-draining window must deadlock");
+    assert_eq!(serial, parallel, "deadlock diagnostics diverged");
+    let diag = parallel.deadlock_diag().expect("deadlock diagnostic");
+    let b = diag
+        .blocked
+        .iter()
+        .find(|b| b.op == "split")
+        .expect("split must be reported blocked");
+    assert_eq!((b.window, b.in_flight), (1, 1));
+    assert_eq!(b.waiting_on, "leaf");
+}
+
+#[test]
+fn budget_kills_are_identical_with_workers_active() {
+    let mut serial_cfg = cfg_threads(1);
+    serial_cfg.max_steps = 5;
+    let mut parallel_cfg = cfg_threads(4);
+    parallel_cfg.max_steps = 5;
+    let serial = simulate(&shared_window_app(64, 8), NetParams::ideal(), &serial_cfg)
+        .expect_err("5 steps cannot finish 64 pieces");
+    let parallel = simulate(&shared_window_app(64, 8), NetParams::ideal(), &parallel_cfg)
+        .expect_err("5 steps cannot finish 64 pieces");
+    assert_eq!(serial, parallel, "budget diagnostics diverged");
+    assert!(
+        matches!(serial.kind, SimErrorKind::BudgetExceeded { .. }),
+        "expected BudgetExceeded, got {serial}"
+    );
+}
+
+/// An app whose leaf bodies sleep long enough that queued compute phases
+/// outlive the committer's own timeslice, recording which OS thread ran
+/// each one.
+fn thread_recording_app(n: u64, names: Arc<Mutex<BTreeSet<String>>>) -> Application {
+    let mut b = AppBuilder::new("who-ran-me");
+    b.thread_group("workers", 4);
+    let main = b.thread_on_node("main", 4);
+    let split = b.declare("split", OpKind::Split);
+    let leaf = b.declare("leaf", OpKind::Leaf);
+    let merge = b.declare("merge", OpKind::Merge);
+    b.body(split, move |_, _| {
+        op_fn(move |_obj, ctx: &mut dyn OpCtx| {
+            for i in 0..n {
+                ctx.charge(US);
+                ctx.post(leaf, Box::new(Token(i)));
+            }
+        })
+    });
+    b.body(leaf, move |_, _| {
+        let names = Arc::clone(&names);
+        op_fn(move |_obj, ctx: &mut dyn OpCtx| {
+            // Real host time inside the compute phase: yields the (single)
+            // CPU so pool workers get scheduled while tickets are queued.
+            std::thread::sleep(std::time::Duration::from_micros(300));
+            names.lock().unwrap().insert(
+                std::thread::current()
+                    .name()
+                    .unwrap_or("<unnamed>")
+                    .to_string(),
+            );
+            ctx.charge(US);
+            ctx.post(merge, Box::new(Token(0)));
+        })
+    });
+    b.body(merge, move |_, _| {
+        let mut seen = 0;
+        op_fn(move |_obj, ctx: &mut dyn OpCtx| {
+            seen += 1;
+            if seen == n {
+                ctx.terminate();
+            }
+        })
+    });
+    b.edge(split, leaf, round_robin("workers"));
+    b.edge(leaf, merge, to_thread(main));
+    b.start(split, main, || Box::new(Token(0)));
+    b.build().unwrap()
+}
+
+#[test]
+fn compute_phases_run_on_pool_worker_threads() {
+    // Not a determinism test — a liveness one: with engine_threads = 4 the
+    // pool's worker threads must actually execute some compute phases
+    // (the committer inline-steals the rest). Guards against the parallel
+    // path silently gating itself off and the byte-identity suite passing
+    // vacuously.
+    let names = Arc::new(Mutex::new(BTreeSet::new()));
+    let report = simulate(
+        &thread_recording_app(96, Arc::clone(&names)),
+        NetParams::ideal(),
+        &cfg_threads(4),
+    )
+    .unwrap();
+    assert!(report.terminated);
+    let names = names.lock().unwrap();
+    assert!(
+        names.iter().any(|n| n.starts_with("dps-sim-worker-")),
+        "no compute phase ran on a pool worker; threads seen: {names:?}"
+    );
+}
+
+#[test]
+fn panics_resume_at_the_tickets_serial_position() {
+    let app_with_poisoned_leaf = |poisoned: u64| {
+        let mut b = AppBuilder::new("poisoned");
+        b.thread_group("workers", 4);
+        let main = b.thread_on_node("main", 4);
+        let split = b.declare("split", OpKind::Split);
+        let leaf = b.declare("leaf", OpKind::Leaf);
+        b.body(split, move |_, _| {
+            op_fn(move |_obj, ctx: &mut dyn OpCtx| {
+                for i in 0..16 {
+                    ctx.charge(US);
+                    ctx.post(leaf, Box::new(Token(i)));
+                }
+            })
+        });
+        b.body(leaf, move |_, _| {
+            let mut calls = 0u64;
+            op_fn(move |_obj, ctx: &mut dyn OpCtx| {
+                assert!(calls != poisoned, "poisoned invocation {poisoned}");
+                calls += 1;
+                ctx.charge(US);
+            })
+        });
+        b.edge(split, leaf, round_robin("workers"));
+        b.start(split, main, || Box::new(Token(0)));
+        b.build().unwrap()
+    };
+    let message = |threads: usize| {
+        let app = app_with_poisoned_leaf(2);
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            simulate(&app, NetParams::ideal(), &cfg_threads(threads))
+        }))
+        .expect_err("the poisoned invocation must panic");
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("panic carries its message")
+    };
+    let serial = message(1);
+    assert!(serial.contains("poisoned invocation 2"), "{serial}");
+    assert_eq!(serial, message(4), "panic surfaced differently in parallel");
+}

@@ -420,6 +420,30 @@ impl Network {
         up_share.min(down_share)
     }
 
+    /// Fair rates of every active flow, computed from scratch — a pure
+    /// read of the current active set, specs and capacities, returned in
+    /// ascending [`FlowId`] order. This is the rate assignment
+    /// [`Network::advance`] installs (bit-for-bit: the incremental
+    /// equal-split path evaluates the same expressions); exposing it as a
+    /// pure function lets callers — engine compute phases running off the
+    /// serial commit thread, oracle tests — price hypothetical states
+    /// without mutating the model.
+    pub fn rates_from_scratch(&self) -> Vec<(FlowId, f64)> {
+        let mut ids: Vec<FlowId> = self.active.keys().collect();
+        ids.sort_unstable();
+        if ids.is_empty() {
+            return Vec::new();
+        }
+        let flows: Vec<(u64, FlowSpec)> = ids.iter().map(|id| (id.0, self.specs[id])).collect();
+        let rates = compute_rates(
+            &flows,
+            |n| self.node_capacity(n).0,
+            |n| self.node_capacity(n).1,
+            self.sharing,
+        );
+        ids.into_iter().map(|id| (id, rates[&id.0])).collect()
+    }
+
     /// Reassigns rates after the active set (or a capacity) changed,
     /// draining the dirty-port sets.
     fn reassign_rates(&mut self, now: SimTime) {
@@ -450,22 +474,8 @@ impl Network {
                 // No locality: a departure's slack can cascade anywhere.
                 self.dirty_src.clear();
                 self.dirty_dst.clear();
-                let flows: Vec<(u64, FlowSpec)> = {
-                    let mut v: Vec<FlowId> = self.active.keys().collect();
-                    v.sort_unstable();
-                    v.into_iter().map(|id| (id.0, self.specs[&id])).collect()
-                };
-                if flows.is_empty() {
-                    return;
-                }
-                let rates = compute_rates(
-                    &flows,
-                    |n| self.node_capacity(n).0,
-                    |n| self.node_capacity(n).1,
-                    self.sharing,
-                );
-                for (raw, _) in flows {
-                    self.active.set_rate(now, FlowId(raw), rates[&raw]);
+                for (id, rate) in self.rates_from_scratch() {
+                    self.active.set_rate(now, id, rate);
                 }
             }
         }
@@ -801,6 +811,46 @@ mod props {
                         got == want[raw],
                         "case {case}: flow {raw}: incremental {got} != full {}",
                         want[raw]
+                    );
+                }
+            }
+        }
+    }
+
+    /// The pure `rates_from_scratch` read agrees bit-for-bit with the rates
+    /// `advance` actually installed, under both sharing disciplines.
+    #[test]
+    fn pure_rates_match_installed_rates() {
+        for sharing in [Sharing::EqualSplit, Sharing::MaxMin] {
+            let mut rng = Xoshiro256::seed_from_u64(0xF10);
+            let mut n = Network::new(
+                NetParams {
+                    latency: SimDuration::from_micros(50),
+                    ..NetParams::fast_ethernet()
+                },
+                sharing,
+            );
+            let mut now = SimTime::ZERO;
+            for _ in 0..200 {
+                if rng.gen_bool() {
+                    let src = NodeId(rng.gen_below(6) as u32);
+                    let mut dst = NodeId(rng.gen_below(6) as u32);
+                    if dst == src {
+                        dst = NodeId((dst.0 + 1) % 6);
+                    }
+                    n.start_flow(now, src, dst, rng.gen_range_u64(0, 200_000));
+                }
+                now += SimDuration::from_nanos(rng.gen_range_u64(1, 2_000_000));
+                n.advance(now);
+
+                let pure = n.rates_from_scratch();
+                assert_eq!(pure.len(), n.active.len());
+                for (id, rate) in pure {
+                    let got = n.flow_rate(id).unwrap();
+                    assert!(
+                        got == rate,
+                        "{sharing:?}: flow {}: installed {got} != pure {rate}",
+                        id.0
                     );
                 }
             }

@@ -38,7 +38,7 @@ pub mod scenarios;
 pub mod sweep;
 
 pub use apps::{LuWorkload, StencilWorkload};
-pub use env::{SimEnv, DEFAULT_SEED, N};
+pub use env::{engine_threads, SimEnv, DEFAULT_SEED, N};
 pub use faulted::{FaultAware, FaultedRun, FaultedWorkload};
 pub use scenarios::{
     builtin_scenarios, fault_server_policies, find_scenario, server_policies, shrink_schedule,
