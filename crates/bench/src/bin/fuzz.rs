@@ -1,0 +1,107 @@
+//! Determinism fuzzer CLI (see `dps_bench::fuzz` for what each case
+//! checks).
+//!
+//! ```text
+//! fuzz [--seed N] [--cases N] [--budget-secs N] [--quiet]
+//! ```
+//!
+//! Runs seeded randomized determinism cases until the case count or the
+//! wall-clock budget is exhausted, printing one line per case and a final
+//! summary. Exits non-zero if any case failed; the failure lines carry the
+//! pinpointed first-diverging-event diagnostics.
+
+use std::time::{Duration, Instant};
+
+use dps_bench::fuzz::{fuzz_with, FuzzConfig};
+
+struct Args {
+    seed: u64,
+    cases: usize,
+    budget: Option<Duration>,
+    quiet: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seed: 42,
+        cases: 100,
+        budget: None,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut num = |name: &str| -> u64 {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{name} expects a number"))
+        };
+        match a.as_str() {
+            "--seed" => args.seed = num("--seed"),
+            "--cases" => args.cases = num("--cases") as usize,
+            "--budget-secs" => args.budget = Some(Duration::from_secs(num("--budget-secs"))),
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => {
+                println!("usage: fuzz [--seed N] [--cases N] [--budget-secs N] [--quiet]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let start = Instant::now();
+    println!(
+        "fuzz: seed={} cases={} budget={:?}",
+        args.seed, args.cases, args.budget
+    );
+
+    let mut seen_ok = 0usize;
+    let mut seen_fail = 0usize;
+    let out = fuzz_with(
+        &FuzzConfig {
+            seed: args.seed,
+            cases: args.cases,
+        },
+        |out| {
+            if !args.quiet && out.cases.len() > seen_ok {
+                let c = &out.cases[out.cases.len() - 1];
+                println!(
+                    "  case {}: ok ({}, {} events{})",
+                    c.index,
+                    c.what,
+                    c.journal_len,
+                    if c.perturbation_fired {
+                        ", perturbation pinpointed"
+                    } else {
+                        ""
+                    }
+                );
+            }
+            if out.failures.len() > seen_fail {
+                eprintln!("  {}", out.failures[out.failures.len() - 1]);
+            }
+            seen_ok = out.cases.len();
+            seen_fail = out.failures.len();
+            args.budget.is_none_or(|b| start.elapsed() < b)
+        },
+    );
+
+    for f in &out.failures {
+        eprintln!("FAIL {f}");
+    }
+    println!(
+        "fuzz: {} ok, {} failed in {:.1}s",
+        out.cases.len(),
+        out.failures.len(),
+        start.elapsed().as_secs_f64()
+    );
+    if !out.failures.is_empty() {
+        std::process::exit(1);
+    }
+}

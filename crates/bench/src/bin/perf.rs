@@ -9,10 +9,20 @@
 //! `--scaling` instead sweeps the parallel engine core's thread count
 //! (`SimConfig::engine_threads` ∈ {1, 2, 4, 8}) over the headline instance
 //! and a ~10× larger one, appending per-thread-count throughput and peak-RSS
-//! rows to the same JSON in one invocation.
+//! rows to the same JSON in one invocation. Every scaling row carries the
+//! host's core count and an `oversubscribed` flag, so rows measured with
+//! more engine threads than cores (≈0.5–0.7× serial is *expected* there)
+//! are machine-readably distinguishable from real speedup rows.
+//!
+//! `--replay [path]` instead verifies a journal recorded by
+//! `scenarios --journal` (default `results/lu_reference.journal`): the run
+//! is rebuilt from the journal's own metadata, resumed from an empty, a
+//! midpoint and a full prefix, and every replay must re-emit the recorded
+//! event stream and canonical digest byte-for-byte. A mismatch exits
+//! non-zero naming the first diverging event.
 
 use dps_bench::harness::{peak_rss_bytes, smoke, thread_count, BenchJson};
-use dps_bench::{Env, N};
+use dps_bench::{default_journal_path, replay_journal_file, Env, N};
 use lu_app::LuConfig;
 
 /// Engine thread counts the `--scaling` sweep measures.
@@ -65,6 +75,7 @@ fn scaling(json: &mut BenchJson) {
     } else {
         &[(N, 216, 5, 3), (3 * N, 216, 1, 2)]
     };
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     for &(n, r, default_batch, default_samples) in instances {
         let (batch, samples) = batch_samples(default_batch, default_samples);
         let mut eps_t1 = f64::NAN;
@@ -79,9 +90,15 @@ fn scaling(json: &mut BenchJson) {
             }
             let speedup = eps / eps_t1;
             let rss = peak_rss_bytes().unwrap_or(0);
+            let oversubscribed = t > host_cores;
             println!(
                 "lu_scaling n={n} r={r} 8 nodes t={t}: {steps} steps in {secs:.3}s host \
-                 = {eps:.0} events/sec ({speedup:.2}x vs t=1)"
+                 = {eps:.0} events/sec ({speedup:.2}x vs t=1{})",
+                if oversubscribed {
+                    ", oversubscribed"
+                } else {
+                    ""
+                }
             );
             json.record(
                 &format!("lu_scaling_{n}_r{r}_8n_t{t}"),
@@ -94,6 +111,8 @@ fn scaling(json: &mut BenchJson) {
                     ("events_per_sec", eps),
                     ("speedup_vs_t1", speedup),
                     ("peak_rss_bytes", rss as f64),
+                    ("host_cores", host_cores as f64),
+                    ("oversubscribed", f64::from(u8::from(oversubscribed))),
                 ],
             );
         }
@@ -163,9 +182,37 @@ fn throughput(json: &mut BenchJson) {
     );
 }
 
+/// The `--replay` mode: verify a recorded reference journal end to end.
+/// Exits the process (0 on a faithful replay, 1 with a pinpointed
+/// diagnostic otherwise).
+fn replay_mode(path_arg: Option<String>) -> ! {
+    let path = path_arg.map_or_else(default_journal_path, std::path::PathBuf::from);
+    let threads = workload::engine_threads();
+    match replay_journal_file(&path, threads) {
+        Ok(r) => {
+            println!(
+                "replay: {} ({} events) byte-identical from prefixes {:?} at engine_threads={}",
+                path.display(),
+                r.events,
+                r.prefixes,
+                r.threads
+            );
+            std::process::exit(0);
+        }
+        Err(msg) => {
+            eprintln!("replay: {msg}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--replay") {
+        replay_mode(args.get(i + 1).cloned());
+    }
     let mut json = BenchJson::new();
-    if std::env::args().any(|a| a == "--scaling") {
+    if args.iter().any(|a| a == "--scaling") {
         scaling(&mut json);
     } else {
         throughput(&mut json);

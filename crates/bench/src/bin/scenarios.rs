@@ -19,8 +19,17 @@
 //! re-simulating, and `--no-cache` bypasses the lookup. `DVNS_SMOKE=1`
 //! shrinks every scenario to its CI-sized subset and `DVNS_THREADS` bounds
 //! the fan-out, exactly as for the figure binaries.
+//!
+//! `--journal` additionally records the committed-event journal of the
+//! reference LU run at the session seed, pinpoint-checks the serial stream
+//! against a parallel-engine run, and writes it (with replay metadata) to
+//! `results/lu_reference.journal` for `perf --replay`. A determinism
+//! violation exits non-zero with the first diverging event named.
 
-use dps_bench::{emit, figure_scenarios, run_scenario, smoke, time, BenchJson};
+use dps_bench::{
+    default_journal_path, emit, figure_scenarios, record_reference_journal, run_scenario, smoke,
+    time, BenchJson,
+};
 use workload::{builtin_scenarios, find_scenario, ScenarioCtx, ScenarioSpec, DEFAULT_SEED};
 
 fn registry() -> Vec<ScenarioSpec> {
@@ -76,9 +85,14 @@ fn main() {
         use_cache = false;
         args.remove(i);
     }
+    let mut journal = false;
+    if let Some(i) = args.iter().position(|a| a == "--journal") {
+        journal = true;
+        args.remove(i);
+    }
     let ctx = ScenarioCtx::new(smoke(), seed);
     let specs = registry();
-    if args.is_empty() || args.iter().any(|a| a == "--list") {
+    if !journal && (args.is_empty() || args.iter().any(|a| a == "--list")) {
         list(&specs);
         return;
     }
@@ -99,6 +113,31 @@ fn main() {
     let mut json = BenchJson::new();
     for spec in selected {
         run(spec, &ctx, use_cache, &mut json);
+    }
+    if journal {
+        let path = default_journal_path();
+        let cross = workload::engine_threads().max(2);
+        let (res, wall) = time(|| record_reference_journal(seed, ctx.smoke, cross, &path));
+        match res {
+            Ok(probe) => {
+                println!(
+                    "journal: {} events recorded to {} \
+                     (serial \u{2261} parallel at engine_threads={}, canonical {})",
+                    probe.events,
+                    path.display(),
+                    probe.cross_threads,
+                    probe.digest
+                );
+                json.record(
+                    "journal_probe",
+                    &[("events", probe.events as f64), ("wall_secs", wall)],
+                );
+            }
+            Err(msg) => {
+                eprintln!("journal: {msg}");
+                std::process::exit(1);
+            }
+        }
     }
     json.write();
 }

@@ -22,17 +22,24 @@
 //! reproduction numbers.
 
 pub mod experiments;
+pub mod fuzz;
 pub mod harness;
+pub mod journal_probe;
 pub mod runner;
 pub mod scenarios;
 
 pub use experiments::*;
+pub use fuzz::{first_text_divergence, fuzz, fuzz_with, FuzzConfig, FuzzOutcome};
 pub use harness::{
     panic_message, run_parallel, run_parallel_isolated, run_parallel_isolated_with,
     run_parallel_with, smoke, thread_count, time, BenchJson,
 };
+pub use journal_probe::{
+    default_journal_path, record_reference_journal, replay_journal_file, JournalProbe,
+    JournalReplay,
+};
 pub use runner::{
-    cache_dir, run_scenario, run_scenario_at, scenario_fingerprint, ScenarioOutcome, ScenarioRow,
-    CACHE_VERSION,
+    cache_dir, gc_corrupt_entries, run_scenario, run_scenario_at, scenario_fingerprint,
+    ScenarioOutcome, ScenarioRow, CACHE_VERSION, CORRUPT_KEEP,
 };
 pub use scenarios::figure_scenarios;

@@ -53,6 +53,49 @@ pub fn cache_dir() -> PathBuf {
     }
 }
 
+/// How many quarantined `.corrupt` entries [`gc_corrupt_entries`] keeps
+/// for post-mortem inspection. Quarantine files are only ever *written*
+/// (every failed seal check renames another one into the cache directory),
+/// so without a cap they accumulate unboundedly.
+pub const CORRUPT_KEEP: usize = 8;
+
+/// Deletes all but the `keep` newest quarantined `.corrupt` entries under
+/// `dir`, logging each removal to stderr, and returns the removed paths.
+/// Ties on modification time break by path so the survivor set is
+/// deterministic. A missing or unreadable directory is a no-op.
+pub fn gc_corrupt_entries(dir: &Path, keep: usize) -> Vec<PathBuf> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut corrupt: Vec<(std::time::SystemTime, PathBuf)> = entries
+        .flatten()
+        .filter(|e| e.path().extension().is_some_and(|x| x == "corrupt"))
+        .map(|e| {
+            let modified = e
+                .metadata()
+                .and_then(|m| m.modified())
+                .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+            (modified, e.path())
+        })
+        .collect();
+    if corrupt.len() <= keep {
+        return Vec::new();
+    }
+    // Newest first; the tail past `keep` goes.
+    corrupt.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+    let mut removed = Vec::new();
+    for (_, path) in corrupt.split_off(keep) {
+        if std::fs::remove_file(&path).is_ok() {
+            eprintln!(
+                "cache: removed stale quarantined entry {} (keeping the {keep} newest)",
+                path.display()
+            );
+            removed.push(path);
+        }
+    }
+    removed
+}
+
 /// Fingerprint of one scenario execution: everything its deterministic
 /// output depends on. Point labels are included (they encode the expanded
 /// configuration list, e.g. smoke truncation), point *closures* cannot be —
@@ -143,7 +186,14 @@ fn read_sealed(path: &Path) -> Option<String> {
 /// Runs a scenario through the harness, consulting the persistent cache.
 /// With `use_cache` false the lookup is skipped but the entry is still
 /// (re)written, so a later cached run can be diffed against this one.
+///
+/// The first call of a process garbage-collects old `.corrupt`
+/// quarantine files in the cache directory (see [`gc_corrupt_entries`]).
 pub fn run_scenario(spec: &ScenarioSpec, ctx: &ScenarioCtx, use_cache: bool) -> ScenarioOutcome {
+    static GC: std::sync::Once = std::sync::Once::new();
+    GC.call_once(|| {
+        gc_corrupt_entries(&cache_dir(), CORRUPT_KEEP);
+    });
     run_scenario_at(spec, ctx, use_cache, &cache_dir())
 }
 
@@ -308,6 +358,31 @@ mod tests {
         assert!(csv.contains("dead,!error,boom; with a comma\n"));
         assert!(csv.contains("live,42\n"));
         assert!(text.contains("!error: boom, with a comma"));
+    }
+
+    #[test]
+    fn corrupt_gc_keeps_newest_and_spares_live_entries() {
+        let dir = std::env::temp_dir().join(format!("dvns-corrupt-gc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for i in 0..12 {
+            std::fs::write(dir.join(format!("entry-{i:02}.csv.corrupt")), "junk").unwrap();
+        }
+        std::fs::write(dir.join("live-entry.csv"), "kept").unwrap();
+
+        let removed = gc_corrupt_entries(&dir, 8);
+        assert_eq!(removed.len(), 4);
+        let left: Vec<_> = std::fs::read_dir(&dir).unwrap().flatten().collect();
+        assert_eq!(left.len(), 9, "8 quarantined + 1 live entry survive");
+        assert!(
+            dir.join("live-entry.csv").exists(),
+            "non-corrupt files are spared"
+        );
+
+        // At or under the cap (and on a missing directory) it is a no-op.
+        assert!(gc_corrupt_entries(&dir, 8).is_empty());
+        assert!(gc_corrupt_entries(&dir.join("missing"), 8).is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -2,8 +2,17 @@
 //! must be byte-identical to an uncached recomputation, on real registered
 //! scenarios (smoke-sized), across the cache-hit and cache-miss paths.
 
-use dps_bench::{figure_scenarios, run_scenario_at, scenario_fingerprint};
+use dps_bench::{figure_scenarios, first_text_divergence, run_scenario_at, scenario_fingerprint};
 use workload::{builtin_scenarios, find_scenario, ScenarioCtx};
+
+/// Byte-equality with a pinpointed first-difference diagnostic (line,
+/// column, both excerpts) instead of a dump of two whole CSVs.
+#[track_caller]
+fn assert_same_text(ours: &str, theirs: &str, ctx: &str) {
+    if let Some(d) = first_text_divergence(ours, theirs) {
+        panic!("{ctx}: {d}");
+    }
+}
 
 fn scratch_dir(tag: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join(format!("dvns-cache-test-{tag}-{}", std::process::id()));
@@ -28,10 +37,14 @@ fn cached_and_uncached_runs_emit_identical_bytes() {
     let bypass = run_scenario_at(spec, &ctx, false, &dir);
     assert!(!bypass.cache_hit, "--no-cache must recompute");
 
-    assert_eq!(cold.csv, warm.csv, "cache replay must be byte-identical");
-    assert_eq!(cold.text, warm.text);
-    assert_eq!(cold.csv, bypass.csv, "recomputation must be byte-identical");
-    assert_eq!(cold.text, bypass.text);
+    assert_same_text(&cold.csv, &warm.csv, "cache replay must be byte-identical");
+    assert_same_text(&cold.text, &warm.text, "cache replay text");
+    assert_same_text(
+        &cold.csv,
+        &bypass.csv,
+        "recomputation must be byte-identical",
+    );
+    assert_same_text(&cold.text, &bypass.text, "recomputation text");
 
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -69,8 +82,8 @@ fn figure_scenario_round_trips_through_the_cache() {
     let cold = run_scenario_at(spec, &ctx, true, &dir);
     let warm = run_scenario_at(spec, &ctx, true, &dir);
     assert!(!cold.cache_hit && warm.cache_hit);
-    assert_eq!(cold.csv, warm.csv);
-    assert_eq!(cold.text, warm.text);
+    assert_same_text(&cold.csv, &warm.csv, "figure cache replay csv");
+    assert_same_text(&cold.text, &warm.text, "figure cache replay text");
 
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -7,9 +7,10 @@
 //!
 //! [`RunReport::canonical_string`]: dps_sim::RunReport::canonical_string
 
+use dps_bench::first_text_divergence;
 use dps_bench::runner::render;
 use dps_bench::{run_parallel_isolated_with, Env, ScenarioRow};
-use dps_sim::FaultFabric;
+use dps_sim::{check_equivalent, FaultFabric, RunReport};
 use faults::FaultGenConfig;
 use lu_app::LuCheckpoint;
 use workload::{ScenarioCtx, ScenarioPoint, ScenarioSpec};
@@ -20,20 +21,35 @@ use desim::SimDuration;
 /// 4 = contended pool on small hosts).
 const THREADS: [usize; 2] = [2, 4];
 
+/// A paper environment at `threads` with journal recording on, so any
+/// serial≢parallel failure is a pinpointed first-diverging-event
+/// diagnostic rather than a canonical-string diff.
+fn env_at(threads: usize) -> Env {
+    let mut env = Env::paper().with_engine_threads(threads);
+    env.simcfg.record_journal = true;
+    env
+}
+
+#[track_caller]
+fn assert_equivalent(ours: &RunReport, theirs: &RunReport, ctx: &str) {
+    if let Err(msg) = check_equivalent(ours, theirs) {
+        panic!("{ctx}: {msg}");
+    }
+}
+
 #[test]
 fn lu_reports_are_byte_identical_across_thread_counts() {
     let serial = {
-        let env = Env::paper().with_engine_threads(1);
-        let run = env.predict(&env.lu_sized(288, 36, 4)).unwrap();
-        run.report.canonical_string()
+        let env = env_at(1);
+        env.predict(&env.lu_sized(288, 36, 4)).unwrap().report
     };
     for t in THREADS {
-        let env = Env::paper().with_engine_threads(t);
+        let env = env_at(t);
         let run = env.predict(&env.lu_sized(288, 36, 4)).unwrap();
-        assert_eq!(
-            run.report.canonical_string(),
-            serial,
-            "LU report diverged at engine_threads={t}"
+        assert_equivalent(
+            &run.report,
+            &serial,
+            &format!("LU report diverged at engine_threads={t}"),
         );
     }
 }
@@ -41,17 +57,16 @@ fn lu_reports_are_byte_identical_across_thread_counts() {
 #[test]
 fn stencil_reports_are_byte_identical_across_thread_counts() {
     let serial = {
-        let env = Env::paper().with_engine_threads(1);
-        let run = env.predict_stencil(&env.stencil(192, 6, 4)).unwrap();
-        run.report.canonical_string()
+        let env = env_at(1);
+        env.predict_stencil(&env.stencil(192, 6, 4)).unwrap().report
     };
     for t in THREADS {
-        let env = Env::paper().with_engine_threads(t);
+        let env = env_at(t);
         let run = env.predict_stencil(&env.stencil(192, 6, 4)).unwrap();
-        assert_eq!(
-            run.report.canonical_string(),
-            serial,
-            "stencil report diverged at engine_threads={t}"
+        assert_equivalent(
+            &run.report,
+            &serial,
+            &format!("stencil report diverged at engine_threads={t}"),
         );
     }
 }
@@ -67,20 +82,19 @@ fn faulted_runs_are_byte_identical_across_thread_counts() {
     let plan = gen.generate(0xFA_17);
 
     let run_at = |threads: usize| {
-        let env = Env::paper().with_engine_threads(threads);
+        let env = env_at(threads);
         let mut fabric = FaultFabric::new(env.net, &plan);
-        let run =
-            lu_app::predict_lu_with_fabric(&env.lu_sized(288, 36, 4), &mut fabric, &env.simcfg)
-                .unwrap();
-        run.report.canonical_string()
+        lu_app::predict_lu_with_fabric(&env.lu_sized(288, 36, 4), &mut fabric, &env.simcfg)
+            .unwrap()
+            .report
     };
 
     let serial = run_at(1);
     for t in THREADS {
-        assert_eq!(
-            run_at(t),
-            serial,
-            "faulted report diverged at engine_threads={t}"
+        assert_equivalent(
+            &run_at(t),
+            &serial,
+            &format!("faulted report diverged at engine_threads={t}"),
         );
     }
 }
@@ -91,20 +105,27 @@ fn faulted_runs_are_byte_identical_across_thread_counts() {
 #[test]
 fn forked_continuations_are_byte_identical_across_thread_counts() {
     let serial = {
-        let env = Env::paper().with_engine_threads(1);
-        let run = env.predict(&env.lu_sized(288, 36, 4)).unwrap();
-        run.report.canonical_string()
+        let env = env_at(1);
+        env.predict(&env.lu_sized(288, 36, 4)).unwrap().report
     };
     for t in THREADS {
-        let env = Env::paper().with_engine_threads(t);
+        let env = env_at(t);
         let cfg = env.lu_sized(288, 36, 4);
         let mut ck = LuCheckpoint::start(&cfg, env.net, &env.simcfg).unwrap();
         assert!(ck.pause_before_barrier(2).unwrap());
         let fork = ck.fork().unwrap();
-        let forked = fork.finish().unwrap().report.canonical_string();
-        let parent = ck.finish().unwrap().report.canonical_string();
-        assert_eq!(forked, serial, "fork diverged at engine_threads={t}");
-        assert_eq!(parent, serial, "parent diverged at engine_threads={t}");
+        let forked = fork.finish().unwrap().report;
+        let parent = ck.finish().unwrap().report;
+        assert_equivalent(
+            &forked,
+            &serial,
+            &format!("fork diverged at engine_threads={t}"),
+        );
+        assert_equivalent(
+            &parent,
+            &serial,
+            &format!("parent diverged at engine_threads={t}"),
+        );
     }
 }
 
@@ -156,15 +177,11 @@ fn sweep_csvs_are_byte_identical_across_thread_counts() {
     for t in THREADS {
         // Engine threads and harness fan-out compose: neither may leak
         // into the rendered bytes.
-        assert_eq!(
-            sweep_csv(t, 1),
-            serial,
-            "CSV diverged at engine_threads={t}"
-        );
-        assert_eq!(
-            sweep_csv(t, 2),
-            serial,
-            "CSV diverged at engine_threads={t} under a parallel harness"
-        );
+        if let Some(d) = first_text_divergence(&sweep_csv(t, 1), &serial) {
+            panic!("CSV diverged at engine_threads={t}: {d}");
+        }
+        if let Some(d) = first_text_divergence(&sweep_csv(t, 2), &serial) {
+            panic!("CSV diverged at engine_threads={t} under a parallel harness: {d}");
+        }
     }
 }

@@ -18,11 +18,13 @@
 #![warn(missing_docs)]
 
 pub mod fxhash;
+pub mod journal;
 pub mod queue;
 pub mod share;
 pub mod time;
 
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
+pub use journal::{Divergence, Journal, JournalEntry, JournalEvent};
 pub use queue::{EventId, EventQueue};
 pub use share::{ProgressSet, ProgressView};
 pub use time::{SimDuration, SimTime};

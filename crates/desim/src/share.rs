@@ -601,6 +601,35 @@ mod tests {
     }
 
     #[test]
+    fn earliest_announced_clamps_overdue_completions_to_now() {
+        let mut ps = ProgressSet::new();
+        ps.insert(SimTime::ZERO, 1u32, 100.0);
+        ps.set_rate(SimTime::ZERO, 1, 100.0); // finishes at 1s
+                                              // Advance past the completion without collecting it: the announced
+                                              // time must clamp to `now`, never lie in the past.
+        ps.advance_to(t(2_000_000_000));
+        let announced = ps.view().earliest_announced();
+        assert_eq!(announced, Some((1, t(2_000_000_000))));
+        assert_eq!(announced, ps.earliest_completion());
+    }
+
+    #[test]
+    fn earliest_announced_agrees_with_completion_under_heavy_churn() {
+        let mut ps = ProgressSet::new();
+        for i in 0..4u32 {
+            ps.insert(SimTime::ZERO, i, 1000.0);
+        }
+        for round in 0..64u64 {
+            ps.set_rate(t(round), (round % 4) as u32, 1.0 + (round % 7) as f64);
+            // The read-only heap scan (before) must agree with the
+            // stale-popping path (after), every round.
+            let announced = ps.view().earliest_announced();
+            assert_eq!(announced, ps.earliest_completion());
+            assert!(announced.is_some());
+        }
+    }
+
+    #[test]
     fn completion_heap_is_bounded_under_rate_churn() {
         let mut ps = ProgressSet::new();
         for i in 0..8u32 {

@@ -34,6 +34,7 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 use std::time::Instant;
 
+use desim::journal::{Journal, JournalEvent};
 use desim::{FxHashMap, ProgressSet, SimDuration, SimTime};
 use dps::{
     ActiveSet, AnyDataObject, Application, DataObj, OpCtx, OpId, Operation, RouteCtx, ThreadId,
@@ -46,7 +47,6 @@ use crate::fabric::{Fabric, SimFabric};
 use crate::memory::MemoryMeter;
 use crate::report::{Interval, RunReport};
 use crate::timing::{Stopwatch, TimingMode, TimingState};
-use crate::trace::{StepRecord, Trace, TransferRecord};
 
 #[path = "parallel.rs"]
 mod parallel;
@@ -59,8 +59,25 @@ pub struct SimConfig {
     /// Fixed dispatch overhead added to every atomic step — the cost of the
     /// DPS runtime delivering an object and scheduling the operation.
     pub step_overhead: SimDuration,
-    /// Record a full Gantt trace (costs memory on large runs).
+    /// Record a full Gantt trace (costs memory on large runs). The trace is
+    /// a derived view of the event journal: enabling it records the journal
+    /// internally and renders [`crate::Trace`] from it at the end of the
+    /// run.
     pub record_trace: bool,
+    /// Record the committed-event journal into
+    /// [`crate::RunReport::journal`]: one [`desim::journal::JournalEntry`]
+    /// per committed event, identical between the serial engine and the
+    /// ticketed parallel pipeline. The journal is the engine's determinism
+    /// oracle — see [`crate::journal`] for replay and divergence
+    /// pinpointing. Costs memory proportional to the event count.
+    pub record_journal: bool,
+    /// Determinism-fuzzing hook: after the *N*-th event batch in which two
+    /// or more atomic steps finish at the same virtual instant, process the
+    /// first two in swapped order. This deliberately violates the engine's
+    /// job-id tie-break — a synthetic scheduling bug — so the journal
+    /// divergence pinpointer can be exercised against a run that *should*
+    /// diverge. `None` (the default) never perturbs anything.
+    pub tie_break_swap: Option<u64>,
     /// Modeled baseline memory of the DPS runtime itself.
     pub baseline_memory: u64,
     /// Atomic-step budget: exceeding it fails the run with
@@ -90,6 +107,8 @@ impl Default for SimConfig {
             timing: TimingMode::ChargedOnly,
             step_overhead: SimDuration::from_micros(20),
             record_trace: false,
+            record_journal: false,
+            tie_break_swap: None,
             baseline_memory: 2 << 20,
             max_steps: 200_000_000,
             max_virtual_time: None,
@@ -344,6 +363,33 @@ pub fn simulate_with_fabric(
     eng.into_result(wall.elapsed())
 }
 
+/// Re-executes `app` in two phases for the replayer (see
+/// [`crate::journal::replay_with_fabric`]): first up to the batch boundary
+/// at or past `prefix` journal entries — the reconstructed intermediate
+/// state, whose virtual time and step count are returned — then to
+/// completion. Journal recording is forced on.
+pub(crate) fn run_replay(
+    app: &Application,
+    fabric: &mut dyn Fabric,
+    cfg: &SimConfig,
+    prefix: usize,
+) -> SimResult<(RunReport, SimTime, u64)> {
+    let wall = Instant::now();
+    let mut cfg = cfg.clone();
+    cfg.record_journal = true;
+    let mut eng = Engine::new(AppRef::Borrowed(app), FabricSlot::Borrowed(fabric), &cfg);
+    eng.inject_starts();
+    eng.recompute_cpu();
+    eng.journal_limit = Some(prefix);
+    eng.event_loop();
+    let prefix_time = eng.now;
+    let prefix_steps = eng.steps_executed;
+    eng.journal_limit = None;
+    eng.event_loop();
+    let report = eng.into_result(wall.elapsed())?;
+    Ok((report, prefix_time, prefix_steps))
+}
+
 pub(crate) struct Engine<'a> {
     app: AppRef<'a>,
     fabric: FabricSlot<'a>,
@@ -405,7 +451,16 @@ pub(crate) struct Engine<'a> {
     last_alloc_change: SimTime,
     alloc_timeline: Vec<(SimTime, usize)>,
 
-    trace: Option<Trace>,
+    /// Committed-event journal; present when the run records a journal
+    /// and/or a trace (the trace is derived from it at the end of the run).
+    journal: Option<Journal>,
+    /// Stop the event loop once the journal holds at least this many
+    /// entries (replay-to-prefix machinery; granularity is the enclosing
+    /// event batch). Never set during plain `simulate` runs.
+    journal_limit: Option<usize>,
+    /// Event batches seen so far in which ≥ 2 steps finished at the same
+    /// instant (drives [`SimConfig::tie_break_swap`]).
+    tie_batches: u64,
 
     // ----- checkpoint machinery ------------------------------------------
     /// Completed transfers / finished CPU jobs not yet acted upon. The
@@ -440,6 +495,27 @@ pub(crate) struct Engine<'a> {
 
 impl<'a> Engine<'a> {
     fn new(app: AppRef<'a>, fabric: FabricSlot<'a>, cfg: &SimConfig) -> Engine<'a> {
+        // The journal opens with the fabric's scheduled rate-window edits
+        // (a fault plan's link degradations), so differing plans produce
+        // differing streams from entry zero.
+        let journal = if cfg.record_journal || cfg.record_trace {
+            let mut j = Journal::new();
+            for (node, up, down, from, to) in fabric.scheduled_windows() {
+                j.push(
+                    SimTime::ZERO,
+                    JournalEvent::RateWindow {
+                        node: node.0,
+                        up_bits: up.to_bits(),
+                        down_bits: down.to_bits(),
+                        from: from.as_nanos(),
+                        to: to.as_nanos(),
+                    },
+                );
+            }
+            Some(j)
+        } else {
+            None
+        };
         let thread_count = app.deployment().thread_count();
         let active = ActiveSet::all_active(thread_count);
         let cur_nodes = active.allocated_nodes(app.deployment()).len();
@@ -495,11 +571,9 @@ impl<'a> Engine<'a> {
             cur_nodes,
             last_alloc_change: SimTime::ZERO,
             alloc_timeline: vec![(SimTime::ZERO, cur_nodes)],
-            trace: if cfg.record_trace {
-                Some(Trace::default())
-            } else {
-                None
-            },
+            journal,
+            journal_limit: None,
+            tie_batches: 0,
             pending_net: VecDeque::new(),
             pending_jobs: VecDeque::new(),
             pause: None,
@@ -534,6 +608,15 @@ impl<'a> Engine<'a> {
     /// where this one left off.
     fn step_events(&mut self) -> bool {
         if self.terminated || self.error.is_some() {
+            return false;
+        }
+        // Replay-to-prefix: stop at the first batch boundary at or past the
+        // requested journal length. Buffered events stay put; clearing the
+        // limit resumes exactly here.
+        if self
+            .journal_limit
+            .is_some_and(|lim| self.journal.as_ref().is_some_and(|j| j.len() >= lim))
+        {
             return false;
         }
         if self
@@ -611,7 +694,26 @@ impl<'a> Engine<'a> {
         let arrived = self.fabric.advance(t);
         self.pending_net.extend(arrived);
         self.pending_jobs.extend(self.cpu.take_finished(t));
+        // Fuzzing hook: perturb the job-id tie-break of one same-instant
+        // completion batch (see `SimConfig::tie_break_swap`).
+        if let Some(n) = self.cfg.tie_break_swap {
+            if self.pending_jobs.len() >= 2 {
+                if self.tie_batches == n {
+                    self.pending_jobs.swap(0, 1);
+                }
+                self.tie_batches += 1;
+            }
+        }
         true
+    }
+
+    /// Appends one committed event to the journal, if one is being
+    /// recorded, stamped with the current virtual time.
+    #[inline]
+    fn jot(&mut self, event: JournalEvent) {
+        if let Some(j) = &mut self.journal {
+            j.push(self.now, event);
+        }
     }
 
     // ----- CPU model ------------------------------------------------------
@@ -697,15 +799,14 @@ impl<'a> Engine<'a> {
             .remove(&handle)
             .expect("unknown transfer completed");
         if let Some((src, dst, bytes, start)) = self.transfer_meta.remove(&handle) {
-            if let Some(trace) = &mut self.trace {
-                trace.transfers.push(TransferRecord {
-                    src,
-                    dst,
-                    bytes,
-                    start,
-                    end: self.now,
-                });
-            }
+            self.jot(JournalEvent::Arrive {
+                to: d.to.0,
+                thread: d.thread.0,
+                src: src.0,
+                dst: dst.0,
+                wire_bytes: bytes,
+                start: start.as_nanos(),
+            });
         }
         self.enqueue_delivery(d.to, d.thread, d.obj);
     }
@@ -756,6 +857,19 @@ impl<'a> Engine<'a> {
             };
             let mut op = op.unwrap_or_else(|| self.app.make_op(key.0, key.1));
             let consumed_heap = obj.heap_bytes();
+            // Reserve the invocation's first job id at dispatch — the same
+            // instant the parallel sequencer reserves its ticket — so the
+            // journal's Invoke records land at identical stream positions
+            // in both modes. (`CollectCtx::finish` guarantees at least one
+            // segment per invocation, so the id is always consumed.)
+            let ticket = self.next_job;
+            self.next_job += 1;
+            self.jot(JournalEvent::Invoke {
+                ticket,
+                op: key.0 .0,
+                thread: key.1 .0,
+                obj_bytes: consumed_heap,
+            });
 
             let mut ctx = CollectCtx {
                 now: self.now,
@@ -794,7 +908,7 @@ impl<'a> Engine<'a> {
                 next_seg: 0,
                 pending,
             });
-            self.begin_segment(key);
+            self.begin_segment_with(key, Some(ticket));
             return;
         }
     }
@@ -887,6 +1001,16 @@ impl<'a> Engine<'a> {
         // when the commit lands.
         let ticket = self.next_job;
         self.next_job += 1;
+        // The Invoke record is fixed at dispatch (nothing in it depends on
+        // the compute phase), so emitting it here — not at commit — keeps
+        // the stream identical to the serial engine's, where dispatch and
+        // invocation coincide.
+        self.jot(JournalEvent::Invoke {
+            ticket,
+            op: key.0 .0,
+            thread: key.1 .0,
+            obj_bytes: obj.heap_bytes(),
+        });
         self.server_mut(key).invoking = true;
         let active = match &self.active_snap {
             Some(a) => Arc::clone(a),
@@ -975,16 +1099,14 @@ impl<'a> Engine<'a> {
         self.steps_executed += 1;
         self.interval_work += info.work;
         self.total_work += info.work;
-        if let Some(trace) = &mut self.trace {
-            trace.steps.push(StepRecord {
-                thread: info.server.1,
-                node: info.node,
-                op: info.server.0,
-                op_name: self.app.graph().op(info.server.0).name.clone(),
-                start: info.start,
-                end: self.now,
-            });
-        }
+        self.jot(JournalEvent::Step {
+            job,
+            op: info.server.0 .0,
+            thread: info.server.1 .0,
+            node: info.node.0,
+            start: info.start.as_nanos(),
+            work: info.work.as_nanos(),
+        });
         let key = info.server;
         let server = self.server_mut(key);
         let run = server.run.as_mut().expect("invocation in progress");
@@ -1028,8 +1150,12 @@ impl<'a> Engine<'a> {
                 Action::Mark(label) => self.record_mark(&label),
                 Action::Deactivate(t) => self.deactivate(t),
                 Action::Release(op) => self.release_credit(op),
-                Action::Account(delta) => self.meter.adjust(delta),
+                Action::Account(delta) => {
+                    self.jot(JournalEvent::Account { delta });
+                    self.meter.adjust(delta);
+                }
                 Action::Terminate => {
+                    self.jot(JournalEvent::Terminate);
                     self.terminated = true;
                     self.completion = self.now;
                     return;
@@ -1078,7 +1204,16 @@ impl<'a> Engine<'a> {
         self.meter.alloc(obj.heap_bytes());
         let src_node = self.app.deployment().node_of(from.1);
         let dst_node = self.app.deployment().node_of(dst_thread);
-        if src_node == dst_node {
+        let local = src_node == dst_node;
+        self.jot(JournalEvent::Post {
+            op: from.0 .0,
+            thread: from.1 .0,
+            to: to.0,
+            dst_thread: dst_thread.0,
+            wire_bytes: obj.wire_size(),
+            local: local as u32,
+        });
+        if local {
             // Node-local move: pointer passing, no network involvement.
             self.enqueue_delivery(to, dst_thread, obj);
         } else {
@@ -1086,7 +1221,7 @@ impl<'a> Engine<'a> {
             let handle = self
                 .fabric
                 .start_transfer(self.now, src_node, dst_node, bytes);
-            if self.trace.is_some() {
+            if self.journal.is_some() {
                 self.transfer_meta
                     .insert(handle, (src_node, dst_node, bytes, self.now));
             }
@@ -1111,6 +1246,7 @@ impl<'a> Engine<'a> {
             return;
         };
         w.release();
+        self.jot(JournalEvent::Release { op: op.0 });
         if let Some(waiters) = self.fc_waiters.get_mut(&op) {
             if let Some(key) = waiters.pop_front() {
                 self.process_pending(key);
@@ -1119,6 +1255,10 @@ impl<'a> Engine<'a> {
     }
 
     fn record_mark(&mut self, label: &str) {
+        if let Some(j) = &mut self.journal {
+            let idx = j.intern_label(label);
+            j.push(self.now, JournalEvent::Mark { label: idx });
+        }
         self.flush_node_seconds();
         self.intervals.push(Interval {
             label: label.to_string(),
@@ -1140,6 +1280,7 @@ impl<'a> Engine<'a> {
     }
 
     fn deactivate(&mut self, t: ThreadId) {
+        self.jot(JournalEvent::Deactivate { thread: t.0 });
         self.flush_node_seconds();
         self.active.deactivate(t);
         // Later submissions in this event batch must see the deactivation,
@@ -1318,7 +1459,12 @@ impl<'a> Engine<'a> {
             cur_nodes: self.cur_nodes,
             last_alloc_change: self.last_alloc_change,
             alloc_timeline: self.alloc_timeline.clone(),
-            trace: self.trace.clone(),
+            // The fork inherits the parent's committed prefix and keeps
+            // appending — a forked continuation's journal is comparable
+            // entry-for-entry against an uninterrupted fresh run's.
+            journal: self.journal.clone(),
+            journal_limit: None,
+            tie_batches: self.tie_batches,
             pending_net: self.pending_net.clone(),
             pending_jobs: self.pending_jobs.clone(),
             pause: None,
@@ -1436,6 +1582,20 @@ impl<'a> Engine<'a> {
             cpu_work: self.interval_work,
             node_seconds: self.node_seconds_acc,
         });
+        // The Gantt/chrome trace is a derived view of the journal.
+        let mut journal = self.journal.take();
+        if let Some(j) = &mut journal {
+            // Metadata never enters stream comparison, so stamping the
+            // thread count cannot break serial≡parallel equivalence.
+            j.set_meta("engine_threads", self.cfg.engine_threads.to_string());
+        }
+        let trace = if self.cfg.record_trace {
+            journal
+                .as_ref()
+                .map(|j| crate::journal::trace_from_journal(j, &self.app))
+        } else {
+            None
+        };
         Ok(RunReport {
             completion: self.completion,
             terminated: self.terminated,
@@ -1448,7 +1608,12 @@ impl<'a> Engine<'a> {
             max_queue_len: self.max_queue_len,
             net: self.fabric.net_stats(),
             host_wall,
-            trace: self.trace,
+            trace,
+            journal: if self.cfg.record_journal {
+                journal
+            } else {
+                None
+            },
         })
     }
 }

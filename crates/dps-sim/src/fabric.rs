@@ -70,6 +70,15 @@ pub trait Fabric {
         None
     }
 
+    /// Capacity windows scheduled on this fabric (fault plans, straggler
+    /// studies), as `(node, up_factor, down_factor, from, to)` tuples in a
+    /// deterministic order. The engine copies these into the event journal
+    /// at start-up so a journal is self-describing about the rate edits the
+    /// run was subjected to. Default: none.
+    fn scheduled_windows(&self) -> Vec<(NodeId, f64, f64, SimTime, SimTime)> {
+        Vec::new()
+    }
+
     /// Whether [`compute_time`](Fabric::compute_time) is a pure function of
     /// its arguments, so the engine's parallel core may defer the call from
     /// an atomic step's compute phase to its serial commit without changing
@@ -184,6 +193,10 @@ impl Fabric for SimFabric {
 
     fn fork_fabric(&mut self) -> Option<Box<dyn Fabric + Send>> {
         Some(Box::new(self.fork_sim()))
+    }
+
+    fn scheduled_windows(&self) -> Vec<(NodeId, f64, f64, SimTime, SimTime)> {
+        self.net.scheduled_windows()
     }
 
     fn parallel_commit_safe(&self) -> bool {

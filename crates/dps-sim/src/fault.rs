@@ -128,6 +128,21 @@ impl Fabric for FaultFabric {
         self.inner.net_stats()
     }
 
+    fn scheduled_windows(&self) -> Vec<(NodeId, f64, f64, SimTime, SimTime)> {
+        // Link windows live in the wrapped network; CPU-slowdown windows
+        // live in this wrapper's timeline. Journal both, slowdowns encoded
+        // as windows with an unscaled up-link (`up_factor == 1.0` marks a
+        // CPU window; the plan never schedules asymmetric link windows).
+        let mut out = self.inner.scheduled_windows();
+        out.extend(
+            self.cpu
+                .windows()
+                .iter()
+                .map(|w| (NodeId(w.node), 1.0, w.factor, w.from, w.to)),
+        );
+        out
+    }
+
     fn parallel_commit_safe(&self) -> bool {
         // `compute_time` delegates to the wrapped fabric unchanged (the
         // plan acts through rates, not nominal work), so this wrapper is

@@ -31,6 +31,7 @@ pub mod engine;
 pub mod error;
 pub mod fabric;
 pub mod fault;
+pub mod journal;
 pub mod memory;
 pub mod report;
 pub mod timing;
@@ -43,6 +44,10 @@ pub use error::{
 };
 pub use fabric::{Fabric, SimFabric};
 pub use fault::FaultFabric;
+pub use journal::{
+    check_equivalent, replay, replay_with_fabric, trace_from_journal, Divergence, Journal,
+    JournalEntry, JournalEvent, ReplayOutcome,
+};
 pub use memory::MemoryMeter;
 pub use report::{Interval, RunReport};
 pub use timing::{Stopwatch, TimingMode, TimingState};

@@ -74,6 +74,11 @@ pub struct RunReport {
     pub host_wall: std::time::Duration,
     /// Optional full trace.
     pub trace: Option<Trace>,
+    /// Optional event journal (see [`crate::journal`]). Deliberately
+    /// excluded from [`canonical_string`](RunReport::canonical_string): the
+    /// journal is the *instrument* equivalence is measured with, not part of
+    /// the measured state.
+    pub journal: Option<desim::Journal>,
 }
 
 impl RunReport {

@@ -201,6 +201,17 @@ impl Network {
         copy
     }
 
+    /// Every capacity window currently scheduled (active or future), as
+    /// `(node, up_factor, down_factor, from, to)` in scheduling order —
+    /// lets an observer (the engine's event journal) record the rate edits
+    /// this network will undergo.
+    pub fn scheduled_windows(&self) -> Vec<(NodeId, f64, f64, SimTime, SimTime)> {
+        self.windows
+            .iter()
+            .map(|w| (w.node, w.up_factor, w.down_factor, w.from, w.to))
+            .collect()
+    }
+
     /// Effective (up, down) capacity of a node, including any active
     /// fault-window multipliers.
     pub fn node_capacity(&self, node: NodeId) -> (f64, f64) {
@@ -815,6 +826,45 @@ mod props {
                 }
             }
         }
+    }
+
+    /// The explicit boundary states of the pure rate read: an empty
+    /// network prices nothing, flows still in their latency phase carry no
+    /// rate at all, and a lone bandwidth-phase flow gets the full
+    /// port-limited rate.
+    #[test]
+    fn pure_rates_edge_cases() {
+        // Empty network: nothing to price.
+        let mut n = Network::new(
+            NetParams {
+                latency: SimDuration::from_micros(100),
+                up_bytes_per_sec: 1e6,
+                down_bytes_per_sec: 1e6,
+                cpu_in_cost: 0.0,
+                cpu_out_cost: 0.0,
+                per_message_overhead_bytes: 0,
+            },
+            Sharing::EqualSplit,
+        );
+        assert!(n.rates_from_scratch().is_empty());
+
+        // All-latent queues: flows started but inside their 100 µs latency
+        // phase occupy no port and must not appear in the assignment.
+        let a = n.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), 50_000);
+        let b = n.start_flow(SimTime(1_000), NodeId(2), NodeId(1), 50_000);
+        n.advance(SimTime(50_000)); // before either 100 µs latency expires
+        assert_eq!(n.in_flight(), 2);
+        assert!(n.rates_from_scratch().is_empty());
+        assert_eq!(n.flow_rate(a), None);
+        assert_eq!(n.flow_rate(b), None);
+
+        // Single active flow: promoted alone, it gets the whole
+        // min(up, down) capacity, bit-equal to the installed rate.
+        n.advance(SimTime(100_000)); // a promoted; b latent for 1 µs more
+        let pure = n.rates_from_scratch();
+        assert_eq!(pure, vec![(a, 1e6)]);
+        assert_eq!(n.flow_rate(a), Some(1e6));
+        assert_eq!(n.flow_rate(b), None, "b is still latent");
     }
 
     /// The pure `rates_from_scratch` read agrees bit-for-bit with the rates

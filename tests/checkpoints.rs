@@ -8,14 +8,26 @@ use dvns::desim::{SimDuration, SimTime};
 use dvns::lu_app::{predict_lu, DataMode, LuCheckpoint, LuConfig};
 use dvns::netmodel::NetParams;
 use dvns::perfmodel::{LuCost, PlatformProfile};
-use dvns::sim::{SimConfig, TimingMode};
+use dvns::sim::{check_equivalent, RunReport, SimConfig, TimingMode};
 use simrng::{Rng, Xoshiro256};
 
 fn simcfg() -> SimConfig {
     SimConfig {
         timing: TimingMode::ChargedOnly,
         step_overhead: SimDuration::from_micros(50),
+        // Journals turn any fork≢fresh failure into a pinpointed
+        // first-diverging-event diagnostic instead of a canonical diff.
+        record_journal: true,
         ..SimConfig::default()
+    }
+}
+
+/// Asserts run equivalence with the journal pinpointer: a failure names
+/// the first diverging event (ticket, vtime, op, field).
+#[track_caller]
+fn assert_equivalent(ours: &RunReport, theirs: &RunReport, ctx: &str) {
+    if let Err(msg) = check_equivalent(ours, theirs) {
+        panic!("{ctx}: {msg}");
     }
 }
 
@@ -44,7 +56,6 @@ fn fork_at_random_times_matches_fresh_run() {
     for _ in 0..4 {
         let cfg = random_cfg(&mut rng);
         let fresh = predict_lu(&cfg, net, &simcfg()).unwrap();
-        let want = fresh.report.canonical_string();
         let span = fresh.report.completion.as_nanos();
         for _ in 0..2 {
             let t = SimTime(rng.gen_range_u64(1, span));
@@ -59,8 +70,8 @@ fn fork_at_random_times_matches_fresh_run() {
                 "n={} r={} nodes={} workers={} mode={:?} t={}ns",
                 cfg.n, cfg.r, cfg.nodes, cfg.workers, cfg.mode, t.0
             );
-            assert_eq!(a.report.canonical_string(), want, "fork ({ctx})");
-            assert_eq!(b.report.canonical_string(), want, "original ({ctx})");
+            assert_equivalent(&a.report, &fresh.report, &format!("fork ({ctx})"));
+            assert_equivalent(&b.report, &fresh.report, &format!("original ({ctx})"));
             assert_eq!(a.factorization_time, fresh.factorization_time, "{ctx}");
         }
     }
@@ -99,21 +110,13 @@ fn removal_rewritten_forks_match_fresh_removal_runs() {
         fresh_cfg.removal = plan.clone();
         fresh_cfg.validate().expect("removal plan is valid");
         let fresh = predict_lu(&fresh_cfg, net, &simcfg()).unwrap();
-        assert_eq!(
-            run.report.canonical_string(),
-            fresh.report.canonical_string(),
-            "plan {plan:?}"
-        );
+        assert_equivalent(&run.report, &fresh.report, &format!("plan {plan:?}"));
     }
 
     // The shared prefix itself, driven to the end, is the no-removal run.
     let run = base.finish().unwrap();
     let fresh = predict_lu(&base_cfg, net, &simcfg()).unwrap();
-    assert_eq!(
-        run.report.canonical_string(),
-        fresh.report.canonical_string(),
-        "no-removal base"
-    );
+    assert_equivalent(&run.report, &fresh.report, "no-removal base");
 }
 
 /// The same fork≡fresh property for the stencil application, random
@@ -132,7 +135,6 @@ fn stencil_forks_match_fresh_runs() {
         cfg.synchronized = rng.gen_range_u64(0, 2) == 0;
         cfg.validate().expect("generated config is valid");
         let fresh = predict_stencil(&cfg, net, &simcfg()).unwrap();
-        let want = fresh.report.canonical_string();
         let t = SimTime(rng.gen_range_u64(1, fresh.report.completion.as_nanos()));
         let mut base = StencilCheckpoint::start(&cfg, net, &simcfg()).unwrap();
         base.advance_until(t).unwrap();
@@ -143,8 +145,8 @@ fn stencil_forks_match_fresh_runs() {
             "n={} iters={} nodes={} sync={} t={}ns",
             cfg.n, cfg.iters, cfg.nodes, cfg.synchronized, t.0
         );
-        assert_eq!(a.report.canonical_string(), want, "fork ({ctx})");
-        assert_eq!(b.report.canonical_string(), want, "original ({ctx})");
+        assert_equivalent(&a.report, &fresh.report, &format!("fork ({ctx})"));
+        assert_equivalent(&b.report, &fresh.report, &format!("original ({ctx})"));
     }
 }
 
