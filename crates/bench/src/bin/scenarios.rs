@@ -16,9 +16,13 @@
 //! the same seed emit byte-identical CSVs. That determinism backs the
 //! result cache (`results/cache/`, override with `DVNS_CACHE_DIR`): a rerun
 //! with an unchanged fingerprint replays the stored rendering instead of
-//! re-simulating, and `--no-cache` bypasses the lookup. `DVNS_SMOKE=1`
-//! shrinks every scenario to its CI-sized subset and `DVNS_THREADS` bounds
-//! the fan-out, exactly as for the figure binaries.
+//! re-simulating, and `--no-cache` bypasses the lookup. `DVNS_SMOKE=1` (or
+//! the `--smoke` flag) shrinks every scenario to its CI-sized subset and
+//! `DVNS_THREADS` bounds the fan-out, exactly as for the figure binaries.
+//!
+//! Selecting `server-scale` additionally times one uncached run of the
+//! sharded cluster service and records host throughput (jobs/s, events/s)
+//! and the P99 scheduling latency in `results/BENCH_engine.json`.
 //!
 //! `--journal` additionally records the committed-event journal of the
 //! reference LU run at the session seed, pinpoint-checks the serial stream
@@ -30,7 +34,9 @@ use dps_bench::{
     default_journal_path, emit, figure_scenarios, record_reference_journal, run_scenario, smoke,
     time, BenchJson,
 };
-use workload::{builtin_scenarios, find_scenario, ScenarioCtx, ScenarioSpec, DEFAULT_SEED};
+use workload::{
+    builtin_scenarios, find_scenario, server_scale_bench, ScenarioCtx, ScenarioSpec, DEFAULT_SEED,
+};
 
 fn registry() -> Vec<ScenarioSpec> {
     let mut specs = builtin_scenarios();
@@ -90,7 +96,12 @@ fn main() {
         journal = true;
         args.remove(i);
     }
-    let ctx = ScenarioCtx::new(smoke(), seed);
+    let mut force_smoke = false;
+    if let Some(i) = args.iter().position(|a| a == "--smoke") {
+        force_smoke = true;
+        args.remove(i);
+    }
+    let ctx = ScenarioCtx::new(smoke() || force_smoke, seed);
     let specs = registry();
     if !journal && (args.is_empty() || args.iter().any(|a| a == "--list")) {
         list(&specs);
@@ -111,8 +122,27 @@ fn main() {
     };
 
     let mut json = BenchJson::new();
+    let mut bench_scale = false;
     for spec in selected {
         run(spec, &ctx, use_cache, &mut json);
+        bench_scale |= spec.name == "server-scale";
+    }
+    if bench_scale {
+        // Host-throughput row: one uncached, timed run at the highest
+        // shard count. Virtual-time metrics live in the scenario CSV (they
+        // are cached and byte-compared); wall-clock numbers belong here.
+        let (b, wall) = time(|| server_scale_bench(&ctx));
+        json.record(
+            "server_scale",
+            &[
+                ("jobs", b.jobs as f64),
+                ("jobs_per_sec", b.jobs as f64 / wall.max(1e-9)),
+                ("events", b.events as f64),
+                ("events_per_sec", b.events as f64 / wall.max(1e-9)),
+                ("p99_sched_latency_ms", b.p99_sched_latency_ms),
+                ("wall_secs", wall),
+            ],
+        );
     }
     if journal {
         let path = default_journal_path();

@@ -1,0 +1,369 @@
+//! Job payloads and the streaming submission model.
+//!
+//! The batch `ClusterSim` takes a `&[Job]` with per-job `String` names and
+//! record-keeping; at millions of jobs that is hundreds of megabytes of
+//! strings before the first event fires. The service instead consumes an
+//! *iterator* of compact [`JobSpec`]s — [`SyntheticLoad`] generates them
+//! lazily from a seed in O(1) memory — and reports aggregates only.
+//!
+//! Two payload kinds:
+//!
+//! * [`AnalyticJob`] — a closed-form Amdahl job whose per-iteration span,
+//!   work and efficiency cost a few multiplications. The parallel fraction
+//!   decays linearly across iterations (the LU shape: later iterations
+//!   parallelize worse), so malleable policies shrink allocations over a
+//!   job's lifetime. The policy target is inverted in closed form, keeping
+//!   the scheduler hot path free of profile loops.
+//! * [`JobPayload::Boxed`] — any [`cluster::Workload`] (e.g. the
+//!   simulator-backed LU/stencil apps), memoized through a
+//!   [`cluster::ProfileCache`] exactly as in the batch server.
+
+use std::sync::Arc;
+
+use cluster::Workload;
+use desim::{SimDuration, SimTime};
+
+/// A closed-form Amdahl job: `iterations` equal slices of `work`, with the
+/// parallel fraction decaying linearly from `parallel_first` (iteration 0)
+/// to `parallel_last` (last iteration).
+#[derive(Clone, Copy, Debug)]
+pub struct AnalyticJob {
+    /// Total serial work across all iterations.
+    pub work: SimDuration,
+    /// Parallel fraction of the first iteration, in `[0, 1)`.
+    pub parallel_first: f64,
+    /// Parallel fraction of the last iteration, in `[0, 1)`.
+    pub parallel_last: f64,
+    /// Number of iterations (allocation changes only at boundaries).
+    pub iterations: u32,
+}
+
+impl AnalyticJob {
+    /// Parallel fraction of iteration `k`.
+    fn fraction(&self, k: u32) -> f64 {
+        if self.iterations <= 1 {
+            return self.parallel_first;
+        }
+        let t = f64::from(k) / f64::from(self.iterations - 1);
+        self.parallel_first + (self.parallel_last - self.parallel_first) * t
+    }
+
+    /// Serial work of one iteration.
+    fn iter_work(&self) -> SimDuration {
+        SimDuration(self.work.as_nanos() / u64::from(self.iterations.max(1)))
+    }
+
+    /// `(span, work, efficiency)` of iteration `k` on `nodes` nodes —
+    /// Amdahl: `span = w·((1−p) + p/n)`, `eff = w / (n·span)`.
+    pub fn point(&self, k: u32, nodes: u32) -> (SimDuration, SimDuration, f64) {
+        let w = self.iter_work();
+        let p = self.fraction(k);
+        let n = f64::from(nodes.max(1));
+        let stretch = (1.0 - p) + p / n;
+        let span = SimDuration((w.as_nanos() as f64 * stretch).max(1.0) as u64);
+        let eff = 1.0 / (n * stretch);
+        (span, w, eff)
+    }
+
+    /// Largest allocation in `1..=cap` whose iteration-`k` efficiency
+    /// clears `min_eff` — the Amdahl inversion of the malleable policy's
+    /// linear profile scan. `eff(n) = 1/(n(1−p)+p) ≥ E ⇔ n ≤ (1/E−p)/(1−p)`,
+    /// so the target is a floor division instead of a per-decision loop.
+    /// A short exact correction absorbs float rounding at the boundary.
+    pub fn target_nodes(&self, k: u32, min_eff: f64, cap: u32) -> u32 {
+        let cap = cap.max(1);
+        if min_eff <= 0.0 {
+            return cap;
+        }
+        let p = self.fraction(k);
+        if p >= 1.0 {
+            return cap;
+        }
+        let raw = ((1.0 / min_eff - p) / (1.0 - p)).floor();
+        let mut n = if raw < 1.0 {
+            1
+        } else if raw >= f64::from(cap) {
+            cap
+        } else {
+            raw as u32
+        };
+        let eff = |n: u32| self.point(k, n).2;
+        while n < cap && eff(n + 1) >= min_eff {
+            n += 1;
+        }
+        while n > 1 && eff(n) < min_eff {
+            n -= 1;
+        }
+        n
+    }
+}
+
+/// What a job executes.
+#[derive(Clone)]
+pub enum JobPayload {
+    /// Closed-form Amdahl model (the scale path — no allocation, no cache).
+    Analytic(AnalyticJob),
+    /// Any [`cluster::Workload`], profiled through the shared cache. The
+    /// `Arc` keeps specs cheaply cloneable in streams.
+    Boxed(Arc<dyn Workload>),
+}
+
+impl JobPayload {
+    /// Number of iterations.
+    pub fn iterations(&self) -> u32 {
+        match self {
+            JobPayload::Analytic(a) => a.iterations,
+            JobPayload::Boxed(w) => w.iterations() as u32,
+        }
+    }
+
+    /// Largest allocation the payload supports.
+    pub fn max_nodes(&self) -> u32 {
+        match self {
+            JobPayload::Analytic(_) => u32::MAX,
+            JobPayload::Boxed(w) => w.max_nodes(),
+        }
+    }
+}
+
+impl std::fmt::Debug for JobPayload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobPayload::Analytic(a) => f.debug_tuple("Analytic").field(a).finish(),
+            JobPayload::Boxed(w) => f.debug_tuple("Boxed").field(&w.key()).finish(),
+        }
+    }
+}
+
+/// One submitted job. Compact by design: no name, no per-job records —
+/// identity is the service-assigned monotone submission index (visible in
+/// the decision journal), attribution is per tenant and per cell.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Index into the service's tenant list.
+    pub tenant: u32,
+    /// Submission time; streams must be non-decreasing in arrival.
+    pub arrival: SimTime,
+    /// Requested allocation (capped by the cell size at admission).
+    pub requested_nodes: u32,
+    /// Cancel the job (pending, limbo or running) at this virtual time.
+    pub cancel_at: Option<SimTime>,
+    /// What to run.
+    pub payload: JobPayload,
+}
+
+impl JobSpec {
+    /// An analytic job.
+    pub fn analytic(tenant: u32, arrival: SimTime, requested_nodes: u32, job: AnalyticJob) -> Self {
+        JobSpec {
+            tenant,
+            arrival,
+            requested_nodes,
+            cancel_at: None,
+            payload: JobPayload::Analytic(job),
+        }
+    }
+
+    /// A job wrapping an arbitrary workload.
+    pub fn boxed(
+        tenant: u32,
+        arrival: SimTime,
+        requested_nodes: u32,
+        workload: Arc<dyn Workload>,
+    ) -> Self {
+        JobSpec {
+            tenant,
+            arrival,
+            requested_nodes,
+            cancel_at: None,
+            payload: JobPayload::Boxed(workload),
+        }
+    }
+
+    /// Requests cancellation at `at` (builder style).
+    pub fn with_cancel_at(mut self, at: SimTime) -> Self {
+        self.cancel_at = Some(at);
+        self
+    }
+}
+
+/// A seeded lazy stream of analytic jobs — the million-job driver.
+///
+/// Uniform interarrival in `[0, 2·mean)`, per-job tenant / request /
+/// iteration-count / parallel-fraction draws from one xorshift64 state, so
+/// the whole load derives deterministically from `(jobs, seed)` and costs
+/// O(1) memory no matter how long it runs.
+#[derive(Clone, Debug)]
+pub struct SyntheticLoad {
+    remaining: u64,
+    t: u64,
+    state: u64,
+    tenants: u32,
+    max_request: u32,
+    mean_interarrival_ns: u64,
+    mean_work_ns: u64,
+}
+
+impl SyntheticLoad {
+    /// A stream of `jobs` jobs over `tenants` tenants with requests in
+    /// `1..=max_request`, derived from `seed`.
+    pub fn new(
+        jobs: u64,
+        tenants: u32,
+        max_request: u32,
+        mean_interarrival: SimDuration,
+        mean_work: SimDuration,
+        seed: u64,
+    ) -> SyntheticLoad {
+        assert!(tenants > 0 && max_request > 0);
+        SyntheticLoad {
+            remaining: jobs,
+            t: 0,
+            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+            tenants,
+            max_request,
+            mean_interarrival_ns: mean_interarrival.as_nanos().max(1),
+            mean_work_ns: mean_work.as_nanos().max(1),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+}
+
+impl Iterator for SyntheticLoad {
+    type Item = JobSpec;
+
+    fn next(&mut self) -> Option<JobSpec> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        self.t += self.next_u64() % (2 * self.mean_interarrival_ns);
+        let tenant = (self.next_u64() % u64::from(self.tenants)) as u32;
+        let requested = 1 + (self.next_u64() % u64::from(self.max_request)) as u32;
+        let iterations = 1 + (self.next_u64() % 4) as u32;
+        let p0 = 0.60 + 0.38 * (self.next_u64() % 1000) as f64 / 1000.0;
+        let p1 = (p0 - 0.25).max(0.30);
+        // Work scales with the request so big jobs are also long jobs.
+        let base = self.mean_work_ns / 2 + self.next_u64() % self.mean_work_ns;
+        let work = base / u64::from(self.max_request) * u64::from(requested) + 1;
+        Some(JobSpec::analytic(
+            tenant,
+            SimTime(self.t),
+            requested,
+            AnalyticJob {
+                work: SimDuration(work),
+                parallel_first: p0,
+                parallel_last: p1,
+                iterations,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_form_target_matches_linear_scan() {
+        // The O(1) inversion must agree with the reference profile scan
+        // ("largest n with eff ≥ threshold") for a grid of shapes.
+        for pf in [0.0, 0.30, 0.55, 0.72, 0.90, 0.97, 0.999] {
+            for pl in [0.0, 0.30, 0.55, 0.72, 0.90] {
+                let job = AnalyticJob {
+                    work: SimDuration::from_secs(8),
+                    parallel_first: pf,
+                    parallel_last: pl,
+                    iterations: 4,
+                };
+                for k in 0..4 {
+                    for min_eff in [0.3, 0.5, 0.7, 0.9] {
+                        for cap in [1, 3, 8, 32] {
+                            let mut best = 1;
+                            for n in 1..=cap {
+                                if job.point(k, n).2 >= min_eff {
+                                    best = n;
+                                }
+                            }
+                            assert_eq!(
+                                job.target_nodes(k, min_eff, cap),
+                                best,
+                                "pf={pf} pl={pl} k={k} eff={min_eff} cap={cap}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn analytic_points_are_consistent() {
+        let job = AnalyticJob {
+            work: SimDuration::from_secs(4),
+            parallel_first: 0.9,
+            parallel_last: 0.5,
+            iterations: 4,
+        };
+        let (span1, w, eff1) = job.point(0, 1);
+        assert_eq!(span1, w, "serial span equals the work slice");
+        assert!((eff1 - 1.0).abs() < 1e-12);
+        let (span8, _, eff8) = job.point(0, 8);
+        assert!(span8 < span1 && eff8 < 1.0);
+        // Later iterations parallelize worse.
+        assert!(job.point(3, 8).2 < job.point(0, 8).2);
+    }
+
+    #[test]
+    fn synthetic_load_is_deterministic_and_bounded() {
+        let a: Vec<JobSpec> = SyntheticLoad::new(
+            500,
+            4,
+            8,
+            SimDuration::from_millis(100),
+            SimDuration::from_secs(2),
+            7,
+        )
+        .collect();
+        let b: Vec<JobSpec> = SyntheticLoad::new(
+            500,
+            4,
+            8,
+            SimDuration::from_millis(100),
+            SimDuration::from_secs(2),
+            7,
+        )
+        .collect();
+        assert_eq!(a.len(), 500);
+        let mut prev = SimTime::ZERO;
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.arrival, y.arrival);
+            assert_eq!(x.tenant, y.tenant);
+            assert_eq!(x.requested_nodes, y.requested_nodes);
+            assert!(x.arrival >= prev, "arrivals must be non-decreasing");
+            assert!(x.tenant < 4 && (1..=8).contains(&x.requested_nodes));
+            prev = x.arrival;
+        }
+        let c: Vec<JobSpec> = SyntheticLoad::new(
+            500,
+            4,
+            8,
+            SimDuration::from_millis(100),
+            SimDuration::from_secs(2),
+            8,
+        )
+        .collect();
+        assert!(
+            a.iter().zip(&c).any(|(x, y)| x.arrival != y.arrival),
+            "different seeds must draw different loads"
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Long-lived sharded multi-tenant cluster job service.
+//!
+//! `cluster-svc` layers a *service* on top of the batch-oriented
+//! [`cluster`] simulator: instead of one workload per run, a
+//! [`ClusterService`] drains an arbitrarily long stream of [`JobSpec`]s —
+//! millions per run — submitted by competing tenants against a partitioned
+//! node pool, under a [`faults::FaultPlan`], deterministically per seed.
+//!
+//! The moving parts:
+//!
+//! * **Cells and shards** — the node pool is split into fixed cells
+//!   (`nodes_per_cell` each); shards are contiguous groupings of cells
+//!   that each drain their own event loop. The shard count is purely an
+//!   execution choice: reports and decision journals are byte-identical
+//!   across shard counts (see `service` module docs for the determinism
+//!   contract).
+//! * **Fair-share admission** — per-tenant FIFO queues scheduled by
+//!   weighted deficit round-robin, with `max_pending` backpressure
+//!   (reject at admission) and `max_inflight` quotas.
+//! * **Elastic recovery** — faults interrupt placed jobs, refund their
+//!   unused allocation, charge lost work, and re-queue them; the re-placed
+//!   job may land in any surviving cell, so recovery crosses shards.
+//! * **Budgets and cancellation** — [`ServiceBudget`] bounds events and
+//!   virtual time with typed errors; a [`dps_sim::CancelToken`] aborts a
+//!   `serve` cooperatively; per-job `cancel_at` cancels one submission.
+//! * **Decision journal** — every admit/place/shrink/requeue/recover/
+//!   reject/complete/fail/cancel decision can be committed to a
+//!   [`desim::Journal`] for divergence pinpointing across runs.
+//!
+//! ```
+//! use cluster_svc::{ClusterService, ServiceConfig, ServeOptions, SyntheticLoad, TenantSpec};
+//! use cluster::SchedulePolicy;
+//! use desim::SimDuration;
+//! use faults::FaultPlan;
+//!
+//! let cfg = ServiceConfig::new(8, 4, 2, SchedulePolicy::Malleable { min_efficiency: 0.5 })
+//!     .with_tenant(TenantSpec::new("batch", 3))
+//!     .with_tenant(TenantSpec::new("interactive", 1));
+//! let svc = ClusterService::new(cfg).unwrap();
+//! let load = SyntheticLoad::new(
+//!     1_000, 2, 8,
+//!     SimDuration::from_millis(20), SimDuration::from_millis(200), 42,
+//! );
+//! let out = svc.serve(load, &FaultPlan::none(), &ServeOptions::default()).unwrap();
+//! assert_eq!(out.report.completed_jobs() + out.report.failed_jobs()
+//!     + out.report.rejected_jobs(), 1_000);
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod fairshare;
+mod job;
+mod report;
+mod service;
+mod shard;
+
+pub use config::{ServiceConfig, TenantSpec};
+pub use job::{AnalyticJob, JobPayload, JobSpec, SyntheticLoad};
+pub use report::{CellReport, LatencyHist, ServiceReport, TenantReport};
+pub use service::{
+    decision, ClusterService, ServeOptions, ServiceBudget, ServiceOutcome, DECISION_LABELS, NO_CELL,
+};

@@ -1,0 +1,123 @@
+//! Cells and shard executors.
+//!
+//! A [`Cell`] is the semantic partition unit: a fixed node slice with its
+//! own sorted free pool, its own [`EventQueue`] of iteration-end events
+//! and its own [`CellReport`]. A [`Shard`] owns a contiguous range of
+//! cells and drains them as one event loop. Determinism across shard
+//! counts comes from two structural facts:
+//!
+//! * per-**cell** event queues: insertion sequence numbers (the queue's
+//!   tie-break) are cell-local, so they cannot depend on how cells are
+//!   grouped into shards;
+//! * contiguous shard ranges in ascending cell order: iterating shards,
+//!   then each shard's cells, visits cells in the same global order at
+//!   every shard count.
+
+use desim::{EventQueue, SimTime};
+
+use crate::report::CellReport;
+
+/// An iteration-end event inside one cell. `gen` guards against stale
+/// events after an interruption rescheduled the job (lazy cancellation,
+/// as in the batch server).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct PhaseEnd {
+    /// Slab slot of the running job.
+    pub slot: u32,
+    /// Job generation the event was scheduled for.
+    pub gen: u32,
+}
+
+/// One fixed slice of the node pool.
+pub(crate) struct Cell {
+    /// Free node ids, kept sorted ascending; grants take the lowest.
+    pub free: Vec<u32>,
+    /// Nodes of this cell not permanently crashed.
+    pub alive: u32,
+    /// Iteration-end events of jobs placed here.
+    pub queue: EventQueue<PhaseEnd>,
+    /// Shard-locally accumulated totals.
+    pub report: CellReport,
+}
+
+impl Cell {
+    pub fn new(first_node: u32, nodes: u32) -> Cell {
+        Cell {
+            free: (first_node..first_node + nodes).collect(),
+            alive: nodes,
+            queue: EventQueue::new(),
+            report: CellReport::default(),
+        }
+    }
+
+    /// Returns a node to the free pool, keeping it sorted.
+    pub fn release_node(&mut self, node: u32) {
+        let pos = self.free.partition_point(|&n| n < node);
+        self.free.insert(pos, node);
+    }
+
+    /// Removes a specific node from the free pool (fault on an idle node);
+    /// returns whether it was free.
+    pub fn take_node(&mut self, node: u32) -> bool {
+        if let Ok(pos) = self.free.binary_search(&node) {
+            self.free.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// One shard executor: a contiguous range of cells drained as one loop.
+pub(crate) struct Shard {
+    /// Global id of the first owned cell.
+    pub first_cell: u32,
+    /// Owned cells, ascending.
+    pub cells: Vec<Cell>,
+}
+
+impl Shard {
+    /// Earliest pending iteration-end across the shard's cells.
+    pub fn next_time(&mut self) -> Option<SimTime> {
+        self.cells
+            .iter_mut()
+            .filter_map(|c| c.queue.peek_time())
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_free_pool_stays_sorted() {
+        let mut c = Cell::new(8, 4);
+        assert_eq!(c.free, vec![8, 9, 10, 11]);
+        assert!(c.take_node(9));
+        assert!(!c.take_node(9));
+        c.release_node(9);
+        assert_eq!(c.free, vec![8, 9, 10, 11]);
+        let taken: Vec<u32> = c.free.drain(..2).collect();
+        assert_eq!(taken, vec![8, 9]);
+        c.release_node(8);
+        c.release_node(9);
+        assert_eq!(c.free, vec![8, 9, 10, 11]);
+    }
+
+    #[test]
+    fn shard_next_time_is_the_min_over_cells() {
+        let mut s = Shard {
+            first_cell: 0,
+            cells: vec![Cell::new(0, 2), Cell::new(2, 2)],
+        };
+        assert_eq!(s.next_time(), None);
+        s.cells[1]
+            .queue
+            .schedule(SimTime(50), PhaseEnd { slot: 1, gen: 1 });
+        s.cells[0]
+            .queue
+            .schedule(SimTime(90), PhaseEnd { slot: 2, gen: 1 });
+        assert_eq!(s.next_time(), Some(SimTime(50)));
+    }
+}

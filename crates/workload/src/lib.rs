@@ -27,19 +27,28 @@
 //!   (`lu_app::LuCheckpoint`), instead of N full simulations;
 //! * [`scenarios`] is a registry of named experiment setups
 //!   ([`ScenarioSpec`]) the `scenarios` runner binary lists and executes
-//!   through the bench harness.
+//!   through the bench harness;
+//! * [`scale`] is the `server-scale` experiment: the sharded multi-tenant
+//!   [`cluster_svc::ClusterService`] driven to a million-job synthetic
+//!   stream, with shard-count-invariance rows and the host-throughput
+//!   measurement the `scenarios` binary records.
 
 #![warn(missing_docs)]
 
 pub mod apps;
 pub mod env;
 pub mod faulted;
+pub mod scale;
 pub mod scenarios;
 pub mod sweep;
 
 pub use apps::{LuWorkload, StencilWorkload};
 pub use env::{engine_threads, SimEnv, DEFAULT_SEED, N};
 pub use faulted::{FaultAware, FaultedRun, FaultedWorkload};
+pub use scale::{
+    run_server_scale, server_scale_bench, server_scale_config, server_scale_load,
+    server_scale_plan, ScaleBenchRun, SCALE_JOBS, SCALE_SMOKE_JOBS,
+};
 pub use scenarios::{
     builtin_scenarios, fault_server_policies, find_scenario, server_policies, shrink_schedule,
     sim_job_set, ScenarioCtx, ScenarioPoint, ScenarioSpec,

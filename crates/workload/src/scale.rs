@@ -1,0 +1,205 @@
+//! The `server-scale` experiment: the sharded cluster service driven to
+//! a million-job synthetic stream.
+//!
+//! One configuration (8 cells × 8 nodes, four weighted tenants, elastic
+//! recovery) is served the same seeded [`SyntheticLoad`] at several shard
+//! counts — the CSV rows demonstrate that every virtual-time metric is
+//! identical across shard counts, which is the service's determinism
+//! contract — plus one row under a seeded cross-shard fault plan.
+//!
+//! Only virtual-time metrics go into scenario fields (they are cached and
+//! byte-compared); host throughput (jobs per *wall* second, events per
+//! second) is measured by the `scenarios` binary with
+//! [`server_scale_bench`] and recorded in `results/BENCH_engine.json`.
+
+use cluster::SchedulePolicy;
+use cluster_svc::{
+    ClusterService, ServeOptions, ServiceConfig, ServiceReport, SyntheticLoad, TenantSpec,
+};
+use desim::SimDuration;
+use faults::{CheckpointSpec, FaultGenConfig, FaultPlan};
+
+use crate::scenarios::{ScenarioCtx, ScenarioPoint};
+
+/// Jobs per full-scale run (the ISSUE's ≥1M floor, with headroom).
+pub const SCALE_JOBS: u64 = 1_050_000;
+/// Jobs per CI smoke run.
+pub const SCALE_SMOKE_JOBS: u64 = 20_000;
+
+/// Mean interarrival of the synthetic stream (400 ms).
+const MEAN_INTERARRIVAL: SimDuration = SimDuration(400_000_000);
+/// Mean serial work per max-size job (20 s, scaled down with the request).
+const MEAN_WORK: SimDuration = SimDuration(20_000_000_000);
+/// Tenants in the stream (must match the config's tenant count).
+const TENANTS: u32 = 4;
+/// Largest node request in the stream (= nodes per cell).
+const MAX_REQUEST: u32 = 8;
+
+/// The service topology the experiment runs: 8 cells of 8 nodes under
+/// elastic recovery, four tenants with 4:2:1:1 fair-share weights, an
+/// inflight quota on the interactive tenant and admission backpressure on
+/// the scavenger.
+pub fn server_scale_config(shards: u32) -> ServiceConfig {
+    ServiceConfig::new(
+        8,
+        8,
+        shards,
+        SchedulePolicy::ElasticRecovery {
+            min_efficiency: 0.5,
+            base_backoff: SimDuration::from_secs(2),
+            max_backoff: SimDuration::from_secs(60),
+        },
+    )
+    .with_tenant(TenantSpec::new("batch", 4))
+    .with_tenant(TenantSpec::new("service", 2))
+    .with_tenant(TenantSpec::new("interactive", 1).with_max_inflight(24))
+    .with_tenant(TenantSpec::new("scavenger", 1).with_max_pending(50_000))
+}
+
+/// The seeded synthetic job stream (`jobs` jobs, O(1) memory).
+pub fn server_scale_load(jobs: u64, seed: u64) -> SyntheticLoad {
+    SyntheticLoad::new(
+        jobs,
+        TENANTS,
+        MAX_REQUEST,
+        MEAN_INTERARRIVAL,
+        MEAN_WORK,
+        seed,
+    )
+}
+
+/// The seeded cross-shard fault plan for the faulted row: a few crashes
+/// and preemptions (drain + requeue across cells), slowdown and degrade
+/// windows, under a periodic checkpoint model.
+pub fn server_scale_plan(jobs: u64, seed: u64) -> FaultPlan {
+    let horizon = SimDuration(MEAN_INTERARRIVAL.as_nanos().saturating_mul(jobs));
+    FaultGenConfig {
+        crashes: 3,
+        preempts: 6,
+        slowdowns: 4,
+        degrades: 2,
+        checkpoint: CheckpointSpec::every(
+            2,
+            SimDuration::from_millis(50),
+            SimDuration::from_millis(200),
+        ),
+        ..FaultGenConfig::quiet(server_scale_config(1).total_nodes(), horizon)
+    }
+    .generate(seed)
+}
+
+/// Runs the experiment once and returns the service report.
+pub fn run_server_scale(shards: u32, jobs: u64, seed: u64, faulted: bool) -> ServiceReport {
+    let svc = ClusterService::new(server_scale_config(shards)).expect("valid scale config");
+    let plan = if faulted {
+        server_scale_plan(jobs, seed)
+    } else {
+        FaultPlan::none()
+    };
+    svc.serve(
+        server_scale_load(jobs, seed),
+        &plan,
+        &ServeOptions::default(),
+    )
+    .expect("scale serve run")
+    .report
+}
+
+fn scale_fields(r: &ServiceReport) -> Vec<(&'static str, f64)> {
+    vec![
+        ("submitted", r.submitted as f64),
+        ("completed", r.completed_jobs() as f64),
+        ("rejected", r.rejected_jobs() as f64),
+        ("failed", r.failed_jobs() as f64),
+        ("restarts", r.total_restarts() as f64),
+        ("makespan_secs", r.makespan.as_secs_f64()),
+        ("jobs_per_vsec", r.jobs_per_virtual_sec()),
+        ("p99_wait_ms", r.p99_wait().as_secs_f64() * 1e3),
+        ("mean_wait_ms", r.mean_wait().as_secs_f64() * 1e3),
+        ("alloc_eff_pct", r.allocation_efficiency() * 100.0),
+        ("utilization_pct", r.utilization() * 100.0),
+        ("lost_work_secs", r.total_lost_work().as_secs_f64()),
+    ]
+}
+
+/// The scenario's points: quiet rows at several shard counts (identical
+/// virtual metrics — the determinism contract rendered as data) plus a
+/// faulted row.
+pub fn server_scale_points(ctx: &ScenarioCtx) -> Vec<ScenarioPoint> {
+    let jobs = if ctx.smoke {
+        SCALE_SMOKE_JOBS
+    } else {
+        SCALE_JOBS
+    };
+    let quiet_shards: &[u32] = if ctx.smoke { &[1, 2] } else { &[1, 2, 4] };
+    let fault_shards = if ctx.smoke { 2 } else { 4 };
+    let seed = ctx.seed;
+    let mut points: Vec<ScenarioPoint> = quiet_shards
+        .iter()
+        .map(|&shards| {
+            ScenarioPoint::new(format!("scale {shards} shard quiet"), move || {
+                scale_fields(&run_server_scale(shards, jobs, seed, false))
+            })
+        })
+        .collect();
+    points.push(ScenarioPoint::new(
+        format!("scale {fault_shards} shard faulted"),
+        move || scale_fields(&run_server_scale(fault_shards, jobs, seed, true)),
+    ));
+    points
+}
+
+/// Host-throughput numbers from one uncached run at the highest shard
+/// count (the `scenarios` binary times this and derives jobs/s).
+pub struct ScaleBenchRun {
+    /// Jobs completed.
+    pub jobs: u64,
+    /// Events processed.
+    pub events: u64,
+    /// P99 scheduling latency, milliseconds.
+    pub p99_sched_latency_ms: f64,
+}
+
+/// Runs the throughput measurement configuration (quiet, 4 shards; the
+/// caller wraps it in a wall-clock timer).
+pub fn server_scale_bench(ctx: &ScenarioCtx) -> ScaleBenchRun {
+    let jobs = if ctx.smoke {
+        SCALE_SMOKE_JOBS
+    } else {
+        SCALE_JOBS
+    };
+    let r = run_server_scale(4, jobs, ctx.seed, false);
+    ScaleBenchRun {
+        jobs: r.completed_jobs(),
+        events: r.events,
+        p99_sched_latency_ms: r.p99_wait().as_secs_f64() * 1e3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_scale_run_completes_the_stream() {
+        let r = run_server_scale(2, 2_000, 7, false);
+        assert_eq!(r.submitted, 2_000);
+        assert_eq!(
+            r.completed_jobs() + r.failed_jobs() + r.rejected_jobs(),
+            2_000
+        );
+        assert!(r.completed_jobs() > 1_900, "quiet runs complete nearly all");
+        assert!(r.p99_wait() >= r.mean_wait());
+    }
+
+    #[test]
+    fn faulted_scale_run_restarts_and_still_serves() {
+        let r = run_server_scale(2, 2_000, 7, true);
+        assert!(
+            r.total_restarts() > 0,
+            "the seeded plan must interrupt jobs"
+        );
+        assert!(r.completed_jobs() > 1_800);
+        assert!(r.total_lost_work() > SimDuration::ZERO);
+    }
+}

@@ -433,6 +433,12 @@ pub fn builtin_scenarios() -> Vec<ScenarioSpec> {
                 "cluster server under a seeded fault plan: rigid vs malleable vs elastic recovery",
             points: server_elastic_points,
         },
+        ScenarioSpec {
+            name: "server-scale",
+            summary:
+                "sharded multi-tenant cluster service on a million-job stream, per shard count",
+            points: crate::scale::server_scale_points,
+        },
     ]
 }
 

@@ -21,6 +21,10 @@
 //!   the network, the engine and the cluster server.
 //! * [`cluster`] — dynamic allocation policies and the malleable cluster
 //!   server with its [`cluster::Workload`] trait.
+//! * [`cluster_svc`] — long-lived sharded multi-tenant job service on top
+//!   of the cluster layer: fair-share admission, cross-shard elastic
+//!   recovery and million-job synthetic streams, byte-identical across
+//!   shard counts.
 //! * [`workload`] — simulator-backed workloads ([`workload::LuWorkload`],
 //!   [`workload::StencilWorkload`]), the shared [`workload::SimEnv`]
 //!   experiment wiring and the scenario registry.
@@ -31,6 +35,7 @@
 //! hash through the same deterministic `FxHasher`.
 
 pub use cluster;
+pub use cluster_svc;
 pub use desim;
 pub use desim::fxhash;
 pub use dps;
