@@ -23,6 +23,10 @@
 //! Selecting `server-scale` additionally times one uncached run of the
 //! sharded cluster service and records host throughput (jobs/s, events/s)
 //! and the P99 scheduling latency in `results/BENCH_engine.json`.
+//! Selecting `server-whatif` records the what-if decision-latency
+//! histogram (`whatif_decision_latency`: p50/p99/max microseconds per
+//! decision) and the fork-vs-fresh candidate-scoring speedup
+//! (`fork_vs_fresh_speedup`) the same way.
 //!
 //! `--journal` additionally records the committed-event journal of the
 //! reference LU run at the session seed, pinpoint-checks the serial stream
@@ -35,7 +39,8 @@ use dps_bench::{
     time, BenchJson,
 };
 use workload::{
-    builtin_scenarios, find_scenario, server_scale_bench, ScenarioCtx, ScenarioSpec, DEFAULT_SEED,
+    builtin_scenarios, find_scenario, fork_vs_fresh_bench, server_scale_bench, server_whatif_bench,
+    ScenarioCtx, ScenarioSpec, SimEnv, DEFAULT_SEED,
 };
 
 fn registry() -> Vec<ScenarioSpec> {
@@ -123,9 +128,11 @@ fn main() {
 
     let mut json = BenchJson::new();
     let mut bench_scale = false;
+    let mut bench_whatif = false;
     for spec in selected {
         run(spec, &ctx, use_cache, &mut json);
         bench_scale |= spec.name == "server-scale";
+        bench_whatif |= spec.name == "server-whatif";
     }
     if bench_scale {
         // Host-throughput row: one uncached, timed run at the highest
@@ -143,6 +150,45 @@ fn main() {
                 ("wall_secs", wall),
             ],
         );
+    }
+    if bench_whatif {
+        // Decision-latency row: one uncached run with the per-decision
+        // wall-clock histogram enabled.
+        let (b, wall) = time(|| server_whatif_bench(&ctx));
+        json.record(
+            "whatif_decision_latency",
+            &[
+                ("jobs", b.jobs as f64),
+                ("decisions", b.decisions as f64),
+                ("decisions_per_sec", b.decisions as f64 / wall.max(1e-9)),
+                ("p50_us", b.p50_us),
+                ("p99_us", b.p99_us),
+                ("max_us", b.max_us),
+                ("wall_secs", wall),
+            ],
+        );
+        // Fork-vs-fresh row: the same candidate slate answered by forking
+        // one warm checkpointed base versus fresh full simulations.
+        let env = SimEnv::paper();
+        let mut cfg = if ctx.smoke {
+            env.lu_sized(324, 81, 4)
+        } else {
+            env.lu_sized(648, 81, 8)
+        };
+        cfg.workers = cfg.nodes;
+        let barriers: Vec<usize> = (1..cfg.k_blocks()).collect();
+        match fork_vs_fresh_bench(&cfg, env.net, &env.simcfg, &barriers) {
+            Ok(r) => json.record(
+                "fork_vs_fresh_speedup",
+                &[
+                    ("candidates", r.candidates as f64),
+                    ("forked_secs", r.forked_secs),
+                    ("fresh_secs", r.fresh_secs),
+                    ("speedup", r.speedup()),
+                ],
+            ),
+            Err(e) => eprintln!("fork_vs_fresh bench failed: {e}"),
+        }
     }
     if journal {
         let path = default_journal_path();

@@ -43,7 +43,10 @@ use crate::harness::run_parallel_isolated;
 ///
 /// v2: `RunReport` lost its `stall` field to the typed-error rework
 /// (`canonical_string` changed) and rows can now carry error columns.
-pub const CACHE_VERSION: u32 = 2;
+///
+/// v3: `ServiceReport::canonical_string` grew profile-cache and what-if
+/// counter lines, and server scenarios gained what-if columns.
+pub const CACHE_VERSION: u32 = 3;
 
 /// Where cache entries live: `DVNS_CACHE_DIR`, or `results/cache`.
 pub fn cache_dir() -> PathBuf {

@@ -65,6 +65,22 @@ impl AnalyticJob {
         (span, w, eff)
     }
 
+    /// Integer what-if score of running iterations `from..` at a constant
+    /// allocation of `nodes` — the analytic closed-form counterpart of
+    /// [`cluster::profile_suffix`], keeping the scale path free of caches
+    /// and engine runs.
+    pub fn suffix_score(&self, from: u32, nodes: u32) -> cluster::CandidateScore {
+        let mut s = cluster::CandidateScore::default();
+        for k in from..self.iterations {
+            let (span, work, _) = self.point(k, nodes);
+            let ns = span.as_nanos();
+            s.span_ns = s.span_ns.saturating_add(ns);
+            s.work_ns = s.work_ns.saturating_add(work.as_nanos());
+            s.alloc_node_ns += u128::from(nodes.max(1)) * u128::from(ns);
+        }
+        s
+    }
+
     /// Largest allocation in `1..=cap` whose iteration-`k` efficiency
     /// clears `min_eff` — the Amdahl inversion of the malleable policy's
     /// linear profile scan. `eff(n) = 1/(n(1−p)+p) ≥ E ⇔ n ≤ (1/E−p)/(1−p)`,

@@ -19,7 +19,7 @@ use desim::{SimDuration, SimTime};
 /// first start), exact below 4 ns and within ~12% above. Buckets, counts
 /// and the quantile scan are all integer arithmetic, so quantiles are
 /// byte-stable across shard groupings and host thread counts.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LatencyHist {
     buckets: Vec<u64>,
     count: u64,
@@ -50,6 +50,12 @@ fn bucket_upper(idx: usize) -> u64 {
         return u64::MAX;
     }
     ((5 + sub) << msb) / 4
+}
+
+impl Default for LatencyHist {
+    fn default() -> LatencyHist {
+        LatencyHist::new()
+    }
 }
 
 impl LatencyHist {
@@ -176,6 +182,32 @@ pub struct TenantReport {
     pub max_wait_ns: u64,
 }
 
+/// Deterministic counters of the what-if decision machinery. Every field
+/// is incremented in the fixed global event order, so the whole struct is
+/// byte-identical across shard counts and engine thread counts (and is
+/// part of [`ServiceReport::canonical_string`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WhatIfStats {
+    /// What-if decisions taken (placements and iteration boundaries).
+    pub decisions: u64,
+    /// Candidate futures enumerated across all decisions.
+    pub candidates: u64,
+    /// Candidates scored by forking the job's live simulation.
+    pub fork_scored: u64,
+    /// Candidates served from the fingerprint score memo.
+    pub memo_scored: u64,
+    /// Candidates scored from a memoized fixed-allocation profile.
+    pub profile_scored: u64,
+    /// Candidates scored by the closed-form analytic model.
+    pub analytic_scored: u64,
+    /// Live what-if sessions opened (warm forked bases).
+    pub sessions_opened: u64,
+    /// Committed migrate-to-another-cell decisions.
+    pub migrations: u64,
+    /// Committed checkpoint-now decisions.
+    pub extra_checkpoints: u64,
+}
+
 /// The aggregate outcome of one `serve` call.
 #[derive(Clone, Debug, Default)]
 pub struct ServiceReport {
@@ -197,6 +229,20 @@ pub struct ServiceReport {
     pub makespan: SimTime,
     /// Scheduling-latency histogram over first starts.
     pub wait_hist: LatencyHist,
+    /// Profile/score lookups served from the [`cluster::ProfileCache`].
+    pub cache_hits: u64,
+    /// Lookups that computed fresh profiles or candidate scores.
+    pub cache_misses: u64,
+    /// Profiles + memoized scores held when the run finished.
+    pub cache_entries: u64,
+    /// Cache entries evicted to stay within the fixed capacity.
+    pub cache_evictions: u64,
+    /// What-if decision counters (all deterministic).
+    pub whatif: WhatIfStats,
+    /// **Host-measured** per-decision latency histogram, recorded only
+    /// under [`crate::ServeOptions::measure_decisions`]. Wall-clock data:
+    /// excluded from [`ServiceReport::canonical_string`] by design.
+    pub decision_hist: LatencyHist,
 }
 
 impl ServiceReport {
@@ -369,6 +415,27 @@ impl ServiceReport {
             self.wait_hist.max().as_nanos(),
             self.wait_hist.mean().as_nanos()
         );
+        let _ = writeln!(
+            out,
+            "cache hits={} misses={} entries={} evictions={}",
+            self.cache_hits, self.cache_misses, self.cache_entries, self.cache_evictions
+        );
+        let w = &self.whatif;
+        // decision_hist (host wall-clock) is deliberately absent here.
+        let _ = writeln!(
+            out,
+            "whatif decisions={} candidates={} fork={} memo={} profile={} analytic={} \
+             sessions={} migrations={} extra_ckpts={}",
+            w.decisions,
+            w.candidates,
+            w.fork_scored,
+            w.memo_scored,
+            w.profile_scored,
+            w.analytic_scored,
+            w.sessions_opened,
+            w.migrations,
+            w.extra_checkpoints
+        );
         for tn in &self.tenants {
             let _ = writeln!(
                 out,
@@ -499,5 +566,27 @@ mod tests {
         b.shards = 4;
         assert_eq!(a.canonical_string(), b.canonical_string());
         assert!(a.canonical_string().contains("cluster-svc report"));
+    }
+
+    #[test]
+    fn canonical_string_has_whatif_but_not_decision_wallclock() {
+        let a = ServiceReport {
+            whatif: WhatIfStats {
+                decisions: 3,
+                candidates: 9,
+                ..WhatIfStats::default()
+            },
+            cache_hits: 5,
+            ..ServiceReport::default()
+        };
+        let mut b = a.clone();
+        // Host-measured decision latency must never affect the canonical
+        // rendering (it differs run to run by nature).
+        b.decision_hist.record(123_456);
+        assert_eq!(a.canonical_string(), b.canonical_string());
+        assert!(a
+            .canonical_string()
+            .contains("whatif decisions=3 candidates=9"));
+        assert!(a.canonical_string().contains("cache hits=5"));
     }
 }

@@ -38,9 +38,15 @@
 //! the first disagreeing field, which is what lets future what-if forks be
 //! diffed decision-by-decision.
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
 
-use cluster::{ProfileCache, SchedulePolicy};
+use cluster::{
+    profile_suffix, realized_suffix, score_fingerprint, CandidateKind, CandidateScore,
+    ProfileCache, SchedulePolicy, WhatIfSession,
+};
+use desim::fxhash::FxHashMap;
 use desim::{EventQueue, Journal, JournalEvent, SimDuration, SimTime};
 use dps_sim::{BudgetKind, CancelToken, SimError, SimErrorKind, SimResult};
 use faults::{CheckpointSpec, FaultPlan, Outage, RateTimeline};
@@ -48,7 +54,7 @@ use faults::{CheckpointSpec, FaultPlan, Outage, RateTimeline};
 use crate::config::ServiceConfig;
 use crate::fairshare::FairShare;
 use crate::job::{AnalyticJob, JobPayload, JobSpec};
-use crate::report::{LatencyHist, ServiceReport, TenantReport};
+use crate::report::{LatencyHist, ServiceReport, TenantReport, WhatIfStats};
 use crate::shard::{Cell, PhaseEnd, Shard};
 
 /// Decision codes recorded in journal `Step.op`, indexing
@@ -72,12 +78,28 @@ pub mod decision {
     pub const FAIL: u32 = 7;
     /// Job cancelled.
     pub const CANCEL: u32 = 8;
+    /// A what-if candidate future was scored (`start` = nodes, `work` =
+    /// predicted remaining span in ns).
+    pub const CANDIDATE: u32 = 9;
+    /// The winning what-if candidate was committed (`work` = its
+    /// [`cluster::CandidateKind`] as an integer).
+    pub const WHATIF: u32 = 10;
 }
 
 /// Names of the decision codes, interned into the journal's label table in
 /// code order (so `labels[op]` names a decision).
-pub const DECISION_LABELS: [&str; 9] = [
-    "admit", "place", "shrink", "requeue", "recover", "reject", "complete", "fail", "cancel",
+pub const DECISION_LABELS: [&str; 11] = [
+    "admit",
+    "place",
+    "shrink",
+    "requeue",
+    "recover",
+    "reject",
+    "complete",
+    "fail",
+    "cancel",
+    "candidate",
+    "whatif",
 ];
 
 /// `Step.node` value for decisions that concern no cell.
@@ -102,6 +124,11 @@ pub struct ServeOptions {
     pub cancel: Option<CancelToken>,
     /// Record the scheduling-decision journal.
     pub journal: bool,
+    /// Measure host wall-clock latency of each what-if decision into
+    /// [`ServiceReport::decision_hist`]. Off by default: the measurement
+    /// itself costs a couple of clock reads per decision, and the
+    /// histogram is host data (never part of the canonical report).
+    pub measure_decisions: bool,
 }
 
 /// What a completed `serve` returns.
@@ -155,6 +182,13 @@ impl ClusterService {
 const NO_HOLDER: u32 = u32::MAX;
 /// Cancel-token poll interval, in events.
 const CANCEL_CHECK_EVERY: u64 = 4096;
+/// Live what-if sessions kept warm at once (each holds a paused engine
+/// run); the oldest-opened is dropped first and reopened on demand.
+const MAX_SESSIONS: usize = 32;
+/// Score-fingerprint discriminant for fork-realized scores. Profile-suffix
+/// scores use `CandidateKind::Keep as u32` (shared with the batch server's
+/// `best_allocation`); this tag keeps the two semantics apart in the memo.
+const FORK_TAG: u32 = 6;
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum JobState {
@@ -192,6 +226,19 @@ struct LiveJob {
     resume_phase: u32,
     pending_restart: bool,
     first_start: Option<SimTime>,
+    /// Allocation of the job's first start — the baseline every committed
+    /// removal-plan entry shrinks from (what-if fork scoring).
+    start_nodes: u32,
+    /// Removal-plan entries committed so far (`(after, count)`, 1-based).
+    plan: Vec<(usize, u32)>,
+    /// Whether fork-based scoring is still exact for this job: true until
+    /// it grows, migrates, restarts, or its backend refuses to fork.
+    fork_ok: bool,
+    /// Charge one extra checkpoint cost to the next scheduled phase (a
+    /// committed checkpoint-now decision).
+    extra_ckpt: bool,
+    /// Resume point established by the latest extra checkpoint.
+    extra_ckpt_phase: u32,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -204,6 +251,15 @@ enum GlobalEv {
     Requeue { slot: u32, epoch: u32 },
     /// A job's requested cancellation time arrived.
     CancelJob { slot: u32, epoch: u32 },
+}
+
+/// What a boundary decision commits.
+#[derive(Clone, Copy, Debug)]
+enum WhatIfAction {
+    /// Run the next iteration on this many nodes in the current cell.
+    Resize(u32),
+    /// Checkpoint, move to `cell`, and restart there on `nodes`.
+    Migrate { cell: u32, nodes: u32 },
 }
 
 struct Engine<'a> {
@@ -249,6 +305,19 @@ struct Engine<'a> {
     freed_while_placing: bool,
     /// Reusable per-tenant capacity-blocked flags.
     blocked: Vec<bool>,
+    /// Whether the policy is [`SchedulePolicy::WhatIf`].
+    whatif: bool,
+    /// Whether the fault plan can interrupt jobs (gates checkpoint-now).
+    has_faults: bool,
+    /// Warm per-job what-if sessions, keyed by slab slot.
+    sessions: FxHashMap<u32, Box<dyn WhatIfSession>>,
+    /// Session slots in open order (FIFO eviction at [`MAX_SESSIONS`]).
+    session_order: VecDeque<u32>,
+    /// Deterministic what-if counters.
+    wi: WhatIfStats,
+    /// Host-measure decision latency ([`ServeOptions::measure_decisions`]).
+    measure: bool,
+    decision_hist: LatencyHist,
 }
 
 impl<'a> Engine<'a> {
@@ -275,6 +344,11 @@ impl<'a> Engine<'a> {
                 min_efficiency,
                 base_backoff,
                 max_backoff,
+            }
+            | SchedulePolicy::WhatIf {
+                min_efficiency,
+                base_backoff,
+                max_backoff,
             } => (Some(min_efficiency), Some((base_backoff, max_backoff))),
         };
         let journal = opts.journal.then(|| {
@@ -293,7 +367,10 @@ impl<'a> Engine<'a> {
         Engine {
             cfg,
             moldable: !matches!(cfg.policy, SchedulePolicy::Rigid),
-            elastic: matches!(cfg.policy, SchedulePolicy::ElasticRecovery { .. }),
+            elastic: matches!(
+                cfg.policy,
+                SchedulePolicy::ElasticRecovery { .. } | SchedulePolicy::WhatIf { .. }
+            ),
             min_eff,
             backoff,
             ckpt: plan.checkpoint,
@@ -331,6 +408,13 @@ impl<'a> Engine<'a> {
             placing: false,
             freed_while_placing: false,
             blocked: Vec::new(),
+            whatif: matches!(cfg.policy, SchedulePolicy::WhatIf { .. }),
+            has_faults: !plan.outages().is_empty(),
+            sessions: FxHashMap::default(),
+            session_order: VecDeque::new(),
+            wi: WhatIfStats::default(),
+            measure: opts.measure_decisions,
+            decision_hist: LatencyHist::new(),
         }
     }
 
@@ -476,6 +560,12 @@ impl<'a> Engine<'a> {
                 events: self.events,
                 makespan: self.makespan,
                 wait_hist: self.wait_hist,
+                cache_hits: self.cache.hits(),
+                cache_misses: self.cache.misses(),
+                cache_entries: (self.cache.len() + self.cache.scores_len()) as u64,
+                cache_evictions: self.cache.evictions(),
+                whatif: self.wi,
+                decision_hist: self.decision_hist,
             },
             journal: self.journal,
         }
@@ -554,6 +644,11 @@ impl<'a> Engine<'a> {
             resume_phase: 0,
             pending_restart: false,
             first_start: None,
+            start_nodes: 0,
+            plan: Vec::new(),
+            fork_ok: false,
+            extra_ckpt: false,
+            extra_ckpt_phase: 0,
         };
         if let Some(slot) = self.free_slots.pop() {
             let e = &mut self.slab[slot as usize];
@@ -568,9 +663,12 @@ impl<'a> Engine<'a> {
     /// Returns a slot to the free list; bumps the epoch so any in-flight
     /// requeue/cancel events for the old occupant go stale.
     fn release_slot(&mut self, slot: u32) {
+        self.drop_session(slot);
         let e = &mut self.slab[slot as usize];
         e.epoch += 1;
         e.gen += 1;
+        e.plan = Vec::new();
+        e.fork_ok = false;
         let mut held = std::mem::take(&mut e.held);
         held.clear();
         self.vec_pool.push(held);
@@ -666,7 +764,12 @@ impl<'a> Engine<'a> {
         let Some((cell, free)) = best.filter(|&(_, f)| f >= min_grant as usize) else {
             return Ok(false);
         };
-        let grant = req_eff.min(free as u32);
+        let full = req_eff.min(free as u32);
+        let grant = if self.whatif {
+            self.whatif_grant(slot, full, cell)
+        } else {
+            full
+        };
         self.queues.pop_head(ti as u32);
         self.queues.charge(ti, grant);
         self.queues.tenants[ti].inflight += 1;
@@ -700,6 +803,8 @@ impl<'a> Engine<'a> {
         let mut wait_ns = 0;
         if e.first_start.is_none() {
             e.first_start = Some(now);
+            e.start_nodes = grant;
+            e.fork_ok = self.whatif && matches!(e.payload, JobPayload::Boxed(_));
             wait_ns = (now - e.arrival).as_nanos();
             self.wait_hist.record(wait_ns);
             let tr = &mut self.tenants[tenant as usize];
@@ -815,6 +920,16 @@ impl<'a> Engine<'a> {
         if self.ckpt.checkpoints_after(phase as usize) {
             span += self.ckpt.checkpoint_cost;
         }
+        {
+            // A what-if CheckpointNow commit charges one extra checkpoint
+            // to the iteration that follows the decision boundary.
+            let ckpt_cost = self.ckpt.checkpoint_cost;
+            let e = &mut self.slab[slot as usize];
+            if e.extra_ckpt {
+                e.extra_ckpt = false;
+                span += ckpt_cost;
+            }
+        }
         span += restart_cost;
         // Zero-length iterations would stall the clock; floor at 1 ns.
         if span.is_zero() {
@@ -870,9 +985,22 @@ impl<'a> Engine<'a> {
         );
         let cell_free = self.cell_mut(cell_id).free.len() as u32;
         let cap = req.min(n + cell_free).min(max_nodes).max(1);
-        let target = match self.target_nodes(pe.slot, phase, cap) {
-            Ok(t) => t,
-            Err(err) => return self.fail_running(pe.slot, err),
+        let action = if self.whatif {
+            match self.whatif_boundary(pe.slot, cell_id, phase, n, cap) {
+                Ok(a) => a,
+                Err(err) => return self.fail_running(pe.slot, err),
+            }
+        } else {
+            match self.target_nodes(pe.slot, phase, cap) {
+                Ok(t) => WhatIfAction::Resize(t),
+                Err(err) => return self.fail_running(pe.slot, err),
+            }
+        };
+        let target = match action {
+            WhatIfAction::Migrate { cell, nodes } => {
+                return self.migrate_job(pe.slot, cell, nodes, phase);
+            }
+            WhatIfAction::Resize(t) => t,
         };
         if target != n {
             let (s, l) = self.cell_loc[cell_id as usize];
@@ -913,6 +1041,466 @@ impl<'a> Engine<'a> {
             self.place_pending()?;
         }
         Ok(())
+    }
+
+    // ----- what-if scheduling ----------------------------------------------
+
+    /// What-if placement sizing: score granting the full free allocation
+    /// against the efficiency target and a half grant, and start the job on
+    /// the winner. Falls back to the full grant if any candidate fails to
+    /// score — the job then fails at start with the same error,
+    /// deterministically, on its own slot.
+    fn whatif_grant(&mut self, slot: u32, full: u32, cell_id: u32) -> u32 {
+        let started = self.measure.then(Instant::now);
+        let min_eff = self.min_eff.unwrap_or(0.0);
+        let phase = self.slab[slot as usize].phase;
+        let Ok(target) = self.target_nodes(slot, phase, full) else {
+            return full;
+        };
+        let mut cands: Vec<(CandidateKind, u32)> = vec![(CandidateKind::Keep, full)];
+        for (kind, m) in [
+            (CandidateKind::ShrinkTarget, target.min(full).max(1)),
+            (CandidateKind::ShrinkHalf, (full / 2).max(1)),
+        ] {
+            if !cands.iter().any(|&(_, em)| em == m) {
+                cands.push((kind, m));
+            }
+        }
+        let mut scored: Vec<(CandidateKind, u32, CandidateScore)> = Vec::with_capacity(cands.len());
+        for &(kind, m) in &cands {
+            // `fork_ok` is still false before the first start, so this
+            // scores analytically or from the profile cache — no forking
+            // on the placement path.
+            let Ok(s) = self.score_resize_candidate(slot, phase, m, full) else {
+                return full;
+            };
+            scored.push((kind, m, s));
+        }
+        let (id, tenant) = {
+            let e = &self.slab[slot as usize];
+            (e.id, e.tenant)
+        };
+        let mut win = 0;
+        for (i, &(_, m, s)) in scored.iter().enumerate() {
+            self.journal_decision(decision::CANDIDATE, id, tenant, cell_id, m, s.span_ns);
+            if i > 0 && s.beats(&scored[win].2, min_eff) {
+                win = i;
+            }
+        }
+        let (kind, m, _) = scored[win];
+        self.journal_decision(decision::WHATIF, id, tenant, cell_id, m, kind as u32 as u64);
+        self.wi.decisions += 1;
+        self.wi.candidates += scored.len() as u64;
+        if let Some(t0) = started {
+            self.decision_hist.record(t0.elapsed().as_nanos() as u64);
+        }
+        m
+    }
+
+    /// One what-if boundary decision for the job at `slot` (currently `n`
+    /// nodes in `cell_id`, in-place cap `cap`, next iteration `phase`):
+    /// enumerate candidate futures, score each by predicted dynamic
+    /// efficiency, journal the slate, and commit the winner.
+    fn whatif_boundary(
+        &mut self,
+        slot: u32,
+        cell_id: u32,
+        phase: u32,
+        n: u32,
+        cap: u32,
+    ) -> SimResult<WhatIfAction> {
+        let started = self.measure.then(Instant::now);
+        let min_eff = self.min_eff.unwrap_or(0.0);
+        let target = self.target_nodes(slot, phase, cap)?;
+        // The candidate slate; enumeration order breaks exact score ties.
+        fn push(
+            cands: &mut Vec<(CandidateKind, u32, u32)>,
+            kind: CandidateKind,
+            m: u32,
+            cell: u32,
+        ) {
+            if !cands.iter().any(|&(_, em, ec)| em == m && ec == cell) {
+                cands.push((kind, m, cell));
+            }
+        }
+        let mut cands: Vec<(CandidateKind, u32, u32)> = Vec::with_capacity(6);
+        push(&mut cands, CandidateKind::Keep, n, cell_id);
+        push(
+            &mut cands,
+            CandidateKind::ShrinkTarget,
+            target.min(n).max(1),
+            cell_id,
+        );
+        push(
+            &mut cands,
+            CandidateKind::ShrinkHalf,
+            (n / 2).max(1),
+            cell_id,
+        );
+        if cap > n {
+            push(&mut cands, CandidateKind::Grow, cap, cell_id);
+            if target > n {
+                push(&mut cands, CandidateKind::Grow, target, cell_id);
+            }
+        }
+        let (req, max_nodes) = {
+            let e = &self.slab[slot as usize];
+            (e.requested, e.payload.max_nodes())
+        };
+        // Migration: the roomiest *other* cell (ties to the lowest id, the
+        // placement order), considered only when it offers more than any
+        // in-place allocation can (`m > cap`, so migration always grows).
+        let mut mig: Option<(u32, u32)> = None;
+        let mut scan = 0u32;
+        for s in &self.shards {
+            for c in &s.cells {
+                if scan != cell_id && mig.is_none_or(|(_, f)| c.free.len() as u32 > f) {
+                    mig = Some((scan, c.free.len() as u32));
+                }
+                scan += 1;
+            }
+        }
+        if let Some((to, free)) = mig {
+            let m = req.min(free).min(max_nodes);
+            if m > cap {
+                push(&mut cands, CandidateKind::Migrate, m, to);
+            }
+        }
+        // Score the slate; migration pays its checkpoint + restart up front.
+        let mig_cost = (self.ckpt.checkpoint_cost + self.ckpt.restart_cost).as_nanos();
+        let mut scored: Vec<(CandidateKind, u32, u32, CandidateScore)> =
+            Vec::with_capacity(cands.len() + 1);
+        for &(kind, m, cell) in &cands {
+            let mut s = self.score_resize_candidate(slot, phase, m, n)?;
+            if kind == CandidateKind::Migrate {
+                s.span_ns = s.span_ns.saturating_add(mig_cost);
+                s.alloc_node_ns += u128::from(m) * u128::from(mig_cost);
+            }
+            scored.push((kind, m, cell, s));
+        }
+        // Checkpoint-now: keep the allocation, pay one checkpoint next
+        // iteration, credit the replay a future fault would no longer cost.
+        // Only worth considering while faults can still strike and the
+        // uncheckpointed work exceeds the checkpoint's own cost.
+        let since_ckpt = self.slab[slot as usize].since_ckpt;
+        if self.has_faults
+            && !self.ckpt.checkpoint_cost.is_zero()
+            && since_ckpt > self.ckpt.checkpoint_cost
+        {
+            let keep = scored[0].3;
+            let cost = self.ckpt.checkpoint_cost.as_nanos();
+            let s = CandidateScore {
+                span_ns: keep
+                    .span_ns
+                    .saturating_add(cost)
+                    .saturating_sub(since_ckpt.as_nanos()),
+                work_ns: keep.work_ns,
+                alloc_node_ns: keep.alloc_node_ns + u128::from(n) * u128::from(cost),
+            };
+            scored.push((CandidateKind::CheckpointNow, n, cell_id, s));
+        }
+        // Journal the slate and pick the winner (first wins exact ties).
+        let (id, tenant) = {
+            let e = &self.slab[slot as usize];
+            (e.id, e.tenant)
+        };
+        let mut win = 0;
+        for (i, &(_, m, cell, s)) in scored.iter().enumerate() {
+            self.journal_decision(decision::CANDIDATE, id, tenant, cell, m, s.span_ns);
+            if i > 0 && s.beats(&scored[win].3, min_eff) {
+                win = i;
+            }
+        }
+        let (kind, m, cell, _) = scored[win];
+        self.journal_decision(decision::WHATIF, id, tenant, cell, m, kind as u32 as u64);
+        self.wi.decisions += 1;
+        self.wi.candidates += scored.len() as u64;
+        let action = match kind {
+            CandidateKind::Keep => WhatIfAction::Resize(n),
+            CandidateKind::ShrinkTarget | CandidateKind::ShrinkHalf => {
+                self.commit_shrink(slot, phase, n - m);
+                WhatIfAction::Resize(m)
+            }
+            CandidateKind::Grow => {
+                // The removal-plan language cannot express growth; from
+                // here this job scores via profile suffixes.
+                self.drop_session(slot);
+                self.slab[slot as usize].fork_ok = false;
+                WhatIfAction::Resize(m)
+            }
+            CandidateKind::Migrate => {
+                self.drop_session(slot);
+                self.slab[slot as usize].fork_ok = false;
+                WhatIfAction::Migrate { cell, nodes: m }
+            }
+            CandidateKind::CheckpointNow => {
+                let e = &mut self.slab[slot as usize];
+                e.extra_ckpt = true;
+                e.extra_ckpt_phase = phase;
+                e.since_ckpt = SimDuration::ZERO;
+                self.wi.extra_checkpoints += 1;
+                WhatIfAction::Resize(n)
+            }
+        };
+        if let Some(t0) = started {
+            self.decision_hist.record(t0.elapsed().as_nanos() as u64);
+        }
+        Ok(action)
+    }
+
+    /// Commits a what-if migration: checkpoint here, restart on `nodes` in
+    /// cell `to` (always a growth move — the scorer only proposes migration
+    /// when the destination beats every in-place candidate).
+    fn migrate_job(&mut self, slot: u32, to: u32, nodes: u32, phase: u32) -> SimResult<()> {
+        self.return_held_nodes(slot, None);
+        {
+            let (s, l) = self.cell_loc[to as usize];
+            let cell = &mut self.shards[s as usize].cells[l as usize];
+            let e = &mut self.slab[slot as usize];
+            e.cell = to;
+            e.held.extend(cell.free.drain(..nodes as usize));
+        }
+        for i in 0..nodes as usize {
+            let node = self.slab[slot as usize].held[i];
+            self.holder[node as usize] = slot;
+        }
+        {
+            // The move checkpoints first: replay drops to zero and a
+            // post-move fault resumes at this phase.
+            let e = &mut self.slab[slot as usize];
+            e.since_ckpt = SimDuration::ZERO;
+            e.extra_ckpt_phase = phase;
+        }
+        self.wi.migrations += 1;
+        self.schedule_phase(slot, self.ckpt.checkpoint_cost + self.ckpt.restart_cost)?;
+        // The vacated cell's nodes may unblock queued tenants.
+        self.place_pending()
+    }
+
+    /// Scores "run the remaining iterations from `phase` on `m` nodes" for
+    /// the job at `slot` (currently on `n`): the analytic closed form, the
+    /// fork-realized future when the live session can model it (`m <= n`
+    /// and the job never grew/migrated/restarted), or the memoized profile
+    /// suffix otherwise.
+    fn score_resize_candidate(
+        &mut self,
+        slot: u32,
+        phase: u32,
+        m: u32,
+        n: u32,
+    ) -> SimResult<CandidateScore> {
+        match &self.slab[slot as usize].payload {
+            JobPayload::Analytic(a) => {
+                let a = *a;
+                self.wi.analytic_scored += 1;
+                Ok(a.suffix_score(phase, m))
+            }
+            JobPayload::Boxed(_) => {
+                if m <= n && self.slab[slot as usize].fork_ok {
+                    if let Some(s) = self.fork_score(slot, phase, m, n)? {
+                        return Ok(s);
+                    }
+                }
+                self.profile_score(slot, phase, m)
+            }
+        }
+    }
+
+    /// Scores a candidate by forking the job's live what-if session at the
+    /// current barrier and executing its removal plan for real. `Ok(None)`
+    /// means forking is unavailable (the backend refused, the run already
+    /// finished, or no session could be opened) — the caller falls back to
+    /// profile scoring.
+    fn fork_score(
+        &mut self,
+        slot: u32,
+        phase: u32,
+        m: u32,
+        n: u32,
+    ) -> SimResult<Option<CandidateScore>> {
+        let (key, start_nodes, mut plan) = {
+            let e = &self.slab[slot as usize];
+            let JobPayload::Boxed(w) = &e.payload else {
+                return Ok(None);
+            };
+            (w.key(), e.start_nodes, e.plan.clone())
+        };
+        if m < n {
+            plan.push((phase as usize, n - m));
+        }
+        let barrier = phase as usize;
+        let fp = score_fingerprint(&key, start_nodes, &plan, barrier, m, FORK_TAG);
+        if let Some(s) = self.cache.score(fp) {
+            self.wi.memo_scored += 1;
+            return Ok(Some(s));
+        }
+        if !self.ensure_session(slot) {
+            return Ok(None);
+        }
+        let mut sess = self.sessions.remove(&slot).expect("session just ensured");
+        let scored = catch_unwind(AssertUnwindSafe(
+            || -> SimResult<Option<cluster::EfficiencyProfile>> {
+                if !sess.advance_to_barrier(barrier)? {
+                    return Ok(None);
+                }
+                Ok(Some(sess.score_plan(&plan)?))
+            },
+        ));
+        match scored {
+            Ok(Ok(Some(profile))) => {
+                self.sessions.insert(slot, sess);
+                let score = realized_suffix(&profile, start_nodes, &plan, barrier);
+                self.cache.insert_score(fp, score);
+                self.wi.fork_scored += 1;
+                Ok(Some(score))
+            }
+            Ok(Ok(None)) => {
+                // The warm base finished the whole run first: nothing left
+                // to fork for this job, ever.
+                self.session_order.retain(|&s| s != slot);
+                self.slab[slot as usize].fork_ok = false;
+                Ok(None)
+            }
+            Ok(Err(e)) if e.is_fork_refused() => {
+                self.session_order.retain(|&s| s != slot);
+                self.slab[slot as usize].fork_ok = false;
+                Ok(None)
+            }
+            Ok(Err(e)) => {
+                self.session_order.retain(|&s| s != slot);
+                Err(e)
+            }
+            Err(payload) => {
+                self.session_order.retain(|&s| s != slot);
+                Err(SimError::protocol(format!(
+                    "what-if session panicked: {}",
+                    panic_message(&payload)
+                )))
+            }
+        }
+    }
+
+    /// Scores a candidate from the memoized fixed-allocation profile at `m`
+    /// nodes — the fallback predictor when forking is unavailable. Shares
+    /// fingerprints with the batch server's `best_allocation`.
+    fn profile_score(&mut self, slot: u32, phase: u32, m: u32) -> SimResult<CandidateScore> {
+        let JobPayload::Boxed(w) = &self.slab[slot as usize].payload else {
+            return Err(SimError::protocol("profile scoring needs a boxed workload"));
+        };
+        let w = w.clone();
+        let fp = score_fingerprint(
+            &w.key(),
+            m,
+            &[],
+            phase as usize,
+            m,
+            CandidateKind::Keep as u32,
+        );
+        if let Some(s) = self.cache.score(fp) {
+            self.wi.memo_scored += 1;
+            return Ok(s);
+        }
+        let cache = &mut self.cache;
+        let scored = catch_unwind(AssertUnwindSafe(|| -> SimResult<CandidateScore> {
+            Ok(profile_suffix(cache.profile(&*w, m)?, phase as usize, m))
+        }));
+        match scored {
+            Ok(Ok(s)) => {
+                self.cache.insert_score(fp, s);
+                self.wi.profile_scored += 1;
+                Ok(s)
+            }
+            Ok(Err(e)) => Err(e),
+            Err(payload) => Err(SimError::protocol(format!(
+                "workload panicked while profiling: {}",
+                panic_message(&payload)
+            ))),
+        }
+    }
+
+    /// Records a committed shrink in the job's removal plan and re-commits
+    /// the full plan into its live session so future forks inherit it. A
+    /// session that errors here degrades the job to profile scoring — a
+    /// bookkeeping fork must never fail the job.
+    fn commit_shrink(&mut self, slot: u32, phase: u32, count: u32) {
+        let e = &mut self.slab[slot as usize];
+        if !e.fork_ok {
+            return;
+        }
+        e.plan.push((phase as usize, count));
+        let plan = e.plan.clone();
+        let Some(mut sess) = self.sessions.remove(&slot) else {
+            return; // reopened lazily with the full plan on the next fork
+        };
+        match catch_unwind(AssertUnwindSafe(|| sess.commit_plan(&plan))) {
+            Ok(Ok(())) => {
+                self.sessions.insert(slot, sess);
+            }
+            _ => {
+                self.session_order.retain(|&s| s != slot);
+                self.slab[slot as usize].fork_ok = false;
+            }
+        }
+    }
+
+    /// Opens (or confirms) the warm what-if session for `slot`, committing
+    /// the job's removal plan so far. FIFO-evicts the oldest session at
+    /// [`MAX_SESSIONS`]. Returns `false` — and clears `fork_ok` — when the
+    /// backend cannot provide one.
+    fn ensure_session(&mut self, slot: u32) -> bool {
+        if self.sessions.contains_key(&slot) {
+            return true;
+        }
+        let (start_nodes, plan, w) = {
+            let e = &self.slab[slot as usize];
+            let JobPayload::Boxed(w) = &e.payload else {
+                return false;
+            };
+            if !e.fork_ok {
+                return false;
+            }
+            (e.start_nodes, e.plan.clone(), w.clone())
+        };
+        let opened = catch_unwind(AssertUnwindSafe(
+            || -> SimResult<Option<Box<dyn WhatIfSession>>> {
+                let Some(mut s) = w.whatif_session(start_nodes)? else {
+                    return Ok(None);
+                };
+                if !plan.is_empty() {
+                    s.commit_plan(&plan)?;
+                }
+                Ok(Some(s))
+            },
+        ));
+        match opened {
+            Ok(Ok(Some(s))) => {
+                while self.sessions.len() >= MAX_SESSIONS {
+                    match self.session_order.pop_front() {
+                        Some(old) => {
+                            self.sessions.remove(&old);
+                        }
+                        None => break,
+                    }
+                }
+                self.sessions.insert(slot, s);
+                self.session_order.push_back(slot);
+                self.wi.sessions_opened += 1;
+                true
+            }
+            _ => {
+                self.slab[slot as usize].fork_ok = false;
+                false
+            }
+        }
+    }
+
+    /// Forgets the warm session for `slot` (if any), keeping the FIFO
+    /// order stale-free so a reused slot cannot be evicted by its previous
+    /// occupant's entry.
+    fn drop_session(&mut self, slot: u32) {
+        if self.sessions.remove(&slot).is_some() {
+            self.session_order.retain(|&s| s != slot);
+        }
     }
 
     // ----- terminal transitions --------------------------------------------
@@ -1053,10 +1641,14 @@ impl<'a> Engine<'a> {
             e.done_work -= replay;
             e.since_ckpt = SimDuration::ZERO;
             e.resume_phase = if self.elastic {
-                self.ckpt.resume_point(e.phase as usize) as u32
+                (self.ckpt.resume_point(e.phase as usize) as u32).max(e.extra_ckpt_phase)
             } else {
                 0
             };
+            // A restart invalidates the forked future (the live session
+            // does not model replay); fall back to profile scoring.
+            e.fork_ok = false;
+            e.extra_ckpt = false;
             e.phase = e.resume_phase;
             e.pending_restart = self.elastic && e.resume_phase > 0;
             e.gen += 1;
@@ -1075,6 +1667,7 @@ impl<'a> Engine<'a> {
             (id, tenant, cell_id, grant, lost.as_nanos(), epoch)
         };
         self.return_held_nodes(slot, Some(node));
+        self.drop_session(slot);
         self.queues.tenants[tenant as usize].inflight -= 1;
         self.journal_decision(decision::REQUEUE, id, tenant, cell_id, grant, lost_ns);
         if let Some((base, max)) = self.backoff {

@@ -18,16 +18,25 @@
 //! * [`server`] implements the paper's stated future work: "a cluster
 //!   server running concurrently multiple, possibly different applications
 //!   whose allocations of compute nodes vary dynamically over time" —
-//!   comparing rigid and malleable scheduling on [`Workload`] jobs.
+//!   comparing rigid and malleable scheduling on [`Workload`] jobs;
+//! * [`whatif`] turns the analysis into an *online* policy: candidate
+//!   futures (keep / shrink / grow / migrate / checkpoint-now) scored by
+//!   predicted dynamic efficiency, forked from a live simulation via the
+//!   [`WhatIfSession`] contract and memoized in the [`ProfileCache`].
 
 #![warn(missing_docs)]
 
 pub mod efficiency;
 pub mod policy;
 pub mod server;
+pub mod whatif;
 pub mod workload;
 
 pub use efficiency::{profile_from_report, EfficiencyProfile, IterationPoint};
 pub use policy::{recommend_removal, ThresholdPolicy};
 pub use server::{ClusterSim, Job, JobOutcome, JobRecord, Phase, SchedulePolicy, ServerReport};
-pub use workload::{random_jobs, PhaseWorkload, ProfileCache, Workload};
+pub use whatif::{
+    best_allocation, profile_suffix, realized_suffix, score_fingerprint, CandidateKind,
+    CandidateScore, WhatIfSession,
+};
+pub use workload::{random_jobs, PhaseWorkload, ProfileCache, Workload, DEFAULT_PROFILE_CAPACITY};

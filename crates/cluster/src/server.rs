@@ -166,6 +166,20 @@ pub enum SchedulePolicy {
         /// Ceiling on the exponentially growing backoff.
         max_backoff: SimDuration,
     },
+    /// Simulation-backed what-if scheduling: at every decision boundary
+    /// the scheduler scores candidate futures (keep / shrink / grow /
+    /// migrate / checkpoint-now) by predicted dynamic efficiency — forked
+    /// from the job's live simulation where the backend supports it — and
+    /// commits the winner (see [`crate::whatif`]). Recovery behaves like
+    /// [`SchedulePolicy::ElasticRecovery`].
+    WhatIf {
+        /// Efficiency floor a candidate must clear to be preferred.
+        min_efficiency: f64,
+        /// Requeue delay after a job's first interruption.
+        base_backoff: SimDuration,
+        /// Ceiling on the exponentially growing backoff.
+        max_backoff: SimDuration,
+    },
 }
 
 /// How a job left the server.
@@ -226,6 +240,17 @@ pub struct ServerReport {
     pub allocated_node_seconds: f64,
     /// Total serial work served (node·seconds of useful work).
     pub work_node_seconds: f64,
+    /// Profile/score lookups the run served from its [`ProfileCache`]
+    /// memo. Cumulative over the cache's lifetime when one cache is
+    /// shared across runs.
+    pub cache_hits: u64,
+    /// Profile/score lookups that had to compute fresh entries.
+    pub cache_misses: u64,
+    /// Entries (profiles + memoized candidate scores) the cache held when
+    /// the run finished.
+    pub cache_entries: u64,
+    /// Entries evicted to stay within the cache's fixed capacity.
+    pub cache_evictions: u64,
 }
 
 impl ServerReport {
@@ -440,6 +465,9 @@ impl ClusterSim {
                 }
                 Ok(best)
             }
+            SchedulePolicy::WhatIf { min_efficiency, .. } => {
+                crate::whatif::best_allocation(cache, w, iter, cap, min_efficiency)
+            }
         }
     }
 
@@ -525,7 +553,10 @@ impl ClusterSim {
             link: &link_tl,
             ckpt: &ckpt,
         };
-        let elastic = matches!(self.policy, SchedulePolicy::ElasticRecovery { .. });
+        let elastic = matches!(
+            self.policy,
+            SchedulePolicy::ElasticRecovery { .. } | SchedulePolicy::WhatIf { .. }
+        );
 
         let mut q: EventQueue<Ev> = EventQueue::new();
         for (i, j) in jobs.iter().enumerate() {
@@ -798,6 +829,11 @@ impl ClusterSim {
                                 base_backoff,
                                 max_backoff,
                                 ..
+                            }
+                            | SchedulePolicy::WhatIf {
+                                base_backoff,
+                                max_backoff,
+                                ..
                             } => {
                                 let shift = (s.restarts - 1).min(20);
                                 let backoff = SimDuration(
@@ -834,6 +870,10 @@ impl ClusterSim {
             }
         }
         report.jobs.sort_by_key(|j| j.completion);
+        report.cache_hits = cache.hits();
+        report.cache_misses = cache.misses();
+        report.cache_entries = (cache.len() + cache.scores_len()) as u64;
+        report.cache_evictions = cache.evictions();
         report
     }
 }
@@ -949,6 +989,7 @@ mod tests {
             makespan: SimTime::ZERO,
             allocated_node_seconds: 0.0,
             work_node_seconds: 0.0,
+            ..ServerReport::default()
         };
         assert_eq!(r.allocation_efficiency(), 0.0);
         assert_eq!(r.mean_completion_secs(), 0.0);

@@ -17,6 +17,7 @@
 //! scheduling costs one engine run per distinct allocation probed, not one
 //! per scheduling decision.
 
+use std::collections::VecDeque;
 use std::hash::Hasher;
 
 use desim::fxhash::{FxHashMap, FxHasher};
@@ -25,6 +26,7 @@ use dps_sim::{SimError, SimResult};
 
 use crate::efficiency::{EfficiencyProfile, IterationPoint};
 use crate::server::Phase;
+use crate::whatif::CandidateScore;
 
 /// A malleable application the cluster server can schedule.
 ///
@@ -62,6 +64,20 @@ pub trait Workload: Send + Sync {
     /// failed.
     fn realize(&self, allocs: &[u32]) -> SimResult<Option<EfficiencyProfile>> {
         let _ = allocs;
+        Ok(None)
+    }
+
+    /// Opens a live what-if session for one job instance starting on
+    /// `start_nodes` nodes: a warm paused simulation the scheduler can
+    /// advance barrier-by-barrier and fork into candidate futures (see
+    /// [`crate::whatif::WhatIfSession`]). Returns `Ok(None)` when the
+    /// backend cannot fork (the scheduler then falls back to
+    /// profile-suffix scoring), `Err` when opening the run itself failed.
+    fn whatif_session(
+        &self,
+        start_nodes: u32,
+    ) -> SimResult<Option<Box<dyn crate::whatif::WhatIfSession>>> {
+        let _ = start_nodes;
         Ok(None)
     }
 }
@@ -151,42 +167,131 @@ impl Workload for PhaseWorkload {
     }
 }
 
-/// Memoized `(workload key, node count) → profile` store.
+/// Default capacity of a [`ProfileCache`] (distinct profiles held).
+pub const DEFAULT_PROFILE_CAPACITY: usize = 4096;
+
+/// How many candidate scores are held per profile-capacity unit (scores
+/// are a few words each; profiles are whole point vectors).
+const SCORES_PER_PROFILE: usize = 16;
+
+/// Memoized `(workload key, node count) → profile` store, plus a
+/// fingerprint-keyed memo of what-if [`CandidateScore`]s.
 ///
 /// Keyed with the simulator's [`FxHasher`] maps (the hot-map convention of
 /// the engine crates): profile lookups sit on the server's event-loop hot
 /// path, once per scheduling probe.
-#[derive(Default)]
+///
+/// Both memos are **bounded**: once `capacity` profiles (or
+/// `capacity × 16` scores) are held, the oldest entry *by insertion
+/// order* is evicted first. Insertion order is part of the deterministic
+/// event order, so the hit/miss/eviction counters — and everything
+/// downstream of a recomputed profile — are identical across shard
+/// counts and engine thread counts.
 pub struct ProfileCache {
     map: FxHashMap<(String, u32), EfficiencyProfile>,
+    order: VecDeque<(String, u32)>,
+    scores: FxHashMap<u64, CandidateScore>,
+    score_order: VecDeque<u64>,
+    capacity: usize,
     hits: u64,
     misses: u64,
+    evictions: u64,
+}
+
+impl Default for ProfileCache {
+    fn default() -> ProfileCache {
+        ProfileCache::new()
+    }
 }
 
 impl ProfileCache {
-    /// An empty cache.
+    /// An empty cache at [`DEFAULT_PROFILE_CAPACITY`].
     pub fn new() -> ProfileCache {
-        ProfileCache::default()
+        ProfileCache::with_capacity(DEFAULT_PROFILE_CAPACITY)
     }
 
-    /// Number of distinct `(workload, node count)` profiles computed so far.
+    /// An empty cache holding at most `capacity` profiles (floored at 1)
+    /// and `capacity × 16` candidate scores, evicting the oldest inserted
+    /// entry once full.
+    pub fn with_capacity(capacity: usize) -> ProfileCache {
+        ProfileCache {
+            map: FxHashMap::default(),
+            order: VecDeque::new(),
+            scores: FxHashMap::default(),
+            score_order: VecDeque::new(),
+            capacity: capacity.max(1),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Number of distinct `(workload, node count)` profiles currently held.
     pub fn len(&self) -> usize {
         self.map.len()
     }
 
     /// Whether nothing has been memoized yet.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.map.is_empty() && self.scores.is_empty()
     }
 
-    /// Lookups served from the memo (no profile computation).
+    /// Profile capacity (scores get 16× this).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of candidate scores currently memoized.
+    pub fn scores_len(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// Lookups (profiles and scores) served from the memo.
     pub fn hits(&self) -> u64 {
         self.hits
     }
 
-    /// Lookups that had to compute (and store) a fresh profile.
+    /// Lookups that had to compute (and store) a fresh entry.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Entries (profiles and scores) evicted to stay within capacity.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// A memoized candidate score (see
+    /// [`crate::whatif::score_fingerprint`]); counts as a hit when
+    /// present, a miss when absent (the caller computes and
+    /// [`ProfileCache::insert_score`]s it).
+    pub fn score(&mut self, fingerprint: u64) -> Option<CandidateScore> {
+        match self.scores.get(&fingerprint) {
+            Some(s) => {
+                self.hits += 1;
+                Some(*s)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Memoizes a computed candidate score, evicting the oldest score
+    /// first when full. Re-inserting an existing fingerprint updates in
+    /// place.
+    pub fn insert_score(&mut self, fingerprint: u64, score: CandidateScore) {
+        if self.scores.insert(fingerprint, score).is_some() {
+            return;
+        }
+        self.score_order.push_back(fingerprint);
+        let cap = self.capacity.saturating_mul(SCORES_PER_PROFILE);
+        while self.scores.len() > cap {
+            let oldest = self.score_order.pop_front().expect("scores tracked");
+            self.scores.remove(&oldest);
+            self.evictions += 1;
+        }
     }
 
     /// The profile of `w` at `nodes`, computing and memoizing it on first
@@ -206,6 +311,12 @@ impl ProfileCache {
                     w.iterations()
                 )));
             }
+            while self.map.len() >= self.capacity {
+                let oldest = self.order.pop_front().expect("profiles tracked");
+                self.map.remove(&oldest);
+                self.evictions += 1;
+            }
+            self.order.push_back(key.clone());
             self.map.insert(key.clone(), p);
         } else {
             self.hits += 1;
@@ -337,6 +448,50 @@ mod tests {
         let w2 = PhaseWorkload::new(lu_like_job(SimDuration::from_secs(100), 5));
         cache.profile(&w2, 8).unwrap();
         assert_eq!((cache.hits(), cache.misses()), (3, 2));
+    }
+
+    #[test]
+    fn profile_cache_evicts_oldest_insertion_first() {
+        let w = PhaseWorkload::new(lu_like_job(SimDuration::from_secs(100), 3));
+        let mut cache = ProfileCache::with_capacity(2);
+        assert_eq!(cache.capacity(), 2);
+        cache.profile(&w, 1).unwrap();
+        cache.profile(&w, 2).unwrap();
+        assert_eq!((cache.len(), cache.evictions()), (2, 0));
+        // Third profile evicts the oldest (nodes=1), deterministically.
+        cache.profile(&w, 3).unwrap();
+        assert_eq!((cache.len(), cache.evictions()), (2, 1));
+        let misses = cache.misses();
+        cache.profile(&w, 2).unwrap(); // survivor: hit
+        assert_eq!(cache.misses(), misses);
+        cache.profile(&w, 1).unwrap(); // evicted: recomputed
+        assert_eq!(cache.misses(), misses + 1);
+    }
+
+    #[test]
+    fn score_memo_is_bounded_and_counts() {
+        use crate::whatif::CandidateScore;
+        let mut cache = ProfileCache::with_capacity(1); // 16 scores
+        assert!(cache.score(7).is_none());
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        cache.insert_score(
+            7,
+            CandidateScore {
+                span_ns: 1,
+                work_ns: 1,
+                alloc_node_ns: 1,
+            },
+        );
+        assert_eq!(cache.score(7).unwrap().span_ns, 1);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        for fp in 100..120u64 {
+            cache.insert_score(fp, CandidateScore::default());
+        }
+        assert_eq!(cache.scores_len(), 16);
+        assert!(cache.evictions() > 0);
+        // The earliest inserted fingerprints are the ones gone.
+        assert!(cache.score(7).is_none());
+        assert!(cache.score(119).is_some());
     }
 
     #[test]

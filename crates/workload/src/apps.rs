@@ -17,10 +17,10 @@
 
 use std::hash::Hasher;
 
-use cluster::{profile_from_report, EfficiencyProfile, Workload};
+use cluster::{profile_from_report, EfficiencyProfile, WhatIfSession, Workload};
 use desim::fxhash::FxHasher;
 use dps_sim::{SimConfig, SimError, SimResult};
-use lu_app::{predict_lu, LuConfig};
+use lu_app::{predict_lu, DataMode, LuCheckpoint, LuConfig};
 use netmodel::NetParams;
 use stencil_app::{predict_stencil, StencilConfig};
 
@@ -160,6 +160,33 @@ impl Workload for LuWorkload {
             .map_err(|e| SimError::protocol(format!("realized schedule is invalid: {e}")))?;
         let run = predict_lu(&cfg, self.net, &self.simcfg)?;
         Ok(Some(profile_from_report(&run.report)))
+    }
+
+    /// A warm checkpointed run of this job at `start_nodes` (one worker
+    /// per node, like [`LuWorkload::realize`]), for fork-based candidate
+    /// scoring. Pipelined graphs have no barrier to pause at and `Real`
+    /// mode refuses to fork — both fall back to profile scoring.
+    fn whatif_session(&self, start_nodes: u32) -> SimResult<Option<Box<dyn WhatIfSession>>> {
+        if self.cfg.pipelined || !matches!(self.cfg.mode, DataMode::Alloc | DataMode::Ghost) {
+            return Ok(None);
+        }
+        if start_nodes < 1 || start_nodes > self.cfg.workers {
+            return Err(SimError::protocol(format!(
+                "what-if session needs 1..={} start nodes, got {start_nodes}",
+                self.cfg.workers
+            )));
+        }
+        let mut cfg = self.cfg.clone();
+        cfg.nodes = start_nodes;
+        cfg.workers = start_nodes;
+        if cfg.validate().is_err() {
+            return Ok(None);
+        }
+        match LuCheckpoint::start(&cfg, self.net, &self.simcfg) {
+            Ok(base) => Ok(Some(Box::new(crate::whatif::WhatIfEvaluator::new(base)))),
+            Err(e) if e.is_fork_refused() => Ok(None),
+            Err(e) => Err(e),
+        }
     }
 }
 

@@ -41,16 +41,20 @@ pub mod faulted;
 pub mod scale;
 pub mod scenarios;
 pub mod sweep;
+pub mod whatif;
 
 pub use apps::{LuWorkload, StencilWorkload};
 pub use env::{engine_threads, SimEnv, DEFAULT_SEED, N};
 pub use faulted::{FaultAware, FaultedRun, FaultedWorkload};
 pub use scale::{
-    run_server_scale, server_scale_bench, server_scale_config, server_scale_load,
-    server_scale_plan, ScaleBenchRun, SCALE_JOBS, SCALE_SMOKE_JOBS,
+    run_server_scale, run_server_whatif, server_scale_bench, server_scale_config,
+    server_scale_load, server_scale_plan, server_whatif_bench, server_whatif_config,
+    server_whatif_load, ScaleBenchRun, WhatIfBenchRun, SCALE_JOBS, SCALE_SMOKE_JOBS, WHATIF_JOBS,
+    WHATIF_SMOKE_JOBS,
 };
 pub use scenarios::{
     builtin_scenarios, fault_server_policies, find_scenario, server_policies, shrink_schedule,
     sim_job_set, ScenarioCtx, ScenarioPoint, ScenarioSpec,
 };
 pub use sweep::{sweep_lu, sweep_lu_labelled, SweepStats};
+pub use whatif::{fork_vs_fresh_bench, ForkVsFresh, WhatIfEvaluator};

@@ -1,24 +1,36 @@
-//! The `server-scale` experiment: the sharded cluster service driven to
-//! a million-job synthetic stream.
+//! The `server-scale` and `server-whatif` experiments: the sharded
+//! cluster service driven by large synthetic streams.
 //!
-//! One configuration (8 cells × 8 nodes, four weighted tenants, elastic
-//! recovery) is served the same seeded [`SyntheticLoad`] at several shard
-//! counts — the CSV rows demonstrate that every virtual-time metric is
-//! identical across shard counts, which is the service's determinism
-//! contract — plus one row under a seeded cross-shard fault plan.
+//! `server-scale`: one configuration (8 cells × 8 nodes, four weighted
+//! tenants, elastic recovery) is served the same seeded [`SyntheticLoad`]
+//! at several shard counts — the CSV rows demonstrate that every
+//! virtual-time metric is identical across shard counts, which is the
+//! service's determinism contract — plus one row under a seeded
+//! cross-shard fault plan.
+//!
+//! `server-whatif`: the same topology under [`SchedulePolicy::WhatIf`],
+//! with simulator-backed LU jobs mixed into the analytic stream so
+//! placement and boundary decisions are scored by forking the jobs' live
+//! simulations. Its rows additionally surface the [`cluster::ProfileCache`]
+//! hit/miss/eviction counters and the what-if decision counters.
 //!
 //! Only virtual-time metrics go into scenario fields (they are cached and
-//! byte-compared); host throughput (jobs per *wall* second, events per
-//! second) is measured by the `scenarios` binary with
-//! [`server_scale_bench`] and recorded in `results/BENCH_engine.json`.
+//! byte-compared); host throughput and decision latency are measured by
+//! the `scenarios` binary with [`server_scale_bench`] /
+//! [`server_whatif_bench`] and recorded in `results/BENCH_engine.json`.
 
-use cluster::SchedulePolicy;
+use std::sync::Arc;
+
+use cluster::{SchedulePolicy, Workload};
 use cluster_svc::{
-    ClusterService, ServeOptions, ServiceConfig, ServiceReport, SyntheticLoad, TenantSpec,
+    ClusterService, JobSpec, ServeOptions, ServiceConfig, ServiceOutcome, ServiceReport,
+    SyntheticLoad, TenantSpec,
 };
-use desim::SimDuration;
+use desim::{SimDuration, SimTime};
 use faults::{CheckpointSpec, FaultGenConfig, FaultPlan};
 
+use crate::apps::LuWorkload;
+use crate::env::SimEnv;
 use crate::scenarios::{ScenarioCtx, ScenarioPoint};
 
 /// Jobs per full-scale run (the ISSUE's ≥1M floor, with headroom).
@@ -176,6 +188,185 @@ pub fn server_scale_bench(ctx: &ScenarioCtx) -> ScaleBenchRun {
     }
 }
 
+// ----- the server-whatif experiment -----------------------------------------
+
+/// Synthetic jobs per full-scale what-if run. Smaller than [`SCALE_JOBS`]:
+/// every placement and boundary decision scores a candidate slate, so the
+/// per-job work is an order of magnitude higher than the elastic policy's.
+pub const WHATIF_JOBS: u64 = 60_000;
+/// Synthetic jobs per CI smoke what-if run.
+pub const WHATIF_SMOKE_JOBS: u64 = 6_000;
+/// Simulator-backed LU jobs mixed into a full-scale what-if stream.
+pub const WHATIF_BOXED: usize = 24;
+/// Simulator-backed LU jobs in a smoke what-if stream.
+pub const WHATIF_SMOKE_BOXED: usize = 8;
+
+/// The what-if service topology: identical to [`server_scale_config`]
+/// except the policy, so the two experiments differ only in how decisions
+/// are made.
+pub fn server_whatif_config(shards: u32) -> ServiceConfig {
+    ServiceConfig::new(
+        8,
+        8,
+        shards,
+        SchedulePolicy::WhatIf {
+            min_efficiency: 0.5,
+            base_backoff: SimDuration::from_secs(2),
+            max_backoff: SimDuration::from_secs(60),
+        },
+    )
+    .with_tenant(TenantSpec::new("batch", 4))
+    .with_tenant(TenantSpec::new("service", 2))
+    .with_tenant(TenantSpec::new("interactive", 1).with_max_inflight(24))
+    .with_tenant(TenantSpec::new("scavenger", 1).with_max_pending(50_000))
+}
+
+/// The shared simulator-backed LU job the what-if stream mixes in: a
+/// 648×648 blocked factorization with eight column blocks, one worker per
+/// node so the what-if machinery can fork and shrink it mid-run.
+fn whatif_lu_workload() -> Arc<dyn Workload> {
+    let env = SimEnv::paper();
+    let mut cfg = env.lu_sized(648, 81, MAX_REQUEST);
+    cfg.workers = MAX_REQUEST;
+    Arc::new(LuWorkload::new(cfg, env.net, env.simcfg))
+}
+
+/// The what-if job stream: the seeded synthetic stream with `boxed`
+/// simulator-backed LU jobs (all sharing one [`LuWorkload`], so profile
+/// and score memoization across jobs is visible in the cache counters)
+/// spread evenly over its span, merged in arrival order.
+pub fn server_whatif_load(jobs: u64, boxed: usize, seed: u64) -> Vec<JobSpec> {
+    let mut specs: Vec<JobSpec> = server_scale_load(jobs, seed).collect();
+    let horizon = specs.last().map_or(0, |s| s.arrival.as_nanos());
+    let lu = whatif_lu_workload();
+    for i in 0..boxed {
+        let arrival = SimTime(horizon.saturating_mul(i as u64 + 1) / (boxed as u64 + 1));
+        specs.push(JobSpec::boxed(0, arrival, MAX_REQUEST, lu.clone()));
+    }
+    // Stable: equal arrivals keep synthetic-before-boxed submission order.
+    specs.sort_by_key(|s| s.arrival);
+    specs
+}
+
+/// Runs the what-if experiment once. Returns the full [`ServiceOutcome`]
+/// so determinism tests can byte-compare the decision journal.
+pub fn run_server_whatif(
+    shards: u32,
+    jobs: u64,
+    boxed: usize,
+    seed: u64,
+    faulted: bool,
+    opts: &ServeOptions,
+) -> ServiceOutcome {
+    let svc = ClusterService::new(server_whatif_config(shards)).expect("valid what-if config");
+    let plan = if faulted {
+        server_scale_plan(jobs, seed)
+    } else {
+        FaultPlan::none()
+    };
+    svc.serve(server_whatif_load(jobs, boxed, seed), &plan, opts)
+        .expect("what-if serve run")
+}
+
+/// The scale fields plus the profile-cache and what-if decision counters
+/// (all deterministic, so they participate in the byte-compare).
+fn whatif_fields(r: &ServiceReport) -> Vec<(&'static str, f64)> {
+    let mut f = scale_fields(r);
+    f.extend([
+        ("cache_hits", r.cache_hits as f64),
+        ("cache_misses", r.cache_misses as f64),
+        ("cache_entries", r.cache_entries as f64),
+        ("cache_evictions", r.cache_evictions as f64),
+        ("wi_decisions", r.whatif.decisions as f64),
+        ("wi_candidates", r.whatif.candidates as f64),
+        ("wi_fork_scored", r.whatif.fork_scored as f64),
+        ("wi_memo_scored", r.whatif.memo_scored as f64),
+        ("wi_profile_scored", r.whatif.profile_scored as f64),
+        ("wi_analytic_scored", r.whatif.analytic_scored as f64),
+        ("wi_sessions", r.whatif.sessions_opened as f64),
+        ("wi_migrations", r.whatif.migrations as f64),
+        ("wi_extra_ckpts", r.whatif.extra_checkpoints as f64),
+    ]);
+    f
+}
+
+/// The `server-whatif` scenario's points: quiet rows at several shard
+/// counts (byte-identical, like `server-scale`) plus a faulted row.
+pub fn server_whatif_points(ctx: &ScenarioCtx) -> Vec<ScenarioPoint> {
+    let (jobs, boxed) = if ctx.smoke {
+        (WHATIF_SMOKE_JOBS, WHATIF_SMOKE_BOXED)
+    } else {
+        (WHATIF_JOBS, WHATIF_BOXED)
+    };
+    let quiet_shards: &[u32] = if ctx.smoke { &[1, 2] } else { &[1, 2, 4] };
+    let fault_shards = if ctx.smoke { 2 } else { 4 };
+    let seed = ctx.seed;
+    let mut points: Vec<ScenarioPoint> = quiet_shards
+        .iter()
+        .map(|&shards| {
+            ScenarioPoint::new(format!("whatif {shards} shard quiet"), move || {
+                let out =
+                    run_server_whatif(shards, jobs, boxed, seed, false, &ServeOptions::default());
+                whatif_fields(&out.report)
+            })
+        })
+        .collect();
+    points.push(ScenarioPoint::new(
+        format!("whatif {fault_shards} shard faulted"),
+        move || {
+            let out = run_server_whatif(
+                fault_shards,
+                jobs,
+                boxed,
+                seed,
+                true,
+                &ServeOptions::default(),
+            );
+            whatif_fields(&out.report)
+        },
+    ));
+    points
+}
+
+/// Host-measured numbers from one uncached what-if run, for the
+/// `whatif_decision_latency` row of `BENCH_engine.json`.
+pub struct WhatIfBenchRun {
+    /// Jobs completed.
+    pub jobs: u64,
+    /// What-if decisions taken.
+    pub decisions: u64,
+    /// Median per-decision wall-clock latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile per-decision latency, microseconds.
+    pub p99_us: f64,
+    /// Largest per-decision latency, microseconds.
+    pub max_us: f64,
+}
+
+/// Runs the decision-latency measurement (quiet, highest shard count,
+/// [`ServeOptions::measure_decisions`] on; the caller wraps it in a
+/// wall-clock timer).
+pub fn server_whatif_bench(ctx: &ScenarioCtx) -> WhatIfBenchRun {
+    let (jobs, boxed, shards) = if ctx.smoke {
+        (WHATIF_SMOKE_JOBS, WHATIF_SMOKE_BOXED, 2)
+    } else {
+        (WHATIF_JOBS, WHATIF_BOXED, 4)
+    };
+    let opts = ServeOptions {
+        measure_decisions: true,
+        ..ServeOptions::default()
+    };
+    let out = run_server_whatif(shards, jobs, boxed, ctx.seed, false, &opts);
+    let hist = &out.report.decision_hist;
+    WhatIfBenchRun {
+        jobs: out.report.completed_jobs(),
+        decisions: out.report.whatif.decisions,
+        p50_us: hist.quantile(0.5).as_secs_f64() * 1e6,
+        p99_us: hist.quantile(0.99).as_secs_f64() * 1e6,
+        max_us: hist.max().as_secs_f64() * 1e6,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,5 +392,36 @@ mod tests {
         );
         assert!(r.completed_jobs() > 1_800);
         assert!(r.total_lost_work() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn whatif_load_interleaves_boxed_jobs_in_arrival_order() {
+        let specs = server_whatif_load(500, 4, 7);
+        assert_eq!(specs.len(), 504);
+        assert!(specs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        let boxed = specs
+            .iter()
+            .filter(|s| matches!(s.payload, cluster_svc::JobPayload::Boxed(_)))
+            .count();
+        assert_eq!(boxed, 4);
+    }
+
+    #[test]
+    fn smoke_whatif_run_scores_forks_and_fills_the_cache() {
+        let out = run_server_whatif(2, 800, 4, 7, false, &ServeOptions::default());
+        let r = &out.report;
+        assert_eq!(r.submitted, 804);
+        assert!(r.completed_jobs() > 700, "most jobs complete");
+        assert!(r.whatif.decisions > 0, "the policy must actually decide");
+        assert!(r.whatif.candidates > r.whatif.decisions);
+        assert!(
+            r.whatif.fork_scored > 0,
+            "boxed LU jobs must be fork-scored"
+        );
+        assert!(
+            r.whatif.analytic_scored > 0,
+            "synthetic jobs score analytically"
+        );
+        assert!(r.cache_hits + r.cache_misses > 0, "cache counters surface");
     }
 }

@@ -439,6 +439,12 @@ pub fn builtin_scenarios() -> Vec<ScenarioSpec> {
                 "sharded multi-tenant cluster service on a million-job stream, per shard count",
             points: crate::scale::server_scale_points,
         },
+        ScenarioSpec {
+            name: "server-whatif",
+            summary:
+                "fork-based what-if scheduling over a mixed analytic + simulator-backed stream",
+            points: crate::scale::server_whatif_points,
+        },
     ]
 }
 

@@ -1,0 +1,127 @@
+//! Determinism property tests for the fork-based what-if policy: the
+//! decision journal (every placement, every candidate score, every
+//! committed winner) must be byte-identical across shard counts and
+//! engine thread counts, quiet and under a seeded fault plan.
+//!
+//! The streams mix analytic synthetic jobs with simulator-backed LU jobs,
+//! so the byte-compare covers the fork-scoring path, the profile-memo
+//! path and the analytic path at once.
+
+use std::sync::Arc;
+
+use cluster::Workload;
+use cluster_svc::{ClusterService, JobSpec, ServeOptions, ServiceOutcome};
+use desim::SimTime;
+use faults::FaultPlan;
+use workload::{server_scale_load, server_scale_plan, server_whatif_config, LuWorkload, SimEnv};
+
+const JOBS: u64 = 300;
+const BOXED: u64 = 2;
+const SEED: u64 = 7;
+
+/// A small mixed stream whose boxed LU jobs simulate under `threads`
+/// engine threads — the dimension the determinism contract must absorb.
+fn mixed_load(threads: usize) -> Vec<JobSpec> {
+    let env = SimEnv::paper().with_engine_threads(threads);
+    let mut cfg = env.lu_sized(324, 81, 4);
+    cfg.workers = 4;
+    let lu: Arc<dyn Workload> = Arc::new(LuWorkload::new(cfg, env.net, env.simcfg));
+    let mut specs: Vec<JobSpec> = server_scale_load(JOBS, SEED).collect();
+    let horizon = specs.last().expect("non-empty stream").arrival.as_nanos();
+    for i in 0..BOXED {
+        let arrival = SimTime(horizon * (i + 1) / (BOXED + 1));
+        specs.push(JobSpec::boxed(0, arrival, 4, lu.clone()));
+    }
+    specs.sort_by_key(|s| s.arrival);
+    specs
+}
+
+fn run(shards: u32, threads: usize, faulted: bool) -> ServiceOutcome {
+    let svc = ClusterService::new(server_whatif_config(shards)).expect("valid config");
+    let plan = if faulted {
+        server_scale_plan(JOBS, SEED)
+    } else {
+        FaultPlan::none()
+    };
+    let opts = ServeOptions {
+        journal: true,
+        ..ServeOptions::default()
+    };
+    svc.serve(mixed_load(threads), &plan, &opts)
+        .expect("what-if serve")
+}
+
+/// The journal's exact bytes with the one config-echo meta key (`shards`)
+/// normalized — everything else, entry stream included, must match.
+fn journal_bytes(out: &ServiceOutcome) -> Vec<u8> {
+    let mut j = out.journal.clone().expect("journal requested");
+    j.set_meta("shards", "*");
+    j.encode()
+}
+
+fn assert_identical(reference: &ServiceOutcome, other: &ServiceOutcome, what: &str) {
+    assert_eq!(
+        reference.report.canonical_string(),
+        other.report.canonical_string(),
+        "canonical report diverged: {what}"
+    );
+    let (a, b) = (
+        reference.journal.as_ref().unwrap(),
+        other.journal.as_ref().unwrap(),
+    );
+    if let Some(d) = a.first_divergence(b) {
+        panic!("decision stream diverged ({what}): {d:?}");
+    }
+    assert_eq!(
+        journal_bytes(reference),
+        journal_bytes(other),
+        "journal bytes diverged: {what}"
+    );
+}
+
+#[test]
+fn quiet_decisions_are_invariant_across_shards_and_engine_threads() {
+    let reference = run(1, 1, false);
+    let r = &reference.report;
+    assert!(
+        r.whatif.decisions > 0,
+        "the byte-compare must not be vacuous"
+    );
+    assert!(r.whatif.fork_scored > 0, "boxed jobs must be fork-scored");
+    assert!(r.whatif.analytic_scored > 0);
+    for (shards, threads) in [(2, 1), (4, 1), (2, 4)] {
+        let other = run(shards, threads, false);
+        assert_identical(
+            &reference,
+            &other,
+            &format!("quiet, {shards} shards, {threads} engine threads"),
+        );
+    }
+}
+
+#[test]
+fn faulted_decisions_are_invariant_across_shards_and_engine_threads() {
+    let reference = run(1, 1, true);
+    let r = &reference.report;
+    assert!(r.whatif.decisions > 0);
+    assert!(
+        r.total_restarts() > 0,
+        "the seeded plan must interrupt jobs for the faulted compare to bite"
+    );
+    for (shards, threads) in [(2, 1), (4, 4)] {
+        let other = run(shards, threads, true);
+        assert_identical(
+            &reference,
+            &other,
+            &format!("faulted, {shards} shards, {threads} engine threads"),
+        );
+    }
+}
+
+#[test]
+fn repeat_runs_are_byte_identical() {
+    let a = run(2, 1, false);
+    let b = run(2, 1, false);
+    assert_eq!(journal_bytes(&a), journal_bytes(&b));
+    assert_eq!(a.report.canonical_string(), b.report.canonical_string());
+}
