@@ -3,22 +3,31 @@
 //!
 //! ```text
 //! fuzz [--seed N] [--cases N] [--budget-secs N] [--quiet]
+//! fuzz --journal [--seed N] [--flips N]
 //! ```
 //!
 //! Runs seeded randomized determinism cases until the case count or the
 //! wall-clock budget is exhausted, printing one line per case and a final
 //! summary. Exits non-zero if any case failed; the failure lines carry the
 //! pinpointed first-diverging-event diagnostics.
+//!
+//! `--journal` instead fuzzes the journal *codec*: every truncated prefix
+//! of a seeded reference journal must come back as a typed decode error
+//! (never a panic, never a silent success), seeded bit flips must never
+//! panic the decoder, and truncated entry batches must be rejected by the
+//! incremental appender.
 
 use std::time::{Duration, Instant};
 
-use dps_bench::fuzz::{fuzz_with, FuzzConfig};
+use dps_bench::fuzz::{fuzz_journal_decode, fuzz_with, FuzzConfig};
 
 struct Args {
     seed: u64,
     cases: usize,
     budget: Option<Duration>,
     quiet: bool,
+    journal: bool,
+    flips: usize,
 }
 
 fn parse_args() -> Args {
@@ -27,6 +36,8 @@ fn parse_args() -> Args {
         cases: 100,
         budget: None,
         quiet: false,
+        journal: false,
+        flips: 512,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -40,8 +51,13 @@ fn parse_args() -> Args {
             "--cases" => args.cases = num("--cases") as usize,
             "--budget-secs" => args.budget = Some(Duration::from_secs(num("--budget-secs"))),
             "--quiet" => args.quiet = true,
+            "--journal" => args.journal = true,
+            "--flips" => args.flips = num("--flips") as usize,
             "--help" | "-h" => {
-                println!("usage: fuzz [--seed N] [--cases N] [--budget-secs N] [--quiet]");
+                println!(
+                    "usage: fuzz [--seed N] [--cases N] [--budget-secs N] [--quiet]\n\
+                            fuzz --journal [--seed N] [--flips N]"
+                );
                 std::process::exit(0);
             }
             other => {
@@ -53,8 +69,35 @@ fn parse_args() -> Args {
     args
 }
 
+fn fuzz_journal(args: &Args) {
+    let start = Instant::now();
+    println!("fuzz --journal: seed={} flips={}", args.seed, args.flips);
+    match fuzz_journal_decode(args.seed, args.flips) {
+        Ok(r) => println!(
+            "fuzz --journal: ok — {} byte journal, {} truncations, {} bit flips, \
+             {} batch truncations in {:.1}s",
+            r.bytes,
+            r.truncations,
+            r.flips,
+            r.batch_truncations,
+            start.elapsed().as_secs_f64()
+        ),
+        Err(failures) => {
+            for f in &failures {
+                eprintln!("FAIL {f}");
+            }
+            eprintln!("fuzz --journal: {} failures", failures.len());
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args = parse_args();
+    if args.journal {
+        fuzz_journal(&args);
+        return;
+    }
     let start = Instant::now();
     println!(
         "fuzz: seed={} cases={} budget={:?}",

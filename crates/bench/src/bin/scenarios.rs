@@ -33,7 +33,14 @@
 //! against a parallel-engine run, and writes it (with replay metadata) to
 //! `results/lu_reference.journal` for `perf --replay`. A determinism
 //! violation exits non-zero with the first diverging event named.
+//!
+//! `--chaos` additionally runs the seeded crash/recovery sweep (see the
+//! `chaos` binary): the durable server-scale run is crashed at several
+//! seeded commit boundaries and each recovery must be byte-identical to
+//! the uninterrupted run. Records the `chaos_recovery` and
+//! `recovery_latency` rows; any divergence exits non-zero, pinpointed.
 
+use dps_bench::chaos::{record_chaos, run_chaos, ChaosConfig};
 use dps_bench::{
     default_journal_path, emit, figure_scenarios, record_reference_journal, run_scenario, smoke,
     time, BenchJson,
@@ -101,6 +108,11 @@ fn main() {
         journal = true;
         args.remove(i);
     }
+    let mut chaos = false;
+    if let Some(i) = args.iter().position(|a| a == "--chaos") {
+        chaos = true;
+        args.remove(i);
+    }
     let mut force_smoke = false;
     if let Some(i) = args.iter().position(|a| a == "--smoke") {
         force_smoke = true;
@@ -108,7 +120,7 @@ fn main() {
     }
     let ctx = ScenarioCtx::new(smoke() || force_smoke, seed);
     let specs = registry();
-    if !journal && (args.is_empty() || args.iter().any(|a| a == "--list")) {
+    if !journal && !chaos && (args.is_empty() || args.iter().any(|a| a == "--list")) {
         list(&specs);
         return;
     }
@@ -213,6 +225,27 @@ fn main() {
                 eprintln!("journal: {msg}");
                 std::process::exit(1);
             }
+        }
+    }
+    if chaos {
+        // Crash/recovery sweep: fewer points than the dedicated `chaos`
+        // binary — this is the "ride-along" smoke, not the full harness.
+        let out = run_chaos(
+            &ChaosConfig {
+                points: 4,
+                seed,
+                faulted: true,
+                smoke: ctx.smoke,
+            },
+            |l| println!("{l}"),
+        );
+        record_chaos(&mut json, &out);
+        if !out.passed() {
+            for f in &out.failures {
+                eprintln!("chaos: {f}");
+            }
+            json.write();
+            std::process::exit(1);
         }
     }
     json.write();

@@ -18,7 +18,9 @@
 //! ([`dps_sim::Divergence`]), not CSV diffs. The `fuzz` binary drives this
 //! under `--seed` / `--cases` / `--budget-secs`.
 
-use desim::SimDuration;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use desim::{Journal, JournalEvent, SimDuration, SimTime};
 use dps::Application;
 use dps_sim::journal::replay_with_fabric;
 use dps_sim::{Fabric, FaultFabric, SimConfig, SimFabric, SimResult, TimingMode};
@@ -268,6 +270,184 @@ pub fn fuzz(cfg: &FuzzConfig) -> FuzzOutcome {
     fuzz_with(cfg, |_| true)
 }
 
+// ----- journal-decoder robustness fuzzing -----------------------------------
+
+/// What [`fuzz_journal_decode`] exercised.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct JournalFuzzReport {
+    /// Bytes of the encoded reference journal.
+    pub bytes: usize,
+    /// Strict prefixes checked (every truncation point).
+    pub truncations: usize,
+    /// Seeded single-bit corruptions checked.
+    pub flips: usize,
+    /// Truncated entry batches checked against `append_entry_batch`.
+    pub batch_truncations: usize,
+}
+
+/// Draws a seeded reference journal covering every event kind, labels and
+/// metadata included.
+fn draw_journal(seed: u64, entries: usize) -> Journal {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut j = Journal::new();
+    j.set_meta("app", "journal-fuzz");
+    j.set_meta("seed", seed.to_string());
+    let labels: Vec<u32> = ["alpha", "beta", "gamma"]
+        .iter()
+        .map(|l| j.intern_label(l))
+        .collect();
+    let mut vt = 0u64;
+    for i in 0..entries {
+        vt += rng.gen_range_u64(0, 1 << 20);
+        let ev = match rng.gen_range_u64(0, 10) {
+            0 => JournalEvent::RateWindow {
+                node: rng.gen_range_u64(0, 8) as u32,
+                up_bits: rng.next_u64(),
+                down_bits: rng.next_u64(),
+                from: vt,
+                to: vt + rng.gen_range_u64(1, 1 << 30),
+            },
+            1 => JournalEvent::Invoke {
+                ticket: i as u64,
+                op: rng.gen_range_u64(0, 64) as u32,
+                thread: rng.gen_range_u64(0, 64) as u32,
+                obj_bytes: rng.next_u64() >> 40,
+            },
+            2 => JournalEvent::Step {
+                job: i as u64,
+                op: rng.gen_range_u64(0, 64) as u32,
+                thread: rng.gen_range_u64(0, 64) as u32,
+                node: rng.gen_range_u64(0, 8) as u32,
+                start: vt.saturating_sub(1000),
+                work: rng.gen_range_u64(0, 1 << 30),
+            },
+            3 => JournalEvent::Post {
+                op: rng.gen_range_u64(0, 64) as u32,
+                thread: rng.gen_range_u64(0, 64) as u32,
+                to: rng.gen_range_u64(0, 64) as u32,
+                dst_thread: rng.gen_range_u64(0, 64) as u32,
+                wire_bytes: rng.next_u64() >> 40,
+                local: rng.gen_range_u64(0, 2) as u32,
+            },
+            4 => JournalEvent::Arrive {
+                to: rng.gen_range_u64(0, 64) as u32,
+                thread: rng.gen_range_u64(0, 64) as u32,
+                src: rng.gen_range_u64(0, 8) as u32,
+                dst: rng.gen_range_u64(0, 8) as u32,
+                wire_bytes: rng.next_u64() >> 40,
+                start: vt.saturating_sub(500),
+            },
+            5 => JournalEvent::Mark {
+                label: labels[rng.gen_range_u64(0, labels.len() as u64) as usize],
+            },
+            6 => JournalEvent::Deactivate {
+                thread: rng.gen_range_u64(0, 64) as u32,
+            },
+            7 => JournalEvent::Release {
+                op: rng.gen_range_u64(0, 64) as u32,
+            },
+            8 => JournalEvent::Account {
+                delta: rng.next_u64() as i64 >> 20,
+            },
+            _ => JournalEvent::Terminate,
+        };
+        j.push(SimTime(vt), ev);
+    }
+    j
+}
+
+/// A decode attempt must return, not panic.
+fn decode_no_panic(bytes: &[u8], what: &str) -> Result<Result<Journal, String>, String> {
+    catch_unwind(AssertUnwindSafe(|| {
+        Journal::decode(bytes).map_err(|e| e.to_string())
+    }))
+    .map_err(|_| format!("{what}: decoder panicked"))
+}
+
+/// Robustness fuzz of the `desim` journal codec: the decoder must map
+/// *every* truncated prefix of an encoded journal to a typed
+/// [`desim::JournalDecodeError`], survive seeded single-bit corruptions
+/// without panicking, and reject every truncated entry batch fed to
+/// `append_entry_batch`. Returns pinpointed diagnostics on violation.
+pub fn fuzz_journal_decode(seed: u64, flips: usize) -> Result<JournalFuzzReport, Vec<String>> {
+    let journal = draw_journal(seed, 200);
+    let bytes = journal.encode();
+    let mut report = JournalFuzzReport {
+        bytes: bytes.len(),
+        ..JournalFuzzReport::default()
+    };
+    let mut failures = Vec::new();
+
+    // Round trip sanity: the untouched encoding decodes back.
+    match decode_no_panic(&bytes, "full encoding") {
+        Ok(Ok(back)) => {
+            if let Some(d) = back.first_divergence(&journal) {
+                failures.push(format!("round trip diverged: {d}"));
+            }
+        }
+        Ok(Err(e)) => failures.push(format!("full encoding rejected: {e}")),
+        Err(msg) => failures.push(msg),
+    }
+
+    // 1. Every strict prefix is a truncation and must fail *typed*.
+    for cut in 0..bytes.len() {
+        report.truncations += 1;
+        match decode_no_panic(&bytes[..cut], &format!("truncation at byte {cut}")) {
+            Ok(Ok(_)) => failures.push(format!(
+                "truncation at byte {cut} of {} decoded successfully",
+                bytes.len()
+            )),
+            Ok(Err(_)) => {}
+            Err(msg) => failures.push(msg),
+        }
+    }
+
+    // 2. Seeded single-bit corruptions: a typed error or a (different)
+    //    journal are both acceptable; a panic never is.
+    let mut rng = Xoshiro256::seed_from_u64(seed ^ 0xD6E8_FEB8_6659_FD93);
+    for _ in 0..flips {
+        report.flips += 1;
+        let i = rng.gen_range_u64(0, bytes.len() as u64) as usize;
+        let bit = rng.gen_range_u64(0, 8) as u8;
+        let mut corrupt = bytes.clone();
+        corrupt[i] ^= 1 << bit;
+        if let Err(msg) = decode_no_panic(&corrupt, &format!("bit flip at byte {i} bit {bit}")) {
+            failures.push(msg);
+        }
+    }
+
+    // 3. Truncated entry batches against the incremental appender.
+    let header = journal.encode_header();
+    let batch = journal.encode_entry_batch(0, journal.len());
+    for cut in 0..batch.len() {
+        report.batch_truncations += 1;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut j = Journal::decode(&header).expect("header decodes");
+            j.append_entry_batch(&batch[..cut]).map(|_| j.len())
+        }));
+        match outcome {
+            Ok(Ok(n)) if cut < batch.len() => {
+                // A truncated batch may decode only if it is itself a
+                // complete shorter batch — which the varint framing
+                // forbids; reaching here with entries appended is a bug.
+                if n > 0 {
+                    failures.push(format!(
+                        "batch truncated at byte {cut} appended {n} entries"
+                    ));
+                }
+            }
+            Ok(_) => {}
+            Err(_) => failures.push(format!("batch truncation at byte {cut}: appender panicked")),
+        }
+    }
+
+    if failures.is_empty() {
+        Ok(report)
+    } else {
+        Err(failures)
+    }
+}
+
 /// Pinpoints the first difference between two texts as
 /// `line L, column C: ours=... theirs=...` — the CSV-level analogue of the
 /// journal's [`dps_sim::Divergence`], for outputs that are rendered bytes
@@ -319,6 +499,17 @@ mod tests {
         assert!(d.contains("column 2"), "{d}");
         let d = first_text_divergence("a,b\n", "a,b\nextra\n").unwrap();
         assert!(d.contains("line 2"), "{d}");
+    }
+
+    /// The journal codec survives truncation and corruption with typed
+    /// errors — the decoder-robustness satellite, seeded and quick.
+    #[test]
+    fn journal_codec_survives_truncation_and_bit_flips() {
+        let report = fuzz_journal_decode(42, 64).unwrap_or_else(|f| panic!("{f:?}"));
+        assert!(report.bytes > 500, "reference journal is non-trivial");
+        assert_eq!(report.truncations, report.bytes);
+        assert_eq!(report.flips, 64);
+        assert!(report.batch_truncations > 0);
     }
 
     /// One seeded case end-to-end: the invariant holds on a real workload.

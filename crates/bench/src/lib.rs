@@ -21,6 +21,7 @@
 //! published platform parameters. See `EXPERIMENTS.md` for paper-vs-
 //! reproduction numbers.
 
+pub mod chaos;
 pub mod experiments;
 pub mod fuzz;
 pub mod harness;
@@ -28,8 +29,12 @@ pub mod journal_probe;
 pub mod runner;
 pub mod scenarios;
 
+pub use chaos::{record_chaos, run_chaos, ChaosConfig, ChaosOutcome, CHAOS_SHARDS};
 pub use experiments::*;
-pub use fuzz::{first_text_divergence, fuzz, fuzz_with, FuzzConfig, FuzzOutcome};
+pub use fuzz::{
+    first_text_divergence, fuzz, fuzz_journal_decode, fuzz_with, FuzzConfig, FuzzOutcome,
+    JournalFuzzReport,
+};
 pub use harness::{
     panic_message, run_parallel, run_parallel_isolated, run_parallel_isolated_with,
     run_parallel_with, smoke, thread_count, time, BenchJson,

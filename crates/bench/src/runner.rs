@@ -46,7 +46,10 @@ use crate::harness::run_parallel_isolated;
 ///
 /// v3: `ServiceReport::canonical_string` grew profile-cache and what-if
 /// counter lines, and server scenarios gained what-if columns.
-pub const CACHE_VERSION: u32 = 3;
+///
+/// v4: `ServiceReport::canonical_string` grew the profiling-retry counter
+/// on its faults line and the circuit-breaker line.
+pub const CACHE_VERSION: u32 = 4;
 
 /// Where cache entries live: `DVNS_CACHE_DIR`, or `results/cache`.
 pub fn cache_dir() -> PathBuf {

@@ -55,9 +55,15 @@ mod report;
 mod service;
 mod shard;
 
+mod recovery;
+
 pub use config::{ServiceConfig, TenantSpec};
 pub use job::{AnalyticJob, JobPayload, JobSpec, SyntheticLoad};
+pub use recovery::{
+    CrashPlan, CrashReport, DurabilitySpec, RecoveredPrefix, TornTail, WalError, WriteAheadLog,
+};
 pub use report::{CellReport, LatencyHist, ServiceReport, TenantReport};
 pub use service::{
-    decision, ClusterService, ServeOptions, ServiceBudget, ServiceOutcome, DECISION_LABELS, NO_CELL,
+    decision, ClusterService, ReplayStats, ResumePrefix, ServeOptions, ServiceBudget,
+    ServiceOutcome, DECISION_LABELS, NO_CELL,
 };

@@ -13,6 +13,7 @@
 //! count excluded — it is an execution detail) for the byte-compare
 //! determinism tests and the CI smoke diff.
 
+use cluster::BreakerStats;
 use desim::{SimDuration, SimTime};
 
 /// Quarter-octave integer histogram of scheduling latencies (arrival →
@@ -239,6 +240,11 @@ pub struct ServiceReport {
     pub cache_evictions: u64,
     /// What-if decision counters (all deterministic).
     pub whatif: WhatIfStats,
+    /// Circuit-breaker counters (all zero when no breaker is configured).
+    pub breaker: BreakerStats,
+    /// Profiling retries granted after a workload panic (bounded
+    /// exponential backoff; a job only fails once its retries run out).
+    pub profile_retries: u64,
     /// **Host-measured** per-decision latency histogram, recorded only
     /// under [`crate::ServeOptions::measure_decisions`]. Wall-clock data:
     /// excluded from [`ServiceReport::canonical_string`] by design.
@@ -391,8 +397,8 @@ impl ServiceReport {
         );
         let _ = writeln!(
             out,
-            "faults restarts={} lost_work_ns={} degraded_ns={} replayed_ns={}",
-            t.restarts, t.lost_work_ns, t.degraded_ns, t.replayed_work_ns
+            "faults restarts={} lost_work_ns={} degraded_ns={} replayed_ns={} profile_retries={}",
+            t.restarts, t.lost_work_ns, t.degraded_ns, t.replayed_work_ns, self.profile_retries
         );
         let _ = writeln!(
             out,
@@ -435,6 +441,12 @@ impl ServiceReport {
             w.sessions_opened,
             w.migrations,
             w.extra_checkpoints
+        );
+        let b = &self.breaker;
+        let _ = writeln!(
+            out,
+            "breaker breaches={} trips={} probes={} recloses={} fallbacks={}",
+            b.breaches, b.trips, b.probes, b.recloses, b.fallback_decisions
         );
         for tn in &self.tenants {
             let _ = writeln!(
@@ -588,5 +600,26 @@ mod tests {
             .canonical_string()
             .contains("whatif decisions=3 candidates=9"));
         assert!(a.canonical_string().contains("cache hits=5"));
+    }
+
+    #[test]
+    fn canonical_string_carries_breaker_and_retry_counters() {
+        let a = ServiceReport {
+            breaker: BreakerStats {
+                breaches: 4,
+                trips: 1,
+                probes: 1,
+                recloses: 1,
+                fallback_decisions: 7,
+            },
+            profile_retries: 2,
+            ..ServiceReport::default()
+        };
+        let s = a.canonical_string();
+        assert!(
+            s.contains("breaker breaches=4 trips=1 probes=1 recloses=1 fallbacks=7"),
+            "{s}"
+        );
+        assert!(s.contains("profile_retries=2"), "{s}");
     }
 }

@@ -40,14 +40,15 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::Instant;
 
 use cluster::{
-    profile_suffix, realized_suffix, score_fingerprint, CandidateKind, CandidateScore,
-    ProfileCache, SchedulePolicy, WhatIfSession,
+    profile_suffix, realized_suffix, score_fingerprint, BreakerState, CandidateKind,
+    CandidateScore, CircuitBreaker, ProfileCache, SchedulePolicy, WhatIfSession,
 };
 use desim::fxhash::FxHashMap;
-use desim::{EventQueue, Journal, JournalEvent, SimDuration, SimTime};
+use desim::{EventQueue, Journal, JournalEntry, JournalEvent, SimDuration, SimTime};
 use dps_sim::{BudgetKind, CancelToken, SimError, SimErrorKind, SimResult};
 use faults::{CheckpointSpec, FaultPlan, Outage, RateTimeline};
 
@@ -84,11 +85,15 @@ pub mod decision {
     /// The winning what-if candidate was committed (`work` = its
     /// [`cluster::CandidateKind`] as an integer).
     pub const WHATIF: u32 = 10;
+    /// The what-if circuit breaker changed state (`start` = the new
+    /// [`cluster::BreakerState`] code, `work` = the step cost of the
+    /// decision that caused the transition, when one did).
+    pub const BREAKER: u32 = 11;
 }
 
 /// Names of the decision codes, interned into the journal's label table in
 /// code order (so `labels[op]` names a decision).
-pub const DECISION_LABELS: [&str; 11] = [
+pub const DECISION_LABELS: [&str; 12] = [
     "admit",
     "place",
     "shrink",
@@ -100,6 +105,7 @@ pub const DECISION_LABELS: [&str; 11] = [
     "cancel",
     "candidate",
     "whatif",
+    "breaker",
 ];
 
 /// `Step.node` value for decisions that concern no cell.
@@ -129,6 +135,32 @@ pub struct ServeOptions {
     /// itself costs a couple of clock reads per decision, and the
     /// histogram is host data (never part of the canonical report).
     pub measure_decisions: bool,
+    /// Validated replay: a committed journal prefix recovered from a
+    /// durable log. The re-execution must reproduce these entries exactly,
+    /// in order, before committing anything new; the first divergence is a
+    /// typed protocol error. Implies `journal`.
+    pub resume: Option<ResumePrefix>,
+}
+
+/// A recovered committed decision prefix for validated replay (see
+/// [`ServeOptions::resume`] and the `recovery` module).
+#[derive(Clone, Debug)]
+pub struct ResumePrefix {
+    /// Committed entries recovered from the durable log, in commit order.
+    pub entries: Arc<Vec<JournalEntry>>,
+}
+
+/// How a validated replay went.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReplayStats {
+    /// Entries in the recovered committed prefix.
+    pub prefix_entries: u64,
+    /// Prefix entries the re-execution reproduced (all of them, on a
+    /// successful recovery).
+    pub matched: u64,
+    /// Host wall seconds spent re-executing through the prefix — the
+    /// recovery's catch-up latency.
+    pub catch_up_secs: f64,
 }
 
 /// What a completed `serve` returns.
@@ -138,6 +170,9 @@ pub struct ServiceOutcome {
     pub report: ServiceReport,
     /// The decision journal, when requested.
     pub journal: Option<Journal>,
+    /// Validated-replay statistics, when `serve` resumed from a recovered
+    /// prefix.
+    pub replay: Option<ReplayStats>,
 }
 
 /// The long-lived sharded multi-tenant job service.
@@ -189,6 +224,14 @@ const MAX_SESSIONS: usize = 32;
 /// scores use `CandidateKind::Keep as u32` (shared with the batch server's
 /// `best_allocation`); this tag keeps the two semantics apart in the memo.
 const FORK_TAG: u32 = 6;
+/// Profiling-panic retries per phase schedule before the job fails.
+const RETRY_MAX: u32 = 3;
+/// Base of the profiling-retry exponential backoff (10 ms virtual).
+const RETRY_BASE: SimDuration = SimDuration(10_000_000);
+/// Cap of the profiling-retry backoff (1 s virtual).
+const RETRY_CAP: SimDuration = SimDuration(1_000_000_000);
+/// Bound (exclusive) on the deterministic retry jitter (1 ms virtual).
+const RETRY_JITTER_NS: u64 = 1_000_000;
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum JobState {
@@ -239,6 +282,9 @@ struct LiveJob {
     extra_ckpt: bool,
     /// Resume point established by the latest extra checkpoint.
     extra_ckpt_phase: u32,
+    /// Profiling-panic attempts for the phase currently being scheduled
+    /// (reset on the first successful profile point).
+    profile_attempts: u32,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -251,6 +297,14 @@ enum GlobalEv {
     Requeue { slot: u32, epoch: u32 },
     /// A job's requested cancellation time arrived.
     CancelJob { slot: u32, epoch: u32 },
+    /// A profiling-panic backoff elapsed: try scheduling the phase again
+    /// (`restart` re-carries the restart cost of the original attempt).
+    RetryPhase {
+        slot: u32,
+        epoch: u32,
+        gen: u32,
+        restart: SimDuration,
+    },
 }
 
 /// What a boundary decision commits.
@@ -315,9 +369,30 @@ struct Engine<'a> {
     session_order: VecDeque<u32>,
     /// Deterministic what-if counters.
     wi: WhatIfStats,
+    /// Optional circuit breaker around fork-based what-if scoring
+    /// (service-global, like the profile cache).
+    breaker: Option<CircuitBreaker>,
+    /// Profiling-panic retries scheduled so far.
+    profile_retries: u64,
+    /// Validated-replay state when resuming from a recovered prefix.
+    resume: Option<ResumeCheck>,
     /// Host-measure decision latency ([`ServeOptions::measure_decisions`]).
     measure: bool,
     decision_hist: LatencyHist,
+}
+
+/// Live state of a validated journal replay ([`ServeOptions::resume`]).
+struct ResumeCheck {
+    /// The recovered committed prefix.
+    entries: Arc<Vec<JournalEntry>>,
+    /// Prefix entries matched so far.
+    cursor: usize,
+    /// Wall instant the replay started.
+    started: Instant,
+    /// Wall seconds to re-execute through the full prefix.
+    caught_up: Option<f64>,
+    /// First divergence, surfaced as a protocol error by the main loop.
+    error: Option<String>,
 }
 
 impl<'a> Engine<'a> {
@@ -351,7 +426,7 @@ impl<'a> Engine<'a> {
                 max_backoff,
             } => (Some(min_efficiency), Some((base_backoff, max_backoff))),
         };
-        let journal = opts.journal.then(|| {
+        let journal = (opts.journal || opts.resume.is_some()).then(|| {
             let mut j = Journal::new();
             for label in DECISION_LABELS {
                 j.intern_label(label);
@@ -413,6 +488,15 @@ impl<'a> Engine<'a> {
             sessions: FxHashMap::default(),
             session_order: VecDeque::new(),
             wi: WhatIfStats::default(),
+            breaker: cfg.breaker.map(CircuitBreaker::new),
+            profile_retries: 0,
+            resume: opts.resume.as_ref().map(|r| ResumeCheck {
+                entries: Arc::clone(&r.entries),
+                cursor: 0,
+                started: Instant::now(),
+                caught_up: None,
+                error: None,
+            }),
             measure: opts.measure_decisions,
             decision_hist: LatencyHist::new(),
         }
@@ -445,6 +529,24 @@ impl<'a> Engine<'a> {
                     work: extra,
                 },
             );
+            if let Some(rc) = &mut self.resume {
+                if rc.error.is_none() && rc.cursor < rc.entries.len() {
+                    let got = j.entries.last().expect("entry just pushed");
+                    let want = &rc.entries[rc.cursor];
+                    if got == want {
+                        rc.cursor += 1;
+                        if rc.cursor == rc.entries.len() {
+                            rc.caught_up = Some(rc.started.elapsed().as_secs_f64());
+                        }
+                    } else {
+                        rc.error = Some(format!(
+                            "re-execution diverged from the recovered prefix at \
+                             entry {}: expected {want:?}, got {got:?}",
+                            rc.cursor
+                        ));
+                    }
+                }
+            }
         }
     }
 
@@ -462,6 +564,9 @@ impl<'a> Engine<'a> {
         let mut next_arrival = stream.next();
         let mut last_arrival = SimTime::ZERO;
         loop {
+            if let Some(msg) = self.resume.as_mut().and_then(|rc| rc.error.take()) {
+                return Err(SimError::protocol(msg).context("validated journal replay"));
+            }
             if self.budget.max_events != 0 && self.events >= self.budget.max_events {
                 return Err(SimError::new(SimErrorKind::BudgetExceeded {
                     kind: BudgetKind::Steps,
@@ -512,6 +617,12 @@ impl<'a> Engine<'a> {
                     GlobalEv::Return(node) => self.handle_return(node)?,
                     GlobalEv::Requeue { slot, epoch } => self.handle_requeue(slot, epoch)?,
                     GlobalEv::CancelJob { slot, epoch } => self.handle_cancel(slot, epoch)?,
+                    GlobalEv::RetryPhase {
+                        slot,
+                        epoch,
+                        gen,
+                        restart,
+                    } => self.handle_retry(slot, epoch, gen, restart)?,
                 }
             }
             // Stage 2: arrivals at this instant, in stream order.
@@ -540,6 +651,19 @@ impl<'a> Engine<'a> {
                 }
             }
         }
+        if let Some(rc) = &mut self.resume {
+            if let Some(msg) = rc.error.take() {
+                return Err(SimError::protocol(msg).context("validated journal replay"));
+            }
+            if rc.cursor < rc.entries.len() {
+                return Err(SimError::protocol(format!(
+                    "re-execution committed only {} of {} recovered decisions",
+                    rc.cursor,
+                    rc.entries.len()
+                ))
+                .context("validated journal replay"));
+            }
+        }
         Ok(())
     }
 
@@ -550,6 +674,13 @@ impl<'a> Engine<'a> {
                 cells.push(c.report);
             }
         }
+        let replay = self.resume.map(|rc| ReplayStats {
+            prefix_entries: rc.entries.len() as u64,
+            matched: rc.cursor as u64,
+            catch_up_secs: rc
+                .caught_up
+                .unwrap_or_else(|| rc.started.elapsed().as_secs_f64()),
+        });
         ServiceOutcome {
             report: ServiceReport {
                 nodes_per_cell: self.cfg.nodes_per_cell,
@@ -565,9 +696,12 @@ impl<'a> Engine<'a> {
                 cache_entries: (self.cache.len() + self.cache.scores_len()) as u64,
                 cache_evictions: self.cache.evictions(),
                 whatif: self.wi,
+                breaker: self.breaker.as_ref().map(CircuitBreaker::stats).unwrap_or_default(),
+                profile_retries: self.profile_retries,
                 decision_hist: self.decision_hist,
             },
             journal: self.journal,
+            replay,
         }
     }
 
@@ -649,6 +783,7 @@ impl<'a> Engine<'a> {
             fork_ok: false,
             extra_ckpt: false,
             extra_ckpt_phase: 0,
+            profile_attempts: 0,
         };
         if let Some(slot) = self.free_slots.pop() {
             let e = &mut self.slab[slot as usize];
@@ -826,13 +961,14 @@ impl<'a> Engine<'a> {
     /// `(span, work)` of the job's next iteration on its current
     /// allocation; boxed workloads are profiled through the cache behind a
     /// panic shield so one tenant's broken workload cannot take the
-    /// service down.
+    /// service down. Panics are reported apart from typed errors because
+    /// they are retryable (see [`Engine::retry_or_fail`]).
     fn payload_point(
         &mut self,
         slot: u32,
         phase: u32,
         n: u32,
-    ) -> SimResult<(SimDuration, SimDuration)> {
+    ) -> Result<(SimDuration, SimDuration), PointError> {
         match &self.slab[slot as usize].payload {
             JobPayload::Analytic(a) => {
                 let (span, work, _) = a.point(phase, n);
@@ -843,11 +979,8 @@ impl<'a> Engine<'a> {
                 let cache = &mut self.cache;
                 match catch_unwind(AssertUnwindSafe(|| cache.point(&*w, n, phase as usize))) {
                     Ok(Ok(p)) => Ok((p.span, p.cpu_work)),
-                    Ok(Err(e)) => Err(e),
-                    Err(payload) => Err(SimError::protocol(format!(
-                        "workload panicked while profiling: {}",
-                        panic_message(&payload)
-                    ))),
+                    Ok(Err(e)) => Err(PointError::Failed(e)),
+                    Err(payload) => Err(PointError::Panicked(panic_message(&payload))),
                 }
             }
         }
@@ -890,8 +1023,12 @@ impl<'a> Engine<'a> {
             (e.phase, e.held.len() as u32, e.cell)
         };
         let (mut span, work) = match self.payload_point(slot, phase, n) {
-            Ok(p) => p,
-            Err(err) => return self.fail_running(slot, err),
+            Ok(p) => {
+                self.slab[slot as usize].profile_attempts = 0;
+                p
+            }
+            Err(PointError::Failed(err)) => return self.fail_running(slot, err),
+            Err(PointError::Panicked(msg)) => return self.retry_or_fail(slot, restart_cost, msg),
         };
         if !self.cpu_tl.is_empty() || !self.link_tl.is_empty() {
             let e = &self.slab[slot as usize];
@@ -946,6 +1083,64 @@ impl<'a> Engine<'a> {
         cell.report.allocated_node_ns += u128::from(n) * u128::from(span.as_nanos());
         cell.queue.schedule(now + span, PhaseEnd { slot, gen });
         Ok(())
+    }
+
+    /// A profiling call panicked under `schedule_phase`: retry after a
+    /// capped exponential backoff with deterministic jitter, up to
+    /// [`RETRY_MAX`] attempts, then fail the job. The job keeps its nodes
+    /// while backing off; the idle window is charged as allocated time.
+    fn retry_or_fail(&mut self, slot: u32, restart_cost: SimDuration, msg: String) -> SimResult<()> {
+        let attempt = self.slab[slot as usize].profile_attempts;
+        if attempt >= RETRY_MAX {
+            return self.fail_running(
+                slot,
+                SimError::protocol(format!(
+                    "workload panicked while profiling ({RETRY_MAX} retries exhausted): {msg}"
+                )),
+            );
+        }
+        let (id, n, cell_id, epoch, gen) = {
+            let e = &mut self.slab[slot as usize];
+            e.profile_attempts += 1;
+            (e.id, e.held.len() as u32, e.cell, e.epoch, e.gen)
+        };
+        self.profile_retries += 1;
+        let backoff = SimDuration(
+            RETRY_BASE
+                .as_nanos()
+                .saturating_mul(1u64 << attempt.min(20))
+                .min(RETRY_CAP.as_nanos())
+                + retry_jitter(id, attempt),
+        );
+        self.cell_mut(cell_id).report.allocated_node_ns +=
+            u128::from(n) * u128::from(backoff.as_nanos());
+        self.global.schedule(
+            self.now + backoff,
+            GlobalEv::RetryPhase {
+                slot,
+                epoch,
+                gen,
+                restart: restart_cost,
+            },
+        );
+        Ok(())
+    }
+
+    /// A profiling retry came due. Stale retries — the job was meanwhile
+    /// interrupted, cancelled, or its slot reused — are dropped by the
+    /// epoch/gen guard.
+    fn handle_retry(
+        &mut self,
+        slot: u32,
+        epoch: u32,
+        gen: u32,
+        restart: SimDuration,
+    ) -> SimResult<()> {
+        let e = &self.slab[slot as usize];
+        if e.epoch != epoch || e.gen != gen || e.state != JobState::Running {
+            return Ok(());
+        }
+        self.schedule_phase(slot, restart)
     }
 
     fn handle_phase_end(&mut self, cell_id: u32, pe: PhaseEnd) -> SimResult<()> {
@@ -1296,13 +1491,76 @@ impl<'a> Engine<'a> {
                 Ok(a.suffix_score(phase, m))
             }
             JobPayload::Boxed(_) => {
-                if m <= n && self.slab[slot as usize].fork_ok {
-                    if let Some(s) = self.fork_score(slot, phase, m, n)? {
-                        return Ok(s);
+                if m <= n && self.slab[slot as usize].fork_ok && self.breaker_admits_fork(slot) {
+                    let before = self.session_steps(slot);
+                    match self.fork_score(slot, phase, m, n)? {
+                        Some(s) => {
+                            let used = self.session_steps(slot).saturating_sub(before);
+                            self.breaker_fork_outcome(slot, used);
+                            return Ok(s);
+                        }
+                        None => self.breaker_fork_refused(slot),
                     }
                 }
                 self.profile_score(slot, phase, m)
             }
+        }
+    }
+
+    // ----- circuit breaker -------------------------------------------------
+
+    /// Committed simulator steps the job's warm session has consumed so
+    /// far — the deterministic cost metric breaker budgets are charged in.
+    fn session_steps(&self, slot: u32) -> u64 {
+        self.sessions.get(&slot).map_or(0, |s| s.steps_used())
+    }
+
+    /// Journals a breaker state transition against the job whose decision
+    /// triggered it (`start` = the new state's code, `work` = the
+    /// decision's step cost when one caused the transition).
+    fn journal_breaker(&mut self, slot: u32, st: BreakerState, steps: u64) {
+        let (id, tenant, cell) = {
+            let e = &self.slab[slot as usize];
+            (e.id, e.tenant, e.cell)
+        };
+        self.journal_decision(decision::BREAKER, id, tenant, cell, st.code(), steps);
+    }
+
+    /// Consults the breaker before a fork-scored decision. `true` means
+    /// the fork may proceed (closed, or a half-open probe was granted);
+    /// `false` sends the decision to profile-priced fallback scoring.
+    fn breaker_admits_fork(&mut self, slot: u32) -> bool {
+        let Some(b) = &mut self.breaker else {
+            return true;
+        };
+        let (ok, trans) = b.allow_fork(self.now);
+        if let Some(st) = trans {
+            self.journal_breaker(slot, st, 0);
+        }
+        ok
+    }
+
+    /// Settles a completed fork-scored decision with the breaker: a step
+    /// cost over the budget is a breach, anything else a success.
+    fn breaker_fork_outcome(&mut self, slot: u32, steps: u64) {
+        let Some(b) = &mut self.breaker else { return };
+        let trans = if steps > b.spec().max_steps_per_decision {
+            b.record_breach(self.now)
+        } else {
+            b.record_ok()
+        };
+        if let Some(st) = trans {
+            self.journal_breaker(slot, st, steps);
+        }
+    }
+
+    /// A refused or unavailable fork while the breaker is armed counts as
+    /// a breach: the service wanted exact scoring and could not get it.
+    fn breaker_fork_refused(&mut self, slot: u32) {
+        let Some(b) = &mut self.breaker else { return };
+        let trans = b.record_breach(self.now);
+        if let Some(st) = trans {
+            self.journal_breaker(slot, st, 0);
         }
     }
 
@@ -1752,6 +2010,25 @@ impl<'a> Engine<'a> {
         }
         Ok(())
     }
+}
+
+/// Why a profile-point lookup failed: a typed workload error is terminal;
+/// a panic is retryable.
+enum PointError {
+    Failed(SimError),
+    Panicked(String),
+}
+
+/// Deterministic sub-millisecond retry jitter: a mix of the job id and the
+/// attempt number, so backoff instants never depend on host state yet
+/// de-synchronize jobs that panicked at the same instant.
+fn retry_jitter(id: u64, attempt: u32) -> u64 {
+    let mut x = id.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ u64::from(attempt).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 29;
+    x % RETRY_JITTER_NS
 }
 
 /// Best-effort panic payload rendering (mirrors the bench harness).

@@ -33,7 +33,9 @@ pub mod whatif;
 pub mod workload;
 
 pub use efficiency::{profile_from_report, EfficiencyProfile, IterationPoint};
-pub use policy::{recommend_removal, ThresholdPolicy};
+pub use policy::{
+    recommend_removal, BreakerSpec, BreakerState, BreakerStats, CircuitBreaker, ThresholdPolicy,
+};
 pub use server::{ClusterSim, Job, JobOutcome, JobRecord, Phase, SchedulePolicy, ServerReport};
 pub use whatif::{
     best_allocation, profile_suffix, realized_suffix, score_fingerprint, CandidateKind,

@@ -204,6 +204,16 @@ pub trait WhatIfSession {
     /// Commits `plan` into the warm base so future forks inherit it. The
     /// plan replaces any previously committed plan.
     fn commit_plan(&mut self, plan: &[(usize, u32)]) -> SimResult<()>;
+
+    /// Cumulative deterministic cost of this session: committed simulator
+    /// steps spent advancing the warm base plus every forked suffix. The
+    /// service's circuit breaker charges each decision the delta of this
+    /// counter — virtual work, never host wall time, so budget breaches are
+    /// reproducible per seed. Sessions without a meaningful step notion
+    /// report 0 (never breaching).
+    fn steps_used(&self) -> u64 {
+        0
+    }
 }
 
 /// The batch server's what-if allocation choice: scores the candidate

@@ -572,6 +572,96 @@ impl Journal {
             entries,
         })
     }
+
+    // ----- segmented (WAL) framing primitives ------------------------------
+
+    /// Encodes only the header — magic, metadata and label table, with an
+    /// empty entry list. This is the payload of a segmented WAL's first
+    /// frame: the entries follow in batches ([`Journal::encode_entry_batch`])
+    /// so a torn tail loses events, never the tables they refer to.
+    pub fn encode_header(&self) -> Vec<u8> {
+        Journal {
+            meta: self.meta.clone(),
+            labels: self.labels.clone(),
+            entries: Vec::new(),
+        }
+        .encode()
+    }
+
+    /// Encodes `entries[start..end]` as a standalone delta-coded batch —
+    /// the payload of one WAL entry frame. The first entry's vtime is
+    /// delta-coded against `entries[start - 1]` (zero for `start == 0`), so
+    /// concatenating the batches in order reproduces the exact bytes of the
+    /// monolithic [`Journal::encode`] entry section.
+    ///
+    /// # Panics
+    /// If `start..end` is not a valid, ordered range into the entries.
+    pub fn encode_entry_batch(&self, start: usize, end: usize) -> Vec<u8> {
+        assert!(start <= end && end <= self.entries.len(), "bad batch range");
+        let mut out = Vec::with_capacity(8 + (end - start) * 8);
+        put_varint(&mut out, (end - start) as u64);
+        let mut prev = if start == 0 {
+            0
+        } else {
+            self.entries[start - 1].vtime.as_nanos()
+        };
+        for e in &self.entries[start..end] {
+            let t = e.vtime.as_nanos();
+            debug_assert!(t >= prev, "journal entries must be time-ordered");
+            let (kind, fields) = encode_event(&e.event);
+            out.push(kind);
+            put_varint(&mut out, t.saturating_sub(prev));
+            prev = t;
+            for f in fields {
+                put_varint(&mut out, f);
+            }
+        }
+        out
+    }
+
+    /// Decodes a batch produced by [`Journal::encode_entry_batch`] and
+    /// appends its entries, delta-decoding vtimes against the current last
+    /// entry. Returns how many entries were appended. On error the journal
+    /// is left unchanged.
+    pub fn append_entry_batch(&mut self, bytes: &[u8]) -> Result<usize, JournalDecodeError> {
+        let mut c = Cursor { bytes, pos: 0 };
+        let count = c.varint()? as usize;
+        let mut prev = self.entries.last().map_or(0, |e| e.vtime.as_nanos());
+        let mut batch = Vec::with_capacity(count.min(1 << 20));
+        for _ in 0..count {
+            let kind = c.byte()?;
+            let delta = c.varint()?;
+            prev = prev
+                .checked_add(delta)
+                .ok_or_else(|| c.err("vtime overflow"))?;
+            let event = decode_event(kind, &mut c)?;
+            batch.push(JournalEntry {
+                vtime: SimTime(prev),
+                event,
+            });
+        }
+        if c.pos != bytes.len() {
+            return Err(c.err("trailing bytes after last batch entry"));
+        }
+        self.entries.append(&mut batch);
+        Ok(count)
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) of `bytes` — the
+/// per-frame checksum of the segmented WAL built on this journal (see the
+/// cluster service's recovery module). Bitwise, dependency-free; frames are
+/// small enough that a lookup table buys nothing.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
 }
 
 /// First differing field between two same-index entries, if any.
@@ -795,7 +885,14 @@ impl<'a> Cursor<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], JournalDecodeError> {
-        if self.pos + n > self.bytes.len() {
+        // `n` comes from an untrusted varint: the addition must not wrap
+        // (debug overflow panic / release wrap-around past the bounds
+        // check) on a malformed length near `usize::MAX`.
+        if self
+            .pos
+            .checked_add(n)
+            .is_none_or(|end| end > self.bytes.len())
+        {
             return Err(self.err("unexpected end of input"));
         }
         let s = &self.bytes[self.pos..self.pos + n];
@@ -996,6 +1093,66 @@ mod tests {
         assert!(Journal::decode(&bytes).is_err());
         let bytes = sample().encode();
         assert!(Journal::decode(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_huge_length_without_panicking() {
+        // A string length varint near u64::MAX must surface as a typed
+        // error (offset + reason), not an overflow panic in the cursor.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(JOURNAL_MAGIC);
+        put_varint(&mut bytes, 1); // one meta pair
+        put_varint(&mut bytes, u64::MAX); // absurd key length
+        let err = Journal::decode(&bytes).unwrap_err();
+        assert!(err.offset <= bytes.len(), "offset {} in bounds", err.offset);
+        assert!(err.reason.contains("end of input"), "{}", err.reason);
+    }
+
+    #[test]
+    fn truncation_at_every_byte_is_a_typed_error() {
+        let bytes = sample().encode();
+        for cut in 0..bytes.len() {
+            match Journal::decode(&bytes[..cut]) {
+                Ok(j) => panic!("decoded {} entries from a {cut}-byte prefix", j.len()),
+                Err(e) => assert!(e.offset <= cut),
+            }
+        }
+    }
+
+    #[test]
+    fn entry_batches_reassemble_the_monolithic_encoding() {
+        let j = sample();
+        // Rebuild via header + arbitrary batch split points: entries and
+        // tables must round-trip exactly.
+        for split in 0..=j.len() {
+            let mut back = Journal::decode(&j.encode_header()).unwrap();
+            assert!(back.is_empty());
+            back.append_entry_batch(&j.encode_entry_batch(0, split))
+                .unwrap();
+            back.append_entry_batch(&j.encode_entry_batch(split, j.len()))
+                .unwrap();
+            assert_eq!(back.entries, j.entries, "split at {split}");
+            assert_eq!(back.encode(), j.encode(), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn a_failed_batch_append_leaves_the_journal_unchanged() {
+        let j = sample();
+        let mut back = Journal::decode(&j.encode_header()).unwrap();
+        let mut batch = j.encode_entry_batch(0, j.len());
+        batch.pop(); // torn tail
+        assert!(back.append_entry_batch(&batch).is_err());
+        assert!(back.is_empty(), "partial batches must not be applied");
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        // The standard CRC-32 check vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        let j = sample().encode();
+        assert_ne!(crc32(&j), crc32(&j[..j.len() - 1]));
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub mod share;
 pub mod time;
 
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
-pub use journal::{Divergence, Journal, JournalEntry, JournalEvent};
+pub use journal::{crc32, Divergence, Journal, JournalDecodeError, JournalEntry, JournalEvent};
 pub use queue::{EventId, EventQueue};
 pub use share::{ProgressSet, ProgressView};
 pub use time::{SimDuration, SimTime};

@@ -1371,6 +1371,13 @@ impl<'a> Engine<'a> {
         self.now
     }
 
+    /// Committed atomic steps so far — the deterministic cost metric
+    /// (identical between serial and parallel execution by the ticketing
+    /// construction; surfaced as `RunReport::steps` at the end of a run).
+    pub(crate) fn steps(&self) -> u64 {
+        self.steps_executed
+    }
+
     /// Mutable `Any` view of one server's behaviour state, for divergence
     /// rewrites in forks (see [`Operation::as_any_mut`]). `None` when the
     /// operation never ran or opted out.

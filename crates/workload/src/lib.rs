@@ -47,9 +47,10 @@ pub use apps::{LuWorkload, StencilWorkload};
 pub use env::{engine_threads, SimEnv, DEFAULT_SEED, N};
 pub use faulted::{FaultAware, FaultedRun, FaultedWorkload};
 pub use scale::{
-    run_server_scale, run_server_whatif, server_scale_bench, server_scale_config,
-    server_scale_load, server_scale_plan, server_whatif_bench, server_whatif_config,
-    server_whatif_load, ScaleBenchRun, WhatIfBenchRun, SCALE_JOBS, SCALE_SMOKE_JOBS, WHATIF_JOBS,
+    chaos_baseline, chaos_sweep, run_server_scale, run_server_whatif, server_scale_bench,
+    server_scale_config, server_scale_load, server_scale_plan, server_whatif_bench,
+    server_whatif_config, server_whatif_load, ChaosBaseline, ChaosRun, ChaosSummary, ScaleBenchRun,
+    WhatIfBenchRun, CHAOS_GROUP_EVENTS, SCALE_JOBS, SCALE_SMOKE_JOBS, WHATIF_JOBS,
     WHATIF_SMOKE_JOBS,
 };
 pub use scenarios::{

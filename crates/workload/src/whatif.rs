@@ -38,6 +38,10 @@ pub struct WhatIfEvaluator {
     /// The base run completed before a requested barrier; the session is
     /// exhausted.
     finished: bool,
+    /// Committed simulator steps spent in forked suffixes (the base's own
+    /// steps are read off the checkpoint); together they are the session's
+    /// deterministic cost, `steps_used`.
+    fork_steps: u64,
 }
 
 impl WhatIfEvaluator {
@@ -49,6 +53,7 @@ impl WhatIfEvaluator {
             committed: Vec::new(),
             installed: false,
             finished: false,
+            fork_steps: 0,
         }
     }
 
@@ -120,7 +125,11 @@ impl WhatIfSession for WhatIfEvaluator {
         // Entries at or before the current iteration are dropped by the
         // rewrite — they already executed in the shared prefix.
         f.set_removal_plan(plan.to_vec());
+        let prefix = self.base.steps();
         let run = f.finish()?;
+        // The fork inherits the base's committed prefix count; only the
+        // divergent suffix is this decision's cost.
+        self.fork_steps += run.report.steps.saturating_sub(prefix);
         Ok(profile_from_report(&run.report))
     }
 
@@ -133,6 +142,10 @@ impl WhatIfSession for WhatIfEvaluator {
             self.installed = false;
         }
         Ok(())
+    }
+
+    fn steps_used(&self) -> u64 {
+        self.base.steps() + self.fork_steps
     }
 }
 
@@ -283,6 +296,26 @@ mod tests {
         // Past the end: the session reports exhaustion, not an error.
         assert!(!sess.advance_to_barrier(10_000).unwrap());
         assert!(!sess.advance_to_barrier(10_001).unwrap());
+    }
+
+    #[test]
+    fn steps_used_counts_base_and_fork_work_deterministically() {
+        let env = SimEnv::paper();
+        let cfg = small_cfg(&env, 4);
+        let run_once = || {
+            let mut sess =
+                WhatIfEvaluator::new(LuCheckpoint::start(&cfg, env.net, &env.simcfg).unwrap());
+            assert_eq!(sess.steps_used(), 0, "no work before the first advance");
+            assert!(sess.advance_to_barrier(2).unwrap());
+            let after_advance = sess.steps_used();
+            assert!(after_advance > 0, "advancing the base costs steps");
+            sess.score_plan(&[(2usize, 2u32)]).unwrap();
+            let after_score = sess.steps_used();
+            assert!(after_score > after_advance, "forked suffixes cost steps");
+            (after_advance, after_score)
+        };
+        // The breaker's budget metric must be a pure function of the run.
+        assert_eq!(run_once(), run_once());
     }
 
     #[test]

@@ -9,9 +9,9 @@
 
 use std::sync::Arc;
 
-use cluster::Workload;
+use cluster::{BreakerSpec, Workload};
 use cluster_svc::{ClusterService, JobSpec, ServeOptions, ServiceOutcome};
-use desim::SimTime;
+use desim::{SimDuration, SimTime};
 use faults::FaultPlan;
 use workload::{server_scale_load, server_scale_plan, server_whatif_config, LuWorkload, SimEnv};
 
@@ -116,6 +116,61 @@ fn faulted_decisions_are_invariant_across_shards_and_engine_threads() {
             &format!("faulted, {shards} shards, {threads} engine threads"),
         );
     }
+}
+
+/// A breaker-wrapped run with a step budget tiny enough that every
+/// non-memoized fork breaches: trips, profile-priced fallback, and
+/// half-open probes after the deterministic cooldown are all exercised.
+fn run_breaker(shards: u32, threads: usize) -> ServiceOutcome {
+    let cfg = server_whatif_config(shards).with_breaker(BreakerSpec {
+        max_steps_per_decision: 1,
+        trip_after: 2,
+        cooldown: SimDuration::from_secs(30),
+    });
+    let svc = ClusterService::new(cfg).expect("valid breaker config");
+    let opts = ServeOptions {
+        journal: true,
+        ..ServeOptions::default()
+    };
+    svc.serve(mixed_load(threads), &FaultPlan::none(), &opts)
+        .expect("breaker serve")
+}
+
+#[test]
+fn tripped_breaker_degrades_and_probes_deterministically() {
+    let reference = run_breaker(1, 1);
+    let b = &reference.report.breaker;
+    assert!(b.breaches > 0, "the tiny budget must be breached: {b:?}");
+    assert!(b.trips > 0, "consecutive breaches must trip: {b:?}");
+    assert!(
+        b.fallback_decisions > 0,
+        "an open breaker must fall back to profile pricing: {b:?}"
+    );
+    assert!(
+        reference.report.whatif.profile_scored > 0,
+        "degraded decisions are profile-priced"
+    );
+    // The breaker's life cycle is part of the determinism contract: its
+    // journaled transitions and counters must be byte-identical across
+    // shard counts and engine thread counts.
+    for (shards, threads) in [(2, 1), (2, 4)] {
+        let other = run_breaker(shards, threads);
+        assert_eq!(&other.report.breaker, b, "{shards} shards, {threads} threads");
+        assert_identical(
+            &reference,
+            &other,
+            &format!("breaker, {shards} shards, {threads} engine threads"),
+        );
+    }
+    // Degraded mode is visible against the unbroken run: the breaker
+    // diverts fork-scored decisions to the profile path.
+    let unbroken = run(1, 1, false);
+    assert!(
+        reference.report.whatif.fork_scored < unbroken.report.whatif.fork_scored,
+        "breaker={} unbroken={}",
+        reference.report.whatif.fork_scored,
+        unbroken.report.whatif.fork_scored
+    );
 }
 
 #[test]
